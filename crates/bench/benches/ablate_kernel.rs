@@ -1,0 +1,28 @@
+//! Ablation (DESIGN.md A2): which staged-kernel mechanism buys what —
+//! register blocking (unrolling) alone, vectorization alone, and both.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use terra_autotune::{GemmConfig, GemmSession, Precision};
+
+fn bench_ablation(c: &mut Criterion) {
+    let n = 128;
+    let prec = Precision::F64;
+    let mut s = GemmSession::new().unwrap();
+    let ws = s.workspace(n, prec);
+    let configs = [
+        ("baseline_v1_r1", GemmConfig { nb: 32, rm: 1, rn: 1, v: 1 }),
+        ("unroll_only", GemmConfig { nb: 32, rm: 4, rn: 4, v: 1 }),
+        ("vector_only", GemmConfig { nb: 32, rm: 1, rn: 1, v: 4 }),
+        ("unroll_and_vector", GemmConfig { nb: 32, rm: 2, rn: 2, v: 4 }),
+    ];
+    let mut g = c.benchmark_group("ablate_kernel_n128");
+    g.sample_size(10);
+    for (name, cfg) in configs {
+        let f = s.generated(n, cfg, prec).unwrap();
+        g.bench_function(name, |b| b.iter(|| s.run(&f, &ws)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation (DESIGN.md A3): VM dispatch amortization — a saxpy loop in
+//! scalar form vs 4-wide and 8-wide vector form. Vector instructions do
+//! N lanes of work per dispatched instruction, which is why vectorized
+//! schedules win on this backend just as SIMD wins natively.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use terra_core::{Terra, Value};
+
+fn bench_vm(c: &mut Criterion) {
+    let n: usize = 64 * 1024;
+    let mut t = Terra::new();
+    t.exec(&format!(
+        r#"
+        local vec4 = vector(float, 4)
+        local vec8 = vector(float, 8)
+        terra saxpy_scalar(x : &float, y : &float, a : float)
+            for i = 0, {n} do
+                y[i] = a * x[i] + y[i]
+            end
+        end
+        terra saxpy_v4(x : &float, y : &float, a : float)
+            var px = [&vec4](x)
+            var py = [&vec4](y)
+            for i = 0, {n} / 4 do
+                py[i] = a * px[i] + py[i]
+            end
+        end
+        terra saxpy_v8(x : &float, y : &float, a : float)
+            var px = [&vec8](x)
+            var py = [&vec8](y)
+            for i = 0, {n} / 8 do
+                py[i] = a * px[i] + py[i]
+            end
+        end
+        "#
+    ))
+    .unwrap();
+    let x = t.malloc((n * 4) as u64);
+    let y = t.malloc((n * 4) as u64);
+    t.write_f32s(x, &vec![1.0; n]);
+    t.write_f32s(y, &vec![2.0; n]);
+    let scalar = t.function("saxpy_scalar").unwrap();
+    let v4 = t.function("saxpy_v4").unwrap();
+    let v8 = t.function("saxpy_v8").unwrap();
+    let mut g = c.benchmark_group("ablate_vm_saxpy_64k");
+    g.sample_size(20);
+    let args = [Value::Ptr(x), Value::Ptr(y), Value::Float(0.5)];
+    g.bench_function("scalar", |b| b.iter(|| t.invoke(&scalar, &args).unwrap()));
+    g.bench_function("vector4", |b| b.iter(|| t.invoke(&v4, &args).unwrap()));
+    g.bench_function("vector8", |b| b.iter(|| t.invoke(&v8, &args).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_vm);
+criterion_main!(benches);

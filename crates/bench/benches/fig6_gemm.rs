@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 6: one matmul per series at a fixed size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use terra_autotune::{vendor_config, GemmSession, Precision};
+
+fn bench_gemm(c: &mut Criterion) {
+    let n = 128;
+    let prec = Precision::F64;
+    let mut s = GemmSession::new().unwrap();
+    let ws = s.workspace(n, prec);
+    let naive = s.naive(n, prec).unwrap();
+    let blocked = s.blocked(n, 32, prec).unwrap();
+    let tuned = s.generated(n, vendor_config(prec), prec).unwrap();
+    let mut g = c.benchmark_group("fig6_dgemm_n128");
+    g.sample_size(10);
+    g.bench_function("naive", |b| b.iter(|| s.run(&naive, &ws)));
+    g.bench_function("blocked", |b| b.iter(|| s.run(&blocked, &ws)));
+    g.bench_function("generated", |b| b.iter(|| s.run(&tuned, &ws)));
+    g.finish();
+
+    let prec = Precision::F32;
+    let mut s = GemmSession::new().unwrap();
+    let ws = s.workspace(n, prec);
+    let naive = s.naive(n, prec).unwrap();
+    let tuned = s.generated(n, vendor_config(prec), prec).unwrap();
+    let mut g = c.benchmark_group("fig6_sgemm_n128");
+    g.sample_size(10);
+    g.bench_function("naive", |b| b.iter(|| s.run(&naive, &ws)));
+    g.bench_function("generated", |b| b.iter(|| s.run(&tuned, &ws)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

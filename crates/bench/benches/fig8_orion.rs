@@ -1,0 +1,29 @@
+//! Criterion bench for Figure 8: the area filter under each schedule.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use terra_core::Terra;
+use terra_orion::{area_filter, figure8_schedules, ImageBuf, Schedule};
+
+fn bench_orion(c: &mut Criterion) {
+    let (w, h) = (512, 512);
+    let p = area_filter();
+    let mut g = c.benchmark_group("fig8_area_filter_512");
+    g.sample_size(10);
+    let run_one = |name: &str, sched: Schedule, g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>| {
+        let mut t = Terra::new();
+        let compiled = p.compile(&mut t, w, h, sched).unwrap();
+        let img = ImageBuf::alloc(&mut t, &compiled);
+        let out = ImageBuf::alloc(&mut t, &compiled);
+        img.write(&mut t, &vec![0.5; w * h]);
+        g.bench_function(name, |b| b.iter(|| compiled.run(&mut t, &[&img], &out)));
+    };
+    run_one("match_c", Schedule::match_c(), &mut g);
+    for (name, sched) in figure8_schedules() {
+        let key = name.replace([' ', '+'], "_").to_lowercase();
+        run_one(&key, sched, &mut g);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_orion);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for Figure 9: AoS vs SoA mesh kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use terra_layout::{HostMesh, Layout, MeshKit};
+
+fn bench_layout(c: &mut Criterion) {
+    let mesh = HostMesh::grid(256, true);
+    let mut g = c.benchmark_group("fig9_mesh_256");
+    g.sample_size(10);
+    for layout in [Layout::Aos, Layout::Soa] {
+        let mut kit = MeshKit::new(&mesh, layout).unwrap();
+        g.bench_function(format!("normals_{}", layout.name()), |b| {
+            b.iter(|| kit.run_normals())
+        });
+        let mut kit = MeshKit::new(&mesh, layout).unwrap();
+        g.bench_function(format!("translate_{}", layout.name()), |b| {
+            b.iter(|| kit.run_translate(0.1, 0.0, 0.0))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

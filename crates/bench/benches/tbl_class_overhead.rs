@@ -1,0 +1,21 @@
+//! Criterion bench for the §6.3.1 dispatch micro-benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use terra_classes::DispatchBench;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut bench = DispatchBench::new().unwrap();
+    bench.verify();
+    let mut g = c.benchmark_group("class_dispatch_100k_calls");
+    g.sample_size(10);
+    g.bench_function("direct", |b| {
+        b.iter(|| {
+            let cost = bench.measure(100_000);
+            criterion::black_box(cost.direct_ns)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

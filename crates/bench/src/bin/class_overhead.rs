@@ -1,0 +1,35 @@
+//! §6.3.1 harness: virtual/interface dispatch overhead vs a direct call.
+//!
+//! Usage: `cargo run --release -p terra-bench --bin class_overhead`
+
+use terra_bench::Table;
+use terra_classes::DispatchBench;
+
+fn main() {
+    let mut b = DispatchBench::new().expect("stage class system");
+    b.verify();
+    let n = 2_000_000;
+    let cost = b.measure(n);
+    println!("== §6.3.1: method invocation overhead ({n} calls) ==");
+    let mut t = Table::new(&["dispatch", "ns/call", "vs direct"]);
+    t.push(vec![
+        "direct".into(),
+        format!("{:.1}", cost.direct_ns),
+        "1.00x".into(),
+    ]);
+    t.push(vec![
+        "virtual (vtable)".into(),
+        format!("{:.1}", cost.virtual_ns),
+        format!("{:.2}x", cost.virtual_ns / cost.direct_ns),
+    ]);
+    t.push(vec![
+        "interface".into(),
+        format!("{:.1}", cost.interface_ns),
+        format!("{:.2}x", cost.interface_ns / cost.direct_ns),
+    ]);
+    print!("{}", t.render());
+    println!(
+        "\nshape check: overhead is a small constant per call (paper: within 1% of C++\n\
+         with inlining; this VM pays one extra frame per indirection instead)."
+    );
+}

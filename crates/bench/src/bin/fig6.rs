@@ -1,0 +1,79 @@
+//! Figure 6 harness: matrix-multiply GFLOPS as a function of matrix size,
+//! for the series of the paper — naive (unblocked), blocked, the
+//! staged+autotuned kernel, and the vendor stand-in configuration.
+//!
+//! Usage: `cargo run --release -p terra-bench --bin fig6 [--quick]`
+
+use terra_autotune::{autotune, vendor_config, GemmSession, Precision};
+use terra_bench::{fmt_gflops, Table};
+
+fn series(prec: Precision, sizes: &[usize], tune_reps: usize) {
+    let label = match prec {
+        Precision::F64 => "Figure 6a (DGEMM, double)",
+        Precision::F32 => "Figure 6b (SGEMM, float)",
+    };
+    println!("\n== {label} ==");
+    let mut s = GemmSession::new().expect("load generator");
+    // Auto-tune once on the smallest size (as ATLAS tunes once per machine).
+    let (best, tuned_gflops) = autotune(&mut s, sizes[0], prec, tune_reps).expect("autotune");
+    println!(
+        "auto-tuned configuration: {best} ({} candidates searched, {:.3} GFLOPS at N={})",
+        terra_autotune::candidate_configs(sizes[0], prec).len(),
+        tuned_gflops,
+        sizes[0]
+    );
+    let mut table = Table::new(&[
+        "N",
+        "footprint(MB)",
+        "naive",
+        "blocked",
+        "terra(tuned)",
+        "vendor-stand-in",
+        "tuned/naive",
+    ]);
+    for &n in sizes {
+        let ws = s.workspace(n, prec);
+        let naive = s.naive(n, prec).expect("stage naive");
+        let blocked = s.blocked(n, 32, prec).expect("stage blocked");
+        let tuned = s.generated(n, best, prec).expect("stage tuned");
+        let vendor = s.generated(n, vendor_config(prec), prec).expect("stage vendor");
+        let reps = if n <= 256 { 3 } else { 1 };
+        let g_naive = s.measure_gflops(&naive, &ws, reps);
+        let g_blocked = s.measure_gflops(&blocked, &ws, reps);
+        let g_tuned = s.measure_gflops(&tuned, &ws, reps);
+        let g_vendor = s.measure_gflops(&vendor, &ws, reps);
+        // Correctness spot-check on the tuned kernel.
+        if n <= 128 {
+            s.run(&tuned, &ws);
+            ws.verify(&s);
+        }
+        let footprint = 3.0 * (n * n * prec.size()) as f64 / (1 << 20) as f64;
+        table.push(vec![
+            n.to_string(),
+            format!("{footprint:.1}"),
+            fmt_gflops(g_naive),
+            fmt_gflops(g_blocked),
+            fmt_gflops(g_tuned),
+            fmt_gflops(g_vendor),
+            format!("{:.1}x", g_tuned / g_naive),
+        ]);
+    }
+    print!("{}", table.render());
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick {
+        &[128, 256]
+    } else {
+        &[128, 256, 512, 1024]
+    };
+    let tune_reps = if quick { 1 } else { 2 };
+    series(Precision::F64, sizes, tune_reps);
+    series(Precision::F32, sizes, tune_reps);
+    println!(
+        "\nshape check: naive flat/declining with N; blocked catches naive at large N;\n\
+         tuned within ~20% of the vendor stand-in and >8x over naive (paper: 65x with\n\
+         native codegen; the VM's dispatch floor compresses the ratio)."
+    );
+}

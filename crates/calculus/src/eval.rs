@@ -1,0 +1,599 @@
+//! Big-step operational semantics of Terra Core (paper Figures 1–3).
+//!
+//! Three judgments, exactly as in the paper:
+//!
+//! - `e  Σ →L v Σ′` — Lua evaluation ([`Machine::eval_lua`], Fig. 1);
+//! - `ė  Σ →S ē Σ′` — specialization ([`Machine::specialize`], Fig. 2);
+//! - `ē  Γ̂,F →T v` — Terra evaluation ([`Machine::eval_terra`], Fig. 3),
+//!   which runs *independently* of the Lua environment and store.
+//!
+//! The machine threads one state `Σ = (Γ, S, F)`: a namespace mapping
+//! variables to addresses, a store mapping addresses to values, and the
+//! Terra function store.
+
+use crate::syntax::{Addr, FnAddr, FnEntry, LExp, SExp, Sym, TExp, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Errors of the calculus: each corresponds to a place where the paper's
+/// rules get stuck.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalcError {
+    /// Variable not bound in Γ (specialization or evaluation).
+    Unbound(String),
+    /// Application of a non-function value.
+    NotAFunction(&'static str),
+    /// An escape produced a value that is not a Terra term
+    /// (rule SESC's side condition).
+    BadSplice(&'static str),
+    /// `ter` applied to something that is not an undefined declaration.
+    BadDefinition(&'static str),
+    /// Calling a declared-but-undefined Terra function (link error).
+    Undefined(FnAddr),
+    /// Type error during the Fig. 4 typechecking pass.
+    Type(String),
+    /// A type annotation did not evaluate to a type.
+    NotAType(&'static str),
+}
+
+impl fmt::Display for CalcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalcError::Unbound(x) => write!(f, "unbound variable '{x}'"),
+            CalcError::NotAFunction(d) => write!(f, "cannot apply {d}"),
+            CalcError::BadSplice(d) => write!(f, "cannot splice {d} into terra code"),
+            CalcError::BadDefinition(d) => write!(f, "cannot define {d}"),
+            CalcError::Undefined(l) => write!(f, "terra function l{} is undefined", l.0),
+            CalcError::Type(m) => write!(f, "type error: {m}"),
+            CalcError::NotAType(d) => write!(f, "{d} is not a type"),
+        }
+    }
+}
+
+impl std::error::Error for CalcError {}
+
+/// Result alias.
+pub type CalcResult<T> = Result<T, CalcError>;
+
+/// The namespace Γ: a persistent map from names to store addresses.
+/// Cloning is O(1); extension shadows (lexical scoping, rule LLET's Σ↓Γ
+/// restore falls out of persistence).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LEnv(Option<Rc<EnvNode>>);
+
+#[derive(Debug, PartialEq)]
+struct EnvNode {
+    name: String,
+    addr: Addr,
+    parent: LEnv,
+}
+
+impl LEnv {
+    /// The empty namespace.
+    pub fn new() -> LEnv {
+        LEnv::default()
+    }
+
+    /// Γ[x → a]
+    pub fn extend(&self, name: &str, addr: Addr) -> LEnv {
+        LEnv(Some(Rc::new(EnvNode {
+            name: name.to_string(),
+            addr,
+            parent: self.clone(),
+        })))
+    }
+
+    /// Γ(x)
+    pub fn lookup(&self, name: &str) -> Option<Addr> {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if node.name == name {
+                return Some(node.addr);
+            }
+            cur = &node.parent;
+        }
+        None
+    }
+}
+
+/// A Terra runtime value (Fig. 3 evaluates to base values or function
+/// addresses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TVal {
+    /// A base value `b`.
+    Base(i64),
+    /// A function address `l`.
+    Fn(FnAddr),
+}
+
+/// The abstract machine: store `S`, function store `F`, and the symbol
+/// generator that implements hygienic renaming.
+#[derive(Debug, Default)]
+pub struct Machine {
+    store: Vec<Value>,
+    /// The Terra function store `F`.
+    pub fstore: Vec<FnEntry>,
+    next_sym: usize,
+}
+
+impl Machine {
+    /// A fresh machine with empty stores.
+    pub fn new() -> Machine {
+        Machine::default()
+    }
+
+    /// Runs a whole program in the empty environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stuck rule.
+    pub fn run(&mut self, e: &LExp) -> CalcResult<Value> {
+        self.eval_lua(e, &LEnv::new())
+    }
+
+    fn alloc(&mut self, v: Value) -> Addr {
+        self.store.push(v);
+        Addr(self.store.len() - 1)
+    }
+
+    fn fresh_sym(&mut self) -> Sym {
+        self.next_sym += 1;
+        Sym(self.next_sym)
+    }
+
+    // -----------------------------------------------------------------------
+    // Figure 1: Lua evaluation  e Σ →L v Σ′
+    // -----------------------------------------------------------------------
+
+    /// Evaluates a Lua Core expression.
+    ///
+    /// # Errors
+    ///
+    /// Per the rules: unbound variables, bad applications, bad definitions,
+    /// and (through LTAPP) Terra type/link errors.
+    pub fn eval_lua(&mut self, e: &LExp, env: &LEnv) -> CalcResult<Value> {
+        match e {
+            // LBAS
+            LExp::Base(b) => Ok(Value::Base(*b)),
+            LExp::Type(t) => Ok(Value::Type(t.clone())),
+            // LVAR
+            LExp::Var(x) => {
+                let a = env.lookup(x).ok_or_else(|| CalcError::Unbound(x.clone()))?;
+                Ok(self.store[a.0].clone())
+            }
+            // LLET: evaluate e1, bind, evaluate e2; Γ restored by persistence.
+            LExp::Let(x, e1, e2) => {
+                let v1 = self.eval_lua(e1, env)?;
+                let a = self.alloc(v1);
+                let env2 = env.extend(x, a);
+                self.eval_lua(e2, &env2)
+            }
+            // LASN
+            LExp::Assign(x, e1) => {
+                let v = self.eval_lua(e1, env)?;
+                let a = env.lookup(x).ok_or_else(|| CalcError::Unbound(x.clone()))?;
+                self.store[a.0] = v.clone();
+                Ok(v)
+            }
+            // LFUN
+            LExp::Fun(x, body) => Ok(Value::Closure(env.clone(), x.clone(), body.clone())),
+            // LAPP / LTAPP dispatch on the callee value.
+            LExp::App(e1, e2) => {
+                let f = self.eval_lua(e1, env)?;
+                let arg = self.eval_lua(e2, env)?;
+                match f {
+                    Value::Closure(cenv, x, body) => {
+                        let a = self.alloc(arg);
+                        let env2 = cenv.extend(&x, a);
+                        self.eval_lua(&body, &env2)
+                    }
+                    // LTAPP: typecheck (Fig. 4) right before running.
+                    Value::FnAddr(l) => {
+                        crate::types::check_component(self, l)?;
+                        let Value::Base(b) = arg else {
+                            return Err(CalcError::NotAFunction(
+                                "terra function applied to non-base value",
+                            ));
+                        };
+                        let r = self.call_terra(l, TVal::Base(b))?;
+                        match r {
+                            TVal::Base(b) => Ok(Value::Base(b)),
+                            TVal::Fn(l) => Ok(Value::FnAddr(l)),
+                        }
+                    }
+                    other => Err(CalcError::NotAFunction(other.describe())),
+                }
+            }
+            // LTDECL: F[l → ⊥]
+            LExp::TDecl => {
+                self.fstore.push(FnEntry::Undefined);
+                Ok(Value::FnAddr(FnAddr(self.fstore.len() - 1)))
+            }
+            // LTDEFN
+            LExp::TDefn {
+                target,
+                param,
+                param_ty,
+                ret_ty,
+                body,
+            } => {
+                let Value::FnAddr(l) = self.eval_lua(target, env)? else {
+                    return Err(CalcError::BadDefinition("a non-declaration"));
+                };
+                if !matches!(self.fstore[l.0], FnEntry::Undefined) {
+                    return Err(CalcError::BadDefinition(
+                        "an already-defined terra function",
+                    ));
+                }
+                let Value::Type(t1) = self.eval_lua(param_ty, env)? else {
+                    return Err(CalcError::NotAType("parameter annotation"));
+                };
+                let Value::Type(t2) = self.eval_lua(ret_ty, env)? else {
+                    return Err(CalcError::NotAType("return annotation"));
+                };
+                // Fresh name x̂ for the parameter, bound in the shared
+                // environment so escapes in the body see it.
+                let sym = self.fresh_sym();
+                let a = self.alloc(Value::Code(Rc::new(SExp::Var(sym))));
+                let env2 = env.extend(param, a);
+                let body = self.specialize(body, &env2)?;
+                self.fstore[l.0] = FnEntry::Defined {
+                    param: sym,
+                    param_ty: t1,
+                    ret_ty: t2,
+                    body: Rc::new(body),
+                };
+                Ok(Value::FnAddr(l))
+            }
+            // LTQUOTE: specialization happens now (eagerly).
+            LExp::Quote(t) => {
+                let s = self.specialize(t, env)?;
+                Ok(Value::Code(Rc::new(s)))
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Figure 2: specialization  ė Σ →S ē Σ′
+    // -----------------------------------------------------------------------
+
+    /// Specializes a Terra expression in the shared environment.
+    ///
+    /// # Errors
+    ///
+    /// Unbound variables, escapes producing non-Terra values.
+    pub fn specialize(&mut self, e: &TExp, env: &LEnv) -> CalcResult<SExp> {
+        match e {
+            // SBAS
+            TExp::Base(b) => Ok(SExp::Base(*b)),
+            // SVAR: resolve through the shared environment.
+            TExp::Var(x) => {
+                let a = env.lookup(x).ok_or_else(|| CalcError::Unbound(x.clone()))?;
+                self.value_to_code(self.store[a.0].clone())
+            }
+            // SAPP
+            TExp::App(f, a) => {
+                let f = self.specialize(f, env)?;
+                let a = self.specialize(a, env)?;
+                Ok(SExp::App(Rc::new(f), Rc::new(a)))
+            }
+            // SLET: hygiene — fresh x̂, bound in the environment for the body.
+            TExp::TLet {
+                var,
+                ty,
+                init,
+                body,
+            } => {
+                let Value::Type(t) = self.eval_lua(ty, env)? else {
+                    return Err(CalcError::NotAType("tlet annotation"));
+                };
+                let init = self.specialize(init, env)?;
+                let sym = self.fresh_sym();
+                let a = self.alloc(Value::Code(Rc::new(SExp::Var(sym))));
+                let env2 = env.extend(var, a);
+                let body = self.specialize(body, &env2)?;
+                Ok(SExp::TLet {
+                    var: sym,
+                    ty: t,
+                    init: Rc::new(init),
+                    body: Rc::new(body),
+                })
+            }
+            // SESC: evaluate the Lua expression and splice.
+            TExp::Esc(le) => {
+                let v = self.eval_lua(le, env)?;
+                self.value_to_code(v)
+            }
+        }
+    }
+
+    /// The side condition of SVAR/SESC: only some values are Terra terms.
+    fn value_to_code(&self, v: Value) -> CalcResult<SExp> {
+        match v {
+            Value::Base(b) => Ok(SExp::Base(b)),
+            Value::FnAddr(l) => Ok(SExp::FnAddr(l)),
+            Value::Code(c) => Ok((*c).clone()),
+            Value::Type(_) => Err(CalcError::BadSplice("a type")),
+            Value::Closure(..) => Err(CalcError::BadSplice("a lua function")),
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Figure 3: Terra evaluation  ē Γ̂,F →T v
+    // -----------------------------------------------------------------------
+
+    /// Calls a defined Terra function with one argument.
+    ///
+    /// # Errors
+    ///
+    /// Link errors on undefined addresses; stuck applications.
+    pub fn call_terra(&self, l: FnAddr, arg: TVal) -> CalcResult<TVal> {
+        let FnEntry::Defined { param, body, .. } = &self.fstore[l.0] else {
+            return Err(CalcError::Undefined(l));
+        };
+        let mut tenv = HashMap::new();
+        tenv.insert(*param, arg);
+        self.eval_terra(body, &tenv)
+    }
+
+    /// Evaluates a specialized Terra expression. Note the signature: no Lua
+    /// environment, no Lua store — *separate evaluation*.
+    ///
+    /// # Errors
+    ///
+    /// Stuck terms (ill-typed programs that skipped typechecking).
+    pub fn eval_terra(&self, e: &SExp, tenv: &HashMap<Sym, TVal>) -> CalcResult<TVal> {
+        match e {
+            // TBAS / TFUN
+            SExp::Base(b) => Ok(TVal::Base(*b)),
+            SExp::FnAddr(l) => Ok(TVal::Fn(*l)),
+            // TVAR
+            SExp::Var(s) => tenv
+                .get(s)
+                .copied()
+                .ok_or_else(|| CalcError::Unbound(format!("x{}", s.0))),
+            // TLET
+            SExp::TLet {
+                var, init, body, ..
+            } => {
+                let v = self.eval_terra(init, tenv)?;
+                let mut tenv2 = tenv.clone();
+                tenv2.insert(*var, v);
+                self.eval_terra(body, &tenv2)
+            }
+            // TAPP
+            SExp::App(f, a) => {
+                let fv = self.eval_terra(f, tenv)?;
+                let av = self.eval_terra(a, tenv)?;
+                let TVal::Fn(l) = fv else {
+                    return Err(CalcError::NotAFunction("a base value"));
+                };
+                self.call_terra(l, av)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::LExp as L;
+    use crate::syntax::TExp as T;
+
+    /// `let x = ter tdecl(y : B) : B { body } in x`
+    fn define(name: &str, param: &str, body: T, rest: L) -> L {
+        L::let_(
+            name,
+            L::ter(L::TDecl, param, L::base_ty(), L::base_ty(), body),
+            rest,
+        )
+    }
+
+    #[test]
+    fn identity_function_roundtrip() {
+        // let f = ter tdecl(x : B) : B { x } in f(41)
+        let prog = define("f", "x", T::var("x"), L::app(L::var("f"), L::Base(41)));
+        let mut m = Machine::new();
+        assert_eq!(m.run(&prog), Ok(Value::Base(41)));
+    }
+
+    #[test]
+    fn lua_let_and_assignment() {
+        // let x = 1 in (x := 2; x)
+        let prog = L::let_(
+            "x",
+            L::Base(1),
+            L::seq(L::assign("x", L::Base(2)), L::var("x")),
+        );
+        let mut m = Machine::new();
+        assert_eq!(m.run(&prog), Ok(Value::Base(2)));
+    }
+
+    #[test]
+    fn eager_specialization_paper_example() {
+        // let x1 = 0 in let y = ter tdecl(x2 : B) : B { x1 } in
+        //   (x1 := 1 ; y(0))   — must be 0.
+        let prog = L::let_(
+            "x1",
+            L::Base(0),
+            define(
+                "y",
+                "x2",
+                T::esc(L::var("x1")),
+                L::seq(L::assign("x1", L::Base(1)), L::app(L::var("y"), L::Base(0))),
+            ),
+        );
+        let mut m = Machine::new();
+        assert_eq!(m.run(&prog), Ok(Value::Base(0)));
+    }
+
+    #[test]
+    fn separate_evaluation_paper_example() {
+        // let x1 = 1 in let y = ter tdecl(x2:B):B { x1 } in (x1 := 2; y(0)) = 1
+        let prog = L::let_(
+            "x1",
+            L::Base(1),
+            define(
+                "y",
+                "x2",
+                T::esc(L::var("x1")),
+                L::seq(L::assign("x1", L::Base(2)), L::app(L::var("y"), L::Base(0))),
+            ),
+        );
+        let mut m = Machine::new();
+        assert_eq!(m.run(&prog), Ok(Value::Base(1)));
+    }
+
+    #[test]
+    fn shared_environment_quotation() {
+        // §4.1 example: let x1 = 0 in 'tlet y1 : B = 1 in x1
+        // specializes to tlet ŷ : B = 1 in 0.
+        let prog = L::let_(
+            "x1",
+            L::Base(0),
+            L::Quote(Rc::new(T::tlet(
+                "y1",
+                L::base_ty(),
+                T::Base(1),
+                T::esc(L::var("x1")),
+            ))),
+        );
+        let mut m = Machine::new();
+        let v = m.run(&prog).unwrap();
+        let Value::Code(code) = v else {
+            panic!("expected code")
+        };
+        let SExp::TLet { init, body, .. } = &*code else {
+            panic!("expected tlet")
+        };
+        assert_eq!(**init, SExp::Base(1));
+        assert_eq!(**body, SExp::Base(0));
+    }
+
+    #[test]
+    fn hygiene_no_capture_paper_example() {
+        // §4.1: let x1 = fun(x2){ 'tlet y : B = 0 in [x2] } in
+        //       let x3 = ter tdecl(y : B) : B { [x1(y)] } in x3
+        // The y bound by tlet must NOT capture the parameter y.
+        let prog = L::let_(
+            "x1",
+            L::fun(
+                "x2",
+                L::Quote(Rc::new(T::tlet(
+                    "y",
+                    L::base_ty(),
+                    T::Base(0),
+                    T::esc(L::var("x2")),
+                ))),
+            ),
+            define(
+                "x3",
+                "y",
+                T::esc(L::app(L::var("x1"), L::var("y"))),
+                L::app(L::var("x3"), L::Base(42)),
+            ),
+        );
+        let mut m = Machine::new();
+        // If capture occurred, the function would return 0; hygiene gives 42.
+        assert_eq!(m.run(&prog), Ok(Value::Base(42)));
+    }
+
+    #[test]
+    fn type_reflection_identity_example() {
+        // §4.1: let x3 = fun(x1){ ter tdecl(x2 : x1) : x1 { x2 } } in x3(B)(1)
+        let prog = L::let_(
+            "x3",
+            L::fun(
+                "x1",
+                L::ter(L::TDecl, "x2", L::var("x1"), L::var("x1"), T::var("x2")),
+            ),
+            L::app(L::app(L::var("x3"), L::base_ty()), L::Base(1)),
+        );
+        let mut m = Machine::new();
+        assert_eq!(m.run(&prog), Ok(Value::Base(1)));
+    }
+
+    #[test]
+    fn calling_undefined_function_is_link_error() {
+        // let x = tdecl in x(0)
+        let prog = L::let_("x", L::TDecl, L::app(L::var("x"), L::Base(0)));
+        let mut m = Machine::new();
+        assert!(matches!(m.run(&prog), Err(CalcError::Undefined(_))));
+    }
+
+    #[test]
+    fn mutual_recursion_via_declarations() {
+        // §4.1: let x2 = tdecl in
+        //       let x1 = ter tdecl(y : B) : B { x2(y) } in
+        //       (ter x2(y : B) : B { x1(y) } ; x1) — typechecks; we don't
+        // call it (it would loop), we just check definition succeeds.
+        let prog = L::let_(
+            "x2",
+            L::TDecl,
+            L::let_(
+                "x1",
+                L::ter(
+                    L::TDecl,
+                    "y",
+                    L::base_ty(),
+                    L::base_ty(),
+                    T::app(T::var("x2"), T::var("y")),
+                ),
+                L::seq(
+                    L::ter(
+                        L::var("x2"),
+                        "y",
+                        L::base_ty(),
+                        L::base_ty(),
+                        T::app(T::var("x1"), T::var("y")),
+                    ),
+                    L::var("x1"),
+                ),
+            ),
+        );
+        let mut m = Machine::new();
+        let v = m.run(&prog).unwrap();
+        let Value::FnAddr(l) = v else { panic!("expected fn") };
+        // The whole connected component typechecks.
+        crate::types::check_component(&mut m, l).unwrap();
+    }
+
+    #[test]
+    fn redefinition_is_stuck() {
+        // let x = tdecl in (ter x(y:B):B{y} ; ter x(y:B):B{y})
+        let prog = L::let_(
+            "x",
+            L::TDecl,
+            L::seq(
+                L::ter(L::var("x"), "y", L::base_ty(), L::base_ty(), T::var("y")),
+                L::ter(L::var("x"), "y", L::base_ty(), L::base_ty(), T::var("y")),
+            ),
+        );
+        let mut m = Machine::new();
+        assert!(matches!(m.run(&prog), Err(CalcError::BadDefinition(_))));
+    }
+
+    #[test]
+    fn splicing_a_lua_function_is_stuck() {
+        let prog = L::let_(
+            "f",
+            L::fun("x", L::var("x")),
+            L::Quote(Rc::new(T::esc(L::var("f")))),
+        );
+        let mut m = Machine::new();
+        assert!(matches!(m.run(&prog), Err(CalcError::BadSplice(_))));
+    }
+
+    #[test]
+    fn nested_quotes_compose() {
+        // let q = '1 in let f = ter tdecl(x:B):B{ [q] } in f(0) = 1
+        let prog = L::let_(
+            "q",
+            L::Quote(Rc::new(T::Base(1))),
+            define("f", "x", T::esc(L::var("q")), L::app(L::var("f"), L::Base(0))),
+        );
+        let mut m = Machine::new();
+        assert_eq!(m.run(&prog), Ok(Value::Base(1)));
+    }
+}

@@ -1,0 +1,37 @@
+//! # terra-calculus
+//!
+//! An executable model of **Terra Core**, the formal calculus of §3 of
+//! *Terra: A Multi-Stage Language for High-Performance Computing* (PLDI
+//! 2013): big-step Lua evaluation (Fig. 1), Terra specialization (Fig. 2),
+//! separate Terra evaluation (Fig. 3), and the lazy, connected-component
+//! typechecking of function references (Fig. 4).
+//!
+//! The crate exists to *validate the design decisions* the paper argues for
+//! (§4.1) — eager specialization, hygiene, separate evaluation, monotonic
+//! typechecking — independently of the full implementation in `terra-eval`.
+//! Its tests include every worked example from the paper, and property tests
+//! check the metatheoretic claims on random programs.
+//!
+//! ```
+//! use terra_calculus::{LExp, Machine, TExp, Value};
+//! # fn main() -> Result<(), terra_calculus::CalcError> {
+//! // let f = ter tdecl(x : B) : B { x } in f(41)
+//! let prog = LExp::let_(
+//!     "f",
+//!     LExp::ter(LExp::TDecl, "x", LExp::base_ty(), LExp::base_ty(), TExp::var("x")),
+//!     LExp::app(LExp::var("f"), LExp::Base(41)),
+//! );
+//! assert_eq!(Machine::new().run(&prog)?, Value::Base(41));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod eval;
+mod syntax;
+mod types;
+
+pub use eval::{CalcError, CalcResult, LEnv, Machine, TVal};
+pub use syntax::{Addr, FnAddr, FnEntry, LExp, SExp, Sym, TExp, TyCore, Value};
+pub use types::check_component;

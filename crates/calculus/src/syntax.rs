@@ -1,0 +1,273 @@
+//! Abstract syntax of Terra Core (paper §3).
+//!
+//! Lua Core expressions `e`, unspecialized Terra expressions `ė`, and
+//! specialized Terra expressions `ē`, with the value forms `v`.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Terra Core types `T ::= B | T → T`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TyCore {
+    /// The base type `B`.
+    Base,
+    /// A function type `T → T`.
+    Fn(Rc<TyCore>, Rc<TyCore>),
+}
+
+impl fmt::Display for TyCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TyCore::Base => write!(f, "B"),
+            TyCore::Fn(a, b) => write!(f, "({a} -> {b})"),
+        }
+    }
+}
+
+/// A store address `a` (Lua variables are mutable cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Addr(pub usize);
+
+/// A Terra function address `l` in the function store `F`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FnAddr(pub usize);
+
+/// A renamed (hygienic) Terra variable `x̂`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(pub usize);
+
+/// Lua Core expressions `e`.
+///
+/// ```text
+/// e ::= b | T | x | let x = e in e | x := e | e(e)
+///     | fun(x){e} | tdecl | ter e(x : e) : e { ė } | 'ė
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum LExp {
+    /// Base value `b` (modeled as an integer).
+    Base(i64),
+    /// Type literal `T`.
+    Type(TyCore),
+    /// Variable `x`.
+    Var(String),
+    /// `let x = e1 in e2`.
+    Let(String, Rc<LExp>, Rc<LExp>),
+    /// Assignment `x := e`.
+    Assign(String, Rc<LExp>),
+    /// Application `e1(e2)`.
+    App(Rc<LExp>, Rc<LExp>),
+    /// Lua function `fun(x){e}`.
+    Fun(String, Rc<LExp>),
+    /// Terra declaration `tdecl` — allocates an undefined function address.
+    TDecl,
+    /// Terra definition `ter e1(x : e2) : e3 { ė }` — fills a declaration.
+    TDefn {
+        /// Expression producing the function address (usually a `tdecl`).
+        target: Rc<LExp>,
+        /// Formal parameter name.
+        param: String,
+        /// Parameter type expression (evaluated in Lua).
+        param_ty: Rc<LExp>,
+        /// Return type expression.
+        ret_ty: Rc<LExp>,
+        /// The (unspecialized) body.
+        body: Rc<TExp>,
+    },
+    /// Quotation `'ė`.
+    Quote(Rc<TExp>),
+}
+
+/// Unspecialized Terra expressions `ė`.
+///
+/// ```text
+/// ė ::= b | x | ė(ė) | tlet x : e = ė in ė | [e]
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum TExp {
+    /// Base value.
+    Base(i64),
+    /// Variable (resolved through the shared environment at specialization).
+    Var(String),
+    /// Application.
+    App(Rc<TExp>, Rc<TExp>),
+    /// `tlet x : e = ė1 in ė2` (the type annotation is a Lua expression).
+    TLet {
+        /// Bound variable.
+        var: String,
+        /// Type annotation (Lua expression).
+        ty: Rc<LExp>,
+        /// Bound expression.
+        init: Rc<TExp>,
+        /// Body.
+        body: Rc<TExp>,
+    },
+    /// Escape `[e]`.
+    Esc(Rc<LExp>),
+}
+
+/// Specialized Terra expressions `ē` — no escapes remain; variables are
+/// hygienically renamed; function addresses may appear.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SExp {
+    /// Base value.
+    Base(i64),
+    /// Renamed variable `x̂`.
+    Var(Sym),
+    /// Application.
+    App(Rc<SExp>, Rc<SExp>),
+    /// `tlet x̂ : T = ē1 in ē2`.
+    TLet {
+        /// Bound (renamed) variable.
+        var: Sym,
+        /// Resolved Terra type.
+        ty: TyCore,
+        /// Bound expression.
+        init: Rc<SExp>,
+        /// Body.
+        body: Rc<SExp>,
+    },
+    /// Terra function address `l`.
+    FnAddr(FnAddr),
+}
+
+/// Lua values `v ::= b | l | T | (Γ, x, e) | ē`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Base value.
+    Base(i64),
+    /// Terra function address.
+    FnAddr(FnAddr),
+    /// Terra type.
+    Type(TyCore),
+    /// Lua closure `(Γ, x, e)`.
+    Closure(crate::eval::LEnv, String, Rc<LExp>),
+    /// Specialized Terra term (a quotation value or renamed variable).
+    Code(Rc<SExp>),
+}
+
+impl Value {
+    /// Short description for error messages.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            Value::Base(_) => "base value",
+            Value::FnAddr(_) => "terra function",
+            Value::Type(_) => "type",
+            Value::Closure(..) => "lua function",
+            Value::Code(_) => "terra code",
+        }
+    }
+}
+
+/// A Terra function entry in the store `F`: undefined (`⊥`) after `tdecl`,
+/// defined after `ter … { ē }`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FnEntry {
+    /// `⊥` — declared, not yet defined.
+    Undefined,
+    /// `(x̂, T1, T2, ē)`.
+    Defined {
+        /// Parameter symbol.
+        param: Sym,
+        /// Parameter type.
+        param_ty: TyCore,
+        /// Return type.
+        ret_ty: TyCore,
+        /// Specialized body.
+        body: Rc<SExp>,
+    },
+}
+
+// Convenience constructors, used heavily in tests.
+impl LExp {
+    /// `let x = e1 in e2`
+    pub fn let_(x: &str, e1: LExp, e2: LExp) -> LExp {
+        LExp::Let(x.to_string(), Rc::new(e1), Rc::new(e2))
+    }
+
+    /// `e1; e2` — sugar for `let _ = e1 in e2`.
+    pub fn seq(e1: LExp, e2: LExp) -> LExp {
+        LExp::let_("_", e1, e2)
+    }
+
+    /// `x`
+    pub fn var(x: &str) -> LExp {
+        LExp::Var(x.to_string())
+    }
+
+    /// `x := e`
+    pub fn assign(x: &str, e: LExp) -> LExp {
+        LExp::Assign(x.to_string(), Rc::new(e))
+    }
+
+    /// `e1(e2)`
+    pub fn app(f: LExp, a: LExp) -> LExp {
+        LExp::App(Rc::new(f), Rc::new(a))
+    }
+
+    /// `fun(x){e}`
+    pub fn fun(x: &str, body: LExp) -> LExp {
+        LExp::Fun(x.to_string(), Rc::new(body))
+    }
+
+    /// `ter target(param : pty) : rty { body }`
+    pub fn ter(target: LExp, param: &str, pty: LExp, rty: LExp, body: TExp) -> LExp {
+        LExp::TDefn {
+            target: Rc::new(target),
+            param: param.to_string(),
+            param_ty: Rc::new(pty),
+            ret_ty: Rc::new(rty),
+            body: Rc::new(body),
+        }
+    }
+
+    /// The base type literal `B`.
+    pub fn base_ty() -> LExp {
+        LExp::Type(TyCore::Base)
+    }
+}
+
+impl TExp {
+    /// `x`
+    pub fn var(x: &str) -> TExp {
+        TExp::Var(x.to_string())
+    }
+
+    /// `tlet x : ty = init in body`
+    pub fn tlet(x: &str, ty: LExp, init: TExp, body: TExp) -> TExp {
+        TExp::TLet {
+            var: x.to_string(),
+            ty: Rc::new(ty),
+            init: Rc::new(init),
+            body: Rc::new(body),
+        }
+    }
+
+    /// `[e]`
+    pub fn esc(e: LExp) -> TExp {
+        TExp::Esc(Rc::new(e))
+    }
+
+    /// `f(a)`
+    pub fn app(f: TExp, a: TExp) -> TExp {
+        TExp::App(Rc::new(f), Rc::new(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_types() {
+        let t = TyCore::Fn(Rc::new(TyCore::Base), Rc::new(TyCore::Base));
+        assert_eq!(t.to_string(), "(B -> B)");
+    }
+
+    #[test]
+    fn constructors_build_expected_shapes() {
+        let e = LExp::let_("x", LExp::Base(1), LExp::var("x"));
+        assert!(matches!(e, LExp::Let(ref n, _, _) if n == "x"));
+        let t = TExp::tlet("y", LExp::base_ty(), TExp::Base(0), TExp::var("y"));
+        assert!(matches!(t, TExp::TLet { .. }));
+    }
+}

@@ -1,0 +1,263 @@
+//! Typechecking of specialized Terra functions (paper Figure 4).
+//!
+//! A Terra function is typechecked right before it is run (rule LTAPP). If a
+//! function `l1` references another function `l2`, then `l2` is typechecked
+//! when `l1` is — rules TYFUN1/TYFUN2 thread a typing environment `F̂` of
+//! assumed function types so that mutually recursive components check
+//! without looping.
+
+use crate::eval::{CalcError, CalcResult, Machine};
+use crate::syntax::{FnAddr, FnEntry, SExp, Sym, TyCore};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Typechecks the connected component of Terra functions reachable from `l`
+/// (what must be verified before `l` can run).
+///
+/// # Errors
+///
+/// [`CalcError::Undefined`] if any reachable function is declared but not
+/// defined (a link error), or [`CalcError::Type`] on an ill-typed body.
+pub fn check_component(m: &Machine, l: FnAddr) -> CalcResult<()> {
+    let mut assumed: HashMap<FnAddr, (TyCore, TyCore)> = HashMap::new();
+    check_fn(m, l, &mut assumed)
+}
+
+/// TYFUN1/TYFUN2: check `l` under the assumptions `F̂`, extending them.
+fn check_fn(
+    m: &Machine,
+    l: FnAddr,
+    assumed: &mut HashMap<FnAddr, (TyCore, TyCore)>,
+) -> CalcResult<()> {
+    if assumed.contains_key(&l) {
+        return Ok(()); // already assumed (TYFUN1)
+    }
+    let FnEntry::Defined {
+        param,
+        param_ty,
+        ret_ty,
+        body,
+    } = &m.fstore[l.0]
+    else {
+        return Err(CalcError::Undefined(l));
+    };
+    // Assume l : T1 → T2, then check the body under that assumption.
+    assumed.insert(l, (param_ty.clone(), ret_ty.clone()));
+    let mut tenv = HashMap::new();
+    tenv.insert(*param, param_ty.clone());
+    let actual = infer(m, body, &tenv, assumed)?;
+    if &actual != ret_ty {
+        return Err(CalcError::Type(format!(
+            "function l{} returns {actual} but is annotated {ret_ty}",
+            l.0
+        )));
+    }
+    Ok(())
+}
+
+/// The typing judgment `Γ̂, F̂, F ⊢ ē : T`.
+fn infer(
+    m: &Machine,
+    e: &SExp,
+    tenv: &HashMap<Sym, TyCore>,
+    assumed: &mut HashMap<FnAddr, (TyCore, TyCore)>,
+) -> CalcResult<TyCore> {
+    match e {
+        SExp::Base(_) => Ok(TyCore::Base),
+        SExp::Var(s) => tenv
+            .get(s)
+            .cloned()
+            .ok_or_else(|| CalcError::Type(format!("unbound terra variable x{}", s.0))),
+        SExp::FnAddr(l) => {
+            // A reference forces the referee into the checked component.
+            check_fn(m, *l, assumed)?;
+            let (t1, t2) = assumed
+                .get(l)
+                .cloned()
+                .expect("check_fn inserted the assumption");
+            Ok(TyCore::Fn(Rc::new(t1), Rc::new(t2)))
+        }
+        SExp::TLet {
+            var,
+            ty,
+            init,
+            body,
+        } => {
+            let it = infer(m, init, tenv, assumed)?;
+            if &it != ty {
+                return Err(CalcError::Type(format!(
+                    "tlet annotated {ty} but initializer has type {it}"
+                )));
+            }
+            let mut tenv2 = tenv.clone();
+            tenv2.insert(*var, ty.clone());
+            infer(m, body, &tenv2, assumed)
+        }
+        SExp::App(f, a) => {
+            let ft = infer(m, f, tenv, assumed)?;
+            let at = infer(m, a, tenv, assumed)?;
+            let TyCore::Fn(t1, t2) = ft else {
+                return Err(CalcError::Type(format!(
+                    "application of non-function type {ft}"
+                )));
+            };
+            if *t1 != at {
+                return Err(CalcError::Type(format!(
+                    "argument has type {at}, expected {t1}"
+                )));
+            }
+            Ok((*t2).clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{LExp as L, TExp as T, Value};
+    use crate::eval::Machine;
+
+    fn run(prog: &L) -> (Machine, CalcResult<Value>) {
+        let mut m = Machine::new();
+        let r = m.run(prog);
+        (m, r)
+    }
+
+    #[test]
+    fn well_typed_identity_checks() {
+        let prog = L::let_(
+            "f",
+            L::ter(L::TDecl, "x", L::base_ty(), L::base_ty(), T::var("x")),
+            L::var("f"),
+        );
+        let (m, r) = run(&prog);
+        let Value::FnAddr(l) = r.unwrap() else { panic!() };
+        assert!(check_component(&m, l).is_ok());
+    }
+
+    #[test]
+    fn ill_typed_body_rejected() {
+        // ter f(x : B) : B { x(x) } — applying a base value.
+        let prog = L::let_(
+            "f",
+            L::ter(
+                L::TDecl,
+                "x",
+                L::base_ty(),
+                L::base_ty(),
+                T::app(T::var("x"), T::var("x")),
+            ),
+            L::var("f"),
+        );
+        let (m, r) = run(&prog);
+        let Value::FnAddr(l) = r.unwrap() else { panic!() };
+        assert!(matches!(check_component(&m, l), Err(CalcError::Type(_))));
+    }
+
+    #[test]
+    fn typechecking_is_lazy_definition_succeeds_anyway() {
+        // Defining an ill-typed function is fine; only *calling* it errors.
+        let prog = L::let_(
+            "f",
+            L::ter(
+                L::TDecl,
+                "x",
+                L::base_ty(),
+                L::base_ty(),
+                T::app(T::var("x"), T::Base(0)),
+            ),
+            L::app(L::var("f"), L::Base(1)),
+        );
+        let (_, r) = run(&prog);
+        assert!(matches!(r, Err(CalcError::Type(_))));
+    }
+
+    #[test]
+    fn reference_to_undefined_function_is_link_error() {
+        // let g = tdecl in let f = ter tdecl(x:B):B { g(x) } in f — checking
+        // f's component reaches g, which is ⊥.
+        let prog = L::let_(
+            "g",
+            L::TDecl,
+            L::let_(
+                "f",
+                L::ter(
+                    L::TDecl,
+                    "x",
+                    L::base_ty(),
+                    L::base_ty(),
+                    T::app(T::var("g"), T::var("x")),
+                ),
+                L::var("f"),
+            ),
+        );
+        let (m, r) = run(&prog);
+        let Value::FnAddr(l) = r.unwrap() else { panic!() };
+        assert!(matches!(check_component(&m, l), Err(CalcError::Undefined(_))));
+    }
+
+    #[test]
+    fn monotonicity_error_becomes_success_after_definition() {
+        // The paper: the result of typechecking changes monotonically from
+        // link-error to success as referenced functions are defined.
+        let mut m = Machine::new();
+        let g_decl = m.run(&L::TDecl).unwrap();
+        let Value::FnAddr(g) = g_decl else { panic!() };
+        // Bind g and define f referencing it.
+        let f_prog = L::let_(
+            "f",
+            L::ter(
+                L::TDecl,
+                "x",
+                L::base_ty(),
+                L::base_ty(),
+                T::app(T::esc(L::Base(0)), T::var("x")),
+            ),
+            L::var("f"),
+        );
+        // Build f manually so it references g's address.
+        let _ = f_prog;
+        let sym = crate::syntax::Sym(999);
+        m.fstore.push(FnEntry::Defined {
+            param: sym,
+            param_ty: TyCore::Base,
+            ret_ty: TyCore::Base,
+            body: std::rc::Rc::new(SExp::App(
+                std::rc::Rc::new(SExp::FnAddr(g)),
+                std::rc::Rc::new(SExp::Var(sym)),
+            )),
+        });
+        let f = FnAddr(m.fstore.len() - 1);
+        assert!(matches!(check_component(&m, f), Err(CalcError::Undefined(_))));
+        // Now define g: the same check succeeds — monotonic.
+        m.fstore[g.0] = FnEntry::Defined {
+            param: crate::syntax::Sym(998),
+            param_ty: TyCore::Base,
+            ret_ty: TyCore::Base,
+            body: std::rc::Rc::new(SExp::Var(crate::syntax::Sym(998))),
+        };
+        assert!(check_component(&m, f).is_ok());
+    }
+
+    #[test]
+    fn higher_order_terra_functions_type() {
+        // f : B→B defined; h(x:B):B { f(f(x)) } checks.
+        let prog = L::let_(
+            "f",
+            L::ter(L::TDecl, "x", L::base_ty(), L::base_ty(), T::var("x")),
+            L::let_(
+                "h",
+                L::ter(
+                    L::TDecl,
+                    "x",
+                    L::base_ty(),
+                    L::base_ty(),
+                    T::app(T::var("f"), T::app(T::var("f"), T::var("x"))),
+                ),
+                L::app(L::var("h"), L::Base(7)),
+            ),
+        );
+        let (_, r) = run(&prog);
+        assert_eq!(r, Ok(Value::Base(7)));
+    }
+}

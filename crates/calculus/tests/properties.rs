@@ -1,0 +1,207 @@
+//! Property tests for the Terra Core calculus: the §4.1 design claims hold
+//! on *randomly generated* programs, not just the paper's worked examples.
+
+use proptest::prelude::*;
+use terra_calculus::{CalcError, LExp, Machine, TExp, Value};
+
+/// A random pure Lua arithmetic-free expression tree that evaluates to a
+/// known base value: built from lets, variable references, and functions.
+fn known_value_program(depth: u32) -> impl Strategy<Value = (LExp, i64)> {
+    let leaf = any::<i8>().prop_map(|v| (LExp::Base(v as i64), v as i64));
+    leaf.prop_recursive(depth, 64, 4, |inner| {
+        prop_oneof![
+            // let x = e1 in (use x)
+            (inner.clone(), any::<u8>()).prop_map(|((e, v), n)| {
+                let name = format!("v{}", n % 8);
+                (LExp::let_(&name, e, LExp::var(&name)), v)
+            }),
+            // (fun(x){x})(e)
+            inner.clone().prop_map(|(e, v)| {
+                (LExp::app(LExp::fun("x", LExp::var("x")), e), v)
+            }),
+            // shadowing: let x = dead in let x = e in x
+            (inner.clone(), any::<i8>()).prop_map(|((e, v), dead)| {
+                (
+                    LExp::let_(
+                        "x",
+                        LExp::Base(dead as i64),
+                        LExp::let_("x", e, LExp::var("x")),
+                    ),
+                    v,
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lua evaluation is deterministic and respects lexical scoping.
+    #[test]
+    fn lua_scoping_respects_shadowing((prog, expect) in known_value_program(4)) {
+        let mut m = Machine::new();
+        prop_assert_eq!(m.run(&prog), Ok(Value::Base(expect)));
+    }
+
+    /// Staging a known value through a Terra identity-ish function preserves
+    /// it: ter tdecl(y : B) : B { [e] } applied to anything returns e's value.
+    #[test]
+    fn staging_roundtrip((prog, expect) in known_value_program(3)) {
+        let staged = LExp::let_(
+            "__stage_input",
+            prog,
+            LExp::let_(
+                "f",
+                LExp::ter(
+                    LExp::TDecl,
+                    "y",
+                    LExp::base_ty(),
+                    LExp::base_ty(),
+                    TExp::esc(LExp::var("__stage_input")),
+                ),
+                LExp::app(LExp::var("f"), LExp::Base(0)),
+            ),
+        );
+        let mut m = Machine::new();
+        prop_assert_eq!(m.run(&staged), Ok(Value::Base(expect)));
+    }
+
+    /// Eager specialization: mutating the captured variable after the
+    /// definition never changes the staged function's result.
+    #[test]
+    fn eager_specialization_is_mutation_proof(
+        (prog, expect) in known_value_program(3),
+        overwrite in any::<i8>(),
+    ) {
+        let staged = LExp::let_(
+            "cell",
+            prog,
+            LExp::let_(
+                "f",
+                LExp::ter(
+                    LExp::TDecl,
+                    "y",
+                    LExp::base_ty(),
+                    LExp::base_ty(),
+                    TExp::esc(LExp::var("cell")),
+                ),
+                LExp::seq(
+                    LExp::assign("cell", LExp::Base(overwrite as i64)),
+                    LExp::app(LExp::var("f"), LExp::Base(0)),
+                ),
+            ),
+        );
+        let mut m = Machine::new();
+        prop_assert_eq!(m.run(&staged), Ok(Value::Base(expect)));
+    }
+
+    /// Hygiene: a quote that binds `x` can never capture a function
+    /// parameter also named `x`, no matter what value flows through.
+    #[test]
+    fn hygiene_holds_for_all_values(arg in any::<i8>(), bound in any::<i8>()) {
+        // let q = fun(p){ 'tlet x : B = bound in [p] } in
+        // let f = ter tdecl(x : B) : B { [q(x)] } in f(arg) == arg
+        let prog = LExp::let_(
+            "q",
+            LExp::fun(
+                "p",
+                LExp::Quote(std::rc::Rc::new(TExp::tlet(
+                    "x",
+                    LExp::base_ty(),
+                    TExp::Base(bound as i64),
+                    TExp::esc(LExp::var("p")),
+                ))),
+            ),
+            LExp::let_(
+                "f",
+                LExp::ter(
+                    LExp::TDecl,
+                    "x",
+                    LExp::base_ty(),
+                    LExp::base_ty(),
+                    TExp::esc(LExp::app(LExp::var("q"), LExp::var("x"))),
+                ),
+                LExp::app(LExp::var("f"), LExp::Base(arg as i64)),
+            ),
+        );
+        let mut m = Machine::new();
+        prop_assert_eq!(m.run(&prog), Ok(Value::Base(arg as i64)));
+    }
+
+    /// Typechecking is monotonic: if a program typechecks and runs, defining
+    /// more functions afterwards cannot break it (definitions are
+    /// write-once, so re-running the same call still succeeds).
+    #[test]
+    fn definitions_never_invalidate_checked_functions(v in any::<i8>()) {
+        let mut m = Machine::new();
+        let f = m
+            .run(&LExp::ter(
+                LExp::TDecl,
+                "x",
+                LExp::base_ty(),
+                LExp::base_ty(),
+                TExp::var("x"),
+            ))
+            .unwrap();
+        let Value::FnAddr(l) = f else { panic!() };
+        prop_assert!(terra_calculus::check_component(&m, l).is_ok());
+        // Define an unrelated function; the original still checks and runs.
+        m.run(&LExp::ter(
+            LExp::TDecl,
+            "y",
+            LExp::base_ty(),
+            LExp::base_ty(),
+            TExp::Base(v as i64),
+        ))
+        .unwrap();
+        prop_assert!(terra_calculus::check_component(&m, l).is_ok());
+        prop_assert_eq!(
+            m.call_terra(l, terra_calculus::TVal::Base(v as i64)),
+            Ok(terra_calculus::TVal::Base(v as i64))
+        );
+    }
+
+    /// Separate evaluation: a compiled function's behaviour is a pure
+    /// function of its argument — repeated calls agree regardless of any Lua
+    /// activity in between.
+    #[test]
+    fn terra_results_are_reproducible(a in any::<i8>(), junk in any::<i8>()) {
+        let mut m = Machine::new();
+        let f = m
+            .run(&LExp::ter(
+                LExp::TDecl,
+                "x",
+                LExp::base_ty(),
+                LExp::base_ty(),
+                TExp::var("x"),
+            ))
+            .unwrap();
+        let Value::FnAddr(l) = f else { panic!() };
+        terra_calculus::check_component(&m, l).unwrap();
+        let r1 = m.call_terra(l, terra_calculus::TVal::Base(a as i64));
+        // Arbitrary Lua evaluation in between.
+        m.run(&LExp::let_("z", LExp::Base(junk as i64), LExp::var("z")))
+            .unwrap();
+        let r2 = m.call_terra(l, terra_calculus::TVal::Base(a as i64));
+        prop_assert_eq!(r1, r2);
+    }
+}
+
+#[test]
+fn escapes_of_non_terms_are_rejected_not_miscompiled() {
+    // A Lua closure escaping into Terra code must be a BadSplice error.
+    let prog = LExp::let_(
+        "f",
+        LExp::fun("x", LExp::var("x")),
+        LExp::ter(
+            LExp::TDecl,
+            "y",
+            LExp::base_ty(),
+            LExp::base_ty(),
+            TExp::esc(LExp::var("f")),
+        ),
+    );
+    let mut m = Machine::new();
+    assert!(matches!(m.run(&prog), Err(CalcError::BadSplice(_))));
+}

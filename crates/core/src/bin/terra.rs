@@ -1,0 +1,98 @@
+//! A command-line driver for combined Lua-Terra programs, in the spirit of
+//! the real system's `terra` executable:
+//!
+//! ```text
+//! terra script.t [args...]     run a script (args in the global `arg` table)
+//! terra -e 'code'              run a one-liner
+//! terra                        start a tiny REPL
+//! ```
+
+use std::io::{BufRead, Write};
+use terra_core::{LuaValue, Terra};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut t = Terra::new();
+    match argv.first().map(|s| s.as_str()) {
+        Some("-e") => {
+            let code = argv.get(1).cloned().unwrap_or_default();
+            run(&mut t, &code, "(command line)");
+        }
+        Some("-h") | Some("--help") => {
+            eprintln!("usage: terra [script.t [args...] | -e 'code']");
+        }
+        Some(path) => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("terra: cannot open {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            // Expose script arguments as the `arg` table, like Lua.
+            let args_tbl = terra_core::Table::new();
+            let tref = std::rc::Rc::new(std::cell::RefCell::new(args_tbl));
+            for (i, a) in argv.iter().skip(1).enumerate() {
+                tref.borrow_mut().set(
+                    LuaValue::Number((i + 1) as f64),
+                    LuaValue::str(a.as_str()),
+                );
+            }
+            t.set_global("arg", LuaValue::Table(tref));
+            run(&mut t, &src, path);
+        }
+        None => repl(&mut t),
+    }
+}
+
+fn run(t: &mut Terra, src: &str, what: &str) {
+    match t.exec(src) {
+        Ok(values) => {
+            for v in values {
+                match t.interp().tostring_value(&v, terra_core::span_synthetic()) {
+                    Ok(s) => println!("{s}"),
+                    Err(_) => println!("{}", v.type_name()),
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("terra: {what}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn repl(t: &mut Terra) {
+    eprintln!("terra-rs REPL — staged Lua-Terra; end a statement, or prefix '=' to evaluate.");
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        eprint!("> ");
+        let _ = std::io::stderr().flush();
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let chunk = if let Some(rest) = trimmed.strip_prefix('=') {
+            format!("return {rest}")
+        } else {
+            trimmed.to_string()
+        };
+        match t.exec(&chunk) {
+            Ok(values) => {
+                for v in values {
+                    if let Ok(s) = t.interp().tostring_value(&v, terra_core::span_synthetic()) {
+                        println!("{s}");
+                    }
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! # terra-core
+//!
+//! The public facade of **terra-rs**, a from-scratch Rust reproduction of
+//! *Terra: A Multi-Stage Language for High-Performance Computing* (DeVito,
+//! Hegarty, Aiken, Hanrahan, Vitek — PLDI 2013).
+//!
+//! Terra is a low-level, statically-typed, C-like language that is *staged*
+//! from Lua. [`Terra`] is an embedded session: feed it combined Lua-Terra
+//! source, and the Lua side runs immediately while `terra` definitions are
+//! eagerly specialized, lazily typechecked on first call, compiled to
+//! bytecode, and executed on a register VM with its own linear memory —
+//! entirely separate from the meta-language, as the paper requires.
+//!
+//! ```
+//! use terra_core::Terra;
+//! # fn main() -> Result<(), terra_core::LuaError> {
+//! let mut t = Terra::new();
+//! t.exec(
+//!     r#"
+//!     function make_adder(k)                 -- Lua: the meta-program
+//!         return terra(x : int) : int       -- Terra: staged low-level code
+//!             return x + k                  -- k is spliced as a constant
+//!         end
+//!     end
+//!     add10 = make_adder(10)
+//!     "#,
+//! )?;
+//! assert_eq!(t.call_i64("add10", &[32.0])?, 42);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! For hot benchmarking loops, [`TerraFn`] offers a pre-resolved handle that
+//! skips name lookup and Lua value boxing on every call.
+
+#![warn(missing_docs)]
+
+use std::rc::Rc;
+
+pub use terra_eval::{
+    EvalResult, Interp, LuaError, LuaValue, Phase, SymbolRef, Table, TableRef,
+};
+
+/// A synthetic (zero-width) source span for host-initiated operations.
+pub fn span_synthetic() -> terra_syntax::Span {
+    terra_syntax::Span::synthetic()
+}
+pub use terra_ir::{FuncId, FuncTy, ScalarTy, Ty};
+pub use terra_vm::{Trap, Value};
+
+/// An embedded Lua-Terra session.
+///
+/// Owns the interpreter, the staged program, and the Terra address space.
+pub struct Terra {
+    interp: Interp,
+}
+
+impl Default for Terra {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Terra {
+    /// Creates a session with the standard library (`terralib`, the
+    /// simulated C headers, primitive types) installed.
+    pub fn new() -> Self {
+        Terra {
+            interp: Interp::new(),
+        }
+    }
+
+    /// Runs a combined Lua-Terra chunk, returning its `return` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns syntax errors, Lua runtime errors, specialization errors
+    /// (eager, at definition), and type/link errors (lazy, at first call),
+    /// each tagged with its phase as in §4.1 of the paper.
+    pub fn exec(&mut self, src: &str) -> EvalResult<Vec<LuaValue>> {
+        self.interp.exec(src)
+    }
+
+    /// Registers a module that `require("name")` will load.
+    pub fn register_module(&mut self, name: &str, source: &str) {
+        self.interp
+            .module_sources
+            .insert(name.to_string(), source.to_string());
+    }
+
+    /// Captures `print`/`printf` output instead of writing to stdout.
+    pub fn capture_output(&mut self) {
+        self.interp.capture_output();
+    }
+
+    /// Takes everything printed since the last call.
+    pub fn take_output(&mut self) -> String {
+        self.interp.take_output()
+    }
+
+    /// Reads a global variable.
+    pub fn global(&self, name: &str) -> LuaValue {
+        self.interp.global(name)
+    }
+
+    /// Sets a global variable.
+    pub fn set_global(&mut self, name: &str, v: LuaValue) {
+        self.interp.set_global(name, v);
+    }
+
+    /// Calls a global (Lua or Terra) function with numeric arguments and
+    /// expects a numeric result.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the global is not callable, or on any staging/runtime error.
+    pub fn call_f64(&mut self, name: &str, args: &[f64]) -> EvalResult<f64> {
+        let f = self.interp.global(name);
+        let argv: Vec<LuaValue> = args.iter().map(|n| LuaValue::Number(*n)).collect();
+        let out = self
+            .interp
+            .call_value(f, argv, terra_syntax::Span::synthetic())?;
+        match out.first() {
+            Some(LuaValue::Number(n)) => Ok(*n),
+            Some(LuaValue::Bool(b)) => Ok(*b as i64 as f64),
+            other => Err(LuaError::msg(format!(
+                "'{name}' returned {:?}, expected a number",
+                other.map(|v| v.type_name())
+            ))),
+        }
+    }
+
+    /// Like [`Terra::call_f64`], truncating to an integer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Terra::call_f64`].
+    pub fn call_i64(&mut self, name: &str, args: &[f64]) -> EvalResult<i64> {
+        Ok(self.call_f64(name, args)? as i64)
+    }
+
+    /// Resolves a global Terra function into a fast-call handle, compiling
+    /// it (and its connected component) now.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the global is not a Terra function or does not compile.
+    pub fn function(&mut self, name: &str) -> EvalResult<TerraFn> {
+        let LuaValue::TerraFunc(id) = self.interp.global(name) else {
+            return Err(LuaError::msg(format!(
+                "global '{name}' is not a terra function"
+            )));
+        };
+        terra_eval::typecheck::ensure_compiled(&mut self.interp, id, terra_syntax::Span::synthetic())?;
+        let sig = self
+            .program()
+            .function(id)
+            .expect("just compiled")
+            .ty
+            .clone();
+        Ok(TerraFn {
+            id,
+            sig: Rc::new(sig),
+        })
+    }
+
+    /// Invokes a pre-resolved Terra function with raw FFI values — the
+    /// low-overhead path used by the benchmark harness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM traps (out-of-bounds, division by zero, …).
+    pub fn invoke(&mut self, f: &TerraFn, args: &[Value]) -> Result<Value, Trap> {
+        let ctx = &mut self.interp.ctx;
+        ctx.vm.call(&mut ctx.program, f.id, args)
+    }
+
+    /// Allocates `bytes` of Terra memory (like C `malloc`), returning the
+    /// address.
+    pub fn malloc(&mut self, bytes: u64) -> u64 {
+        self.interp.ctx.program.memory.malloc(bytes)
+    }
+
+    /// Frees Terra memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails on addresses not returned by [`Terra::malloc`].
+    pub fn free(&mut self, addr: u64) -> Result<(), Trap> {
+        self.interp.ctx.program.memory.free(addr)?;
+        Ok(())
+    }
+
+    /// Writes an `f64` slice into Terra memory at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds (allocate first).
+    pub fn write_f64s(&mut self, addr: u64, data: &[f64]) {
+        let mem = &mut self.interp.ctx.program.memory;
+        for (i, v) in data.iter().enumerate() {
+            mem.store_f64(addr + 8 * i as u64, *v)
+                .expect("write_f64s out of bounds");
+        }
+    }
+
+    /// Reads `n` `f64`s from Terra memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_f64s(&self, addr: u64, n: usize) -> Vec<f64> {
+        let mem = &self.interp.ctx.program.memory;
+        (0..n)
+            .map(|i| {
+                mem.load_f64(addr + 8 * i as u64)
+                    .expect("read_f64s out of bounds")
+            })
+            .collect()
+    }
+
+    /// Writes an `f32` slice into Terra memory at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write_f32s(&mut self, addr: u64, data: &[f32]) {
+        let mem = &mut self.interp.ctx.program.memory;
+        for (i, v) in data.iter().enumerate() {
+            mem.store_f32(addr + 4 * i as u64, *v)
+                .expect("write_f32s out of bounds");
+        }
+    }
+
+    /// Reads `n` `f32`s from Terra memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_f32s(&self, addr: u64, n: usize) -> Vec<f32> {
+        let mem = &self.interp.ctx.program.memory;
+        (0..n)
+            .map(|i| {
+                mem.load_f32(addr + 4 * i as u64)
+                    .expect("read_f32s out of bounds")
+            })
+            .collect()
+    }
+
+    /// Direct access to the underlying interpreter, for advanced embedding.
+    pub fn interp(&mut self) -> &mut Interp {
+        &mut self.interp
+    }
+
+    /// The compiled program (function table + memory).
+    pub fn program(&self) -> &terra_vm::Program {
+        &self.interp.ctx.program
+    }
+}
+
+/// A resolved, compiled Terra function, callable without name lookup.
+#[derive(Debug, Clone)]
+pub struct TerraFn {
+    id: FuncId,
+    sig: Rc<FuncTy>,
+}
+
+impl TerraFn {
+    /// The function's signature.
+    pub fn signature(&self) -> &FuncTy {
+        &self.sig
+    }
+
+    /// The function id in the program's function table.
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_quickstart() {
+        let mut t = Terra::new();
+        t.exec("terra sq(x : double) : double return x * x end")
+            .unwrap();
+        assert_eq!(t.call_f64("sq", &[1.5]).unwrap(), 2.25);
+    }
+
+    #[test]
+    fn fast_call_handles() {
+        let mut t = Terra::new();
+        t.exec("terra addmul(a : double, b : double, c : double) : double return a * b + c end")
+            .unwrap();
+        let f = t.function("addmul").unwrap();
+        assert_eq!(f.signature().params.len(), 3);
+        let r = t
+            .invoke(
+                &f,
+                &[Value::Float(3.0), Value::Float(4.0), Value::Float(5.0)],
+            )
+            .unwrap();
+        assert_eq!(r, Value::Float(17.0));
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let mut t = Terra::new();
+        let buf = t.malloc(8 * 4);
+        t.write_f64s(buf, &[1.0, 2.0, 3.0, 4.0]);
+        t.exec("terra sum4(p : &double) : double return p[0] + p[1] + p[2] + p[3] end")
+            .unwrap();
+        let f = t.function("sum4").unwrap();
+        let r = t.invoke(&f, &[Value::Ptr(buf)]).unwrap();
+        assert_eq!(r, Value::Float(10.0));
+        t.free(buf).unwrap();
+    }
+
+    #[test]
+    fn modules_via_require() {
+        let mut t = Terra::new();
+        t.register_module("shapes", "return { sides = function() return 4 end }");
+        t.exec("local m = require 'shapes' function f() return m.sides() end")
+            .unwrap();
+        assert_eq!(t.call_i64("f", &[]).unwrap(), 4);
+    }
+
+    #[test]
+    fn captured_output() {
+        let mut t = Terra::new();
+        t.capture_output();
+        t.exec("print('staged', 1 + 1)").unwrap();
+        assert_eq!(t.take_output(), "staged\t2\n");
+    }
+
+    #[test]
+    fn errors_carry_phase() {
+        let mut t = Terra::new();
+        let err = t.exec("terra f() : int return x_undefined end").unwrap_err();
+        assert_eq!(err.phase, Phase::Specialize);
+    }
+}

@@ -1,0 +1,113 @@
+//! The shared lexical environment.
+//!
+//! One environment chain serves both Lua evaluation and Terra
+//! specialization — the paper's *shared lexical environment* (`Γ` in Terra
+//! Core). During specialization, Terra-introduced variables are bound here
+//! as [`LuaValue::Symbol`]s, so escaped Lua code sees them, and Lua
+//! variables are visible to Terra code without explicit escapes.
+
+use crate::value::LuaValue;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use terra_syntax::Name;
+
+#[derive(Debug, Default)]
+struct Scope {
+    vars: HashMap<Name, LuaValue>,
+    parent: Option<Env>,
+}
+
+/// A lexical scope; cheap to clone (shared).
+#[derive(Debug, Clone, Default)]
+pub struct Env(Rc<RefCell<Scope>>);
+
+impl Env {
+    /// Creates a root scope.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Creates a child scope.
+    pub fn child(&self) -> Env {
+        Env(Rc::new(RefCell::new(Scope {
+            vars: HashMap::new(),
+            parent: Some(self.clone()),
+        })))
+    }
+
+    /// Looks a name up through the scope chain.
+    pub fn get(&self, name: &str) -> Option<LuaValue> {
+        let scope = self.0.borrow();
+        if let Some(v) = scope.vars.get(name) {
+            return Some(v.clone());
+        }
+        scope.parent.as_ref().and_then(|p| p.get(name))
+    }
+
+    /// Declares a name in *this* scope (Lua `local`).
+    pub fn declare(&self, name: Name, value: LuaValue) {
+        self.0.borrow_mut().vars.insert(name, value);
+    }
+
+    /// Assigns to an existing binding up the chain; returns `false` if the
+    /// name is not bound anywhere (caller then writes the global scope).
+    pub fn assign(&self, name: &str, value: LuaValue) -> bool {
+        let mut scope = self.0.borrow_mut();
+        if let Some(slot) = scope.vars.get_mut(name) {
+            *slot = value;
+            return true;
+        }
+        match &scope.parent {
+            Some(p) => p.assign(name, value),
+            None => false,
+        }
+    }
+
+    /// Whether two env handles are the same scope.
+    pub fn ptr_eq(&self, other: &Env) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// The root (global) scope of this chain.
+    pub fn root(&self) -> Env {
+        let parent = self.0.borrow().parent.clone();
+        match parent {
+            Some(p) => p.root(),
+            None => self.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexical_lookup_and_shadowing() {
+        let root = Env::new();
+        root.declare("x".into(), LuaValue::Number(1.0));
+        let inner = root.child();
+        assert!(matches!(inner.get("x"), Some(LuaValue::Number(n)) if n == 1.0));
+        inner.declare("x".into(), LuaValue::Number(2.0));
+        assert!(matches!(inner.get("x"), Some(LuaValue::Number(n)) if n == 2.0));
+        assert!(matches!(root.get("x"), Some(LuaValue::Number(n)) if n == 1.0));
+    }
+
+    #[test]
+    fn assignment_walks_up() {
+        let root = Env::new();
+        root.declare("x".into(), LuaValue::Number(1.0));
+        let inner = root.child().child();
+        assert!(inner.assign("x", LuaValue::Number(5.0)));
+        assert!(matches!(root.get("x"), Some(LuaValue::Number(n)) if n == 5.0));
+        assert!(!inner.assign("missing", LuaValue::Nil));
+    }
+
+    #[test]
+    fn root_finds_global_scope() {
+        let root = Env::new();
+        let deep = root.child().child().child();
+        assert!(deep.root().ptr_eq(&root));
+    }
+}

@@ -1,0 +1,1373 @@
+//! The Lua interpreter (the `→L` judgment of Terra Core).
+//!
+//! A tree-walking evaluator for the Lua dialect, extended with the Terra
+//! staging constructs: evaluating a `terra` definition eagerly specializes
+//! it (LTDEFN), evaluating a `quote` specializes a quotation (LTQUOTE), and
+//! calling a Terra function from Lua triggers lazy typechecking +
+//! compilation and crosses the FFI boundary (LTAPP).
+
+use crate::context::Context;
+use crate::env::Env;
+use crate::error::{EvalResult, LuaError, Phase};
+use crate::reflect;
+use crate::spec::{SpecFunc, Specializer};
+use crate::value::{LuaClosure, LuaValue, Table, TableRef};
+use std::cell::RefCell;
+use std::rc::Rc;
+use terra_ir::{FuncId, FuncTy, ScalarTy, StructId, Ty};
+use terra_syntax::{
+    BinOp, Block, LuaExpr, LuaStmt, Name, Span, StructEntry, TableItem, TerraFuncDef, UnOp,
+};
+use terra_vm::{OutputSink, Value};
+
+/// Control flow escaping a Lua block.
+pub enum Flow {
+    /// Fell through.
+    Normal,
+    /// `break`
+    Break,
+    /// `return v1, v2, …`
+    Return(Vec<LuaValue>),
+}
+
+/// Lua call-depth limit. Debug builds have much larger interpreter frames,
+/// so the guard must trip well before the host thread's stack runs out.
+const MAX_DEPTH: usize = if cfg!(debug_assertions) { 48 } else { 200 };
+
+/// The combined Lua-Terra interpreter and staging engine.
+pub struct Interp {
+    /// Shared staging state (types, program, VM, function metadata).
+    pub ctx: Context,
+    /// The global environment.
+    pub globals: Env,
+    depth: usize,
+    /// Registered modules for `require`.
+    pub modules: std::collections::HashMap<String, LuaValue>,
+    /// Sources registered for `require` but not yet loaded.
+    pub module_sources: std::collections::HashMap<String, String>,
+}
+
+impl Default for Interp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interp {
+    /// Creates an interpreter with the standard library installed.
+    pub fn new() -> Self {
+        let mut interp = Interp {
+            ctx: Context::new(),
+            globals: Env::new(),
+            depth: 0,
+            modules: std::collections::HashMap::new(),
+            module_sources: std::collections::HashMap::new(),
+        };
+        crate::stdlib::install(&mut interp);
+        interp
+    }
+
+    /// Captures Terra/Lua `print`/`printf` output instead of writing stdout.
+    pub fn capture_output(&mut self) {
+        self.ctx.program.output = OutputSink::Capture(String::new());
+    }
+
+    /// Takes captured output.
+    pub fn take_output(&mut self) -> String {
+        self.ctx.program.take_output()
+    }
+
+    /// Parses and evaluates a combined Lua-Terra chunk. Returns the chunk's
+    /// return values (empty if it does not return).
+    ///
+    /// # Errors
+    ///
+    /// Propagates syntax errors, Lua runtime errors, and staging errors.
+    pub fn exec(&mut self, src: &str) -> EvalResult<Vec<LuaValue>> {
+        let block = terra_syntax::parse(src)?;
+        let env = self.globals.child();
+        match self.eval_block(&block, &env)? {
+            Flow::Return(vs) => Ok(vs),
+            _ => Ok(Vec::new()),
+        }
+    }
+
+    /// Looks up a global variable.
+    pub fn global(&self, name: &str) -> LuaValue {
+        self.globals.get(name).unwrap_or(LuaValue::Nil)
+    }
+
+    /// Sets a global variable.
+    pub fn set_global(&mut self, name: &str, v: LuaValue) {
+        self.globals.declare(Rc::from(name), v);
+    }
+
+    // -----------------------------------------------------------------------
+    // Statements
+    // -----------------------------------------------------------------------
+
+    /// Evaluates a block in a fresh child scope.
+    pub fn eval_block(&mut self, block: &Block, env: &Env) -> EvalResult<Flow> {
+        for stmt in &block.stmts {
+            match self.eval_stmt(stmt, env)? {
+                Flow::Normal => {}
+                flow => return Ok(flow),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn eval_stmt(&mut self, stmt: &LuaStmt, env: &Env) -> EvalResult<Flow> {
+        match stmt {
+            LuaStmt::Local { names, exprs, span: _ } => {
+                let values = self.eval_exprlist(exprs, env, names.len())?;
+                for (n, v) in names.iter().zip(values) {
+                    env.declare(n.clone(), v);
+                }
+                Ok(Flow::Normal)
+            }
+            LuaStmt::Assign { targets, exprs, .. } => {
+                let values = self.eval_exprlist(exprs, env, targets.len())?;
+                for (t, v) in targets.iter().zip(values) {
+                    self.assign_target(t, v, env)?;
+                }
+                Ok(Flow::Normal)
+            }
+            LuaStmt::Expr(e) => {
+                self.eval_expr_multi(e, env)?;
+                Ok(Flow::Normal)
+            }
+            LuaStmt::Do(b) => {
+                let child = env.child();
+                self.eval_block(b, &child)
+            }
+            LuaStmt::While { cond, body } => {
+                loop {
+                    if !self.eval_expr(cond, env)?.truthy() {
+                        break;
+                    }
+                    let child = env.child();
+                    match self.eval_block(body, &child)? {
+                        Flow::Normal => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            LuaStmt::Repeat { body, cond } => {
+                loop {
+                    let child = env.child();
+                    match self.eval_block(body, &child)? {
+                        Flow::Normal => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                    if self.eval_expr(cond, &child)?.truthy() {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            LuaStmt::If { arms, else_body } => {
+                for (cond, body) in arms {
+                    if self.eval_expr(cond, env)?.truthy() {
+                        let child = env.child();
+                        return self.eval_block(body, &child);
+                    }
+                }
+                if let Some(body) = else_body {
+                    let child = env.child();
+                    return self.eval_block(body, &child);
+                }
+                Ok(Flow::Normal)
+            }
+            LuaStmt::NumericFor {
+                var,
+                start,
+                stop,
+                step,
+                body,
+            } => {
+                let start = self.expect_number(start, env)?;
+                let stop = self.expect_number(stop, env)?;
+                let step = match step {
+                    Some(e) => self.expect_number(e, env)?,
+                    None => 1.0,
+                };
+                if step == 0.0 {
+                    return Err(LuaError::msg("'for' step is zero"));
+                }
+                let mut i = start;
+                while (step > 0.0 && i <= stop) || (step < 0.0 && i >= stop) {
+                    let child = env.child();
+                    child.declare(var.clone(), LuaValue::Number(i));
+                    match self.eval_block(body, &child)? {
+                        Flow::Normal => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                    i += step;
+                }
+                Ok(Flow::Normal)
+            }
+            LuaStmt::GenericFor { vars, exprs, body } => {
+                let mut vals = self.eval_exprlist(exprs, env, 3)?;
+                let ctrl0 = vals.pop().unwrap_or(LuaValue::Nil);
+                let state = vals.pop().unwrap_or(LuaValue::Nil);
+                let func = vals.pop().unwrap_or(LuaValue::Nil);
+                let mut control = ctrl0;
+                loop {
+                    let rets = self.call_value(
+                        func.clone(),
+                        vec![state.clone(), control.clone()],
+                        Span::synthetic(),
+                    )?;
+                    let first = rets.first().cloned().unwrap_or(LuaValue::Nil);
+                    if matches!(first, LuaValue::Nil) {
+                        break;
+                    }
+                    control = first.clone();
+                    let child = env.child();
+                    for (i, v) in vars.iter().enumerate() {
+                        child.declare(v.clone(), rets.get(i).cloned().unwrap_or(LuaValue::Nil));
+                    }
+                    match self.eval_block(body, &child)? {
+                        Flow::Normal => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            LuaStmt::FunctionDecl {
+                path,
+                method,
+                body,
+                span,
+            } => {
+                let closure = LuaValue::Function(Rc::new(LuaClosure {
+                    body: body.clone(),
+                    env: env.clone(),
+                    name: RefCell::new(Rc::from(path.join(".").as_str())),
+                }));
+                // Method declarations add an implicit `self` parameter.
+                let closure = if method.is_some() {
+                    let mut fb = (**body).clone();
+                    let mut params = vec![Rc::from("self") as Name];
+                    params.extend(fb.params);
+                    fb.params = params;
+                    LuaValue::Function(Rc::new(LuaClosure {
+                        body: Rc::new(fb),
+                        env: env.clone(),
+                        name: RefCell::new(Rc::from(
+                            format!("{}:{}", path.join("."), method.as_deref().unwrap_or(""))
+                                .as_str(),
+                        )),
+                    }))
+                } else {
+                    closure
+                };
+                let full: Vec<Name> = match method {
+                    Some(m) => path.iter().cloned().chain([m.clone()]).collect(),
+                    None => path.to_vec(),
+                };
+                self.assign_path(&full, closure, env, *span)?;
+                Ok(Flow::Normal)
+            }
+            LuaStmt::LocalFunction { name, body } => {
+                // Declare first so the body can recurse.
+                env.declare(name.clone(), LuaValue::Nil);
+                let closure = LuaValue::Function(Rc::new(LuaClosure {
+                    body: body.clone(),
+                    env: env.clone(),
+                    name: RefCell::new(name.clone()),
+                }));
+                env.assign(name, closure);
+                Ok(Flow::Normal)
+            }
+            LuaStmt::Return { exprs, .. } => {
+                let vs = self.eval_exprlist_exact(exprs, env)?;
+                Ok(Flow::Return(vs))
+            }
+            LuaStmt::Break(_) => Ok(Flow::Break),
+            LuaStmt::TerraDef {
+                path,
+                method,
+                def,
+                is_local,
+                span,
+            } => {
+                self.eval_terra_def(path, method.as_ref(), def, *is_local, env, *span)?;
+                Ok(Flow::Normal)
+            }
+            LuaStmt::StructDef {
+                path,
+                entries,
+                is_local,
+                span,
+            } => {
+                let name: Rc<str> = Rc::from(path.join(".").as_str());
+                let ty = self.eval_struct_def(&name, entries, env)?;
+                if *is_local && path.len() == 1 {
+                    env.declare(path[0].clone(), LuaValue::Type(ty));
+                } else {
+                    self.assign_path(path, LuaValue::Type(ty), env, *span)?;
+                }
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn assign_target(&mut self, target: &LuaExpr, v: LuaValue, env: &Env) -> EvalResult<()> {
+        match target {
+            LuaExpr::Var(n, _) => {
+                if !env.assign(n, v.clone()) {
+                    // Undeclared: create a global.
+                    self.globals.declare(n.clone(), v);
+                }
+                Ok(())
+            }
+            LuaExpr::Index { obj, index, span } => {
+                let o = self.eval_expr(obj, env)?;
+                let k = self.eval_expr(index, env)?;
+                self.setindex_value(&o, k, v, *span)
+            }
+            other => Err(LuaError::at("cannot assign to this expression", other.span())),
+        }
+    }
+
+    fn assign_path(
+        &mut self,
+        path: &[Name],
+        v: LuaValue,
+        env: &Env,
+        span: Span,
+    ) -> EvalResult<()> {
+        if path.len() == 1 {
+            if !env.assign(&path[0], v.clone()) {
+                self.globals.declare(path[0].clone(), v);
+            }
+            return Ok(());
+        }
+        let mut obj = env
+            .get(&path[0])
+            .ok_or_else(|| LuaError::at(format!("undefined variable '{}'", path[0]), span))?;
+        for part in &path[1..path.len() - 1] {
+            obj = self.index_value(&obj, &LuaValue::Str(part.clone()), span)?;
+        }
+        self.setindex_value(&obj, LuaValue::Str(path[path.len() - 1].clone()), v, span)
+    }
+
+    // -----------------------------------------------------------------------
+    // Terra definitions (LTDECL / LTDEFN / struct declarations)
+    // -----------------------------------------------------------------------
+
+    /// Declares-and/or-defines a named `terra` function or method.
+    fn eval_terra_def(
+        &mut self,
+        path: &[Name],
+        method: Option<&Name>,
+        def: &Rc<TerraFuncDef>,
+        is_local: bool,
+        env: &Env,
+        span: Span,
+    ) -> EvalResult<()> {
+        if let Some(mname) = method {
+            // `terra Type:method(...)` — sugar for Type.methods.method with
+            // implicit `self : &Type`.
+            let mut obj = env
+                .get(&path[0])
+                .ok_or_else(|| LuaError::at(format!("undefined variable '{}'", path[0]), span))?;
+            for part in &path[1..] {
+                obj = self.index_value(&obj, &LuaValue::Str(part.clone()), span)?;
+            }
+            let LuaValue::Type(Ty::Struct(sid)) = obj else {
+                return Err(LuaError::at(
+                    "method definitions require a struct type",
+                    span,
+                ));
+            };
+            let fname: Rc<str> = Rc::from(format!("{}:{}", path.join("."), mname).as_str());
+            let id = self.ctx.declare_func(fname.clone());
+            let self_ty = Ty::Struct(sid).ptr_to();
+            let spec = self.specialize_function(def, env, fname, Some(self_ty))?;
+            self.finish_define(id, spec, span)?;
+            self.ctx.structs[sid.0 as usize]
+                .methods
+                .borrow_mut()
+                .set_str(mname, LuaValue::TerraFunc(id));
+            return Ok(());
+        }
+
+        let fname: Rc<str> = Rc::from(path.join(".").as_str());
+        // If the name is already bound to a declared-but-undefined Terra
+        // function, this definition fills it in (mutual recursion support).
+        let existing = if path.len() == 1 {
+            env.get(&path[0])
+        } else {
+            let mut obj = env.get(&path[0]);
+            if let Some(mut o) = obj.take() {
+                for part in &path[1..] {
+                    o = self.index_value(&o, &LuaValue::Str(part.clone()), span)?;
+                }
+                Some(o)
+            } else {
+                None
+            }
+        };
+        let id = match existing {
+            Some(LuaValue::TerraFunc(id)) if self.ctx.funcs[id.0 as usize].spec.is_none() => id,
+            _ => {
+                let id = self.ctx.declare_func(fname.clone());
+                if is_local && path.len() == 1 {
+                    env.declare(path[0].clone(), LuaValue::TerraFunc(id));
+                } else {
+                    self.assign_path(path, LuaValue::TerraFunc(id), env, span)?;
+                }
+                id
+            }
+        };
+        // Bind before specializing so the body can refer to itself.
+        let spec = self.specialize_function(def, env, fname, None)?;
+        self.finish_define(id, spec, span)
+    }
+
+    fn finish_define(&mut self, id: FuncId, spec: SpecFunc, span: Span) -> EvalResult<()> {
+        if !self.ctx.define_func(id, Rc::new(spec)) {
+            return Err(LuaError::at(
+                format!(
+                    "terra function '{}' is already defined (definitions are write-once)",
+                    self.ctx.funcs[id.0 as usize].name
+                ),
+                span,
+            )
+            .phase(Phase::Specialize));
+        }
+        Ok(())
+    }
+
+    fn specialize_function(
+        &mut self,
+        def: &TerraFuncDef,
+        env: &Env,
+        name: Rc<str>,
+        implicit_self: Option<Ty>,
+    ) -> EvalResult<SpecFunc> {
+        if let Some(self_ty) = implicit_self {
+            // Prepend `self` by specializing in an env where `self` is bound
+            // to a fresh symbol, and adding it to the parameter list.
+            let menv = env.child();
+            let sym = self.ctx.fresh_symbol("self", Some(self_ty.clone()));
+            menv.declare(Rc::from("self"), LuaValue::Symbol(sym.clone()));
+            let mut spec = Specializer::new(self, menv).function(def, name)?;
+            spec.params.insert(0, (sym, self_ty));
+            Ok(spec)
+        } else {
+            Specializer::new(self, env.clone()).function(def, name)
+        }
+    }
+
+    /// Defines an anonymous `terra` function value (used for expressions and
+    /// by the specializer for nested literals).
+    pub fn define_terra_function(
+        &mut self,
+        def: &TerraFuncDef,
+        env: &Env,
+        name: Rc<str>,
+    ) -> EvalResult<FuncId> {
+        let id = self.ctx.declare_func(name.clone());
+        let spec = self.specialize_function(def, env, name, None)?;
+        self.finish_define(id, spec, def.span)?;
+        Ok(id)
+    }
+
+    /// Creates a struct type from declared entries, recording them in the
+    /// reflection `entries` table (layout is finalized lazily, on first use).
+    fn eval_struct_def(
+        &mut self,
+        name: &Rc<str>,
+        entries: &[StructEntry],
+        env: &Env,
+    ) -> EvalResult<Ty> {
+        let sid = self.new_struct(name.clone());
+        for e in entries {
+            let v = self.eval_expr(&e.ty, env)?;
+            let ty = self.value_to_type(v, e.span)?;
+            let entry = Table::new();
+            let entry_ref: TableRef = Rc::new(RefCell::new(entry));
+            entry_ref
+                .borrow_mut()
+                .set_str("field", LuaValue::Str(e.name.clone()));
+            entry_ref.borrow_mut().set_str("type", LuaValue::Type(ty));
+            self.ctx.structs[sid.0 as usize]
+                .entries
+                .borrow_mut()
+                .push(LuaValue::Table(entry_ref));
+        }
+        Ok(Ty::Struct(sid))
+    }
+
+    /// Creates a struct type whose reflection tables have the list metatable
+    /// attached (so `S.entries:insert{…}` works).
+    pub fn new_struct(&mut self, name: impl Into<Rc<str>>) -> StructId {
+        let sid = self.ctx.new_struct(name);
+        let entries = self.ctx.structs[sid.0 as usize].entries.clone();
+        crate::stdlib::attach_list_meta(self, &entries);
+        sid
+    }
+
+    /// Lazily computes a struct's layout from its (possibly user-mutated)
+    /// `entries` table, running the `__finalizelayout` metamethod first if
+    /// present. Idempotent.
+    pub fn finalize_struct(&mut self, sid: StructId, span: Span) -> EvalResult<()> {
+        if self.ctx.types.is_finalized(sid) {
+            return Ok(());
+        }
+        let mm = self.ctx.structs[sid.0 as usize]
+            .metamethods
+            .borrow()
+            .get_str("__finalizelayout");
+        if mm.truthy() {
+            self.call_value(mm, vec![LuaValue::Type(Ty::Struct(sid))], span)?;
+        }
+        if self.ctx.types.is_finalized(sid) {
+            return Ok(());
+        }
+        let entries: Vec<LuaValue> = self.ctx.structs[sid.0 as usize]
+            .entries
+            .borrow()
+            .iter_array()
+            .cloned()
+            .collect();
+        for e in entries {
+            let LuaValue::Table(t) = e else {
+                return Err(LuaError::at(
+                    "struct entries must be {field=…, type=…} tables",
+                    span,
+                )
+                .phase(Phase::Typecheck));
+            };
+            let (fname, fty) = {
+                let t = t.borrow();
+                (t.get_str("field"), t.get_str("type"))
+            };
+            let LuaValue::Str(fname) = fname else {
+                return Err(
+                    LuaError::at("struct entry is missing 'field'", span).phase(Phase::Typecheck)
+                );
+            };
+            let ty = self.value_to_type(fty, span)?;
+            // Nested struct types must go through the reflection-aware
+            // finalization path before layout is computed.
+            let mut nested = Vec::new();
+            collect_struct_ids(&ty, &mut nested);
+            for inner in nested {
+                if inner != sid {
+                    self.finalize_struct(inner, span)?;
+                }
+            }
+            self.ctx.types.add_field(sid, fname, ty);
+        }
+        self.ctx.types.finalize(sid);
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------------
+    // Expressions
+    // -----------------------------------------------------------------------
+
+    fn expect_number(&mut self, e: &LuaExpr, env: &Env) -> EvalResult<f64> {
+        let v = self.eval_expr(e, env)?;
+        v.as_number()
+            .ok_or_else(|| LuaError::at(format!("expected number, got {}", v.type_name()), e.span()))
+    }
+
+    /// Evaluates an expression list with Lua's adjustment rules: the last
+    /// expression expands to multiple values, earlier ones are truncated to
+    /// one; the result is padded with `nil`/truncated to `want`.
+    fn eval_exprlist(
+        &mut self,
+        exprs: &[LuaExpr],
+        env: &Env,
+        want: usize,
+    ) -> EvalResult<Vec<LuaValue>> {
+        let mut out = self.eval_exprlist_exact(exprs, env)?;
+        while out.len() < want {
+            out.push(LuaValue::Nil);
+        }
+        out.truncate(want.max(exprs.len().min(out.len())));
+        out.truncate(want);
+        Ok(out)
+    }
+
+    /// Evaluates an expression list, expanding the final multi-value
+    /// expression.
+    pub fn eval_exprlist_exact(
+        &mut self,
+        exprs: &[LuaExpr],
+        env: &Env,
+    ) -> EvalResult<Vec<LuaValue>> {
+        let mut out = Vec::with_capacity(exprs.len());
+        for (i, e) in exprs.iter().enumerate() {
+            if i + 1 == exprs.len() {
+                out.extend(self.eval_expr_multi(e, env)?);
+            } else {
+                out.push(self.eval_expr(e, env)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluates to exactly one value.
+    pub fn eval_expr(&mut self, e: &LuaExpr, env: &Env) -> EvalResult<LuaValue> {
+        Ok(self
+            .eval_expr_multi(e, env)?
+            .into_iter()
+            .next()
+            .unwrap_or(LuaValue::Nil))
+    }
+
+    /// Evaluates, preserving multiple results for calls and `...`.
+    pub fn eval_expr_multi(&mut self, e: &LuaExpr, env: &Env) -> EvalResult<Vec<LuaValue>> {
+        match e {
+            LuaExpr::Nil(_) => Ok(vec![LuaValue::Nil]),
+            LuaExpr::True(_) => Ok(vec![LuaValue::Bool(true)]),
+            LuaExpr::False(_) => Ok(vec![LuaValue::Bool(false)]),
+            LuaExpr::Number(n, _) => Ok(vec![LuaValue::Number(*n)]),
+            LuaExpr::Str(s, _) => Ok(vec![LuaValue::Str(s.clone())]),
+            LuaExpr::Vararg(span) => match env.get("...") {
+                Some(LuaValue::Table(t)) => Ok(t.borrow().iter_array().cloned().collect()),
+                _ => Err(LuaError::at("cannot use '...' outside a vararg function", *span)),
+            },
+            LuaExpr::Var(n, _span) => Ok(vec![env.get(n).unwrap_or(LuaValue::Nil)]),
+            LuaExpr::Index { obj, index, span } => {
+                let o = self.eval_expr(obj, env)?;
+                let k = self.eval_expr(index, env)?;
+                Ok(vec![self.index_value(&o, &k, *span)?])
+            }
+            LuaExpr::Call { func, args, span } => {
+                let f = self.eval_expr(func, env)?;
+                let argv = self.eval_exprlist_exact(args, env)?;
+                self.call_value(f, argv, *span)
+            }
+            LuaExpr::MethodCall {
+                obj,
+                name,
+                args,
+                span,
+            } => {
+                let o = self.eval_expr(obj, env)?;
+                let argv = self.eval_exprlist_exact(args, env)?;
+                self.method_call_multi(o, name, argv, *span)
+            }
+            LuaExpr::BinOp { op, lhs, rhs, span } => {
+                Ok(vec![self.eval_binop(*op, lhs, rhs, env, *span)?])
+            }
+            LuaExpr::UnOp { op, expr, span } => {
+                let v = self.eval_expr(expr, env)?;
+                Ok(vec![self.eval_unop(*op, v, *span)?])
+            }
+            LuaExpr::Function(body) => Ok(vec![LuaValue::Function(Rc::new(LuaClosure {
+                body: body.clone(),
+                env: env.clone(),
+                name: RefCell::new(Rc::from("anonymous")),
+            }))]),
+            LuaExpr::Table { items, span: _ } => {
+                let t = Rc::new(RefCell::new(Table::new()));
+                for (i, item) in items.iter().enumerate() {
+                    match item {
+                        TableItem::Positional(e) => {
+                            if i + 1 == items.len() {
+                                for v in self.eval_expr_multi(e, env)? {
+                                    t.borrow_mut().push(v);
+                                }
+                            } else {
+                                let v = self.eval_expr(e, env)?;
+                                t.borrow_mut().push(v);
+                            }
+                        }
+                        TableItem::Named(n, e) => {
+                            let v = self.eval_expr(e, env)?;
+                            t.borrow_mut().set_str(n, v);
+                        }
+                        TableItem::Keyed(k, e) => {
+                            let k = self.eval_expr(k, env)?;
+                            let v = self.eval_expr(e, env)?;
+                            t.borrow_mut().set(k, v);
+                        }
+                    }
+                }
+                Ok(vec![LuaValue::Table(t)])
+            }
+            LuaExpr::TerraFunction(def) => {
+                let name: Rc<str> = def.name_hint.clone().unwrap_or_else(|| Rc::from("anonymous"));
+                let id = self.define_terra_function(def, env, name)?;
+                Ok(vec![LuaValue::TerraFunc(id)])
+            }
+            LuaExpr::Quote(q) => {
+                let spec = Specializer::new(self, env.clone()).quote(q)?;
+                Ok(vec![LuaValue::Quote(Rc::new(spec))])
+            }
+            LuaExpr::AnonStruct { entries, span: _ } => {
+                let ty = self.eval_struct_def(&Rc::from("anon"), entries, env)?;
+                Ok(vec![LuaValue::Type(ty)])
+            }
+            LuaExpr::PtrType(inner, span) => {
+                let v = self.eval_expr(inner, env)?;
+                let ty = self.value_to_type(v, *span)?;
+                Ok(vec![LuaValue::Type(ty.ptr_to())])
+            }
+            LuaExpr::TupleType(items, span) => {
+                let mut tys = Vec::with_capacity(items.len());
+                for it in items {
+                    let v = self.eval_expr(it, env)?;
+                    tys.push(self.value_to_type(v, *span)?);
+                }
+                let ty = match tys.len() {
+                    0 => Ty::Unit,
+                    1 => tys.pop().expect("len checked"),
+                    _ => {
+                        return Err(LuaError::at(
+                            "tuple types with more than one element are not supported",
+                            *span,
+                        ))
+                    }
+                };
+                Ok(vec![LuaValue::Type(ty)])
+            }
+            LuaExpr::FuncType {
+                params,
+                returns,
+                span,
+            } => {
+                let mut ptys = Vec::with_capacity(params.len());
+                for p in params {
+                    let v = self.eval_expr(p, env)?;
+                    ptys.push(self.value_to_type(v, *span)?);
+                }
+                let ret = match returns.len() {
+                    0 => Ty::Unit,
+                    1 => {
+                        let v = self.eval_expr(&returns[0], env)?;
+                        self.value_to_type(v, *span)?
+                    }
+                    _ => {
+                        return Err(LuaError::at(
+                            "multiple return types are not supported",
+                            *span,
+                        ))
+                    }
+                };
+                Ok(vec![LuaValue::Type(Ty::Func(Rc::new(FuncTy {
+                    params: ptys,
+                    ret,
+                })))])
+            }
+        }
+    }
+
+    fn eval_binop(
+        &mut self,
+        op: BinOp,
+        lhs: &LuaExpr,
+        rhs: &LuaExpr,
+        env: &Env,
+        span: Span,
+    ) -> EvalResult<LuaValue> {
+        // Short-circuit logic first.
+        match op {
+            BinOp::And => {
+                let l = self.eval_expr(lhs, env)?;
+                if !l.truthy() {
+                    return Ok(l);
+                }
+                return self.eval_expr(rhs, env);
+            }
+            BinOp::Or => {
+                let l = self.eval_expr(lhs, env)?;
+                if l.truthy() {
+                    return Ok(l);
+                }
+                return self.eval_expr(rhs, env);
+            }
+            _ => {}
+        }
+        let l = self.eval_expr(lhs, env)?;
+        let r = self.eval_expr(rhs, env)?;
+        self.binop_values(op, l, r, span)
+    }
+
+    /// Applies a binary operator to two values (with metamethods).
+    pub fn binop_values(
+        &mut self,
+        op: BinOp,
+        l: LuaValue,
+        r: LuaValue,
+        span: Span,
+    ) -> EvalResult<LuaValue> {
+        use BinOp::*;
+        match op {
+            Eq | Ne => {
+                let mut eq = l.raw_eq(&r);
+                if !eq {
+                    if let (LuaValue::Table(a), LuaValue::Table(b)) = (&l, &r) {
+                        if let Some(mm) = self
+                            .meta_of_table(a, "__eq")
+                            .or_else(|| self.meta_of_table(b, "__eq"))
+                        {
+                            eq = self
+                                .call_value(mm, vec![l.clone(), r.clone()], span)?
+                                .first()
+                                .map(|v| v.truthy())
+                                .unwrap_or(false);
+                        }
+                    }
+                }
+                Ok(LuaValue::Bool(if op == Eq { eq } else { !eq }))
+            }
+            Lt | Le | Gt | Ge => {
+                // Normalize Gt/Ge by swapping.
+                let (op, l, r) = match op {
+                    Gt => (Lt, r, l),
+                    Ge => (Le, r, l),
+                    o => (o, l, r),
+                };
+                match (&l, &r) {
+                    (LuaValue::Number(a), LuaValue::Number(b)) => Ok(LuaValue::Bool(if op == Lt {
+                        a < b
+                    } else {
+                        a <= b
+                    })),
+                    (LuaValue::Str(a), LuaValue::Str(b)) => Ok(LuaValue::Bool(if op == Lt {
+                        a < b
+                    } else {
+                        a <= b
+                    })),
+                    _ => {
+                        let name = if op == Lt { "__lt" } else { "__le" };
+                        if let Some(mm) = self.meta_for(&l, name).or_else(|| self.meta_for(&r, name))
+                        {
+                            let v = self.call_value(mm, vec![l, r], span)?;
+                            return Ok(LuaValue::Bool(
+                                v.first().map(|x| x.truthy()).unwrap_or(false),
+                            ));
+                        }
+                        Err(LuaError::at(
+                            format!(
+                                "attempt to compare {} with {}",
+                                l.type_name(),
+                                r.type_name()
+                            ),
+                            span,
+                        ))
+                    }
+                }
+            }
+            Concat => match (&l, &r) {
+                (LuaValue::Str(_) | LuaValue::Number(_), LuaValue::Str(_) | LuaValue::Number(_)) => {
+                    Ok(LuaValue::str(format!(
+                        "{}{}",
+                        self.tostring_value(&l, span)?,
+                        self.tostring_value(&r, span)?
+                    )))
+                }
+                _ => {
+                    if let Some(mm) = self.meta_for(&l, "__concat").or_else(|| self.meta_for(&r, "__concat")) {
+                        let v = self.call_value(mm, vec![l, r], span)?;
+                        return Ok(v.into_iter().next().unwrap_or(LuaValue::Nil));
+                    }
+                    Err(LuaError::at(
+                        format!("attempt to concatenate a {} value", l.type_name()),
+                        span,
+                    ))
+                }
+            },
+            Add | Sub | Mul | Div | Mod | Pow => {
+                // Operator overloading on staged values: arithmetic between
+                // quotes/symbols (and numbers) builds a new quotation, as in
+                // the real system.
+                if is_staged(&l) || is_staged(&r) {
+                    let le = crate::spec::lua_to_spec(self, l, span)?;
+                    let re = crate::spec::lua_to_spec(self, r, span)?;
+                    let kind = crate::spec::SpecExprKind::Bin(
+                        op,
+                        Box::new(le),
+                        Box::new(re),
+                    );
+                    return Ok(LuaValue::Quote(Rc::new(crate::spec::SpecQuote {
+                        stmts: vec![],
+                        exprs: vec![crate::spec::SpecExpr::new(kind, span)],
+                        span,
+                    })));
+                }
+                if let (Some(a), Some(b)) = (l.as_number(), r.as_number()) {
+                    let v = match op {
+                        Add => a + b,
+                        Sub => a - b,
+                        Mul => a * b,
+                        Div => a / b,
+                        Mod => a - (a / b).floor() * b,
+                        Pow => a.powf(b),
+                        _ => unreachable!(),
+                    };
+                    return Ok(LuaValue::Number(v));
+                }
+                let name = match op {
+                    Add => "__add",
+                    Sub => "__sub",
+                    Mul => "__mul",
+                    Div => "__div",
+                    Mod => "__mod",
+                    Pow => "__pow",
+                    _ => unreachable!(),
+                };
+                if let Some(mm) = self.meta_for(&l, name).or_else(|| self.meta_for(&r, name)) {
+                    let v = self.call_value(mm, vec![l, r], span)?;
+                    return Ok(v.into_iter().next().unwrap_or(LuaValue::Nil));
+                }
+                Err(LuaError::at(
+                    format!(
+                        "attempt to perform arithmetic on a {} value",
+                        if l.as_number().is_none() {
+                            l.type_name()
+                        } else {
+                            r.type_name()
+                        }
+                    ),
+                    span,
+                ))
+            }
+            Shl | Shr => {
+                let (Some(a), Some(b)) = (l.as_number(), r.as_number()) else {
+                    return Err(LuaError::at("bitwise shift requires numbers", span));
+                };
+                let v = if op == Shl {
+                    ((a as i64) << (b as i64 & 63)) as f64
+                } else {
+                    ((a as i64) >> (b as i64 & 63)) as f64
+                };
+                Ok(LuaValue::Number(v))
+            }
+            And | Or => unreachable!("handled before value evaluation"),
+        }
+    }
+
+    fn eval_unop(&mut self, op: UnOp, v: LuaValue, span: Span) -> EvalResult<LuaValue> {
+        match op {
+            UnOp::Not => Ok(LuaValue::Bool(!v.truthy())),
+            UnOp::Neg => {
+                if is_staged(&v) {
+                    let e = crate::spec::lua_to_spec(self, v, span)?;
+                    let kind =
+                        crate::spec::SpecExprKind::Un(UnOp::Neg, Box::new(e));
+                    return Ok(LuaValue::Quote(Rc::new(crate::spec::SpecQuote {
+                        stmts: vec![],
+                        exprs: vec![crate::spec::SpecExpr::new(kind, span)],
+                        span,
+                    })));
+                }
+                if let Some(n) = v.as_number() {
+                    Ok(LuaValue::Number(-n))
+                } else if let Some(mm) = self.meta_for(&v, "__unm") {
+                    let r = self.call_value(mm, vec![v], span)?;
+                    Ok(r.into_iter().next().unwrap_or(LuaValue::Nil))
+                } else {
+                    Err(LuaError::at(
+                        format!("attempt to negate a {} value", v.type_name()),
+                        span,
+                    ))
+                }
+            }
+            UnOp::Len => match &v {
+                LuaValue::Str(s) => Ok(LuaValue::Number(s.len() as f64)),
+                LuaValue::Table(t) => Ok(LuaValue::Number(t.borrow().len() as f64)),
+                _ => Err(LuaError::at(
+                    format!("attempt to get length of a {} value", v.type_name()),
+                    span,
+                )),
+            },
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Indexing, calling, metamethods
+    // -----------------------------------------------------------------------
+
+    fn meta_of_table(&self, t: &TableRef, name: &str) -> Option<LuaValue> {
+        let meta = t.borrow().meta.clone()?;
+        let v = meta.borrow().get_str(name);
+        v.truthy().then_some(v)
+    }
+
+    fn meta_for(&self, v: &LuaValue, name: &str) -> Option<LuaValue> {
+        match v {
+            LuaValue::Table(t) => self.meta_of_table(t, name),
+            _ => None,
+        }
+    }
+
+    /// Indexes any value (tables with `__index`, plus the reflection API on
+    /// Terra entities).
+    pub fn index_value(
+        &mut self,
+        obj: &LuaValue,
+        key: &LuaValue,
+        span: Span,
+    ) -> EvalResult<LuaValue> {
+        match obj {
+            LuaValue::Table(t) => {
+                let raw = t.borrow().get(key);
+                if raw.truthy() || !matches!(raw, LuaValue::Nil) {
+                    return Ok(raw);
+                }
+                if let Some(mm) = self.meta_of_table(t, "__index") {
+                    return match mm {
+                        LuaValue::Function(_) | LuaValue::Native(_) => {
+                            let r = self.call_value(mm, vec![obj.clone(), key.clone()], span)?;
+                            Ok(r.into_iter().next().unwrap_or(LuaValue::Nil))
+                        }
+                        other => self.index_value(&other, key, span),
+                    };
+                }
+                Ok(LuaValue::Nil)
+            }
+            LuaValue::Str(s) => {
+                // Minimal string indexing: the string library as methods.
+                let lib = self.global("string");
+                if let LuaValue::Table(_) = lib {
+                    let m = self.index_value(&lib, key, span)?;
+                    if m.truthy() {
+                        return Ok(m);
+                    }
+                }
+                Err(LuaError::at(
+                    format!("cannot index string '{s}' with this key"),
+                    span,
+                ))
+            }
+            LuaValue::Type(_)
+            | LuaValue::TerraFunc(_)
+            | LuaValue::Quote(_)
+            | LuaValue::Symbol(_)
+            | LuaValue::Global(_) => reflect::index_terra_value(self, obj, key, span),
+            other => Err(LuaError::at(
+                format!("attempt to index a {} value", other.type_name()),
+                span,
+            )),
+        }
+    }
+
+    /// Sets `obj[key] = value` (with `__newindex` and reflection hooks).
+    pub fn setindex_value(
+        &mut self,
+        obj: &LuaValue,
+        key: LuaValue,
+        value: LuaValue,
+        span: Span,
+    ) -> EvalResult<()> {
+        match obj {
+            LuaValue::Table(t) => {
+                let exists = !matches!(t.borrow().get(&key), LuaValue::Nil);
+                if !exists {
+                    if let Some(mm) = self.meta_of_table(t, "__newindex") {
+                        return match mm {
+                            LuaValue::Function(_) | LuaValue::Native(_) => {
+                                self.call_value(mm, vec![obj.clone(), key, value], span)?;
+                                Ok(())
+                            }
+                            other => self.setindex_value(&other, key, value, span),
+                        };
+                    }
+                }
+                t.borrow_mut().set(key, value);
+                Ok(())
+            }
+            LuaValue::Type(_) => reflect::setindex_terra_value(self, obj, key, value, span),
+            other => Err(LuaError::at(
+                format!("attempt to index a {} value", other.type_name()),
+                span,
+            )),
+        }
+    }
+
+    /// Calls any callable value with the given arguments.
+    pub fn call_value(
+        &mut self,
+        f: LuaValue,
+        args: Vec<LuaValue>,
+        span: Span,
+    ) -> EvalResult<Vec<LuaValue>> {
+        if self.depth >= MAX_DEPTH {
+            return Err(LuaError::at("lua stack overflow", span));
+        }
+        self.depth += 1;
+        let result = self.call_value_inner(f, args, span);
+        self.depth -= 1;
+        result
+    }
+
+    fn call_value_inner(
+        &mut self,
+        f: LuaValue,
+        args: Vec<LuaValue>,
+        span: Span,
+    ) -> EvalResult<Vec<LuaValue>> {
+        match f {
+            LuaValue::Function(closure) => {
+                let call_env = closure.env.child();
+                let nparams = closure.body.params.len();
+                for (i, p) in closure.body.params.iter().enumerate() {
+                    call_env.declare(p.clone(), args.get(i).cloned().unwrap_or(LuaValue::Nil));
+                }
+                if closure.body.is_vararg {
+                    let rest = Rc::new(RefCell::new(Table::new()));
+                    for v in args.into_iter().skip(nparams) {
+                        rest.borrow_mut().push(v);
+                    }
+                    call_env.declare(Rc::from("..."), LuaValue::Table(rest));
+                }
+                match self
+                    .eval_block(&closure.body.body, &call_env)
+                    .map_err(|e| e.traced(format!("function '{}'", closure.name.borrow())))?
+                {
+                    Flow::Return(vs) => Ok(vs),
+                    _ => Ok(Vec::new()),
+                }
+            }
+            LuaValue::Native(b) => (b.f)(self, args),
+            LuaValue::TerraFunc(id) => self.call_terra(id, args, span),
+            LuaValue::Table(ref t) => {
+                if let Some(mm) = self.meta_of_table(t, "__call") {
+                    let mut full = vec![f.clone()];
+                    full.extend(args);
+                    return self.call_value(mm, full, span);
+                }
+                Err(LuaError::at("attempt to call a table value", span))
+            }
+            LuaValue::Intrinsic(i) => crate::stdlib::call_intrinsic_from_lua(self, i, args, span),
+            other => Err(LuaError::at(
+                format!("attempt to call a {} value", other.type_name()),
+                span,
+            )),
+        }
+    }
+
+    fn method_call_multi(
+        &mut self,
+        obj: LuaValue,
+        name: &Name,
+        args: Vec<LuaValue>,
+        span: Span,
+    ) -> EvalResult<Vec<LuaValue>> {
+        match &obj {
+            LuaValue::Table(_) | LuaValue::Str(_) => {
+                let m = self.index_value(&obj, &LuaValue::Str(name.clone()), span)?;
+                if matches!(m, LuaValue::Nil) {
+                    return Err(LuaError::at(format!("method '{name}' not found"), span));
+                }
+                let mut full = vec![obj];
+                full.extend(args);
+                self.call_value(m, full, span)
+            }
+            _ => Ok(vec![reflect::method_call_terra_value(
+                self, obj, name, args, span,
+            )?]),
+        }
+    }
+
+    /// Calls a value's method (used by the specializer and reflection).
+    pub fn method_call_value(
+        &mut self,
+        obj: LuaValue,
+        name: &Name,
+        args: Vec<LuaValue>,
+        span: Span,
+    ) -> EvalResult<LuaValue> {
+        Ok(self
+            .method_call_multi(obj, name, args, span)?
+            .into_iter()
+            .next()
+            .unwrap_or(LuaValue::Nil))
+    }
+
+    // -----------------------------------------------------------------------
+    // Lua ⇄ Terra FFI (rule LTAPP)
+    // -----------------------------------------------------------------------
+
+    /// Calls a Terra function from Lua: lazily typechecks/links/compiles it,
+    /// converts arguments by the signature, runs it on the VM, and converts
+    /// the result back.
+    pub fn call_terra(
+        &mut self,
+        id: FuncId,
+        args: Vec<LuaValue>,
+        span: Span,
+    ) -> EvalResult<Vec<LuaValue>> {
+        crate::typecheck::ensure_compiled(self, id, span)?;
+        let sig = self.ctx.funcs[id.0 as usize]
+            .sig
+            .clone()
+            .expect("compiled function has a signature");
+        if args.len() != sig.params.len() {
+            return Err(LuaError::at(
+                format!(
+                    "terra function '{}' expects {} argument(s), got {}",
+                    self.ctx.funcs[id.0 as usize].name,
+                    sig.params.len(),
+                    args.len()
+                ),
+                span,
+            ));
+        }
+        let mut ffi_args = Vec::with_capacity(args.len());
+        for (v, ty) in args.into_iter().zip(&sig.params) {
+            ffi_args.push(self.lua_to_ffi(v, ty, span)?);
+        }
+        let result = self
+            .ctx
+            .vm
+            .call(&mut self.ctx.program, id, &ffi_args)
+            .map_err(|t| LuaError::at(t.to_string(), span).phase(Phase::Execution))?;
+        Ok(vec![self.ffi_to_lua(result)])
+    }
+
+    /// Converts a Lua value to an FFI value of the given Terra type.
+    pub fn lua_to_ffi(&mut self, v: LuaValue, ty: &Ty, span: Span) -> EvalResult<Value> {
+        Ok(match (&v, ty) {
+            (LuaValue::Number(n), Ty::Scalar(s)) if s.is_integer() => Value::Int(*n as i64),
+            (LuaValue::Number(n), Ty::Scalar(ScalarTy::F32)) => Value::Float(*n as f32 as f64),
+            (LuaValue::Number(n), Ty::Scalar(ScalarTy::F64)) => Value::Float(*n),
+            (LuaValue::Number(n), Ty::Scalar(ScalarTy::Bool)) => Value::Bool(*n != 0.0),
+            (LuaValue::Bool(b), Ty::Scalar(ScalarTy::Bool)) => Value::Bool(*b),
+            (LuaValue::Bool(b), Ty::Scalar(s)) if s.is_integer() => Value::Int(*b as i64),
+            (LuaValue::Str(s), Ty::Ptr(_)) => {
+                Value::Ptr(self.ctx.program.intern_string(s))
+            }
+            (LuaValue::Number(n), Ty::Ptr(_)) => Value::Ptr(*n as u64),
+            (LuaValue::Nil, Ty::Ptr(_)) => Value::Ptr(0),
+            (LuaValue::TerraFunc(f), Ty::Func(_)) => {
+                let f = *f;
+                crate::typecheck::ensure_compiled(self, f, span)?;
+                Value::Func(f)
+            }
+            (LuaValue::Global(g), Ty::Ptr(_)) => {
+                Value::Ptr(self.ctx.globals[g.0 as usize].addr)
+            }
+            _ => {
+                return Err(LuaError::at(
+                    format!(
+                        "cannot convert Lua {} to Terra type {}",
+                        v.type_name(),
+                        ty.display(&self.ctx.types)
+                    ),
+                    span,
+                ))
+            }
+        })
+    }
+
+    /// Converts an FFI result back to a Lua value.
+    pub fn ffi_to_lua(&self, v: Value) -> LuaValue {
+        match v {
+            Value::Unit => LuaValue::Nil,
+            Value::Int(i) => LuaValue::Number(i as f64),
+            Value::Float(f) => LuaValue::Number(f),
+            Value::Bool(b) => LuaValue::Bool(b),
+            Value::Ptr(p) => LuaValue::Number(p as f64),
+            Value::Func(f) => LuaValue::TerraFunc(f),
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Conversions / printing
+    // -----------------------------------------------------------------------
+
+    /// Converts a Lua value to a Terra type (annotation evaluation).
+    pub fn value_to_type(&mut self, v: LuaValue, span: Span) -> EvalResult<Ty> {
+        match v {
+            LuaValue::Type(t) => Ok(t),
+            LuaValue::Table(t) => {
+                // `{}` or `{T}` tuple annotations.
+                let items: Vec<LuaValue> = t.borrow().iter_array().cloned().collect();
+                match items.len() {
+                    0 => Ok(Ty::Unit),
+                    1 => self.value_to_type(items.into_iter().next().expect("len checked"), span),
+                    _ => Err(LuaError::at(
+                        "functions returning multiple values are not supported; return a struct",
+                        span,
+                    )),
+                }
+            }
+            other => Err(LuaError::at(
+                format!("expected a terra type, got {}", other.type_name()),
+                span,
+            )),
+        }
+    }
+
+    /// `tostring` with metamethod support.
+    pub fn tostring_value(&mut self, v: &LuaValue, span: Span) -> EvalResult<String> {
+        if let Some(mm) = self.meta_for(v, "__tostring") {
+            let r = self.call_value(mm, vec![v.clone()], span)?;
+            return match r.into_iter().next() {
+                Some(LuaValue::Str(s)) => Ok(s.to_string()),
+                Some(other) => self.tostring_value(&other, span),
+                None => Ok(String::new()),
+            };
+        }
+        Ok(match v {
+            LuaValue::Nil => "nil".to_string(),
+            LuaValue::Bool(b) => b.to_string(),
+            LuaValue::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            LuaValue::Str(s) => s.to_string(),
+            LuaValue::Table(t) => format!("table: {:p}", Rc::as_ptr(t)),
+            LuaValue::Function(f) => format!("function: {:p}", Rc::as_ptr(f)),
+            LuaValue::Native(b) => format!("builtin: {}", b.name),
+            LuaValue::TerraFunc(id) => {
+                format!("terra function: {}", self.ctx.funcs[id.0 as usize].name)
+            }
+            LuaValue::Type(t) => format!("{}", t.display(&self.ctx.types)),
+            LuaValue::Quote(_) => "quote".to_string(),
+            LuaValue::Symbol(s) => format!("${}_{}", s.name, s.id),
+            LuaValue::Global(g) => {
+                format!("global: {}", self.ctx.globals[g.0 as usize].name)
+            }
+            LuaValue::Macro(_) => "macro".to_string(),
+            LuaValue::Intrinsic(i) => format!("terra intrinsic: {i:?}"),
+        })
+    }
+
+    /// Writes text to the configured output sink (used by `print`).
+    pub fn write_output(&mut self, text: &str) {
+        match &mut self.ctx.program.output {
+            OutputSink::Stdout => print!("{text}"),
+            OutputSink::Capture(buf) => buf.push_str(text),
+        }
+    }
+}
+
+/// Whether a Lua value denotes staged Terra code that supports operator
+/// overloading (building larger quotations).
+fn is_staged(v: &LuaValue) -> bool {
+    matches!(
+        v,
+        LuaValue::Quote(_) | LuaValue::Symbol(_) | LuaValue::Global(_)
+    )
+}
+
+/// Collects the struct ids mentioned in a type (through arrays, not through
+/// pointers — pointees do not affect layout).
+fn collect_struct_ids(ty: &Ty, out: &mut Vec<StructId>) {
+    match ty {
+        Ty::Struct(sid) => out.push(*sid),
+        Ty::Array(inner, _) => collect_struct_ids(inner, out),
+        _ => {}
+    }
+}

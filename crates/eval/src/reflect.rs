@@ -1,0 +1,296 @@
+//! Type reflection: the Lua-visible API of Terra entities.
+//!
+//! Terra types are Lua values, and the paper's §4.1 "Mechanisms for type
+//! reflection" gives them an introspection API (`t:ispointer()`,
+//! `t:isstruct()`, struct `entries`/`methods`/`metamethods` tables, pointer
+//! `.type`, function `.parameters`/`.returns`). This module implements that
+//! API, which the class-system and data-layout libraries are built on.
+
+use crate::error::{EvalResult, LuaError};
+use crate::interp::Interp;
+use crate::value::{LuaValue, Table};
+use std::cell::RefCell;
+use std::rc::Rc;
+use terra_ir::{ScalarTy, Ty};
+use terra_syntax::{Name, Span};
+use terra_vm::Value;
+
+/// Indexes a Terra entity with a key (`T.entries`, `fn.name`, `g.type` …).
+pub fn index_terra_value(
+    interp: &mut Interp,
+    obj: &LuaValue,
+    key: &LuaValue,
+    span: Span,
+) -> EvalResult<LuaValue> {
+    // `T[n]` — array type construction (types are Lua values).
+    if let (LuaValue::Type(t), LuaValue::Number(n)) = (obj, key) {
+        if n.fract() == 0.0 && *n >= 0.0 {
+            return Ok(LuaValue::Type(Ty::Array(Rc::new(t.clone()), *n as u64)));
+        }
+    }
+    let LuaValue::Str(k) = key else {
+        return Err(LuaError::at(
+            format!("cannot index a {} with a non-string key", obj.type_name()),
+            span,
+        ));
+    };
+    match obj {
+        LuaValue::Type(t) => index_type(interp, t, k, span),
+        LuaValue::TerraFunc(id) => match &**k {
+            "name" => Ok(LuaValue::Str(
+                interp.ctx.funcs[id.0 as usize].name.clone().into(),
+            )),
+            _ => Ok(LuaValue::Nil),
+        },
+        LuaValue::Symbol(s) => match &**k {
+            "displayname" => Ok(LuaValue::Str(s.name.clone())),
+            "type" => Ok(s
+                .ty
+                .borrow()
+                .clone()
+                .map(LuaValue::Type)
+                .unwrap_or(LuaValue::Nil)),
+            _ => Ok(LuaValue::Nil),
+        },
+        LuaValue::Global(g) => match &**k {
+            "type" => Ok(LuaValue::Type(interp.ctx.globals[g.0 as usize].ty.clone())),
+            _ => Ok(LuaValue::Nil),
+        },
+        LuaValue::Quote(_) => Ok(LuaValue::Nil),
+        _ => Err(LuaError::at(
+            format!("attempt to index a {} value", obj.type_name()),
+            span,
+        )),
+    }
+}
+
+fn index_type(interp: &mut Interp, t: &Ty, key: &str, span: Span) -> EvalResult<LuaValue> {
+    match (t, key) {
+        (Ty::Struct(sid), "entries") => {
+            Ok(LuaValue::Table(interp.ctx.struct_meta(*sid).entries.clone()))
+        }
+        (Ty::Struct(sid), "methods") => {
+            Ok(LuaValue::Table(interp.ctx.struct_meta(*sid).methods.clone()))
+        }
+        (Ty::Struct(sid), "metamethods") => Ok(LuaValue::Table(
+            interp.ctx.struct_meta(*sid).metamethods.clone(),
+        )),
+        (Ty::Struct(sid), "name") => Ok(LuaValue::str(interp.ctx.types.name(*sid))),
+        (Ty::Ptr(inner) | Ty::Array(inner, _), "type") => {
+            Ok(LuaValue::Type((**inner).clone()))
+        }
+        (Ty::Array(_, n), "N") => Ok(LuaValue::Number(*n as f64)),
+        (Ty::Vector(s, _), "type") => Ok(LuaValue::Type(Ty::Scalar(*s))),
+        (Ty::Vector(_, n), "N") => Ok(LuaValue::Number(*n as f64)),
+        (Ty::Func(ft), "parameters") => {
+            let t = Rc::new(RefCell::new(Table::new()));
+            for p in &ft.params {
+                t.borrow_mut().push(LuaValue::Type(p.clone()));
+            }
+            crate::stdlib::attach_list_meta(interp, &t);
+            Ok(LuaValue::Table(t))
+        }
+        (Ty::Func(ft), "returns") => Ok(LuaValue::Type(ft.ret.clone())),
+        (_, "name") => Ok(LuaValue::str(format!("{}", t.display(&interp.ctx.types)))),
+        _ => {
+            let _ = span;
+            Ok(LuaValue::Nil)
+        }
+    }
+}
+
+/// Assigns into a Terra type (replacing a struct's reflection tables
+/// wholesale, e.g. `S.entries = newlist`).
+pub fn setindex_terra_value(
+    interp: &mut Interp,
+    obj: &LuaValue,
+    key: LuaValue,
+    value: LuaValue,
+    span: Span,
+) -> EvalResult<()> {
+    let (LuaValue::Type(Ty::Struct(sid)), LuaValue::Str(k)) = (obj, &key) else {
+        return Err(LuaError::at(
+            format!("cannot assign into a {} value", obj.type_name()),
+            span,
+        ));
+    };
+    let LuaValue::Table(t) = value else {
+        return Err(LuaError::at("expected a table value", span));
+    };
+    let meta = &mut interp.ctx.structs[sid.0 as usize];
+    match &**k {
+        "entries" => meta.entries = t,
+        "methods" => meta.methods = t,
+        "metamethods" => meta.metamethods = t,
+        other => {
+            return Err(LuaError::at(
+                format!("cannot assign field '{other}' of a struct type"),
+                span,
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Calls a method on a Terra entity (`t:ispointer()`, `fn:gettype()`,
+/// `g:get()` …).
+pub fn method_call_terra_value(
+    interp: &mut Interp,
+    obj: LuaValue,
+    name: &Name,
+    args: Vec<LuaValue>,
+    span: Span,
+) -> EvalResult<LuaValue> {
+    match (&obj, &**name) {
+        (LuaValue::Type(t), m) => type_method(interp, t, m, args, span),
+        (LuaValue::TerraFunc(id), "gettype") => {
+            let sig = crate::typecheck::ensure_signature(interp, *id, span)?;
+            Ok(LuaValue::Type(Ty::Func(Rc::new(sig))))
+        }
+        (LuaValue::TerraFunc(id), "compile") => {
+            crate::typecheck::ensure_compiled(interp, *id, span)?;
+            Ok(LuaValue::Nil)
+        }
+        (LuaValue::TerraFunc(id), "getname") => Ok(LuaValue::Str(
+            interp.ctx.funcs[id.0 as usize].name.clone().into(),
+        )),
+        (LuaValue::TerraFunc(id), "disas") => {
+            crate::typecheck::ensure_compiled(interp, *id, span)?;
+            let f = interp
+                .ctx
+                .program
+                .function(*id)
+                .expect("just compiled")
+                .clone();
+            Ok(LuaValue::str(format!("{:#?}", f.code)))
+        }
+        (LuaValue::Global(g), "get") => {
+            let meta = interp.ctx.globals[g.0 as usize].clone();
+            let v = read_global(interp, &meta)?;
+            Ok(interp.ffi_to_lua(v))
+        }
+        (LuaValue::Global(g), "set") => {
+            let meta = interp.ctx.globals[g.0 as usize].clone();
+            let v = args.into_iter().next().unwrap_or(LuaValue::Nil);
+            write_global(interp, &meta, v, span)?;
+            Ok(LuaValue::Nil)
+        }
+        (LuaValue::Global(g), "getaddress") => {
+            Ok(LuaValue::Number(interp.ctx.globals[g.0 as usize].addr as f64))
+        }
+        (LuaValue::Symbol(s), "istype") => {
+            Ok(LuaValue::Bool(s.ty.borrow().is_some()))
+        }
+        _ => Err(LuaError::at(
+            format!("no method '{name}' on {} value", obj.type_name()),
+            span,
+        )),
+    }
+}
+
+fn type_method(
+    interp: &mut Interp,
+    t: &Ty,
+    m: &str,
+    args: Vec<LuaValue>,
+    span: Span,
+) -> EvalResult<LuaValue> {
+    let b = |v: bool| Ok(LuaValue::Bool(v));
+    match m {
+        "ispointer" => b(t.is_pointer()),
+        "isstruct" => b(matches!(t, Ty::Struct(_))),
+        "isarray" => b(matches!(t, Ty::Array(..))),
+        "isvector" => b(matches!(t, Ty::Vector(..))),
+        "isfunction" => b(matches!(t, Ty::Func(_))),
+        "isarithmetic" => b(t.is_arithmetic()),
+        "isintegral" | "isinteger" => b(t.is_integer()),
+        "isfloat" => b(t.is_float()),
+        "islogical" => b(matches!(t, Ty::Scalar(ScalarTy::Bool))),
+        "isunit" => b(*t == Ty::Unit),
+        "isprimitive" => b(matches!(t, Ty::Scalar(_))),
+        "ispointertostruct" => b(matches!(t, Ty::Ptr(p) if matches!(**p, Ty::Struct(_)))),
+        "ispointertofunction" => b(matches!(t, Ty::Ptr(p) if matches!(**p, Ty::Func(_)))
+            || matches!(t, Ty::Func(_))),
+        "sizeof" => {
+            if let Ty::Struct(sid) = t {
+                interp.finalize_struct(*sid, span)?;
+            }
+            Ok(LuaValue::Number(t.size(&interp.ctx.types) as f64))
+        }
+        "isstructorptrtostruct" => b(
+            matches!(t, Ty::Struct(_))
+                || matches!(t, Ty::Ptr(p) if matches!(**p, Ty::Struct(_))),
+        ),
+        "getmethod" => {
+            let LuaValue::Str(name) = args.into_iter().next().unwrap_or(LuaValue::Nil) else {
+                return Err(LuaError::at("getmethod expects a string", span));
+            };
+            match t {
+                Ty::Struct(sid) => Ok(interp.ctx.struct_meta(*sid).methods.borrow().get_str(&name)),
+                _ => Ok(LuaValue::Nil),
+            }
+        }
+        other => Err(LuaError::at(
+            format!("no method '{other}' on terra type"),
+            span,
+        )),
+    }
+}
+
+fn read_global(
+    interp: &mut Interp,
+    meta: &crate::context::GlobalMeta,
+) -> EvalResult<Value> {
+    let mem = &interp.ctx.program.memory;
+    let v = match &meta.ty {
+        Ty::Scalar(ScalarTy::F32) => Value::Float(mem.load_f32(meta.addr).map_err(to_lua_err)? as f64),
+        Ty::Scalar(ScalarTy::F64) => Value::Float(mem.load_f64(meta.addr).map_err(to_lua_err)?),
+        Ty::Scalar(ScalarTy::Bool) => Value::Bool(mem.load_u8(meta.addr).map_err(to_lua_err)? != 0),
+        Ty::Scalar(s) if s.is_integer() => {
+            let raw = match s.size() {
+                1 => mem.load_i8(meta.addr).map_err(to_lua_err)? as i64,
+                2 => mem.load_i16(meta.addr).map_err(to_lua_err)? as i64,
+                4 => mem.load_i32(meta.addr).map_err(to_lua_err)? as i64,
+                _ => mem.load_i64(meta.addr).map_err(to_lua_err)?,
+            };
+            Value::Int(raw)
+        }
+        Ty::Ptr(_) => Value::Ptr(mem.load_u64(meta.addr).map_err(to_lua_err)?),
+        _ => return Err(LuaError::msg("cannot read aggregate global from Lua")),
+    };
+    Ok(v)
+}
+
+fn write_global(
+    interp: &mut Interp,
+    meta: &crate::context::GlobalMeta,
+    v: LuaValue,
+    span: Span,
+) -> EvalResult<()> {
+    let ffi = interp.lua_to_ffi(v, &meta.ty, span)?;
+    let mem = &mut interp.ctx.program.memory;
+    match (&meta.ty, ffi) {
+        (Ty::Scalar(ScalarTy::F32), Value::Float(f)) => {
+            mem.store_f32(meta.addr, f as f32).map_err(to_lua_err)?
+        }
+        (Ty::Scalar(ScalarTy::F64), Value::Float(f)) => {
+            mem.store_f64(meta.addr, f).map_err(to_lua_err)?
+        }
+        (Ty::Scalar(ScalarTy::Bool), Value::Bool(b)) => {
+            mem.store_u8(meta.addr, b as u8).map_err(to_lua_err)?
+        }
+        (Ty::Scalar(s), Value::Int(i)) if s.is_integer() => match s.size() {
+            1 => mem.store_u8(meta.addr, i as u8).map_err(to_lua_err)?,
+            2 => mem.store_u16(meta.addr, i as u16).map_err(to_lua_err)?,
+            4 => mem.store_u32(meta.addr, i as u32).map_err(to_lua_err)?,
+            _ => mem.store_u64(meta.addr, i as u64).map_err(to_lua_err)?,
+        },
+        (Ty::Ptr(_), Value::Ptr(p)) => mem.store_u64(meta.addr, p).map_err(to_lua_err)?,
+        _ => return Err(LuaError::at("unsupported global assignment", span)),
+    }
+    Ok(())
+}
+
+fn to_lua_err(e: terra_vm::MemError) -> LuaError {
+    LuaError::msg(e.to_string())
+}

@@ -1,0 +1,1151 @@
+//! The Lua standard library subset plus `terralib`.
+//!
+//! Installs base functions (`print`, `pairs`, `pcall`, …), the `math` /
+//! `string` / `table` / `os` / `io` libraries, the Terra primitive types as
+//! globals (`int`, `float`, `&T` comes from syntax), `symbol` / `sizeof` /
+//! `vector` / `global`, and `terralib` with `includec` (the simulated C
+//! standard library), `newlist`, `macro`, `select`, `saveobj`, and
+//! `currenttimeinseconds`.
+
+use crate::error::{EvalResult, LuaError, Phase};
+use crate::interp::Interp;
+use crate::value::{Builtin as NativeBuiltin, Intrinsic, LuaValue, MacroData, Table, TableRef};
+use std::cell::RefCell;
+use std::rc::Rc;
+use terra_ir::{Builtin, ScalarTy, Ty};
+use terra_syntax::Span;
+
+fn native(name: &'static str, f: crate::value::NativeFn) -> LuaValue {
+    LuaValue::Native(Rc::new(NativeBuiltin { name, f }))
+}
+
+fn new_table() -> TableRef {
+    Rc::new(RefCell::new(Table::new()))
+}
+
+fn arg(args: &[LuaValue], i: usize) -> LuaValue {
+    args.get(i).cloned().unwrap_or(LuaValue::Nil)
+}
+
+fn num_arg(args: &[LuaValue], i: usize, who: &str) -> EvalResult<f64> {
+    arg(args, i)
+        .as_number()
+        .ok_or_else(|| LuaError::msg(format!("bad argument #{} to '{}': number expected", i + 1, who)))
+}
+
+fn str_arg(args: &[LuaValue], i: usize, who: &str) -> EvalResult<Rc<str>> {
+    match arg(args, i) {
+        LuaValue::Str(s) => Ok(s),
+        other => Err(LuaError::msg(format!(
+            "bad argument #{} to '{}': string expected, got {}",
+            i + 1,
+            who,
+            other.type_name()
+        ))),
+    }
+}
+
+/// Installs the full standard environment into `interp`'s globals.
+pub fn install(interp: &mut Interp) {
+    install_base(interp);
+    install_types(interp);
+    install_math(interp);
+    install_string(interp);
+    install_table_lib(interp);
+    install_os_io(interp);
+    install_terralib(interp);
+}
+
+// ---------------------------------------------------------------------------
+// base
+// ---------------------------------------------------------------------------
+
+fn install_base(interp: &mut Interp) {
+    interp.set_global(
+        "print",
+        native("print", |it, args| {
+            let mut line = String::new();
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    line.push('\t');
+                }
+                line.push_str(&it.tostring_value(a, Span::synthetic())?);
+            }
+            line.push('\n');
+            it.write_output(&line);
+            Ok(vec![])
+        }),
+    );
+    interp.set_global(
+        "type",
+        native("type", |_, args| {
+            Ok(vec![LuaValue::str(arg(&args, 0).type_name())])
+        }),
+    );
+    interp.set_global(
+        "tostring",
+        native("tostring", |it, args| {
+            let s = it.tostring_value(&arg(&args, 0), Span::synthetic())?;
+            Ok(vec![LuaValue::str(s)])
+        }),
+    );
+    interp.set_global(
+        "tonumber",
+        native("tonumber", |_, args| {
+            Ok(vec![match arg(&args, 0).as_number() {
+                Some(n) => LuaValue::Number(n),
+                None => LuaValue::Nil,
+            }])
+        }),
+    );
+    interp.set_global(
+        "error",
+        native("error", |it, args| {
+            let msg = it.tostring_value(&arg(&args, 0), Span::synthetic())?;
+            Err(LuaError::msg(msg))
+        }),
+    );
+    interp.set_global(
+        "assert",
+        native("assert", |it, args| {
+            if arg(&args, 0).truthy() {
+                Ok(args)
+            } else {
+                let msg = match arg(&args, 1) {
+                    LuaValue::Nil => "assertion failed!".to_string(),
+                    other => it.tostring_value(&other, Span::synthetic())?,
+                };
+                Err(LuaError::msg(msg))
+            }
+        }),
+    );
+    interp.set_global(
+        "pcall",
+        native("pcall", |it, mut args| {
+            if args.is_empty() {
+                return Err(LuaError::msg("bad argument #1 to 'pcall'"));
+            }
+            let f = args.remove(0);
+            match it.call_value(f, args, Span::synthetic()) {
+                Ok(mut rets) => {
+                    let mut out = vec![LuaValue::Bool(true)];
+                    out.append(&mut rets);
+                    Ok(out)
+                }
+                Err(e) => Ok(vec![LuaValue::Bool(false), LuaValue::str(e.message)]),
+            }
+        }),
+    );
+    interp.set_global(
+        "select",
+        native("select", |_, args| match arg(&args, 0) {
+            LuaValue::Str(s) if &*s == "#" => {
+                Ok(vec![LuaValue::Number((args.len() - 1) as f64)])
+            }
+            LuaValue::Number(n) => Ok(args.into_iter().skip(n as usize).collect()),
+            _ => Err(LuaError::msg("bad argument #1 to 'select'")),
+        }),
+    );
+    interp.set_global(
+        "rawget",
+        native("rawget", |_, args| match arg(&args, 0) {
+            LuaValue::Table(t) => Ok(vec![t.borrow().get(&arg(&args, 1))]),
+            _ => Err(LuaError::msg("rawget: table expected")),
+        }),
+    );
+    interp.set_global(
+        "rawset",
+        native("rawset", |_, args| match arg(&args, 0) {
+            LuaValue::Table(t) => {
+                t.borrow_mut().set(arg(&args, 1), arg(&args, 2));
+                Ok(vec![arg(&args, 0)])
+            }
+            _ => Err(LuaError::msg("rawset: table expected")),
+        }),
+    );
+    interp.set_global(
+        "setmetatable",
+        native("setmetatable", |_, args| match (arg(&args, 0), arg(&args, 1)) {
+            (LuaValue::Table(t), LuaValue::Table(m)) => {
+                t.borrow_mut().meta = Some(m);
+                Ok(vec![arg(&args, 0)])
+            }
+            (LuaValue::Table(t), LuaValue::Nil) => {
+                t.borrow_mut().meta = None;
+                Ok(vec![arg(&args, 0)])
+            }
+            _ => Err(LuaError::msg("setmetatable: table expected")),
+        }),
+    );
+    interp.set_global(
+        "getmetatable",
+        native("getmetatable", |_, args| match arg(&args, 0) {
+            LuaValue::Table(t) => Ok(vec![t
+                .borrow()
+                .meta
+                .clone()
+                .map(LuaValue::Table)
+                .unwrap_or(LuaValue::Nil)]),
+            _ => Ok(vec![LuaValue::Nil]),
+        }),
+    );
+    interp.set_global("next", native("next", lua_next));
+    interp.set_global(
+        "pairs",
+        native("pairs", |it, args| {
+            Ok(vec![
+                it.global("next"),
+                arg(&args, 0),
+                LuaValue::Nil,
+            ])
+        }),
+    );
+    interp.set_global(
+        "ipairs",
+        native("ipairs", |_, args| {
+            Ok(vec![
+                native("inext", |_, args| {
+                    let LuaValue::Table(t) = arg(&args, 0) else {
+                        return Err(LuaError::msg("ipairs iterator: table expected"));
+                    };
+                    let i = arg(&args, 1).as_number().unwrap_or(0.0) + 1.0;
+                    let v = t.borrow().get(&LuaValue::Number(i));
+                    if matches!(v, LuaValue::Nil) {
+                        Ok(vec![LuaValue::Nil])
+                    } else {
+                        Ok(vec![LuaValue::Number(i), v])
+                    }
+                }),
+                arg(&args, 0),
+                LuaValue::Number(0.0),
+            ])
+        }),
+    );
+    interp.set_global(
+        "unpack",
+        native("unpack", |_, args| match arg(&args, 0) {
+            LuaValue::Table(t) => Ok(t.borrow().iter_array().cloned().collect()),
+            _ => Err(LuaError::msg("unpack: table expected")),
+        }),
+    );
+    interp.set_global(
+        "require",
+        native("require", |it, args| {
+            let name = str_arg(&args, 0, "require")?;
+            if let Some(m) = it.modules.get(&*name) {
+                return Ok(vec![m.clone()]);
+            }
+            if let Some(src) = it.module_sources.get(&*name).cloned() {
+                let rets = it
+                    .exec(&src)
+                    .map_err(|e| e.traced(format!("module '{name}'")))?;
+                let m = rets.into_iter().next().unwrap_or(LuaValue::Bool(true));
+                it.modules.insert(name.to_string(), m.clone());
+                return Ok(vec![m]);
+            }
+            Err(LuaError::msg(format!("module '{name}' not found")))
+        }),
+    );
+}
+
+fn lua_next(_: &mut Interp, args: Vec<LuaValue>) -> EvalResult<Vec<LuaValue>> {
+    let LuaValue::Table(t) = arg(&args, 0) else {
+        return Err(LuaError::msg("next: table expected"));
+    };
+    let key = arg(&args, 1);
+    let entries = t.borrow().entries();
+    if matches!(key, LuaValue::Nil) {
+        return Ok(match entries.first() {
+            Some((k, v)) => vec![k.clone(), v.clone()],
+            None => vec![LuaValue::Nil],
+        });
+    }
+    let pos = entries.iter().position(|(k, _)| k.raw_eq(&key));
+    match pos.and_then(|p| entries.get(p + 1)) {
+        Some((k, v)) => Ok(vec![k.clone(), v.clone()]),
+        None => Ok(vec![LuaValue::Nil]),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// primitive types / staging globals
+// ---------------------------------------------------------------------------
+
+fn install_types(interp: &mut Interp) {
+    let prims: &[(&str, Ty)] = &[
+        ("bool", Ty::BOOL),
+        ("int", Ty::INT),
+        ("int8", Ty::Scalar(ScalarTy::I8)),
+        ("int16", Ty::Scalar(ScalarTy::I16)),
+        ("int32", Ty::INT),
+        ("int64", Ty::I64),
+        ("uint", Ty::Scalar(ScalarTy::U32)),
+        ("uint8", Ty::U8),
+        ("uint16", Ty::Scalar(ScalarTy::U16)),
+        ("uint32", Ty::Scalar(ScalarTy::U32)),
+        ("uint64", Ty::U64),
+        ("size_t", Ty::U64),
+        ("intptr", Ty::I64),
+        ("float", Ty::F32),
+        ("double", Ty::F64),
+        ("rawstring", Ty::rawstring()),
+        ("opaque", Ty::U8),
+    ];
+    for (name, ty) in prims {
+        interp.set_global(name, LuaValue::Type(ty.clone()));
+    }
+
+    interp.set_global(
+        "symbol",
+        native("symbol", |it, args| {
+            let (mut ty, mut name) = (None, None);
+            for a in args {
+                match a {
+                    LuaValue::Type(t) => ty = Some(t),
+                    LuaValue::Str(s) => name = Some(s),
+                    LuaValue::Nil => {}
+                    other => {
+                        return Err(LuaError::msg(format!(
+                            "symbol: expected type or string, got {}",
+                            other.type_name()
+                        )))
+                    }
+                }
+            }
+            let sym = it
+                .ctx
+                .fresh_symbol(name.unwrap_or_else(|| Rc::from("sym")), ty);
+            Ok(vec![LuaValue::Symbol(sym)])
+        }),
+    );
+    interp.set_global(
+        "sizeof",
+        native("sizeof", |it, args| {
+            let LuaValue::Type(t) = arg(&args, 0) else {
+                return Err(LuaError::msg("sizeof: terra type expected"));
+            };
+            if let Ty::Struct(sid) = &t {
+                it.finalize_struct(*sid, Span::synthetic())?;
+            }
+            Ok(vec![LuaValue::Number(t.size(&it.ctx.types) as f64)])
+        }),
+    );
+    interp.set_global(
+        "vector",
+        native("vector", |_, args| {
+            let LuaValue::Type(t) = arg(&args, 0) else {
+                return Err(LuaError::msg("vector: terra type expected"));
+            };
+            let n = num_arg(&args, 1, "vector")? as u64;
+            let Ty::Scalar(s) = t else {
+                return Err(LuaError::msg("vector: scalar element type expected"));
+            };
+            if !(1..=16).contains(&n) || s.size() * n > 32 {
+                return Err(LuaError::msg(
+                    "vector: unsupported width (vectors are at most 32 bytes)",
+                ));
+            }
+            Ok(vec![LuaValue::Type(Ty::Vector(s, n as u8))])
+        }),
+    );
+    interp.set_global(
+        "global",
+        native("global", |it, args| {
+            let LuaValue::Type(ty) = arg(&args, 0) else {
+                return Err(LuaError::msg("global: terra type expected"));
+            };
+            if let Ty::Struct(sid) = &ty {
+                it.finalize_struct(*sid, Span::synthetic())?;
+            }
+            let init_bytes: Option<Vec<u8>> = match arg(&args, 1) {
+                LuaValue::Nil => None,
+                LuaValue::Number(n) => Some(match &ty {
+                    Ty::Scalar(ScalarTy::F32) => (n as f32).to_le_bytes().to_vec(),
+                    Ty::Scalar(ScalarTy::F64) => n.to_le_bytes().to_vec(),
+                    Ty::Scalar(s) if s.is_integer() => {
+                        (n as i64).to_le_bytes()[..s.size() as usize].to_vec()
+                    }
+                    _ => return Err(LuaError::msg("global: cannot initialize this type")),
+                }),
+                LuaValue::Bool(b) => Some(vec![b as u8]),
+                _ => return Err(LuaError::msg("global: unsupported initializer")),
+            };
+            let id = it.ctx.new_global("global", ty, init_bytes.as_deref());
+            Ok(vec![LuaValue::Global(id)])
+        }),
+    );
+    interp.set_global("prefetch", LuaValue::Intrinsic(Intrinsic::C(Builtin::Prefetch)));
+}
+
+// ---------------------------------------------------------------------------
+// math / string / table / os / io
+// ---------------------------------------------------------------------------
+
+fn install_math(interp: &mut Interp) {
+    let m = new_table();
+    macro_rules! unary {
+        ($name:literal, $f:expr) => {{
+            let f: fn(f64) -> f64 = $f;
+            let _ = f;
+            m.borrow_mut().set_str(
+                $name,
+                native($name, |_, args| {
+                    let f: fn(f64) -> f64 = $f;
+                    Ok(vec![LuaValue::Number(f(num_arg(&args, 0, $name)?))])
+                }),
+            );
+        }};
+    }
+    unary!("floor", |x| x.floor());
+    unary!("ceil", |x| x.ceil());
+    unary!("abs", |x| x.abs());
+    unary!("sqrt", |x| x.sqrt());
+    unary!("sin", |x| x.sin());
+    unary!("cos", |x| x.cos());
+    unary!("exp", |x| x.exp());
+    unary!("log", |x| x.ln());
+    {
+        let mut mb = m.borrow_mut();
+        mb.set_str("pi", LuaValue::Number(std::f64::consts::PI));
+        mb.set_str("huge", LuaValue::Number(f64::INFINITY));
+        mb.set_str(
+            "pow",
+            native("pow", |_, args| {
+                Ok(vec![LuaValue::Number(
+                    num_arg(&args, 0, "pow")?.powf(num_arg(&args, 1, "pow")?),
+                )])
+            }),
+        );
+        mb.set_str(
+            "fmod",
+            native("fmod", |_, args| {
+                Ok(vec![LuaValue::Number(
+                    num_arg(&args, 0, "fmod")? % num_arg(&args, 1, "fmod")?,
+                )])
+            }),
+        );
+        mb.set_str(
+            "max",
+            native("max", |_, args| {
+                let mut best = f64::NEG_INFINITY;
+                for (i, _) in args.iter().enumerate() {
+                    best = best.max(num_arg(&args, i, "max")?);
+                }
+                Ok(vec![LuaValue::Number(best)])
+            }),
+        );
+        mb.set_str(
+            "min",
+            native("min", |_, args| {
+                let mut best = f64::INFINITY;
+                for (i, _) in args.iter().enumerate() {
+                    best = best.min(num_arg(&args, i, "min")?);
+                }
+                Ok(vec![LuaValue::Number(best)])
+            }),
+        );
+        mb.set_str(
+            "random",
+            native("random", |it, args| {
+                // xorshift over the program's deterministic RNG state.
+                let s = &mut it.ctx.program.rng_state;
+                *s ^= *s << 13;
+                *s ^= *s >> 7;
+                *s ^= *s << 17;
+                let unit = (*s >> 11) as f64 / (1u64 << 53) as f64;
+                Ok(vec![match (arg(&args, 0), arg(&args, 1)) {
+                    (LuaValue::Nil, _) => LuaValue::Number(unit),
+                    (LuaValue::Number(m), LuaValue::Nil) => {
+                        LuaValue::Number((unit * m).floor() + 1.0)
+                    }
+                    (LuaValue::Number(lo), LuaValue::Number(hi)) => {
+                        LuaValue::Number(lo + (unit * (hi - lo + 1.0)).floor())
+                    }
+                    _ => return Err(LuaError::msg("math.random: bad arguments")),
+                }])
+            }),
+        );
+        mb.set_str(
+            "randomseed",
+            native("randomseed", |it, args| {
+                it.ctx.program.rng_state =
+                    (num_arg(&args, 0, "randomseed")? as u64) | 0x9E37_79B9;
+                Ok(vec![])
+            }),
+        );
+    }
+    interp.set_global("math", LuaValue::Table(m));
+}
+
+fn install_string(interp: &mut Interp) {
+    let s = new_table();
+    {
+        let mut sb = s.borrow_mut();
+        sb.set_str(
+            "format",
+            native("format", |it, args| {
+                let fmt = str_arg(&args, 0, "format")?;
+                let mut out = String::new();
+                let mut ai = 1;
+                let bytes = fmt.as_bytes();
+                let mut i = 0;
+                while i < bytes.len() {
+                    if bytes[i] != b'%' {
+                        out.push(bytes[i] as char);
+                        i += 1;
+                        continue;
+                    }
+                    i += 1;
+                    let mut spec = String::new();
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'-')
+                    {
+                        spec.push(bytes[i] as char);
+                        i += 1;
+                    }
+                    if i >= bytes.len() {
+                        return Err(LuaError::msg("string.format: trailing %"));
+                    }
+                    let conv = bytes[i];
+                    i += 1;
+                    let prec: Option<usize> =
+                        spec.split('.').nth(1).and_then(|p| p.parse().ok());
+                    let width: Option<usize> = spec
+                        .trim_start_matches('-')
+                        .split('.')
+                        .next()
+                        .and_then(|w| if w.is_empty() { None } else { w.parse().ok() });
+                    let rendered = match conv {
+                        b'%' => "%".to_string(),
+                        b'd' | b'i' => format!("{}", num_arg(&args, ai, "format")? as i64),
+                        b'u' => format!("{}", num_arg(&args, ai, "format")? as u64),
+                        b'x' => format!("{:x}", num_arg(&args, ai, "format")? as i64),
+                        b'c' => ((num_arg(&args, ai, "format")? as u8) as char).to_string(),
+                        b'f' | b'g' | b'e' => {
+                            let v = num_arg(&args, ai, "format")?;
+                            match (conv, prec) {
+                                (b'f', Some(p)) => format!("{v:.p$}"),
+                                (b'f', None) => format!("{v:.6}"),
+                                (b'e', _) => format!("{v:e}"),
+                                (_, Some(p)) => format!("{v:.p$}"),
+                                (_, None) => format!("{v}"),
+                            }
+                        }
+                        b's' => it.tostring_value(&arg(&args, ai), Span::synthetic())?,
+                        b'q' => format!("{:?}", it.tostring_value(&arg(&args, ai), Span::synthetic())?),
+                        other => {
+                            return Err(LuaError::msg(format!(
+                                "string.format: unsupported conversion '%{}'",
+                                other as char
+                            )))
+                        }
+                    };
+                    if conv != b'%' {
+                        ai += 1;
+                    }
+                    if let Some(w) = width {
+                        for _ in rendered.len()..w {
+                            out.push(' ');
+                        }
+                    }
+                    out.push_str(&rendered);
+                }
+                Ok(vec![LuaValue::str(out)])
+            }),
+        );
+        sb.set_str(
+            "rep",
+            native("rep", |_, args| {
+                let s = str_arg(&args, 0, "rep")?;
+                let n = num_arg(&args, 1, "rep")? as usize;
+                Ok(vec![LuaValue::str(s.repeat(n))])
+            }),
+        );
+        sb.set_str(
+            "sub",
+            native("sub", |_, args| {
+                let s = str_arg(&args, 0, "sub")?;
+                let len = s.len() as i64;
+                let norm = |v: i64| -> i64 {
+                    if v < 0 {
+                        (len + v + 1).max(1)
+                    } else {
+                        v.max(1)
+                    }
+                };
+                let i = norm(num_arg(&args, 1, "sub")? as i64);
+                let j = match arg(&args, 2) {
+                    LuaValue::Nil => len,
+                    v => {
+                        let raw = v.as_number().unwrap_or(-1.0) as i64;
+                        if raw < 0 {
+                            len + raw + 1
+                        } else {
+                            raw.min(len)
+                        }
+                    }
+                };
+                if i > j {
+                    return Ok(vec![LuaValue::str("")]);
+                }
+                Ok(vec![LuaValue::str(&s[(i - 1) as usize..j as usize])])
+            }),
+        );
+        sb.set_str(
+            "len",
+            native("len", |_, args| {
+                Ok(vec![LuaValue::Number(str_arg(&args, 0, "len")?.len() as f64)])
+            }),
+        );
+        sb.set_str(
+            "upper",
+            native("upper", |_, args| {
+                Ok(vec![LuaValue::str(str_arg(&args, 0, "upper")?.to_uppercase())])
+            }),
+        );
+        sb.set_str(
+            "lower",
+            native("lower", |_, args| {
+                Ok(vec![LuaValue::str(str_arg(&args, 0, "lower")?.to_lowercase())])
+            }),
+        );
+        sb.set_str(
+            "find",
+            native("find", |_, args| {
+                let s = str_arg(&args, 0, "find")?;
+                let pat = str_arg(&args, 1, "find")?;
+                Ok(match s.find(&*pat) {
+                    Some(pos) => vec![
+                        LuaValue::Number((pos + 1) as f64),
+                        LuaValue::Number((pos + pat.len()) as f64),
+                    ],
+                    None => vec![LuaValue::Nil],
+                })
+            }),
+        );
+        sb.set_str(
+            "byte",
+            native("byte", |_, args| {
+                let s = str_arg(&args, 0, "byte")?;
+                let i = arg(&args, 1).as_number().unwrap_or(1.0) as usize;
+                Ok(vec![s
+                    .as_bytes()
+                    .get(i.saturating_sub(1))
+                    .map(|b| LuaValue::Number(*b as f64))
+                    .unwrap_or(LuaValue::Nil)])
+            }),
+        );
+        sb.set_str(
+            "char",
+            native("char", |_, args| {
+                let mut out = String::new();
+                for (i, _) in args.iter().enumerate() {
+                    out.push(num_arg(&args, i, "char")? as u8 as char);
+                }
+                Ok(vec![LuaValue::str(out)])
+            }),
+        );
+    }
+    interp.set_global("string", LuaValue::Table(s));
+}
+
+fn install_table_lib(interp: &mut Interp) {
+    let t = new_table();
+    {
+        let mut tb = t.borrow_mut();
+        tb.set_str(
+            "insert",
+            native("insert", |_, args| {
+                let LuaValue::Table(t) = arg(&args, 0) else {
+                    return Err(LuaError::msg("table.insert: table expected"));
+                };
+                if args.len() >= 3 {
+                    let pos = num_arg(&args, 1, "insert")? as usize;
+                    t.borrow_mut().insert_at(pos, arg(&args, 2));
+                } else {
+                    t.borrow_mut().push(arg(&args, 1));
+                }
+                Ok(vec![])
+            }),
+        );
+        tb.set_str(
+            "remove",
+            native("remove", |_, args| {
+                let LuaValue::Table(t) = arg(&args, 0) else {
+                    return Err(LuaError::msg("table.remove: table expected"));
+                };
+                let len = t.borrow().len();
+                let pos = match arg(&args, 1) {
+                    LuaValue::Nil => len,
+                    v => v.as_number().unwrap_or(0.0) as usize,
+                };
+                let removed = t.borrow_mut().remove_at(pos);
+                Ok(vec![removed])
+            }),
+        );
+        tb.set_str(
+            "concat",
+            native("concat", |it, args| {
+                let LuaValue::Table(t) = arg(&args, 0) else {
+                    return Err(LuaError::msg("table.concat: table expected"));
+                };
+                let sep = match arg(&args, 1) {
+                    LuaValue::Str(s) => s.to_string(),
+                    _ => String::new(),
+                };
+                let items: Vec<LuaValue> = t.borrow().iter_array().cloned().collect();
+                let mut out = String::new();
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(&sep);
+                    }
+                    out.push_str(&it.tostring_value(v, Span::synthetic())?);
+                }
+                Ok(vec![LuaValue::str(out)])
+            }),
+        );
+        tb.set_str(
+            "sort",
+            native("sort", |it, args| {
+                let LuaValue::Table(t) = arg(&args, 0) else {
+                    return Err(LuaError::msg("table.sort: table expected"));
+                };
+                let cmp = arg(&args, 1);
+                let mut items: Vec<LuaValue> = t.borrow().iter_array().cloned().collect();
+                // Insertion sort so the comparator can be a Lua function.
+                for i in 1..items.len() {
+                    let mut j = i;
+                    while j > 0 {
+                        let less = match &cmp {
+                            LuaValue::Nil => match (&items[j], &items[j - 1]) {
+                                (LuaValue::Number(a), LuaValue::Number(b)) => a < b,
+                                (LuaValue::Str(a), LuaValue::Str(b)) => a < b,
+                                _ => false,
+                            },
+                            f => it
+                                .call_value(
+                                    f.clone(),
+                                    vec![items[j].clone(), items[j - 1].clone()],
+                                    Span::synthetic(),
+                                )?
+                                .first()
+                                .map(|v| v.truthy())
+                                .unwrap_or(false),
+                        };
+                        if less {
+                            items.swap(j, j - 1);
+                            j -= 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                let mut tb = t.borrow_mut();
+                for (i, v) in items.into_iter().enumerate() {
+                    tb.set(LuaValue::Number((i + 1) as f64), v);
+                }
+                Ok(vec![])
+            }),
+        );
+    }
+    interp.set_global("table", LuaValue::Table(t));
+}
+
+fn install_os_io(interp: &mut Interp) {
+    let os = new_table();
+    os.borrow_mut().set_str(
+        "clock",
+        native("clock", |it, _| {
+            Ok(vec![LuaValue::Number(
+                it.ctx.program.epoch.elapsed().as_secs_f64(),
+            )])
+        }),
+    );
+    os.borrow_mut().set_str(
+        "time",
+        native("time", |_, _| {
+            Ok(vec![LuaValue::Number(
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_secs_f64())
+                    .unwrap_or(0.0),
+            )])
+        }),
+    );
+    interp.set_global("os", LuaValue::Table(os));
+
+    let io = new_table();
+    io.borrow_mut().set_str(
+        "write",
+        native("write", |it, args| {
+            let mut out = String::new();
+            for a in &args {
+                out.push_str(&it.tostring_value(a, Span::synthetic())?);
+            }
+            it.write_output(&out);
+            Ok(vec![])
+        }),
+    );
+    interp.set_global("io", LuaValue::Table(io));
+}
+
+// ---------------------------------------------------------------------------
+// terralib
+// ---------------------------------------------------------------------------
+
+/// Attaches the list metatable (`:insert`, `:map`, `:insertall`) to a table,
+/// making it a `terralib.newlist` list.
+pub fn attach_list_meta(interp: &mut Interp, t: &TableRef) {
+    if let LuaValue::Table(meta) = interp.global("__terra_list_meta") {
+        t.borrow_mut().meta = Some(meta);
+    }
+}
+
+fn install_list_meta(interp: &mut Interp) {
+    let methods = new_table();
+    {
+        let mut mb = methods.borrow_mut();
+        mb.set_str(
+            "insert",
+            native("insert", |_, args| {
+                let LuaValue::Table(t) = arg(&args, 0) else {
+                    return Err(LuaError::msg("list:insert: list expected"));
+                };
+                if args.len() >= 3 {
+                    let pos = num_arg(&args, 1, "insert")? as usize;
+                    t.borrow_mut().insert_at(pos, arg(&args, 2));
+                } else {
+                    t.borrow_mut().push(arg(&args, 1));
+                }
+                Ok(vec![])
+            }),
+        );
+        mb.set_str(
+            "insertall",
+            native("insertall", |_, args| {
+                let (LuaValue::Table(t), LuaValue::Table(other)) = (arg(&args, 0), arg(&args, 1))
+                else {
+                    return Err(LuaError::msg("list:insertall: two lists expected"));
+                };
+                let items: Vec<LuaValue> = other.borrow().iter_array().cloned().collect();
+                for v in items {
+                    t.borrow_mut().push(v);
+                }
+                Ok(vec![])
+            }),
+        );
+        mb.set_str(
+            "map",
+            native("map", |it, args| {
+                let LuaValue::Table(t) = arg(&args, 0) else {
+                    return Err(LuaError::msg("list:map: list expected"));
+                };
+                let f = arg(&args, 1);
+                let items: Vec<LuaValue> = t.borrow().iter_array().cloned().collect();
+                let out = new_table();
+                for v in items {
+                    let r = it.call_value(f.clone(), vec![v], Span::synthetic())?;
+                    out.borrow_mut()
+                        .push(r.into_iter().next().unwrap_or(LuaValue::Nil));
+                }
+                attach_list_meta(it, &out);
+                Ok(vec![LuaValue::Table(out)])
+            }),
+        );
+    }
+    let meta = new_table();
+    meta.borrow_mut().set_str("__index", LuaValue::Table(methods));
+    interp.set_global("__terra_list_meta", LuaValue::Table(meta));
+}
+
+/// Calls a Terra intrinsic directly from Lua (`std.malloc(16)` at the Lua
+/// level) — a convenience the real system gets from LuaJIT's FFI.
+pub fn call_intrinsic_from_lua(
+    interp: &mut Interp,
+    i: Intrinsic,
+    args: Vec<LuaValue>,
+    span: Span,
+) -> EvalResult<Vec<LuaValue>> {
+    let num = |k: usize| -> EvalResult<f64> {
+        args.get(k)
+            .and_then(|v| v.as_number())
+            .ok_or_else(|| LuaError::at("intrinsic: number expected", span))
+    };
+    let one = |v: f64| Ok(vec![LuaValue::Number(v)]);
+    match i {
+        Intrinsic::Select => {
+            let c = args.first().map(|v| v.truthy()).unwrap_or(false);
+            Ok(vec![arg(&args, if c { 1 } else { 2 })])
+        }
+        Intrinsic::Min => {
+            let (a, b) = (num(0)?, num(1)?);
+            one(a.min(b))
+        }
+        Intrinsic::Max => {
+            let (a, b) = (num(0)?, num(1)?);
+            one(a.max(b))
+        }
+        Intrinsic::C(b) => match b {
+            Builtin::Malloc => {
+                let n = num(0)? as u64;
+                one(interp.ctx.program.memory.malloc(n) as f64)
+            }
+            Builtin::Free => {
+                interp
+                    .ctx
+                    .program
+                    .memory
+                    .free(num(0)? as u64)
+                    .map_err(|e| LuaError::at(e.to_string(), span))?;
+                Ok(vec![])
+            }
+            Builtin::Sqrt => one(num(0)?.sqrt()),
+            Builtin::Fabs => one(num(0)?.abs()),
+            Builtin::Sin => one(num(0)?.sin()),
+            Builtin::Cos => one(num(0)?.cos()),
+            Builtin::Exp => one(num(0)?.exp()),
+            Builtin::Log => one(num(0)?.ln()),
+            Builtin::Pow => one(num(0)?.powf(num(1)?)),
+            Builtin::Floor => one(num(0)?.floor()),
+            Builtin::Ceil => one(num(0)?.ceil()),
+            Builtin::Fmod => one(num(0)? % num(1)?),
+            Builtin::Clock => one(interp.ctx.program.epoch.elapsed().as_secs_f64()),
+            other => Err(LuaError::at(
+                format!(
+                    "C function '{}' can only be called from Terra code",
+                    other.name()
+                ),
+                span,
+            )),
+        },
+    }
+}
+
+fn install_terralib(interp: &mut Interp) {
+    install_list_meta(interp);
+    let t = new_table();
+    {
+        let mut tb = t.borrow_mut();
+        tb.set_str(
+            "includec",
+            native("includec", |_, args| {
+                let _header = str_arg(&args, 0, "includec")?;
+                // The simulated C library: one merged namespace regardless of
+                // header, mirroring what Clang+includec would produce for the
+                // functions this reproduction needs.
+                let out = new_table();
+                let defs: &[(&str, Builtin)] = &[
+                    ("malloc", Builtin::Malloc),
+                    ("free", Builtin::Free),
+                    ("realloc", Builtin::Realloc),
+                    ("memcpy", Builtin::Memcpy),
+                    ("memset", Builtin::Memset),
+                    ("rand", Builtin::Rand),
+                    ("srand", Builtin::Srand),
+                    ("abort", Builtin::Abort),
+                    ("printf", Builtin::Printf),
+                    ("sqrt", Builtin::Sqrt),
+                    ("sqrtf", Builtin::Sqrt),
+                    ("fabs", Builtin::Fabs),
+                    ("fabsf", Builtin::Fabs),
+                    ("sin", Builtin::Sin),
+                    ("cos", Builtin::Cos),
+                    ("exp", Builtin::Exp),
+                    ("log", Builtin::Log),
+                    ("pow", Builtin::Pow),
+                    ("powf", Builtin::Pow),
+                    ("floor", Builtin::Floor),
+                    ("ceil", Builtin::Ceil),
+                    ("fmod", Builtin::Fmod),
+                    ("fmodf", Builtin::Fmod),
+                    ("clock", Builtin::Clock),
+                ];
+                for (name, b) in defs {
+                    out.borrow_mut()
+                        .set_str(name, LuaValue::Intrinsic(Intrinsic::C(*b)));
+                }
+                out.borrow_mut()
+                    .set_str("CLOCKS_PER_SEC", LuaValue::Number(1.0));
+                Ok(vec![LuaValue::Table(out)])
+            }),
+        );
+        tb.set_str(
+            "newlist",
+            native("newlist", |it, args| {
+                let out = new_table();
+                if let LuaValue::Table(src) = arg(&args, 0) {
+                    for v in src.borrow().iter_array() {
+                        out.borrow_mut().push(v.clone());
+                    }
+                }
+                attach_list_meta(it, &out);
+                Ok(vec![LuaValue::Table(out)])
+            }),
+        );
+        tb.set_str(
+            "macro",
+            native("macro", |_, args| {
+                let f = arg(&args, 0);
+                if !matches!(f, LuaValue::Function(_) | LuaValue::Native(_)) {
+                    return Err(LuaError::msg("terralib.macro: function expected"));
+                }
+                Ok(vec![LuaValue::Macro(Rc::new(MacroData { func: f }))])
+            }),
+        );
+        tb.set_str(
+            "funcpointer",
+            native("funcpointer", |it, args| {
+                // terralib.funcpointer({T1, T2, ...}, Tret) -> function type
+                let LuaValue::Table(params) = arg(&args, 0) else {
+                    return Err(LuaError::msg(
+                        "terralib.funcpointer: parameter list expected",
+                    ));
+                };
+                let mut ptys = Vec::new();
+                let items: Vec<LuaValue> =
+                    params.borrow().iter_array().cloned().collect();
+                for p in items {
+                    ptys.push(it.value_to_type(p, Span::synthetic())?);
+                }
+                let ret = match arg(&args, 1) {
+                    LuaValue::Nil => Ty::Unit,
+                    v => it.value_to_type(v, Span::synthetic())?,
+                };
+                Ok(vec![LuaValue::Type(Ty::Func(Rc::new(
+                    terra_ir::FuncTy { params: ptys, ret },
+                )))])
+            }),
+        );
+        tb.set_str("select", LuaValue::Intrinsic(Intrinsic::Select));
+        tb.set_str("min", LuaValue::Intrinsic(Intrinsic::Min));
+        tb.set_str("max", LuaValue::Intrinsic(Intrinsic::Max));
+        tb.set_str(
+            "sizeof",
+            native("sizeof", |it, args| {
+                let LuaValue::Type(t) = arg(&args, 0) else {
+                    return Err(LuaError::msg("terralib.sizeof: terra type expected"));
+                };
+                if let Ty::Struct(sid) = &t {
+                    it.finalize_struct(*sid, Span::synthetic())?;
+                }
+                Ok(vec![LuaValue::Number(t.size(&it.ctx.types) as f64)])
+            }),
+        );
+        tb.set_str(
+            "offsetof",
+            native("offsetof", |it, args| {
+                let LuaValue::Type(Ty::Struct(sid)) = arg(&args, 0) else {
+                    return Err(LuaError::msg("terralib.offsetof: struct type expected"));
+                };
+                let field = str_arg(&args, 1, "offsetof")?;
+                it.finalize_struct(sid, Span::synthetic())?;
+                match it.ctx.types.field(sid, &field) {
+                    Some((off, _)) => Ok(vec![LuaValue::Number(off as f64)]),
+                    None => Err(LuaError::msg(format!("no field '{field}'"))),
+                }
+            }),
+        );
+        tb.set_str(
+            "typeof",
+            native("typeof", |it, args| match arg(&args, 0) {
+                LuaValue::TerraFunc(id) => {
+                    let sig = crate::typecheck::ensure_signature(it, id, Span::synthetic())?;
+                    Ok(vec![LuaValue::Type(Ty::Func(Rc::new(sig)))])
+                }
+                LuaValue::Global(g) => {
+                    Ok(vec![LuaValue::Type(it.ctx.globals[g.0 as usize].ty.clone())])
+                }
+                other => Err(LuaError::msg(format!(
+                    "terralib.typeof: cannot type a {}",
+                    other.type_name()
+                ))),
+            }),
+        );
+        tb.set_str(
+            "declare",
+            native("declare", |it, args| {
+                let name = match arg(&args, 0) {
+                    LuaValue::Str(s) => s,
+                    _ => Rc::from("declared"),
+                };
+                let id = it.ctx.declare_func(&*name);
+                Ok(vec![LuaValue::TerraFunc(id)])
+            }),
+        );
+        tb.set_str(
+            "isfunction",
+            native("isfunction", |_, args| {
+                Ok(vec![LuaValue::Bool(matches!(
+                    arg(&args, 0),
+                    LuaValue::TerraFunc(_)
+                ))])
+            }),
+        );
+        tb.set_str(
+            "istype",
+            native("istype", |_, args| {
+                Ok(vec![LuaValue::Bool(matches!(arg(&args, 0), LuaValue::Type(_)))])
+            }),
+        );
+        tb.set_str(
+            "isquote",
+            native("isquote", |_, args| {
+                Ok(vec![LuaValue::Bool(matches!(arg(&args, 0), LuaValue::Quote(_)))])
+            }),
+        );
+        tb.set_str(
+            "issymbol",
+            native("issymbol", |_, args| {
+                Ok(vec![LuaValue::Bool(matches!(
+                    arg(&args, 0),
+                    LuaValue::Symbol(_)
+                ))])
+            }),
+        );
+        tb.set_str(
+            "currenttimeinseconds",
+            native("currenttimeinseconds", |it, _| {
+                Ok(vec![LuaValue::Number(
+                    it.ctx.program.epoch.elapsed().as_secs_f64(),
+                )])
+            }),
+        );
+        tb.set_str(
+            "require",
+            native("trequire", |it, args| {
+                let f = it.global("require");
+                it.call_value(f, args, Span::synthetic())
+            }),
+        );
+        tb.set_str(
+            "saveobj",
+            native("saveobj", |it, args| {
+                let path = str_arg(&args, 0, "saveobj")?;
+                let LuaValue::Table(exports) = arg(&args, 1) else {
+                    return Err(LuaError::msg("terralib.saveobj: export table expected"));
+                };
+                // Serialize an object manifest: compiled function signatures
+                // and bytecode listings (a stand-in for an ELF .o file).
+                let mut out = String::from("terra-rs object file v1\n");
+                for (k, v) in exports.borrow().entries() {
+                    let (LuaValue::Str(name), LuaValue::TerraFunc(id)) = (&k, &v) else {
+                        continue;
+                    };
+                    crate::typecheck::ensure_compiled(it, *id, Span::synthetic())
+                        .map_err(|e| e.phase(Phase::Link))?;
+                    let f = it.ctx.program.function(*id).expect("just compiled").clone();
+                    out.push_str(&format!(
+                        "symbol {name} : {} ({} instructions, {} registers)\n",
+                        Ty::Func(Rc::new(f.ty.clone())),
+                        f.code.len(),
+                        f.nregs
+                    ));
+                }
+                std::fs::write(&*path, out)
+                    .map_err(|e| LuaError::msg(format!("saveobj: {e}")))?;
+                Ok(vec![])
+            }),
+        );
+    }
+    interp.set_global("terralib", LuaValue::Table(t));
+}

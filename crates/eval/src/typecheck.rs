@@ -1,0 +1,2225 @@
+//! Lazy typechecking, linking, and lowering to IR (rules LTAPP/TYFUN).
+//!
+//! Terra typechecks a function the first time it is called (or referenced by
+//! a function being called); see §4.1 "eager specialization with lazy
+//! typechecking". Typechecking is monotonic: struct layouts are finalized on
+//! first use and can only have grown until then, and function definitions
+//! are write-once, so a function that typechecks once never stops
+//! typechecking.
+//!
+//! The checker simultaneously lowers to `terra-ir`: l-values become address
+//! computations, method calls are desugared through the receiver's `methods`
+//! table, user-defined `__cast` metamethods drive conversions involving
+//! structs, and `defer` statements are expanded at scope exits.
+
+use crate::error::{EvalResult, LuaError, Phase};
+use crate::interp::Interp;
+use crate::spec::{SpecExpr, SpecExprKind, SpecStmt};
+use crate::value::{Intrinsic, LuaValue};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::rc::Rc;
+use terra_ir::{
+    fold_function, BinKind, Builtin, Callee, CmpKind, ExprKind, FuncId, FuncTy, IrExpr,
+    IrFunction, IrStmt, LocalId, ScalarTy, Ty, UnKind,
+};
+use terra_syntax::{BinOp, IntSuffix, Span, UnOp};
+
+fn terr(msg: impl Into<String>, span: Span) -> LuaError {
+    LuaError::at(msg, span).phase(Phase::Typecheck)
+}
+
+/// Computes (and caches) the signature of a Terra function, without
+/// necessarily compiling it. Return types may be inferred from the body.
+///
+/// # Errors
+///
+/// Fails on undefined functions (a *link* error, per the paper), on
+/// unannotated recursive return types, and on any type error hit during
+/// inference.
+pub fn ensure_signature(interp: &mut Interp, id: FuncId, span: Span) -> EvalResult<FuncTy> {
+    if let Some(sig) = &interp.ctx.funcs[id.0 as usize].sig {
+        return Ok(sig.clone());
+    }
+    let meta = &interp.ctx.funcs[id.0 as usize];
+    let name = meta.name.clone();
+    let Some(spec) = meta.spec.clone() else {
+        return Err(LuaError::at(
+            format!("function '{name}' is declared but not defined"),
+            span,
+        )
+        .phase(Phase::Link));
+    };
+    let params: Vec<Ty> = spec.params.iter().map(|(_, t)| t.clone()).collect();
+    for p in &params {
+        if matches!(p, Ty::Struct(_) | Ty::Array(..)) {
+            return Err(terr(
+                format!("function '{name}': aggregate parameters must be passed by pointer"),
+                spec.span,
+            ));
+        }
+    }
+    if let Some(ret) = &spec.ret {
+        if matches!(ret, Ty::Struct(_) | Ty::Array(..)) {
+            return Err(terr(
+                format!("function '{name}': aggregate returns must use an out-pointer"),
+                spec.span,
+            ));
+        }
+        let sig = FuncTy {
+            params,
+            ret: ret.clone(),
+        };
+        interp.ctx.funcs[id.0 as usize].sig = Some(sig.clone());
+        return Ok(sig);
+    }
+    // Infer the return type by typechecking the body.
+    if interp.ctx.funcs[id.0 as usize].checking {
+        return Err(terr(
+            format!("recursive function '{name}' requires an explicit return type"),
+            spec.span,
+        ));
+    }
+    interp.ctx.funcs[id.0 as usize].checking = true;
+    let result = check_function(interp, id);
+    interp.ctx.funcs[id.0 as usize].checking = false;
+    let (ir, deps) = result.map_err(|e| e.traced(format!("terra function '{name}'")))?;
+    let sig = ir.ty.clone();
+    let meta = &mut interp.ctx.funcs[id.0 as usize];
+    meta.sig = Some(sig.clone());
+    meta.ir = Some(ir);
+    meta.deps = deps;
+    Ok(sig)
+}
+
+/// Typechecks, compiles, and links `id` and its whole connected component of
+/// referenced functions (paper Fig. 4). Idempotent.
+pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResult<()> {
+    if interp.ctx.program.is_defined(id) {
+        return Ok(());
+    }
+    let sig = ensure_signature(interp, id, span)?;
+    let _ = sig;
+    let meta = &mut interp.ctx.funcs[id.0 as usize];
+    let name = meta.name.clone();
+    let (ir, deps) = match meta.ir.take() {
+        Some(ir) => (ir, meta.deps.clone()),
+        None => check_function(interp, id)
+            .map_err(|e| e.traced(format!("terra function '{name}'")))?,
+    };
+    let mut ir = ir;
+    fold_function(&mut ir);
+    let globals = interp.ctx.global_addrs();
+    let compiled = terra_vm::compile(&ir, &interp.ctx.types, &mut interp.ctx.program, &globals);
+    interp.ctx.program.define(id, compiled);
+    // Link the rest of the connected component before this function can run.
+    for dep in deps {
+        ensure_compiled(interp, dep, span)?;
+    }
+    Ok(())
+}
+
+/// Typechecks a function body, producing IR and its direct dependencies.
+fn check_function(interp: &mut Interp, id: FuncId) -> EvalResult<(IrFunction, Vec<FuncId>)> {
+    let spec = interp.ctx.funcs[id.0 as usize]
+        .spec
+        .clone()
+        .expect("caller verified definition");
+    let mut addrof = HashSet::new();
+    collect_addrof_stmts(&spec.body, &mut addrof);
+
+    let mut func = IrFunction {
+        name: spec.name.clone(),
+        ty: FuncTy {
+            params: spec.params.iter().map(|(_, t)| t.clone()).collect(),
+            ret: spec.ret.clone().unwrap_or(Ty::Unit),
+        },
+        locals: Vec::new(),
+        body: Vec::new(),
+    };
+    let mut syms = HashMap::new();
+    for (sym, ty) in &spec.params {
+        let in_memory = is_aggregate(ty) || addrof.contains(&sym.id);
+        let lid = func.add_local(sym.name.clone(), ty.clone(), in_memory);
+        syms.insert(sym.id, lid);
+    }
+    let mut checker = Checker {
+        interp,
+        func,
+        syms,
+        addrof,
+        ret_ty: spec.ret.clone(),
+        deps: BTreeSet::new(),
+        prelude: Vec::new(),
+        defers: vec![Vec::new()],
+        loop_defer_depth: Vec::new(),
+    };
+    let mut body = Vec::new();
+    checker.stmts(&spec.body, &mut body)?;
+    // Run root-scope defers on fall-through.
+    checker.emit_defers_from(0, &mut body);
+    let mut func = checker.func;
+    let deps: Vec<FuncId> = checker.deps.into_iter().collect();
+    func.body = body;
+    func.ty.ret = checker.ret_ty.unwrap_or(Ty::Unit);
+    Ok((func, deps))
+}
+
+fn is_aggregate(ty: &Ty) -> bool {
+    matches!(ty, Ty::Struct(_) | Ty::Array(..))
+}
+
+// ---------------------------------------------------------------------------
+// address-of pre-pass
+// ---------------------------------------------------------------------------
+
+fn collect_addrof_stmts(stmts: &[SpecStmt], out: &mut HashSet<u64>) {
+    for s in stmts {
+        match s {
+            SpecStmt::Var { inits, .. } => {
+                for e in inits {
+                    collect_addrof_expr(e, out);
+                }
+            }
+            SpecStmt::Assign { targets, exprs, .. } => {
+                for e in targets.iter().chain(exprs) {
+                    collect_addrof_expr(e, out);
+                }
+            }
+            SpecStmt::If {
+                arms, else_body, ..
+            } => {
+                for (c, b) in arms {
+                    collect_addrof_expr(c, out);
+                    collect_addrof_stmts(b, out);
+                }
+                collect_addrof_stmts(else_body, out);
+            }
+            SpecStmt::While { cond, body, .. } | SpecStmt::Repeat { cond, body, .. } => {
+                collect_addrof_expr(cond, out);
+                collect_addrof_stmts(body, out);
+            }
+            SpecStmt::For {
+                start,
+                stop,
+                step,
+                body,
+                ..
+            } => {
+                collect_addrof_expr(start, out);
+                collect_addrof_expr(stop, out);
+                if let Some(s) = step {
+                    collect_addrof_expr(s, out);
+                }
+                collect_addrof_stmts(body, out);
+            }
+            SpecStmt::Return(es, _) => {
+                for e in es {
+                    collect_addrof_expr(e, out);
+                }
+            }
+            SpecStmt::Block(b, _) => collect_addrof_stmts(b, out),
+            SpecStmt::Expr(e) | SpecStmt::Defer(e, _) => collect_addrof_expr(e, out),
+            SpecStmt::Break(_) => {}
+        }
+    }
+}
+
+fn collect_addrof_expr(e: &SpecExpr, out: &mut HashSet<u64>) {
+    match &e.kind {
+        SpecExprKind::AddrOf(inner) => {
+            if let SpecExprKind::Sym(s) = &inner.kind {
+                out.insert(s.id);
+            }
+            collect_addrof_expr(inner, out);
+        }
+        SpecExprKind::MethodCall(obj, _, args) => {
+            // `x:m()` on a scalar-typed local would need its address; structs
+            // are in memory anyway, and scalars have no methods, so only the
+            // receiver of Field matters — conservatively mark simple symbols.
+            if let SpecExprKind::Sym(s) = &obj.kind {
+                out.insert(s.id);
+            }
+            collect_addrof_expr(obj, out);
+            for a in args {
+                collect_addrof_expr(a, out);
+            }
+        }
+        SpecExprKind::Field(o, _) => collect_addrof_expr(o, out),
+        SpecExprKind::Index(o, i) => {
+            collect_addrof_expr(o, out);
+            collect_addrof_expr(i, out);
+        }
+        SpecExprKind::Call(f, args) => {
+            collect_addrof_expr(f, out);
+            for a in args {
+                collect_addrof_expr(a, out);
+            }
+        }
+        SpecExprKind::StructInit(_, args) => {
+            for (_, a) in args {
+                collect_addrof_expr(a, out);
+            }
+        }
+        SpecExprKind::Bin(_, l, r) => {
+            collect_addrof_expr(l, out);
+            collect_addrof_expr(r, out);
+        }
+        SpecExprKind::Un(_, x) | SpecExprKind::Deref(x) => collect_addrof_expr(x, out),
+        SpecExprKind::LetIn(stmts, x) => {
+            collect_addrof_stmts(stmts, out);
+            collect_addrof_expr(x, out);
+        }
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// typed expressions
+// ---------------------------------------------------------------------------
+
+/// A typed, lowered expression.
+#[derive(Debug, Clone)]
+struct TExp {
+    ty: Ty,
+    val: TVal,
+}
+
+#[derive(Debug, Clone)]
+enum TVal {
+    /// Register-class rvalue.
+    R(IrExpr),
+    /// L-value living in a register local.
+    PlaceReg(LocalId),
+    /// L-value (or aggregate rvalue) at the given address.
+    PlaceMem(IrExpr),
+}
+
+impl TExp {
+    fn rvalue(ty: Ty, ir: IrExpr) -> TExp {
+        TExp {
+            ty,
+            val: TVal::R(ir),
+        }
+    }
+}
+
+struct Checker<'a> {
+    interp: &'a mut Interp,
+    func: IrFunction,
+    syms: HashMap<u64, LocalId>,
+    addrof: HashSet<u64>,
+    ret_ty: Option<Ty>,
+    deps: BTreeSet<FuncId>,
+    /// Statements hoisted out of expression lowering (spliced statement
+    /// quotes, struct-literal initialization).
+    prelude: Vec<IrStmt>,
+    /// Active `defer` calls, one list per open scope.
+    defers: Vec<Vec<IrExpr>>,
+    /// Defer-scope depth at each enclosing loop entry.
+    loop_defer_depth: Vec<usize>,
+}
+
+impl Checker<'_> {
+    // -- helpers -------------------------------------------------------------
+
+    /// Reads a register-class value out of a TExp.
+    fn read(&mut self, t: TExp, span: Span) -> EvalResult<IrExpr> {
+        match t.val {
+            TVal::R(e) => Ok(e),
+            TVal::PlaceReg(l) => Ok(IrExpr {
+                ty: t.ty,
+                kind: ExprKind::Local(l),
+            }),
+            TVal::PlaceMem(addr) => {
+                if t.ty.is_register() {
+                    Ok(IrExpr {
+                        ty: t.ty,
+                        kind: ExprKind::Load(Box::new(addr)),
+                    })
+                } else if matches!(t.ty, Ty::Array(..)) {
+                    // Arrays decay to a pointer to their first element.
+                    let Ty::Array(elem, _) = &t.ty else { unreachable!() };
+                    Ok(IrExpr {
+                        ty: (**elem).clone().ptr_to(),
+                        kind: addr.kind,
+                    })
+                } else {
+                    Err(terr(
+                        format!(
+                            "value of aggregate type {} cannot be used here",
+                            t.ty.display(&self.interp.ctx.types)
+                        ),
+                        span,
+                    ))
+                }
+            }
+        }
+    }
+
+    /// The address of an l-value (or aggregate).
+    fn addr(&mut self, t: TExp, span: Span) -> EvalResult<IrExpr> {
+        match t.val {
+            TVal::PlaceMem(addr) => Ok(addr),
+            TVal::PlaceReg(l) => Err(terr(
+                format!(
+                    "internal: address of register local l{} not precomputed",
+                    l.0
+                ),
+                span,
+            )),
+            TVal::R(_) => Err(terr("cannot take the address of an rvalue", span)),
+        }
+    }
+
+    fn ptr_to_addr(ty: &Ty, addr: IrExpr) -> IrExpr {
+        IrExpr {
+            ty: ty.clone().ptr_to(),
+            kind: addr.kind,
+        }
+    }
+
+    fn local_ty(&self, l: LocalId) -> Ty {
+        self.func.locals[l.0 as usize].ty.clone()
+    }
+
+    fn add_temp(&mut self, ty: Ty, in_memory: bool) -> LocalId {
+        self.func.add_local("tmp", ty, in_memory)
+    }
+
+    fn scale_index(&mut self, idx: IrExpr, size: u64) -> IrExpr {
+        let idx64 = if idx.ty == Ty::I64 {
+            idx
+        } else {
+            IrExpr {
+                ty: Ty::I64,
+                kind: ExprKind::Cast(Box::new(idx)),
+            }
+        };
+        if size == 1 {
+            return idx64;
+        }
+        IrExpr::binary(BinKind::Mul, idx64, IrExpr::int64(size as i64))
+    }
+
+    fn ptr_offset(&mut self, base: IrExpr, idx: IrExpr, elem_size: u64) -> IrExpr {
+        let ty = base.ty.clone();
+        let scaled = self.scale_index(idx, elem_size);
+        IrExpr {
+            ty,
+            kind: ExprKind::Binary {
+                op: BinKind::Add,
+                lhs: Box::new(base),
+                rhs: Box::new(scaled),
+            },
+        }
+    }
+
+    fn const_offset(&mut self, base: IrExpr, off: u64) -> IrExpr {
+        if off == 0 {
+            return base;
+        }
+        let ty = base.ty.clone();
+        IrExpr {
+            ty,
+            kind: ExprKind::Binary {
+                op: BinKind::Add,
+                lhs: Box::new(base),
+                rhs: Box::new(IrExpr::int64(off as i64)),
+            },
+        }
+    }
+
+    fn emit_defers_from(&mut self, depth: usize, out: &mut Vec<IrStmt>) {
+        let calls: Vec<IrExpr> = self.defers[depth..]
+            .iter()
+            .rev()
+            .flat_map(|scope| scope.iter().rev().cloned())
+            .collect();
+        for c in calls {
+            out.push(IrStmt::Expr(c));
+        }
+    }
+
+    // -- statements ----------------------------------------------------------
+
+    fn stmts(&mut self, stmts: &[SpecStmt], out: &mut Vec<IrStmt>) -> EvalResult<()> {
+        for s in stmts {
+            self.stmt(s, out)?;
+        }
+        Ok(())
+    }
+
+    fn flush_prelude(&mut self, out: &mut Vec<IrStmt>) {
+        out.append(&mut self.prelude);
+    }
+
+    fn scoped(&mut self, stmts: &[SpecStmt], out: &mut Vec<IrStmt>) -> EvalResult<()> {
+        self.defers.push(Vec::new());
+        self.stmts(stmts, out)?;
+        let scope = self.defers.pop().expect("pushed above");
+        for c in scope.into_iter().rev() {
+            out.push(IrStmt::Expr(c));
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &SpecStmt, out: &mut Vec<IrStmt>) -> EvalResult<()> {
+        match s {
+            SpecStmt::Var { decls, inits, span } => {
+                // Typecheck initializers first (they see the outer bindings).
+                let mut init_texps: Vec<Option<(TExp, &SpecExpr)>> = Vec::new();
+                for (i, (_, ann)) in decls.iter().enumerate() {
+                    match inits.get(i) {
+                        Some(e) => {
+                            let t = self.expr(e, ann.as_ref())?;
+                            init_texps.push(Some((t, e)));
+                        }
+                        None => init_texps.push(None),
+                    }
+                }
+                self.flush_prelude(out);
+                for ((sym, ann), init) in decls.iter().zip(init_texps) {
+                    let ty = match (ann, &init) {
+                        (Some(t), _) => t.clone(),
+                        (None, Some((i, _))) => i.ty.clone(),
+                        (None, None) => {
+                            return Err(terr(
+                                format!("variable '{}' needs a type or initializer", sym.name),
+                                *span,
+                            ))
+                        }
+                    };
+                    let in_memory = is_aggregate(&ty) || self.addrof.contains(&sym.id);
+                    let lid = self.func.add_local(sym.name.clone(), ty.clone(), in_memory);
+                    self.syms.insert(sym.id, lid);
+                    *sym.ty.borrow_mut() = Some(ty.clone());
+                    match init {
+                        Some((texp, origin)) => {
+                            let texp =
+                                self.convert(texp, &ty, origin.span, Some(origin))?;
+                            self.store_into_local(lid, texp, *span, out)?;
+                        }
+                        None => self.zero_local(lid, out),
+                    }
+                    self.flush_prelude(out);
+                }
+            }
+            SpecStmt::Assign {
+                targets,
+                exprs,
+                span,
+            } => {
+                if targets.len() != exprs.len() {
+                    return Err(terr(
+                        format!(
+                            "assignment mismatch: {} target(s) but {} value(s)",
+                            targets.len(),
+                            exprs.len()
+                        ),
+                        *span,
+                    ));
+                }
+                // Places first, then all values into temps (so swaps work),
+                // then the stores.
+                let places: Vec<TExp> = targets
+                    .iter()
+                    .map(|t| self.expr(t, None))
+                    .collect::<EvalResult<_>>()?;
+                let mut staged: Vec<(TExp, TExp)> = Vec::new();
+                for (place, e) in places.into_iter().zip(exprs) {
+                    let v = self.expr(e, Some(&place.ty.clone()))?;
+                    let v = self.convert(v, &place.ty.clone(), e.span, Some(e))?;
+                    // Stage scalar values into temps.
+                    let v = if targets.len() > 1 && v.ty.is_register() {
+                        let read = self.read(v.clone(), e.span)?;
+                        let tmp = self.add_temp(v.ty.clone(), false);
+                        self.prelude.push(IrStmt::Assign {
+                            dst: tmp,
+                            value: read,
+                        });
+                        TExp {
+                            ty: v.ty,
+                            val: TVal::PlaceReg(tmp),
+                        }
+                    } else {
+                        v
+                    };
+                    staged.push((place, v));
+                }
+                self.flush_prelude(out);
+                for (place, v) in staged {
+                    self.store_into_place(place, v, *span, out)?;
+                }
+            }
+            SpecStmt::If {
+                arms,
+                else_body,
+                span,
+            } => {
+                // Lower else-if chains from the back.
+                let mut else_ir = Vec::new();
+                self.scoped(else_body, &mut else_ir)?;
+                for (cond, body) in arms.iter().rev() {
+                    let c = self.cond(cond)?;
+                    self.flush_prelude(out);
+                    let mut then_ir = Vec::new();
+                    self.scoped(body, &mut then_ir)?;
+                    let _ = span;
+                    else_ir = vec![IrStmt::If {
+                        cond: c,
+                        then_body: then_ir,
+                        else_body: else_ir,
+                    }];
+                }
+                out.extend(else_ir);
+            }
+            SpecStmt::While { cond, body, span } => {
+                let _ = span;
+                let c = self.cond(cond)?;
+                let cond_prelude: Vec<IrStmt> = self.prelude.drain(..).collect();
+                self.loop_defer_depth.push(self.defers.len());
+                let mut body_ir = Vec::new();
+                self.scoped(body, &mut body_ir)?;
+                self.loop_defer_depth.pop();
+                if cond_prelude.is_empty() {
+                    out.push(IrStmt::While { cond: c, body: body_ir });
+                } else {
+                    // while(true) { prelude; if !c break; body }
+                    let mut inner = cond_prelude;
+                    inner.push(IrStmt::If {
+                        cond: IrExpr {
+                            ty: Ty::BOOL,
+                            kind: ExprKind::Unary {
+                                op: UnKind::Not,
+                                expr: Box::new(c),
+                            },
+                        },
+                        then_body: vec![IrStmt::Break],
+                        else_body: vec![],
+                    });
+                    inner.extend(body_ir);
+                    out.push(IrStmt::While {
+                        cond: IrExpr::boolean(true),
+                        body: inner,
+                    });
+                }
+            }
+            SpecStmt::Repeat { body, cond, span } => {
+                let _ = span;
+                self.loop_defer_depth.push(self.defers.len());
+                let mut inner = Vec::new();
+                self.defers.push(Vec::new());
+                self.stmts(body, &mut inner)?;
+                let c = self.cond(cond)?;
+                self.flush_prelude(&mut inner);
+                let scope = self.defers.pop().expect("pushed above");
+                for d in scope.into_iter().rev() {
+                    inner.push(IrStmt::Expr(d));
+                }
+                self.loop_defer_depth.pop();
+                inner.push(IrStmt::If {
+                    cond: c,
+                    then_body: vec![IrStmt::Break],
+                    else_body: vec![],
+                });
+                out.push(IrStmt::While {
+                    cond: IrExpr::boolean(true),
+                    body: inner,
+                });
+            }
+            SpecStmt::For {
+                sym,
+                ty,
+                start,
+                stop,
+                step,
+                body,
+                span,
+            } => {
+                let var_ty = match ty {
+                    Some(t) => t.clone(),
+                    None => {
+                        let probe = self.expr(start, None)?;
+                        // Loop variables default to `int` when the bound is a
+                        // spliced Lua number.
+                        if probe.ty.is_integer() {
+                            probe.ty
+                        } else {
+                            Ty::INT
+                        }
+                    }
+                };
+                if !var_ty.is_integer() {
+                    return Err(terr("for-loop variable must have integer type", *span));
+                }
+                let start_t = self.expr(start, Some(&var_ty))?;
+                let start_e = {
+                    let t = self.convert(start_t, &var_ty, start.span, Some(start))?;
+                    self.read(t, start.span)?
+                };
+                let stop_t = self.expr(stop, Some(&var_ty))?;
+                let stop_e = {
+                    let t = self.convert(stop_t, &var_ty, stop.span, Some(stop))?;
+                    self.read(t, stop.span)?
+                };
+                let step_e = match step {
+                    Some(e) => {
+                        let t = self.expr(e, Some(&var_ty))?;
+                        let t = self.convert(t, &var_ty, e.span, Some(e))?;
+                        let mut ir = self.read(t, e.span)?;
+                        // Terra loops ascend; catch constant non-positive
+                        // steps at compile time (fold first so `-2` is seen
+                        // as a constant).
+                        terra_ir::fold_expr(&mut ir);
+                        if let ExprKind::ConstInt(v) = ir.kind {
+                            if v <= 0 {
+                                return Err(terr(
+                                    "for-loop step must be positive",
+                                    e.span,
+                                ));
+                            }
+                        }
+                        ir
+                    }
+                    None => IrExpr {
+                        ty: var_ty.clone(),
+                        kind: ExprKind::ConstInt(1),
+                    },
+                };
+                self.flush_prelude(out);
+                let lid = self.func.add_local(sym.name.clone(), var_ty.clone(), false);
+                self.syms.insert(sym.id, lid);
+                *sym.ty.borrow_mut() = Some(var_ty);
+                self.loop_defer_depth.push(self.defers.len());
+                let mut body_ir = Vec::new();
+                self.scoped(body, &mut body_ir)?;
+                self.loop_defer_depth.pop();
+                out.push(IrStmt::For {
+                    var: lid,
+                    start: start_e,
+                    stop: stop_e,
+                    step: step_e,
+                    body: body_ir,
+                });
+            }
+            SpecStmt::Return(exprs, span) => {
+                match exprs.len() {
+                    0 => {
+                        match &self.ret_ty {
+                            None => self.ret_ty = Some(Ty::Unit),
+                            Some(Ty::Unit) => {}
+                            Some(other) => {
+                                return Err(terr(
+                                    format!(
+                                        "return without value in function returning {}",
+                                        other.display(&self.interp.ctx.types)
+                                    ),
+                                    *span,
+                                ))
+                            }
+                        }
+                        self.emit_defers_from(0, out);
+                        out.push(IrStmt::Return(None));
+                    }
+                    1 => {
+                        let e = &exprs[0];
+                        let hint = self.ret_ty.clone();
+                        let t = self.expr(e, hint.as_ref())?;
+                        let t = match &hint {
+                            Some(rt) => self.convert(t, &rt.clone(), e.span, Some(e))?,
+                            None => {
+                                let ty = default_ty(&t.ty);
+                                let t2 = self.convert(t, &ty, e.span, Some(e))?;
+                                if is_aggregate(&ty) {
+                                    return Err(terr(
+                                        "returning aggregates by value is not supported; \
+                                         use an out-pointer",
+                                        *span,
+                                    ));
+                                }
+                                self.ret_ty = Some(ty);
+                                t2
+                            }
+                        };
+                        let v = self.read(t, e.span)?;
+                        self.flush_prelude(out);
+                        let has_defers = self.defers.iter().any(|d| !d.is_empty());
+                        if has_defers {
+                            // The return value must be computed *before* the
+                            // deferred calls run.
+                            let tmp = self.add_temp(v.ty.clone(), false);
+                            let ty = v.ty.clone();
+                            out.push(IrStmt::Assign { dst: tmp, value: v });
+                            self.emit_defers_from(0, out);
+                            out.push(IrStmt::Return(Some(IrExpr {
+                                ty,
+                                kind: ExprKind::Local(tmp),
+                            })));
+                        } else {
+                            self.emit_defers_from(0, out);
+                            out.push(IrStmt::Return(Some(v)));
+                        }
+                    }
+                    _ => {
+                        return Err(terr(
+                            "returning multiple values is not supported; return a struct",
+                            *span,
+                        ))
+                    }
+                }
+            }
+            SpecStmt::Break(span) => {
+                let depth = *self.loop_defer_depth.last().ok_or_else(|| {
+                    terr("'break' outside of a loop", *span)
+                })?;
+                self.emit_defers_from(depth, out);
+                out.push(IrStmt::Break);
+            }
+            SpecStmt::Block(body, _) => {
+                self.scoped(body, out)?;
+            }
+            SpecStmt::Expr(e) => {
+                let t = self.expr(e, None)?;
+                self.flush_prelude(out);
+                if let TVal::R(ir) = t.val {
+                    if matches!(ir.kind, ExprKind::Call { .. }) || t.ty == Ty::Unit {
+                        out.push(IrStmt::Expr(ir));
+                    }
+                    // Non-call expression statements have no effect; drop.
+                }
+            }
+            SpecStmt::Defer(e, span) => {
+                let t = self.expr(e, None)?;
+                self.flush_prelude(out);
+                let TVal::R(ir) = t.val else {
+                    return Err(terr("defer expects a call", *span));
+                };
+                if !matches!(ir.kind, ExprKind::Call { .. }) {
+                    return Err(terr("defer expects a call", *span));
+                }
+                self.defers
+                    .last_mut()
+                    .expect("root scope always open")
+                    .push(ir);
+            }
+        }
+        Ok(())
+    }
+
+    fn zero_local(&mut self, lid: LocalId, out: &mut Vec<IrStmt>) {
+        let ty = self.local_ty(lid);
+        if is_aggregate(&ty) {
+            let size = ty.size(&self.interp.ctx.types);
+            let addr = IrExpr {
+                ty: ty.clone().ptr_to(),
+                kind: ExprKind::LocalAddr(lid),
+            };
+            out.push(IrStmt::Expr(IrExpr {
+                ty: Ty::U8.ptr_to(),
+                kind: ExprKind::Call {
+                    callee: Callee::Builtin(Builtin::Memset),
+                    args: vec![
+                        addr,
+                        IrExpr::int32(0),
+                        IrExpr {
+                            ty: Ty::U64,
+                            kind: ExprKind::ConstInt(size as i64),
+                        },
+                    ],
+                },
+            }));
+            return;
+        }
+        let zero = zero_of(&ty);
+        if self.func.locals[lid.0 as usize].in_memory {
+            out.push(IrStmt::Store {
+                addr: IrExpr {
+                    ty: ty.clone().ptr_to(),
+                    kind: ExprKind::LocalAddr(lid),
+                },
+                value: zero,
+            });
+        } else {
+            out.push(IrStmt::Assign {
+                dst: lid,
+                value: zero,
+            });
+        }
+    }
+
+    fn store_into_local(
+        &mut self,
+        lid: LocalId,
+        v: TExp,
+        span: Span,
+        out: &mut Vec<IrStmt>,
+    ) -> EvalResult<()> {
+        let ty = self.local_ty(lid);
+        let slot_mem = self.func.locals[lid.0 as usize].in_memory;
+        if is_aggregate(&ty) {
+            let src = self.addr(v, span)?;
+            let dst = IrExpr {
+                ty: ty.clone().ptr_to(),
+                kind: ExprKind::LocalAddr(lid),
+            };
+            self.flush_prelude(out);
+            out.push(IrStmt::CopyMem {
+                dst,
+                src,
+                size: ty.size(&self.interp.ctx.types),
+            });
+        } else {
+            let value = self.read(v, span)?;
+            self.flush_prelude(out);
+            if slot_mem {
+                out.push(IrStmt::Store {
+                    addr: IrExpr {
+                        ty: ty.clone().ptr_to(),
+                        kind: ExprKind::LocalAddr(lid),
+                    },
+                    value,
+                });
+            } else {
+                out.push(IrStmt::Assign { dst: lid, value });
+            }
+        }
+        Ok(())
+    }
+
+    fn store_into_place(
+        &mut self,
+        place: TExp,
+        v: TExp,
+        span: Span,
+        out: &mut Vec<IrStmt>,
+    ) -> EvalResult<()> {
+        match place.val {
+            TVal::PlaceReg(lid) => self.store_into_local(lid, v, span, out),
+            TVal::PlaceMem(addr) => {
+                if is_aggregate(&place.ty) {
+                    let src = self.addr(v, span)?;
+                    self.flush_prelude(out);
+                    out.push(IrStmt::CopyMem {
+                        dst: addr,
+                        src,
+                        size: place.ty.size(&self.interp.ctx.types),
+                    });
+                } else {
+                    let value = self.read(v, span)?;
+                    self.flush_prelude(out);
+                    out.push(IrStmt::Store { addr, value });
+                }
+                Ok(())
+            }
+            TVal::R(_) => Err(terr("cannot assign to this expression", span)),
+        }
+    }
+
+    fn cond(&mut self, e: &SpecExpr) -> EvalResult<IrExpr> {
+        let t = self.expr(e, Some(&Ty::BOOL))?;
+        if t.ty != Ty::BOOL {
+            return Err(terr(
+                format!(
+                    "condition must be bool, got {}",
+                    t.ty.display(&self.interp.ctx.types)
+                ),
+                e.span,
+            ));
+        }
+        self.read(t, e.span)
+    }
+
+    // -- expressions -----------------------------------------------------------
+
+    fn expr(&mut self, e: &SpecExpr, hint: Option<&Ty>) -> EvalResult<TExp> {
+        let span = e.span;
+        match &e.kind {
+            SpecExprKind::Int(v, suffix) => {
+                let ty = match suffix {
+                    IntSuffix::None => match hint {
+                        Some(t) if t.is_arithmetic() => t.clone(),
+                        Some(Ty::Vector(s, _)) => Ty::Scalar(*s),
+                        _ => {
+                            if i32::try_from(*v).is_ok() {
+                                Ty::INT
+                            } else {
+                                Ty::I64
+                            }
+                        }
+                    },
+                    IntSuffix::U => Ty::Scalar(ScalarTy::U32),
+                    IntSuffix::LL => Ty::I64,
+                    IntSuffix::ULL => Ty::U64,
+                };
+                Ok(const_num(ty, *v as f64))
+            }
+            SpecExprKind::Float(v, is_f32) => {
+                let ty = if *is_f32 { Ty::F32 } else { Ty::F64 };
+                let ty = match hint {
+                    Some(t @ Ty::Scalar(s)) if s.is_float() => t.clone(),
+                    _ => ty,
+                };
+                Ok(TExp::rvalue(
+                    ty.clone(),
+                    IrExpr {
+                        ty,
+                        kind: ExprKind::ConstFloat(*v),
+                    },
+                ))
+            }
+            SpecExprKind::LuaNum(n) => {
+                let ty = match hint {
+                    Some(t) if t.is_arithmetic() => t.clone(),
+                    Some(Ty::Vector(s, _)) => Ty::Scalar(*s),
+                    _ => {
+                        if n.fract() == 0.0 && *n >= i32::MIN as f64 && *n <= i32::MAX as f64 {
+                            Ty::INT
+                        } else {
+                            Ty::F64
+                        }
+                    }
+                };
+                Ok(const_num(ty, *n))
+            }
+            SpecExprKind::Bool(b) => Ok(TExp::rvalue(
+                Ty::BOOL,
+                IrExpr {
+                    ty: Ty::BOOL,
+                    kind: ExprKind::ConstBool(*b),
+                },
+            )),
+            SpecExprKind::Null => {
+                let ty = match hint {
+                    Some(t @ Ty::Ptr(_)) => t.clone(),
+                    _ => Ty::U8.ptr_to(),
+                };
+                Ok(TExp::rvalue(
+                    ty.clone(),
+                    IrExpr {
+                        ty,
+                        kind: ExprKind::ConstNull,
+                    },
+                ))
+            }
+            SpecExprKind::Str(s) => Ok(TExp::rvalue(
+                Ty::rawstring(),
+                IrExpr {
+                    ty: Ty::rawstring(),
+                    kind: ExprKind::ConstStr(s.clone()),
+                },
+            )),
+            SpecExprKind::Sym(sym) => {
+                let lid = *self.syms.get(&sym.id).ok_or_else(|| {
+                    terr(
+                        format!(
+                            "variable '{}' is not in scope in this function (symbols cannot \
+                             cross function boundaries)",
+                            sym.name
+                        ),
+                        span,
+                    )
+                })?;
+                let ty = self.local_ty(lid);
+                if self.func.locals[lid.0 as usize].in_memory {
+                    Ok(TExp {
+                        ty: ty.clone(),
+                        val: TVal::PlaceMem(IrExpr {
+                            ty: ty.ptr_to(),
+                            kind: ExprKind::LocalAddr(lid),
+                        }),
+                    })
+                } else {
+                    Ok(TExp {
+                        ty,
+                        val: TVal::PlaceReg(lid),
+                    })
+                }
+            }
+            SpecExprKind::Func(id) => {
+                let sig = ensure_signature(self.interp, *id, span)?;
+                self.deps.insert(*id);
+                let ty = Ty::Func(Rc::new(sig));
+                Ok(TExp::rvalue(
+                    ty.clone(),
+                    IrExpr {
+                        ty,
+                        kind: ExprKind::ConstFunc(*id),
+                    },
+                ))
+            }
+            SpecExprKind::GlobalRef(g) => {
+                let meta = self.interp.ctx.globals[g.0 as usize].clone();
+                Ok(TExp {
+                    ty: meta.ty.clone(),
+                    val: TVal::PlaceMem(IrExpr {
+                        ty: meta.ty.ptr_to(),
+                        kind: ExprKind::GlobalAddr(*g),
+                    }),
+                })
+            }
+            SpecExprKind::TypeLit(_) => Err(terr(
+                "a type is not a value here (types may be called as casts: T(e))",
+                span,
+            )),
+            SpecExprKind::Intrinsic(_) => Err(terr(
+                "this C function must be called, not used as a value",
+                span,
+            )),
+            SpecExprKind::Field(obj, name) => self.field(obj, name, span),
+            SpecExprKind::Index(obj, idx) => self.index(obj, idx, span),
+            SpecExprKind::Call(callee, args) => self.call(callee, args, hint, span),
+            SpecExprKind::MethodCall(obj, name, args) => {
+                self.method_call(obj, name, args, span)
+            }
+            SpecExprKind::StructInit(ty, args) => self.struct_init(ty, args, span),
+            SpecExprKind::Bin(op, l, r) => self.binop(*op, l, r, hint, span),
+            SpecExprKind::Un(op, x) => self.unop(*op, x, hint, span),
+            SpecExprKind::Deref(p) => {
+                let t = self.expr(p, None)?;
+                let Ty::Ptr(inner) = t.ty.clone() else {
+                    return Err(terr(
+                        format!(
+                            "cannot dereference non-pointer type {}",
+                            t.ty.display(&self.interp.ctx.types)
+                        ),
+                        span,
+                    ));
+                };
+                let addr = self.read(t, span)?;
+                Ok(TExp {
+                    ty: (*inner).clone(),
+                    val: TVal::PlaceMem(addr),
+                })
+            }
+            SpecExprKind::AddrOf(x) => {
+                let t = self.expr(x, None)?;
+                let ty = t.ty.clone();
+                let addr = self.addr(t, span).map_err(|_| {
+                    terr("'&' requires an addressable value (a variable, field, or index)", span)
+                })?;
+                Ok(TExp::rvalue(ty.clone().ptr_to(), Self::ptr_to_addr(&ty, addr)))
+            }
+            SpecExprKind::LetIn(stmts, inner) => {
+                let mut hoisted = Vec::new();
+                self.stmts(stmts, &mut hoisted)?;
+                self.prelude.append(&mut hoisted);
+                self.expr(inner, hint)
+            }
+        }
+    }
+
+    fn field(&mut self, obj: &SpecExpr, name: &str, span: Span) -> EvalResult<TExp> {
+        let t = self.expr(obj, None)?;
+        let (sid, base_addr) = match t.ty.clone() {
+            Ty::Struct(sid) => {
+                let addr = self.addr(t, span)?;
+                (sid, addr)
+            }
+            Ty::Ptr(inner) => match &*inner {
+                Ty::Struct(sid) => {
+                    let sid = *sid;
+                    (sid, self.read(t, span)?)
+                }
+                _ => {
+                    return Err(terr(
+                        format!(
+                            "cannot select field '{name}' from {}",
+                            Ty::Ptr(inner.clone()).display(&self.interp.ctx.types)
+                        ),
+                        span,
+                    ))
+                }
+            },
+            other => {
+                return Err(terr(
+                    format!(
+                        "cannot select field '{name}' from {}",
+                        other.display(&self.interp.ctx.types)
+                    ),
+                    span,
+                ))
+            }
+        };
+        self.interp.finalize_struct(sid, span)?;
+        let Some((offset, fty)) = self.interp.ctx.types.field(sid, name) else {
+            return Err(terr(
+                format!(
+                    "struct {} has no field '{name}'",
+                    self.interp.ctx.types.name(sid)
+                ),
+                span,
+            ));
+        };
+        let addr = self.const_offset(base_addr, offset);
+        Ok(TExp {
+            ty: fty.clone(),
+            val: TVal::PlaceMem(IrExpr {
+                ty: fty.ptr_to(),
+                kind: addr.kind,
+            }),
+        })
+    }
+
+    fn index(&mut self, obj: &SpecExpr, idx: &SpecExpr, span: Span) -> EvalResult<TExp> {
+        let t = self.expr(obj, None)?;
+        let it = self.expr(idx, Some(&Ty::I64))?;
+        if !it.ty.is_integer() {
+            return Err(terr("index must have integer type", idx.span));
+        }
+        let iv = self.read(it, idx.span)?;
+        match t.ty.clone() {
+            Ty::Ptr(elem) => {
+                let size = elem.size(&self.interp.ctx.types);
+                let base = self.read(t, span)?;
+                let addr = self.ptr_offset(base, iv, size);
+                Ok(TExp {
+                    ty: (*elem).clone(),
+                    val: TVal::PlaceMem(addr),
+                })
+            }
+            Ty::Array(elem, _) => {
+                let size = elem.size(&self.interp.ctx.types);
+                let base = self.addr(t, span)?;
+                let base = IrExpr {
+                    ty: (*elem).clone().ptr_to(),
+                    kind: base.kind,
+                };
+                let addr = self.ptr_offset(base, iv, size);
+                Ok(TExp {
+                    ty: (*elem).clone(),
+                    val: TVal::PlaceMem(addr),
+                })
+            }
+            other => Err(terr(
+                format!("cannot index {}", other.display(&self.interp.ctx.types)),
+                span,
+            )),
+        }
+    }
+
+    fn call(
+        &mut self,
+        callee: &SpecExpr,
+        args: &[SpecExpr],
+        hint: Option<&Ty>,
+        span: Span,
+    ) -> EvalResult<TExp> {
+        match &callee.kind {
+            SpecExprKind::TypeLit(ty) => {
+                // Functional cast T(e).
+                if args.len() != 1 {
+                    return Err(terr("cast takes exactly one argument", span));
+                }
+                let t = self.expr(&args[0], Some(ty))?;
+                self.explicit_cast(t, ty, args[0].span, Some(&args[0]))
+            }
+            SpecExprKind::Func(id) => {
+                let sig = ensure_signature(self.interp, *id, span)?;
+                self.deps.insert(*id);
+                let fname = self.interp.ctx.funcs[id.0 as usize].name.to_string();
+                let irargs = self.check_args(&sig, args, span, &fname)?;
+                Ok(TExp::rvalue(
+                    sig.ret.clone(),
+                    IrExpr {
+                        ty: sig.ret.clone(),
+                        kind: ExprKind::Call {
+                            callee: Callee::Direct(*id),
+                            args: irargs,
+                        },
+                    },
+                ))
+            }
+            SpecExprKind::Intrinsic(i) => self.intrinsic_call(*i, args, hint, span),
+            _ => {
+                let f = self.expr(callee, None)?;
+                let Ty::Func(sig) = f.ty.clone() else {
+                    return Err(terr(
+                        format!(
+                            "cannot call value of type {}",
+                            f.ty.display(&self.interp.ctx.types)
+                        ),
+                        span,
+                    ));
+                };
+                let fv = self.read(f, span)?;
+                let irargs = self.check_args(&sig, args, span, "function pointer")?;
+                Ok(TExp::rvalue(
+                    sig.ret.clone(),
+                    IrExpr {
+                        ty: sig.ret.clone(),
+                        kind: ExprKind::Call {
+                            callee: Callee::Indirect(Box::new(fv)),
+                            args: irargs,
+                        },
+                    },
+                ))
+            }
+        }
+    }
+
+    fn check_args(
+        &mut self,
+        sig: &FuncTy,
+        args: &[SpecExpr],
+        span: Span,
+        name: &str,
+    ) -> EvalResult<Vec<IrExpr>> {
+        if args.len() != sig.params.len() {
+            return Err(terr(
+                format!(
+                    "{name} expects {} argument(s), got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
+                span,
+            ));
+        }
+        let mut out = Vec::with_capacity(args.len());
+        for (a, pty) in args.iter().zip(&sig.params) {
+            let t = self.expr(a, Some(pty))?;
+            let t = self.convert(t, &pty.clone(), a.span, Some(a))?;
+            out.push(self.read(t, a.span)?);
+        }
+        Ok(out)
+    }
+
+    fn intrinsic_call(
+        &mut self,
+        i: Intrinsic,
+        args: &[SpecExpr],
+        _hint: Option<&Ty>,
+        span: Span,
+    ) -> EvalResult<TExp> {
+        let fixed = |c: &mut Self,
+                     b: Builtin,
+                     params: &[Ty],
+                     ret: Ty|
+         -> EvalResult<TExp> {
+            if args.len() != params.len() {
+                return Err(terr(
+                    format!("'{}' expects {} argument(s), got {}", b.name(), params.len(), args.len()),
+                    span,
+                ));
+            }
+            let mut irargs = Vec::new();
+            for (a, pty) in args.iter().zip(params) {
+                let t = c.expr(a, Some(pty))?;
+                let t = c.convert(t, pty, a.span, Some(a))?;
+                irargs.push(c.read(t, a.span)?);
+            }
+            Ok(TExp::rvalue(
+                ret.clone(),
+                IrExpr {
+                    ty: ret,
+                    kind: ExprKind::Call {
+                        callee: Callee::Builtin(b),
+                        args: irargs,
+                    },
+                },
+            ))
+        };
+        let vp = Ty::U8.ptr_to();
+        match i {
+            Intrinsic::Min | Intrinsic::Max => {
+                if args.len() != 2 {
+                    return Err(terr("min/max expect two arguments", span));
+                }
+                let lt = self.expr(&args[0], _hint)?;
+                let rt = self.expr(&args[1], Some(&lt.ty.clone()))?;
+                let (a, b, ty) = self.unify_arith(lt, rt, &args[0], &args[1], span)?;
+                let kind = if matches!(i, Intrinsic::Min) {
+                    BinKind::Min
+                } else {
+                    BinKind::Max
+                };
+                return Ok(TExp::rvalue(
+                    ty.clone(),
+                    IrExpr {
+                        ty,
+                        kind: ExprKind::Binary {
+                            op: kind,
+                            lhs: Box::new(a),
+                            rhs: Box::new(b),
+                        },
+                    },
+                ));
+            }
+            Intrinsic::Select => {
+                if args.len() != 3 {
+                    return Err(terr("select expects (cond, a, b)", span));
+                }
+                let c = self.cond(&args[0])?;
+                let a = self.expr(&args[1], None)?;
+                let ty = default_ty(&a.ty);
+                let a = self.convert(a, &ty, args[1].span, Some(&args[1]))?;
+                let b = self.expr(&args[2], Some(&ty))?;
+                let b = self.convert(b, &ty, args[2].span, Some(&args[2]))?;
+                let av = self.read(a, args[1].span)?;
+                let bv = self.read(b, args[2].span)?;
+                Ok(TExp::rvalue(
+                    ty.clone(),
+                    IrExpr {
+                        ty,
+                        kind: ExprKind::Select {
+                            cond: Box::new(c),
+                            then_value: Box::new(av),
+                            else_value: Box::new(bv),
+                        },
+                    },
+                ))
+            }
+            Intrinsic::C(b) => match b {
+                Builtin::Malloc => fixed(self, b, &[Ty::U64], vp),
+                Builtin::Free => fixed(self, b, &[vp], Ty::Unit),
+                Builtin::Realloc => fixed(self, b, &[vp.clone(), Ty::U64], vp),
+                Builtin::Memcpy => fixed(self, b, &[vp.clone(), vp.clone(), Ty::U64], vp),
+                Builtin::Memset => fixed(self, b, &[vp.clone(), Ty::INT, Ty::U64], vp),
+                Builtin::Sqrt
+                | Builtin::Fabs
+                | Builtin::Sin
+                | Builtin::Cos
+                | Builtin::Exp
+                | Builtin::Log
+                | Builtin::Floor
+                | Builtin::Ceil => fixed(self, b, &[Ty::F64], Ty::F64),
+                Builtin::Pow | Builtin::Fmod => fixed(self, b, &[Ty::F64, Ty::F64], Ty::F64),
+                Builtin::Clock => fixed(self, b, &[], Ty::F64),
+                Builtin::Rand => fixed(self, b, &[], Ty::INT),
+                Builtin::Srand => fixed(self, b, &[Ty::Scalar(ScalarTy::U32)], Ty::Unit),
+                Builtin::Abort => fixed(self, b, &[], Ty::Unit),
+                Builtin::Prefetch => {
+                    if args.is_empty() {
+                        return Err(terr("prefetch expects an address", span));
+                    }
+                    let t = self.expr(&args[0], None)?;
+                    if !t.ty.is_pointer() {
+                        return Err(terr("prefetch expects a pointer", args[0].span));
+                    }
+                    let addr = self.read(t, args[0].span)?;
+                    // Remaining C arguments (rw/locality/cachetype hints) are
+                    // typechecked and discarded.
+                    for a in &args[1..] {
+                        let t = self.expr(a, Some(&Ty::INT))?;
+                        let _ = self.read(t, a.span)?;
+                    }
+                    Ok(TExp::rvalue(
+                        Ty::Unit,
+                        IrExpr {
+                            ty: Ty::Unit,
+                            kind: ExprKind::Call {
+                                callee: Callee::Builtin(Builtin::Prefetch),
+                                args: vec![addr],
+                            },
+                        },
+                    ))
+                }
+                Builtin::Printf => {
+                    if args.is_empty() {
+                        return Err(terr("printf expects a format string", span));
+                    }
+                    let fmt = self.expr(&args[0], Some(&Ty::rawstring()))?;
+                    let fmt = self.convert(fmt, &Ty::rawstring(), args[0].span, Some(&args[0]))?;
+                    let mut irargs = vec![self.read(fmt, args[0].span)?];
+                    for a in &args[1..] {
+                        let t = self.expr(a, None)?;
+                        // C default argument promotions.
+                        let promoted = match &t.ty {
+                            Ty::Scalar(ScalarTy::F32) => self.convert(t, &Ty::F64, a.span, Some(a))?,
+                            Ty::Scalar(s) if s.is_integer() && s.size() < 4 => {
+                                self.convert(t, &Ty::INT, a.span, Some(a))?
+                            }
+                            Ty::Scalar(ScalarTy::Bool) => {
+                                self.convert(t, &Ty::INT, a.span, Some(a))?
+                            }
+                            _ => t,
+                        };
+                        irargs.push(self.read(promoted, a.span)?);
+                    }
+                    Ok(TExp::rvalue(
+                        Ty::INT,
+                        IrExpr {
+                            ty: Ty::INT,
+                            kind: ExprKind::Call {
+                                callee: Callee::Builtin(Builtin::Printf),
+                                args: irargs,
+                            },
+                        },
+                    ))
+                }
+            },
+        }
+    }
+
+    fn method_call(
+        &mut self,
+        obj: &SpecExpr,
+        name: &str,
+        args: &[SpecExpr],
+        span: Span,
+    ) -> EvalResult<TExp> {
+        let t = self.expr(obj, None)?;
+        let sid = match &t.ty {
+            Ty::Struct(sid) => *sid,
+            Ty::Ptr(inner) => match &**inner {
+                Ty::Struct(sid) => *sid,
+                _ => {
+                    return Err(terr(
+                        format!(
+                            "method call on non-struct type {}",
+                            t.ty.display(&self.interp.ctx.types)
+                        ),
+                        span,
+                    ))
+                }
+            },
+            _ => {
+                return Err(terr(
+                    format!(
+                        "method call on non-struct type {}",
+                        t.ty.display(&self.interp.ctx.types)
+                    ),
+                    span,
+                ))
+            }
+        };
+        self.interp.finalize_struct(sid, span)?;
+        let method = self.interp.ctx.struct_meta(sid).methods.borrow().get_str(name);
+        let LuaValue::TerraFunc(mid) = method else {
+            return Err(terr(
+                format!(
+                    "struct {} has no method '{name}'",
+                    self.interp.ctx.types.name(sid)
+                ),
+                span,
+            ));
+        };
+        let sig = ensure_signature(self.interp, mid, span)?;
+        self.deps.insert(mid);
+        if sig.params.is_empty() {
+            return Err(terr(
+                format!("method '{name}' takes no self parameter"),
+                span,
+            ));
+        }
+        // Self-argument adjustment: auto-& on l-values, pass-through for
+        // pointers.
+        let self_arg: IrExpr = match (&sig.params[0], &t.ty) {
+            (Ty::Ptr(want), Ty::Struct(_)) if matches!(&**want, Ty::Struct(s) if *s == sid) => {
+                let ty = t.ty.clone();
+                let addr = self.addr(t, span)?;
+                Self::ptr_to_addr(&ty, addr)
+            }
+            (Ty::Ptr(want), Ty::Ptr(_)) if matches!(&**want, Ty::Struct(s) if *s == sid) => {
+                self.read(t, span)?
+            }
+            (other, _) => {
+                return Err(terr(
+                    format!(
+                        "method '{name}' has self type {}, which is not supported \
+                         (methods must take &{})",
+                        other.display(&self.interp.ctx.types),
+                        self.interp.ctx.types.name(sid)
+                    ),
+                    span,
+                ))
+            }
+        };
+        if args.len() + 1 != sig.params.len() {
+            return Err(terr(
+                format!(
+                    "method '{name}' expects {} argument(s), got {}",
+                    sig.params.len() - 1,
+                    args.len()
+                ),
+                span,
+            ));
+        }
+        let mut irargs = vec![self_arg];
+        for (a, pty) in args.iter().zip(&sig.params[1..]) {
+            let ta = self.expr(a, Some(pty))?;
+            let ta = self.convert(ta, &pty.clone(), a.span, Some(a))?;
+            irargs.push(self.read(ta, a.span)?);
+        }
+        Ok(TExp::rvalue(
+            sig.ret.clone(),
+            IrExpr {
+                ty: sig.ret.clone(),
+                kind: ExprKind::Call {
+                    callee: Callee::Direct(mid),
+                    args: irargs,
+                },
+            },
+        ))
+    }
+
+    fn struct_init(
+        &mut self,
+        ty: &Ty,
+        args: &[(Option<terra_syntax::Name>, SpecExpr)],
+        span: Span,
+    ) -> EvalResult<TExp> {
+        let Ty::Struct(sid) = ty else {
+            return Err(terr("struct literal requires a struct type", span));
+        };
+        self.interp.finalize_struct(*sid, span)?;
+        let fields: Vec<(Rc<str>, u64, Ty)> = {
+            let layout = self.interp.ctx.types.layout(*sid);
+            layout
+                .fields
+                .iter()
+                .map(|f| (f.name.clone(), f.offset, f.ty.clone()))
+                .collect()
+        };
+        let tmp = self.add_temp(ty.clone(), true);
+        let base = |fty: &Ty, off: u64| IrExpr {
+            ty: fty.clone().ptr_to(),
+            kind: if off == 0 {
+                ExprKind::LocalAddr(tmp)
+            } else {
+                ExprKind::Binary {
+                    op: BinKind::Add,
+                    lhs: Box::new(IrExpr {
+                        ty: fty.clone().ptr_to(),
+                        kind: ExprKind::LocalAddr(tmp),
+                    }),
+                    rhs: Box::new(IrExpr::int64(off as i64)),
+                }
+            },
+        };
+        // Zero first when partially initialized.
+        if args.len() < fields.len() {
+            let size = ty.size(&self.interp.ctx.types);
+            self.prelude.push(IrStmt::Expr(IrExpr {
+                ty: Ty::U8.ptr_to(),
+                kind: ExprKind::Call {
+                    callee: Callee::Builtin(Builtin::Memset),
+                    args: vec![
+                        IrExpr {
+                            ty: Ty::U8.ptr_to(),
+                            kind: ExprKind::LocalAddr(tmp),
+                        },
+                        IrExpr::int32(0),
+                        IrExpr {
+                            ty: Ty::U64,
+                            kind: ExprKind::ConstInt(size as i64),
+                        },
+                    ],
+                },
+            }));
+        }
+        for (i, (fname, fe)) in args.iter().enumerate() {
+            let (fname2, offset, fty) = match fname {
+                Some(n) => {
+                    let f = fields.iter().find(|(fn_, _, _)| &**fn_ == &**n).ok_or_else(|| {
+                        terr(
+                            format!(
+                                "struct {} has no field '{n}'",
+                                self.interp.ctx.types.name(*sid)
+                            ),
+                            fe.span,
+                        )
+                    })?;
+                    f.clone()
+                }
+                None => fields
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| terr("too many initializers for struct", fe.span))?,
+            };
+            let _ = fname2;
+            let t = self.expr(fe, Some(&fty))?;
+            let t = self.convert(t, &fty, fe.span, Some(fe))?;
+            if is_aggregate(&fty) {
+                let src = self.addr(t, fe.span)?;
+                let dst = base(&fty, offset);
+                let size = fty.size(&self.interp.ctx.types);
+                self.prelude.push(IrStmt::CopyMem { dst, src, size });
+            } else {
+                let v = self.read(t, fe.span)?;
+                let addr = base(&fty, offset);
+                self.prelude.push(IrStmt::Store { addr, value: v });
+            }
+        }
+        Ok(TExp {
+            ty: ty.clone(),
+            val: TVal::PlaceMem(IrExpr {
+                ty: ty.clone().ptr_to(),
+                kind: ExprKind::LocalAddr(tmp),
+            }),
+        })
+    }
+
+    fn binop(
+        &mut self,
+        op: BinOp,
+        l: &SpecExpr,
+        r: &SpecExpr,
+        hint: Option<&Ty>,
+        span: Span,
+    ) -> EvalResult<TExp> {
+        use BinOp::*;
+        match op {
+            And | Or => {
+                let lt = self.expr(l, hint)?;
+                if lt.ty == Ty::BOOL {
+                    // Short-circuit via lazy Select.
+                    let c = self.read(lt, l.span)?;
+                    let rt = self.expr(r, Some(&Ty::BOOL))?;
+                    if rt.ty != Ty::BOOL {
+                        return Err(terr("logical operator requires bool operands", r.span));
+                    }
+                    let rv = self.read(rt, r.span)?;
+                    let (tv, fv) = if op == And {
+                        (rv, IrExpr::boolean(false))
+                    } else {
+                        (IrExpr::boolean(true), rv)
+                    };
+                    return Ok(TExp::rvalue(
+                        Ty::BOOL,
+                        IrExpr {
+                            ty: Ty::BOOL,
+                            kind: ExprKind::Select {
+                                cond: Box::new(c),
+                                then_value: Box::new(tv),
+                                else_value: Box::new(fv),
+                            },
+                        },
+                    ));
+                }
+                // Integer bitwise and/or.
+                let rt = self.expr(r, Some(&lt.ty.clone()))?;
+                let (a, b, ty) = self.unify_arith(lt, rt, l, r, span)?;
+                if !ty.is_integer() {
+                    return Err(terr("bitwise and/or requires integer operands", span));
+                }
+                let kind = if op == And { BinKind::And } else { BinKind::Or };
+                Ok(TExp::rvalue(
+                    ty.clone(),
+                    IrExpr {
+                        ty,
+                        kind: ExprKind::Binary {
+                            op: kind,
+                            lhs: Box::new(a),
+                            rhs: Box::new(b),
+                        },
+                    },
+                ))
+            }
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                let lt = self.expr(l, None)?;
+                let rt = self.expr(r, Some(&lt.ty.clone()))?;
+                let ck = match op {
+                    Eq => CmpKind::Eq,
+                    Ne => CmpKind::Ne,
+                    Lt => CmpKind::Lt,
+                    Le => CmpKind::Le,
+                    Gt => CmpKind::Gt,
+                    Ge => CmpKind::Ge,
+                    _ => unreachable!(),
+                };
+                // Pointer comparisons.
+                if lt.ty.is_pointer() || rt.ty.is_pointer() {
+                    let target = if lt.ty.is_pointer() {
+                        lt.ty.clone()
+                    } else {
+                        rt.ty.clone()
+                    };
+                    let a0 = self.convert(lt, &target, l.span, Some(l))?;
+                    let b0 = self.convert(rt, &target, r.span, Some(r))?;
+                    let a = self.read(a0, l.span)?;
+                    let b = self.read(b0, r.span)?;
+                    return Ok(TExp::rvalue(Ty::BOOL, IrExpr::cmp(ck, a, b)));
+                }
+                if lt.ty == Ty::BOOL && rt.ty == Ty::BOOL && matches!(op, Eq | Ne) {
+                    let a = self.read(lt, l.span)?;
+                    let b = self.read(rt, r.span)?;
+                    return Ok(TExp::rvalue(Ty::BOOL, IrExpr::cmp(ck, a, b)));
+                }
+                let (a, b, _ty) = self.unify_arith(lt, rt, l, r, span)?;
+                Ok(TExp::rvalue(Ty::BOOL, IrExpr::cmp(ck, a, b)))
+            }
+            Add | Sub => {
+                let lt = self.expr(l, hint)?;
+                let rt = self.expr(r, Some(&lt.ty.clone()))?;
+                // Pointer arithmetic.
+                if let Ty::Ptr(elem) = lt.ty.clone() {
+                    let size = elem.size(&self.interp.ctx.types);
+                    if rt.ty.is_integer() {
+                        let base = self.read(lt, l.span)?;
+                        let idx = self.read(rt, r.span)?;
+                        let idx = if op == Sub {
+                            IrExpr {
+                                ty: idx.ty.clone(),
+                                kind: ExprKind::Unary {
+                                    op: UnKind::Neg,
+                                    expr: Box::new(idx),
+                                },
+                            }
+                        } else {
+                            idx
+                        };
+                        let addr = self.ptr_offset(base, idx, size);
+                        return Ok(TExp::rvalue(addr.ty.clone(), addr));
+                    }
+                    if rt.ty.is_pointer() && op == Sub {
+                        let a = self.read(lt, l.span)?;
+                        let b = self.read(rt, r.span)?;
+                        let diff = IrExpr {
+                            ty: Ty::I64,
+                            kind: ExprKind::Binary {
+                                op: BinKind::Sub,
+                                lhs: Box::new(IrExpr {
+                                    ty: Ty::I64,
+                                    kind: a.kind,
+                                }),
+                                rhs: Box::new(IrExpr {
+                                    ty: Ty::I64,
+                                    kind: b.kind,
+                                }),
+                            },
+                        };
+                        let result = IrExpr::binary(
+                            BinKind::Div,
+                            diff,
+                            IrExpr::int64(size.max(1) as i64),
+                        );
+                        return Ok(TExp::rvalue(Ty::I64, result));
+                    }
+                    return Err(terr("invalid pointer arithmetic", span));
+                }
+                let kind = if op == Add { BinKind::Add } else { BinKind::Sub };
+                self.arith(kind, lt, rt, l, r, span)
+            }
+            Mul | Div | Mod => {
+                let lt = self.expr(l, hint)?;
+                let rt = self.expr(r, Some(&lt.ty.clone()))?;
+                let kind = match op {
+                    Mul => BinKind::Mul,
+                    Div => BinKind::Div,
+                    _ => BinKind::Rem,
+                };
+                self.arith(kind, lt, rt, l, r, span)
+            }
+            Pow => {
+                let lt = self.expr(l, hint)?;
+                let rt = self.expr(r, Some(&lt.ty.clone()))?;
+                if lt.ty.is_integer() && rt.ty.is_integer() {
+                    return self.arith(BinKind::Xor, lt, rt, l, r, span);
+                }
+                // Floating pow via the C library.
+                let a0 = self.convert(lt, &Ty::F64, l.span, Some(l))?;
+                let b0 = self.convert(rt, &Ty::F64, r.span, Some(r))?;
+                let a = self.read(a0, l.span)?;
+                let b = self.read(b0, r.span)?;
+                Ok(TExp::rvalue(
+                    Ty::F64,
+                    IrExpr {
+                        ty: Ty::F64,
+                        kind: ExprKind::Call {
+                            callee: Callee::Builtin(Builtin::Pow),
+                            args: vec![a, b],
+                        },
+                    },
+                ))
+            }
+            Shl | Shr => {
+                let lt = self.expr(l, hint)?;
+                let rt = self.expr(r, Some(&lt.ty.clone()))?;
+                if !lt.ty.is_integer() || !rt.ty.is_integer() {
+                    return Err(terr("shift requires integer operands", span));
+                }
+                let ty = lt.ty.clone();
+                let kind = if op == Shl { BinKind::Shl } else { BinKind::Shr };
+                let a = self.read(lt, l.span)?;
+                let b = self.read(rt, r.span)?;
+                Ok(TExp::rvalue(
+                    ty.clone(),
+                    IrExpr {
+                        ty,
+                        kind: ExprKind::Binary {
+                            op: kind,
+                            lhs: Box::new(a),
+                            rhs: Box::new(b),
+                        },
+                    },
+                ))
+            }
+            Concat => Err(terr("'..' is not a Terra operator", span)),
+        }
+    }
+
+    fn arith(
+        &mut self,
+        kind: BinKind,
+        lt: TExp,
+        rt: TExp,
+        l: &SpecExpr,
+        r: &SpecExpr,
+        span: Span,
+    ) -> EvalResult<TExp> {
+        let (a, b, ty) = self.unify_arith(lt, rt, l, r, span)?;
+        Ok(TExp::rvalue(
+            ty.clone(),
+            IrExpr {
+                ty,
+                kind: ExprKind::Binary {
+                    op: kind,
+                    lhs: Box::new(a),
+                    rhs: Box::new(b),
+                },
+            },
+        ))
+    }
+
+    /// Unifies two arithmetic (or vector) operands, inserting conversions.
+    fn unify_arith(
+        &mut self,
+        lt: TExp,
+        rt: TExp,
+        l: &SpecExpr,
+        r: &SpecExpr,
+        span: Span,
+    ) -> EvalResult<(IrExpr, IrExpr, Ty)> {
+        let target: Ty = match (&lt.ty, &rt.ty) {
+            (Ty::Vector(s1, n1), Ty::Vector(s2, n2)) => {
+                if s1 != s2 || n1 != n2 {
+                    return Err(terr("vector operands must have identical types", span));
+                }
+                lt.ty.clone()
+            }
+            (Ty::Vector(..), t2) if t2.is_arithmetic() => lt.ty.clone(),
+            (t1, Ty::Vector(..)) if t1.is_arithmetic() => rt.ty.clone(),
+            (Ty::Scalar(s1), Ty::Scalar(s2))
+                if (s1.is_integer() || s1.is_float()) && (s2.is_integer() || s2.is_float()) =>
+            {
+                if s1.conversion_rank() >= s2.conversion_rank() {
+                    lt.ty.clone()
+                } else {
+                    rt.ty.clone()
+                }
+            }
+            (t1, t2) => {
+                return Err(terr(
+                    format!(
+                        "invalid operand types {} and {}",
+                        t1.display(&self.interp.ctx.types),
+                        t2.display(&self.interp.ctx.types)
+                    ),
+                    span,
+                ))
+            }
+        };
+        let lt = self.convert(lt, &target, l.span, Some(l))?;
+        let rt = self.convert(rt, &target, r.span, Some(r))?;
+        let a = self.read(lt, l.span)?;
+        let b = self.read(rt, r.span)?;
+        Ok((a, b, target))
+    }
+
+    fn unop(
+        &mut self,
+        op: UnOp,
+        x: &SpecExpr,
+        hint: Option<&Ty>,
+        span: Span,
+    ) -> EvalResult<TExp> {
+        let t = self.expr(x, hint)?;
+        match op {
+            UnOp::Neg => {
+                let ty = t.ty.clone();
+                if !(ty.is_arithmetic() || matches!(ty, Ty::Vector(..))) {
+                    return Err(terr(
+                        format!("cannot negate {}", ty.display(&self.interp.ctx.types)),
+                        span,
+                    ));
+                }
+                let v = self.read(t, span)?;
+                Ok(TExp::rvalue(
+                    ty.clone(),
+                    IrExpr {
+                        ty,
+                        kind: ExprKind::Unary {
+                            op: UnKind::Neg,
+                            expr: Box::new(v),
+                        },
+                    },
+                ))
+            }
+            UnOp::Not => {
+                let ty = t.ty.clone();
+                if ty != Ty::BOOL && !ty.is_integer() {
+                    return Err(terr("'not' requires a bool or integer operand", span));
+                }
+                let v = self.read(t, span)?;
+                Ok(TExp::rvalue(
+                    ty.clone(),
+                    IrExpr {
+                        ty,
+                        kind: ExprKind::Unary {
+                            op: UnKind::Not,
+                            expr: Box::new(v),
+                        },
+                    },
+                ))
+            }
+            UnOp::Len => Err(terr("'#' is not a Terra operator", span)),
+        }
+    }
+
+    // -- conversions ---------------------------------------------------------
+
+    /// Implicit conversion with user-`__cast` fallback.
+    fn convert(
+        &mut self,
+        t: TExp,
+        target: &Ty,
+        span: Span,
+        origin: Option<&SpecExpr>,
+    ) -> EvalResult<TExp> {
+        if &t.ty == target {
+            return Ok(t);
+        }
+        if let Some(res) = self.try_implicit(&t, target, span)? {
+            return Ok(res);
+        }
+        // User-defined conversions when structs are involved.
+        if let Some(origin) = origin {
+            if let Some(res) = self.try_user_cast(&t.ty.clone(), target, origin, span)? {
+                return Ok(res);
+            }
+        }
+        Err(terr(
+            format!(
+                "cannot convert {} to {}",
+                t.ty.display(&self.interp.ctx.types),
+                target.display(&self.interp.ctx.types)
+            ),
+            span,
+        ))
+    }
+
+    fn try_implicit(&mut self, t: &TExp, target: &Ty, span: Span) -> EvalResult<Option<TExp>> {
+        // Arithmetic conversions.
+        if t.ty.is_arithmetic() && target.is_arithmetic() {
+            let v = self.read(t.clone(), span)?;
+            return Ok(Some(TExp::rvalue(
+                target.clone(),
+                IrExpr {
+                    ty: target.clone(),
+                    kind: ExprKind::Cast(Box::new(v)),
+                },
+            )));
+        }
+        if t.ty == Ty::BOOL && target.is_arithmetic() {
+            let v = self.read(t.clone(), span)?;
+            return Ok(Some(TExp::rvalue(
+                target.clone(),
+                IrExpr {
+                    ty: target.clone(),
+                    kind: ExprKind::Cast(Box::new(v)),
+                },
+            )));
+        }
+        // Scalar → vector broadcast.
+        if let Ty::Vector(s, _) = target {
+            if t.ty.is_arithmetic() || t.ty == Ty::BOOL {
+                let scalar = Ty::Scalar(*s);
+                let v0 = self.convert(t.clone(), &scalar, span, None)?;
+                let v = self.read(v0, span)?;
+                return Ok(Some(TExp::rvalue(
+                    target.clone(),
+                    IrExpr {
+                        ty: target.clone(),
+                        kind: ExprKind::Cast(Box::new(v)),
+                    },
+                )));
+            }
+        }
+        // Null to any pointer.
+        if matches!(t.val, TVal::R(IrExpr { kind: ExprKind::ConstNull, .. })) && target.is_pointer()
+        {
+            return Ok(Some(TExp::rvalue(
+                target.clone(),
+                IrExpr {
+                    ty: target.clone(),
+                    kind: ExprKind::ConstNull,
+                },
+            )));
+        }
+        // void* (modeled as &uint8) to/from any pointer.
+        let voidish = |ty: &Ty| matches!(ty, Ty::Ptr(p) if **p == Ty::U8);
+        if t.ty.is_pointer() && target.is_pointer() && (voidish(&t.ty) || voidish(target)) {
+            let v = self.read(t.clone(), span)?;
+            return Ok(Some(TExp::rvalue(
+                target.clone(),
+                IrExpr {
+                    ty: target.clone(),
+                    kind: ExprKind::Cast(Box::new(v)),
+                },
+            )));
+        }
+        // Array decay.
+        if let (Ty::Array(elem, _), Ty::Ptr(want)) = (&t.ty, target) {
+            if elem == want {
+                let addr = self.addr(t.clone(), span)?;
+                return Ok(Some(TExp::rvalue(
+                    target.clone(),
+                    IrExpr {
+                        ty: target.clone(),
+                        kind: addr.kind,
+                    },
+                )));
+            }
+        }
+        Ok(None)
+    }
+
+    fn try_user_cast(
+        &mut self,
+        from: &Ty,
+        target: &Ty,
+        origin: &SpecExpr,
+        span: Span,
+    ) -> EvalResult<Option<TExp>> {
+        let struct_of = |ty: &Ty| -> Option<terra_ir::StructId> {
+            match ty {
+                Ty::Struct(s) => Some(*s),
+                Ty::Ptr(p) => match &**p {
+                    Ty::Struct(s) => Some(*s),
+                    _ => None,
+                },
+                _ => None,
+            }
+        };
+        let candidates: Vec<terra_ir::StructId> = [struct_of(from), struct_of(target)]
+            .into_iter()
+            .flatten()
+            .collect();
+        for sid in candidates {
+            let mm = self.interp.ctx.struct_meta(sid).metamethods.borrow().get_str("__cast");
+            if !mm.truthy() {
+                continue;
+            }
+            let quote = LuaValue::Quote(Rc::new(crate::spec::SpecQuote {
+                stmts: vec![],
+                exprs: vec![origin.clone()],
+                span,
+            }));
+            let result = self.interp.call_value(
+                mm,
+                vec![
+                    LuaValue::Type(from.clone()),
+                    LuaValue::Type(target.clone()),
+                    quote,
+                ],
+                span,
+            );
+            match result {
+                Ok(values) => {
+                    let v = values.into_iter().next().unwrap_or(LuaValue::Nil);
+                    let spec = crate::spec::lua_to_spec(self.interp, v, span)?;
+                    let t = self.expr(&spec, Some(target))?;
+                    if &t.ty == target {
+                        return Ok(Some(t));
+                    }
+                    if let Some(conv) = self.try_implicit(&t, target, span)? {
+                        return Ok(Some(conv));
+                    }
+                    return Err(terr(
+                        format!(
+                            "__cast produced {} instead of {}",
+                            t.ty.display(&self.interp.ctx.types),
+                            target.display(&self.interp.ctx.types)
+                        ),
+                        span,
+                    ));
+                }
+                Err(_) => continue, // this type's __cast rejected; try the other
+            }
+        }
+        Ok(None)
+    }
+
+    /// Explicit cast `T(e)`: everything implicit, plus pointer↔pointer,
+    /// pointer↔integer, and float→int conversions.
+    fn explicit_cast(
+        &mut self,
+        t: TExp,
+        target: &Ty,
+        span: Span,
+        origin: Option<&SpecExpr>,
+    ) -> EvalResult<TExp> {
+        if &t.ty == target {
+            return Ok(t);
+        }
+        if let Some(res) = self.try_implicit(&t, target, span)? {
+            return Ok(res);
+        }
+        let ok = matches!(
+            (&t.ty, target),
+            (Ty::Ptr(_), Ty::Ptr(_))
+                | (Ty::Ptr(_), Ty::Func(_))
+                | (Ty::Func(_), Ty::Ptr(_))
+                | (Ty::Func(_), Ty::Func(_))
+        ) || (t.ty.is_pointer() && target.is_integer())
+            || (t.ty.is_integer() && target.is_pointer())
+            || matches!((&t.ty, target), (Ty::Array(..), Ty::Ptr(_)));
+        if ok {
+            let v = match (&t.ty, &t.val) {
+                (Ty::Array(..), _) => {
+                    let addr = self.addr(t.clone(), span)?;
+                    addr
+                }
+                _ => self.read(t, span)?,
+            };
+            return Ok(TExp::rvalue(
+                target.clone(),
+                IrExpr {
+                    ty: target.clone(),
+                    kind: ExprKind::Cast(Box::new(v)),
+                },
+            ));
+        }
+        if let Some(origin) = origin {
+            if let Some(res) = self.try_user_cast(&t.ty.clone(), target, origin, span)? {
+                return Ok(res);
+            }
+        }
+        Err(terr(
+            format!(
+                "invalid cast from {} to {}",
+                t.ty.display(&self.interp.ctx.types),
+                target.display(&self.interp.ctx.types)
+            ),
+            span,
+        ))
+    }
+}
+
+/// Zero value of a register-class type.
+fn zero_of(ty: &Ty) -> IrExpr {
+    let kind = match ty {
+        Ty::Scalar(s) if s.is_float() => ExprKind::ConstFloat(0.0),
+        Ty::Scalar(ScalarTy::Bool) => ExprKind::ConstBool(false),
+        Ty::Ptr(_) | Ty::Func(_) => ExprKind::ConstNull,
+        _ => ExprKind::ConstInt(0),
+    };
+    IrExpr {
+        ty: ty.clone(),
+        kind,
+    }
+}
+
+fn const_num(ty: Ty, n: f64) -> TExp {
+    let kind = match &ty {
+        Ty::Scalar(s) if s.is_float() => ExprKind::ConstFloat(n),
+        Ty::Scalar(ScalarTy::Bool) => ExprKind::ConstBool(n != 0.0),
+        _ => ExprKind::ConstInt(n as i64),
+    };
+    TExp::rvalue(ty.clone(), IrExpr { ty, kind })
+}
+
+/// The "natural" type of an expression used without context.
+fn default_ty(t: &Ty) -> Ty {
+    t.clone()
+}

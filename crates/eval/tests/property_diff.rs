@@ -1,0 +1,175 @@
+//! Differential property tests: the same arithmetic evaluated three ways —
+//! by the Lua interpreter, by compiled Terra code, and by the host — must
+//! agree. This exercises the whole pipeline (parse → specialize → typecheck
+//! → compile → VM) on random programs.
+
+use proptest::prelude::*;
+use terra_eval::{Interp, LuaValue};
+
+/// A random f64 arithmetic expression over variables `a`, `b`, `c`, as both
+/// source text and a host-side evaluator.
+#[derive(Debug, Clone)]
+enum E {
+    Var(u8),
+    K(i16),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Neg(Box<E>),
+}
+
+impl E {
+    fn src(&self) -> String {
+        match self {
+            E::Var(i) => ["a", "b", "c"][*i as usize % 3].to_string(),
+            E::K(v) => {
+                if *v < 0 {
+                    format!("({}.0)", v)
+                } else {
+                    format!("{}.0", v)
+                }
+            }
+            E::Add(l, r) => format!("({} + {})", l.src(), r.src()),
+            E::Sub(l, r) => format!("({} - {})", l.src(), r.src()),
+            E::Mul(l, r) => format!("({} * {})", l.src(), r.src()),
+            E::Neg(x) => format!("(-{})", x.src()),
+        }
+    }
+
+    fn eval(&self, a: f64, b: f64, c: f64) -> f64 {
+        match self {
+            E::Var(i) => [a, b, c][*i as usize % 3],
+            E::K(v) => *v as f64,
+            E::Add(l, r) => l.eval(a, b, c) + r.eval(a, b, c),
+            E::Sub(l, r) => l.eval(a, b, c) - r.eval(a, b, c),
+            E::Mul(l, r) => l.eval(a, b, c) * r.eval(a, b, c),
+            E::Neg(x) => -x.eval(a, b, c),
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![any::<u8>().prop_map(E::Var), any::<i16>().prop_map(E::K)];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Add(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Sub(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Mul(Box::new(l), Box::new(r))),
+            inner.prop_map(|x| E::Neg(Box::new(x))),
+        ]
+    })
+}
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    // Exactly representable values so f64 arithmetic is deterministic and
+    // identical on every path.
+    (-1000i32..1000).prop_map(|v| v as f64 / 4.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lua evaluation, Terra compilation, and host evaluation agree on f64
+    /// arithmetic.
+    #[test]
+    fn lua_terra_host_agree(e in expr_strategy(), a in small_f64(), b in small_f64(), c in small_f64()) {
+        let src = e.src();
+        let mut t = Interp::new();
+        let chunk = format!(
+            "terra tf(a : double, b : double, c : double) : double return {src} end\n\
+             function lf(a, b, c) return {src} end\n\
+             return tf({a:?}, {b:?}, {c:?}), lf({a:?}, {b:?}, {c:?})"
+        );
+        let out = t.exec(&chunk).unwrap();
+        let host = e.eval(a, b, c);
+        let LuaValue::Number(terra_v) = out[0] else { panic!("terra result") };
+        let LuaValue::Number(lua_v) = out[1] else { panic!("lua result") };
+        let eq = |x: f64, y: f64| x == y || (x.is_nan() && y.is_nan()) || (x - y).abs() <= 1e-9 * x.abs().max(1.0);
+        prop_assert!(eq(terra_v, host), "terra {terra_v} vs host {host} for {src}");
+        prop_assert!(eq(lua_v, host), "lua {lua_v} vs host {host} for {src}");
+    }
+
+    /// The same expression staged with constants spliced from Lua (escapes)
+    /// equals the version taking runtime arguments.
+    #[test]
+    fn spliced_constants_equal_runtime_arguments(
+        e in expr_strategy(), a in small_f64(), b in small_f64(), c in small_f64()
+    ) {
+        let src = e.src();
+        let mut t = Interp::new();
+        let chunk = format!(
+            "local a, b, c = {a:?}, {b:?}, {c:?}\n\
+             terra spliced() : double return {src} end\n\
+             terra runtime(a : double, b : double, c : double) : double return {src} end\n\
+             return spliced(), runtime(a, b, c)"
+        );
+        let out = t.exec(&chunk).unwrap();
+        let LuaValue::Number(x) = out[0] else { panic!() };
+        let LuaValue::Number(y) = out[1] else { panic!() };
+        prop_assert!(x == y || (x.is_nan() && y.is_nan()), "{x} vs {y} for {src}");
+    }
+
+    /// Integer arithmetic in Terra wraps like i32; summing a staged unrolled
+    /// loop equals the host sum.
+    #[test]
+    fn unrolled_integer_sums(terms in proptest::collection::vec(-100i32..100, 1..20)) {
+        let mut t = Interp::new();
+        let list = terms
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let chunk = format!(
+            "local terms = {{ {list} }}\n\
+             function gen()\n\
+                 local acc = `0\n\
+                 for i = 1, #terms do acc = acc + terms[i] end\n\
+                 return acc\n\
+             end\n\
+             terra f() : int return [gen()] end\n\
+             return f()"
+        );
+        let out = t.exec(&chunk).unwrap();
+        let LuaValue::Number(got) = out[0] else { panic!() };
+        let expect: i32 = terms.iter().sum();
+        prop_assert_eq!(got as i32, expect);
+    }
+
+    /// Terra `for` loops match a host loop for arbitrary bounds and steps.
+    #[test]
+    fn for_loop_semantics(start in -50i64..50, len in 0i64..60, step in 1i64..7) {
+        let stop = start + len;
+        let mut t = Interp::new();
+        let chunk = format!(
+            "terra f() : int64\n\
+                 var s : int64 = 0\n\
+                 for i = {start}, {stop}, {step} do s = s + i end\n\
+                 return s\n\
+             end\n\
+             return f()"
+        );
+        let out = t.exec(&chunk).unwrap();
+        let LuaValue::Number(got) = out[0] else { panic!() };
+        let mut expect = 0i64;
+        let mut i = start;
+        while i < stop {
+            expect += i;
+            i += step;
+        }
+        prop_assert_eq!(got as i64, expect);
+    }
+
+    /// Narrow unsigned arithmetic wraps at the type's width.
+    #[test]
+    fn u8_wrapping(a in any::<u8>(), b in any::<u8>()) {
+        let mut t = Interp::new();
+        let chunk = format!(
+            "terra f(a : uint8, b : uint8) : uint8 return a * b + a end\n\
+             return f({a}, {b})"
+        );
+        let out = t.exec(&chunk).unwrap();
+        let LuaValue::Number(got) = out[0] else { panic!() };
+        let expect = a.wrapping_mul(b).wrapping_add(a);
+        prop_assert_eq!(got as u8, expect);
+    }
+}

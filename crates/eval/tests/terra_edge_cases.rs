@@ -1,0 +1,480 @@
+//! Edge-case and failure-injection tests for the staged language: things
+//! users get wrong, and behaviours at the corners of the semantics.
+
+use terra_eval::{Interp, LuaValue, Phase};
+
+fn eval_num(src: &str) -> f64 {
+    let mut t = Interp::new();
+    let out = t.exec(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+    match out.first() {
+        Some(LuaValue::Number(n)) => *n,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn eval_err(src: &str) -> terra_eval::LuaError {
+    let mut t = Interp::new();
+    match t.exec(src) {
+        Ok(_) => panic!("expected error for {src}"),
+        Err(e) => e,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// error phases (§4.1: where each class of error can occur)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn specialization_errors_happen_at_definition() {
+    let e = eval_err("terra f() : int return not_a_thing end");
+    assert_eq!(e.phase, Phase::Specialize);
+    // A table is not a Terra value.
+    let e = eval_err("local t = {} terra f() : int return t end");
+    assert_eq!(e.phase, Phase::Specialize);
+}
+
+#[test]
+fn type_errors_happen_at_first_call_not_definition() {
+    let mut t = Interp::new();
+    // Defining is fine…
+    t.exec("terra bad() : int return 1.5 + nil end").unwrap();
+    // …calling reports a typecheck-phase error.
+    let e = t.exec("return bad()").unwrap_err();
+    assert_eq!(e.phase, Phase::Typecheck);
+}
+
+#[test]
+fn execution_errors_carry_execution_phase() {
+    let e = eval_err(
+        "terra crash(p : &int) : int return p[0] end\n\
+         return crash(nil)",
+    );
+    assert_eq!(e.phase, Phase::Execution);
+    let e = eval_err("terra d(x : int) : int return 1 / x end return d(0)");
+    assert_eq!(e.phase, Phase::Execution);
+    assert!(e.to_string().contains("division"), "{e}");
+}
+
+#[test]
+fn lua_can_catch_terra_errors_with_pcall() {
+    let src = r#"
+        terra d(x : int) : int return 100 / x end
+        local ok, msg = pcall(function() return d(0) end)
+        if ok then return 0 end
+        return 1
+    "#;
+    assert_eq!(eval_num(src), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// staging corners
+// ---------------------------------------------------------------------------
+
+#[test]
+fn quote_reuse_in_multiple_functions() {
+    // One quote spliced into two different functions works (specialized
+    // terms are immutable values).
+    let src = r#"
+        local q = `21
+        terra a() : int return [q] + 1 end
+        terra b() : int return [q] * 2 end
+        return a() + b()
+    "#;
+    assert_eq!(eval_num(src), 64.0);
+}
+
+#[test]
+fn nested_escapes_and_quotes() {
+    let src = r#"
+        local function wrap(e)
+            return `[e] + [e]
+        end
+        terra f(x : int) : int
+            return [wrap(wrap(`x))]
+        end
+        return f(3)
+    "#;
+    assert_eq!(eval_num(src), 12.0);
+}
+
+#[test]
+fn symbols_shared_across_quote_boundaries() {
+    let src = r#"
+        local s = symbol(int, "shared")
+        local decl = quote var [s] = 5 end
+        local use = `[s] * [s]
+        terra f() : int
+            [decl];
+            return [use]
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 25.0);
+}
+
+#[test]
+fn stale_symbol_in_wrong_function_is_an_error() {
+    // A symbol bound in one function cannot be referenced from another.
+    let src = r#"
+        local s = symbol(int, "leaky")
+        terra a() : int var [s] = 1 return [s] end
+        terra b() : int return [s] end
+        a()
+        return b()
+    "#;
+    let e = eval_err(src);
+    assert!(
+        e.to_string().contains("not in scope"),
+        "unexpected message: {e}"
+    );
+}
+
+#[test]
+fn macros_receive_quotes_not_values() {
+    let src = r#"
+        local seen = nil
+        local probe = terralib.macro(function(q)
+            seen = type(q)
+            return q
+        end)
+        terra f(x : int) : int return probe(x + 1) end
+        local r = f(9)
+        if seen == "quote" then return r end
+        return -1
+    "#;
+    assert_eq!(eval_num(src), 10.0);
+}
+
+#[test]
+fn statement_macro_splice() {
+    let src = r#"
+        local log = terralib.macro(function(e)
+            return quote var tmp = [e] in tmp * 2 end
+        end)
+        terra f(x : int) : int
+            return log(x + 1)
+        end
+        return f(20)
+    "#;
+    assert_eq!(eval_num(src), 42.0);
+}
+
+// ---------------------------------------------------------------------------
+// terra control flow corners
+// ---------------------------------------------------------------------------
+
+#[test]
+fn repeat_until_in_terra() {
+    let src = r#"
+        terra f(n : int) : int
+            var c = 0
+            repeat
+                c = c + 1
+                n = n / 2
+            until n == 0
+            return c
+        end
+        return f(17)
+    "#;
+    assert_eq!(eval_num(src), 5.0);
+}
+
+#[test]
+fn nested_loops_break_innermost() {
+    let src = r#"
+        terra f() : int
+            var hits = 0
+            for i = 0, 4 do
+                for j = 0, 10 do
+                    if j > i then break end
+                    hits = hits + 1
+                end
+            end
+            return hits
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 1.0 + 2.0 + 3.0 + 4.0);
+}
+
+#[test]
+fn defer_runs_before_return_value_is_delivered() {
+    let src = r#"
+        local g = global(int, 0)
+        terra touch() : {} g = g + 1 end
+        terra f() : int
+            defer touch()
+            return g * 100
+        end
+        local first = f()
+        return first * 10 + g:get()
+    "#;
+    // f computes 0*100 = 0 before the deferred touch bumps g to 1.
+    assert_eq!(eval_num(src), 1.0);
+}
+
+#[test]
+fn defer_inside_loop_scope_runs_per_iteration() {
+    let src = r#"
+        local g = global(int, 0)
+        terra bump() : {} g = g + 1 end
+        terra f() : {}
+            for i = 0, 3 do
+                do
+                    defer bump()
+                end
+            end
+        end
+        f()
+        return g:get()
+    "#;
+    assert_eq!(eval_num(src), 3.0);
+}
+
+#[test]
+fn nonpositive_for_step_is_a_type_error() {
+    let e = eval_err("terra f() : int for i = 0, 10, 0 do end return 1 end return f()");
+    assert!(e.to_string().contains("positive"), "{e}");
+    let e = eval_err("terra f() : int for i = 0, 10, -2 do end return 1 end return f()");
+    assert!(e.to_string().contains("positive"), "{e}");
+}
+
+#[test]
+fn while_with_compound_condition() {
+    let src = r#"
+        terra f(n : int) : int
+            var i = 0
+            while i < n and i * i < 50 do
+                i = i + 1
+            end
+            return i
+        end
+        return f(100)
+    "#;
+    assert_eq!(eval_num(src), 8.0);
+}
+
+#[test]
+fn short_circuit_prevents_null_deref() {
+    let src = r#"
+        terra safe(p : &int) : int
+            if p ~= nil and p[0] > 0 then
+                return p[0]
+            end
+            return -1
+        end
+        return safe(nil)
+    "#;
+    assert_eq!(eval_num(src), -1.0);
+}
+
+// ---------------------------------------------------------------------------
+// types and conversions
+// ---------------------------------------------------------------------------
+
+#[test]
+fn integer_conversion_ranks() {
+    let src = r#"
+        terra f(a : int8, b : int64) : int64
+            return a + b   -- promotes to int64
+        end
+        return f(-1, 1000)
+    "#;
+    assert_eq!(eval_num(src), 999.0);
+}
+
+#[test]
+fn float_int_mixing_promotes_to_float() {
+    assert_eq!(
+        eval_num("terra f(x : int) : double return x / 4 + 0.5 end return f(10)"),
+        // int division first (both ints), then float add.
+        2.0 + 0.5
+    );
+    assert_eq!(
+        eval_num("terra f(x : int) : double return x / 4.0 + 0.5 end return f(10)"),
+        3.0
+    );
+}
+
+#[test]
+fn unsigned_comparison_behaviour() {
+    let src = r#"
+        terra f() : bool
+            var big : uint64 = 0xFFFFFFFFFFFFFFFFULL
+            return big > 1
+        end
+        if f() then return 1 else return 0 end
+    "#;
+    assert_eq!(eval_num(src), 1.0);
+}
+
+#[test]
+fn pointer_difference_and_indexing_agree() {
+    let src = r#"
+        local std = terralib.includec("stdlib.h")
+        terra f() : int64
+            var p = [&double](std.malloc(80))
+            var q = &p[7]
+            return q - p
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 7.0);
+}
+
+#[test]
+fn array_decay_to_pointer_param() {
+    let src = r#"
+        terra sum(p : &int, n : int) : int
+            var s = 0
+            for i = 0, n do s = s + p[i] end
+            return s
+        end
+        terra f() : int
+            var a : int[5]
+            for i = 0, 5 do a[i] = i + 1 end
+            return sum(a, 5)
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 15.0);
+}
+
+#[test]
+fn struct_copy_semantics() {
+    let src = r#"
+        struct P { x : int, y : int }
+        terra f() : int
+            var a = P { 1, 2 }
+            var b = a            -- copy
+            b.x = 100
+            return a.x * 10 + b.x / 100
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 11.0);
+}
+
+#[test]
+fn aggregate_return_is_a_clear_error() {
+    let e = eval_err(
+        "struct P { x : int }\n\
+         terra f() : P var p : P return p end\n\
+         return f()",
+    );
+    assert!(e.to_string().contains("aggregate"), "{e}");
+}
+
+#[test]
+fn vector_width_mismatch_is_an_error() {
+    let e = eval_err(
+        "local v4 = vector(float, 4)\n\
+         local v8 = vector(float, 8)\n\
+         terra f(a : v4, b : v8) : v4 return a + b end\n\
+         f(nil, nil)",
+    );
+    assert!(e.to_string().contains("vector"), "{e}");
+}
+
+// ---------------------------------------------------------------------------
+// reflection / globals corners
+// ---------------------------------------------------------------------------
+
+#[test]
+fn global_struct_fields_reachable_from_terra() {
+    let src = r#"
+        struct Pair { a : int, b : int }
+        local g = global(Pair)
+        terra setup() : {} g.a = 6 g.b = 7 end
+        terra mul() : int return g.a * g.b end
+        setup()
+        return mul()
+    "#;
+    assert_eq!(eval_num(src), 42.0);
+}
+
+#[test]
+fn methods_added_between_uses_are_visible_until_finalized() {
+    let src = r#"
+        struct S { v : int }
+        terra S:one() : int return self.v + 1 end
+        -- Add a second method before any use.
+        terra S:two() : int return self:one() * 2 end
+        terra f() : int
+            var s = S { 20 }
+            return s:two()
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 42.0);
+}
+
+#[test]
+fn offsetof_matches_layout() {
+    let src = r#"
+        struct S { a : int8, b : double, c : int }
+        return terralib.offsetof(S, "b") * 100 + terralib.offsetof(S, "c")
+    "#;
+    assert_eq!(eval_num(src), 8.0 * 100.0 + 16.0);
+}
+
+#[test]
+fn sizeof_in_lua_and_terra_agree() {
+    let src = r#"
+        struct S { a : int, b : double }
+        terra f() : int return sizeof(S) end
+        if f() == sizeof(S) then return sizeof(S) end
+        return -1
+    "#;
+    assert_eq!(eval_num(src), 16.0);
+}
+
+#[test]
+fn function_type_reflection_roundtrip() {
+    let src = r#"
+        terra f(a : int, b : double) : bool return a > b end
+        local ft = f:gettype()
+        local g = terralib.funcpointer(ft.parameters, ft.returns)
+        if tostring(g) == tostring(ft) then return 1 end
+        return 0
+    "#;
+    assert_eq!(eval_num(src), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// output / printf formats
+// ---------------------------------------------------------------------------
+
+#[test]
+fn printf_many_formats() {
+    let mut t = Interp::new();
+    t.capture_output();
+    t.exec(
+        r#"
+        local C = terralib.includec("stdio.h")
+        terra f() : {}
+            C.printf("%d|%u|%x|%c|%5d|%.3f|%s|%%\n", -3, 7, 255, 65, 42, 1.5, "end")
+        end
+        f()
+        "#,
+    )
+    .unwrap();
+    assert_eq!(t.take_output(), "-3|7|ff|A|   42|1.500|end|%\n");
+}
+
+#[test]
+fn clock_is_monotonic_within_terra() {
+    let src = r#"
+        local C = terralib.includec("time.h")
+        terra f() : bool
+            var t0 = C.clock()
+            var s = 0.0
+            for i = 0, 100000 do s = s + 1.0 end
+            var t1 = C.clock()
+            return t1 >= t0
+        end
+        if f() then return 1 end
+        return 0
+    "#;
+    assert_eq!(eval_num(src), 1.0);
+}

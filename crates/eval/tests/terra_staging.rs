@@ -1,0 +1,784 @@
+//! End-to-end tests of the staging pipeline: `terra` definitions, quotes,
+//! escapes, hygiene, eager specialization, lazy typechecking, structs,
+//! methods, and the FFI — the paper's §2–§4 behaviours.
+
+use terra_eval::{Interp, LuaValue};
+
+fn eval_num(src: &str) -> f64 {
+    let mut t = Interp::new();
+    let out = t.exec(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+    match out.first() {
+        Some(LuaValue::Number(n)) => *n,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn eval_err(src: &str) -> String {
+    let mut t = Interp::new();
+    match t.exec(src) {
+        Ok(_) => panic!("expected error for {src}"),
+        Err(e) => e.to_string(),
+    }
+}
+
+#[test]
+fn simple_terra_function() {
+    assert_eq!(
+        eval_num("terra add(a : int, b : int) : int return a + b end return add(2, 40)"),
+        42.0
+    );
+}
+
+#[test]
+fn paper_min_example() {
+    let src = r#"
+        terra min(a : int, b : int) : int
+            if a < b then return a else return b end
+        end
+        return min(7, 3) + min(1, 9)
+    "#;
+    assert_eq!(eval_num(src), 4.0);
+}
+
+#[test]
+fn return_type_inference() {
+    assert_eq!(
+        eval_num("terra f(x : double) return x * 2.0 end return f(1.25)"),
+        2.5
+    );
+}
+
+#[test]
+fn terra_control_flow() {
+    let src = r#"
+        terra collatz_steps(n0 : int64) : int
+            var n = n0
+            var steps = 0
+            while n ~= 1 do
+                if n % 2 == 0 then
+                    n = n / 2
+                else
+                    n = 3 * n + 1
+                end
+                steps = steps + 1
+            end
+            return steps
+        end
+        return collatz_steps(27)
+    "#;
+    assert_eq!(eval_num(src), 111.0);
+}
+
+#[test]
+fn terra_for_loop_is_half_open() {
+    let src = r#"
+        terra sum(n : int) : int
+            var s = 0
+            for i = 0, n do s = s + i end
+            return s
+        end
+        return sum(10)
+    "#;
+    assert_eq!(eval_num(src), 45.0); // 0..9 inclusive-exclusive
+}
+
+#[test]
+fn terra_for_with_step_and_break() {
+    let src = r#"
+        terra f() : int
+            var s = 0
+            for i = 0, 100, 10 do
+                if i >= 50 then break end
+                s = s + i
+            end
+            return s
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 100.0);
+}
+
+#[test]
+fn eager_specialization_captures_lua_values() {
+    // §4.1: mutating x after the definition does NOT change the function.
+    let src = r#"
+        local x = 0
+        terra y(a : int) : int return x end
+        x = 1
+        return y(0)
+    "#;
+    assert_eq!(eval_num(src), 0.0);
+}
+
+#[test]
+fn separate_evaluation_from_lua_store() {
+    // §4.1 "separate evaluation": the compiled code holds the constant 1.
+    let src = r#"
+        local x1 = 1
+        terra y(x2 : int) : int return x1 end
+        x1 = 2
+        return y(0)
+    "#;
+    assert_eq!(eval_num(src), 1.0);
+}
+
+#[test]
+fn lazy_typechecking_allows_forward_definition() {
+    // g is referenced before it is defined; only calling forces the link.
+    let src = r#"
+        local g = terralib.declare("g")
+        terra f(x : int) : int return g(x) + 1 end
+        terra g(x : int) : int return x * 2 end
+        return f(20)
+    "#;
+    assert_eq!(eval_num(src), 41.0);
+}
+
+#[test]
+fn calling_undefined_function_is_link_error() {
+    let src = r#"
+        local g = terralib.declare("g")
+        terra f(x : int) : int return g(x) end
+        return f(1)
+    "#;
+    let msg = eval_err(src);
+    assert!(msg.contains("declared but not defined"), "{msg}");
+}
+
+#[test]
+fn mutual_recursion_through_declarations() {
+    let src = r#"
+        local isodd = terralib.declare("isodd")
+        terra iseven(n : int) : bool
+            if n == 0 then return true end
+            return isodd(n - 1)
+        end
+        terra isodd(n : int) : bool
+            if n == 0 then return false end
+            return iseven(n - 1)
+        end
+        if iseven(10) then return 1 else return 0 end
+    "#;
+    assert_eq!(eval_num(src), 1.0);
+}
+
+#[test]
+fn recursion_requires_annotation() {
+    let msg = eval_err(
+        "terra fact(n : int) if n <= 1 then return 1 end return n * fact(n - 1) end \
+         return fact(5)",
+    );
+    assert!(msg.contains("explicit return type"), "{msg}");
+    // With the annotation it works.
+    assert_eq!(
+        eval_num(
+            "terra fact(n : int) : int if n <= 1 then return 1 end \
+             return n * fact(n - 1) end return fact(10)"
+        ),
+        3628800.0
+    );
+}
+
+#[test]
+fn quote_and_escape_splice_expressions() {
+    let src = r#"
+        local e = `10 + 32
+        terra f() : int return [e] end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 42.0);
+}
+
+#[test]
+fn statement_quotes_splice() {
+    let src = r#"
+        function body(acc, n)
+            return quote
+                for i = 0, n do
+                    [acc] = [acc] + i
+                end
+            end
+        end
+        terra f() : int
+            var s = 0;
+            [body(s, 5)];
+            [body(s, 3)];
+            return s
+        end
+        return f()
+    "#;
+    // 0+1+2+3+4 + 0+1+2 = 13
+    assert_eq!(eval_num(src), 13.0);
+}
+
+#[test]
+fn hygiene_no_accidental_capture() {
+    // The `i` inside the quote must not capture the function's `i`.
+    let src = r#"
+        local q = quote var i = 100 in i end
+        terra f(i : int) : int
+            return [q] + i
+        end
+        return f(1)
+    "#;
+    assert_eq!(eval_num(src), 101.0);
+}
+
+#[test]
+fn symbols_violate_hygiene_deliberately() {
+    // §6.1: symbol() is gensym; using it to define and reference variables.
+    let src = r#"
+        local s = symbol(int, "acc")
+        terra f() : int
+            var [s] = 40;
+            [quote [s] = [s] + 2 end];
+            return [s]
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 42.0);
+}
+
+#[test]
+fn escaped_parameters_via_symbols() {
+    let src = r#"
+        local a = symbol("a")
+        local b = symbol("b")
+        terra f([a] : int, [b] : int) : int
+            return [a] * 10 + [b]
+        end
+        return f(4, 2)
+    "#;
+    assert_eq!(eval_num(src), 42.0);
+}
+
+#[test]
+fn whole_parameter_list_from_symbol_list() {
+    // The class-system stub pattern: parameters from a list of typed symbols.
+    let src = r#"
+        local params = terralib.newlist()
+        params:insert(symbol(int, "x"))
+        params:insert(symbol(int, "y"))
+        terra f([params]) : int
+            return [params[1]] - [params[2]]
+        end
+        return f(50, 8)
+    "#;
+    assert_eq!(eval_num(src), 42.0);
+}
+
+#[test]
+fn staged_loop_unrolling() {
+    // Lua loop generates straight-line Terra code.
+    let src = r#"
+        function unrolled(x, n)
+            local stmts = terralib.newlist()
+            for i = 1, n do
+                stmts:insert(quote [x] = [x] + i end)
+            end
+            return stmts
+        end
+        terra f() : int
+            var x = 0;
+            [unrolled(x, 4)];
+            return x
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 10.0);
+}
+
+#[test]
+fn parametric_function_generation() {
+    // Types are Lua values; a Lua function generates a Terra identity
+    // function for any type (Terra Core example from §4.1).
+    let src = r#"
+        function id(T)
+            return terra(x : T) : T return x end
+        end
+        local idint = id(int)
+        local iddouble = id(double)
+        return idint(41) + iddouble(1.5)
+    "#;
+    assert_eq!(eval_num(src), 42.5);
+}
+
+#[test]
+fn blockedloop_from_paper_section2() {
+    let src = r#"
+        terra min(a : int, b : int) : int
+            if a < b then return a else return b end
+        end
+        function blockedloop(N, blocksizes, bodyfn)
+            local function generatelevel(n, ii, jj, bb)
+                if n > #blocksizes then
+                    return bodyfn(ii, jj)
+                end
+                local blocksize = blocksizes[n]
+                return quote
+                    for i = ii, min(ii + bb, N), blocksize do
+                        for j = jj, min(jj + bb, N), blocksize do
+                            [generatelevel(n + 1, i, j, blocksize)]
+                        end
+                    end
+                end
+            end
+            return generatelevel(1, 0, 0, N)
+        end
+        local counter = symbol(int, "counter")
+        terra f() : int
+            var [counter] = 0;
+            [blockedloop(8, {4, 1}, function(i, j)
+                return quote [counter] = [counter] + 1 end
+            end)];
+            return [counter]
+        end
+        return f()
+    "#;
+    // Full 8x8 iteration space visited exactly once.
+    assert_eq!(eval_num(src), 64.0);
+}
+
+#[test]
+fn pointers_and_malloc() {
+    let src = r#"
+        local std = terralib.includec("stdlib.h")
+        terra f() : double
+            var p = [&double](std.malloc(8 * 10))
+            for i = 0, 10 do
+                p[i] = i * 1.5
+            end
+            var s = 0.0
+            for i = 0, 10 do
+                s = s + p[i]
+            end
+            std.free(p)
+            return s
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 67.5);
+}
+
+#[test]
+fn structs_and_methods_image_example() {
+    // The §2 Image pattern, compressed.
+    let src = r#"
+        local std = terralib.includec("stdlib.h")
+        function Image(PixelType)
+            struct ImageImpl {
+                data : &PixelType,
+                N : int
+            }
+            terra ImageImpl:init(N : int) : {}
+                self.data = [&PixelType](std.malloc(N * N * sizeof(PixelType)))
+                self.N = N
+            end
+            terra ImageImpl:get(x : int, y : int) : PixelType
+                return self.data[x * self.N + y]
+            end
+            terra ImageImpl:set(x : int, y : int, v : PixelType) : {}
+                self.data[x * self.N + y] = v
+            end
+            terra ImageImpl:free() : {}
+                std.free(self.data)
+            end
+            return ImageImpl
+        end
+        GreyscaleImage = Image(float)
+        terra f() : float
+            var img : GreyscaleImage
+            img:init(4)
+            img:set(1, 2, 5.5f)
+            img:set(3, 3, 2.0f)
+            var v = img:get(1, 2) + img:get(3, 3)
+            img:free()
+            return v
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 7.5);
+}
+
+#[test]
+fn struct_literals_and_field_access() {
+    let src = r#"
+        struct Complex { real : float, imag : float }
+        terra f() : float
+            var c = Complex { 3.0f, 4.0f }
+            var zero = Complex {}
+            return c.real * c.real + c.imag * c.imag + zero.real
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 25.0);
+}
+
+#[test]
+fn named_struct_literal_fields() {
+    let src = r#"
+        struct P { x : int, y : int }
+        terra f() : int
+            var p = P { y = 3, x = 40 }
+            return p.x + p.y - 1
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 42.0);
+}
+
+#[test]
+fn nested_structs_and_pointers() {
+    let src = r#"
+        struct Inner { v : double }
+        struct Outer { a : Inner, b : Inner }
+        terra f() : double
+            var o : Outer
+            o.a.v = 1.5
+            o.b.v = 2.5
+            var p = &o.b
+            p.v = p.v + 10.0
+            return o.a.v + o.b.v
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 14.0);
+}
+
+#[test]
+fn programmatic_struct_creation() {
+    // §4.1: building a struct via the entries table.
+    let src = r#"
+        struct Complex {}
+        Complex.entries:insert { field = "real", type = float }
+        Complex.entries:insert { field = "imag", type = float }
+        terra f() : float
+            var c : Complex
+            c.real = 1.5f
+            c.imag = 2.5f
+            return c.real + c.imag
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 4.0);
+}
+
+#[test]
+fn monotonic_typechecking_entries_freeze_on_use() {
+    // After a struct's layout is examined, adding entries is an error.
+    let src = r#"
+        struct S {}
+        S.entries:insert { field = "x", type = int }
+        terra f() : int var s : S return s.x end
+        f()
+        S.entries:insert { field = "y", type = int }
+        terra g() : int var s : S return s.y end
+        return g()
+    "#;
+    let msg = eval_err(src);
+    assert!(msg.contains("no field 'y'"), "{msg}");
+}
+
+#[test]
+fn cast_metamethod_user_conversion() {
+    // The paper's float -> Complex __cast example.
+    let src = r#"
+        struct Complex { real : float, imag : float }
+        Complex.metamethods.__cast = function(fromtype, totype, exp)
+            if fromtype == float then
+                return `Complex { exp, 0.f }
+            end
+            error("invalid conversion")
+        end
+        terra f() : float
+            var c : Complex = 3.0f
+            return c.real * 10.0f + c.imag
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 30.0);
+}
+
+#[test]
+fn finalizelayout_metamethod_runs_before_first_use() {
+    let src = r#"
+        struct S {}
+        S.metamethods.__finalizelayout = function(T)
+            T.entries:insert { field = "x", type = int }
+        end
+        terra f() : int
+            var s : S
+            s.x = 42
+            return s.x
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 42.0);
+}
+
+#[test]
+fn terra_function_as_value_and_indirect_call() {
+    let src = r#"
+        terra double(x : int) : int return x * 2 end
+        terra apply(f : {int} -> int, x : int) : int
+            return f(x)
+        end
+        return apply(double, 21)
+    "#;
+    assert_eq!(eval_num(src), 42.0);
+}
+
+#[test]
+fn function_pointers_in_structs() {
+    let src = r#"
+        struct Ops { fn : {int} -> int }
+        terra inc(x : int) : int return x + 1 end
+        terra f() : int
+            var o = Ops { inc }
+            return o.fn(41)
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 42.0);
+}
+
+#[test]
+fn arrays() {
+    let src = r#"
+        terra f() : int
+            var a : int[8]
+            for i = 0, 8 do a[i] = i * i end
+            var s = 0
+            for i = 0, 8 do s = s + a[i] end
+            return s
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 140.0);
+}
+
+#[test]
+fn vectors_in_terra_code() {
+    let src = r#"
+        local std = terralib.includec("stdlib.h")
+        local vec = vector(double, 4)
+        terra f() : double
+            var p = [&double](std.malloc(8 * 8))
+            for i = 0, 8 do p[i] = i * 1.0 end
+            var vp = [&vec](p)
+            var sum = @vp + @(vp + 1)    -- {0+4, 1+5, 2+6, 3+7}
+            @vp = sum
+            return p[0] + p[1] + p[2] + p[3]
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 28.0);
+}
+
+#[test]
+fn vector_broadcast_of_scalars() {
+    let src = r#"
+        local std = terralib.includec("stdlib.h")
+        local vec = vector(float, 8)
+        terra f() : float
+            var p = [&float](std.malloc(4 * 8))
+            for i = 0, 8 do p[i] = 1.0f end
+            var vp = [&vec](p)
+            @vp = @vp * 3.0f + vec(2.0f)
+            return p[0] + p[7]
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 10.0);
+}
+
+#[test]
+fn globals_shared_between_calls() {
+    let src = r#"
+        local counter = global(int, 10)
+        terra bump() : int
+            counter = counter + 1
+            return counter
+        end
+        bump()
+        bump()
+        return bump() + counter:get()
+    "#;
+    assert_eq!(eval_num(src), 26.0);
+}
+
+#[test]
+fn printf_works() {
+    let mut t = Interp::new();
+    t.capture_output();
+    t.exec(
+        r#"
+        local C = terralib.includec("stdio.h")
+        terra hello(x : int) : {}
+            C.printf("value=%d float=%.1f str=%s\n", x, 2.5, "ok")
+        end
+        hello(7)
+    "#,
+    )
+    .unwrap();
+    assert_eq!(t.take_output(), "value=7 float=2.5 str=ok\n");
+}
+
+#[test]
+fn macros_splice_at_specialization() {
+    let src = r#"
+        local twice = terralib.macro(function(e)
+            return `[e] + [e]
+        end)
+        terra f(x : int) : int
+            return twice(x * 2)
+        end
+        return f(5)
+    "#;
+    assert_eq!(eval_num(src), 20.0);
+}
+
+#[test]
+fn terra_select_intrinsic() {
+    let src = r#"
+        terra maxi(a : int, b : int) : int
+            return terralib.select(a > b, a, b)
+        end
+        return maxi(3, 9) + maxi(7, 2)
+    "#;
+    assert_eq!(eval_num(src), 16.0);
+}
+
+#[test]
+fn defer_runs_at_scope_exit() {
+    let src = r#"
+        local order = global(int, 0)
+        terra mark(x : int) : {}
+            order = order * 10 + x
+        end
+        terra f() : {}
+            defer mark(3)
+            mark(1)
+            do
+                defer mark(2)
+                mark(9)
+            end
+        end
+        f()
+        return order:get()
+    "#;
+    assert_eq!(eval_num(src), 1923.0);
+}
+
+#[test]
+fn method_call_through_pointer() {
+    let src = r#"
+        struct Counter { n : int }
+        terra Counter:bump() : {} self.n = self.n + 1 end
+        terra f() : int
+            var c = Counter { 0 }
+            var p = &c
+            p:bump()
+            c:bump()
+            return c.n
+        end
+        return f()
+    "#;
+    assert_eq!(eval_num(src), 2.0);
+}
+
+#[test]
+fn string_constants_are_rawstrings() {
+    let src = r#"
+        terra first_byte(s : rawstring) : int
+            return s[0]
+        end
+        return first_byte("A")
+    "#;
+    assert_eq!(eval_num(src), 65.0);
+}
+
+#[test]
+fn type_errors_are_reported_at_call_time() {
+    // The function defines fine (lazy typechecking)…
+    let src = r#"
+        terra bad(x : int) : int
+            return x + "hello"
+        end
+        return 1
+    "#;
+    assert_eq!(eval_num(src), 1.0);
+    // …but calling it reports a type error.
+    let msg = eval_err(
+        r#"
+        terra bad(x : int) : int
+            return x + "hello"
+        end
+        return bad(1)
+    "#,
+    );
+    assert!(msg.contains("type error"), "{msg}");
+}
+
+#[test]
+fn redefining_a_name_creates_a_new_function() {
+    // The Terra *store* is write-once (LTDEFN fills a declaration exactly
+    // once), but re-evaluating a `terra f(...)` statement creates a fresh
+    // function object and rebinds the Lua variable, as in the real system.
+    let src = r#"
+        terra f(x : int) : int return 1 end
+        local first = f
+        terra f(x : int) : int return 2 end
+        return first(0) * 10 + f(0)
+    "#;
+    assert_eq!(eval_num(src), 12.0);
+}
+
+#[test]
+fn ffi_conversions() {
+    let mut t = Interp::new();
+    t.exec("terra addf(a : float, b : double) : double return a + b end")
+        .unwrap();
+    let out = t.exec("return addf(1.5, 2.25)").unwrap();
+    assert!(matches!(out[0], LuaValue::Number(n) if n == 3.75));
+    // Booleans.
+    t.exec("terra flip(b : bool) : bool return not b end").unwrap();
+    let out = t.exec("return flip(true)").unwrap();
+    assert!(matches!(out[0], LuaValue::Bool(false)));
+}
+
+#[test]
+fn reflection_api() {
+    let src = r#"
+        struct S { x : int }
+        assert(S:isstruct())
+        assert((&S):ispointer())
+        assert((&S).type == S)
+        assert(int:isarithmetic())
+        assert(not int:ispointer())
+        terra f(a : int, b : double) : bool return true end
+        local ft = f:gettype()
+        assert(ft.parameters[1] == int)
+        assert(ft.parameters[2] == double)
+        assert(ft.returns == bool)
+        return sizeof(S)
+    "#;
+    assert_eq!(eval_num(src), 4.0);
+}
+
+#[test]
+fn saveobj_writes_manifest() {
+    let dir = std::env::temp_dir().join("terra_rs_saveobj_test.o");
+    let path = dir.to_string_lossy().to_string();
+    let mut t = Interp::new();
+    t.exec(&format!(
+        r#"
+        terra runme(x : int) : int return x end
+        terralib.saveobj("{path}", {{ runme = runme }})
+    "#
+    ))
+    .unwrap();
+    let contents = std::fs::read_to_string(&path).unwrap();
+    assert!(contents.contains("symbol runme"), "{contents}");
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,469 @@
+//! Constant folding and algebraic simplification over the typed IR.
+//!
+//! Staged Terra code is full of constants spliced from Lua (block sizes,
+//! unroll factors, field offsets), so expressions like `0 * ldc + 3 * 8`
+//! are common in generated kernels. This pass folds them before bytecode
+//! compilation. Integer identities (`x*0`, `x*1`, `x+0`, `x<<0`) are applied;
+//! floating-point identities are restricted to the NaN-safe `x*1.0` and the
+//! constant-only cases.
+
+use crate::ir::{BinKind, CmpKind, ExprKind, IrExpr, IrFunction, IrStmt, UnKind};
+use crate::types::{ScalarTy, Ty};
+
+/// Folds constants in-place throughout a function body.
+pub fn fold_function(f: &mut IrFunction) {
+    fold_stmts(&mut f.body);
+}
+
+fn fold_stmts(stmts: &mut Vec<IrStmt>) {
+    for s in stmts.iter_mut() {
+        match s {
+            IrStmt::Assign { value, .. } => fold_expr(value),
+            IrStmt::Store { addr, value } => {
+                fold_expr(addr);
+                fold_expr(value);
+            }
+            IrStmt::CopyMem { dst, src, .. } => {
+                fold_expr(dst);
+                fold_expr(src);
+            }
+            IrStmt::Expr(e) => fold_expr(e),
+            IrStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                fold_expr(cond);
+                fold_stmts(then_body);
+                fold_stmts(else_body);
+            }
+            IrStmt::While { cond, body } => {
+                fold_expr(cond);
+                fold_stmts(body);
+            }
+            IrStmt::For {
+                start,
+                stop,
+                step,
+                body,
+                ..
+            } => {
+                fold_expr(start);
+                fold_expr(stop);
+                fold_expr(step);
+                fold_stmts(body);
+            }
+            IrStmt::Return(Some(e)) => fold_expr(e),
+            IrStmt::Return(None) | IrStmt::Break => {}
+        }
+    }
+    // Statically-decided `if`s collapse to one arm.
+    let mut out: Vec<IrStmt> = Vec::with_capacity(stmts.len());
+    for s in stmts.drain(..) {
+        match s {
+            IrStmt::If {
+                cond:
+                    IrExpr {
+                        kind: ExprKind::ConstBool(b),
+                        ..
+                    },
+                then_body,
+                else_body,
+            } => {
+                out.extend(if b { then_body } else { else_body });
+            }
+            other => out.push(other),
+        }
+    }
+    *stmts = out;
+}
+
+/// Folds one expression tree in-place.
+pub fn fold_expr(e: &mut IrExpr) {
+    // Fold children first.
+    match &mut e.kind {
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Cmp { lhs, rhs, .. } => {
+            fold_expr(lhs);
+            fold_expr(rhs);
+        }
+        ExprKind::Unary { expr, .. } | ExprKind::Cast(expr) | ExprKind::Load(expr) => {
+            fold_expr(expr)
+        }
+        ExprKind::Call { args, callee } => {
+            if let crate::ir::Callee::Indirect(p) = callee {
+                fold_expr(p);
+            }
+            for a in args {
+                fold_expr(a);
+            }
+        }
+        ExprKind::Select {
+            cond,
+            then_value,
+            else_value,
+        } => {
+            fold_expr(cond);
+            fold_expr(then_value);
+            fold_expr(else_value);
+        }
+        _ => {}
+    }
+
+    let folded: Option<ExprKind> = match (&e.ty, &e.kind) {
+        (Ty::Scalar(st), ExprKind::Binary { op, lhs, rhs }) if st.is_integer() => {
+            fold_int_binary(*st, *op, lhs, rhs)
+        }
+        (Ty::Scalar(st), ExprKind::Binary { op, lhs, rhs }) if st.is_float() => {
+            fold_float_binary(*op, lhs, rhs)
+        }
+        (_, ExprKind::Cmp { op, lhs, rhs }) => fold_cmp(*op, lhs, rhs),
+        (Ty::Scalar(st), ExprKind::Unary { op, expr }) => fold_unary(*st, *op, expr),
+        (Ty::Scalar(to), ExprKind::Cast(inner)) => fold_cast(*to, inner),
+        (
+            _,
+            ExprKind::Select {
+                cond,
+                then_value,
+                else_value,
+            },
+        ) => match cond.kind {
+            ExprKind::ConstBool(true) => Some(then_value.kind.clone()),
+            ExprKind::ConstBool(false) => Some(else_value.kind.clone()),
+            _ => None,
+        },
+        _ => None,
+    };
+    if let Some(kind) = folded {
+        e.kind = kind;
+    }
+}
+
+fn int_const(e: &IrExpr) -> Option<i64> {
+    match e.kind {
+        ExprKind::ConstInt(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn float_const(e: &IrExpr) -> Option<f64> {
+    match e.kind {
+        ExprKind::ConstFloat(v) => Some(v),
+        _ => None,
+    }
+}
+
+/// Truncates `v` to the width/signedness of `st` (as the VM would).
+fn normalize_int(st: ScalarTy, v: i64) -> i64 {
+    match st {
+        ScalarTy::I8 => v as i8 as i64,
+        ScalarTy::U8 => v as u8 as i64,
+        ScalarTy::I16 => v as i16 as i64,
+        ScalarTy::U16 => v as u16 as i64,
+        ScalarTy::I32 => v as i32 as i64,
+        ScalarTy::U32 => v as u32 as i64,
+        _ => v,
+    }
+}
+
+fn fold_int_binary(st: ScalarTy, op: BinKind, lhs: &IrExpr, rhs: &IrExpr) -> Option<ExprKind> {
+    if let (Some(a), Some(b)) = (int_const(lhs), int_const(rhs)) {
+        let v = match op {
+            BinKind::Add => a.wrapping_add(b),
+            BinKind::Sub => a.wrapping_sub(b),
+            BinKind::Mul => a.wrapping_mul(b),
+            BinKind::Div => {
+                if b == 0 {
+                    return None; // keep the runtime trap
+                } else if st.is_signed() {
+                    a.wrapping_div(b)
+                } else {
+                    ((a as u64) / (b as u64)) as i64
+                }
+            }
+            BinKind::Rem => {
+                if b == 0 {
+                    return None;
+                } else if st.is_signed() {
+                    a.wrapping_rem(b)
+                } else {
+                    ((a as u64) % (b as u64)) as i64
+                }
+            }
+            BinKind::Shl => a.wrapping_shl(b as u32 & 63),
+            BinKind::Shr => {
+                if st.is_signed() {
+                    a.wrapping_shr(b as u32 & 63)
+                } else {
+                    ((a as u64).wrapping_shr(b as u32 & 63)) as i64
+                }
+            }
+            BinKind::And => a & b,
+            BinKind::Or => a | b,
+            BinKind::Xor => a ^ b,
+            BinKind::Min => a.min(b),
+            BinKind::Max => a.max(b),
+        };
+        return Some(ExprKind::ConstInt(normalize_int(st, v)));
+    }
+    // Algebraic identities (exact on integers).
+    match (op, int_const(lhs), int_const(rhs)) {
+        (BinKind::Add, Some(0), _) | (BinKind::Mul, Some(1), _) => Some(rhs.kind.clone()),
+        (BinKind::Add, _, Some(0))
+        | (BinKind::Sub, _, Some(0))
+        | (BinKind::Mul, _, Some(1))
+        | (BinKind::Shl, _, Some(0))
+        | (BinKind::Shr, _, Some(0)) => Some(lhs.kind.clone()),
+        (BinKind::Mul, Some(0), _) | (BinKind::Mul, _, Some(0)) => Some(ExprKind::ConstInt(0)),
+        _ => None,
+    }
+}
+
+fn fold_float_binary(op: BinKind, lhs: &IrExpr, rhs: &IrExpr) -> Option<ExprKind> {
+    if let (Some(a), Some(b)) = (float_const(lhs), float_const(rhs)) {
+        let v = match op {
+            BinKind::Add => a + b,
+            BinKind::Sub => a - b,
+            BinKind::Mul => a * b,
+            BinKind::Div => a / b,
+            BinKind::Rem => a % b,
+            BinKind::Min => a.min(b),
+            BinKind::Max => a.max(b),
+            _ => return None,
+        };
+        return Some(ExprKind::ConstFloat(v));
+    }
+    // NaN-safe identities only.
+    match (op, float_const(lhs), float_const(rhs)) {
+        (BinKind::Mul, Some(c), _) if c == 1.0 => Some(rhs.kind.clone()),
+        (BinKind::Mul, _, Some(c)) | (BinKind::Div, _, Some(c)) if c == 1.0 => {
+            Some(lhs.kind.clone())
+        }
+        _ => None,
+    }
+}
+
+fn fold_cmp(op: CmpKind, lhs: &IrExpr, rhs: &IrExpr) -> Option<ExprKind> {
+    let signed = matches!(&lhs.ty, Ty::Scalar(s) if s.is_signed());
+    if let (Some(a), Some(b)) = (int_const(lhs), int_const(rhs)) {
+        let (a, b) = if signed {
+            (a, b)
+        } else {
+            // Compare as unsigned by biasing.
+            return Some(ExprKind::ConstBool(cmp_u64(op, a as u64, b as u64)));
+        };
+        return Some(ExprKind::ConstBool(match op {
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+            CmpKind::Lt => a < b,
+            CmpKind::Le => a <= b,
+            CmpKind::Gt => a > b,
+            CmpKind::Ge => a >= b,
+        }));
+    }
+    if let (Some(a), Some(b)) = (float_const(lhs), float_const(rhs)) {
+        return Some(ExprKind::ConstBool(match op {
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+            CmpKind::Lt => a < b,
+            CmpKind::Le => a <= b,
+            CmpKind::Gt => a > b,
+            CmpKind::Ge => a >= b,
+        }));
+    }
+    None
+}
+
+fn cmp_u64(op: CmpKind, a: u64, b: u64) -> bool {
+    match op {
+        CmpKind::Eq => a == b,
+        CmpKind::Ne => a != b,
+        CmpKind::Lt => a < b,
+        CmpKind::Le => a <= b,
+        CmpKind::Gt => a > b,
+        CmpKind::Ge => a >= b,
+    }
+}
+
+fn fold_unary(st: ScalarTy, op: UnKind, expr: &IrExpr) -> Option<ExprKind> {
+    match (op, &expr.kind) {
+        (UnKind::Neg, ExprKind::ConstInt(v)) => {
+            Some(ExprKind::ConstInt(normalize_int(st, v.wrapping_neg())))
+        }
+        (UnKind::Neg, ExprKind::ConstFloat(v)) => Some(ExprKind::ConstFloat(-v)),
+        (UnKind::Not, ExprKind::ConstBool(b)) => Some(ExprKind::ConstBool(!b)),
+        (UnKind::Not, ExprKind::ConstInt(v)) => Some(ExprKind::ConstInt(normalize_int(st, !v))),
+        _ => None,
+    }
+}
+
+fn fold_cast(to: ScalarTy, inner: &IrExpr) -> Option<ExprKind> {
+    match (&inner.ty, &inner.kind) {
+        (Ty::Scalar(from), ExprKind::ConstInt(v)) => {
+            if to.is_float() {
+                let f = if from.is_signed() {
+                    *v as f64
+                } else {
+                    *v as u64 as f64
+                };
+                Some(ExprKind::ConstFloat(if to == ScalarTy::F32 {
+                    f as f32 as f64
+                } else {
+                    f
+                }))
+            } else if to == ScalarTy::Bool {
+                Some(ExprKind::ConstBool(*v != 0))
+            } else {
+                Some(ExprKind::ConstInt(normalize_int(to, *v)))
+            }
+        }
+        (Ty::Scalar(_), ExprKind::ConstFloat(v)) => {
+            if to.is_float() {
+                Some(ExprKind::ConstFloat(if to == ScalarTy::F32 {
+                    *v as f32 as f64
+                } else {
+                    *v
+                }))
+            } else if to == ScalarTy::Bool {
+                Some(ExprKind::ConstBool(*v != 0.0))
+            } else if to.is_signed() {
+                Some(ExprKind::ConstInt(normalize_int(to, *v as i64)))
+            } else {
+                Some(ExprKind::ConstInt(normalize_int(to, *v as u64 as i64)))
+            }
+        }
+        (Ty::Scalar(_), ExprKind::ConstBool(b)) => {
+            if to.is_float() {
+                Some(ExprKind::ConstFloat(if *b { 1.0 } else { 0.0 }))
+            } else {
+                Some(ExprKind::ConstInt(i64::from(*b)))
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::LocalId;
+
+    fn fold(mut e: IrExpr) -> IrExpr {
+        fold_expr(&mut e);
+        e
+    }
+
+    #[test]
+    fn folds_int_arithmetic() {
+        let e = fold(IrExpr::binary(
+            BinKind::Add,
+            IrExpr::int32(2),
+            IrExpr::binary(BinKind::Mul, IrExpr::int32(3), IrExpr::int32(4)),
+        ));
+        assert_eq!(e.kind, ExprKind::ConstInt(14));
+    }
+
+    #[test]
+    fn folds_identities_with_variables() {
+        let x = IrExpr::local(LocalId(0), Ty::INT);
+        let e = fold(IrExpr::binary(BinKind::Mul, x.clone(), IrExpr::int32(0)));
+        assert_eq!(e.kind, ExprKind::ConstInt(0));
+        let e = fold(IrExpr::binary(BinKind::Add, x.clone(), IrExpr::int32(0)));
+        assert_eq!(e.kind, ExprKind::Local(LocalId(0)));
+        let e = fold(IrExpr::binary(BinKind::Mul, IrExpr::int32(1), x.clone()));
+        assert_eq!(e.kind, ExprKind::Local(LocalId(0)));
+    }
+
+    #[test]
+    fn no_unsafe_float_identities() {
+        let x = IrExpr::local(LocalId(0), Ty::F64);
+        // x * 0.0 must NOT fold (NaN/−0 semantics).
+        let e = fold(IrExpr::binary(BinKind::Mul, x.clone(), IrExpr::f64(0.0)));
+        assert!(matches!(e.kind, ExprKind::Binary { .. }));
+        // x * 1.0 is exact.
+        let e = fold(IrExpr::binary(BinKind::Mul, x, IrExpr::f64(1.0)));
+        assert_eq!(e.kind, ExprKind::Local(LocalId(0)));
+    }
+
+    #[test]
+    fn division_by_zero_is_not_folded() {
+        let e = fold(IrExpr::binary(
+            BinKind::Div,
+            IrExpr::int32(1),
+            IrExpr::int32(0),
+        ));
+        assert!(matches!(e.kind, ExprKind::Binary { .. }));
+    }
+
+    #[test]
+    fn wrapping_respects_width() {
+        let big = IrExpr {
+            ty: Ty::INT,
+            kind: ExprKind::ConstInt(i32::MAX as i64),
+        };
+        let e = fold(IrExpr::binary(BinKind::Add, big, IrExpr::int32(1)));
+        assert_eq!(e.kind, ExprKind::ConstInt(i32::MIN as i64));
+    }
+
+    #[test]
+    fn folds_comparisons_and_selects() {
+        let c = fold(IrExpr::cmp(CmpKind::Lt, IrExpr::int32(1), IrExpr::int32(2)));
+        assert_eq!(c.kind, ExprKind::ConstBool(true));
+        let sel = fold(IrExpr {
+            ty: Ty::INT,
+            kind: ExprKind::Select {
+                cond: Box::new(IrExpr::boolean(false)),
+                then_value: Box::new(IrExpr::int32(1)),
+                else_value: Box::new(IrExpr::int32(2)),
+            },
+        });
+        assert_eq!(sel.kind, ExprKind::ConstInt(2));
+    }
+
+    #[test]
+    fn folds_casts() {
+        let e = fold(IrExpr {
+            ty: Ty::F64,
+            kind: ExprKind::Cast(Box::new(IrExpr::int32(7))),
+        });
+        assert_eq!(e.kind, ExprKind::ConstFloat(7.0));
+        let e = fold(IrExpr {
+            ty: Ty::U8,
+            kind: ExprKind::Cast(Box::new(IrExpr::int32(300))),
+        });
+        assert_eq!(e.kind, ExprKind::ConstInt(44));
+    }
+
+    #[test]
+    fn collapses_constant_ifs() {
+        let mut f = IrFunction {
+            name: "t".into(),
+            ty: crate::types::FuncTy {
+                params: vec![],
+                ret: Ty::Unit,
+            },
+            locals: vec![],
+            body: vec![IrStmt::If {
+                cond: IrExpr::cmp(CmpKind::Gt, IrExpr::int32(3), IrExpr::int32(2)),
+                then_body: vec![IrStmt::Return(None)],
+                else_body: vec![IrStmt::Break],
+            }],
+        };
+        fold_function(&mut f);
+        assert_eq!(f.body, vec![IrStmt::Return(None)]);
+    }
+
+    #[test]
+    fn unsigned_comparison_semantics() {
+        let a = IrExpr {
+            ty: Ty::U64,
+            kind: ExprKind::ConstInt(-1), // bit pattern of u64::MAX
+        };
+        let e = fold(IrExpr::cmp(CmpKind::Gt, a, {
+            IrExpr {
+                ty: Ty::U64,
+                kind: ExprKind::ConstInt(1),
+            }
+        }));
+        assert_eq!(e.kind, ExprKind::ConstBool(true));
+    }
+}

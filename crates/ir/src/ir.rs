@@ -1,0 +1,481 @@
+//! The typed intermediate representation produced by the Terra typechecker.
+//!
+//! The IR is a tree of statements over explicit, numbered locals. Scalar and
+//! pointer locals live in VM registers; aggregate locals (structs, arrays)
+//! and address-taken scalars are marked `in_memory` and get frame slots in
+//! the VM's linear memory. All l-value sugar (field access, indexing,
+//! dereference) has been lowered to explicit address arithmetic + `Load` /
+//! `Store` by the time IR exists.
+
+use crate::types::{FuncTy, Ty};
+use std::rc::Rc;
+
+/// Handle to a Terra function in a program's function table. This is the
+/// formal semantics' *function address* `l`: it is allocated at declaration
+/// time and filled in by definition, enabling mutual recursion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// Handle to a global variable cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalId(pub u32);
+
+/// Index of a local slot within an [`IrFunction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LocalId(pub u32);
+
+/// Built-in functions provided by the VM runtime — the simulated libc and
+/// math library that `terralib.includec` exposes, plus Terra intrinsics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `malloc(size) -> &opaque`
+    Malloc,
+    /// `free(ptr)`
+    Free,
+    /// `realloc(ptr, size) -> &opaque`
+    Realloc,
+    /// `memcpy(dst, src, n)`
+    Memcpy,
+    /// `memset(dst, byte, n)`
+    Memset,
+    /// `sqrt(double) -> double` (and `sqrtf`)
+    Sqrt,
+    /// `fabs`
+    Fabs,
+    /// `sin`
+    Sin,
+    /// `cos`
+    Cos,
+    /// `exp`
+    Exp,
+    /// `log`
+    Log,
+    /// `pow(double, double)`
+    Pow,
+    /// `floor`
+    Floor,
+    /// `ceil`
+    Ceil,
+    /// `fmod`
+    Fmod,
+    /// `clock() -> double` — seconds of CPU time, for in-language timing.
+    Clock,
+    /// `printf(fmt, …)` — a C-printf subset (`%d %f %g %s %u %lld %p %%`).
+    Printf,
+    /// `prefetch(addr, rw, locality, cachetype)` — issues a real prefetch
+    /// hint for the addressed VM memory.
+    Prefetch,
+    /// `rand() -> int` — deterministic LCG, seeded by `srand`.
+    Rand,
+    /// `srand(seed)`
+    Srand,
+    /// `abort()` — traps.
+    Abort,
+}
+
+impl Builtin {
+    /// The builtin's C-level name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Malloc => "malloc",
+            Builtin::Free => "free",
+            Builtin::Realloc => "realloc",
+            Builtin::Memcpy => "memcpy",
+            Builtin::Memset => "memset",
+            Builtin::Sqrt => "sqrt",
+            Builtin::Fabs => "fabs",
+            Builtin::Sin => "sin",
+            Builtin::Cos => "cos",
+            Builtin::Exp => "exp",
+            Builtin::Log => "log",
+            Builtin::Pow => "pow",
+            Builtin::Floor => "floor",
+            Builtin::Ceil => "ceil",
+            Builtin::Fmod => "fmod",
+            Builtin::Clock => "clock",
+            Builtin::Printf => "printf",
+            Builtin::Prefetch => "prefetch",
+            Builtin::Rand => "rand",
+            Builtin::Srand => "srand",
+            Builtin::Abort => "abort",
+        }
+    }
+}
+
+/// Arithmetic/bitwise binary operators. The operand and result types are
+/// carried by the surrounding [`IrExpr`]; an op is valid on matching scalar
+/// or vector types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic for signed, logical for unsigned)
+    Shr,
+    /// Bitwise/boolean and.
+    And,
+    /// Bitwise/boolean or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// IEEE min (used by vectorized stencils).
+    Min,
+    /// IEEE max.
+    Max,
+}
+
+/// Comparison predicates; result type is `bool`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpKind {
+    /// `==`
+    Eq,
+    /// `~=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnKind {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean/bitwise not.
+    Not,
+}
+
+/// What a call targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Callee {
+    /// A Terra function by id (may still be undefined at IR-build time;
+    /// linking resolves it lazily, per the paper).
+    Direct(FuncId),
+    /// A VM builtin.
+    Builtin(Builtin),
+    /// An indirect call through a function-pointer value (vtables).
+    Indirect(Box<IrExpr>),
+}
+
+/// A typed IR expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrExpr {
+    /// Result type.
+    pub ty: Ty,
+    /// Node kind.
+    pub kind: ExprKind,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer constant (bit pattern; `ty` gives signedness/width).
+    ConstInt(i64),
+    /// Floating constant.
+    ConstFloat(f64),
+    /// Boolean constant.
+    ConstBool(bool),
+    /// Null pointer.
+    ConstNull,
+    /// Function pointer constant.
+    ConstFunc(FuncId),
+    /// String constant (interned into VM memory; type `rawstring`).
+    ConstStr(Rc<str>),
+    /// Read a register local.
+    Local(LocalId),
+    /// Address of an in-memory local.
+    LocalAddr(LocalId),
+    /// Address of a global cell.
+    GlobalAddr(GlobalId),
+    /// Load `ty` from the address computed by the operand.
+    Load(Box<IrExpr>),
+    /// Binary arithmetic on matching scalar/vector operands.
+    Binary {
+        /// Operator.
+        op: BinKind,
+        /// Left operand.
+        lhs: Box<IrExpr>,
+        /// Right operand.
+        rhs: Box<IrExpr>,
+    },
+    /// Comparison producing `bool`.
+    Cmp {
+        /// Predicate.
+        op: CmpKind,
+        /// Left operand.
+        lhs: Box<IrExpr>,
+        /// Right operand.
+        rhs: Box<IrExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnKind,
+        /// Operand.
+        expr: Box<IrExpr>,
+    },
+    /// Conversion from `expr.ty` to `self.ty`: scalar↔scalar, ptr↔ptr,
+    /// ptr↔integer, scalar→vector broadcast.
+    Cast(Box<IrExpr>),
+    /// Function call.
+    Call {
+        /// Target.
+        callee: Callee,
+        /// Arguments.
+        args: Vec<IrExpr>,
+    },
+    /// `select(cond, a, b)` — branch-free conditional.
+    Select {
+        /// Condition (`bool`).
+        cond: Box<IrExpr>,
+        /// Value when true.
+        then_value: Box<IrExpr>,
+        /// Value when false.
+        else_value: Box<IrExpr>,
+    },
+}
+
+/// A typed IR statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrStmt {
+    /// `local := value` (register locals only).
+    Assign {
+        /// Destination register local.
+        dst: LocalId,
+        /// Value.
+        value: IrExpr,
+    },
+    /// Store `value` (register-sized) to `addr`.
+    Store {
+        /// Destination address.
+        addr: IrExpr,
+        /// Stored value.
+        value: IrExpr,
+    },
+    /// `memcpy`-style aggregate copy of `size` bytes.
+    CopyMem {
+        /// Destination address.
+        dst: IrExpr,
+        /// Source address.
+        src: IrExpr,
+        /// Bytes to copy.
+        size: u64,
+    },
+    /// Evaluate for side effects (calls).
+    Expr(IrExpr),
+    /// Two-armed conditional.
+    If {
+        /// Condition.
+        cond: IrExpr,
+        /// Then branch.
+        then_body: Vec<IrStmt>,
+        /// Else branch.
+        else_body: Vec<IrStmt>,
+    },
+    /// `while cond do body end`
+    While {
+        /// Condition.
+        cond: IrExpr,
+        /// Body.
+        body: Vec<IrStmt>,
+    },
+    /// Terra's half-open numeric loop `for v = start, stop, step`.
+    For {
+        /// Loop variable (register local, integer type).
+        var: LocalId,
+        /// Initial value.
+        start: IrExpr,
+        /// Exclusive bound.
+        stop: IrExpr,
+        /// Step (positive).
+        step: IrExpr,
+        /// Body.
+        body: Vec<IrStmt>,
+    },
+    /// Return, with an optional value.
+    Return(Option<IrExpr>),
+    /// Break out of the innermost loop.
+    Break,
+}
+
+/// A local slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalSlot {
+    /// Slot type.
+    pub ty: Ty,
+    /// `true` if the local needs memory (aggregate or address-taken).
+    pub in_memory: bool,
+    /// Debug name.
+    pub name: Rc<str>,
+}
+
+/// A function in typed IR form, ready for bytecode compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrFunction {
+    /// Name for diagnostics and disassembly.
+    pub name: Rc<str>,
+    /// Signature.
+    pub ty: FuncTy,
+    /// All locals; the first `ty.params.len()` slots are the parameters.
+    pub locals: Vec<LocalSlot>,
+    /// Function body.
+    pub body: Vec<IrStmt>,
+}
+
+impl IrFunction {
+    /// Number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.ty.params.len()
+    }
+
+    /// Adds a local slot, returning its id.
+    pub fn add_local(&mut self, name: impl Into<Rc<str>>, ty: Ty, in_memory: bool) -> LocalId {
+        let id = LocalId(self.locals.len() as u32);
+        self.locals.push(LocalSlot {
+            ty,
+            in_memory,
+            name: name.into(),
+        });
+        id
+    }
+}
+
+/// A global variable cell: a typed chunk of VM memory with optional constant
+/// initialization (created by the language-level `global(...)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalCell {
+    /// Value type.
+    pub ty: Ty,
+    /// Initial bytes (zero-filled when `None`).
+    pub init: Option<Vec<u8>>,
+    /// Debug name.
+    pub name: Rc<str>,
+}
+
+// Convenience constructors used by the lowering code and tests.
+impl IrExpr {
+    /// An `int` constant.
+    pub fn int32(v: i32) -> IrExpr {
+        IrExpr {
+            ty: Ty::INT,
+            kind: ExprKind::ConstInt(v as i64),
+        }
+    }
+
+    /// An `int64` constant.
+    pub fn int64(v: i64) -> IrExpr {
+        IrExpr {
+            ty: Ty::I64,
+            kind: ExprKind::ConstInt(v),
+        }
+    }
+
+    /// A `double` constant.
+    pub fn f64(v: f64) -> IrExpr {
+        IrExpr {
+            ty: Ty::F64,
+            kind: ExprKind::ConstFloat(v),
+        }
+    }
+
+    /// A `bool` constant.
+    pub fn boolean(v: bool) -> IrExpr {
+        IrExpr {
+            ty: Ty::BOOL,
+            kind: ExprKind::ConstBool(v),
+        }
+    }
+
+    /// Reads local `id` of type `ty`.
+    pub fn local(id: LocalId, ty: Ty) -> IrExpr {
+        IrExpr {
+            ty,
+            kind: ExprKind::Local(id),
+        }
+    }
+
+    /// Builds `lhs op rhs` with the result typed like `lhs`.
+    pub fn binary(op: BinKind, lhs: IrExpr, rhs: IrExpr) -> IrExpr {
+        IrExpr {
+            ty: lhs.ty.clone(),
+            kind: ExprKind::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+        }
+    }
+
+    /// Builds a comparison producing `bool`.
+    pub fn cmp(op: CmpKind, lhs: IrExpr, rhs: IrExpr) -> IrExpr {
+        IrExpr {
+            ty: Ty::BOOL,
+            kind: ExprKind::Cmp {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+        }
+    }
+
+    /// Whether the expression is a compile-time constant.
+    pub fn is_const(&self) -> bool {
+        matches!(
+            self.kind,
+            ExprKind::ConstInt(_)
+                | ExprKind::ConstFloat(_)
+                | ExprKind::ConstBool(_)
+                | ExprKind::ConstNull
+                | ExprKind::ConstFunc(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_local_assigns_sequential_ids() {
+        let mut f = IrFunction {
+            name: "t".into(),
+            ty: FuncTy {
+                params: vec![],
+                ret: Ty::Unit,
+            },
+            locals: vec![],
+            body: vec![],
+        };
+        let a = f.add_local("a", Ty::INT, false);
+        let b = f.add_local("b", Ty::F64, true);
+        assert_eq!(a, LocalId(0));
+        assert_eq!(b, LocalId(1));
+        assert!(f.locals[1].in_memory);
+    }
+
+    #[test]
+    fn const_detection() {
+        assert!(IrExpr::int32(3).is_const());
+        assert!(!IrExpr::local(LocalId(0), Ty::INT).is_const());
+    }
+
+    #[test]
+    fn builtin_names() {
+        assert_eq!(Builtin::Malloc.name(), "malloc");
+        assert_eq!(Builtin::Prefetch.name(), "prefetch");
+    }
+}

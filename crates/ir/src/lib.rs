@@ -1,0 +1,28 @@
+//! # terra-ir
+//!
+//! The Terra type system and typed intermediate representation.
+//!
+//! Terra (DeVito et al., PLDI 2013) is a statically-typed, C-like language
+//! staged from Lua. This crate holds the pieces of it that are independent of
+//! staging: machine types with C layout rules ([`Ty`], [`TypeRegistry`]), the
+//! typed IR that the typechecker lowers specialized Terra functions into
+//! ([`IrFunction`]), and a constant-folding pass ([`fold_function`]) that
+//! cleans up the constants spliced in from Lua during specialization.
+//!
+//! The `terra-vm` crate compiles [`IrFunction`]s to bytecode; the
+//! `terra-eval` crate produces them from source.
+
+#![warn(missing_docs)]
+
+mod display;
+mod fold;
+mod ir;
+mod types;
+
+pub use display::dump_function;
+pub use fold::{fold_expr, fold_function};
+pub use ir::{
+    BinKind, Builtin, Callee, CmpKind, ExprKind, FuncId, GlobalCell, GlobalId, IrExpr,
+    IrFunction, IrStmt, LocalId, LocalSlot, UnKind,
+};
+pub use types::{Field, FuncTy, ScalarTy, StructId, StructLayout, Ty, TyDisplay, TypeRegistry};

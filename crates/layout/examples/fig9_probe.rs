@@ -1,0 +1,12 @@
+//! Development probe for Figure 9's AoS/SoA crossover.
+use terra_layout::*;
+
+fn main() {
+    let mesh = HostMesh::grid(512, true); // 262k verts, 522k tris
+    for layout in [Layout::Aos, Layout::Soa] {
+        let mut kit = MeshKit::new(&mesh, layout).unwrap();
+        let gn = kit.measure_normals(2);
+        let gt = kit.measure_translate(5);
+        println!("{:?}: normals {gn:.3} GB/s, translate {gt:.3} GB/s", layout);
+    }
+}

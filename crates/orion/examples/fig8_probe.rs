@@ -1,0 +1,32 @@
+//! Development probe for the Figure 8 shape.
+use std::time::Instant;
+use terra_core::Terra;
+use terra_orion::*;
+
+fn time_pipeline(p: &Pipeline, w: usize, h: usize, sched: Schedule, reps: usize) -> f64 {
+    let mut t = Terra::new();
+    let c = p.compile(&mut t, w, h, sched).unwrap();
+    let img = ImageBuf::alloc(&mut t, &c);
+    let out = ImageBuf::alloc(&mut t, &c);
+    img.write(&mut t, &vec![0.5; w * h]);
+    c.run(&mut t, &[&img], &out);
+    let start = Instant::now();
+    for _ in 0..reps { c.run(&mut t, &[&img], &out); }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    let (w, h) = (2048, 2048);
+    let area = area_filter();
+    let base = time_pipeline(&area, w, h, Schedule::match_c(), 3);
+    println!("area filter, {w}x{h}:");
+    for (name, sched) in figure8_schedules() {
+        let dt = time_pipeline(&area, w, h, sched, 3);
+        println!("  {name:<18} {:>8.1} ms   {:.2}x", dt * 1e3, base / dt);
+    }
+    let pw = pointwise_pipeline(0.1, 1.3);
+    println!("pointwise pipeline (materialize vs inline):");
+    let m = time_pipeline(&pw, w, h, Schedule::match_c(), 3);
+    let i = time_pipeline(&pw, w, h, Schedule { strategy: Strategy::Inline, vectorize: false }, 3);
+    println!("  materialized {:.1} ms, inlined {:.1} ms ({:.2}x)", m*1e3, i*1e3, m/i);
+}

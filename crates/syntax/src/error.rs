@@ -1,0 +1,64 @@
+//! Syntax errors produced by the lexer and parser.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// An error encountered while lexing or parsing combined Lua-Terra source.
+///
+/// # Examples
+///
+/// ```
+/// use terra_syntax::{SyntaxError, Span};
+/// let e = SyntaxError::new("unexpected symbol", Span::new(0, 1, 3));
+/// assert!(e.to_string().contains("line 3"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxError {
+    message: String,
+    span: Span,
+}
+
+impl SyntaxError {
+    /// Creates a new error with the given message anchored at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        SyntaxError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Human-readable description of what went wrong.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where in the source the error occurred.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.message, self.span)
+    }
+}
+
+impl Error for SyntaxError {}
+
+/// Convenient result alias for syntax-phase operations.
+pub type Result<T> = std::result::Result<T, SyntaxError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = SyntaxError::new("bad token", Span::new(5, 6, 42));
+        assert_eq!(e.to_string(), "bad token (line 42)");
+        assert_eq!(e.message(), "bad token");
+        assert_eq!(e.span().line, 42);
+    }
+}

@@ -1,0 +1,98 @@
+//! Source positions and spans.
+//!
+//! Every token and AST node produced by this crate carries a [`Span`] so that
+//! later pipeline stages (specialization, typechecking, the VM) can report
+//! errors in terms of the original combined Lua-Terra source.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source buffer, plus the
+/// 1-based line on which it starts.
+///
+/// # Examples
+///
+/// ```
+/// use terra_syntax::Span;
+/// let s = Span::new(0, 5, 1);
+/// assert_eq!(s.len(), 5);
+/// assert!(!s.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)` on `line`.
+    pub fn new(start: u32, end: u32, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// A zero-width placeholder span (used for synthesized nodes).
+    pub fn synthetic() -> Self {
+        Span::default()
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line).max(1).min(u32::MAX),
+        }
+    }
+
+    /// Extracts the spanned slice from `src`, if in bounds.
+    pub fn slice<'a>(&self, src: &'a str) -> Option<&'a str> {
+        src.get(self.start as usize..self.end as usize)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(3, 7, 1);
+        let b = Span::new(10, 12, 2);
+        let m = a.merge(b);
+        assert_eq!((m.start, m.end), (3, 12));
+        assert_eq!(m.line, 1);
+    }
+
+    #[test]
+    fn slice_extracts() {
+        let src = "hello world";
+        let s = Span::new(6, 11, 1);
+        assert_eq!(s.slice(src), Some("world"));
+        assert_eq!(Span::new(6, 99, 1).slice(src), None);
+    }
+
+    #[test]
+    fn synthetic_is_empty() {
+        assert!(Span::synthetic().is_empty());
+        assert_eq!(Span::new(2, 2, 1).len(), 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Tokens of the combined Lua-Terra grammar.
+
+use crate::span::Span;
+use std::fmt;
+use std::rc::Rc;
+
+/// Suffix attached to an integer literal, mirroring C/Terra literal suffixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntSuffix {
+    /// No suffix: default `int` (i32) in Terra, plain number in Lua.
+    None,
+    /// `u` / `U`: `uint` (u32).
+    U,
+    /// `ll` / `LL` / `l` / `L`: `int64`.
+    LL,
+    /// `ull` / `ULL`: `uint64`.
+    ULL,
+}
+
+/// A lexical token. Keywords of both Lua and Terra are distinguished from
+/// identifiers; Terra-only keywords (`terra`, `quote`, `var`, `struct`,
+/// `emit`, `defer`) are tokens too so the parser can switch grammars.
+/// Keyword and symbol variants are self-describing.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum Tok {
+    // Literals
+    /// Integer literal with its suffix; overflowing literals are rejected by
+    /// the lexer.
+    Int(i64, IntSuffix),
+    /// Floating literal; the flag is `true` for `f`-suffixed (f32) literals.
+    Float(f64, bool),
+    /// String literal (escapes already processed).
+    Str(Rc<str>),
+    /// Identifier.
+    Name(Rc<str>),
+
+    // Lua keywords
+    And,
+    Break,
+    Do,
+    Else,
+    Elseif,
+    End,
+    False,
+    For,
+    Function,
+    Goto,
+    If,
+    In,
+    Local,
+    Nil,
+    Not,
+    Or,
+    Repeat,
+    Return,
+    Then,
+    True,
+    Until,
+    While,
+
+    // Terra keywords
+    Terra,
+    Quote,
+    Var,
+    Struct,
+    Defer,
+    Emit,
+    Escape,
+
+    // Symbols
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Caret,
+    Hash,
+    Amp,
+    Tilde,
+    Pipe,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Le,
+    Ge,
+    Lt,
+    Gt,
+    Assign,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Colon,
+    Comma,
+    Dot,
+    DotDot,
+    Ellipsis,
+    At,
+    Backtick,
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Returns the keyword token for `word`, if it is a keyword.
+    pub fn keyword(word: &str) -> Option<Tok> {
+        Some(match word {
+            "and" => Tok::And,
+            "break" => Tok::Break,
+            "do" => Tok::Do,
+            "else" => Tok::Else,
+            "elseif" => Tok::Elseif,
+            "end" => Tok::End,
+            "false" => Tok::False,
+            "for" => Tok::For,
+            "function" => Tok::Function,
+            "goto" => Tok::Goto,
+            "if" => Tok::If,
+            "in" => Tok::In,
+            "local" => Tok::Local,
+            "nil" => Tok::Nil,
+            "not" => Tok::Not,
+            "or" => Tok::Or,
+            "repeat" => Tok::Repeat,
+            "return" => Tok::Return,
+            "then" => Tok::Then,
+            "true" => Tok::True,
+            "until" => Tok::Until,
+            "while" => Tok::While,
+            "terra" => Tok::Terra,
+            "quote" => Tok::Quote,
+            "var" => Tok::Var,
+            "struct" => Tok::Struct,
+            "defer" => Tok::Defer,
+            "emit" => Tok::Emit,
+            "escape" => Tok::Escape,
+            _ => return None,
+        })
+    }
+
+    /// Short printable description, used in parser error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Int(v, _) => format!("integer '{v}'"),
+            Tok::Float(v, _) => format!("number '{v}'"),
+            Tok::Str(_) => "string literal".to_string(),
+            Tok::Name(n) => format!("identifier '{n}'"),
+            Tok::Eof => "end of input".to_string(),
+            other => format!("'{}'", other.text()),
+        }
+    }
+
+    fn text(&self) -> &'static str {
+        match self {
+            Tok::And => "and",
+            Tok::Break => "break",
+            Tok::Do => "do",
+            Tok::Else => "else",
+            Tok::Elseif => "elseif",
+            Tok::End => "end",
+            Tok::False => "false",
+            Tok::For => "for",
+            Tok::Function => "function",
+            Tok::Goto => "goto",
+            Tok::If => "if",
+            Tok::In => "in",
+            Tok::Local => "local",
+            Tok::Nil => "nil",
+            Tok::Not => "not",
+            Tok::Or => "or",
+            Tok::Repeat => "repeat",
+            Tok::Return => "return",
+            Tok::Then => "then",
+            Tok::True => "true",
+            Tok::Until => "until",
+            Tok::While => "while",
+            Tok::Terra => "terra",
+            Tok::Quote => "quote",
+            Tok::Var => "var",
+            Tok::Struct => "struct",
+            Tok::Defer => "defer",
+            Tok::Emit => "emit",
+            Tok::Escape => "escape",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::Caret => "^",
+            Tok::Hash => "#",
+            Tok::Amp => "&",
+            Tok::Tilde => "~",
+            Tok::Pipe => "|",
+            Tok::Shl => "<<",
+            Tok::Shr => ">>",
+            Tok::Eq => "==",
+            Tok::Ne => "~=",
+            Tok::Le => "<=",
+            Tok::Ge => ">=",
+            Tok::Lt => "<",
+            Tok::Gt => ">",
+            Tok::Assign => "=",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::Semi => ";",
+            Tok::Colon => ":",
+            Tok::Comma => ",",
+            Tok::Dot => ".",
+            Tok::DotDot => "..",
+            Tok::Ellipsis => "...",
+            Tok::At => "@",
+            Tok::Backtick => "`",
+            Tok::Arrow => "->",
+            _ => "?",
+        }
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub tok: Tok,
+    /// Source location.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(Tok::keyword("terra"), Some(Tok::Terra));
+        assert_eq!(Tok::keyword("while"), Some(Tok::While));
+        assert_eq!(Tok::keyword("laplace"), None);
+    }
+
+    #[test]
+    fn describe_is_nonempty() {
+        for t in [Tok::Arrow, Tok::Eof, Tok::Name("x".into()), Tok::Int(3, IntSuffix::None)] {
+            assert!(!t.describe().is_empty());
+        }
+    }
+}

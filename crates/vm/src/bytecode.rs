@@ -1,0 +1,961 @@
+//! Register-machine bytecode.
+//!
+//! Each compiled Terra function is a flat instruction vector over 256-bit
+//! registers (`[u64; 4]`): scalars live in lane 0, SIMD vectors use all
+//! lanes (8×f32 or 4×f64 — the VM analogue of AVX). Jump targets are
+//! absolute instruction indices.
+
+use terra_ir::{Builtin, FuncId, FuncTy};
+use std::rc::Rc;
+
+/// A register index within a frame.
+pub type Reg = u16;
+
+/// Sentinel register meaning "no destination/source".
+pub const NO_REG: Reg = u16::MAX;
+
+/// Integer width/signedness tag used by `Trunc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntWidth {
+    /// Sign-extend from 8 bits.
+    I8,
+    /// Zero-extend from 8 bits.
+    U8,
+    /// Sign-extend from 16 bits.
+    I16,
+    /// Zero-extend from 16 bits.
+    U16,
+    /// Sign-extend from 32 bits.
+    I32,
+    /// Zero-extend from 32 bits.
+    U32,
+}
+
+/// One bytecode instruction. `d` is the destination register; `a`/`b` are
+/// operands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    // -- constants / moves --------------------------------------------------
+    /// `d = imm` (integer/pointer/bool bit pattern).
+    ConstI {
+        /// Destination.
+        d: Reg,
+        /// Immediate value.
+        v: i64,
+    },
+    /// `d = imm` (f64 bits in lane 0).
+    ConstF64 {
+        /// Destination.
+        d: Reg,
+        /// Immediate value.
+        v: f64,
+    },
+    /// `d = imm` (f32 bits in lane 0).
+    ConstF32 {
+        /// Destination.
+        d: Reg,
+        /// Immediate value.
+        v: f32,
+    },
+    /// `d = a` (full 256-bit move).
+    Mov {
+        /// Destination.
+        d: Reg,
+        /// Source.
+        a: Reg,
+    },
+
+    // -- integer arithmetic (64-bit, canonical-extended operands) -----------
+    /// `d = a + b` (wrapping).
+    AddI {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// `d = a - b` (wrapping).
+    SubI {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// `d = a * b` (wrapping).
+    MulI {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Signed division (traps on divide-by-zero).
+    DivS {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Unsigned division (traps on divide-by-zero).
+    DivU {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Signed remainder.
+    RemS {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Unsigned remainder.
+    RemU {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// `d = a << b`.
+    Shl {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Arithmetic shift right.
+    ShrS {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Logical shift right.
+    ShrU {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Bitwise and.
+    And {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Bitwise or.
+    Or {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Bitwise xor.
+    Xor {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Signed integer min.
+    MinS {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Signed integer max.
+    MaxS {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// `d = -a` (wrapping).
+    NegI {
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        a: Reg,
+    },
+    /// `d = !a` (bitwise).
+    NotI {
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        a: Reg,
+    },
+    /// Boolean not (`0/1`).
+    NotB {
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        a: Reg,
+    },
+    /// Re-canonicalizes a narrow integer after arithmetic.
+    Trunc {
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        a: Reg,
+        /// Target width.
+        w: IntWidth,
+    },
+    /// `d = a + b*scale + disp` — fused address computation.
+    Lea {
+        /// Destination.
+        d: Reg,
+        /// Base register.
+        a: Reg,
+        /// Index register (or [`NO_REG`]).
+        b: Reg,
+        /// Scale applied to the index.
+        scale: i32,
+        /// Constant displacement.
+        disp: i64,
+    },
+
+    // -- floating arithmetic -------------------------------------------------
+    /// f64 add.
+    AddF64 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f64 subtract.
+    SubF64 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f64 multiply.
+    MulF64 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f64 divide.
+    DivF64 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f64 min.
+    MinF64 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f64 max.
+    MaxF64 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f64 negate.
+    NegF64 {
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        a: Reg,
+    },
+    /// f32 add.
+    AddF32 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f32 subtract.
+    SubF32 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f32 multiply.
+    MulF32 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f32 divide.
+    DivF32 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f32 min.
+    MinF32 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f32 max.
+    MaxF32 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f32 negate.
+    NegF32 {
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        a: Reg,
+    },
+
+    // -- comparisons (produce 0/1) -------------------------------------------
+    /// Integer equality.
+    CmpEqI {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Integer inequality.
+    CmpNeI {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Signed less-than.
+    CmpLtS {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Signed less-or-equal.
+    CmpLeS {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Unsigned less-than.
+    CmpLtU {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Unsigned less-or-equal.
+    CmpLeU {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f64 compare.
+    CmpEqF64 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f64 not-equal.
+    CmpNeF64 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f64 less-than.
+    CmpLtF64 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f64 less-or-equal.
+    CmpLeF64 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f32 compare.
+    CmpEqF32 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f32 not-equal.
+    CmpNeF32 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f32 less-than.
+    CmpLtF32 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// f32 less-or-equal.
+    CmpLeF32 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+
+    // -- conversions ---------------------------------------------------------
+    /// Signed int → f64.
+    CvtSToF64 {
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        a: Reg,
+    },
+    /// Signed int → f32.
+    CvtSToF32 {
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        a: Reg,
+    },
+    /// Unsigned int → f64.
+    CvtUToF64 {
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        a: Reg,
+    },
+    /// Unsigned int → f32.
+    CvtUToF32 {
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        a: Reg,
+    },
+    /// f64 → signed int (truncating).
+    CvtF64ToS {
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        a: Reg,
+    },
+    /// f64 → unsigned int (truncating).
+    CvtF64ToU {
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        a: Reg,
+    },
+    /// f32 → signed int (truncating).
+    CvtF32ToS {
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        a: Reg,
+    },
+    /// f32 → f64.
+    CvtF32ToF64 {
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        a: Reg,
+    },
+    /// f64 → f32.
+    CvtF64ToF32 {
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        a: Reg,
+    },
+
+    // -- memory --------------------------------------------------------------
+    /// Load a signed 8-bit value.
+    LoadI8 {
+        /// Destination.
+        d: Reg,
+        /// Address register.
+        a: Reg,
+    },
+    /// Load an unsigned 8-bit value.
+    LoadU8 {
+        /// Destination.
+        d: Reg,
+        /// Address register.
+        a: Reg,
+    },
+    /// Load a signed 16-bit value.
+    LoadI16 {
+        /// Destination.
+        d: Reg,
+        /// Address register.
+        a: Reg,
+    },
+    /// Load an unsigned 16-bit value.
+    LoadU16 {
+        /// Destination.
+        d: Reg,
+        /// Address register.
+        a: Reg,
+    },
+    /// Load a signed 32-bit value.
+    LoadI32 {
+        /// Destination.
+        d: Reg,
+        /// Address register.
+        a: Reg,
+    },
+    /// Load an unsigned 32-bit value.
+    LoadU32 {
+        /// Destination.
+        d: Reg,
+        /// Address register.
+        a: Reg,
+    },
+    /// Load 64 bits (int/pointer).
+    Load64 {
+        /// Destination.
+        d: Reg,
+        /// Address register.
+        a: Reg,
+    },
+    /// Load an f32.
+    LoadF32 {
+        /// Destination.
+        d: Reg,
+        /// Address register.
+        a: Reg,
+    },
+    /// Load an f64.
+    LoadF64 {
+        /// Destination.
+        d: Reg,
+        /// Address register.
+        a: Reg,
+    },
+    /// Store low 8 bits.
+    Store8 {
+        /// Address register.
+        a: Reg,
+        /// Value register.
+        s: Reg,
+    },
+    /// Store low 16 bits.
+    Store16 {
+        /// Address register.
+        a: Reg,
+        /// Value register.
+        s: Reg,
+    },
+    /// Store low 32 bits.
+    Store32 {
+        /// Address register.
+        a: Reg,
+        /// Value register.
+        s: Reg,
+    },
+    /// Store 64 bits.
+    Store64 {
+        /// Address register.
+        a: Reg,
+        /// Value register.
+        s: Reg,
+    },
+    /// Store an f32 (lane-0 f32 bits).
+    StoreF32 {
+        /// Address register.
+        a: Reg,
+        /// Value register.
+        s: Reg,
+    },
+    /// Store an f64.
+    StoreF64 {
+        /// Address register.
+        a: Reg,
+        /// Value register.
+        s: Reg,
+    },
+    /// Load `bytes` (8/16/32) into a vector register.
+    LoadV {
+        /// Destination.
+        d: Reg,
+        /// Address register.
+        a: Reg,
+        /// Bytes to load.
+        bytes: u8,
+    },
+    /// Store the low `bytes` of a vector register.
+    StoreV {
+        /// Address register.
+        a: Reg,
+        /// Value register.
+        s: Reg,
+        /// Bytes to store.
+        bytes: u8,
+    },
+    /// Frame-slot address: `d = frame_base + offset`.
+    FrameAddr {
+        /// Destination.
+        d: Reg,
+        /// Byte offset within the frame.
+        offset: u32,
+    },
+    /// `memcpy(dst, src, size)` with a constant size.
+    CopyMem {
+        /// Destination address register.
+        dst: Reg,
+        /// Source address register.
+        src: Reg,
+        /// Byte count.
+        size: u32,
+    },
+    /// Prefetch the cache line at the address in `a`.
+    Prefetch {
+        /// Address register.
+        a: Reg,
+    },
+
+    // -- vectors (f32 uses 8 lanes, f64 uses 4) -------------------------------
+    /// Lane-wise f32 add.
+    VAddF32 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Lane-wise f32 subtract.
+    VSubF32 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Lane-wise f32 multiply.
+    VMulF32 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Lane-wise f32 divide.
+    VDivF32 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Lane-wise f32 min.
+    VMinF32 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Lane-wise f32 max.
+    VMaxF32 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Lane-wise f64 add.
+    VAddF64 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Lane-wise f64 subtract.
+    VSubF64 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Lane-wise f64 multiply.
+    VMulF64 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Lane-wise f64 divide.
+    VDivF64 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Lane-wise f64 min.
+    VMinF64 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Lane-wise f64 max.
+    VMaxF64 {
+        /// Destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Fused multiply-add `d = a*b + d` on f32 lanes (kernel hot path).
+    VFmaF32 {
+        /// Accumulator / destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Fused multiply-add `d = a*b + d` on f64 lanes.
+    VFmaF64 {
+        /// Accumulator / destination.
+        d: Reg,
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Broadcast lane-0 f32 to all 8 lanes.
+    SplatF32 {
+        /// Destination.
+        d: Reg,
+        /// Source scalar.
+        a: Reg,
+    },
+    /// Broadcast lane-0 f64 to all 4 lanes.
+    SplatF64 {
+        /// Destination.
+        d: Reg,
+        /// Source scalar.
+        a: Reg,
+    },
+
+    // -- control flow ---------------------------------------------------------
+    /// Unconditional jump.
+    Jmp {
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Jump when the register is zero/false.
+    BrFalse {
+        /// Condition register.
+        c: Reg,
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Jump when the register is nonzero/true.
+    BrTrue {
+        /// Condition register.
+        c: Reg,
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Direct call: copies `nargs` registers starting at `args` into the
+    /// callee frame; result (if any) lands in `d`.
+    Call {
+        /// Destination register or [`NO_REG`].
+        d: Reg,
+        /// Callee.
+        f: FuncId,
+        /// First argument register.
+        args: Reg,
+        /// Argument count.
+        nargs: u16,
+    },
+    /// Indirect call through a function-pointer value.
+    CallIndirect {
+        /// Destination register or [`NO_REG`].
+        d: Reg,
+        /// Register holding the function pointer.
+        f: Reg,
+        /// First argument register.
+        args: Reg,
+        /// Argument count.
+        nargs: u16,
+    },
+    /// Call a runtime builtin.
+    CallBuiltin {
+        /// Destination register or [`NO_REG`].
+        d: Reg,
+        /// Which builtin.
+        b: Builtin,
+        /// First argument register.
+        args: Reg,
+        /// Argument count.
+        nargs: u16,
+    },
+    /// Return (source register or [`NO_REG`]).
+    Ret {
+        /// Result register or [`NO_REG`].
+        s: Reg,
+    },
+    /// Unconditional trap (unreachable code, `abort`).
+    Trap,
+}
+
+/// Function-pointer values are tagged with this high bit pattern so that
+/// stray integers are not callable.
+pub const FUNC_PTR_TAG: u64 = 0xF1A5_0000_0000_0000;
+
+/// Encodes a [`FuncId`] as a Terra function-pointer value.
+pub fn encode_func_ptr(id: FuncId) -> u64 {
+    FUNC_PTR_TAG | id.0 as u64
+}
+
+/// Decodes a Terra function-pointer value, if valid.
+pub fn decode_func_ptr(bits: u64) -> Option<FuncId> {
+    if bits & 0xFFFF_0000_0000_0000 == FUNC_PTR_TAG {
+        Some(FuncId((bits & 0xFFFF_FFFF) as u32))
+    } else {
+        None
+    }
+}
+
+/// A fully compiled Terra function.
+#[derive(Debug, Clone)]
+pub struct CompiledFunction {
+    /// Name for diagnostics.
+    pub name: Rc<str>,
+    /// Signature.
+    pub ty: FuncTy,
+    /// Number of registers the frame needs (params occupy `0..nparams`).
+    pub nregs: u16,
+    /// Bytes of frame memory for in-memory locals.
+    pub frame_size: u32,
+    /// The instruction stream.
+    pub code: Vec<Instr>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn func_ptr_roundtrip() {
+        let id = FuncId(42);
+        let bits = encode_func_ptr(id);
+        assert_eq!(decode_func_ptr(bits), Some(id));
+        assert_eq!(decode_func_ptr(42), None);
+        assert_eq!(decode_func_ptr(0), None);
+    }
+}

@@ -1,0 +1,1082 @@
+//! Compiles typed IR into bytecode.
+//!
+//! Register allocation is simple and fast (this is a JIT compiler in spirit):
+//! every register-class IR local gets a dedicated VM register, and expression
+//! temporaries are stack-allocated above them, released per statement.
+//! In-memory locals (aggregates and address-taken scalars) are laid out in
+//! the function's frame in linear memory.
+
+use crate::bytecode::{CompiledFunction, Instr, IntWidth, Reg, NO_REG};
+use crate::program::Program;
+use terra_ir::{
+    BinKind, Builtin, Callee, CmpKind, ExprKind, IrExpr, IrFunction, IrStmt, LocalId, ScalarTy,
+    Ty, TypeRegistry, UnKind,
+};
+
+fn is_addr_ty(ty: &Ty) -> bool {
+    matches!(
+        ty,
+        Ty::Ptr(_) | Ty::Scalar(ScalarTy::I64) | Ty::Scalar(ScalarTy::U64)
+    )
+}
+
+/// Compiles one IR function against the given struct registry. String
+/// constants are interned into `prog`'s memory; `globals` maps
+/// [`GlobalId`](terra_ir::GlobalId) indices to absolute addresses.
+pub fn compile(
+    func: &IrFunction,
+    types: &TypeRegistry,
+    prog: &mut Program,
+    globals: &[u64],
+) -> CompiledFunction {
+    let mut c = Compiler::new(func, types, prog, globals);
+    c.emit_entry();
+    let body = func.body.clone();
+    c.stmts(&body);
+    // Implicit return for unit functions that fall off the end.
+    c.code.push(Instr::Ret { s: NO_REG });
+    debug_assert!(c.loop_breaks.is_empty());
+    CompiledFunction {
+        name: func.name.clone(),
+        ty: func.ty.clone(),
+        nregs: c.max_regs,
+        frame_size: c.frame_size,
+        code: c.code,
+    }
+}
+
+struct Compiler<'a> {
+    func: &'a IrFunction,
+    prog: &'a mut Program,
+    globals: &'a [u64],
+    code: Vec<Instr>,
+    /// Register assigned to each register-class local (NO_REG if in memory).
+    local_regs: Vec<Reg>,
+    /// Frame offset of each in-memory local (u32::MAX otherwise).
+    local_offsets: Vec<u32>,
+    temp_base: Reg,
+    temp_top: Reg,
+    max_regs: u16,
+    frame_size: u32,
+    loop_breaks: Vec<Vec<usize>>,
+}
+
+impl<'a> Compiler<'a> {
+    fn new(
+        func: &'a IrFunction,
+        types: &'a TypeRegistry,
+        prog: &'a mut Program,
+        globals: &'a [u64],
+    ) -> Self {
+        let nparams = func.param_count();
+        let mut local_regs = vec![NO_REG; func.locals.len()];
+        let mut local_offsets = vec![u32::MAX; func.locals.len()];
+        let mut next_reg: Reg = 0;
+        let mut frame_size: u32 = 0;
+        for (i, slot) in func.locals.iter().enumerate() {
+            // Parameters always occupy registers 0..nparams (the calling
+            // convention); in-memory params are spilled by the prologue.
+            if i < nparams {
+                local_regs[i] = next_reg;
+                next_reg += 1;
+            }
+            if slot.in_memory {
+                let size = slot.ty.size(types).max(1) as u32;
+                let align = slot.ty.align(types).max(1) as u32;
+                frame_size = frame_size.div_ceil(align) * align;
+                local_offsets[i] = frame_size;
+                frame_size += size;
+            } else if i >= nparams {
+                local_regs[i] = next_reg;
+                next_reg += 1;
+            }
+        }
+        Compiler {
+            func,
+            prog,
+            globals,
+            code: Vec::new(),
+            local_regs,
+            local_offsets,
+            temp_base: next_reg,
+            temp_top: next_reg,
+            max_regs: next_reg,
+            frame_size: frame_size.div_ceil(16) * 16,
+            loop_breaks: Vec::new(),
+        }
+    }
+
+    fn emit_entry(&mut self) {
+        // Spill in-memory parameters from their incoming registers.
+        for i in 0..self.func.param_count() {
+            if self.func.locals[i].in_memory {
+                let addr = self.alloc_temp();
+                self.code.push(Instr::FrameAddr {
+                    d: addr,
+                    offset: self.local_offsets[i],
+                });
+                let ty = self.func.locals[i].ty.clone();
+                self.emit_store(&ty, addr, self.local_regs[i]);
+                self.release(addr);
+            }
+        }
+    }
+
+    fn alloc_temp(&mut self) -> Reg {
+        let r = self.temp_top;
+        self.temp_top += 1;
+        self.max_regs = self.max_regs.max(self.temp_top);
+        r
+    }
+
+    fn release(&mut self, watermark: Reg) {
+        debug_assert!(watermark >= self.temp_base);
+        self.temp_top = watermark;
+    }
+
+    // -- statements ----------------------------------------------------------
+
+    fn stmts(&mut self, body: &[IrStmt]) {
+        for s in body {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &IrStmt) {
+        let mark = self.temp_top;
+        match s {
+            IrStmt::Assign { dst, value } => self.compile_assign(*dst, value),
+            IrStmt::Store { addr, value } => {
+                let a = self.expr(addr, None);
+                let v = self.expr(value, None);
+                self.emit_store(&value.ty, a, v);
+            }
+            IrStmt::CopyMem { dst, src, size } => {
+                let d = self.expr(dst, None);
+                let s = self.expr(src, None);
+                self.code.push(Instr::CopyMem {
+                    dst: d,
+                    src: s,
+                    size: *size as u32,
+                });
+            }
+            IrStmt::Expr(e) => {
+                let _ = self.expr(e, None);
+            }
+            IrStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.expr(cond, None);
+                let br_at = self.code.len();
+                self.code.push(Instr::BrFalse { c, target: 0 });
+                self.release(mark);
+                self.stmts(then_body);
+                if else_body.is_empty() {
+                    let end = self.code.len() as u32;
+                    self.patch(br_at, end);
+                } else {
+                    let jmp_at = self.code.len();
+                    self.code.push(Instr::Jmp { target: 0 });
+                    let else_start = self.code.len() as u32;
+                    self.patch(br_at, else_start);
+                    self.stmts(else_body);
+                    let end = self.code.len() as u32;
+                    self.patch(jmp_at, end);
+                }
+            }
+            IrStmt::While { cond, body } => {
+                let head = self.code.len() as u32;
+                let c = self.expr(cond, None);
+                let br_at = self.code.len();
+                self.code.push(Instr::BrFalse { c, target: 0 });
+                self.release(mark);
+                self.loop_breaks.push(Vec::new());
+                self.stmts(body);
+                self.code.push(Instr::Jmp { target: head });
+                let end = self.code.len() as u32;
+                self.patch(br_at, end);
+                for site in self.loop_breaks.pop().expect("pushed above") {
+                    self.patch(site, end);
+                }
+            }
+            IrStmt::For {
+                var,
+                start,
+                stop,
+                step,
+                body,
+            } => {
+                let var_reg = self.local_regs[var.0 as usize];
+                let s = self.expr(start, Some(var_reg));
+                if s != var_reg {
+                    self.code.push(Instr::Mov { d: var_reg, a: s });
+                }
+                // `stop`/`step` temps stay live for the whole loop.
+                let stop_reg = {
+                    let r = self.expr(stop, None);
+                    self.pin(r)
+                };
+                let step_reg = {
+                    let r = self.expr(step, None);
+                    self.pin(r)
+                };
+                let head = self.code.len() as u32;
+                let c = self.alloc_temp();
+                self.code.push(Instr::CmpLtS {
+                    d: c,
+                    a: var_reg,
+                    b: stop_reg,
+                });
+                let br_at = self.code.len();
+                self.code.push(Instr::BrFalse { c, target: 0 });
+                self.release(c);
+                self.loop_breaks.push(Vec::new());
+                self.stmts(body);
+                self.code.push(Instr::AddI {
+                    d: var_reg,
+                    a: var_reg,
+                    b: step_reg,
+                });
+                self.emit_norm(&self.func.locals[var.0 as usize].ty.clone(), var_reg);
+                self.code.push(Instr::Jmp { target: head });
+                let end = self.code.len() as u32;
+                self.patch(br_at, end);
+                for site in self.loop_breaks.pop().expect("pushed above") {
+                    self.patch(site, end);
+                }
+            }
+            IrStmt::Return(Some(e)) => {
+                let r = self.expr(e, None);
+                self.code.push(Instr::Ret { s: r });
+            }
+            IrStmt::Return(None) => self.code.push(Instr::Ret { s: NO_REG }),
+            IrStmt::Break => {
+                let at = self.code.len();
+                self.code.push(Instr::Jmp { target: 0 });
+                if let Some(sites) = self.loop_breaks.last_mut() {
+                    sites.push(at);
+                }
+            }
+        }
+        self.release(mark);
+    }
+
+    /// Keeps a temp alive past the per-statement watermark by copying it to
+    /// a fresh pinned slot if it is about to be released. Temps produced by
+    /// `expr` are already above the watermark, so this is just identity in
+    /// practice; locals are copied so the loop bound cannot be mutated.
+    fn pin(&mut self, r: Reg) -> Reg {
+        if r >= self.temp_base {
+            r
+        } else {
+            let t = self.alloc_temp();
+            self.code.push(Instr::Mov { d: t, a: r });
+            t
+        }
+    }
+
+    fn compile_assign(&mut self, dst: LocalId, value: &IrExpr) {
+        let slot = &self.func.locals[dst.0 as usize];
+        if slot.in_memory {
+            let addr = self.alloc_temp();
+            self.code.push(Instr::FrameAddr {
+                d: addr,
+                offset: self.local_offsets[dst.0 as usize],
+            });
+            let v = self.expr(value, None);
+            self.emit_store(&value.ty.clone(), addr, v);
+            return;
+        }
+        let dreg = self.local_regs[dst.0 as usize];
+        // Peephole: vector FMA `acc = acc + x * y`.
+        if let Ty::Vector(st, _) = &value.ty {
+            if let ExprKind::Binary {
+                op: BinKind::Add,
+                lhs,
+                rhs,
+            } = &value.kind
+            {
+                if matches!(lhs.kind, ExprKind::Local(l) if l == dst) {
+                    if let ExprKind::Binary {
+                        op: BinKind::Mul,
+                        lhs: x,
+                        rhs: y,
+                    } = &rhs.kind
+                    {
+                        let a = self.expr(x, None);
+                        let b = self.expr(y, None);
+                        self.code.push(match st {
+                            ScalarTy::F32 => Instr::VFmaF32 { d: dreg, a, b },
+                            ScalarTy::F64 => Instr::VFmaF64 { d: dreg, a, b },
+                            _ => unreachable!("integer vectors are not supported"),
+                        });
+                        return;
+                    }
+                }
+            }
+        }
+        let r = self.expr(value, Some(dreg));
+        if r != dreg {
+            self.code.push(Instr::Mov { d: dreg, a: r });
+        }
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Instr::Jmp { target: t }
+            | Instr::BrFalse { target: t, .. }
+            | Instr::BrTrue { target: t, .. } => *t = target,
+            other => unreachable!("patching non-branch {other:?}"),
+        }
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    /// Compiles `e`, preferring to place the result in `want` when the node
+    /// produces a fresh value. Returns the register actually holding the
+    /// result.
+    fn expr(&mut self, e: &IrExpr, want: Option<Reg>) -> Reg {
+        let dst = |c: &mut Self| want.unwrap_or_else(|| c.alloc_temp());
+        match &e.kind {
+            ExprKind::ConstInt(v) => {
+                let d = dst(self);
+                self.code.push(Instr::ConstI { d, v: *v });
+                d
+            }
+            ExprKind::ConstFloat(v) => {
+                let d = dst(self);
+                if e.ty == Ty::F32 {
+                    self.code.push(Instr::ConstF32 { d, v: *v as f32 });
+                } else {
+                    self.code.push(Instr::ConstF64 { d, v: *v });
+                }
+                d
+            }
+            ExprKind::ConstBool(b) => {
+                let d = dst(self);
+                self.code.push(Instr::ConstI { d, v: *b as i64 });
+                d
+            }
+            ExprKind::ConstNull => {
+                let d = dst(self);
+                self.code.push(Instr::ConstI { d, v: 0 });
+                d
+            }
+            ExprKind::ConstFunc(id) => {
+                let d = dst(self);
+                self.code.push(Instr::ConstI {
+                    d,
+                    v: crate::bytecode::encode_func_ptr(*id) as i64,
+                });
+                d
+            }
+            ExprKind::ConstStr(s) => {
+                let addr = self.prog.intern_string(s);
+                let d = dst(self);
+                self.code.push(Instr::ConstI { d, v: addr as i64 });
+                d
+            }
+            ExprKind::Local(id) => {
+                let slot = &self.func.locals[id.0 as usize];
+                if slot.in_memory {
+                    let a = self.alloc_temp();
+                    self.code.push(Instr::FrameAddr {
+                        d: a,
+                        offset: self.local_offsets[id.0 as usize],
+                    });
+                    let d = dst(self);
+                    self.emit_load(&slot.ty.clone(), d, a);
+                    d
+                } else {
+                    self.local_regs[id.0 as usize]
+                }
+            }
+            ExprKind::LocalAddr(id) => {
+                let d = dst(self);
+                debug_assert_ne!(self.local_offsets[id.0 as usize], u32::MAX);
+                self.code.push(Instr::FrameAddr {
+                    d,
+                    offset: self.local_offsets[id.0 as usize],
+                });
+                d
+            }
+            ExprKind::GlobalAddr(id) => {
+                let d = dst(self);
+                self.code.push(Instr::ConstI {
+                    d,
+                    v: self.globals[id.0 as usize] as i64,
+                });
+                d
+            }
+            ExprKind::Load(addr) => {
+                let a = self.expr(addr, None);
+                let d = dst(self);
+                self.emit_load(&e.ty, d, a);
+                d
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                // Address-fusion peephole: `base + idx*scale + disp` becomes
+                // one Lea dispatch. Only for pointer/64-bit adds (no
+                // truncation needed).
+                if *op == BinKind::Add && is_addr_ty(&e.ty) {
+                    if let Some(r) = self.try_lea(lhs, rhs, want) {
+                        return r;
+                    }
+                }
+                let a = self.expr(lhs, None);
+                let b = self.expr(rhs, None);
+                let d = dst(self);
+                self.emit_binary(&e.ty, *op, d, a, b);
+                d
+            }
+            ExprKind::Cmp { op, lhs, rhs } => {
+                let a = self.expr(lhs, None);
+                let b = self.expr(rhs, None);
+                let d = dst(self);
+                self.emit_cmp(&lhs.ty, *op, d, a, b);
+                d
+            }
+            ExprKind::Unary { op, expr } => {
+                let a = self.expr(expr, None);
+                let d = dst(self);
+                match (op, &e.ty) {
+                    (UnKind::Neg, Ty::Scalar(ScalarTy::F64)) => {
+                        self.code.push(Instr::NegF64 { d, a })
+                    }
+                    (UnKind::Neg, Ty::Scalar(ScalarTy::F32)) => {
+                        self.code.push(Instr::NegF32 { d, a })
+                    }
+                    (UnKind::Neg, Ty::Vector(st, _)) => {
+                        // 0 - x, lane-wise.
+                        let z = self.alloc_temp();
+                        self.code.push(Instr::ConstI { d: z, v: 0 });
+                        if *st == ScalarTy::F32 {
+                            self.code.push(Instr::SplatF32 { d: z, a: z });
+                            self.code.push(Instr::VSubF32 { d, a: z, b: a });
+                        } else {
+                            self.code.push(Instr::SplatF64 { d: z, a: z });
+                            self.code.push(Instr::VSubF64 { d, a: z, b: a });
+                        }
+                    }
+                    (UnKind::Neg, _) => {
+                        self.code.push(Instr::NegI { d, a });
+                        self.emit_norm(&e.ty, d);
+                    }
+                    (UnKind::Not, Ty::Scalar(ScalarTy::Bool)) => {
+                        self.code.push(Instr::NotB { d, a })
+                    }
+                    (UnKind::Not, _) => {
+                        self.code.push(Instr::NotI { d, a });
+                        self.emit_norm(&e.ty, d);
+                    }
+                }
+                d
+            }
+            ExprKind::Cast(inner) => self.emit_cast(e, inner, want),
+            ExprKind::Call { callee, args } => {
+                // Arguments must land in a contiguous temp block.
+                let fptr = if let Callee::Indirect(p) = callee {
+                    Some(self.expr(p, None))
+                } else {
+                    None
+                };
+                let argbase = self.temp_top;
+                for _ in 0..args.len() {
+                    self.alloc_temp();
+                }
+                for (i, a) in args.iter().enumerate() {
+                    let r = self.expr(a, None);
+                    let slot = argbase + i as Reg;
+                    if r != slot {
+                        self.code.push(Instr::Mov { d: slot, a: r });
+                    }
+                    // Release any temps the argument expression used above
+                    // its slot.
+                    self.release(argbase + i as Reg + 1);
+                }
+                let d = if e.ty == Ty::Unit { NO_REG } else { dst(self) };
+                match callee {
+                    Callee::Direct(id) => self.code.push(Instr::Call {
+                        d,
+                        f: *id,
+                        args: argbase,
+                        nargs: args.len() as u16,
+                    }),
+                    Callee::Builtin(b) => {
+                        if *b == Builtin::Prefetch {
+                            self.code.push(Instr::Prefetch { a: argbase });
+                        } else {
+                            self.code.push(Instr::CallBuiltin {
+                                d,
+                                b: *b,
+                                args: argbase,
+                                nargs: args.len() as u16,
+                            });
+                        }
+                    }
+                    Callee::Indirect(_) => self.code.push(Instr::CallIndirect {
+                        d,
+                        f: fptr.expect("indirect pointer compiled above"),
+                        args: argbase,
+                        nargs: args.len() as u16,
+                    }),
+                }
+                if d == NO_REG {
+                    // Unit-typed call used in expression position: hand back
+                    // a zeroed register for uniformity.
+                    let z = dst(self);
+                    self.code.push(Instr::ConstI { d: z, v: 0 });
+                    z
+                } else {
+                    d
+                }
+            }
+            ExprKind::Select {
+                cond,
+                then_value,
+                else_value,
+            } => {
+                let c = self.expr(cond, None);
+                let d = dst(self);
+                let br_at = self.code.len();
+                self.code.push(Instr::BrFalse { c, target: 0 });
+                let t = self.expr(then_value, Some(d));
+                if t != d {
+                    self.code.push(Instr::Mov { d, a: t });
+                }
+                let jmp_at = self.code.len();
+                self.code.push(Instr::Jmp { target: 0 });
+                let else_start = self.code.len() as u32;
+                self.patch(br_at, else_start);
+                let f = self.expr(else_value, Some(d));
+                if f != d {
+                    self.code.push(Instr::Mov { d, a: f });
+                }
+                let end = self.code.len() as u32;
+                self.patch(jmp_at, end);
+                d
+            }
+        }
+    }
+
+    /// Attempts to compile `lhs + rhs` as a single `Lea`:
+    /// `base + c`, `base + idx*c`, or `base + c*idx`.
+    fn try_lea(&mut self, lhs: &IrExpr, rhs: &IrExpr, want: Option<Reg>) -> Option<Reg> {
+        let (base, offset) = if matches!(rhs.kind, ExprKind::ConstInt(_) | ExprKind::Binary { .. })
+        {
+            (lhs, rhs)
+        } else if matches!(lhs.kind, ExprKind::ConstInt(_)) {
+            (rhs, lhs)
+        } else {
+            (lhs, rhs)
+        };
+        match &offset.kind {
+            ExprKind::ConstInt(d_imm) => {
+                let a = self.expr(base, None);
+                let d = want.unwrap_or_else(|| self.alloc_temp());
+                self.code.push(Instr::Lea {
+                    d,
+                    a,
+                    b: NO_REG,
+                    scale: 1,
+                    disp: *d_imm,
+                });
+                Some(d)
+            }
+            ExprKind::Binary {
+                op: BinKind::Mul,
+                lhs: m1,
+                rhs: m2,
+            } => {
+                let (idx, scale) = match (&m1.kind, &m2.kind) {
+                    (_, ExprKind::ConstInt(s)) if i32::try_from(*s).is_ok() => (m1, *s as i32),
+                    (ExprKind::ConstInt(s), _) if i32::try_from(*s).is_ok() => (m2, *s as i32),
+                    _ => return None,
+                };
+                // The index itself may be `j * c`: fold into the scale when
+                // the product still fits.
+                let a = self.expr(base, None);
+                let b = self.expr(idx, None);
+                let d = want.unwrap_or_else(|| self.alloc_temp());
+                self.code.push(Instr::Lea {
+                    d,
+                    a,
+                    b,
+                    scale,
+                    disp: 0,
+                });
+                Some(d)
+            }
+            _ => None,
+        }
+    }
+
+    fn emit_binary(&mut self, ty: &Ty, op: BinKind, d: Reg, a: Reg, b: Reg) {
+        match ty {
+            Ty::Vector(st, _) => {
+                let instr = match (st, op) {
+                    (ScalarTy::F32, BinKind::Add) => Instr::VAddF32 { d, a, b },
+                    (ScalarTy::F32, BinKind::Sub) => Instr::VSubF32 { d, a, b },
+                    (ScalarTy::F32, BinKind::Mul) => Instr::VMulF32 { d, a, b },
+                    (ScalarTy::F32, BinKind::Div) => Instr::VDivF32 { d, a, b },
+                    (ScalarTy::F32, BinKind::Min) => Instr::VMinF32 { d, a, b },
+                    (ScalarTy::F32, BinKind::Max) => Instr::VMaxF32 { d, a, b },
+                    (ScalarTy::F64, BinKind::Add) => Instr::VAddF64 { d, a, b },
+                    (ScalarTy::F64, BinKind::Sub) => Instr::VSubF64 { d, a, b },
+                    (ScalarTy::F64, BinKind::Mul) => Instr::VMulF64 { d, a, b },
+                    (ScalarTy::F64, BinKind::Div) => Instr::VDivF64 { d, a, b },
+                    (ScalarTy::F64, BinKind::Min) => Instr::VMinF64 { d, a, b },
+                    (ScalarTy::F64, BinKind::Max) => Instr::VMaxF64 { d, a, b },
+                    other => unreachable!("unsupported vector op {other:?}"),
+                };
+                self.code.push(instr);
+            }
+            Ty::Scalar(ScalarTy::F64) => {
+                let instr = match op {
+                    BinKind::Add => Instr::AddF64 { d, a, b },
+                    BinKind::Sub => Instr::SubF64 { d, a, b },
+                    BinKind::Mul => Instr::MulF64 { d, a, b },
+                    BinKind::Div => Instr::DivF64 { d, a, b },
+                    BinKind::Min => Instr::MinF64 { d, a, b },
+                    BinKind::Max => Instr::MaxF64 { d, a, b },
+                    other => unreachable!("unsupported f64 op {other:?}"),
+                };
+                self.code.push(instr);
+            }
+            Ty::Scalar(ScalarTy::F32) => {
+                let instr = match op {
+                    BinKind::Add => Instr::AddF32 { d, a, b },
+                    BinKind::Sub => Instr::SubF32 { d, a, b },
+                    BinKind::Mul => Instr::MulF32 { d, a, b },
+                    BinKind::Div => Instr::DivF32 { d, a, b },
+                    BinKind::Min => Instr::MinF32 { d, a, b },
+                    BinKind::Max => Instr::MaxF32 { d, a, b },
+                    other => unreachable!("unsupported f32 op {other:?}"),
+                };
+                self.code.push(instr);
+            }
+            _ => {
+                // Integers, pointers, bools.
+                let signed = matches!(ty, Ty::Scalar(s) if s.is_signed());
+                let instr = match op {
+                    BinKind::Add => Instr::AddI { d, a, b },
+                    BinKind::Sub => Instr::SubI { d, a, b },
+                    BinKind::Mul => Instr::MulI { d, a, b },
+                    BinKind::Div if signed => Instr::DivS { d, a, b },
+                    BinKind::Div => Instr::DivU { d, a, b },
+                    BinKind::Rem if signed => Instr::RemS { d, a, b },
+                    BinKind::Rem => Instr::RemU { d, a, b },
+                    BinKind::Shl => Instr::Shl { d, a, b },
+                    BinKind::Shr if signed => Instr::ShrS { d, a, b },
+                    BinKind::Shr => Instr::ShrU { d, a, b },
+                    BinKind::And => Instr::And { d, a, b },
+                    BinKind::Or => Instr::Or { d, a, b },
+                    BinKind::Xor => Instr::Xor { d, a, b },
+                    BinKind::Min => Instr::MinS { d, a, b },
+                    BinKind::Max => Instr::MaxS { d, a, b },
+                };
+                self.code.push(instr);
+                if matches!(
+                    op,
+                    BinKind::Add | BinKind::Sub | BinKind::Mul | BinKind::Shl | BinKind::Xor
+                ) {
+                    self.emit_norm(ty, d);
+                }
+            }
+        }
+    }
+
+    fn emit_cmp(&mut self, operand_ty: &Ty, op: CmpKind, d: Reg, a: Reg, b: Reg) {
+        use CmpKind::*;
+        match operand_ty {
+            Ty::Scalar(ScalarTy::F64) => {
+                let instr = match op {
+                    Eq => Instr::CmpEqF64 { d, a, b },
+                    Ne => Instr::CmpNeF64 { d, a, b },
+                    Lt => Instr::CmpLtF64 { d, a, b },
+                    Le => Instr::CmpLeF64 { d, a, b },
+                    Gt => Instr::CmpLtF64 { d, a: b, b: a },
+                    Ge => Instr::CmpLeF64 { d, a: b, b: a },
+                };
+                self.code.push(instr);
+            }
+            Ty::Scalar(ScalarTy::F32) => {
+                let instr = match op {
+                    Eq => Instr::CmpEqF32 { d, a, b },
+                    Ne => Instr::CmpNeF32 { d, a, b },
+                    Lt => Instr::CmpLtF32 { d, a, b },
+                    Le => Instr::CmpLeF32 { d, a, b },
+                    Gt => Instr::CmpLtF32 { d, a: b, b: a },
+                    Ge => Instr::CmpLeF32 { d, a: b, b: a },
+                };
+                self.code.push(instr);
+            }
+            _ => {
+                let signed = matches!(operand_ty, Ty::Scalar(s) if s.is_signed());
+                let instr = match (op, signed) {
+                    (Eq, _) => Instr::CmpEqI { d, a, b },
+                    (Ne, _) => Instr::CmpNeI { d, a, b },
+                    (Lt, true) => Instr::CmpLtS { d, a, b },
+                    (Le, true) => Instr::CmpLeS { d, a, b },
+                    (Gt, true) => Instr::CmpLtS { d, a: b, b: a },
+                    (Ge, true) => Instr::CmpLeS { d, a: b, b: a },
+                    (Lt, false) => Instr::CmpLtU { d, a, b },
+                    (Le, false) => Instr::CmpLeU { d, a, b },
+                    (Gt, false) => Instr::CmpLtU { d, a: b, b: a },
+                    (Ge, false) => Instr::CmpLeU { d, a: b, b: a },
+                };
+                self.code.push(instr);
+            }
+        }
+    }
+
+    fn emit_cast(&mut self, e: &IrExpr, inner: &IrExpr, want: Option<Reg>) -> Reg {
+        let a = self.expr(inner, None);
+        let from = &inner.ty;
+        let to = &e.ty;
+        if from == to {
+            return a;
+        }
+        let d = want.unwrap_or_else(|| self.alloc_temp());
+        match (from, to) {
+            // Pointer/function/integer reinterpretations.
+            (Ty::Ptr(_) | Ty::Func(_), Ty::Ptr(_) | Ty::Func(_)) => {
+                self.code.push(Instr::Mov { d, a });
+            }
+            (Ty::Ptr(_), Ty::Scalar(s)) if s.is_integer() => {
+                self.code.push(Instr::Mov { d, a });
+                self.emit_norm(to, d);
+            }
+            (Ty::Scalar(s), Ty::Ptr(_)) if s.is_integer() => {
+                self.code.push(Instr::Mov { d, a });
+            }
+            // Scalar → vector broadcast.
+            (Ty::Scalar(_), Ty::Vector(st, _)) => {
+                match st {
+                    ScalarTy::F32 => self.code.push(Instr::SplatF32 { d, a }),
+                    ScalarTy::F64 => self.code.push(Instr::SplatF64 { d, a }),
+                    _ => unreachable!("integer vectors are not supported"),
+                };
+            }
+            (Ty::Scalar(f), Ty::Scalar(t)) => self.emit_scalar_cast(*f, *t, d, a),
+            // Arrays decay to pointers.
+            (Ty::Array(..), Ty::Ptr(_)) => {
+                self.code.push(Instr::Mov { d, a });
+            }
+            other => unreachable!("unsupported cast {other:?}"),
+        }
+        d
+    }
+
+    fn emit_scalar_cast(&mut self, from: ScalarTy, to: ScalarTy, d: Reg, a: Reg) {
+        use ScalarTy::*;
+        match (from, to) {
+            (F32, F64) => self.code.push(Instr::CvtF32ToF64 { d, a }),
+            (F64, F32) => self.code.push(Instr::CvtF64ToF32 { d, a }),
+            (f, t) if f.is_float() && t.is_integer() => {
+                if f == F32 {
+                    self.code.push(Instr::CvtF32ToS { d, a });
+                } else if t.is_signed() {
+                    self.code.push(Instr::CvtF64ToS { d, a });
+                } else {
+                    self.code.push(Instr::CvtF64ToU { d, a });
+                }
+                self.emit_norm(&Ty::Scalar(t), d);
+            }
+            (f, t) if f.is_integer() && t.is_float() => {
+                let instr = match (f.is_signed(), t) {
+                    (true, F64) => Instr::CvtSToF64 { d, a },
+                    (true, F32) => Instr::CvtSToF32 { d, a },
+                    (false, F64) => Instr::CvtUToF64 { d, a },
+                    _ => Instr::CvtUToF32 { d, a },
+                };
+                self.code.push(instr);
+            }
+            (f, Bool) if f.is_integer() || f == Bool => {
+                let z = self.alloc_temp();
+                self.code.push(Instr::ConstI { d: z, v: 0 });
+                self.code.push(Instr::CmpNeI { d, a, b: z });
+            }
+            (F32, Bool) | (F64, Bool) => {
+                let z = self.alloc_temp();
+                self.code.push(Instr::ConstF64 { d: z, v: 0.0 });
+                if from == F32 {
+                    let w = self.alloc_temp();
+                    self.code.push(Instr::CvtF32ToF64 { d: w, a });
+                    self.code.push(Instr::CmpNeF64 { d, a: w, b: z });
+                } else {
+                    self.code.push(Instr::CmpNeF64 { d, a, b: z });
+                }
+            }
+            (Bool, t) if t.is_integer() => self.code.push(Instr::Mov { d, a }),
+            (Bool, F32) => self.code.push(Instr::CvtUToF32 { d, a }),
+            (Bool, F64) => self.code.push(Instr::CvtUToF64 { d, a }),
+            (f, t) if f.is_integer() && t.is_integer() => {
+                self.code.push(Instr::Mov { d, a });
+                self.emit_norm(&Ty::Scalar(t), d);
+            }
+            other => unreachable!("unsupported scalar cast {other:?}"),
+        }
+    }
+
+    /// Re-canonicalizes register `r` holding a value of narrow integer type.
+    fn emit_norm(&mut self, ty: &Ty, r: Reg) {
+        let w = match ty {
+            Ty::Scalar(ScalarTy::I8) => IntWidth::I8,
+            Ty::Scalar(ScalarTy::U8) => IntWidth::U8,
+            Ty::Scalar(ScalarTy::I16) => IntWidth::I16,
+            Ty::Scalar(ScalarTy::U16) => IntWidth::U16,
+            Ty::Scalar(ScalarTy::I32) => IntWidth::I32,
+            Ty::Scalar(ScalarTy::U32) => IntWidth::U32,
+            _ => return,
+        };
+        self.code.push(Instr::Trunc { d: r, a: r, w });
+    }
+
+    fn emit_load(&mut self, ty: &Ty, d: Reg, a: Reg) {
+        let instr = match ty {
+            Ty::Scalar(ScalarTy::Bool) | Ty::Scalar(ScalarTy::U8) => Instr::LoadU8 { d, a },
+            Ty::Scalar(ScalarTy::I8) => Instr::LoadI8 { d, a },
+            Ty::Scalar(ScalarTy::I16) => Instr::LoadI16 { d, a },
+            Ty::Scalar(ScalarTy::U16) => Instr::LoadU16 { d, a },
+            Ty::Scalar(ScalarTy::I32) => Instr::LoadI32 { d, a },
+            Ty::Scalar(ScalarTy::U32) => Instr::LoadU32 { d, a },
+            Ty::Scalar(ScalarTy::I64) | Ty::Scalar(ScalarTy::U64) | Ty::Ptr(_) | Ty::Func(_) => {
+                Instr::Load64 { d, a }
+            }
+            Ty::Scalar(ScalarTy::F32) => Instr::LoadF32 { d, a },
+            Ty::Scalar(ScalarTy::F64) => Instr::LoadF64 { d, a },
+            Ty::Vector(st, n) => Instr::LoadV {
+                d,
+                a,
+                bytes: (st.size() * *n as u64) as u8,
+            },
+            // Arrays in r-value position decay to their address.
+            Ty::Array(..) => Instr::Mov { d, a },
+            other => unreachable!("cannot load aggregate type {other}"),
+        };
+        self.code.push(instr);
+    }
+
+    fn emit_store(&mut self, ty: &Ty, a: Reg, s: Reg) {
+        let instr = match ty {
+            Ty::Scalar(ScalarTy::Bool) | Ty::Scalar(ScalarTy::I8) | Ty::Scalar(ScalarTy::U8) => {
+                Instr::Store8 { a, s }
+            }
+            Ty::Scalar(ScalarTy::I16) | Ty::Scalar(ScalarTy::U16) => Instr::Store16 { a, s },
+            Ty::Scalar(ScalarTy::I32) | Ty::Scalar(ScalarTy::U32) => Instr::Store32 { a, s },
+            Ty::Scalar(ScalarTy::I64) | Ty::Scalar(ScalarTy::U64) | Ty::Ptr(_) | Ty::Func(_) => {
+                Instr::Store64 { a, s }
+            }
+            Ty::Scalar(ScalarTy::F32) => Instr::StoreF32 { a, s },
+            Ty::Scalar(ScalarTy::F64) => Instr::StoreF64 { a, s },
+            Ty::Vector(st, n) => Instr::StoreV {
+                a,
+                s,
+                bytes: (st.size() * *n as u64) as u8,
+            },
+            other => unreachable!("cannot store aggregate type {other}"),
+        };
+        self.code.push(instr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Vm;
+    use crate::program::Value;
+    use terra_ir::{FuncTy, IrFunction};
+
+    fn run(f: IrFunction, args: &[Value]) -> Value {
+        let mut prog = Program::new();
+        let types = TypeRegistry::new();
+        let id = prog.declare(f.name.clone());
+        let compiled = compile(&f, &types, &mut prog, &[]);
+        prog.define(id, compiled);
+        let mut vm = Vm::new();
+        vm.call(&mut prog, id, args).unwrap()
+    }
+
+    #[test]
+    fn compiles_arithmetic() {
+        // f(a, b) = (a + b) * 2
+        let mut f = IrFunction {
+            name: "f".into(),
+            ty: FuncTy {
+                params: vec![Ty::INT, Ty::INT],
+                ret: Ty::INT,
+            },
+            locals: vec![],
+            body: vec![],
+        };
+        let a = f.add_local("a", Ty::INT, false);
+        let b = f.add_local("b", Ty::INT, false);
+        f.body = vec![IrStmt::Return(Some(IrExpr::binary(
+            BinKind::Mul,
+            IrExpr::binary(
+                BinKind::Add,
+                IrExpr::local(a, Ty::INT),
+                IrExpr::local(b, Ty::INT),
+            ),
+            IrExpr::int32(2),
+        )))];
+        assert_eq!(run(f, &[Value::Int(3), Value::Int(4)]), Value::Int(14));
+    }
+
+    #[test]
+    fn compiles_for_loop_sum() {
+        // f(n) = sum_{i<n} i
+        let mut f = IrFunction {
+            name: "sum".into(),
+            ty: FuncTy {
+                params: vec![Ty::INT],
+                ret: Ty::INT,
+            },
+            locals: vec![],
+            body: vec![],
+        };
+        let n = f.add_local("n", Ty::INT, false);
+        let acc = f.add_local("acc", Ty::INT, false);
+        let i = f.add_local("i", Ty::INT, false);
+        f.body = vec![
+            IrStmt::Assign {
+                dst: acc,
+                value: IrExpr::int32(0),
+            },
+            IrStmt::For {
+                var: i,
+                start: IrExpr::int32(0),
+                stop: IrExpr::local(n, Ty::INT),
+                step: IrExpr::int32(1),
+                body: vec![IrStmt::Assign {
+                    dst: acc,
+                    value: IrExpr::binary(
+                        BinKind::Add,
+                        IrExpr::local(acc, Ty::INT),
+                        IrExpr::local(i, Ty::INT),
+                    ),
+                }],
+            },
+            IrStmt::Return(Some(IrExpr::local(acc, Ty::INT))),
+        ];
+        assert_eq!(run(f, &[Value::Int(10)]), Value::Int(45));
+    }
+
+    #[test]
+    fn compiles_in_memory_local_and_addr() {
+        // var x : int (in memory); *(&x) = 5; return x
+        let mut f = IrFunction {
+            name: "mem".into(),
+            ty: FuncTy {
+                params: vec![],
+                ret: Ty::INT,
+            },
+            locals: vec![],
+            body: vec![],
+        };
+        let x = f.add_local("x", Ty::INT, true);
+        f.body = vec![
+            IrStmt::Store {
+                addr: IrExpr {
+                    ty: Ty::INT.ptr_to(),
+                    kind: ExprKind::LocalAddr(x),
+                },
+                value: IrExpr::int32(5),
+            },
+            IrStmt::Return(Some(IrExpr::local(x, Ty::INT))),
+        ];
+        assert_eq!(run(f, &[]), Value::Int(5));
+    }
+
+    #[test]
+    fn compiles_if_and_break() {
+        // while true: if i >= 3 break; i++  → returns 3
+        let mut f = IrFunction {
+            name: "brk".into(),
+            ty: FuncTy {
+                params: vec![],
+                ret: Ty::INT,
+            },
+            locals: vec![],
+            body: vec![],
+        };
+        let i = f.add_local("i", Ty::INT, false);
+        f.body = vec![
+            IrStmt::Assign {
+                dst: i,
+                value: IrExpr::int32(0),
+            },
+            IrStmt::While {
+                cond: IrExpr::boolean(true),
+                body: vec![
+                    IrStmt::If {
+                        cond: IrExpr::cmp(
+                            CmpKind::Ge,
+                            IrExpr::local(i, Ty::INT),
+                            IrExpr::int32(3),
+                        ),
+                        then_body: vec![IrStmt::Break],
+                        else_body: vec![],
+                    },
+                    IrStmt::Assign {
+                        dst: i,
+                        value: IrExpr::binary(
+                            BinKind::Add,
+                            IrExpr::local(i, Ty::INT),
+                            IrExpr::int32(1),
+                        ),
+                    },
+                ],
+            },
+            IrStmt::Return(Some(IrExpr::local(i, Ty::INT))),
+        ];
+        assert_eq!(run(f, &[]), Value::Int(3));
+    }
+
+    #[test]
+    fn narrow_integer_wrapping() {
+        // u8 arithmetic wraps at 256: f(a) = (a + 1) as u8
+        let mut f = IrFunction {
+            name: "wrap".into(),
+            ty: FuncTy {
+                params: vec![Ty::U8],
+                ret: Ty::U8,
+            },
+            locals: vec![],
+            body: vec![],
+        };
+        let a = f.add_local("a", Ty::U8, false);
+        f.body = vec![IrStmt::Return(Some(IrExpr::binary(
+            BinKind::Add,
+            IrExpr::local(a, Ty::U8),
+            IrExpr {
+                ty: Ty::U8,
+                kind: ExprKind::ConstInt(1),
+            },
+        )))];
+        assert_eq!(run(f, &[Value::Int(255)]), Value::Int(0));
+    }
+
+    #[test]
+    fn scalar_casts_execute() {
+        // f(x: f64) = (int)x
+        let mut f = IrFunction {
+            name: "trunc".into(),
+            ty: FuncTy {
+                params: vec![Ty::F64],
+                ret: Ty::INT,
+            },
+            locals: vec![],
+            body: vec![],
+        };
+        let x = f.add_local("x", Ty::F64, false);
+        f.body = vec![IrStmt::Return(Some(IrExpr {
+            ty: Ty::INT,
+            kind: ExprKind::Cast(Box::new(IrExpr::local(x, Ty::F64))),
+        }))];
+        assert_eq!(run(f, &[Value::Float(3.99)]), Value::Int(3));
+    }
+}

@@ -1,0 +1,1126 @@
+//! The bytecode interpreter.
+//!
+//! A register machine over 256-bit registers. Execution is completely
+//! independent of the meta-language (the paper's *separate evaluation*):
+//! the only shared state is the [`Program`]'s function table and memory.
+
+use crate::bytecode::{decode_func_ptr, CompiledFunction, Instr, IntWidth, Reg, NO_REG};
+use crate::memory::MemError;
+use crate::program::{OutputSink, Program, Value};
+use std::fmt;
+use std::rc::Rc;
+use terra_ir::{Builtin, FuncId, ScalarTy, Ty};
+
+/// A runtime fault in Terra code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trap {
+    /// Out-of-bounds or null memory access.
+    Memory(MemError),
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Terra stack exhausted (deep recursion or huge frames).
+    StackOverflow,
+    /// Called a declared-but-undefined function.
+    Undefined(String),
+    /// Indirect call through a value that is not a function pointer.
+    NotAFunction(u64),
+    /// `abort()` was called or a `Trap` instruction executed.
+    Abort,
+    /// Malformed `printf` format/arguments.
+    BadFormat(String),
+    /// Argument count mismatch at an FFI call boundary.
+    ArityMismatch {
+        /// What the function expects.
+        expected: usize,
+        /// What was supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Memory(e) => write!(f, "{e}"),
+            Trap::DivByZero => write!(f, "integer division by zero"),
+            Trap::StackOverflow => write!(f, "terra stack overflow"),
+            Trap::Undefined(name) => write!(f, "call to undefined function '{name}'"),
+            Trap::NotAFunction(bits) => {
+                write!(f, "indirect call through non-function value {bits:#x}")
+            }
+            Trap::Abort => write!(f, "program aborted"),
+            Trap::BadFormat(m) => write!(f, "printf: {m}"),
+            Trap::ArityMismatch { expected, got } => {
+                write!(f, "expected {expected} argument(s) but got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+impl From<MemError> for Trap {
+    fn from(e: MemError) -> Self {
+        Trap::Memory(e)
+    }
+}
+
+/// Result alias for VM execution.
+pub type ExecResult<T> = Result<T, Trap>;
+
+const MAX_FRAMES: usize = 4096;
+
+/// A 256-bit register image.
+pub type RegImage = [u64; 4];
+
+#[derive(Debug)]
+struct Frame {
+    func: Rc<CompiledFunction>,
+    pc: usize,
+    base: usize,
+    mem_base: u64,
+    ret_dst: Reg,
+}
+
+/// The virtual machine. Reusable across calls; holds only the register file.
+#[derive(Debug, Default)]
+pub struct Vm {
+    regs: Vec<RegImage>,
+    frames: Vec<Frame>,
+}
+
+#[inline]
+fn as_f64(v: RegImage) -> f64 {
+    f64::from_bits(v[0])
+}
+
+#[inline]
+fn as_f32(v: RegImage) -> f32 {
+    f32::from_bits(v[0] as u32)
+}
+
+#[inline]
+fn from_f64(v: f64) -> RegImage {
+    [v.to_bits(), 0, 0, 0]
+}
+
+#[inline]
+fn from_f32(v: f32) -> RegImage {
+    [v.to_bits() as u64, 0, 0, 0]
+}
+
+#[inline]
+fn from_i64(v: i64) -> RegImage {
+    [v as u64, 0, 0, 0]
+}
+
+#[inline]
+fn vf64(v: RegImage) -> [f64; 4] {
+    [
+        f64::from_bits(v[0]),
+        f64::from_bits(v[1]),
+        f64::from_bits(v[2]),
+        f64::from_bits(v[3]),
+    ]
+}
+
+#[inline]
+fn to_vf64(x: [f64; 4]) -> RegImage {
+    [
+        x[0].to_bits(),
+        x[1].to_bits(),
+        x[2].to_bits(),
+        x[3].to_bits(),
+    ]
+}
+
+#[inline]
+fn vf32(v: RegImage) -> [f32; 8] {
+    let mut out = [0f32; 8];
+    for i in 0..4 {
+        out[2 * i] = f32::from_bits(v[i] as u32);
+        out[2 * i + 1] = f32::from_bits((v[i] >> 32) as u32);
+    }
+    out
+}
+
+#[inline]
+fn to_vf32(x: [f32; 8]) -> RegImage {
+    let mut out = [0u64; 4];
+    for i in 0..4 {
+        out[i] = x[2 * i].to_bits() as u64 | ((x[2 * i + 1].to_bits() as u64) << 32);
+    }
+    out
+}
+
+impl Vm {
+    /// Creates a VM with an empty register file.
+    pub fn new() -> Self {
+        Vm::default()
+    }
+
+    /// Calls function `f` with FFI values, converting the result according
+    /// to the function's signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on any runtime fault, including calling an
+    /// undefined function or passing the wrong number of arguments.
+    pub fn call(&mut self, prog: &mut Program, f: FuncId, args: &[Value]) -> ExecResult<Value> {
+        let func = prog
+            .function(f)
+            .cloned()
+            .ok_or_else(|| Trap::Undefined(prog.name(f).to_string()))?;
+        if args.len() != func.ty.params.len() {
+            return Err(Trap::ArityMismatch {
+                expected: func.ty.params.len(),
+                got: args.len(),
+            });
+        }
+        let raw: Vec<RegImage> = args
+            .iter()
+            .zip(&func.ty.params)
+            .map(|(v, ty)| [encode_arg(*v, ty), 0, 0, 0])
+            .collect();
+        let ret_ty = func.ty.ret.clone();
+        let bits = self.call_raw(prog, func, &raw)?;
+        Ok(decode_value(&ret_ty, bits))
+    }
+
+    /// Calls a compiled function with raw register images.
+    pub fn call_raw(
+        &mut self,
+        prog: &mut Program,
+        func: Rc<CompiledFunction>,
+        args: &[RegImage],
+    ) -> ExecResult<RegImage> {
+        let saved_regs = self.regs.len();
+        let saved_frames = self.frames.len();
+        let result = self.run(prog, func, args);
+        self.regs.truncate(saved_regs);
+        if result.is_err() {
+            // Unwind any frames (and their memory) left by the trap.
+            while self.frames.len() > saved_frames {
+                let fr = self.frames.pop().expect("frame count checked");
+                prog.memory.pop_frame(fr.mem_base);
+            }
+        }
+        result
+    }
+
+    fn run(
+        &mut self,
+        prog: &mut Program,
+        func: Rc<CompiledFunction>,
+        args: &[RegImage],
+    ) -> ExecResult<RegImage> {
+        let entry_frames = self.frames.len();
+        let base = self.regs.len();
+        self.regs.resize(base + func.nregs as usize, [0; 4]);
+        self.regs[base..base + args.len()].copy_from_slice(args);
+        let mem_base = prog
+            .memory
+            .push_frame(func.frame_size as u64)
+            .map_err(|_| Trap::StackOverflow)?;
+        self.frames.push(Frame {
+            func,
+            pc: 0,
+            base,
+            mem_base,
+            ret_dst: NO_REG,
+        });
+
+        'frames: loop {
+            // Pull the current frame's hot state into locals.
+            let frame_idx = self.frames.len() - 1;
+            let func = Rc::clone(&self.frames[frame_idx].func);
+            let mut pc = self.frames[frame_idx].pc;
+            let base = self.frames[frame_idx].base;
+            let mem_base = self.frames[frame_idx].mem_base;
+            let code = &func.code[..];
+
+            macro_rules! r {
+                ($i:expr) => {
+                    self.regs[base + $i as usize]
+                };
+            }
+            macro_rules! ri {
+                ($i:expr) => {
+                    self.regs[base + $i as usize][0] as i64
+                };
+            }
+            macro_rules! ru {
+                ($i:expr) => {
+                    self.regs[base + $i as usize][0]
+                };
+            }
+            macro_rules! set {
+                ($d:expr, $v:expr) => {
+                    self.regs[base + $d as usize] = $v
+                };
+            }
+            macro_rules! seti {
+                ($d:expr, $v:expr) => {
+                    self.regs[base + $d as usize] = from_i64($v)
+                };
+            }
+            macro_rules! binf64 {
+                ($d:expr, $a:expr, $b:expr, $op:tt) => {{
+                    let v = as_f64(r!($a)) $op as_f64(r!($b));
+                    set!($d, from_f64(v));
+                }};
+            }
+            macro_rules! binf32 {
+                ($d:expr, $a:expr, $b:expr, $op:tt) => {{
+                    let v = as_f32(r!($a)) $op as_f32(r!($b));
+                    set!($d, from_f32(v));
+                }};
+            }
+            macro_rules! vbin64 {
+                ($d:expr, $a:expr, $b:expr, $f:expr) => {{
+                    let x = vf64(r!($a));
+                    let y = vf64(r!($b));
+                    let mut o = [0f64; 4];
+                    for i in 0..4 {
+                        o[i] = $f(x[i], y[i]);
+                    }
+                    set!($d, to_vf64(o));
+                }};
+            }
+            macro_rules! vbin32 {
+                ($d:expr, $a:expr, $b:expr, $f:expr) => {{
+                    let x = vf32(r!($a));
+                    let y = vf32(r!($b));
+                    let mut o = [0f32; 8];
+                    for i in 0..8 {
+                        o[i] = $f(x[i], y[i]);
+                    }
+                    set!($d, to_vf32(o));
+                }};
+            }
+
+            loop {
+                let instr = &code[pc];
+                pc += 1;
+                match *instr {
+                    Instr::ConstI { d, v } => seti!(d, v),
+                    Instr::ConstF64 { d, v } => set!(d, from_f64(v)),
+                    Instr::ConstF32 { d, v } => set!(d, from_f32(v)),
+                    Instr::Mov { d, a } => set!(d, r!(a)),
+
+                    Instr::AddI { d, a, b } => seti!(d, ri!(a).wrapping_add(ri!(b))),
+                    Instr::SubI { d, a, b } => seti!(d, ri!(a).wrapping_sub(ri!(b))),
+                    Instr::MulI { d, a, b } => seti!(d, ri!(a).wrapping_mul(ri!(b))),
+                    Instr::DivS { d, a, b } => {
+                        let y = ri!(b);
+                        if y == 0 {
+                            return Err(Trap::DivByZero);
+                        }
+                        seti!(d, ri!(a).wrapping_div(y));
+                    }
+                    Instr::DivU { d, a, b } => {
+                        let y = ru!(b);
+                        if y == 0 {
+                            return Err(Trap::DivByZero);
+                        }
+                        seti!(d, (ru!(a) / y) as i64);
+                    }
+                    Instr::RemS { d, a, b } => {
+                        let y = ri!(b);
+                        if y == 0 {
+                            return Err(Trap::DivByZero);
+                        }
+                        seti!(d, ri!(a).wrapping_rem(y));
+                    }
+                    Instr::RemU { d, a, b } => {
+                        let y = ru!(b);
+                        if y == 0 {
+                            return Err(Trap::DivByZero);
+                        }
+                        seti!(d, (ru!(a) % y) as i64);
+                    }
+                    Instr::Shl { d, a, b } => seti!(d, ri!(a).wrapping_shl(ru!(b) as u32 & 63)),
+                    Instr::ShrS { d, a, b } => seti!(d, ri!(a).wrapping_shr(ru!(b) as u32 & 63)),
+                    Instr::ShrU { d, a, b } => {
+                        seti!(d, (ru!(a).wrapping_shr(ru!(b) as u32 & 63)) as i64)
+                    }
+                    Instr::And { d, a, b } => seti!(d, ri!(a) & ri!(b)),
+                    Instr::Or { d, a, b } => seti!(d, ri!(a) | ri!(b)),
+                    Instr::Xor { d, a, b } => seti!(d, ri!(a) ^ ri!(b)),
+                    Instr::MinS { d, a, b } => seti!(d, ri!(a).min(ri!(b))),
+                    Instr::MaxS { d, a, b } => seti!(d, ri!(a).max(ri!(b))),
+                    Instr::NegI { d, a } => seti!(d, ri!(a).wrapping_neg()),
+                    Instr::NotI { d, a } => seti!(d, !ri!(a)),
+                    Instr::NotB { d, a } => seti!(d, (ru!(a) == 0) as i64),
+                    Instr::Trunc { d, a, w } => {
+                        let v = ri!(a);
+                        let t = match w {
+                            IntWidth::I8 => v as i8 as i64,
+                            IntWidth::U8 => v as u8 as i64,
+                            IntWidth::I16 => v as i16 as i64,
+                            IntWidth::U16 => v as u16 as i64,
+                            IntWidth::I32 => v as i32 as i64,
+                            IntWidth::U32 => v as u32 as i64,
+                        };
+                        seti!(d, t);
+                    }
+                    Instr::Lea { d, a, b, scale, disp } => {
+                        let mut v = ri!(a).wrapping_add(disp);
+                        if b != NO_REG {
+                            v = v.wrapping_add(ri!(b).wrapping_mul(scale as i64));
+                        }
+                        seti!(d, v);
+                    }
+
+                    Instr::AddF64 { d, a, b } => binf64!(d, a, b, +),
+                    Instr::SubF64 { d, a, b } => binf64!(d, a, b, -),
+                    Instr::MulF64 { d, a, b } => binf64!(d, a, b, *),
+                    Instr::DivF64 { d, a, b } => binf64!(d, a, b, /),
+                    Instr::MinF64 { d, a, b } => {
+                        set!(d, from_f64(as_f64(r!(a)).min(as_f64(r!(b)))))
+                    }
+                    Instr::MaxF64 { d, a, b } => {
+                        set!(d, from_f64(as_f64(r!(a)).max(as_f64(r!(b)))))
+                    }
+                    Instr::NegF64 { d, a } => set!(d, from_f64(-as_f64(r!(a)))),
+                    Instr::AddF32 { d, a, b } => binf32!(d, a, b, +),
+                    Instr::SubF32 { d, a, b } => binf32!(d, a, b, -),
+                    Instr::MulF32 { d, a, b } => binf32!(d, a, b, *),
+                    Instr::DivF32 { d, a, b } => binf32!(d, a, b, /),
+                    Instr::MinF32 { d, a, b } => {
+                        set!(d, from_f32(as_f32(r!(a)).min(as_f32(r!(b)))))
+                    }
+                    Instr::MaxF32 { d, a, b } => {
+                        set!(d, from_f32(as_f32(r!(a)).max(as_f32(r!(b)))))
+                    }
+                    Instr::NegF32 { d, a } => set!(d, from_f32(-as_f32(r!(a)))),
+
+                    Instr::CmpEqI { d, a, b } => seti!(d, (ru!(a) == ru!(b)) as i64),
+                    Instr::CmpNeI { d, a, b } => seti!(d, (ru!(a) != ru!(b)) as i64),
+                    Instr::CmpLtS { d, a, b } => seti!(d, (ri!(a) < ri!(b)) as i64),
+                    Instr::CmpLeS { d, a, b } => seti!(d, (ri!(a) <= ri!(b)) as i64),
+                    Instr::CmpLtU { d, a, b } => seti!(d, (ru!(a) < ru!(b)) as i64),
+                    Instr::CmpLeU { d, a, b } => seti!(d, (ru!(a) <= ru!(b)) as i64),
+                    Instr::CmpEqF64 { d, a, b } => {
+                        seti!(d, (as_f64(r!(a)) == as_f64(r!(b))) as i64)
+                    }
+                    Instr::CmpNeF64 { d, a, b } => {
+                        seti!(d, (as_f64(r!(a)) != as_f64(r!(b))) as i64)
+                    }
+                    Instr::CmpLtF64 { d, a, b } => {
+                        seti!(d, (as_f64(r!(a)) < as_f64(r!(b))) as i64)
+                    }
+                    Instr::CmpLeF64 { d, a, b } => {
+                        seti!(d, (as_f64(r!(a)) <= as_f64(r!(b))) as i64)
+                    }
+                    Instr::CmpEqF32 { d, a, b } => {
+                        seti!(d, (as_f32(r!(a)) == as_f32(r!(b))) as i64)
+                    }
+                    Instr::CmpNeF32 { d, a, b } => {
+                        seti!(d, (as_f32(r!(a)) != as_f32(r!(b))) as i64)
+                    }
+                    Instr::CmpLtF32 { d, a, b } => {
+                        seti!(d, (as_f32(r!(a)) < as_f32(r!(b))) as i64)
+                    }
+                    Instr::CmpLeF32 { d, a, b } => {
+                        seti!(d, (as_f32(r!(a)) <= as_f32(r!(b))) as i64)
+                    }
+
+                    Instr::CvtSToF64 { d, a } => set!(d, from_f64(ri!(a) as f64)),
+                    Instr::CvtSToF32 { d, a } => set!(d, from_f32(ri!(a) as f32)),
+                    Instr::CvtUToF64 { d, a } => set!(d, from_f64(ru!(a) as f64)),
+                    Instr::CvtUToF32 { d, a } => set!(d, from_f32(ru!(a) as f32)),
+                    Instr::CvtF64ToS { d, a } => seti!(d, as_f64(r!(a)) as i64),
+                    Instr::CvtF64ToU { d, a } => seti!(d, as_f64(r!(a)) as u64 as i64),
+                    Instr::CvtF32ToS { d, a } => seti!(d, as_f32(r!(a)) as i64),
+                    Instr::CvtF32ToF64 { d, a } => set!(d, from_f64(as_f32(r!(a)) as f64)),
+                    Instr::CvtF64ToF32 { d, a } => set!(d, from_f32(as_f64(r!(a)) as f32)),
+
+                    Instr::LoadI8 { d, a } => seti!(d, prog.memory.load_i8(ru!(a))? as i64),
+                    Instr::LoadU8 { d, a } => seti!(d, prog.memory.load_u8(ru!(a))? as i64),
+                    Instr::LoadI16 { d, a } => seti!(d, prog.memory.load_i16(ru!(a))? as i64),
+                    Instr::LoadU16 { d, a } => seti!(d, prog.memory.load_u16(ru!(a))? as i64),
+                    Instr::LoadI32 { d, a } => seti!(d, prog.memory.load_i32(ru!(a))? as i64),
+                    Instr::LoadU32 { d, a } => seti!(d, prog.memory.load_u32(ru!(a))? as i64),
+                    Instr::Load64 { d, a } => seti!(d, prog.memory.load_i64(ru!(a))?),
+                    Instr::LoadF32 { d, a } => set!(d, from_f32(prog.memory.load_f32(ru!(a))?)),
+                    Instr::LoadF64 { d, a } => set!(d, from_f64(prog.memory.load_f64(ru!(a))?)),
+                    Instr::Store8 { a, s } => prog.memory.store_u8(ru!(a), ru!(s) as u8)?,
+                    Instr::Store16 { a, s } => prog.memory.store_u16(ru!(a), ru!(s) as u16)?,
+                    Instr::Store32 { a, s } => prog.memory.store_u32(ru!(a), ru!(s) as u32)?,
+                    Instr::Store64 { a, s } => prog.memory.store_u64(ru!(a), ru!(s))?,
+                    Instr::StoreF32 { a, s } => {
+                        prog.memory.store_f32(ru!(a), as_f32(r!(s)))?
+                    }
+                    Instr::StoreF64 { a, s } => {
+                        prog.memory.store_f64(ru!(a), as_f64(r!(s)))?
+                    }
+                    Instr::LoadV { d, a, bytes } => {
+                        set!(d, prog.memory.load_vec(ru!(a), bytes as u64)?)
+                    }
+                    Instr::StoreV { a, s, bytes } => {
+                        prog.memory.store_vec(ru!(a), r!(s), bytes as u64)?
+                    }
+                    Instr::FrameAddr { d, offset } => seti!(d, (mem_base + offset as u64) as i64),
+                    Instr::CopyMem { dst, src, size } => {
+                        prog.memory.copy_within(ru!(src), ru!(dst), size as u64)?
+                    }
+                    Instr::Prefetch { a } => prog.memory.prefetch(ru!(a)),
+
+                    Instr::VAddF32 { d, a, b } => vbin32!(d, a, b, |x: f32, y: f32| x + y),
+                    Instr::VSubF32 { d, a, b } => vbin32!(d, a, b, |x: f32, y: f32| x - y),
+                    Instr::VMulF32 { d, a, b } => vbin32!(d, a, b, |x: f32, y: f32| x * y),
+                    Instr::VDivF32 { d, a, b } => vbin32!(d, a, b, |x: f32, y: f32| x / y),
+                    Instr::VMinF32 { d, a, b } => vbin32!(d, a, b, |x: f32, y: f32| x.min(y)),
+                    Instr::VMaxF32 { d, a, b } => vbin32!(d, a, b, |x: f32, y: f32| x.max(y)),
+                    Instr::VAddF64 { d, a, b } => vbin64!(d, a, b, |x: f64, y: f64| x + y),
+                    Instr::VSubF64 { d, a, b } => vbin64!(d, a, b, |x: f64, y: f64| x - y),
+                    Instr::VMulF64 { d, a, b } => vbin64!(d, a, b, |x: f64, y: f64| x * y),
+                    Instr::VDivF64 { d, a, b } => vbin64!(d, a, b, |x: f64, y: f64| x / y),
+                    Instr::VMinF64 { d, a, b } => vbin64!(d, a, b, |x: f64, y: f64| x.min(y)),
+                    Instr::VMaxF64 { d, a, b } => vbin64!(d, a, b, |x: f64, y: f64| x.max(y)),
+                    Instr::VFmaF32 { d, a, b } => {
+                        let x = vf32(r!(a));
+                        let y = vf32(r!(b));
+                        let mut acc = vf32(r!(d));
+                        for i in 0..8 {
+                            acc[i] += x[i] * y[i];
+                        }
+                        set!(d, to_vf32(acc));
+                    }
+                    Instr::VFmaF64 { d, a, b } => {
+                        let x = vf64(r!(a));
+                        let y = vf64(r!(b));
+                        let mut acc = vf64(r!(d));
+                        for i in 0..4 {
+                            acc[i] += x[i] * y[i];
+                        }
+                        set!(d, to_vf64(acc));
+                    }
+                    Instr::SplatF32 { d, a } => {
+                        let v = as_f32(r!(a));
+                        set!(d, to_vf32([v; 8]));
+                    }
+                    Instr::SplatF64 { d, a } => {
+                        let v = as_f64(r!(a));
+                        set!(d, to_vf64([v; 4]));
+                    }
+
+                    Instr::Jmp { target } => pc = target as usize,
+                    Instr::BrFalse { c, target } => {
+                        if ru!(c) == 0 {
+                            pc = target as usize;
+                        }
+                    }
+                    Instr::BrTrue { c, target } => {
+                        if ru!(c) != 0 {
+                            pc = target as usize;
+                        }
+                    }
+
+                    Instr::Call { d, f, args, nargs } => {
+                        let callee = prog
+                            .function(f)
+                            .cloned()
+                            .ok_or_else(|| Trap::Undefined(prog.name(f).to_string()))?;
+                        self.frames[frame_idx].pc = pc;
+                        self.push_call(prog, callee, d, base, args, nargs)?;
+                        continue 'frames;
+                    }
+                    Instr::CallIndirect { d, f, args, nargs } => {
+                        let bits = ru!(f);
+                        let id = decode_func_ptr(bits).ok_or(Trap::NotAFunction(bits))?;
+                        let callee = prog
+                            .function(id)
+                            .cloned()
+                            .ok_or_else(|| Trap::Undefined(prog.name(id).to_string()))?;
+                        self.frames[frame_idx].pc = pc;
+                        self.push_call(prog, callee, d, base, args, nargs)?;
+                        continue 'frames;
+                    }
+                    Instr::CallBuiltin { d, b, args, nargs } => {
+                        let start = base + args as usize;
+                        let argv: Vec<RegImage> =
+                            self.regs[start..start + nargs as usize].to_vec();
+                        let result = call_builtin(prog, b, &argv)?;
+                        if d != NO_REG {
+                            set!(d, result);
+                        }
+                    }
+                    Instr::Ret { s } => {
+                        let val = if s == NO_REG { [0u64; 4] } else { r!(s) };
+                        let done = self.frames.len() == entry_frames + 1;
+                        let fr = self.frames.pop().expect("frame exists");
+                        prog.memory.pop_frame(fr.mem_base);
+                        self.regs.truncate(fr.base);
+                        if done {
+                            return Ok(val);
+                        }
+                        let parent = self.frames.last().expect("caller frame exists");
+                        if fr.ret_dst != NO_REG {
+                            self.regs[parent.base + fr.ret_dst as usize] = val;
+                        }
+                        continue 'frames;
+                    }
+                    Instr::Trap => return Err(Trap::Abort),
+                }
+            }
+        }
+    }
+
+    fn push_call(
+        &mut self,
+        prog: &mut Program,
+        callee: Rc<CompiledFunction>,
+        ret_dst: Reg,
+        caller_base: usize,
+        args: Reg,
+        nargs: u16,
+    ) -> ExecResult<()> {
+        if self.frames.len() >= MAX_FRAMES {
+            return Err(Trap::StackOverflow);
+        }
+        let new_base = self.regs.len();
+        self.regs.resize(new_base + callee.nregs as usize, [0; 4]);
+        let src = caller_base + args as usize;
+        for i in 0..nargs as usize {
+            self.regs[new_base + i] = self.regs[src + i];
+        }
+        let mem_base = prog
+            .memory
+            .push_frame(callee.frame_size as u64)
+            .map_err(|_| Trap::StackOverflow)?;
+        self.frames.push(Frame {
+            func: callee,
+            pc: 0,
+            base: new_base,
+            mem_base,
+            ret_dst,
+        });
+        Ok(())
+    }
+}
+
+/// Encodes an FFI value into register bits according to the parameter type
+/// (f32 parameters carry f32 bits in lane 0).
+fn encode_arg(v: Value, ty: &Ty) -> u64 {
+    match (v, ty) {
+        (Value::Float(f), Ty::Scalar(ScalarTy::F32)) => (f as f32).to_bits() as u64,
+        (Value::Int(i), Ty::Scalar(ScalarTy::F32)) => (i as f32).to_bits() as u64,
+        (Value::Int(i), Ty::Scalar(ScalarTy::F64)) => (i as f64).to_bits(),
+        (Value::Float(f), Ty::Scalar(s)) if s.is_integer() => f as i64 as u64,
+        (v, _) => v.to_bits(),
+    }
+}
+
+/// Interprets a raw register image as a typed FFI value.
+pub fn decode_value(ty: &Ty, bits: RegImage) -> Value {
+    match ty {
+        Ty::Unit => Value::Unit,
+        Ty::Scalar(ScalarTy::Bool) => Value::Bool(bits[0] != 0),
+        Ty::Scalar(ScalarTy::F32) => Value::Float(f32::from_bits(bits[0] as u32) as f64),
+        Ty::Scalar(ScalarTy::F64) => Value::Float(f64::from_bits(bits[0])),
+        Ty::Scalar(_) => Value::Int(bits[0] as i64),
+        Ty::Ptr(_) | Ty::Array(..) => Value::Ptr(bits[0]),
+        Ty::Func(_) => match decode_func_ptr(bits[0]) {
+            Some(id) => Value::Func(id),
+            None => Value::Ptr(bits[0]),
+        },
+        Ty::Vector(..) | Ty::Struct(_) => Value::Ptr(bits[0]),
+    }
+}
+
+fn call_builtin(prog: &mut Program, b: Builtin, args: &[RegImage]) -> ExecResult<RegImage> {
+    let a = |i: usize| -> u64 { args.get(i).map(|v| v[0]).unwrap_or(0) };
+    let f = |i: usize| -> f64 { f64::from_bits(a(i)) };
+    Ok(match b {
+        Builtin::Malloc => from_i64(prog.memory.malloc(a(0)) as i64),
+        Builtin::Free => {
+            prog.memory.free(a(0))?;
+            [0; 4]
+        }
+        Builtin::Realloc => from_i64(prog.memory.realloc(a(0), a(1))? as i64),
+        Builtin::Memcpy => {
+            prog.memory.copy_within(a(1), a(0), a(2))?;
+            from_i64(a(0) as i64)
+        }
+        Builtin::Memset => {
+            prog.memory.fill(a(0), a(1) as u8, a(2))?;
+            from_i64(a(0) as i64)
+        }
+        Builtin::Sqrt => from_f64(f(0).sqrt()),
+        Builtin::Fabs => from_f64(f(0).abs()),
+        Builtin::Sin => from_f64(f(0).sin()),
+        Builtin::Cos => from_f64(f(0).cos()),
+        Builtin::Exp => from_f64(f(0).exp()),
+        Builtin::Log => from_f64(f(0).ln()),
+        Builtin::Pow => from_f64(f(0).powf(f(1))),
+        Builtin::Floor => from_f64(f(0).floor()),
+        Builtin::Ceil => from_f64(f(0).ceil()),
+        Builtin::Fmod => from_f64(f(0) % f(1)),
+        Builtin::Clock => from_f64(prog.epoch.elapsed().as_secs_f64()),
+        Builtin::Printf => {
+            let out = format_printf(prog, args)?;
+            let n = out.len() as i64;
+            match &mut prog.output {
+                OutputSink::Stdout => print!("{out}"),
+                OutputSink::Capture(buf) => buf.push_str(&out),
+            }
+            from_i64(n)
+        }
+        Builtin::Prefetch => {
+            prog.memory.prefetch(a(0));
+            [0; 4]
+        }
+        Builtin::Rand => {
+            prog.rng_state = prog
+                .rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            from_i64(((prog.rng_state >> 33) & 0x7FFF_FFFF) as i64)
+        }
+        Builtin::Srand => {
+            prog.rng_state = a(0) ^ 0x9E3779B97F4A7C15;
+            [0; 4]
+        }
+        Builtin::Abort => return Err(Trap::Abort),
+    })
+}
+
+/// Renders a `printf` call. Supports `%d %i %u %x %f %g %e %s %c %p %%`,
+/// optional width/precision, and the `l`/`ll` length modifiers.
+fn format_printf(prog: &Program, args: &[RegImage]) -> ExecResult<String> {
+    let fmt_addr = args
+        .first()
+        .ok_or_else(|| Trap::BadFormat("missing format string".into()))?[0];
+    let fmt = prog.memory.c_string(fmt_addr)?;
+    let mut out = String::new();
+    let mut next = 1usize;
+    let take = |next: &mut usize| -> ExecResult<u64> {
+        let v = args
+            .get(*next)
+            .ok_or_else(|| Trap::BadFormat("too few arguments".into()))?[0];
+        *next += 1;
+        Ok(v)
+    };
+    let bytes = fmt.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c != b'%' {
+            out.push(c as char);
+            i += 1;
+            continue;
+        }
+        i += 1;
+        if i >= bytes.len() {
+            return Err(Trap::BadFormat("trailing '%'".into()));
+        }
+        // Width / precision / length modifiers.
+        let mut width = String::new();
+        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'-')
+        {
+            width.push(bytes[i] as char);
+            i += 1;
+        }
+        while i < bytes.len() && (bytes[i] == b'l' || bytes[i] == b'z' || bytes[i] == b'h') {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err(Trap::BadFormat("incomplete conversion".into()));
+        }
+        let conv = bytes[i];
+        i += 1;
+        let (w, p) = parse_width(&width);
+        match conv {
+            b'%' => out.push('%'),
+            b'd' | b'i' => pad_num(&mut out, &(take(&mut next)? as i64).to_string(), w),
+            b'u' => pad_num(&mut out, &take(&mut next)?.to_string(), w),
+            b'x' => pad_num(&mut out, &format!("{:x}", take(&mut next)?), w),
+            b'c' => out.push((take(&mut next)? as u8) as char),
+            b'p' => out.push_str(&format!("{:#x}", take(&mut next)?)),
+            b'f' | b'e' | b'g' => {
+                let v = f64::from_bits(take(&mut next)?);
+                let s = match (conv, p) {
+                    (b'f', Some(p)) => format!("{v:.p$}"),
+                    (b'f', None) => format!("{v:.6}"),
+                    (b'e', _) => format!("{v:e}"),
+                    (_, Some(p)) => format!("{v:.p$}"),
+                    (_, None) => format!("{v}"),
+                };
+                pad_num(&mut out, &s, w);
+            }
+            b's' => {
+                let s = prog.memory.c_string(take(&mut next)?)?;
+                pad_num(&mut out, &s, w);
+            }
+            other => {
+                return Err(Trap::BadFormat(format!(
+                    "unsupported conversion '%{}'",
+                    other as char
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_width(spec: &str) -> (Option<usize>, Option<usize>) {
+    let mut parts = spec.trim_start_matches('-').splitn(2, '.');
+    let w = parts.next().and_then(|s| s.parse().ok());
+    let p = parts.next().and_then(|s| s.parse().ok());
+    (w, p)
+}
+
+fn pad_num(out: &mut String, s: &str, width: Option<usize>) {
+    if let Some(w) = width {
+        for _ in s.len()..w {
+            out.push(' ');
+        }
+    }
+    out.push_str(s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::Instr as I;
+    use terra_ir::FuncTy;
+
+    fn compiled(name: &str, ty: FuncTy, nregs: u16, code: Vec<I>) -> CompiledFunction {
+        CompiledFunction {
+            name: name.into(),
+            ty,
+            nregs,
+            frame_size: 0,
+            code,
+        }
+    }
+
+    #[test]
+    fn add_function_executes() {
+        let mut prog = Program::new();
+        let id = prog.declare("add");
+        prog.define(
+            id,
+            compiled(
+                "add",
+                FuncTy {
+                    params: vec![Ty::INT, Ty::INT],
+                    ret: Ty::INT,
+                },
+                3,
+                vec![I::AddI { d: 2, a: 0, b: 1 }, I::Ret { s: 2 }],
+            ),
+        );
+        let mut vm = Vm::new();
+        let r = vm
+            .call(&mut prog, id, &[Value::Int(2), Value::Int(40)])
+            .unwrap();
+        assert_eq!(r, Value::Int(42));
+    }
+
+    #[test]
+    fn recursion_via_direct_call() {
+        // fact(n) = n <= 1 ? 1 : n * fact(n-1)
+        let mut prog = Program::new();
+        let id = prog.declare("fact");
+        prog.define(
+            id,
+            compiled(
+                "fact",
+                FuncTy {
+                    params: vec![Ty::I64],
+                    ret: Ty::I64,
+                },
+                6,
+                vec![
+                    I::ConstI { d: 1, v: 1 },
+                    I::CmpLeS { d: 2, a: 0, b: 1 },
+                    I::BrFalse { c: 2, target: 4 },
+                    I::Ret { s: 1 },
+                    I::SubI { d: 3, a: 0, b: 1 },
+                    I::Call {
+                        d: 4,
+                        f: id,
+                        args: 3,
+                        nargs: 1,
+                    },
+                    I::MulI { d: 5, a: 0, b: 4 },
+                    I::Ret { s: 5 },
+                ],
+            ),
+        );
+        let mut vm = Vm::new();
+        let r = vm.call(&mut prog, id, &[Value::Int(10)]).unwrap();
+        assert_eq!(r, Value::Int(3628800));
+    }
+
+    #[test]
+    fn undefined_function_traps() {
+        let mut prog = Program::new();
+        let id = prog.declare("ghost");
+        let mut vm = Vm::new();
+        let err = vm.call(&mut prog, id, &[]).unwrap_err();
+        assert!(matches!(err, Trap::Undefined(_)));
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut prog = Program::new();
+        let id = prog.declare("div");
+        prog.define(
+            id,
+            compiled(
+                "div",
+                FuncTy {
+                    params: vec![Ty::INT, Ty::INT],
+                    ret: Ty::INT,
+                },
+                3,
+                vec![I::DivS { d: 2, a: 0, b: 1 }, I::Ret { s: 2 }],
+            ),
+        );
+        let mut vm = Vm::new();
+        assert_eq!(
+            vm.call(&mut prog, id, &[Value::Int(1), Value::Int(0)]),
+            Err(Trap::DivByZero)
+        );
+        // VM remains usable after a trap.
+        assert_eq!(
+            vm.call(&mut prog, id, &[Value::Int(10), Value::Int(5)]),
+            Ok(Value::Int(2))
+        );
+    }
+
+    #[test]
+    fn memory_instructions_roundtrip() {
+        let mut prog = Program::new();
+        let addr = prog.memory.malloc(64);
+        let id = prog.declare("poke");
+        prog.define(
+            id,
+            compiled(
+                "poke",
+                FuncTy {
+                    params: vec![Ty::F64.ptr_to()],
+                    ret: Ty::F64,
+                },
+                3,
+                vec![
+                    I::ConstF64 { d: 1, v: 6.25 },
+                    I::StoreF64 { a: 0, s: 1 },
+                    I::LoadF64 { d: 2, a: 0 },
+                    I::Ret { s: 2 },
+                ],
+            ),
+        );
+        let mut vm = Vm::new();
+        let r = vm.call(&mut prog, id, &[Value::Ptr(addr)]).unwrap();
+        assert_eq!(r, Value::Float(6.25));
+        assert_eq!(prog.memory.load_f64(addr).unwrap(), 6.25);
+    }
+
+    #[test]
+    fn vector_ops_operate_lanewise() {
+        let mut prog = Program::new();
+        let src = prog.memory.malloc(64);
+        for i in 0..4 {
+            prog.memory.store_f64(src + i * 8, (i + 1) as f64).unwrap();
+        }
+        let dst = prog.memory.malloc(64);
+        let id = prog.declare("vdouble");
+        prog.define(
+            id,
+            compiled(
+                "vdouble",
+                FuncTy {
+                    params: vec![Ty::F64.ptr_to(), Ty::F64.ptr_to()],
+                    ret: Ty::Unit,
+                },
+                4,
+                vec![
+                    I::LoadV {
+                        d: 2,
+                        a: 0,
+                        bytes: 32,
+                    },
+                    I::VAddF64 { d: 3, a: 2, b: 2 },
+                    I::StoreV {
+                        a: 1,
+                        s: 3,
+                        bytes: 32,
+                    },
+                    I::Ret { s: NO_REG },
+                ],
+            ),
+        );
+        let mut vm = Vm::new();
+        vm.call(&mut prog, id, &[Value::Ptr(src), Value::Ptr(dst)])
+            .unwrap();
+        for i in 0..4 {
+            assert_eq!(
+                prog.memory.load_f64(dst + i * 8).unwrap(),
+                2.0 * (i + 1) as f64
+            );
+        }
+    }
+
+    #[test]
+    fn indirect_call_through_function_pointer() {
+        let mut prog = Program::new();
+        let target = prog.declare("inc");
+        prog.define(
+            target,
+            compiled(
+                "inc",
+                FuncTy {
+                    params: vec![Ty::I64],
+                    ret: Ty::I64,
+                },
+                3,
+                vec![
+                    I::ConstI { d: 1, v: 1 },
+                    I::AddI { d: 2, a: 0, b: 1 },
+                    I::Ret { s: 2 },
+                ],
+            ),
+        );
+        let caller = prog.declare("caller");
+        prog.define(
+            caller,
+            compiled(
+                "caller",
+                FuncTy {
+                    params: vec![
+                        Ty::Func(std::rc::Rc::new(FuncTy {
+                            params: vec![Ty::I64],
+                            ret: Ty::I64,
+                        })),
+                        Ty::I64,
+                    ],
+                    ret: Ty::I64,
+                },
+                4,
+                vec![
+                    I::Mov { d: 2, a: 1 },
+                    I::CallIndirect {
+                        d: 3,
+                        f: 0,
+                        args: 2,
+                        nargs: 1,
+                    },
+                    I::Ret { s: 3 },
+                ],
+            ),
+        );
+        let mut vm = Vm::new();
+        let r = vm
+            .call(&mut prog, caller, &[Value::Func(target), Value::Int(9)])
+            .unwrap();
+        assert_eq!(r, Value::Int(10));
+        // Calling through junk traps.
+        let err = vm
+            .call(&mut prog, caller, &[Value::Ptr(1234), Value::Int(9)])
+            .unwrap_err();
+        assert!(matches!(err, Trap::NotAFunction(_)));
+    }
+
+    #[test]
+    fn builtins_sqrt_and_printf() {
+        let mut prog = Program::new();
+        prog.output = OutputSink::Capture(String::new());
+        let fmt = prog.intern_string("x=%d y=%.2f s=%s\n");
+        let msg = prog.intern_string("ok");
+        let id = prog.declare("show");
+        prog.define(
+            id,
+            compiled(
+                "show",
+                FuncTy {
+                    params: vec![],
+                    ret: Ty::F64,
+                },
+                6,
+                vec![
+                    I::ConstI {
+                        d: 0,
+                        v: fmt as i64,
+                    },
+                    I::ConstI { d: 1, v: 7 },
+                    I::ConstF64 { d: 2, v: 2.5 },
+                    I::ConstI {
+                        d: 3,
+                        v: msg as i64,
+                    },
+                    I::CallBuiltin {
+                        d: NO_REG,
+                        b: Builtin::Printf,
+                        args: 0,
+                        nargs: 4,
+                    },
+                    I::ConstF64 { d: 4, v: 16.0 },
+                    I::CallBuiltin {
+                        d: 5,
+                        b: Builtin::Sqrt,
+                        args: 4,
+                        nargs: 1,
+                    },
+                    I::Ret { s: 5 },
+                ],
+            ),
+        );
+        let mut vm = Vm::new();
+        let r = vm.call(&mut prog, id, &[]).unwrap();
+        assert_eq!(r, Value::Float(4.0));
+        assert_eq!(prog.take_output(), "x=7 y=2.50 s=ok\n");
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let mut prog = Program::new();
+        let id = prog.declare("f");
+        prog.define(
+            id,
+            compiled(
+                "f",
+                FuncTy {
+                    params: vec![Ty::INT],
+                    ret: Ty::Unit,
+                },
+                1,
+                vec![I::Ret { s: NO_REG }],
+            ),
+        );
+        let mut vm = Vm::new();
+        let err = vm.call(&mut prog, id, &[]).unwrap_err();
+        assert_eq!(err, Trap::ArityMismatch { expected: 1, got: 0 });
+    }
+
+    #[test]
+    fn deep_recursion_overflows_gracefully() {
+        let mut prog = Program::new();
+        let id = prog.declare("loop");
+        prog.define(
+            id,
+            compiled(
+                "loop",
+                FuncTy {
+                    params: vec![],
+                    ret: Ty::Unit,
+                },
+                1,
+                vec![
+                    I::Call {
+                        d: NO_REG,
+                        f: id,
+                        args: 0,
+                        nargs: 0,
+                    },
+                    I::Ret { s: NO_REG },
+                ],
+            ),
+        );
+        let mut vm = Vm::new();
+        assert_eq!(vm.call(&mut prog, id, &[]), Err(Trap::StackOverflow));
+    }
+}

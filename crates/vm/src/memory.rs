@@ -1,0 +1,445 @@
+//! Linear memory for Terra programs.
+//!
+//! Compiled Terra code executes against a single flat address space, separate
+//! from the meta-language's heap — the paper's *separate evaluation* design.
+//! Addresses are byte offsets into one growable buffer:
+//!
+//! ```text
+//! 0 ……… 63        null guard (address 0 is the null pointer)
+//! 64 … stack_size  the Terra call stack (frame slots for in-memory locals)
+//! stack_size …     the heap (malloc/free) and interned string constants
+//! ```
+//!
+//! All accesses are bounds-checked; an out-of-range access produces a
+//! [`Trap`](crate::Trap)-able error rather than UB, while still being a real
+//! load/store against host memory so cache behaviour is genuine.
+
+use std::fmt;
+
+/// Error produced by an invalid memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemError {
+    /// Offending address.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub len: u64,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid memory access of {} byte(s) at address {:#x}",
+            self.len, self.addr
+        )
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Result alias for memory operations.
+pub type MemResult<T> = Result<T, MemError>;
+
+const NULL_GUARD: u64 = 64;
+/// Size-class header stored before each heap block.
+const BLOCK_HEADER: u64 = 16;
+
+/// The flat memory of a Terra program: stack region + malloc heap.
+#[derive(Debug)]
+pub struct Memory {
+    data: Vec<u8>,
+    stack_size: u64,
+    /// Current stack pointer (grows upward from `NULL_GUARD`).
+    sp: u64,
+    /// Bump pointer for the heap.
+    brk: u64,
+    /// Free lists keyed by block size class (power of two).
+    free_lists: Vec<Vec<u64>>,
+    /// Bytes currently allocated through `malloc` (for leak tests).
+    live_bytes: u64,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory::new(8 << 20)
+    }
+}
+
+impl Memory {
+    /// Creates a memory with the given stack region size in bytes.
+    pub fn new(stack_size: u64) -> Self {
+        let stack_size = stack_size.max(4096);
+        let total = NULL_GUARD + stack_size + 4096;
+        Memory {
+            data: vec![0; total as usize],
+            stack_size,
+            sp: NULL_GUARD,
+            brk: NULL_GUARD + stack_size,
+            free_lists: vec![Vec::new(); 48],
+            live_bytes: 0,
+        }
+    }
+
+    /// Total bytes currently reserved.
+    pub fn size(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Bytes currently allocated via [`Memory::malloc`] and not yet freed.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    // -- stack ---------------------------------------------------------------
+
+    /// Pushes a stack frame of `size` bytes (16-byte aligned); returns its
+    /// base address.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the Terra stack region is exhausted.
+    pub fn push_frame(&mut self, size: u64) -> MemResult<u64> {
+        let base = (self.sp + 15) & !15;
+        let new_sp = base + size;
+        if new_sp > NULL_GUARD + self.stack_size {
+            return Err(MemError {
+                addr: new_sp,
+                len: size,
+            });
+        }
+        self.sp = new_sp;
+        Ok(base)
+    }
+
+    /// Pops a stack frame previously pushed at `base`.
+    pub fn pop_frame(&mut self, base: u64) {
+        debug_assert!(base <= self.sp);
+        self.sp = base;
+    }
+
+    // -- heap ----------------------------------------------------------------
+
+    fn size_class(size: u64) -> usize {
+        let padded = (size.max(1) + BLOCK_HEADER).next_power_of_two();
+        padded.trailing_zeros() as usize
+    }
+
+    /// Allocates `size` bytes, returning a non-null, 16-byte-aligned address.
+    /// `malloc(0)` returns a valid unique pointer.
+    pub fn malloc(&mut self, size: u64) -> u64 {
+        let class = Self::size_class(size);
+        let block_size = 1u64 << class;
+        let base = if let Some(addr) = self.free_lists[class].pop() {
+            addr
+        } else {
+            let base = self.brk;
+            let needed = base + block_size;
+            if needed > self.data.len() as u64 {
+                let new_len = needed.next_power_of_two().max(self.data.len() as u64 * 2);
+                self.data.resize(new_len as usize, 0);
+            }
+            self.brk += block_size;
+            base
+        };
+        // Header: size class in the first 8 bytes.
+        self.data[base as usize..base as usize + 8].copy_from_slice(&(class as u64).to_le_bytes());
+        self.live_bytes += block_size;
+        base + BLOCK_HEADER
+    }
+
+    /// Frees a pointer returned by [`Memory::malloc`]. Freeing null is a
+    /// no-op, matching C.
+    ///
+    /// # Errors
+    ///
+    /// Fails on addresses that were not returned by `malloc`.
+    pub fn free(&mut self, ptr: u64) -> MemResult<()> {
+        if ptr == 0 {
+            return Ok(());
+        }
+        if ptr < BLOCK_HEADER || ptr - BLOCK_HEADER < NULL_GUARD + self.stack_size {
+            return Err(MemError { addr: ptr, len: 0 });
+        }
+        let base = ptr - BLOCK_HEADER;
+        let mut class_bytes = [0u8; 8];
+        class_bytes.copy_from_slice(&self.data[base as usize..base as usize + 8]);
+        let class = u64::from_le_bytes(class_bytes) as usize;
+        if class >= self.free_lists.len() || class == 0 {
+            return Err(MemError { addr: ptr, len: 0 });
+        }
+        self.live_bytes = self.live_bytes.saturating_sub(1 << class);
+        self.free_lists[class].push(base);
+        Ok(())
+    }
+
+    /// `realloc`: grows/shrinks an allocation, copying the old contents.
+    pub fn realloc(&mut self, ptr: u64, size: u64) -> MemResult<u64> {
+        if ptr == 0 {
+            return Ok(self.malloc(size));
+        }
+        let base = ptr - BLOCK_HEADER;
+        let mut class_bytes = [0u8; 8];
+        self.check(base, 8)?;
+        class_bytes.copy_from_slice(&self.data[base as usize..base as usize + 8]);
+        let old_class = u64::from_le_bytes(class_bytes) as usize;
+        let old_payload = (1u64 << old_class) - BLOCK_HEADER;
+        if size + BLOCK_HEADER <= (1u64 << old_class) {
+            return Ok(ptr);
+        }
+        let new_ptr = self.malloc(size);
+        let n = old_payload.min(size);
+        self.copy_within(ptr, new_ptr, n)?;
+        self.free(ptr)?;
+        Ok(new_ptr)
+    }
+
+    // -- raw access ----------------------------------------------------------
+
+    #[inline]
+    fn check(&self, addr: u64, len: u64) -> MemResult<()> {
+        if addr < NULL_GUARD || addr.saturating_add(len) > self.data.len() as u64 {
+            Err(MemError { addr, len })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads a byte slice.
+    pub fn bytes(&self, addr: u64, len: u64) -> MemResult<&[u8]> {
+        self.check(addr, len)?;
+        Ok(&self.data[addr as usize..(addr + len) as usize])
+    }
+
+    /// Writes a byte slice.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> MemResult<()> {
+        self.check(addr, bytes.len() as u64)?;
+        self.data[addr as usize..addr as usize + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// `memmove`-style copy within the address space.
+    pub fn copy_within(&mut self, src: u64, dst: u64, len: u64) -> MemResult<()> {
+        self.check(src, len)?;
+        self.check(dst, len)?;
+        self.data
+            .copy_within(src as usize..(src + len) as usize, dst as usize);
+        Ok(())
+    }
+
+    /// `memset`.
+    pub fn fill(&mut self, addr: u64, byte: u8, len: u64) -> MemResult<()> {
+        self.check(addr, len)?;
+        self.data[addr as usize..(addr + len) as usize].fill(byte);
+        Ok(())
+    }
+
+    /// Reads a NUL-terminated C string.
+    pub fn c_string(&self, addr: u64) -> MemResult<String> {
+        self.check(addr, 1)?;
+        let rest = &self.data[addr as usize..];
+        let len = rest
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or(MemError { addr, len: 1 })?;
+        Ok(String::from_utf8_lossy(&rest[..len]).into_owned())
+    }
+
+    /// Issues a CPU prefetch hint for the cache line holding `addr`, if the
+    /// address is valid (silently ignores invalid hints, like hardware does).
+    #[inline]
+    pub fn prefetch(&self, addr: u64) {
+        if self.check(addr, 1).is_ok() {
+            #[cfg(target_arch = "x86_64")]
+            unsafe {
+                core::arch::x86_64::_mm_prefetch(
+                    self.data.as_ptr().add(addr as usize) as *const i8,
+                    core::arch::x86_64::_MM_HINT_T0,
+                );
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                let _ = self.data[addr as usize];
+            }
+        }
+    }
+}
+
+macro_rules! scalar_access {
+    ($load:ident, $store:ident, $ty:ty, $n:expr) => {
+        impl Memory {
+            #[doc = concat!("Loads a `", stringify!($ty), "`.")]
+            #[inline]
+            pub fn $load(&self, addr: u64) -> MemResult<$ty> {
+                self.check(addr, $n)?;
+                let mut b = [0u8; $n];
+                b.copy_from_slice(&self.data[addr as usize..addr as usize + $n]);
+                Ok(<$ty>::from_le_bytes(b))
+            }
+
+            #[doc = concat!("Stores a `", stringify!($ty), "`.")]
+            #[inline]
+            pub fn $store(&mut self, addr: u64, v: $ty) -> MemResult<()> {
+                self.check(addr, $n)?;
+                self.data[addr as usize..addr as usize + $n].copy_from_slice(&v.to_le_bytes());
+                Ok(())
+            }
+        }
+    };
+}
+
+scalar_access!(load_u8, store_u8, u8, 1);
+scalar_access!(load_i8, store_i8, i8, 1);
+scalar_access!(load_u16, store_u16, u16, 2);
+scalar_access!(load_i16, store_i16, i16, 2);
+scalar_access!(load_u32, store_u32, u32, 4);
+scalar_access!(load_i32, store_i32, i32, 4);
+scalar_access!(load_u64, store_u64, u64, 8);
+scalar_access!(load_i64, store_i64, i64, 8);
+scalar_access!(load_f32, store_f32, f32, 4);
+scalar_access!(load_f64, store_f64, f64, 8);
+
+impl Memory {
+    /// Loads `len` (≤ 32) raw bytes into a vector register image.
+    #[inline]
+    pub fn load_vec(&self, addr: u64, len: u64) -> MemResult<[u64; 4]> {
+        self.check(addr, len)?;
+        let mut out = [0u64; 4];
+        let src = &self.data[addr as usize..(addr + len) as usize];
+        let mut buf = [0u8; 32];
+        buf[..len as usize].copy_from_slice(src);
+        for (i, chunk) in buf.chunks_exact(8).enumerate() {
+            out[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Ok(out)
+    }
+
+    /// Stores the low `len` (≤ 32) bytes of a vector register image.
+    #[inline]
+    pub fn store_vec(&mut self, addr: u64, v: [u64; 4], len: u64) -> MemResult<()> {
+        self.check(addr, len)?;
+        let mut buf = [0u8; 32];
+        for (i, w) in v.iter().enumerate() {
+            buf[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+        }
+        self.data[addr as usize..(addr + len) as usize].copy_from_slice(&buf[..len as usize]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_access_is_rejected() {
+        let m = Memory::default();
+        assert!(m.load_u8(0).is_err());
+        assert!(m.load_f64(8).is_err());
+    }
+
+    #[test]
+    fn malloc_free_reuse() {
+        let mut m = Memory::default();
+        let a = m.malloc(100);
+        assert!(a >= 64);
+        assert_eq!(a % 16, 0);
+        m.store_f64(a, 3.5).unwrap();
+        assert_eq!(m.load_f64(a).unwrap(), 3.5);
+        m.free(a).unwrap();
+        let b = m.malloc(100);
+        assert_eq!(a, b, "freed block should be reused");
+        assert!(m.live_bytes() > 0);
+        m.free(b).unwrap();
+        assert_eq!(m.live_bytes(), 0);
+    }
+
+    #[test]
+    fn malloc_grows_memory() {
+        let mut m = Memory::new(4096);
+        let before = m.size();
+        let p = m.malloc(32 << 20);
+        assert!(m.size() > before);
+        m.store_u8(p + (32 << 20) - 1, 7).unwrap();
+        assert_eq!(m.load_u8(p + (32 << 20) - 1).unwrap(), 7);
+    }
+
+    #[test]
+    fn free_null_is_noop_and_bad_free_errors() {
+        let mut m = Memory::default();
+        m.free(0).unwrap();
+        assert!(m.free(72).is_err()); // stack address, not heap
+    }
+
+    #[test]
+    fn realloc_preserves_contents() {
+        let mut m = Memory::default();
+        let p = m.malloc(16);
+        m.store_u64(p, 0xDEADBEEF).unwrap();
+        let q = m.realloc(p, 4096).unwrap();
+        assert_eq!(m.load_u64(q).unwrap(), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn stack_frames_push_pop() {
+        let mut m = Memory::new(4096);
+        let f1 = m.push_frame(128).unwrap();
+        let f2 = m.push_frame(64).unwrap();
+        assert!(f2 >= f1 + 128);
+        assert_eq!(f2 % 16, 0);
+        m.pop_frame(f2);
+        m.pop_frame(f1);
+        let f3 = m.push_frame(16).unwrap();
+        assert_eq!(f1, f3);
+    }
+
+    #[test]
+    fn stack_overflow_errors() {
+        let mut m = Memory::new(4096);
+        assert!(m.push_frame(1 << 20).is_err());
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut m = Memory::default();
+        let p = m.malloc(64);
+        m.store_i32(p, -7).unwrap();
+        assert_eq!(m.load_i32(p).unwrap(), -7);
+        m.store_f32(p + 4, 1.5).unwrap();
+        assert_eq!(m.load_f32(p + 4).unwrap(), 1.5);
+        m.store_i16(p + 8, -300).unwrap();
+        assert_eq!(m.load_i16(p + 8).unwrap(), -300);
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let mut m = Memory::default();
+        let p = m.malloc(64);
+        for i in 0..4 {
+            m.store_f64(p + i * 8, i as f64 + 0.5).unwrap();
+        }
+        let v = m.load_vec(p, 32).unwrap();
+        m.store_vec(p + 32, v, 32).unwrap();
+        assert_eq!(m.load_f64(p + 32 + 24).unwrap(), 3.5);
+        // Partial (16-byte) vectors leave the rest untouched.
+        m.store_f64(p + 48, 9.0).unwrap();
+        m.store_vec(p + 32, v, 16).unwrap();
+        assert_eq!(m.load_f64(p + 48).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn c_string_reading() {
+        let mut m = Memory::default();
+        let p = m.malloc(16);
+        m.write_bytes(p, b"hi\0").unwrap();
+        assert_eq!(m.c_string(p).unwrap(), "hi");
+    }
+
+    #[test]
+    fn memset_and_copy() {
+        let mut m = Memory::default();
+        let p = m.malloc(32);
+        m.fill(p, 0xAB, 16).unwrap();
+        m.copy_within(p, p + 16, 16).unwrap();
+        assert_eq!(m.load_u8(p + 31).unwrap(), 0xAB);
+    }
+}

@@ -1,0 +1,265 @@
+//! A linked Terra program: function table, globals, and linear memory.
+//!
+//! The function table realizes the formal semantics' Terra function store
+//! `F`: ids are allocated at *declaration* time (so mutually recursive
+//! functions can reference each other) and filled in by *definition*.
+//! Definition is write-once — the paper's monotonicity guarantee.
+
+use crate::bytecode::{encode_func_ptr, CompiledFunction};
+use crate::memory::Memory;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+use terra_ir::FuncId;
+
+/// A scalar value crossing the Lua↔Terra FFI boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// No value (unit return).
+    Unit,
+    /// Any integer type (canonically extended).
+    Int(i64),
+    /// `float` or `double`.
+    Float(f64),
+    /// `bool`.
+    Bool(bool),
+    /// A pointer into program memory.
+    Ptr(u64),
+    /// A Terra function pointer.
+    Func(FuncId),
+}
+
+impl Value {
+    /// Raw register bit pattern for this value.
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::Unit => 0,
+            Value::Int(v) => v as u64,
+            Value::Float(v) => v.to_bits(),
+            Value::Bool(b) => b as u64,
+            Value::Ptr(p) => p,
+            Value::Func(f) => encode_func_ptr(f),
+        }
+    }
+
+    /// The value as an `f64`, if it is numeric.
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            Value::Bool(b) => Some(b as i64 as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is numeric.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(v),
+            Value::Float(v) => Some(v as i64),
+            Value::Bool(b) => Some(b as i64),
+            _ => None,
+        }
+    }
+}
+
+/// Where `printf` output goes.
+#[derive(Debug, Default)]
+pub enum OutputSink {
+    /// Forward to the process stdout.
+    #[default]
+    Stdout,
+    /// Capture into a buffer (used by tests and the REPL).
+    Capture(String),
+}
+
+/// A linked Terra program, owning compiled functions, globals, and memory.
+#[derive(Debug)]
+pub struct Program {
+    funcs: Vec<Option<Rc<CompiledFunction>>>,
+    names: Vec<Rc<str>>,
+    /// The Terra address space.
+    pub memory: Memory,
+    strings: HashMap<Rc<str>, u64>,
+    /// printf destination.
+    pub output: OutputSink,
+    /// State of the deterministic `rand()` generator (public so hosts can
+    /// seed reproducible workloads).
+    pub rng_state: u64,
+    /// Start instant for `clock()`.
+    pub epoch: Instant,
+}
+
+impl Default for Program {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Program {
+    /// Creates an empty program with default-sized memory.
+    pub fn new() -> Self {
+        Program {
+            funcs: Vec::new(),
+            names: Vec::new(),
+            memory: Memory::default(),
+            strings: HashMap::new(),
+            output: OutputSink::Stdout,
+            rng_state: 0x9E3779B97F4A7C15,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Reserves a function id (the semantics' `tdecl`).
+    pub fn declare(&mut self, name: impl Into<Rc<str>>) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(None);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Fills in a declared function (the semantics' `ter e(x:T):T { e }`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already defined — Terra functions can be defined
+    /// but never *re*defined.
+    pub fn define(&mut self, id: FuncId, f: CompiledFunction) {
+        let slot = &mut self.funcs[id.0 as usize];
+        assert!(
+            slot.is_none(),
+            "function '{}' is already defined",
+            self.names[id.0 as usize]
+        );
+        *slot = Some(Rc::new(f));
+    }
+
+    /// Looks up a defined function.
+    pub fn function(&self, id: FuncId) -> Option<&Rc<CompiledFunction>> {
+        self.funcs.get(id.0 as usize).and_then(|f| f.as_ref())
+    }
+
+    /// Whether the id has been defined (not just declared).
+    pub fn is_defined(&self, id: FuncId) -> bool {
+        self.function(id).is_some()
+    }
+
+    /// The declared name of a function id.
+    pub fn name(&self, id: FuncId) -> &str {
+        self.names
+            .get(id.0 as usize)
+            .map(|n| &**n)
+            .unwrap_or("<unknown>")
+    }
+
+    /// Number of declared functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether no functions have been declared.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Interns a string constant into program memory, returning its address
+    /// (NUL-terminated; repeated interning returns the same address).
+    pub fn intern_string(&mut self, s: &str) -> u64 {
+        if let Some(&addr) = self.strings.get(s) {
+            return addr;
+        }
+        let addr = self.memory.malloc(s.len() as u64 + 1);
+        self.memory
+            .write_bytes(addr, s.as_bytes())
+            .expect("fresh allocation is writable");
+        self.memory
+            .store_u8(addr + s.len() as u64, 0)
+            .expect("fresh allocation is writable");
+        self.strings.insert(Rc::from(s), addr);
+        addr
+    }
+
+    /// Allocates a zero-initialized global cell of `size` bytes, returning
+    /// its address.
+    pub fn alloc_global(&mut self, size: u64, init: Option<&[u8]>) -> u64 {
+        let addr = self.memory.malloc(size.max(1));
+        self.memory
+            .fill(addr, 0, size.max(1))
+            .expect("fresh allocation is writable");
+        if let Some(bytes) = init {
+            self.memory
+                .write_bytes(addr, bytes)
+                .expect("fresh allocation is writable");
+        }
+        addr
+    }
+
+    /// Takes captured printf output, if capturing.
+    pub fn take_output(&mut self) -> String {
+        match &mut self.output {
+            OutputSink::Capture(buf) => std::mem::take(buf),
+            OutputSink::Stdout => String::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terra_ir::{FuncTy, Ty};
+
+    fn dummy(name: &str) -> CompiledFunction {
+        CompiledFunction {
+            name: name.into(),
+            ty: FuncTy {
+                params: vec![],
+                ret: Ty::Unit,
+            },
+            nregs: 0,
+            frame_size: 0,
+            code: vec![crate::bytecode::Instr::Ret {
+                s: crate::bytecode::NO_REG,
+            }],
+        }
+    }
+
+    #[test]
+    fn declare_then_define() {
+        let mut p = Program::new();
+        let id = p.declare("f");
+        assert!(!p.is_defined(id));
+        p.define(id, dummy("f"));
+        assert!(p.is_defined(id));
+        assert_eq!(p.name(id), "f");
+    }
+
+    #[test]
+    #[should_panic(expected = "already defined")]
+    fn redefinition_panics() {
+        let mut p = Program::new();
+        let id = p.declare("f");
+        p.define(id, dummy("f"));
+        p.define(id, dummy("f"));
+    }
+
+    #[test]
+    fn string_interning_dedupes() {
+        let mut p = Program::new();
+        let a = p.intern_string("hello");
+        let b = p.intern_string("hello");
+        let c = p.intern_string("world");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(p.memory.c_string(a).unwrap(), "hello");
+    }
+
+    #[test]
+    fn value_bit_conversions() {
+        assert_eq!(Value::Int(-1).to_bits(), u64::MAX);
+        assert_eq!(Value::Float(1.5).to_bits(), 1.5f64.to_bits());
+        assert_eq!(Value::Bool(true).to_bits(), 1);
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_i64(), Some(2));
+        assert_eq!(Value::Ptr(7).as_f64(), None);
+    }
+}

@@ -1,0 +1,260 @@
+//! Adversarial tests for the bytecode compiler: the Lea address-fusion
+//! peephole, narrow-integer normalization, and calling-convention corners,
+//! verified by executing compiled IR.
+
+use terra_vm::{compile, Program, Value, Vm};
+use terra_ir::{
+    BinKind, Builtin, Callee, CmpKind, ExprKind, FuncTy, IrExpr, IrFunction, IrStmt, ScalarTy,
+    Ty, TypeRegistry,
+};
+
+fn run(f: IrFunction, args: &[Value]) -> Value {
+    let mut prog = Program::new();
+    let types = TypeRegistry::new();
+    let id = prog.declare(f.name.clone());
+    let compiled = compile(&f, &types, &mut prog, &[]);
+    prog.define(id, compiled);
+    Vm::new().call(&mut prog, id, args).unwrap()
+}
+
+fn i64e(v: i64) -> IrExpr {
+    IrExpr::int64(v)
+}
+
+#[test]
+fn lea_base_plus_constant() {
+    // f(x: i64) = x + 12345 — fuses to Lea with displacement.
+    let mut f = IrFunction {
+        name: "lea1".into(),
+        ty: FuncTy { params: vec![Ty::I64], ret: Ty::I64 },
+        locals: vec![],
+        body: vec![],
+    };
+    let x = f.add_local("x", Ty::I64, false);
+    f.body = vec![IrStmt::Return(Some(IrExpr::binary(
+        BinKind::Add,
+        IrExpr::local(x, Ty::I64),
+        i64e(12345),
+    )))];
+    assert_eq!(run(f, &[Value::Int(7)]), Value::Int(12352));
+}
+
+#[test]
+fn lea_constant_plus_base() {
+    // Constant on the LEFT.
+    let mut f = IrFunction {
+        name: "lea2".into(),
+        ty: FuncTy { params: vec![Ty::I64], ret: Ty::I64 },
+        locals: vec![],
+        body: vec![],
+    };
+    let x = f.add_local("x", Ty::I64, false);
+    f.body = vec![IrStmt::Return(Some(IrExpr::binary(
+        BinKind::Add,
+        i64e(-50),
+        IrExpr::local(x, Ty::I64),
+    )))];
+    assert_eq!(run(f, &[Value::Int(7)]), Value::Int(-43));
+}
+
+#[test]
+fn lea_scaled_index_both_orders() {
+    // f(x, i) = x + i*8  and  x + 8*i.
+    for const_left in [false, true] {
+        let mut f = IrFunction {
+            name: "lea3".into(),
+            ty: FuncTy { params: vec![Ty::I64, Ty::I64], ret: Ty::I64 },
+            locals: vec![],
+            body: vec![],
+        };
+        let x = f.add_local("x", Ty::I64, false);
+        let i = f.add_local("i", Ty::I64, false);
+        let mul = if const_left {
+            IrExpr::binary(BinKind::Mul, i64e(8), IrExpr::local(i, Ty::I64))
+        } else {
+            IrExpr::binary(BinKind::Mul, IrExpr::local(i, Ty::I64), i64e(8))
+        };
+        f.body = vec![IrStmt::Return(Some(IrExpr::binary(
+            BinKind::Add,
+            IrExpr::local(x, Ty::I64),
+            mul,
+        )))];
+        assert_eq!(run(f, &[Value::Int(100), Value::Int(-3)]), Value::Int(76));
+    }
+}
+
+#[test]
+fn lea_negative_index_scaling() {
+    // Negative index with positive scale must subtract.
+    let mut f = IrFunction {
+        name: "lea4".into(),
+        ty: FuncTy { params: vec![Ty::I64], ret: Ty::I64 },
+        locals: vec![],
+        body: vec![],
+    };
+    let i = f.add_local("i", Ty::I64, false);
+    f.body = vec![IrStmt::Return(Some(IrExpr::binary(
+        BinKind::Add,
+        i64e(1000),
+        IrExpr::binary(BinKind::Mul, IrExpr::local(i, Ty::I64), i64e(4)),
+    )))];
+    assert_eq!(run(f, &[Value::Int(-250)]), Value::Int(0));
+}
+
+#[test]
+fn no_lea_on_narrow_ints_wraps_correctly() {
+    // i32 add must NOT skip the truncation: i32::MAX + 1 wraps.
+    let mut f = IrFunction {
+        name: "wrap32".into(),
+        ty: FuncTy { params: vec![Ty::INT], ret: Ty::INT },
+        locals: vec![],
+        body: vec![],
+    };
+    let x = f.add_local("x", Ty::INT, false);
+    f.body = vec![IrStmt::Return(Some(IrExpr::binary(
+        BinKind::Add,
+        IrExpr::local(x, Ty::INT),
+        IrExpr::int32(1),
+    )))];
+    assert_eq!(run(f, &[Value::Int(i32::MAX as i64)]), Value::Int(i32::MIN as i64));
+}
+
+#[test]
+fn huge_scale_falls_back_to_mul() {
+    // Scale too big for i32: must not fuse incorrectly.
+    let big = (i32::MAX as i64) + 10;
+    let mut f = IrFunction {
+        name: "bigscale".into(),
+        ty: FuncTy { params: vec![Ty::I64], ret: Ty::I64 },
+        locals: vec![],
+        body: vec![],
+    };
+    let i = f.add_local("i", Ty::I64, false);
+    f.body = vec![IrStmt::Return(Some(IrExpr::binary(
+        BinKind::Add,
+        i64e(1),
+        IrExpr::binary(BinKind::Mul, IrExpr::local(i, Ty::I64), i64e(big)),
+    )))];
+    assert_eq!(run(f, &[Value::Int(3)]), Value::Int(1 + 3 * big));
+}
+
+#[test]
+fn select_evaluates_only_taken_side() {
+    // select(i == 0, 1, 100/i): the false side divides by i — must not trap
+    // when i == 0 because Select is compiled lazily.
+    let mut f = IrFunction {
+        name: "sel".into(),
+        ty: FuncTy { params: vec![Ty::I64], ret: Ty::I64 },
+        locals: vec![],
+        body: vec![],
+    };
+    let i = f.add_local("i", Ty::I64, false);
+    f.body = vec![IrStmt::Return(Some(IrExpr {
+        ty: Ty::I64,
+        kind: ExprKind::Select {
+            cond: Box::new(IrExpr::cmp(
+                CmpKind::Eq,
+                IrExpr::local(i, Ty::I64),
+                i64e(0),
+            )),
+            then_value: Box::new(i64e(1)),
+            else_value: Box::new(IrExpr::binary(
+                BinKind::Div,
+                i64e(100),
+                IrExpr::local(i, Ty::I64),
+            )),
+        },
+    }))];
+    assert_eq!(run(f.clone(), &[Value::Int(0)]), Value::Int(1));
+    assert_eq!(run(f, &[Value::Int(4)]), Value::Int(25));
+}
+
+#[test]
+fn builtin_memset_and_memcpy_compose() {
+    // malloc, memset to 0x7, copy to second half, read a byte back.
+    let mut f = IrFunction {
+        name: "mem".into(),
+        ty: FuncTy { params: vec![], ret: Ty::INT },
+        locals: vec![],
+        body: vec![],
+    };
+    let p = f.add_local("p", Ty::U8.ptr_to(), false);
+    let call = |b: Builtin, args: Vec<IrExpr>, ty: Ty| IrExpr {
+        ty,
+        kind: ExprKind::Call {
+            callee: Callee::Builtin(b),
+            args,
+        },
+    };
+    let pread = IrExpr::local(p, Ty::U8.ptr_to());
+    f.body = vec![
+        IrStmt::Assign {
+            dst: p,
+            value: call(
+                Builtin::Malloc,
+                vec![IrExpr {
+                    ty: Ty::U64,
+                    kind: ExprKind::ConstInt(64),
+                }],
+                Ty::U8.ptr_to(),
+            ),
+        },
+        IrStmt::Expr(call(
+            Builtin::Memset,
+            vec![pread.clone(), IrExpr::int32(7), IrExpr {
+                ty: Ty::U64,
+                kind: ExprKind::ConstInt(32),
+            }],
+            Ty::U8.ptr_to(),
+        )),
+        IrStmt::Expr(call(
+            Builtin::Memcpy,
+            vec![
+                IrExpr::binary(BinKind::Add, pread.clone(), i64e(32)),
+                pread.clone(),
+                IrExpr {
+                    ty: Ty::U64,
+                    kind: ExprKind::ConstInt(32),
+                },
+            ],
+            Ty::U8.ptr_to(),
+        )),
+        IrStmt::Return(Some(IrExpr {
+            ty: Ty::INT,
+            kind: ExprKind::Cast(Box::new(IrExpr {
+                ty: Ty::U8,
+                kind: ExprKind::Load(Box::new(IrExpr::binary(
+                    BinKind::Add,
+                    pread,
+                    i64e(63),
+                ))),
+            })),
+        })),
+    ];
+    assert_eq!(run(f, &[]), Value::Int(7));
+}
+
+#[test]
+fn many_arguments_calling_convention() {
+    // 10 params summed — exercises the contiguous-argument convention.
+    let n = 10;
+    let mut callee = IrFunction {
+        name: "sum10".into(),
+        ty: FuncTy {
+            params: vec![Ty::I64; n],
+            ret: Ty::I64,
+        },
+        locals: vec![],
+        body: vec![],
+    };
+    let params: Vec<_> = (0..n)
+        .map(|i| callee.add_local(format!("p{i}"), Ty::I64, false))
+        .collect();
+    let mut acc = IrExpr::local(params[0], Ty::I64);
+    for p in &params[1..] {
+        acc = IrExpr::binary(BinKind::Add, acc, IrExpr::local(*p, Ty::I64));
+    }
+    callee.body = vec![IrStmt::Return(Some(acc))];
+    let args: Vec<Value> = (1..=n as i64).map(Value::Int).collect();
+    assert_eq!(run(callee, &args), Value::Int(55));
+}
