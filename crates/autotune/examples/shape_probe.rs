@@ -7,10 +7,15 @@ fn main() {
         let ws = s.workspace(n, Precision::F64);
         let naive = s.naive(n, Precision::F64).unwrap();
         let blocked = s.blocked(n, 32, Precision::F64).unwrap();
-        let tuned = s.generated(n, vendor_config(Precision::F64), Precision::F64).unwrap();
+        let tuned = s
+            .generated(n, vendor_config(Precision::F64), Precision::F64)
+            .unwrap();
         let g1 = s.measure_gflops(&naive, &ws, 1);
         let g2 = s.measure_gflops(&blocked, &ws, 1);
         let g3 = s.measure_gflops(&tuned, &ws, 1);
-        println!("N={n}: naive={g1:.3} blocked={g2:.3} generated={g3:.3} GFLOPS (speedup {:.1}x)", g3/g1);
+        println!(
+            "N={n}: naive={g1:.3} blocked={g2:.3} generated={g3:.3} GFLOPS (speedup {:.1}x)",
+            g3 / g1
+        );
     }
 }

@@ -79,9 +79,9 @@ impl GemmConfig {
     pub fn valid_for(&self, n: usize, prec: Precision) -> bool {
         self.v <= prec.max_vector()
             && self.nb > 0
-            && n % self.nb == 0
-            && self.nb % self.rm == 0
-            && self.nb % (self.rn * self.v) == 0
+            && n.is_multiple_of(self.nb)
+            && self.nb.is_multiple_of(self.rm)
+            && self.nb.is_multiple_of(self.rn * self.v)
     }
 }
 
@@ -160,7 +160,7 @@ impl GemmSession {
     ///
     /// Panics unless `n % nb == 0`.
     pub fn blocked(&mut self, n: usize, nb: usize, prec: Precision) -> Result<TerraFn, LuaError> {
-        assert!(n % nb == 0, "N must be a multiple of NB");
+        assert!(n.is_multiple_of(nb), "N must be a multiple of NB");
         let name = self.fresh_name("blocked");
         self.terra.exec(&format!(
             "{name} = genblocked({n}, {nb}, {})",

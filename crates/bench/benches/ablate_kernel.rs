@@ -10,10 +10,42 @@ fn bench_ablation(c: &mut Criterion) {
     let mut s = GemmSession::new().unwrap();
     let ws = s.workspace(n, prec);
     let configs = [
-        ("baseline_v1_r1", GemmConfig { nb: 32, rm: 1, rn: 1, v: 1 }),
-        ("unroll_only", GemmConfig { nb: 32, rm: 4, rn: 4, v: 1 }),
-        ("vector_only", GemmConfig { nb: 32, rm: 1, rn: 1, v: 4 }),
-        ("unroll_and_vector", GemmConfig { nb: 32, rm: 2, rn: 2, v: 4 }),
+        (
+            "baseline_v1_r1",
+            GemmConfig {
+                nb: 32,
+                rm: 1,
+                rn: 1,
+                v: 1,
+            },
+        ),
+        (
+            "unroll_only",
+            GemmConfig {
+                nb: 32,
+                rm: 4,
+                rn: 4,
+                v: 1,
+            },
+        ),
+        (
+            "vector_only",
+            GemmConfig {
+                nb: 32,
+                rm: 1,
+                rn: 1,
+                v: 4,
+            },
+        ),
+        (
+            "unroll_and_vector",
+            GemmConfig {
+                nb: 32,
+                rm: 2,
+                rn: 2,
+                v: 4,
+            },
+        ),
     ];
     let mut g = c.benchmark_group("ablate_kernel_n128");
     g.sample_size(10);

@@ -9,14 +9,17 @@ fn bench_orion(c: &mut Criterion) {
     let p = area_filter();
     let mut g = c.benchmark_group("fig8_area_filter_512");
     g.sample_size(10);
-    let run_one = |name: &str, sched: Schedule, g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>| {
-        let mut t = Terra::new();
-        let compiled = p.compile(&mut t, w, h, sched).unwrap();
-        let img = ImageBuf::alloc(&mut t, &compiled);
-        let out = ImageBuf::alloc(&mut t, &compiled);
-        img.write(&mut t, &vec![0.5; w * h]);
-        g.bench_function(name, |b| b.iter(|| compiled.run(&mut t, &[&img], &out)));
-    };
+    let run_one =
+        |name: &str,
+         sched: Schedule,
+         g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>| {
+            let mut t = Terra::new();
+            let compiled = p.compile(&mut t, w, h, sched).unwrap();
+            let img = ImageBuf::alloc(&mut t, &compiled);
+            let out = ImageBuf::alloc(&mut t, &compiled);
+            img.write(&mut t, &vec![0.5; w * h]);
+            g.bench_function(name, |b| b.iter(|| compiled.run(&mut t, &[&img], &out)));
+        };
     run_one("match_c", Schedule::match_c(), &mut g);
     for (name, sched) in figure8_schedules() {
         let key = name.replace([' ', '+'], "_").to_lowercase();

@@ -36,7 +36,9 @@ fn series(prec: Precision, sizes: &[usize], tune_reps: usize) {
         let naive = s.naive(n, prec).expect("stage naive");
         let blocked = s.blocked(n, 32, prec).expect("stage blocked");
         let tuned = s.generated(n, best, prec).expect("stage tuned");
-        let vendor = s.generated(n, vendor_config(prec), prec).expect("stage vendor");
+        let vendor = s
+            .generated(n, vendor_config(prec), prec)
+            .expect("stage vendor");
         let reps = if n <= 256 { 3 } else { 1 };
         let g_naive = s.measure_gflops(&naive, &ws, reps);
         let g_blocked = s.measure_gflops(&blocked, &ws, reps);

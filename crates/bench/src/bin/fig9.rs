@@ -15,7 +15,12 @@ fn main() {
         mesh.n_verts(),
         mesh.n_tris()
     );
-    let mut table = Table::new(&["benchmark", "Array-of-Structs", "Struct-of-Arrays", "winner"]);
+    let mut table = Table::new(&[
+        "benchmark",
+        "Array-of-Structs",
+        "Struct-of-Arrays",
+        "winner",
+    ]);
     let mut results = vec![];
     for layout in [Layout::Aos, Layout::Soa] {
         let mut kit = MeshKit::new(&mesh, layout).expect("stage mesh kit");
@@ -28,13 +33,21 @@ fn main() {
         "Calc. vertex normals (GB/s)".into(),
         format!("{:.3}", aos.0),
         format!("{:.3}", soa.0),
-        if aos.0 > soa.0 { "AoS".into() } else { "SoA".into() },
+        if aos.0 > soa.0 {
+            "AoS".into()
+        } else {
+            "SoA".into()
+        },
     ]);
     table.push(vec![
         "Translate positions (GB/s)".into(),
         format!("{:.3}", aos.1),
         format!("{:.3}", soa.1),
-        if aos.1 > soa.1 { "AoS".into() } else { "SoA".into() },
+        if aos.1 > soa.1 {
+            "AoS".into()
+        } else {
+            "SoA".into()
+        },
     ]);
     print!("{}", table.render());
     println!(

@@ -554,9 +554,11 @@ mod tests {
         );
         let mut m = Machine::new();
         let v = m.run(&prog).unwrap();
-        let Value::FnAddr(l) = v else { panic!("expected fn") };
+        let Value::FnAddr(l) = v else {
+            panic!("expected fn")
+        };
         // The whole connected component typechecks.
-        crate::types::check_component(&mut m, l).unwrap();
+        crate::types::check_component(&m, l).unwrap();
     }
 
     #[test]
@@ -591,7 +593,12 @@ mod tests {
         let prog = L::let_(
             "q",
             L::Quote(Rc::new(T::Base(1))),
-            define("f", "x", T::esc(L::var("q")), L::app(L::var("f"), L::Base(0))),
+            define(
+                "f",
+                "x",
+                T::esc(L::var("q")),
+                L::app(L::var("f"), L::Base(0)),
+            ),
         );
         let mut m = Machine::new();
         assert_eq!(m.run(&prog), Ok(Value::Base(1)));

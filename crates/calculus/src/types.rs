@@ -114,8 +114,8 @@ fn infer(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::syntax::{LExp as L, TExp as T, Value};
     use crate::eval::Machine;
+    use crate::syntax::{LExp as L, TExp as T, Value};
 
     fn run(prog: &L) -> (Machine, CalcResult<Value>) {
         let mut m = Machine::new();
@@ -131,7 +131,9 @@ mod tests {
             L::var("f"),
         );
         let (m, r) = run(&prog);
-        let Value::FnAddr(l) = r.unwrap() else { panic!() };
+        let Value::FnAddr(l) = r.unwrap() else {
+            panic!()
+        };
         assert!(check_component(&m, l).is_ok());
     }
 
@@ -150,7 +152,9 @@ mod tests {
             L::var("f"),
         );
         let (m, r) = run(&prog);
-        let Value::FnAddr(l) = r.unwrap() else { panic!() };
+        let Value::FnAddr(l) = r.unwrap() else {
+            panic!()
+        };
         assert!(matches!(check_component(&m, l), Err(CalcError::Type(_))));
     }
 
@@ -192,8 +196,13 @@ mod tests {
             ),
         );
         let (m, r) = run(&prog);
-        let Value::FnAddr(l) = r.unwrap() else { panic!() };
-        assert!(matches!(check_component(&m, l), Err(CalcError::Undefined(_))));
+        let Value::FnAddr(l) = r.unwrap() else {
+            panic!()
+        };
+        assert!(matches!(
+            check_component(&m, l),
+            Err(CalcError::Undefined(_))
+        ));
     }
 
     #[test]
@@ -228,7 +237,10 @@ mod tests {
             )),
         });
         let f = FnAddr(m.fstore.len() - 1);
-        assert!(matches!(check_component(&m, f), Err(CalcError::Undefined(_))));
+        assert!(matches!(
+            check_component(&m, f),
+            Err(CalcError::Undefined(_))
+        ));
         // Now define g: the same check succeeds — monotonic.
         m.fstore[g.0] = FnEntry::Defined {
             param: crate::syntax::Sym(998),

@@ -16,9 +16,9 @@ fn known_value_program(depth: u32) -> impl Strategy<Value = (LExp, i64)> {
                 (LExp::let_(&name, e, LExp::var(&name)), v)
             }),
             // (fun(x){x})(e)
-            inner.clone().prop_map(|(e, v)| {
-                (LExp::app(LExp::fun("x", LExp::var("x")), e), v)
-            }),
+            inner
+                .clone()
+                .prop_map(|(e, v)| { (LExp::app(LExp::fun("x", LExp::var("x")), e), v) }),
             // shadowing: let x = dead in let x = e in x
             (inner.clone(), any::<i8>()).prop_map(|((e, v), dead)| {
                 (

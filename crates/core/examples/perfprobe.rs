@@ -1,11 +1,12 @@
 //! Quick throughput probe used during development (not part of the paper
 //! reproduction): measures naive matmul MFLOPS on the VM.
-use terra_core::{Terra, Value};
 use std::time::Instant;
+use terra_core::{Terra, Value};
 
 fn main() {
     let mut t = Terra::new();
-    t.exec(r#"
+    t.exec(
+        r#"
         terra matmul(A : &double, B : &double, C : &double, N : int)
             for i = 0, N do
                 for j = 0, N do
@@ -17,7 +18,9 @@ fn main() {
                 end
             end
         end
-    "#).unwrap();
+    "#,
+    )
+    .unwrap();
     let f = t.function("matmul").unwrap();
     for n in [64usize, 128, 256] {
         let bytes = (n * n * 8) as u64;
@@ -27,7 +30,16 @@ fn main() {
         t.write_f64s(a, &vec![1.0; n * n]);
         t.write_f64s(b, &vec![2.0; n * n]);
         let start = Instant::now();
-        t.invoke(&f, &[Value::Ptr(a), Value::Ptr(b), Value::Ptr(c), Value::Int(n as i64)]).unwrap();
+        t.invoke(
+            &f,
+            &[
+                Value::Ptr(a),
+                Value::Ptr(b),
+                Value::Ptr(c),
+                Value::Int(n as i64),
+            ],
+        )
+        .unwrap();
         let dt = start.elapsed().as_secs_f64();
         let flops = 2.0 * (n as f64).powi(3);
         println!("N={n}: {:.3}s  {:.1} MFLOPS", dt, flops / dt / 1e6);

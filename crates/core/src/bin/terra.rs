@@ -2,24 +2,45 @@
 //! the real system's `terra` executable:
 //!
 //! ```text
-//! terra script.t [args...]     run a script (args in the global `arg` table)
-//! terra -e 'code'              run a one-liner
-//! terra                        start a tiny REPL
+//! terra [flags] script.t [args...]  run a script (args in the global `arg` table)
+//! terra [flags] -e 'code'           run a one-liner
+//! terra                             start a tiny REPL
+//!
+//! flags:
+//!   --lint       run the IR analysis suite over every compiled function and
+//!                print the warnings (use-before-init, dead stores,
+//!                unreachable code, constant out-of-bounds accesses, …)
+//!   --sanitize   poison fresh/freed VM memory and trap on use-after-free
 //! ```
 
 use std::io::{BufRead, Write};
 use terra_core::{LuaValue, Terra};
 
 fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let mut t = Terra::new();
+    let mut lint = false;
+    while let Some(first) = argv.first().map(|s| s.as_str()) {
+        match first {
+            "--lint" => {
+                lint = true;
+                t.set_lint(true);
+                argv.remove(0);
+            }
+            "--sanitize" => {
+                t.set_sanitize(true);
+                argv.remove(0);
+            }
+            _ => break,
+        }
+    }
     match argv.first().map(|s| s.as_str()) {
         Some("-e") => {
             let code = argv.get(1).cloned().unwrap_or_default();
-            run(&mut t, &code, "(command line)");
+            run(&mut t, &code, "(command line)", lint);
         }
         Some("-h") | Some("--help") => {
-            eprintln!("usage: terra [script.t [args...] | -e 'code']");
+            eprintln!("usage: terra [--lint] [--sanitize] [script.t [args...] | -e 'code']");
         }
         Some(path) => {
             let src = match std::fs::read_to_string(path) {
@@ -33,20 +54,29 @@ fn main() {
             let args_tbl = terra_core::Table::new();
             let tref = std::rc::Rc::new(std::cell::RefCell::new(args_tbl));
             for (i, a) in argv.iter().skip(1).enumerate() {
-                tref.borrow_mut().set(
-                    LuaValue::Number((i + 1) as f64),
-                    LuaValue::str(a.as_str()),
-                );
+                tref.borrow_mut()
+                    .set(LuaValue::Number((i + 1) as f64), LuaValue::str(a.as_str()));
             }
             t.set_global("arg", LuaValue::Table(tref));
-            run(&mut t, &src, path);
+            let path = path.to_string();
+            run(&mut t, &src, &path, lint);
         }
         None => repl(&mut t),
     }
 }
 
-fn run(t: &mut Terra, src: &str, what: &str) {
-    match t.exec(src) {
+fn report_diagnostics(t: &mut Terra) {
+    for d in t.take_diagnostics() {
+        eprintln!("terra: {d}");
+    }
+}
+
+fn run(t: &mut Terra, src: &str, what: &str, lint: bool) {
+    let result = t.exec(src);
+    if lint {
+        report_diagnostics(t);
+    }
+    match result {
         Ok(values) => {
             for v in values {
                 match t.interp().tostring_value(&v, terra_core::span_synthetic()) {

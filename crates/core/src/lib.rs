@@ -37,15 +37,13 @@
 
 use std::rc::Rc;
 
-pub use terra_eval::{
-    EvalResult, Interp, LuaError, LuaValue, Phase, SymbolRef, Table, TableRef,
-};
+pub use terra_eval::{EvalResult, Interp, LuaError, LuaValue, Phase, SymbolRef, Table, TableRef};
 
 /// A synthetic (zero-width) source span for host-initiated operations.
 pub fn span_synthetic() -> terra_syntax::Span {
     terra_syntax::Span::synthetic()
 }
-pub use terra_ir::{FuncId, FuncTy, ScalarTy, Ty};
+pub use terra_ir::{Diagnostic, FuncId, FuncTy, ScalarTy, Severity, Ty};
 pub use terra_vm::{Trap, Value};
 
 /// An embedded Lua-Terra session.
@@ -86,6 +84,26 @@ impl Terra {
         self.interp
             .module_sources
             .insert(name.to_string(), source.to_string());
+    }
+
+    /// Enables lint mode: every Terra function compiled from here on is run
+    /// through the full IR analysis suite (use-before-init, dead stores,
+    /// unreachable code, missing returns, constant out-of-bounds accesses),
+    /// and the warnings accumulate until [`Terra::take_diagnostics`].
+    pub fn set_lint(&mut self, on: bool) {
+        self.interp.lint = on;
+    }
+
+    /// Enables the VM memory sanitizer: fresh stack frames and heap blocks
+    /// are poisoned, and use-after-free / double-free become traps instead
+    /// of silent reuse.
+    pub fn set_sanitize(&mut self, on: bool) {
+        self.interp.ctx.program.memory.set_sanitize(on);
+    }
+
+    /// Takes the warnings produced by lint mode since the last call.
+    pub fn take_diagnostics(&mut self) -> Vec<Diagnostic> {
+        self.interp.take_diagnostics()
     }
 
     /// Captures `print`/`printf` output instead of writing to stdout.
@@ -151,7 +169,11 @@ impl Terra {
                 "global '{name}' is not a terra function"
             )));
         };
-        terra_eval::typecheck::ensure_compiled(&mut self.interp, id, terra_syntax::Span::synthetic())?;
+        terra_eval::typecheck::ensure_compiled(
+            &mut self.interp,
+            id,
+            terra_syntax::Span::synthetic(),
+        )?;
         let sig = self
             .program()
             .function(id)
@@ -338,7 +360,9 @@ mod tests {
     #[test]
     fn errors_carry_phase() {
         let mut t = Terra::new();
-        let err = t.exec("terra f() : int return x_undefined end").unwrap_err();
+        let err = t
+            .exec("terra f() : int return x_undefined end")
+            .unwrap_err();
         assert_eq!(err.phase, Phase::Specialize);
     }
 }

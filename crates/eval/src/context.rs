@@ -144,7 +144,12 @@ impl Context {
     }
 
     /// Creates a global variable cell of the given type.
-    pub fn new_global(&mut self, name: impl Into<Rc<str>>, ty: Ty, init: Option<&[u8]>) -> GlobalId {
+    pub fn new_global(
+        &mut self,
+        name: impl Into<Rc<str>>,
+        ty: Ty,
+        init: Option<&[u8]>,
+    ) -> GlobalId {
         let size = ty.size(&self.types);
         let addr = self.program.alloc_global(size, init);
         let id = GlobalId(self.globals.len() as u32);

@@ -45,6 +45,12 @@ pub struct Interp {
     pub modules: std::collections::HashMap<String, LuaValue>,
     /// Sources registered for `require` but not yet loaded.
     pub module_sources: std::collections::HashMap<String, String>,
+    /// When set, every function compiled from here on is also run through
+    /// the full IR analysis suite (dataflow + bounds lints) and the
+    /// resulting warnings accumulate in [`Interp::diagnostics`].
+    pub lint: bool,
+    /// Warnings collected by lint mode; drain with [`Interp::take_diagnostics`].
+    pub diagnostics: Vec<terra_ir::Diagnostic>,
 }
 
 impl Default for Interp {
@@ -62,9 +68,16 @@ impl Interp {
             depth: 0,
             modules: std::collections::HashMap::new(),
             module_sources: std::collections::HashMap::new(),
+            lint: false,
+            diagnostics: Vec::new(),
         };
         crate::stdlib::install(&mut interp);
         interp
+    }
+
+    /// Takes the warnings accumulated by lint mode (see [`Interp::lint`]).
+    pub fn take_diagnostics(&mut self) -> Vec<terra_ir::Diagnostic> {
+        std::mem::take(&mut self.diagnostics)
     }
 
     /// Captures Terra/Lua `print`/`printf` output instead of writing stdout.
@@ -119,7 +132,11 @@ impl Interp {
 
     fn eval_stmt(&mut self, stmt: &LuaStmt, env: &Env) -> EvalResult<Flow> {
         match stmt {
-            LuaStmt::Local { names, exprs, span: _ } => {
+            LuaStmt::Local {
+                names,
+                exprs,
+                span: _,
+            } => {
                 let values = self.eval_exprlist(exprs, env, names.len())?;
                 for (n, v) in names.iter().zip(values) {
                     env.declare(n.clone(), v);
@@ -333,17 +350,14 @@ impl Interp {
                 let k = self.eval_expr(index, env)?;
                 self.setindex_value(&o, k, v, *span)
             }
-            other => Err(LuaError::at("cannot assign to this expression", other.span())),
+            other => Err(LuaError::at(
+                "cannot assign to this expression",
+                other.span(),
+            )),
         }
     }
 
-    fn assign_path(
-        &mut self,
-        path: &[Name],
-        v: LuaValue,
-        env: &Env,
-        span: Span,
-    ) -> EvalResult<()> {
+    fn assign_path(&mut self, path: &[Name], v: LuaValue, env: &Env, span: Span) -> EvalResult<()> {
         if path.len() == 1 {
             if !env.assign(&path[0], v.clone()) {
                 self.globals.declare(path[0].clone(), v);
@@ -542,11 +556,10 @@ impl Interp {
             .collect();
         for e in entries {
             let LuaValue::Table(t) = e else {
-                return Err(LuaError::at(
-                    "struct entries must be {field=…, type=…} tables",
-                    span,
-                )
-                .phase(Phase::Typecheck));
+                return Err(
+                    LuaError::at("struct entries must be {field=…, type=…} tables", span)
+                        .phase(Phase::Typecheck),
+                );
             };
             let (fname, fty) = {
                 let t = t.borrow();
@@ -579,8 +592,9 @@ impl Interp {
 
     fn expect_number(&mut self, e: &LuaExpr, env: &Env) -> EvalResult<f64> {
         let v = self.eval_expr(e, env)?;
-        v.as_number()
-            .ok_or_else(|| LuaError::at(format!("expected number, got {}", v.type_name()), e.span()))
+        v.as_number().ok_or_else(|| {
+            LuaError::at(format!("expected number, got {}", v.type_name()), e.span())
+        })
     }
 
     /// Evaluates an expression list with Lua's adjustment rules: the last
@@ -638,7 +652,10 @@ impl Interp {
             LuaExpr::Str(s, _) => Ok(vec![LuaValue::Str(s.clone())]),
             LuaExpr::Vararg(span) => match env.get("...") {
                 Some(LuaValue::Table(t)) => Ok(t.borrow().iter_array().cloned().collect()),
-                _ => Err(LuaError::at("cannot use '...' outside a vararg function", *span)),
+                _ => Err(LuaError::at(
+                    "cannot use '...' outside a vararg function",
+                    *span,
+                )),
             },
             LuaExpr::Var(n, _span) => Ok(vec![env.get(n).unwrap_or(LuaValue::Nil)]),
             LuaExpr::Index { obj, index, span } => {
@@ -701,7 +718,10 @@ impl Interp {
                 Ok(vec![LuaValue::Table(t)])
             }
             LuaExpr::TerraFunction(def) => {
-                let name: Rc<str> = def.name_hint.clone().unwrap_or_else(|| Rc::from("anonymous"));
+                let name: Rc<str> = def
+                    .name_hint
+                    .clone()
+                    .unwrap_or_else(|| Rc::from("anonymous"));
                 let id = self.define_terra_function(def, env, name)?;
                 Ok(vec![LuaValue::TerraFunc(id)])
             }
@@ -834,19 +854,16 @@ impl Interp {
                     o => (o, l, r),
                 };
                 match (&l, &r) {
-                    (LuaValue::Number(a), LuaValue::Number(b)) => Ok(LuaValue::Bool(if op == Lt {
-                        a < b
-                    } else {
-                        a <= b
-                    })),
-                    (LuaValue::Str(a), LuaValue::Str(b)) => Ok(LuaValue::Bool(if op == Lt {
-                        a < b
-                    } else {
-                        a <= b
-                    })),
+                    (LuaValue::Number(a), LuaValue::Number(b)) => {
+                        Ok(LuaValue::Bool(if op == Lt { a < b } else { a <= b }))
+                    }
+                    (LuaValue::Str(a), LuaValue::Str(b)) => {
+                        Ok(LuaValue::Bool(if op == Lt { a < b } else { a <= b }))
+                    }
                     _ => {
                         let name = if op == Lt { "__lt" } else { "__le" };
-                        if let Some(mm) = self.meta_for(&l, name).or_else(|| self.meta_for(&r, name))
+                        if let Some(mm) =
+                            self.meta_for(&l, name).or_else(|| self.meta_for(&r, name))
                         {
                             let v = self.call_value(mm, vec![l, r], span)?;
                             return Ok(LuaValue::Bool(
@@ -865,15 +882,19 @@ impl Interp {
                 }
             }
             Concat => match (&l, &r) {
-                (LuaValue::Str(_) | LuaValue::Number(_), LuaValue::Str(_) | LuaValue::Number(_)) => {
-                    Ok(LuaValue::str(format!(
-                        "{}{}",
-                        self.tostring_value(&l, span)?,
-                        self.tostring_value(&r, span)?
-                    )))
-                }
+                (
+                    LuaValue::Str(_) | LuaValue::Number(_),
+                    LuaValue::Str(_) | LuaValue::Number(_),
+                ) => Ok(LuaValue::str(format!(
+                    "{}{}",
+                    self.tostring_value(&l, span)?,
+                    self.tostring_value(&r, span)?
+                ))),
                 _ => {
-                    if let Some(mm) = self.meta_for(&l, "__concat").or_else(|| self.meta_for(&r, "__concat")) {
+                    if let Some(mm) = self
+                        .meta_for(&l, "__concat")
+                        .or_else(|| self.meta_for(&r, "__concat"))
+                    {
                         let v = self.call_value(mm, vec![l, r], span)?;
                         return Ok(v.into_iter().next().unwrap_or(LuaValue::Nil));
                     }
@@ -890,11 +911,7 @@ impl Interp {
                 if is_staged(&l) || is_staged(&r) {
                     let le = crate::spec::lua_to_spec(self, l, span)?;
                     let re = crate::spec::lua_to_spec(self, r, span)?;
-                    let kind = crate::spec::SpecExprKind::Bin(
-                        op,
-                        Box::new(le),
-                        Box::new(re),
-                    );
+                    let kind = crate::spec::SpecExprKind::Bin(op, Box::new(le), Box::new(re));
                     return Ok(LuaValue::Quote(Rc::new(crate::spec::SpecQuote {
                         stmts: vec![],
                         exprs: vec![crate::spec::SpecExpr::new(kind, span)],
@@ -959,8 +976,7 @@ impl Interp {
             UnOp::Neg => {
                 if is_staged(&v) {
                     let e = crate::spec::lua_to_spec(self, v, span)?;
-                    let kind =
-                        crate::spec::SpecExprKind::Un(UnOp::Neg, Box::new(e));
+                    let kind = crate::spec::SpecExprKind::Un(UnOp::Neg, Box::new(e));
                     return Ok(LuaValue::Quote(Rc::new(crate::spec::SpecQuote {
                         stmts: vec![],
                         exprs: vec![crate::spec::SpecExpr::new(kind, span)],
@@ -1241,9 +1257,7 @@ impl Interp {
             (LuaValue::Number(n), Ty::Scalar(ScalarTy::Bool)) => Value::Bool(*n != 0.0),
             (LuaValue::Bool(b), Ty::Scalar(ScalarTy::Bool)) => Value::Bool(*b),
             (LuaValue::Bool(b), Ty::Scalar(s)) if s.is_integer() => Value::Int(*b as i64),
-            (LuaValue::Str(s), Ty::Ptr(_)) => {
-                Value::Ptr(self.ctx.program.intern_string(s))
-            }
+            (LuaValue::Str(s), Ty::Ptr(_)) => Value::Ptr(self.ctx.program.intern_string(s)),
             (LuaValue::Number(n), Ty::Ptr(_)) => Value::Ptr(*n as u64),
             (LuaValue::Nil, Ty::Ptr(_)) => Value::Ptr(0),
             (LuaValue::TerraFunc(f), Ty::Func(_)) => {
@@ -1251,9 +1265,7 @@ impl Interp {
                 crate::typecheck::ensure_compiled(self, f, span)?;
                 Value::Func(f)
             }
-            (LuaValue::Global(g), Ty::Ptr(_)) => {
-                Value::Ptr(self.ctx.globals[g.0 as usize].addr)
-            }
+            (LuaValue::Global(g), Ty::Ptr(_)) => Value::Ptr(self.ctx.globals[g.0 as usize].addr),
             _ => {
                 return Err(LuaError::at(
                     format!(

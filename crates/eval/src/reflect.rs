@@ -37,9 +37,7 @@ pub fn index_terra_value(
     match obj {
         LuaValue::Type(t) => index_type(interp, t, k, span),
         LuaValue::TerraFunc(id) => match &**k {
-            "name" => Ok(LuaValue::Str(
-                interp.ctx.funcs[id.0 as usize].name.clone().into(),
-            )),
+            "name" => Ok(LuaValue::Str(interp.ctx.funcs[id.0 as usize].name.clone())),
             _ => Ok(LuaValue::Nil),
         },
         LuaValue::Symbol(s) => match &**k {
@@ -66,19 +64,17 @@ pub fn index_terra_value(
 
 fn index_type(interp: &mut Interp, t: &Ty, key: &str, span: Span) -> EvalResult<LuaValue> {
     match (t, key) {
-        (Ty::Struct(sid), "entries") => {
-            Ok(LuaValue::Table(interp.ctx.struct_meta(*sid).entries.clone()))
-        }
-        (Ty::Struct(sid), "methods") => {
-            Ok(LuaValue::Table(interp.ctx.struct_meta(*sid).methods.clone()))
-        }
+        (Ty::Struct(sid), "entries") => Ok(LuaValue::Table(
+            interp.ctx.struct_meta(*sid).entries.clone(),
+        )),
+        (Ty::Struct(sid), "methods") => Ok(LuaValue::Table(
+            interp.ctx.struct_meta(*sid).methods.clone(),
+        )),
         (Ty::Struct(sid), "metamethods") => Ok(LuaValue::Table(
             interp.ctx.struct_meta(*sid).metamethods.clone(),
         )),
         (Ty::Struct(sid), "name") => Ok(LuaValue::str(interp.ctx.types.name(*sid))),
-        (Ty::Ptr(inner) | Ty::Array(inner, _), "type") => {
-            Ok(LuaValue::Type((**inner).clone()))
-        }
+        (Ty::Ptr(inner) | Ty::Array(inner, _), "type") => Ok(LuaValue::Type((**inner).clone())),
         (Ty::Array(_, n), "N") => Ok(LuaValue::Number(*n as f64)),
         (Ty::Vector(s, _), "type") => Ok(LuaValue::Type(Ty::Scalar(*s))),
         (Ty::Vector(_, n), "N") => Ok(LuaValue::Number(*n as f64)),
@@ -151,9 +147,9 @@ pub fn method_call_terra_value(
             crate::typecheck::ensure_compiled(interp, *id, span)?;
             Ok(LuaValue::Nil)
         }
-        (LuaValue::TerraFunc(id), "getname") => Ok(LuaValue::Str(
-            interp.ctx.funcs[id.0 as usize].name.clone().into(),
-        )),
+        (LuaValue::TerraFunc(id), "getname") => {
+            Ok(LuaValue::Str(interp.ctx.funcs[id.0 as usize].name.clone()))
+        }
         (LuaValue::TerraFunc(id), "disas") => {
             crate::typecheck::ensure_compiled(interp, *id, span)?;
             let f = interp
@@ -175,12 +171,10 @@ pub fn method_call_terra_value(
             write_global(interp, &meta, v, span)?;
             Ok(LuaValue::Nil)
         }
-        (LuaValue::Global(g), "getaddress") => {
-            Ok(LuaValue::Number(interp.ctx.globals[g.0 as usize].addr as f64))
-        }
-        (LuaValue::Symbol(s), "istype") => {
-            Ok(LuaValue::Bool(s.ty.borrow().is_some()))
-        }
+        (LuaValue::Global(g), "getaddress") => Ok(LuaValue::Number(
+            interp.ctx.globals[g.0 as usize].addr as f64,
+        )),
+        (LuaValue::Symbol(s), "istype") => Ok(LuaValue::Bool(s.ty.borrow().is_some())),
         _ => Err(LuaError::at(
             format!("no method '{name}' on {} value", obj.type_name()),
             span,
@@ -209,8 +203,9 @@ fn type_method(
         "isunit" => b(*t == Ty::Unit),
         "isprimitive" => b(matches!(t, Ty::Scalar(_))),
         "ispointertostruct" => b(matches!(t, Ty::Ptr(p) if matches!(**p, Ty::Struct(_)))),
-        "ispointertofunction" => b(matches!(t, Ty::Ptr(p) if matches!(**p, Ty::Func(_)))
-            || matches!(t, Ty::Func(_))),
+        "ispointertofunction" => {
+            b(matches!(t, Ty::Ptr(p) if matches!(**p, Ty::Func(_))) || matches!(t, Ty::Func(_)))
+        }
         "sizeof" => {
             if let Ty::Struct(sid) = t {
                 interp.finalize_struct(*sid, span)?;
@@ -218,8 +213,7 @@ fn type_method(
             Ok(LuaValue::Number(t.size(&interp.ctx.types) as f64))
         }
         "isstructorptrtostruct" => b(
-            matches!(t, Ty::Struct(_))
-                || matches!(t, Ty::Ptr(p) if matches!(**p, Ty::Struct(_))),
+            matches!(t, Ty::Struct(_)) || matches!(t, Ty::Ptr(p) if matches!(**p, Ty::Struct(_)))
         ),
         "getmethod" => {
             let LuaValue::Str(name) = args.into_iter().next().unwrap_or(LuaValue::Nil) else {
@@ -237,13 +231,12 @@ fn type_method(
     }
 }
 
-fn read_global(
-    interp: &mut Interp,
-    meta: &crate::context::GlobalMeta,
-) -> EvalResult<Value> {
+fn read_global(interp: &mut Interp, meta: &crate::context::GlobalMeta) -> EvalResult<Value> {
     let mem = &interp.ctx.program.memory;
     let v = match &meta.ty {
-        Ty::Scalar(ScalarTy::F32) => Value::Float(mem.load_f32(meta.addr).map_err(to_lua_err)? as f64),
+        Ty::Scalar(ScalarTy::F32) => {
+            Value::Float(mem.load_f32(meta.addr).map_err(to_lua_err)? as f64)
+        }
         Ty::Scalar(ScalarTy::F64) => Value::Float(mem.load_f64(meta.addr).map_err(to_lua_err)?),
         Ty::Scalar(ScalarTy::Bool) => Value::Bool(mem.load_u8(meta.addr).map_err(to_lua_err)? != 0),
         Ty::Scalar(s) if s.is_integer() => {

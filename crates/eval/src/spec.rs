@@ -296,9 +296,10 @@ impl<'a> Specializer<'a> {
         for p in &def.params {
             match &p.name {
                 DeclName::Ident(n, span) => {
-                    let ty_expr = p.ty.as_ref().ok_or_else(|| {
-                        err(format!("parameter '{n}' requires a type"), *span)
-                    })?;
+                    let ty_expr = p
+                        .ty
+                        .as_ref()
+                        .ok_or_else(|| err(format!("parameter '{n}' requires a type"), *span))?;
                     let ty = self.eval_type(ty_expr)?;
                     let sym = self.interp.ctx.fresh_symbol(n.clone(), Some(ty.clone()));
                     self.env.declare(n.clone(), LuaValue::Symbol(sym.clone()));
@@ -317,10 +318,7 @@ impl<'a> Specializer<'a> {
                             (None, Some(t)) => t,
                             (None, None) => {
                                 return Err(err(
-                                    format!(
-                                        "escaped parameter symbol '{}' has no type",
-                                        sym.name
-                                    ),
+                                    format!("escaped parameter symbol '{}' has no type", sym.name),
                                     *span,
                                 ))
                             }
@@ -412,7 +410,10 @@ impl<'a> Specializer<'a> {
                         Ok(s)
                     }
                     other => Err(err(
-                        format!("expected a symbol in declaration but got {}", other.type_name()),
+                        format!(
+                            "expected a symbol in declaration but got {}",
+                            other.type_name()
+                        ),
                         *span,
                     )),
                 }
@@ -637,12 +638,16 @@ impl<'a> Specializer<'a> {
     fn expr(&mut self, e: &TerraExpr) -> EvalResult<SpecVal> {
         let span = e.span();
         Ok(match e {
-            TerraExpr::Int { value, suffix, span } => {
-                SpecVal::Terra(SpecExpr::new(SpecExprKind::Int(*value, *suffix), *span))
-            }
-            TerraExpr::Float { value, is_f32, span } => {
-                SpecVal::Terra(SpecExpr::new(SpecExprKind::Float(*value, *is_f32), *span))
-            }
+            TerraExpr::Int {
+                value,
+                suffix,
+                span,
+            } => SpecVal::Terra(SpecExpr::new(SpecExprKind::Int(*value, *suffix), *span)),
+            TerraExpr::Float {
+                value,
+                is_f32,
+                span,
+            } => SpecVal::Terra(SpecExpr::new(SpecExprKind::Float(*value, *is_f32), *span)),
             TerraExpr::Bool(b, span) => {
                 SpecVal::Terra(SpecExpr::new(SpecExprKind::Bool(*b), *span))
             }
@@ -667,8 +672,13 @@ impl<'a> Specializer<'a> {
                     // Nested-table sugar: treat `tbl.name` as escaped. Staged
                     // values (globals, quotes, symbols) fall through to a
                     // Terra field access instead.
-                    SpecVal::Lua(v @ (LuaValue::Table(_) | LuaValue::Type(_) | LuaValue::Str(_)), _) => {
-                        let r = self.interp.index_value(&v, &LuaValue::Str(name.clone()), *span)?;
+                    SpecVal::Lua(
+                        v @ (LuaValue::Table(_) | LuaValue::Type(_) | LuaValue::Str(_)),
+                        _,
+                    ) => {
+                        let r = self
+                            .interp
+                            .index_value(&v, &LuaValue::Str(name.clone()), *span)?;
                         SpecVal::Lua(r, *span)
                     }
                     other => {
@@ -684,7 +694,10 @@ impl<'a> Specializer<'a> {
                 let obj = self.expr(obj)?;
                 let key = self.interp.eval_expr(name, &self.env)?;
                 match obj {
-                    SpecVal::Lua(v @ (LuaValue::Table(_) | LuaValue::Type(_) | LuaValue::Str(_)), _) => {
+                    SpecVal::Lua(
+                        v @ (LuaValue::Table(_) | LuaValue::Type(_) | LuaValue::Str(_)),
+                        _,
+                    ) => {
                         let r = self.interp.index_value(&v, &key, *span)?;
                         SpecVal::Lua(r, *span)
                     }
@@ -716,13 +729,9 @@ impl<'a> Specializer<'a> {
                     SpecVal::Lua(LuaValue::Type(t), _) => {
                         // `T[n]` — array type construction.
                         let n = self.expr_terra(index)?;
-                        let len = const_int(&n).ok_or_else(|| {
-                            err("array length must be a constant integer", *span)
-                        })?;
-                        SpecVal::Lua(
-                            LuaValue::Type(Ty::Array(Rc::new(t), len as u64)),
-                            *span,
-                        )
+                        let len = const_int(&n)
+                            .ok_or_else(|| err("array length must be a constant integer", *span))?;
+                        SpecVal::Lua(LuaValue::Type(Ty::Array(Rc::new(t), len as u64)), *span)
                     }
                     SpecVal::Lua(v, _) => {
                         return Err(err(
@@ -756,8 +765,7 @@ impl<'a> Specializer<'a> {
                                 span: *span,
                             })));
                         }
-                        let result =
-                            self.interp.call_value(m.func.clone(), qargs, *span)?;
+                        let result = self.interp.call_value(m.func.clone(), qargs, *span)?;
                         let first = result.into_iter().next().unwrap_or(LuaValue::Nil);
                         SpecVal::Lua(first, *span)
                     }
@@ -790,10 +798,7 @@ impl<'a> Specializer<'a> {
                     other => {
                         let c = other.into_terra(self.interp)?;
                         let args = self.spec_args(args)?;
-                        SpecVal::Terra(SpecExpr::new(
-                            SpecExprKind::Call(Box::new(c), args),
-                            *span,
-                        ))
+                        SpecVal::Terra(SpecExpr::new(SpecExprKind::Call(Box::new(c), args), *span))
                     }
                 }
             }
@@ -805,7 +810,10 @@ impl<'a> Specializer<'a> {
             } => {
                 let obj = self.expr(obj)?;
                 match obj {
-                    SpecVal::Lua(v @ (LuaValue::Global(_) | LuaValue::Quote(_) | LuaValue::Symbol(_)), sp) => {
+                    SpecVal::Lua(
+                        v @ (LuaValue::Global(_) | LuaValue::Quote(_) | LuaValue::Symbol(_)),
+                        sp,
+                    ) => {
                         // Method call on a staged value is a Terra method
                         // call on the spliced term.
                         let o = lua_to_spec(self.interp, v, sp)?;
@@ -960,7 +968,10 @@ pub fn collect_symbols(v: LuaValue, span: Span) -> EvalResult<Vec<SymbolRef>> {
             Ok(out)
         }
         other => Err(err(
-            format!("expected a symbol or list of symbols, got {}", other.type_name()),
+            format!(
+                "expected a symbol or list of symbols, got {}",
+                other.type_name()
+            ),
             span,
         )),
     }

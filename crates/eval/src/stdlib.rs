@@ -28,9 +28,13 @@ fn arg(args: &[LuaValue], i: usize) -> LuaValue {
 }
 
 fn num_arg(args: &[LuaValue], i: usize, who: &str) -> EvalResult<f64> {
-    arg(args, i)
-        .as_number()
-        .ok_or_else(|| LuaError::msg(format!("bad argument #{} to '{}': number expected", i + 1, who)))
+    arg(args, i).as_number().ok_or_else(|| {
+        LuaError::msg(format!(
+            "bad argument #{} to '{}': number expected",
+            i + 1,
+            who
+        ))
+    })
 }
 
 fn str_arg(args: &[LuaValue], i: usize, who: &str) -> EvalResult<Rc<str>> {
@@ -139,9 +143,7 @@ fn install_base(interp: &mut Interp) {
     interp.set_global(
         "select",
         native("select", |_, args| match arg(&args, 0) {
-            LuaValue::Str(s) if &*s == "#" => {
-                Ok(vec![LuaValue::Number((args.len() - 1) as f64)])
-            }
+            LuaValue::Str(s) if &*s == "#" => Ok(vec![LuaValue::Number((args.len() - 1) as f64)]),
             LuaValue::Number(n) => Ok(args.into_iter().skip(n as usize).collect()),
             _ => Err(LuaError::msg("bad argument #1 to 'select'")),
         }),
@@ -165,16 +167,18 @@ fn install_base(interp: &mut Interp) {
     );
     interp.set_global(
         "setmetatable",
-        native("setmetatable", |_, args| match (arg(&args, 0), arg(&args, 1)) {
-            (LuaValue::Table(t), LuaValue::Table(m)) => {
-                t.borrow_mut().meta = Some(m);
-                Ok(vec![arg(&args, 0)])
+        native("setmetatable", |_, args| {
+            match (arg(&args, 0), arg(&args, 1)) {
+                (LuaValue::Table(t), LuaValue::Table(m)) => {
+                    t.borrow_mut().meta = Some(m);
+                    Ok(vec![arg(&args, 0)])
+                }
+                (LuaValue::Table(t), LuaValue::Nil) => {
+                    t.borrow_mut().meta = None;
+                    Ok(vec![arg(&args, 0)])
+                }
+                _ => Err(LuaError::msg("setmetatable: table expected")),
             }
-            (LuaValue::Table(t), LuaValue::Nil) => {
-                t.borrow_mut().meta = None;
-                Ok(vec![arg(&args, 0)])
-            }
-            _ => Err(LuaError::msg("setmetatable: table expected")),
         }),
     );
     interp.set_global(
@@ -193,11 +197,7 @@ fn install_base(interp: &mut Interp) {
     interp.set_global(
         "pairs",
         native("pairs", |it, args| {
-            Ok(vec![
-                it.global("next"),
-                arg(&args, 0),
-                LuaValue::Nil,
-            ])
+            Ok(vec![it.global("next"), arg(&args, 0), LuaValue::Nil])
         }),
     );
     interp.set_global(
@@ -374,7 +374,10 @@ fn install_types(interp: &mut Interp) {
             Ok(vec![LuaValue::Global(id)])
         }),
     );
-    interp.set_global("prefetch", LuaValue::Intrinsic(Intrinsic::C(Builtin::Prefetch)));
+    interp.set_global(
+        "prefetch",
+        LuaValue::Intrinsic(Intrinsic::C(Builtin::Prefetch)),
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -468,8 +471,7 @@ fn install_math(interp: &mut Interp) {
         mb.set_str(
             "randomseed",
             native("randomseed", |it, args| {
-                it.ctx.program.rng_state =
-                    (num_arg(&args, 0, "randomseed")? as u64) | 0x9E37_79B9;
+                it.ctx.program.rng_state = (num_arg(&args, 0, "randomseed")? as u64) | 0x9E37_79B9;
                 Ok(vec![])
             }),
         );
@@ -508,8 +510,7 @@ fn install_string(interp: &mut Interp) {
                     }
                     let conv = bytes[i];
                     i += 1;
-                    let prec: Option<usize> =
-                        spec.split('.').nth(1).and_then(|p| p.parse().ok());
+                    let prec: Option<usize> = spec.split('.').nth(1).and_then(|p| p.parse().ok());
                     let width: Option<usize> = spec
                         .trim_start_matches('-')
                         .split('.')
@@ -532,7 +533,10 @@ fn install_string(interp: &mut Interp) {
                             }
                         }
                         b's' => it.tostring_value(&arg(&args, ai), Span::synthetic())?,
-                        b'q' => format!("{:?}", it.tostring_value(&arg(&args, ai), Span::synthetic())?),
+                        b'q' => format!(
+                            "{:?}",
+                            it.tostring_value(&arg(&args, ai), Span::synthetic())?
+                        ),
                         other => {
                             return Err(LuaError::msg(format!(
                                 "string.format: unsupported conversion '%{}'",
@@ -594,19 +598,25 @@ fn install_string(interp: &mut Interp) {
         sb.set_str(
             "len",
             native("len", |_, args| {
-                Ok(vec![LuaValue::Number(str_arg(&args, 0, "len")?.len() as f64)])
+                Ok(vec![LuaValue::Number(
+                    str_arg(&args, 0, "len")?.len() as f64
+                )])
             }),
         );
         sb.set_str(
             "upper",
             native("upper", |_, args| {
-                Ok(vec![LuaValue::str(str_arg(&args, 0, "upper")?.to_uppercase())])
+                Ok(vec![LuaValue::str(
+                    str_arg(&args, 0, "upper")?.to_uppercase(),
+                )])
             }),
         );
         sb.set_str(
             "lower",
             native("lower", |_, args| {
-                Ok(vec![LuaValue::str(str_arg(&args, 0, "lower")?.to_lowercase())])
+                Ok(vec![LuaValue::str(
+                    str_arg(&args, 0, "lower")?.to_lowercase(),
+                )])
             }),
         );
         sb.set_str(
@@ -854,7 +864,8 @@ fn install_list_meta(interp: &mut Interp) {
         );
     }
     let meta = new_table();
-    meta.borrow_mut().set_str("__index", LuaValue::Table(methods));
+    meta.borrow_mut()
+        .set_str("__index", LuaValue::Table(methods));
     interp.set_global("__terra_list_meta", LuaValue::Table(meta));
 }
 
@@ -1002,8 +1013,7 @@ fn install_terralib(interp: &mut Interp) {
                     ));
                 };
                 let mut ptys = Vec::new();
-                let items: Vec<LuaValue> =
-                    params.borrow().iter_array().cloned().collect();
+                let items: Vec<LuaValue> = params.borrow().iter_array().cloned().collect();
                 for p in items {
                     ptys.push(it.value_to_type(p, Span::synthetic())?);
                 }
@@ -1011,9 +1021,10 @@ fn install_terralib(interp: &mut Interp) {
                     LuaValue::Nil => Ty::Unit,
                     v => it.value_to_type(v, Span::synthetic())?,
                 };
-                Ok(vec![LuaValue::Type(Ty::Func(Rc::new(
-                    terra_ir::FuncTy { params: ptys, ret },
-                )))])
+                Ok(vec![LuaValue::Type(Ty::Func(Rc::new(terra_ir::FuncTy {
+                    params: ptys,
+                    ret,
+                })))])
             }),
         );
         tb.set_str("select", LuaValue::Intrinsic(Intrinsic::Select));
@@ -1052,9 +1063,9 @@ fn install_terralib(interp: &mut Interp) {
                     let sig = crate::typecheck::ensure_signature(it, id, Span::synthetic())?;
                     Ok(vec![LuaValue::Type(Ty::Func(Rc::new(sig)))])
                 }
-                LuaValue::Global(g) => {
-                    Ok(vec![LuaValue::Type(it.ctx.globals[g.0 as usize].ty.clone())])
-                }
+                LuaValue::Global(g) => Ok(vec![LuaValue::Type(
+                    it.ctx.globals[g.0 as usize].ty.clone(),
+                )]),
                 other => Err(LuaError::msg(format!(
                     "terralib.typeof: cannot type a {}",
                     other.type_name()
@@ -1084,13 +1095,19 @@ fn install_terralib(interp: &mut Interp) {
         tb.set_str(
             "istype",
             native("istype", |_, args| {
-                Ok(vec![LuaValue::Bool(matches!(arg(&args, 0), LuaValue::Type(_)))])
+                Ok(vec![LuaValue::Bool(matches!(
+                    arg(&args, 0),
+                    LuaValue::Type(_)
+                ))])
             }),
         );
         tb.set_str(
             "isquote",
             native("isquote", |_, args| {
-                Ok(vec![LuaValue::Bool(matches!(arg(&args, 0), LuaValue::Quote(_)))])
+                Ok(vec![LuaValue::Bool(matches!(
+                    arg(&args, 0),
+                    LuaValue::Quote(_)
+                ))])
             }),
         );
         tb.set_str(
@@ -1141,8 +1158,7 @@ fn install_terralib(interp: &mut Interp) {
                         f.nregs
                     ));
                 }
-                std::fs::write(&*path, out)
-                    .map_err(|e| LuaError::msg(format!("saveobj: {e}")))?;
+                std::fs::write(&*path, out).map_err(|e| LuaError::msg(format!("saveobj: {e}")))?;
                 Ok(vec![])
             }),
         );

@@ -19,8 +19,8 @@ use crate::value::{Intrinsic, LuaValue};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
 use terra_ir::{
-    fold_function, BinKind, Builtin, Callee, CmpKind, ExprKind, FuncId, FuncTy, IrExpr,
-    IrFunction, IrStmt, LocalId, ScalarTy, Ty, UnKind,
+    fold_function, BinKind, Builtin, Callee, CmpKind, ExprKind, FuncId, FuncTy, IrExpr, IrFunction,
+    IrStmt, LocalId, ScalarTy, StmtKind, Ty, UnKind,
 };
 use terra_syntax::{BinOp, IntSuffix, Span, UnOp};
 
@@ -91,6 +91,33 @@ pub fn ensure_signature(interp: &mut Interp, id: FuncId, span: Span) -> EvalResu
     Ok(sig)
 }
 
+/// The evaluator's view of the module for IR verification: function
+/// signatures from staging metadata, global types from the global table.
+struct CtxEnv<'a> {
+    ctx: &'a crate::context::Context,
+}
+
+impl terra_ir::ModuleEnv for CtxEnv<'_> {
+    fn function_sig(&self, id: FuncId) -> terra_ir::EnvEntry<FuncTy> {
+        match self.ctx.funcs.get(id.0 as usize) {
+            // Signatures are computed lazily; a not-yet-checked callee is
+            // opaque, not wrong.
+            Some(meta) => match &meta.sig {
+                Some(sig) => terra_ir::EnvEntry::Known(sig.clone()),
+                None => terra_ir::EnvEntry::Opaque,
+            },
+            None => terra_ir::EnvEntry::Invalid,
+        }
+    }
+
+    fn global_ty(&self, id: terra_ir::GlobalId) -> terra_ir::EnvEntry<Ty> {
+        match self.ctx.globals.get(id.0 as usize) {
+            Some(g) => terra_ir::EnvEntry::Known(g.ty.clone()),
+            None => terra_ir::EnvEntry::Invalid,
+        }
+    }
+}
+
 /// Typechecks, compiles, and links `id` and its whole connected component of
 /// referenced functions (paper Fig. 4). Idempotent.
 pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResult<()> {
@@ -103,11 +130,38 @@ pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResul
     let name = meta.name.clone();
     let (ir, deps) = match meta.ir.take() {
         Some(ir) => (ir, meta.deps.clone()),
-        None => check_function(interp, id)
-            .map_err(|e| e.traced(format!("terra function '{name}'")))?,
+        None => {
+            check_function(interp, id).map_err(|e| e.traced(format!("terra function '{name}'")))?
+        }
     };
     let mut ir = ir;
     fold_function(&mut ir);
+    // Every function passes the IR verifier between lowering and
+    // compilation: a failure here means the typechecker produced
+    // inconsistent IR, and is reported instead of miscompiled. Lint mode
+    // additionally runs the dataflow and bounds analyses, accumulating
+    // warnings on the interpreter.
+    let mut diags = {
+        let env = CtxEnv { ctx: &interp.ctx };
+        if interp.lint {
+            terra_ir::analyze_function(&ir, Some(&interp.ctx.types), &env)
+        } else {
+            match terra_ir::verify_function(&ir, Some(&interp.ctx.types), &env) {
+                Ok(()) => Vec::new(),
+                Err(d) => vec![d],
+            }
+        }
+    };
+    if let Some(err) = diags
+        .iter()
+        .find(|d| d.severity == terra_ir::Severity::Error)
+    {
+        return Err(terr(
+            format!("IR verification failed: {err}"),
+            if err.span.line == 0 { span } else { err.span },
+        ));
+    }
+    interp.diagnostics.append(&mut diags);
     let globals = interp.ctx.global_addrs();
     let compiled = terra_vm::compile(&ir, &interp.ctx.types, &mut interp.ctx.program, &globals);
     interp.ctx.program.define(id, compiled);
@@ -338,7 +392,9 @@ impl Checker<'_> {
                     })
                 } else if matches!(t.ty, Ty::Array(..)) {
                     // Arrays decay to a pointer to their first element.
-                    let Ty::Array(elem, _) = &t.ty else { unreachable!() };
+                    let Ty::Array(elem, _) = &t.ty else {
+                        unreachable!()
+                    };
                     Ok(IrExpr {
                         ty: (**elem).clone().ptr_to(),
                         kind: addr.kind,
@@ -436,7 +492,7 @@ impl Checker<'_> {
             .flat_map(|scope| scope.iter().rev().cloned())
             .collect();
         for c in calls {
-            out.push(IrStmt::Expr(c));
+            out.push(IrStmt::synthesized(Span::synthetic(), StmtKind::Expr(c)));
         }
     }
 
@@ -458,7 +514,7 @@ impl Checker<'_> {
         self.stmts(stmts, out)?;
         let scope = self.defers.pop().expect("pushed above");
         for c in scope.into_iter().rev() {
-            out.push(IrStmt::Expr(c));
+            out.push(IrStmt::synthesized(Span::synthetic(), StmtKind::Expr(c)));
         }
         Ok(())
     }
@@ -495,11 +551,10 @@ impl Checker<'_> {
                     *sym.ty.borrow_mut() = Some(ty.clone());
                     match init {
                         Some((texp, origin)) => {
-                            let texp =
-                                self.convert(texp, &ty, origin.span, Some(origin))?;
+                            let texp = self.convert(texp, &ty, origin.span, Some(origin))?;
                             self.store_into_local(lid, texp, *span, out)?;
                         }
-                        None => self.zero_local(lid, out),
+                        None => self.zero_local(lid, *span, out),
                     }
                     self.flush_prelude(out);
                 }
@@ -533,10 +588,13 @@ impl Checker<'_> {
                     let v = if targets.len() > 1 && v.ty.is_register() {
                         let read = self.read(v.clone(), e.span)?;
                         let tmp = self.add_temp(v.ty.clone(), false);
-                        self.prelude.push(IrStmt::Assign {
-                            dst: tmp,
-                            value: read,
-                        });
+                        self.prelude.push(IrStmt::at(
+                            e.span,
+                            StmtKind::Assign {
+                                dst: tmp,
+                                value: read,
+                            },
+                        ));
                         TExp {
                             ty: v.ty,
                             val: TVal::PlaceReg(tmp),
@@ -564,17 +622,18 @@ impl Checker<'_> {
                     self.flush_prelude(out);
                     let mut then_ir = Vec::new();
                     self.scoped(body, &mut then_ir)?;
-                    let _ = span;
-                    else_ir = vec![IrStmt::If {
-                        cond: c,
-                        then_body: then_ir,
-                        else_body: else_ir,
-                    }];
+                    else_ir = vec![IrStmt::at(
+                        *span,
+                        StmtKind::If {
+                            cond: c,
+                            then_body: then_ir,
+                            else_body: else_ir,
+                        },
+                    )];
                 }
                 out.extend(else_ir);
             }
             SpecStmt::While { cond, body, span } => {
-                let _ = span;
                 let c = self.cond(cond)?;
                 let cond_prelude: Vec<IrStmt> = self.prelude.drain(..).collect();
                 self.loop_defer_depth.push(self.defers.len());
@@ -582,30 +641,41 @@ impl Checker<'_> {
                 self.scoped(body, &mut body_ir)?;
                 self.loop_defer_depth.pop();
                 if cond_prelude.is_empty() {
-                    out.push(IrStmt::While { cond: c, body: body_ir });
+                    out.push(IrStmt::at(
+                        *span,
+                        StmtKind::While {
+                            cond: c,
+                            body: body_ir,
+                        },
+                    ));
                 } else {
                     // while(true) { prelude; if !c break; body }
                     let mut inner = cond_prelude;
-                    inner.push(IrStmt::If {
-                        cond: IrExpr {
-                            ty: Ty::BOOL,
-                            kind: ExprKind::Unary {
-                                op: UnKind::Not,
-                                expr: Box::new(c),
+                    inner.push(IrStmt::at(
+                        *span,
+                        StmtKind::If {
+                            cond: IrExpr {
+                                ty: Ty::BOOL,
+                                kind: ExprKind::Unary {
+                                    op: UnKind::Not,
+                                    expr: Box::new(c),
+                                },
                             },
+                            then_body: vec![IrStmt::synthesized(*span, StmtKind::Break)],
+                            else_body: vec![],
                         },
-                        then_body: vec![IrStmt::Break],
-                        else_body: vec![],
-                    });
+                    ));
                     inner.extend(body_ir);
-                    out.push(IrStmt::While {
-                        cond: IrExpr::boolean(true),
-                        body: inner,
-                    });
+                    out.push(IrStmt::at(
+                        *span,
+                        StmtKind::While {
+                            cond: IrExpr::boolean(true),
+                            body: inner,
+                        },
+                    ));
                 }
             }
             SpecStmt::Repeat { body, cond, span } => {
-                let _ = span;
                 self.loop_defer_depth.push(self.defers.len());
                 let mut inner = Vec::new();
                 self.defers.push(Vec::new());
@@ -614,18 +684,24 @@ impl Checker<'_> {
                 self.flush_prelude(&mut inner);
                 let scope = self.defers.pop().expect("pushed above");
                 for d in scope.into_iter().rev() {
-                    inner.push(IrStmt::Expr(d));
+                    inner.push(IrStmt::synthesized(*span, StmtKind::Expr(d)));
                 }
                 self.loop_defer_depth.pop();
-                inner.push(IrStmt::If {
-                    cond: c,
-                    then_body: vec![IrStmt::Break],
-                    else_body: vec![],
-                });
-                out.push(IrStmt::While {
-                    cond: IrExpr::boolean(true),
-                    body: inner,
-                });
+                inner.push(IrStmt::at(
+                    *span,
+                    StmtKind::If {
+                        cond: c,
+                        then_body: vec![IrStmt::synthesized(*span, StmtKind::Break)],
+                        else_body: vec![],
+                    },
+                ));
+                out.push(IrStmt::at(
+                    *span,
+                    StmtKind::While {
+                        cond: IrExpr::boolean(true),
+                        body: inner,
+                    },
+                ));
             }
             SpecStmt::For {
                 sym,
@@ -673,10 +749,7 @@ impl Checker<'_> {
                         terra_ir::fold_expr(&mut ir);
                         if let ExprKind::ConstInt(v) = ir.kind {
                             if v <= 0 {
-                                return Err(terr(
-                                    "for-loop step must be positive",
-                                    e.span,
-                                ));
+                                return Err(terr("for-loop step must be positive", e.span));
                             }
                         }
                         ir
@@ -694,13 +767,16 @@ impl Checker<'_> {
                 let mut body_ir = Vec::new();
                 self.scoped(body, &mut body_ir)?;
                 self.loop_defer_depth.pop();
-                out.push(IrStmt::For {
-                    var: lid,
-                    start: start_e,
-                    stop: stop_e,
-                    step: step_e,
-                    body: body_ir,
-                });
+                out.push(IrStmt::at(
+                    *span,
+                    StmtKind::For {
+                        var: lid,
+                        start: start_e,
+                        stop: stop_e,
+                        step: step_e,
+                        body: body_ir,
+                    },
+                ));
             }
             SpecStmt::Return(exprs, span) => {
                 match exprs.len() {
@@ -719,7 +795,7 @@ impl Checker<'_> {
                             }
                         }
                         self.emit_defers_from(0, out);
-                        out.push(IrStmt::Return(None));
+                        out.push(IrStmt::at(*span, StmtKind::Return(None)));
                     }
                     1 => {
                         let e = &exprs[0];
@@ -749,15 +825,18 @@ impl Checker<'_> {
                             // deferred calls run.
                             let tmp = self.add_temp(v.ty.clone(), false);
                             let ty = v.ty.clone();
-                            out.push(IrStmt::Assign { dst: tmp, value: v });
+                            out.push(IrStmt::at(*span, StmtKind::Assign { dst: tmp, value: v }));
                             self.emit_defers_from(0, out);
-                            out.push(IrStmt::Return(Some(IrExpr {
-                                ty,
-                                kind: ExprKind::Local(tmp),
-                            })));
+                            out.push(IrStmt::at(
+                                *span,
+                                StmtKind::Return(Some(IrExpr {
+                                    ty,
+                                    kind: ExprKind::Local(tmp),
+                                })),
+                            ));
                         } else {
                             self.emit_defers_from(0, out);
-                            out.push(IrStmt::Return(Some(v)));
+                            out.push(IrStmt::at(*span, StmtKind::Return(Some(v))));
                         }
                     }
                     _ => {
@@ -769,11 +848,12 @@ impl Checker<'_> {
                 }
             }
             SpecStmt::Break(span) => {
-                let depth = *self.loop_defer_depth.last().ok_or_else(|| {
-                    terr("'break' outside of a loop", *span)
-                })?;
+                let depth = *self
+                    .loop_defer_depth
+                    .last()
+                    .ok_or_else(|| terr("'break' outside of a loop", *span))?;
                 self.emit_defers_from(depth, out);
-                out.push(IrStmt::Break);
+                out.push(IrStmt::at(*span, StmtKind::Break));
             }
             SpecStmt::Block(body, _) => {
                 self.scoped(body, out)?;
@@ -783,7 +863,7 @@ impl Checker<'_> {
                 self.flush_prelude(out);
                 if let TVal::R(ir) = t.val {
                     if matches!(ir.kind, ExprKind::Call { .. }) || t.ty == Ty::Unit {
-                        out.push(IrStmt::Expr(ir));
+                        out.push(IrStmt::at(e.span, StmtKind::Expr(ir)));
                     }
                     // Non-call expression statements have no effect; drop.
                 }
@@ -806,7 +886,7 @@ impl Checker<'_> {
         Ok(())
     }
 
-    fn zero_local(&mut self, lid: LocalId, out: &mut Vec<IrStmt>) {
+    fn zero_local(&mut self, lid: LocalId, span: Span, out: &mut Vec<IrStmt>) {
         let ty = self.local_ty(lid);
         if is_aggregate(&ty) {
             let size = ty.size(&self.interp.ctx.types);
@@ -814,36 +894,45 @@ impl Checker<'_> {
                 ty: ty.clone().ptr_to(),
                 kind: ExprKind::LocalAddr(lid),
             };
-            out.push(IrStmt::Expr(IrExpr {
-                ty: Ty::U8.ptr_to(),
-                kind: ExprKind::Call {
-                    callee: Callee::Builtin(Builtin::Memset),
-                    args: vec![
-                        addr,
-                        IrExpr::int32(0),
-                        IrExpr {
-                            ty: Ty::U64,
-                            kind: ExprKind::ConstInt(size as i64),
-                        },
-                    ],
-                },
-            }));
+            out.push(IrStmt::synthesized(
+                span,
+                StmtKind::Expr(IrExpr {
+                    ty: Ty::U8.ptr_to(),
+                    kind: ExprKind::Call {
+                        callee: Callee::Builtin(Builtin::Memset),
+                        args: vec![
+                            addr,
+                            IrExpr::int32(0),
+                            IrExpr {
+                                ty: Ty::U64,
+                                kind: ExprKind::ConstInt(size as i64),
+                            },
+                        ],
+                    },
+                }),
+            ));
             return;
         }
         let zero = zero_of(&ty);
         if self.func.locals[lid.0 as usize].in_memory {
-            out.push(IrStmt::Store {
-                addr: IrExpr {
-                    ty: ty.clone().ptr_to(),
-                    kind: ExprKind::LocalAddr(lid),
+            out.push(IrStmt::synthesized(
+                span,
+                StmtKind::Store {
+                    addr: IrExpr {
+                        ty: ty.clone().ptr_to(),
+                        kind: ExprKind::LocalAddr(lid),
+                    },
+                    value: zero,
                 },
-                value: zero,
-            });
+            ));
         } else {
-            out.push(IrStmt::Assign {
-                dst: lid,
-                value: zero,
-            });
+            out.push(IrStmt::synthesized(
+                span,
+                StmtKind::Assign {
+                    dst: lid,
+                    value: zero,
+                },
+            ));
         }
     }
 
@@ -863,24 +952,30 @@ impl Checker<'_> {
                 kind: ExprKind::LocalAddr(lid),
             };
             self.flush_prelude(out);
-            out.push(IrStmt::CopyMem {
-                dst,
-                src,
-                size: ty.size(&self.interp.ctx.types),
-            });
+            out.push(IrStmt::at(
+                span,
+                StmtKind::CopyMem {
+                    dst,
+                    src,
+                    size: ty.size(&self.interp.ctx.types),
+                },
+            ));
         } else {
             let value = self.read(v, span)?;
             self.flush_prelude(out);
             if slot_mem {
-                out.push(IrStmt::Store {
-                    addr: IrExpr {
-                        ty: ty.clone().ptr_to(),
-                        kind: ExprKind::LocalAddr(lid),
+                out.push(IrStmt::at(
+                    span,
+                    StmtKind::Store {
+                        addr: IrExpr {
+                            ty: ty.clone().ptr_to(),
+                            kind: ExprKind::LocalAddr(lid),
+                        },
+                        value,
                     },
-                    value,
-                });
+                ));
             } else {
-                out.push(IrStmt::Assign { dst: lid, value });
+                out.push(IrStmt::at(span, StmtKind::Assign { dst: lid, value }));
             }
         }
         Ok(())
@@ -899,15 +994,18 @@ impl Checker<'_> {
                 if is_aggregate(&place.ty) {
                     let src = self.addr(v, span)?;
                     self.flush_prelude(out);
-                    out.push(IrStmt::CopyMem {
-                        dst: addr,
-                        src,
-                        size: place.ty.size(&self.interp.ctx.types),
-                    });
+                    out.push(IrStmt::at(
+                        span,
+                        StmtKind::CopyMem {
+                            dst: addr,
+                            src,
+                            size: place.ty.size(&self.interp.ctx.types),
+                        },
+                    ));
                 } else {
                     let value = self.read(v, span)?;
                     self.flush_prelude(out);
-                    out.push(IrStmt::Store { addr, value });
+                    out.push(IrStmt::at(span, StmtKind::Store { addr, value }));
                 }
                 Ok(())
             }
@@ -1068,9 +1166,7 @@ impl Checker<'_> {
             SpecExprKind::Field(obj, name) => self.field(obj, name, span),
             SpecExprKind::Index(obj, idx) => self.index(obj, idx, span),
             SpecExprKind::Call(callee, args) => self.call(callee, args, hint, span),
-            SpecExprKind::MethodCall(obj, name, args) => {
-                self.method_call(obj, name, args, span)
-            }
+            SpecExprKind::MethodCall(obj, name, args) => self.method_call(obj, name, args, span),
             SpecExprKind::StructInit(ty, args) => self.struct_init(ty, args, span),
             SpecExprKind::Bin(op, l, r) => self.binop(*op, l, r, hint, span),
             SpecExprKind::Un(op, x) => self.unop(*op, x, hint, span),
@@ -1095,9 +1191,15 @@ impl Checker<'_> {
                 let t = self.expr(x, None)?;
                 let ty = t.ty.clone();
                 let addr = self.addr(t, span).map_err(|_| {
-                    terr("'&' requires an addressable value (a variable, field, or index)", span)
+                    terr(
+                        "'&' requires an addressable value (a variable, field, or index)",
+                        span,
+                    )
                 })?;
-                Ok(TExp::rvalue(ty.clone().ptr_to(), Self::ptr_to_addr(&ty, addr)))
+                Ok(TExp::rvalue(
+                    ty.clone().ptr_to(),
+                    Self::ptr_to_addr(&ty, addr),
+                ))
             }
             SpecExprKind::LetIn(stmts, inner) => {
                 let mut hoisted = Vec::new();
@@ -1290,14 +1392,15 @@ impl Checker<'_> {
         _hint: Option<&Ty>,
         span: Span,
     ) -> EvalResult<TExp> {
-        let fixed = |c: &mut Self,
-                     b: Builtin,
-                     params: &[Ty],
-                     ret: Ty|
-         -> EvalResult<TExp> {
+        let fixed = |c: &mut Self, b: Builtin, params: &[Ty], ret: Ty| -> EvalResult<TExp> {
             if args.len() != params.len() {
                 return Err(terr(
-                    format!("'{}' expects {} argument(s), got {}", b.name(), params.len(), args.len()),
+                    format!(
+                        "'{}' expects {} argument(s), got {}",
+                        b.name(),
+                        params.len(),
+                        args.len()
+                    ),
                     span,
                 ));
             }
@@ -1332,7 +1435,7 @@ impl Checker<'_> {
                 } else {
                     BinKind::Max
                 };
-                return Ok(TExp::rvalue(
+                Ok(TExp::rvalue(
                     ty.clone(),
                     IrExpr {
                         ty,
@@ -1342,7 +1445,7 @@ impl Checker<'_> {
                             rhs: Box::new(b),
                         },
                     },
-                ));
+                ))
             }
             Intrinsic::Select => {
                 if args.len() != 3 {
@@ -1424,7 +1527,9 @@ impl Checker<'_> {
                         let t = self.expr(a, None)?;
                         // C default argument promotions.
                         let promoted = match &t.ty {
-                            Ty::Scalar(ScalarTy::F32) => self.convert(t, &Ty::F64, a.span, Some(a))?,
+                            Ty::Scalar(ScalarTy::F32) => {
+                                self.convert(t, &Ty::F64, a.span, Some(a))?
+                            }
                             Ty::Scalar(s) if s.is_integer() && s.size() < 4 => {
                                 self.convert(t, &Ty::INT, a.span, Some(a))?
                             }
@@ -1483,7 +1588,13 @@ impl Checker<'_> {
             }
         };
         self.interp.finalize_struct(sid, span)?;
-        let method = self.interp.ctx.struct_meta(sid).methods.borrow().get_str(name);
+        let method = self
+            .interp
+            .ctx
+            .struct_meta(sid)
+            .methods
+            .borrow()
+            .get_str(name);
         let LuaValue::TerraFunc(mid) = method else {
             return Err(terr(
                 format!(
@@ -1589,36 +1700,42 @@ impl Checker<'_> {
         // Zero first when partially initialized.
         if args.len() < fields.len() {
             let size = ty.size(&self.interp.ctx.types);
-            self.prelude.push(IrStmt::Expr(IrExpr {
-                ty: Ty::U8.ptr_to(),
-                kind: ExprKind::Call {
-                    callee: Callee::Builtin(Builtin::Memset),
-                    args: vec![
-                        IrExpr {
-                            ty: Ty::U8.ptr_to(),
-                            kind: ExprKind::LocalAddr(tmp),
-                        },
-                        IrExpr::int32(0),
-                        IrExpr {
-                            ty: Ty::U64,
-                            kind: ExprKind::ConstInt(size as i64),
-                        },
-                    ],
-                },
-            }));
+            self.prelude.push(IrStmt::synthesized(
+                span,
+                StmtKind::Expr(IrExpr {
+                    ty: Ty::U8.ptr_to(),
+                    kind: ExprKind::Call {
+                        callee: Callee::Builtin(Builtin::Memset),
+                        args: vec![
+                            IrExpr {
+                                ty: Ty::U8.ptr_to(),
+                                kind: ExprKind::LocalAddr(tmp),
+                            },
+                            IrExpr::int32(0),
+                            IrExpr {
+                                ty: Ty::U64,
+                                kind: ExprKind::ConstInt(size as i64),
+                            },
+                        ],
+                    },
+                }),
+            ));
         }
         for (i, (fname, fe)) in args.iter().enumerate() {
             let (fname2, offset, fty) = match fname {
                 Some(n) => {
-                    let f = fields.iter().find(|(fn_, _, _)| &**fn_ == &**n).ok_or_else(|| {
-                        terr(
-                            format!(
-                                "struct {} has no field '{n}'",
-                                self.interp.ctx.types.name(*sid)
-                            ),
-                            fe.span,
-                        )
-                    })?;
+                    let f = fields
+                        .iter()
+                        .find(|(fn_, _, _)| **fn_ == **n)
+                        .ok_or_else(|| {
+                            terr(
+                                format!(
+                                    "struct {} has no field '{n}'",
+                                    self.interp.ctx.types.name(*sid)
+                                ),
+                                fe.span,
+                            )
+                        })?;
                     f.clone()
                 }
                 None => fields
@@ -1633,11 +1750,13 @@ impl Checker<'_> {
                 let src = self.addr(t, fe.span)?;
                 let dst = base(&fty, offset);
                 let size = fty.size(&self.interp.ctx.types);
-                self.prelude.push(IrStmt::CopyMem { dst, src, size });
+                self.prelude
+                    .push(IrStmt::at(fe.span, StmtKind::CopyMem { dst, src, size }));
             } else {
                 let v = self.read(t, fe.span)?;
                 let addr = base(&fty, offset);
-                self.prelude.push(IrStmt::Store { addr, value: v });
+                self.prelude
+                    .push(IrStmt::at(fe.span, StmtKind::Store { addr, value: v }));
             }
         }
         Ok(TExp {
@@ -1778,16 +1897,17 @@ impl Checker<'_> {
                                 }),
                             },
                         };
-                        let result = IrExpr::binary(
-                            BinKind::Div,
-                            diff,
-                            IrExpr::int64(size.max(1) as i64),
-                        );
+                        let result =
+                            IrExpr::binary(BinKind::Div, diff, IrExpr::int64(size.max(1) as i64));
                         return Ok(TExp::rvalue(Ty::I64, result));
                     }
                     return Err(terr("invalid pointer arithmetic", span));
                 }
-                let kind = if op == Add { BinKind::Add } else { BinKind::Sub };
+                let kind = if op == Add {
+                    BinKind::Add
+                } else {
+                    BinKind::Sub
+                };
                 self.arith(kind, lt, rt, l, r, span)
             }
             Mul | Div | Mod => {
@@ -1829,7 +1949,11 @@ impl Checker<'_> {
                     return Err(terr("shift requires integer operands", span));
                 }
                 let ty = lt.ty.clone();
-                let kind = if op == Shl { BinKind::Shl } else { BinKind::Shr };
+                let kind = if op == Shl {
+                    BinKind::Shl
+                } else {
+                    BinKind::Shr
+                };
                 let a = self.read(lt, l.span)?;
                 let b = self.read(rt, r.span)?;
                 Ok(TExp::rvalue(
@@ -1916,13 +2040,7 @@ impl Checker<'_> {
         Ok((a, b, target))
     }
 
-    fn unop(
-        &mut self,
-        op: UnOp,
-        x: &SpecExpr,
-        hint: Option<&Ty>,
-        span: Span,
-    ) -> EvalResult<TExp> {
+    fn unop(&mut self, op: UnOp, x: &SpecExpr, hint: Option<&Ty>, span: Span) -> EvalResult<TExp> {
         let t = self.expr(x, hint)?;
         match op {
             UnOp::Neg => {
@@ -2036,7 +2154,13 @@ impl Checker<'_> {
             }
         }
         // Null to any pointer.
-        if matches!(t.val, TVal::R(IrExpr { kind: ExprKind::ConstNull, .. })) && target.is_pointer()
+        if matches!(
+            t.val,
+            TVal::R(IrExpr {
+                kind: ExprKind::ConstNull,
+                ..
+            })
+        ) && target.is_pointer()
         {
             return Ok(Some(TExp::rvalue(
                 target.clone(),
@@ -2096,7 +2220,13 @@ impl Checker<'_> {
             .flatten()
             .collect();
         for sid in candidates {
-            let mm = self.interp.ctx.struct_meta(sid).metamethods.borrow().get_str("__cast");
+            let mm = self
+                .interp
+                .ctx
+                .struct_meta(sid)
+                .metamethods
+                .borrow()
+                .get_str("__cast");
             if !mm.truthy() {
                 continue;
             }
@@ -2166,10 +2296,7 @@ impl Checker<'_> {
             || matches!((&t.ty, target), (Ty::Array(..), Ty::Ptr(_)));
         if ok {
             let v = match (&t.ty, &t.val) {
-                (Ty::Array(..), _) => {
-                    let addr = self.addr(t.clone(), span)?;
-                    addr
-                }
+                (Ty::Array(..), _) => self.addr(t.clone(), span)?,
                 _ => self.read(t, span)?,
             };
             return Ok(TExp::rvalue(
@@ -2202,6 +2329,9 @@ fn zero_of(ty: &Ty) -> IrExpr {
         Ty::Scalar(s) if s.is_float() => ExprKind::ConstFloat(0.0),
         Ty::Scalar(ScalarTy::Bool) => ExprKind::ConstBool(false),
         Ty::Ptr(_) | Ty::Func(_) => ExprKind::ConstNull,
+        // A vector zero is a splat of its element's zero; a bare integer
+        // constant with vector type would be ill-typed IR.
+        Ty::Vector(s, _) => ExprKind::Cast(Box::new(zero_of(&Ty::Scalar(*s)))),
         _ => ExprKind::ConstInt(0),
     };
     IrExpr {

@@ -224,10 +224,9 @@ impl LuaKey {
             LuaValue::Quote(q) => LuaKey::Ref(Rc::as_ptr(q) as usize),
             LuaValue::TerraFunc(id) => LuaKey::Ref(0x1000_0000 + id.0 as usize),
             LuaValue::Global(id) => LuaKey::Ref(0x2000_0000 + id.0 as usize),
-            LuaValue::Type(_)
-            | LuaValue::Macro(_)
-            | LuaValue::Intrinsic(_)
-            | LuaValue::Nil => return None,
+            LuaValue::Type(_) | LuaValue::Macro(_) | LuaValue::Intrinsic(_) | LuaValue::Nil => {
+                return None
+            }
         })
     }
 }

@@ -42,7 +42,10 @@ fn arithmetic_and_precedence() {
 fn string_ops() {
     assert_eq!(eval_str(r#"return "a" .. "b" .. 1"#), "ab1");
     assert_eq!(eval_num(r#"return #"hello""#), 5.0);
-    assert_eq!(eval_str(r#"return string.format("%d-%s-%.2f", 3, "x", 1.5)"#), "3-x-1.50");
+    assert_eq!(
+        eval_str(r#"return string.format("%d-%s-%.2f", 3, "x", 1.5)"#),
+        "3-x-1.50"
+    );
     assert_eq!(eval_str(r#"return string.sub("hello", 2, 4)"#), "ell");
     assert_eq!(eval_str(r#"return string.sub("hello", -3)"#), "llo");
     assert_eq!(eval_str(r#"return string.rep("ab", 3)"#), "ababab");
@@ -70,8 +73,14 @@ fn while_repeat_for() {
         eval_num("local s = 0 repeat s = s + 1 until s >= 5 return s"),
         5.0
     );
-    assert_eq!(eval_num("local s = 0 for i = 1, 10 do s = s + i end return s"), 55.0);
-    assert_eq!(eval_num("local s = 0 for i = 10, 1, -2 do s = s + i end return s"), 30.0);
+    assert_eq!(
+        eval_num("local s = 0 for i = 1, 10 do s = s + i end return s"),
+        55.0
+    );
+    assert_eq!(
+        eval_num("local s = 0 for i = 10, 1, -2 do s = s + i end return s"),
+        30.0
+    );
     assert_eq!(
         eval_num("local s = 0 for i = 1, 10 do if i > 3 then break end s = s + i end return s"),
         6.0
@@ -137,7 +146,10 @@ fn multiple_returns_and_varargs() {
 #[test]
 fn tables_and_length() {
     assert_eq!(eval_num("local t = {1, 2, 3} return #t"), 3.0);
-    assert_eq!(eval_num("local t = {} t[1] = 5 t.x = 7 return t[1] + t.x"), 12.0);
+    assert_eq!(
+        eval_num("local t = {} t[1] = 5 t.x = 7 return t[1] + t.x"),
+        12.0
+    );
     assert_eq!(
         eval_num("local t = {a = 1, b = 2, 10, 20} return t[2] + t.b"),
         22.0
@@ -205,7 +217,10 @@ fn pcall_and_error() {
         return msg
     "#;
     assert!(eval_str(src).contains("boom"));
-    assert_eq!(eval_num("local ok, v = pcall(function() return 9 end) return v"), 9.0);
+    assert_eq!(
+        eval_num("local ok, v = pcall(function() return 9 end) return v"),
+        9.0
+    );
 }
 
 #[test]
@@ -269,10 +284,8 @@ fn generic_for_with_custom_iterator() {
 #[test]
 fn require_loads_registered_modules() {
     let mut t = Interp::new();
-    t.module_sources.insert(
-        "answer".to_string(),
-        "return { value = 42 }".to_string(),
-    );
+    t.module_sources
+        .insert("answer".to_string(), "return { value = 42 }".to_string());
     let out = t.exec("local m = require 'answer' return m.value").unwrap();
     assert!(matches!(out[0], LuaValue::Number(n) if n == 42.0));
     // Cached: same table on second require.

@@ -98,8 +98,14 @@ fn concat_metamethod() {
 
 #[test]
 fn string_library_details() {
-    assert_eq!(eval_num("local s, e = string.find('hello world', 'wor') return s * 100 + e"), 709.0);
-    assert_eq!(eval_str("return string.upper('MiXeD') .. string.lower('MiXeD')"), "MIXEDmixed");
+    assert_eq!(
+        eval_num("local s, e = string.find('hello world', 'wor') return s * 100 + e"),
+        709.0
+    );
+    assert_eq!(
+        eval_str("return string.upper('MiXeD') .. string.lower('MiXeD')"),
+        "MIXEDmixed"
+    );
     assert_eq!(eval_num("return string.byte('A')"), 65.0);
     assert_eq!(eval_str("return string.char(104, 105)"), "hi");
     assert_eq!(eval_str("return ('xyz'):upper()"), "XYZ"); // method sugar on strings
@@ -107,8 +113,14 @@ fn string_library_details() {
 
 #[test]
 fn select_and_unpack() {
-    assert_eq!(eval_num("return select(2, 'a', 'b', 'c') == 'b' and 1 or 0"), 1.0);
-    assert_eq!(eval_num("local a, b = unpack({7, 8}) return a * 10 + b"), 78.0);
+    assert_eq!(
+        eval_num("return select(2, 'a', 'b', 'c') == 'b' and 1 or 0"),
+        1.0
+    );
+    assert_eq!(
+        eval_num("local a, b = unpack({7, 8}) return a * 10 + b"),
+        78.0
+    );
 }
 
 #[test]
@@ -188,7 +200,10 @@ fn varargs_forwarding() {
 fn string_format_padding() {
     assert_eq!(eval_str("return string.format('[%5d]', 42)"), "[   42]");
     assert_eq!(eval_str("return string.format('%x', 255)"), "ff");
-    assert_eq!(eval_str("return string.format('%q', 'he\"y')"), "\"he\\\"y\"");
+    assert_eq!(
+        eval_str("return string.format('%q', 'he\"y')"),
+        "\"he\\\"y\""
+    );
 }
 
 #[test]

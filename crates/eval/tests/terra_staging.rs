@@ -742,7 +742,8 @@ fn ffi_conversions() {
     let out = t.exec("return addf(1.5, 2.25)").unwrap();
     assert!(matches!(out[0], LuaValue::Number(n) if n == 3.75));
     // Booleans.
-    t.exec("terra flip(b : bool) : bool return not b end").unwrap();
+    t.exec("terra flip(b : bool) : bool return not b end")
+        .unwrap();
     let out = t.exec("return flip(true)").unwrap();
     assert!(matches!(out[0], LuaValue::Bool(false)));
 }

@@ -1,0 +1,693 @@
+//! Dataflow analyses over the structured statement tree.
+//!
+//! Three passes, all warning-only:
+//!
+//! * **Use before initialization** — a forward *possible-init* walk. A local
+//!   counts as initialized once any explicit write to it exists on *some*
+//!   path (assignments, stores through its address, or its address escaping
+//!   into a call). Compiler-synthesized zero-initialization (`implicit`
+//!   statements) deliberately does not count: the VM zeroes every `var`, so
+//!   reading one the programmer never wrote is well-defined but almost
+//!   certainly a bug. Using possible- rather than definite-init keeps the
+//!   pass free of false positives on loop-carried patterns (`for i ... a[i]
+//!   = f(i)` then reading `a` after the loop).
+//! * **Dead stores** — a backward liveness walk with a union fixpoint for
+//!   loops. An explicit assignment whose value is never read afterwards and
+//!   has no side effects is flagged.
+//! * **Reachability** — statements after a `return`/`break`, after an `if`
+//!   whose branches both terminate, or after a `while true` with no `break`
+//!   are unreachable; a non-unit function whose body can fall through the
+//!   end is missing a return.
+
+use super::{diag, Diagnostic, Severity};
+use crate::ir::{ExprKind, IrExpr, IrFunction, IrStmt, LocalId, StmtKind};
+use crate::types::Ty;
+use terra_syntax::Span;
+
+pub(super) fn run(f: &IrFunction, diags: &mut Vec<Diagnostic>) {
+    init_pass(f, diags);
+    liveness_pass(f, diags);
+}
+
+/// Dense bitset over local ids.
+#[derive(Clone, PartialEq, Eq)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    fn full(n: usize) -> Self {
+        let mut s = Self::new(n);
+        for i in 0..n {
+            s.insert(LocalId(i as u32));
+        }
+        s
+    }
+
+    fn insert(&mut self, l: LocalId) {
+        let i = l.0 as usize;
+        if i / 64 < self.words.len() {
+            self.words[i / 64] |= 1 << (i % 64);
+        }
+    }
+
+    fn remove(&mut self, l: LocalId) {
+        let i = l.0 as usize;
+        if i / 64 < self.words.len() {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    fn contains(&self, l: LocalId) -> bool {
+        let i = l.0 as usize;
+        i / 64 < self.words.len() && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    fn union(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Forward pass: possible-init + reachability.
+// ---------------------------------------------------------------------------
+
+struct InitWalk<'a> {
+    f: &'a IrFunction,
+    diags: &'a mut Vec<Diagnostic>,
+    init: BitSet,
+    /// Locals already warned about (one finding per local).
+    reported: BitSet,
+    span: Span,
+}
+
+fn init_pass(f: &IrFunction, diags: &mut Vec<Diagnostic>) {
+    let n = f.locals.len();
+    let mut init = BitSet::new(n);
+    for i in 0..f.param_count() {
+        init.insert(LocalId(i as u32));
+    }
+    let mut w = InitWalk {
+        f,
+        diags,
+        init,
+        reported: BitSet::new(n),
+        span: Span::synthetic(),
+    };
+    let falls_through = w.block(&f.body);
+    if falls_through && f.ty.ret != Ty::Unit {
+        let span = f
+            .body
+            .last()
+            .map(|s| s.span)
+            .unwrap_or_else(Span::synthetic);
+        w.diags.push(diag(
+            f,
+            Severity::Warning,
+            "missing-return",
+            span,
+            format!(
+                "function returns {} but control can reach the end of its body",
+                f.ty.ret
+            ),
+        ));
+    }
+}
+
+impl InitWalk<'_> {
+    /// Walks a block, applying init effects and reporting reads of
+    /// never-written locals. Returns whether control can fall through the
+    /// end of the block.
+    fn block(&mut self, stmts: &[IrStmt]) -> bool {
+        let mut reachable = true;
+        let mut warned_unreachable = false;
+        for s in stmts {
+            if !reachable && !s.implicit && !warned_unreachable {
+                self.diags.push(diag(
+                    self.f,
+                    Severity::Warning,
+                    "unreachable-code",
+                    s.span,
+                    "unreachable code".to_string(),
+                ));
+                warned_unreachable = true;
+            }
+            if self.stmt(s) == Flow::Stops {
+                reachable = false;
+            }
+        }
+        reachable
+    }
+
+    fn stmt(&mut self, s: &IrStmt) -> Flow {
+        self.span = s.span;
+        if s.implicit {
+            // Synthesized zero-init and defer expansion: no user-visible
+            // reads or writes.
+            return Flow::Continues;
+        }
+        match &s.kind {
+            StmtKind::Assign { dst, value } => {
+                self.value(value);
+                self.init.insert(*dst);
+            }
+            StmtKind::Store { addr, value } => {
+                self.value(value);
+                self.addr(addr, false);
+            }
+            StmtKind::CopyMem { dst, src, .. } => {
+                self.addr(src, true);
+                self.addr(dst, false);
+            }
+            StmtKind::Expr(e) => self.value(e),
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.value(cond);
+                let entry = self.init.clone();
+                let t = self.block(then_body);
+                let then_exit = std::mem::replace(&mut self.init, entry);
+                let e = self.block(else_body);
+                // Possible-init: a write on either path counts.
+                self.init.union(&then_exit);
+                if !t && !e {
+                    return Flow::Stops;
+                }
+            }
+            StmtKind::While { cond, body } => {
+                // Simulate the back edge for possible-init: anything written
+                // anywhere in the body may be initialized by the time any
+                // statement in it executes again.
+                let mut writes = BitSet::new(self.f.locals.len());
+                collect_writes(body, &mut writes);
+                self.init.union(&writes);
+                self.value(cond);
+                self.block(body);
+                if is_const_true(cond) && !has_toplevel_break(body) {
+                    return Flow::Stops;
+                }
+            }
+            StmtKind::For {
+                var,
+                start,
+                stop,
+                step,
+                body,
+            } => {
+                self.value(start);
+                self.value(stop);
+                self.value(step);
+                self.init.insert(*var);
+                let mut writes = BitSet::new(self.f.locals.len());
+                collect_writes(body, &mut writes);
+                self.init.union(&writes);
+                self.block(body);
+            }
+            StmtKind::Return(v) => {
+                if let Some(e) = v {
+                    self.value(e);
+                }
+                return Flow::Stops;
+            }
+            StmtKind::Break => return Flow::Stops,
+        }
+        Flow::Continues
+    }
+
+    /// Visits an expression evaluated for its value.
+    fn value(&mut self, e: &IrExpr) {
+        match &e.kind {
+            ExprKind::Local(l) => self.read(*l),
+            // A bare address flowing into a value position (usually a call
+            // argument) escapes: assume the callee initializes it.
+            ExprKind::LocalAddr(l) => self.init.insert(*l),
+            ExprKind::Load(a) => self.addr(a, true),
+            ExprKind::Binary { lhs, rhs, .. } | ExprKind::Cmp { lhs, rhs, .. } => {
+                self.value(lhs);
+                self.value(rhs);
+            }
+            ExprKind::Unary { expr, .. } | ExprKind::Cast(expr) => self.value(expr),
+            ExprKind::Call { callee, args } => {
+                if let crate::ir::Callee::Indirect(p) = callee {
+                    self.value(p);
+                }
+                for a in args {
+                    self.value(a);
+                }
+            }
+            ExprKind::Select {
+                cond,
+                then_value,
+                else_value,
+            } => {
+                self.value(cond);
+                self.value(then_value);
+                self.value(else_value);
+            }
+            _ => {}
+        }
+    }
+
+    /// Visits an address expression: peels constant/variable offsets down to
+    /// a `LocalAddr` base, treating the access as a read or write of that
+    /// local. Offset subexpressions are ordinary value reads.
+    fn addr(&mut self, a: &IrExpr, is_read: bool) {
+        match &a.kind {
+            ExprKind::LocalAddr(l) => {
+                if is_read {
+                    self.read(*l);
+                } else {
+                    self.init.insert(*l);
+                }
+            }
+            ExprKind::Binary { lhs, rhs, .. } if a.ty.is_pointer() => {
+                self.addr(lhs, is_read);
+                self.value(rhs);
+            }
+            ExprKind::Cast(inner) => self.addr(inner, is_read),
+            _ => self.value(a),
+        }
+    }
+
+    fn read(&mut self, l: LocalId) {
+        if !self.init.contains(l) && !self.reported.contains(l) {
+            self.reported.insert(l);
+            let name = &self.f.locals[l.0 as usize].name;
+            self.diags.push(diag(
+                self.f,
+                Severity::Warning,
+                "use-before-init",
+                self.span,
+                format!("variable '{name}' is read but never initialized before this point"),
+            ));
+        }
+    }
+}
+
+#[derive(PartialEq)]
+enum Flow {
+    Continues,
+    Stops,
+}
+
+/// Records every local that any statement in `stmts` (recursively) could
+/// write: assignment targets, store/copy destinations, escaping addresses.
+fn collect_writes(stmts: &[IrStmt], out: &mut BitSet) {
+    fn expr(e: &IrExpr, out: &mut BitSet) {
+        if let ExprKind::LocalAddr(l) = e.kind {
+            out.insert(l);
+        }
+        each_child(e, &mut |c| expr(c, out));
+    }
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Assign { dst, value } => {
+                out.insert(*dst);
+                expr(value, out);
+            }
+            StmtKind::Store { addr, value } => {
+                expr(addr, out);
+                expr(value, out);
+            }
+            StmtKind::CopyMem { dst, src, .. } => {
+                expr(dst, out);
+                expr(src, out);
+            }
+            StmtKind::Expr(e) => expr(e, out),
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                expr(cond, out);
+                collect_writes(then_body, out);
+                collect_writes(else_body, out);
+            }
+            StmtKind::While { cond, body } => {
+                expr(cond, out);
+                collect_writes(body, out);
+            }
+            StmtKind::For {
+                var,
+                start,
+                stop,
+                step,
+                body,
+            } => {
+                out.insert(*var);
+                expr(start, out);
+                expr(stop, out);
+                expr(step, out);
+                collect_writes(body, out);
+            }
+            StmtKind::Return(Some(e)) => expr(e, out),
+            StmtKind::Return(None) | StmtKind::Break => {}
+        }
+    }
+}
+
+fn is_const_true(e: &IrExpr) -> bool {
+    matches!(e.kind, ExprKind::ConstBool(true))
+}
+
+/// Whether `stmts` contains a `break` that targets the enclosing loop
+/// (i.e. not inside a nested loop).
+fn has_toplevel_break(stmts: &[IrStmt]) -> bool {
+    stmts.iter().any(|s| match &s.kind {
+        StmtKind::Break => true,
+        StmtKind::If {
+            then_body,
+            else_body,
+            ..
+        } => has_toplevel_break(then_body) || has_toplevel_break(else_body),
+        _ => false,
+    })
+}
+
+fn each_child(e: &IrExpr, f: &mut dyn FnMut(&IrExpr)) {
+    match &e.kind {
+        ExprKind::Load(a) => f(a),
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Cmp { lhs, rhs, .. } => {
+            f(lhs);
+            f(rhs);
+        }
+        ExprKind::Unary { expr, .. } | ExprKind::Cast(expr) => f(expr),
+        ExprKind::Call { callee, args } => {
+            if let crate::ir::Callee::Indirect(p) = callee {
+                f(p);
+            }
+            for a in args {
+                f(a);
+            }
+        }
+        ExprKind::Select {
+            cond,
+            then_value,
+            else_value,
+        } => {
+            f(cond);
+            f(then_value);
+            f(else_value);
+        }
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backward pass: liveness + dead stores.
+// ---------------------------------------------------------------------------
+
+struct Liveness<'a> {
+    f: &'a IrFunction,
+    diags: &'a mut Vec<Diagnostic>,
+}
+
+fn liveness_pass(f: &IrFunction, diags: &mut Vec<Diagnostic>) {
+    let mut lv = Liveness { f, diags };
+    let exit = BitSet::new(f.locals.len());
+    let _ = lv.block(&f.body, exit, true);
+}
+
+impl Liveness<'_> {
+    /// Computes live-in of `stmts` given `live` (live-out). Dead-store
+    /// warnings are emitted only when `report` is set, so loop fixpoint
+    /// iterations stay silent.
+    fn block(&mut self, stmts: &[IrStmt], mut live: BitSet, report: bool) -> BitSet {
+        for s in stmts.iter().rev() {
+            live = self.stmt(s, live, report);
+        }
+        live
+    }
+
+    fn stmt(&mut self, s: &IrStmt, mut live: BitSet, report: bool) -> BitSet {
+        match &s.kind {
+            StmtKind::Assign { dst, value } => {
+                if report && !s.implicit && !live.contains(*dst) && !has_call(value) {
+                    let name = &self.f.locals[dst.0 as usize].name;
+                    self.diags.push(diag(
+                        self.f,
+                        Severity::Warning,
+                        "dead-store",
+                        s.span,
+                        format!("value assigned to '{name}' is never read"),
+                    ));
+                }
+                live.remove(*dst);
+                add_uses(value, &mut live);
+                live
+            }
+            StmtKind::Store { addr, value } => {
+                // Memory is not tracked: stores are gen-only.
+                add_uses(addr, &mut live);
+                add_uses(value, &mut live);
+                live
+            }
+            StmtKind::CopyMem { dst, src, .. } => {
+                add_uses(dst, &mut live);
+                add_uses(src, &mut live);
+                live
+            }
+            StmtKind::Expr(e) => {
+                add_uses(e, &mut live);
+                live
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let t = self.block(then_body, live.clone(), report);
+                let mut e = self.block(else_body, live, report);
+                e.union(&t);
+                add_uses(cond, &mut e);
+                e
+            }
+            StmtKind::While { cond, body } => {
+                let mut boundary = live;
+                add_uses(cond, &mut boundary);
+                loop {
+                    let li = self.block(body, boundary.clone(), false);
+                    let mut next = boundary.clone();
+                    next.union(&li);
+                    if next == boundary {
+                        break;
+                    }
+                    boundary = next;
+                }
+                if report {
+                    let _ = self.block(body, boundary.clone(), true);
+                }
+                boundary
+            }
+            StmtKind::For {
+                var,
+                start,
+                stop,
+                step,
+                body,
+            } => {
+                let mut boundary = live;
+                // The loop variable and bounds are read by the loop header
+                // on every iteration.
+                boundary.insert(*var);
+                add_uses(stop, &mut boundary);
+                add_uses(step, &mut boundary);
+                loop {
+                    let li = self.block(body, boundary.clone(), false);
+                    let mut next = boundary.clone();
+                    next.union(&li);
+                    if next == boundary {
+                        break;
+                    }
+                    boundary = next;
+                }
+                if report {
+                    let _ = self.block(body, boundary.clone(), true);
+                }
+                let mut live_in = boundary;
+                live_in.remove(*var);
+                add_uses(start, &mut live_in);
+                add_uses(stop, &mut live_in);
+                add_uses(step, &mut live_in);
+                live_in
+            }
+            StmtKind::Return(v) => {
+                let mut live = BitSet::new(self.f.locals.len());
+                if let Some(e) = v {
+                    add_uses(e, &mut live);
+                }
+                live
+            }
+            // `break` jumps to the loop exit, whose liveness this structured
+            // walk doesn't thread through; assume everything is live to stay
+            // free of false dead-store positives.
+            StmtKind::Break => BitSet::full(self.f.locals.len()),
+        }
+    }
+}
+
+/// Adds every local mentioned by `e` (reads and address-takes) to `live`.
+fn add_uses(e: &IrExpr, live: &mut BitSet) {
+    match e.kind {
+        ExprKind::Local(l) | ExprKind::LocalAddr(l) => live.insert(l),
+        _ => {}
+    }
+    each_child(e, &mut |c| add_uses(c, live));
+}
+
+fn has_call(e: &IrExpr) -> bool {
+    if matches!(e.kind, ExprKind::Call { .. }) {
+        return true;
+    }
+    let mut found = false;
+    each_child(e, &mut |c| found |= has_call(c));
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{analyze_function, NoEnv};
+    use crate::ir::{CmpKind, IrExpr, IrFunction, IrStmt, StmtKind};
+    use crate::types::{FuncTy, Ty};
+
+    fn int_fn(name: &str) -> IrFunction {
+        IrFunction {
+            name: name.into(),
+            ty: FuncTy {
+                params: vec![],
+                ret: Ty::INT,
+            },
+            locals: vec![],
+            body: vec![],
+        }
+    }
+
+    fn codes(f: &IrFunction) -> Vec<&'static str> {
+        analyze_function(f, None, &NoEnv)
+            .into_iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn flags_use_before_init() {
+        let mut f = int_fn("ubi");
+        let x = f.add_local("x", Ty::INT, false);
+        // var x : int  (implicit zero-init)  ;  return x
+        f.body = vec![
+            IrStmt::synthesized(
+                terra_syntax::Span::synthetic(),
+                StmtKind::Assign {
+                    dst: x,
+                    value: IrExpr::int32(0),
+                },
+            ),
+            StmtKind::Return(Some(IrExpr::local(x, Ty::INT))).into(),
+        ];
+        assert!(codes(&f).contains(&"use-before-init"), "{:?}", codes(&f));
+    }
+
+    #[test]
+    fn initialized_variable_is_clean() {
+        let mut f = int_fn("ok");
+        let x = f.add_local("x", Ty::INT, false);
+        f.body = vec![
+            StmtKind::Assign {
+                dst: x,
+                value: IrExpr::int32(7),
+            }
+            .into(),
+            StmtKind::Return(Some(IrExpr::local(x, Ty::INT))).into(),
+        ];
+        assert!(codes(&f).is_empty(), "{:?}", codes(&f));
+    }
+
+    #[test]
+    fn loop_body_writes_count_as_init() {
+        let mut f = int_fn("loop_init");
+        let x = f.add_local("x", Ty::INT, false);
+        let i = f.add_local("i", Ty::INT, false);
+        f.body = vec![
+            StmtKind::For {
+                var: i,
+                start: IrExpr::int32(0),
+                stop: IrExpr::int32(4),
+                step: IrExpr::int32(1),
+                body: vec![StmtKind::Assign {
+                    dst: x,
+                    value: IrExpr::local(i, Ty::INT),
+                }
+                .into()],
+            }
+            .into(),
+            StmtKind::Return(Some(IrExpr::local(x, Ty::INT))).into(),
+        ];
+        assert!(!codes(&f).contains(&"use-before-init"), "{:?}", codes(&f));
+    }
+
+    #[test]
+    fn flags_dead_store() {
+        let mut f = int_fn("ds");
+        let x = f.add_local("x", Ty::INT, false);
+        f.body = vec![
+            StmtKind::Assign {
+                dst: x,
+                value: IrExpr::int32(1),
+            }
+            .into(),
+            StmtKind::Assign {
+                dst: x,
+                value: IrExpr::int32(2),
+            }
+            .into(),
+            StmtKind::Return(Some(IrExpr::local(x, Ty::INT))).into(),
+        ];
+        assert_eq!(codes(&f), vec!["dead-store"]);
+    }
+
+    #[test]
+    fn flags_unreachable_code() {
+        let mut f = int_fn("unreach");
+        f.body = vec![
+            StmtKind::Return(Some(IrExpr::int32(1))).into(),
+            StmtKind::Return(Some(IrExpr::int32(2))).into(),
+        ];
+        assert_eq!(codes(&f), vec!["unreachable-code"]);
+    }
+
+    #[test]
+    fn flags_missing_return() {
+        let mut f = int_fn("noreturn");
+        let x = f.add_local("x", Ty::INT, false);
+        f.body = vec![StmtKind::If {
+            cond: IrExpr::cmp(CmpKind::Gt, IrExpr::int32(1), IrExpr::int32(0)),
+            then_body: vec![StmtKind::Return(Some(IrExpr::local(x, Ty::INT))).into()],
+            else_body: vec![],
+        }
+        .into()];
+        // x is also read before init in the then-arm.
+        let c = codes(&f);
+        assert!(c.contains(&"missing-return"), "{c:?}");
+    }
+
+    #[test]
+    fn infinite_loop_satisfies_return() {
+        let mut f = int_fn("spin");
+        f.body = vec![StmtKind::While {
+            cond: IrExpr::boolean(true),
+            body: vec![],
+        }
+        .into()];
+        assert!(!codes(&f).contains(&"missing-return"), "{:?}", codes(&f));
+    }
+}

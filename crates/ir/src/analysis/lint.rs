@@ -1,0 +1,332 @@
+//! Pointer/bounds lints.
+//!
+//! After constant folding, an indexing expression whose index was a constant
+//! is a pointer `Add` with a constant byte offset hanging off a `LocalAddr`
+//! or `GlobalAddr` base. When the base's declared type is known, the whole
+//! access range is statically decidable: flag accesses that fall outside the
+//! object, and vector loads/stores whose constant offset breaks element
+//! alignment.
+
+use super::{diag, Diagnostic, Severity};
+use crate::ir::{BinKind, ExprKind, IrExpr, IrFunction, IrStmt, LocalId, StmtKind};
+use crate::types::{Ty, TypeRegistry};
+use terra_syntax::Span;
+
+pub(super) fn run(f: &IrFunction, types: &TypeRegistry, diags: &mut Vec<Diagnostic>) {
+    let mut l = Linter {
+        f,
+        types,
+        diags,
+        span: Span::synthetic(),
+    };
+    l.stmts(&f.body);
+}
+
+struct Linter<'a> {
+    f: &'a IrFunction,
+    types: &'a TypeRegistry,
+    diags: &'a mut Vec<Diagnostic>,
+    span: Span,
+}
+
+/// Base object of a constant-offset address chain.
+enum Base {
+    Local(LocalId),
+    Global,
+}
+
+/// Peels `base + c1 + c2 + …` (and pointer casts) down to an address base,
+/// accumulating the constant byte offset. Returns `None` when any offset is
+/// dynamic or the base isn't a direct object address.
+fn peel(e: &IrExpr) -> Option<(Base, i64)> {
+    match &e.kind {
+        ExprKind::LocalAddr(l) => Some((Base::Local(*l), 0)),
+        ExprKind::GlobalAddr(_) => Some((Base::Global, 0)),
+        ExprKind::Binary {
+            op: BinKind::Add,
+            lhs,
+            rhs,
+        } if e.ty.is_pointer() => {
+            let (base, off) = peel(lhs)?;
+            match rhs.kind {
+                ExprKind::ConstInt(k) => Some((base, off.wrapping_add(k))),
+                _ => None,
+            }
+        }
+        ExprKind::Cast(inner) if e.ty.is_pointer() => peel(inner),
+        _ => None,
+    }
+}
+
+impl Linter<'_> {
+    fn warn(&mut self, code: &'static str, message: String) {
+        self.diags
+            .push(diag(self.f, Severity::Warning, code, self.span, message));
+    }
+
+    /// Size of `t` if every struct it references is finalized.
+    fn size_of(&self, t: &Ty) -> Option<u64> {
+        match t {
+            Ty::Struct(id) => {
+                if (id.0 as usize) < self.types.len() && self.types.is_finalized(*id) {
+                    Some(self.types.layout(*id).size)
+                } else {
+                    None
+                }
+            }
+            Ty::Array(inner, n) => self.size_of(inner).map(|s| s * n),
+            other => Some(other.size(self.types)),
+        }
+    }
+
+    fn stmts(&mut self, body: &[IrStmt]) {
+        for s in body {
+            self.span = s.span;
+            match &s.kind {
+                StmtKind::Assign { value, .. } => self.expr(value),
+                StmtKind::Store { addr, value } => {
+                    self.expr(addr);
+                    self.expr(value);
+                    self.access(addr, &value.ty, "store");
+                }
+                StmtKind::CopyMem { dst, src, size } => {
+                    self.expr(dst);
+                    self.expr(src);
+                    self.range(dst, *size, "copy destination");
+                    self.range(src, *size, "copy source");
+                }
+                StmtKind::Expr(e) => self.expr(e),
+                StmtKind::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    self.expr(cond);
+                    self.stmts(then_body);
+                    self.stmts(else_body);
+                }
+                StmtKind::While { cond, body } => {
+                    self.expr(cond);
+                    self.stmts(body);
+                }
+                StmtKind::For {
+                    start,
+                    stop,
+                    step,
+                    body,
+                    ..
+                } => {
+                    self.expr(start);
+                    self.expr(stop);
+                    self.expr(step);
+                    self.stmts(body);
+                }
+                StmtKind::Return(Some(e)) => self.expr(e),
+                StmtKind::Return(None) | StmtKind::Break => {}
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &IrExpr) {
+        if let ExprKind::Load(a) = &e.kind {
+            self.access(a, &e.ty, "load");
+        }
+        match &e.kind {
+            ExprKind::Load(a) => self.expr(a),
+            ExprKind::Binary { lhs, rhs, .. } | ExprKind::Cmp { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            ExprKind::Unary { expr, .. } | ExprKind::Cast(expr) => self.expr(expr),
+            ExprKind::Call { callee, args } => {
+                if let crate::ir::Callee::Indirect(p) = callee {
+                    self.expr(p);
+                }
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ExprKind::Select {
+                cond,
+                then_value,
+                else_value,
+            } => {
+                self.expr(cond);
+                self.expr(then_value);
+                self.expr(else_value);
+            }
+            _ => {}
+        }
+    }
+
+    /// Checks a load/store of `value_ty` through address `addr`.
+    fn access(&mut self, addr: &IrExpr, value_ty: &Ty, what: &str) {
+        let Some(access_size) = self.size_of(value_ty) else {
+            return;
+        };
+        self.range(addr, access_size, what);
+        if let Ty::Vector(s, _) = value_ty {
+            if let Some((_, off)) = peel(addr) {
+                let elem = s.size() as i64;
+                if off % elem != 0 {
+                    self.warn(
+                        "misaligned-vector",
+                        format!(
+                            "{what} of {value_ty} at byte offset {off}, which is not a multiple \
+                             of the {elem}-byte element size"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Checks that `[offset, offset + size)` fits inside the object `addr`
+    /// points into, when both are statically known.
+    fn range(&mut self, addr: &IrExpr, size: u64, what: &str) {
+        let Some((base, off)) = peel(addr) else {
+            return;
+        };
+        let (obj_ty, name) = match base {
+            Base::Local(l) => {
+                let Some(slot) = self.f.locals.get(l.0 as usize) else {
+                    return;
+                };
+                (slot.ty.clone(), slot.name.clone())
+            }
+            // Global object types aren't threaded into the linter; their
+            // accesses are checked dynamically by the sanitizer instead.
+            Base::Global => return,
+        };
+        let Some(obj_size) = self.size_of(&obj_ty) else {
+            return;
+        };
+        if off < 0 || (off as u64).saturating_add(size) > obj_size {
+            self.warn(
+                "out-of-bounds",
+                format!(
+                    "{what} of {size} byte(s) at offset {off} of '{name}', \
+                     which is {obj_size} byte(s) ({obj_ty})"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{analyze_function, NoEnv};
+    use crate::ir::{BinKind, ExprKind, IrExpr, IrFunction, StmtKind};
+    use crate::types::{FuncTy, ScalarTy, Ty, TypeRegistry};
+    use std::rc::Rc;
+
+    fn array_fn(elem: Ty, n: u64) -> (IrFunction, crate::ir::LocalId) {
+        let mut f = IrFunction {
+            name: "t".into(),
+            ty: FuncTy {
+                params: vec![],
+                ret: Ty::Unit,
+            },
+            locals: vec![],
+            body: vec![],
+        };
+        let a = f.add_local("a", Ty::Array(Rc::new(elem), n), true);
+        (f, a)
+    }
+
+    fn load_at(base: crate::ir::LocalId, elem: Ty, byte_off: i64) -> IrExpr {
+        let addr = IrExpr {
+            ty: elem.clone().ptr_to(),
+            kind: ExprKind::Binary {
+                op: BinKind::Add,
+                lhs: Box::new(IrExpr {
+                    ty: elem.clone().ptr_to(),
+                    kind: ExprKind::LocalAddr(base),
+                }),
+                rhs: Box::new(IrExpr::int64(byte_off)),
+            },
+        };
+        IrExpr {
+            ty: elem,
+            kind: ExprKind::Load(Box::new(addr)),
+        }
+    }
+
+    fn codes(f: &IrFunction, reg: &TypeRegistry) -> Vec<&'static str> {
+        analyze_function(f, Some(reg), &NoEnv)
+            .into_iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn flags_constant_oob_index() {
+        let reg = TypeRegistry::new();
+        let (mut f, a) = array_fn(Ty::INT, 4);
+        // a[5] → byte offset 20 of a 16-byte array.
+        f.body = vec![
+            StmtKind::Store {
+                addr: IrExpr {
+                    ty: Ty::INT.ptr_to(),
+                    kind: ExprKind::LocalAddr(a),
+                },
+                value: IrExpr::int32(1),
+            }
+            .into(),
+            StmtKind::Expr(load_at(a, Ty::INT, 20)).into(),
+            StmtKind::Return(None).into(),
+        ];
+        assert!(
+            codes(&f, &reg).contains(&"out-of-bounds"),
+            "{:?}",
+            codes(&f, &reg)
+        );
+    }
+
+    #[test]
+    fn in_bounds_access_is_clean() {
+        let reg = TypeRegistry::new();
+        let (mut f, a) = array_fn(Ty::INT, 4);
+        f.body = vec![
+            StmtKind::Store {
+                addr: IrExpr {
+                    ty: Ty::INT.ptr_to(),
+                    kind: ExprKind::LocalAddr(a),
+                },
+                value: IrExpr::int32(1),
+            }
+            .into(),
+            StmtKind::Expr(load_at(a, Ty::INT, 12)).into(),
+            StmtKind::Return(None).into(),
+        ];
+        assert!(codes(&f, &reg).is_empty(), "{:?}", codes(&f, &reg));
+    }
+
+    #[test]
+    fn flags_misaligned_vector_load() {
+        let reg = TypeRegistry::new();
+        let vec4 = Ty::Vector(ScalarTy::F32, 4);
+        let (mut f, a) = array_fn(Ty::F32, 16);
+        f.body = vec![
+            StmtKind::Store {
+                addr: IrExpr {
+                    ty: Ty::F32.ptr_to(),
+                    kind: ExprKind::LocalAddr(a),
+                },
+                value: IrExpr {
+                    ty: Ty::F32,
+                    kind: ExprKind::ConstFloat(0.0),
+                },
+            }
+            .into(),
+            // 6 is not a multiple of the 4-byte element size.
+            StmtKind::Expr(load_at(a, vec4, 6)).into(),
+            StmtKind::Return(None).into(),
+        ];
+        assert!(
+            codes(&f, &reg).contains(&"misaligned-vector"),
+            "{:?}",
+            codes(&f, &reg)
+        );
+    }
+}

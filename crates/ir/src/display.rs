@@ -1,6 +1,6 @@
 //! Pretty-printing of IR functions, for debugging and golden tests.
 
-use crate::ir::{Callee, ExprKind, IrExpr, IrFunction, IrStmt};
+use crate::ir::{Callee, ExprKind, IrExpr, IrFunction, IrStmt, StmtKind};
 use std::fmt::Write;
 
 /// Renders a function as indented pseudo-code.
@@ -51,20 +51,20 @@ fn indent(n: usize, out: &mut String) {
 fn dump_stmts(stmts: &[IrStmt], depth: usize, out: &mut String) {
     for s in stmts {
         indent(depth, out);
-        match s {
-            IrStmt::Assign { dst, value } => {
+        match &s.kind {
+            StmtKind::Assign { dst, value } => {
                 let _ = writeln!(out, "l{} = {}", dst.0, expr(value));
             }
-            IrStmt::Store { addr, value } => {
+            StmtKind::Store { addr, value } => {
                 let _ = writeln!(out, "store {} <- {}", expr(addr), expr(value));
             }
-            IrStmt::CopyMem { dst, src, size } => {
+            StmtKind::CopyMem { dst, src, size } => {
                 let _ = writeln!(out, "copy {} <- {} [{} bytes]", expr(dst), expr(src), size);
             }
-            IrStmt::Expr(e) => {
+            StmtKind::Expr(e) => {
                 let _ = writeln!(out, "{}", expr(e));
             }
-            IrStmt::If {
+            StmtKind::If {
                 cond,
                 then_body,
                 else_body,
@@ -79,13 +79,13 @@ fn dump_stmts(stmts: &[IrStmt], depth: usize, out: &mut String) {
                 indent(depth, out);
                 out.push_str("end\n");
             }
-            IrStmt::While { cond, body } => {
+            StmtKind::While { cond, body } => {
                 let _ = writeln!(out, "while {} do", expr(cond));
                 dump_stmts(body, depth + 1, out);
                 indent(depth, out);
                 out.push_str("end\n");
             }
-            IrStmt::For {
+            StmtKind::For {
                 var,
                 start,
                 stop,
@@ -104,11 +104,11 @@ fn dump_stmts(stmts: &[IrStmt], depth: usize, out: &mut String) {
                 indent(depth, out);
                 out.push_str("end\n");
             }
-            IrStmt::Return(Some(e)) => {
+            StmtKind::Return(Some(e)) => {
                 let _ = writeln!(out, "return {}", expr(e));
             }
-            IrStmt::Return(None) => out.push_str("return\n"),
-            IrStmt::Break => out.push_str("break\n"),
+            StmtKind::Return(None) => out.push_str("return\n"),
+            StmtKind::Break => out.push_str("break\n"),
         }
     }
 }
@@ -176,34 +176,34 @@ mod tests {
         let acc = f.add_local("acc", Ty::INT, false);
         let i = f.add_local("i", Ty::INT, false);
         f.body = vec![
-            IrStmt::Assign {
+            StmtKind::Assign {
                 dst: acc,
                 value: IrExpr::int32(0),
-            },
-            IrStmt::For {
+            }
+            .into(),
+            StmtKind::For {
                 var: i,
                 start: IrExpr::int32(0),
                 stop: IrExpr::local(n, Ty::INT),
                 step: IrExpr::int32(1),
-                body: vec![IrStmt::Assign {
+                body: vec![StmtKind::Assign {
                     dst: acc,
                     value: IrExpr::binary(
                         BinKind::Add,
                         IrExpr::local(acc, Ty::INT),
                         IrExpr::local(i, Ty::INT),
                     ),
-                }],
-            },
-            IrStmt::If {
-                cond: IrExpr::cmp(
-                    CmpKind::Gt,
-                    IrExpr::local(acc, Ty::INT),
-                    IrExpr::int32(10),
-                ),
-                then_body: vec![IrStmt::Return(Some(IrExpr::local(acc, Ty::INT)))],
+                }
+                .into()],
+            }
+            .into(),
+            StmtKind::If {
+                cond: IrExpr::cmp(CmpKind::Gt, IrExpr::local(acc, Ty::INT), IrExpr::int32(10)),
+                then_body: vec![StmtKind::Return(Some(IrExpr::local(acc, Ty::INT))).into()],
                 else_body: vec![],
-            },
-            IrStmt::Return(Some(IrExpr::int32(0))),
+            }
+            .into(),
+            StmtKind::Return(Some(IrExpr::int32(0))).into(),
         ];
         let text = dump_function(&f);
         assert!(text.contains("for l2 = 0, l0, 1 do"), "{text}");

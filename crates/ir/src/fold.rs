@@ -7,28 +7,45 @@
 //! floating-point identities are restricted to the NaN-safe `x*1.0` and the
 //! constant-only cases.
 
-use crate::ir::{BinKind, CmpKind, ExprKind, IrExpr, IrFunction, IrStmt, UnKind};
+use crate::ir::{BinKind, CmpKind, ExprKind, IrExpr, IrFunction, IrStmt, StmtKind, UnKind};
 use crate::types::{ScalarTy, Ty};
 
 /// Folds constants in-place throughout a function body.
+///
+/// In debug builds, a function that verified cleanly before folding is
+/// re-verified afterwards; a fold pass that breaks type consistency is a
+/// compiler bug and panics immediately rather than miscompiling.
 pub fn fold_function(f: &mut IrFunction) {
+    #[cfg(debug_assertions)]
+    let was_consistent = crate::analysis::verify_function(f, None, &crate::analysis::NoEnv).is_ok();
+
     fold_stmts(&mut f.body);
+
+    #[cfg(debug_assertions)]
+    if was_consistent {
+        if let Err(d) = crate::analysis::verify_function(f, None, &crate::analysis::NoEnv) {
+            panic!(
+                "constant folding broke IR consistency in '{}': {}",
+                f.name, d
+            );
+        }
+    }
 }
 
 fn fold_stmts(stmts: &mut Vec<IrStmt>) {
     for s in stmts.iter_mut() {
-        match s {
-            IrStmt::Assign { value, .. } => fold_expr(value),
-            IrStmt::Store { addr, value } => {
+        match &mut s.kind {
+            StmtKind::Assign { value, .. } => fold_expr(value),
+            StmtKind::Store { addr, value } => {
                 fold_expr(addr);
                 fold_expr(value);
             }
-            IrStmt::CopyMem { dst, src, .. } => {
+            StmtKind::CopyMem { dst, src, .. } => {
                 fold_expr(dst);
                 fold_expr(src);
             }
-            IrStmt::Expr(e) => fold_expr(e),
-            IrStmt::If {
+            StmtKind::Expr(e) => fold_expr(e),
+            StmtKind::If {
                 cond,
                 then_body,
                 else_body,
@@ -37,11 +54,11 @@ fn fold_stmts(stmts: &mut Vec<IrStmt>) {
                 fold_stmts(then_body);
                 fold_stmts(else_body);
             }
-            IrStmt::While { cond, body } => {
+            StmtKind::While { cond, body } => {
                 fold_expr(cond);
                 fold_stmts(body);
             }
-            IrStmt::For {
+            StmtKind::For {
                 start,
                 stop,
                 step,
@@ -53,26 +70,38 @@ fn fold_stmts(stmts: &mut Vec<IrStmt>) {
                 fold_expr(step);
                 fold_stmts(body);
             }
-            IrStmt::Return(Some(e)) => fold_expr(e),
-            IrStmt::Return(None) | IrStmt::Break => {}
+            StmtKind::Return(Some(e)) => fold_expr(e),
+            StmtKind::Return(None) | StmtKind::Break => {}
         }
     }
     // Statically-decided `if`s collapse to one arm.
     let mut out: Vec<IrStmt> = Vec::with_capacity(stmts.len());
     for s in stmts.drain(..) {
-        match s {
-            IrStmt::If {
-                cond:
-                    IrExpr {
-                        kind: ExprKind::ConstBool(b),
-                        ..
-                    },
+        let const_if = matches!(
+            &s.kind,
+            StmtKind::If {
+                cond: IrExpr {
+                    kind: ExprKind::ConstBool(_),
+                    ..
+                },
+                ..
+            }
+        );
+        if const_if {
+            let StmtKind::If {
+                cond,
                 then_body,
                 else_body,
-            } => {
-                out.extend(if b { then_body } else { else_body });
-            }
-            other => out.push(other),
+            } = s.kind
+            else {
+                unreachable!()
+            };
+            let ExprKind::ConstBool(b) = cond.kind else {
+                unreachable!()
+            };
+            out.extend(if b { then_body } else { else_body });
+        } else {
+            out.push(s);
         }
     }
     *stmts = out;
@@ -233,12 +262,13 @@ fn fold_float_binary(op: BinKind, lhs: &IrExpr, rhs: &IrExpr) -> Option<ExprKind
         return Some(ExprKind::ConstFloat(v));
     }
     // NaN-safe identities only.
-    match (op, float_const(lhs), float_const(rhs)) {
-        (BinKind::Mul, Some(c), _) if c == 1.0 => Some(rhs.kind.clone()),
-        (BinKind::Mul, _, Some(c)) | (BinKind::Div, _, Some(c)) if c == 1.0 => {
-            Some(lhs.kind.clone())
-        }
-        _ => None,
+    let (lc, rc) = (float_const(lhs), float_const(rhs));
+    if op == BinKind::Mul && lc == Some(1.0) {
+        Some(rhs.kind.clone())
+    } else if matches!(op, BinKind::Mul | BinKind::Div) && rc == Some(1.0) {
+        Some(lhs.kind.clone())
+    } else {
+        None
     }
 }
 
@@ -442,14 +472,14 @@ mod tests {
                 ret: Ty::Unit,
             },
             locals: vec![],
-            body: vec![IrStmt::If {
+            body: vec![IrStmt::new(StmtKind::If {
                 cond: IrExpr::cmp(CmpKind::Gt, IrExpr::int32(3), IrExpr::int32(2)),
-                then_body: vec![IrStmt::Return(None)],
-                else_body: vec![IrStmt::Break],
-            }],
+                then_body: vec![StmtKind::Return(None).into()],
+                else_body: vec![StmtKind::Break.into()],
+            })],
         };
         fold_function(&mut f);
-        assert_eq!(f.body, vec![IrStmt::Return(None)]);
+        assert_eq!(f.body, vec![StmtKind::Return(None).into()]);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::types::{FuncTy, Ty};
 use std::rc::Rc;
+use terra_syntax::Span;
 
 /// Handle to a Terra function in a program's function table. This is the
 /// formal semantics' *function address* `l`: it is allocated at declaration
@@ -249,9 +250,68 @@ pub enum ExprKind {
     },
 }
 
-/// A typed IR statement.
+/// A typed IR statement: a [`StmtKind`] plus source metadata.
+///
+/// The span and `implicit` flag are diagnostic metadata: equality compares
+/// only the `kind`, so structural tests are unaffected by where a statement
+/// was lowered from.
+#[derive(Debug, Clone)]
+pub struct IrStmt {
+    /// Source location this statement was lowered from; synthetic when the
+    /// statement has no direct source counterpart.
+    pub span: Span,
+    /// `true` for compiler-synthesized statements (implicit
+    /// zero-initialization, defer expansion). Dataflow lints don't treat
+    /// these as deliberate user writes.
+    pub implicit: bool,
+    /// The operation itself.
+    pub kind: StmtKind,
+}
+
+impl IrStmt {
+    /// Statement with a synthetic span.
+    pub fn new(kind: StmtKind) -> Self {
+        IrStmt {
+            span: Span::synthetic(),
+            implicit: false,
+            kind,
+        }
+    }
+
+    /// Statement lowered from source at `span`.
+    pub fn at(span: Span, kind: StmtKind) -> Self {
+        IrStmt {
+            span,
+            implicit: false,
+            kind,
+        }
+    }
+
+    /// Compiler-synthesized statement attributed to `span`.
+    pub fn synthesized(span: Span, kind: StmtKind) -> Self {
+        IrStmt {
+            span,
+            implicit: true,
+            kind,
+        }
+    }
+}
+
+impl From<StmtKind> for IrStmt {
+    fn from(kind: StmtKind) -> Self {
+        IrStmt::new(kind)
+    }
+}
+
+impl PartialEq for IrStmt {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+/// A typed IR statement operation.
 #[derive(Debug, Clone, PartialEq)]
-pub enum IrStmt {
+pub enum StmtKind {
     /// `local := value` (register locals only).
     Assign {
         /// Destination register local.

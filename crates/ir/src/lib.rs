@@ -10,19 +10,24 @@
 //! cleans up the constants spliced in from Lua during specialization.
 //!
 //! The `terra-vm` crate compiles [`IrFunction`]s to bytecode; the
-//! `terra-eval` crate produces them from source.
+//! `terra-eval` crate produces them from source. The [`analysis`] module
+//! verifies and lints IR between those stages.
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 mod display;
 mod fold;
 mod ir;
 mod types;
 
+pub use analysis::{
+    analyze_function, verify_function, Diagnostic, EnvEntry, ModuleEnv, NoEnv, Severity,
+};
 pub use display::dump_function;
 pub use fold::{fold_expr, fold_function};
 pub use ir::{
-    BinKind, Builtin, Callee, CmpKind, ExprKind, FuncId, GlobalCell, GlobalId, IrExpr,
-    IrFunction, IrStmt, LocalId, LocalSlot, UnKind,
+    BinKind, Builtin, Callee, CmpKind, ExprKind, FuncId, GlobalCell, GlobalId, IrExpr, IrFunction,
+    IrStmt, LocalId, LocalSlot, StmtKind, UnKind,
 };
 pub use types::{Field, FuncTy, ScalarTy, StructId, StructLayout, Ty, TyDisplay, TypeRegistry};

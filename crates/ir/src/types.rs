@@ -60,7 +60,10 @@ impl ScalarTy {
 
     /// Whether this is a signed integer type.
     pub fn is_signed(self) -> bool {
-        matches!(self, ScalarTy::I8 | ScalarTy::I16 | ScalarTy::I32 | ScalarTy::I64)
+        matches!(
+            self,
+            ScalarTy::I8 | ScalarTy::I16 | ScalarTy::I32 | ScalarTy::I64
+        )
     }
 
     /// Rank used for C-style implicit arithmetic conversions; higher ranks

@@ -386,14 +386,14 @@ mod tests {
         let shuffled = HostMesh::grid(5, true);
         assert_eq!(shuffled.n_tris(), 32);
         assert_ne!(m.indices, shuffled.indices);
-        let mut sorted_a = m.indices.clone();
-        let mut sorted_b = shuffled.indices.clone();
+        let sorted_a = m.indices.clone();
+        let sorted_b = shuffled.indices.clone();
         // Same triangles as sets of 3.
         let tri = |v: &Vec<i32>| {
             let mut t: Vec<[i32; 3]> = v.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
             t.sort();
             t
         };
-        assert_eq!(tri(&mut sorted_a.to_vec().into()), tri(&mut sorted_b.to_vec().into()));
+        assert_eq!(tri(&mut sorted_a.to_vec()), tri(&mut sorted_b.to_vec()));
     }
 }

@@ -11,7 +11,9 @@ fn time_pipeline(p: &Pipeline, w: usize, h: usize, sched: Schedule, reps: usize)
     img.write(&mut t, &vec![0.5; w * h]);
     c.run(&mut t, &[&img], &out);
     let start = Instant::now();
-    for _ in 0..reps { c.run(&mut t, &[&img], &out); }
+    for _ in 0..reps {
+        c.run(&mut t, &[&img], &out);
+    }
     start.elapsed().as_secs_f64() / reps as f64
 }
 
@@ -27,6 +29,20 @@ fn main() {
     let pw = pointwise_pipeline(0.1, 1.3);
     println!("pointwise pipeline (materialize vs inline):");
     let m = time_pipeline(&pw, w, h, Schedule::match_c(), 3);
-    let i = time_pipeline(&pw, w, h, Schedule { strategy: Strategy::Inline, vectorize: false }, 3);
-    println!("  materialized {:.1} ms, inlined {:.1} ms ({:.2}x)", m*1e3, i*1e3, m/i);
+    let i = time_pipeline(
+        &pw,
+        w,
+        h,
+        Schedule {
+            strategy: Strategy::Inline,
+            vectorize: false,
+        },
+        3,
+    );
+    println!(
+        "  materialized {:.1} ms, inlined {:.1} ms ({:.2}x)",
+        m * 1e3,
+        i * 1e3,
+        m / i
+    );
 }

@@ -17,7 +17,8 @@ use terra_core::{LuaError, Terra, TerraFn, Value};
 /// One Jacobi step of `(x0 + a·(neighbors of x)) / (1 + 4a)` as an Orion
 /// expression over `x` and `x0`.
 fn jacobi_diffuse(x: &OrionExpr, x0: &OrionExpr, a: f64) -> OrionExpr {
-    (x0.at(0, 0) + (x.at(-1, 0) + x.at(1, 0) + x.at(0, -1) + x.at(0, 1)) * a) * (1.0 / (1.0 + 4.0 * a))
+    (x0.at(0, 0) + (x.at(-1, 0) + x.at(1, 0) + x.at(0, -1) + x.at(0, 1)) * a)
+        * (1.0 / (1.0 + 4.0 * a))
 }
 
 /// One Jacobi step of the pressure solve `(div + neighbors of p) / 4`.

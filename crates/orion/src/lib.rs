@@ -262,8 +262,7 @@ impl Pipeline {
             inline.iter().all(|s| s.0 != last),
             "the output stage cannot be inlined away"
         );
-        let inline_set: std::collections::HashSet<usize> =
-            inline.iter().map(|s| s.0).collect();
+        let inline_set: std::collections::HashSet<usize> = inline.iter().map(|s| s.0).collect();
         // Rewrite each kept stage, substituting inlined stages (with offset
         // accumulation) and renumbering references.
         let mut keep_index = vec![usize::MAX; self.stages.len()];
@@ -373,7 +372,10 @@ impl Pipeline {
         assert!(!self.stages.is_empty(), "pipeline has no stages");
         assert!(padding >= self.padding(), "padding too small for pipeline");
         if schedule.vectorize {
-            assert!(w % VW == 0, "vectorized schedules require W % 8 == 0");
+            assert!(
+                w.is_multiple_of(VW),
+                "vectorized schedules require W % 8 == 0"
+            );
         }
         let src = self.codegen_at(w, h, schedule, padding);
         static COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
@@ -439,15 +441,7 @@ impl Pipeline {
     /// One full-sized buffer and loop per stage — what a straightforward C
     /// implementation would do. Intermediates are computed over their halo
     /// region so that boundary conditions apply only at the source images.
-    fn gen_materialize(
-        &self,
-        out: &mut String,
-        w: usize,
-        h: usize,
-        p: usize,
-        s: usize,
-        vec: bool,
-    ) {
+    fn gen_materialize(&self, out: &mut String, w: usize, h: usize, p: usize, s: usize, vec: bool) {
         let bytes = s * (h + 2 * p) * 4;
         let n = self.stages.len();
         let (halo, xhalo) = self.halos();
@@ -478,23 +472,12 @@ impl Pipeline {
     /// buffers of `STRIP + 2·halo` rows; strips recompute halo rows
     /// (overlapped tiling), trading a little compute for the memory-traffic
     /// profile of classic line buffering.
-    fn gen_linebuffer(
-        &self,
-        out: &mut String,
-        w: usize,
-        h: usize,
-        p: usize,
-        s: usize,
-        vec: bool,
-    ) {
+    fn gen_linebuffer(&self, out: &mut String, w: usize, h: usize, p: usize, s: usize, vec: bool) {
         let n = self.stages.len();
         let (halo, xhalo) = self.halos();
-        let scratch_rows: Vec<usize> = halo
-            .iter()
-            .map(|h_| STRIP + 2 * (*h_ as usize))
-            .collect();
-        for i in 0..n - 1 {
-            let bytes = s * scratch_rows[i] * 4;
+        let scratch_rows: Vec<usize> = halo.iter().map(|h_| STRIP + 2 * (*h_ as usize)).collect();
+        for (i, rows) in scratch_rows.iter().enumerate().take(n - 1) {
+            let bytes = s * rows * 4;
             let _ = writeln!(out, "  var st{i} = [&float](std.malloc({bytes}))");
             let _ = writeln!(out, "  std.memset([&uint8](st{i}), 0, {bytes})");
         }
@@ -519,21 +502,13 @@ impl Pipeline {
             // `scr<j>` addresses stage j's scratch (its own row mapping:
             // absolute row y lives in slot y - y0 + halo_j).
             let _ = writeln!(out, "      var inrow = (y + {p}) * {s} + {p}");
-            for j in 0..i {
-                let _ = writeln!(
-                    out,
-                    "      var scr{j} = (y - y0 + {}) * {s} + {p}",
-                    halo[j]
-                );
+            for (j, h_j) in halo.iter().enumerate().take(i) {
+                let _ = writeln!(out, "      var scr{j} = (y - y0 + {h_j}) * {s} + {p}");
             }
             let dst_base = if is_out {
                 "inrow".to_string()
             } else {
-                let _ = writeln!(
-                    out,
-                    "      var scrd = (y - y0 + {}) * {s} + {p}",
-                    halo[i]
-                );
+                let _ = writeln!(out, "      var scrd = (y - y0 + {}) * {s} + {p}", halo[i]);
                 "scrd".to_string()
             };
             let dst = if is_out {
@@ -541,9 +516,13 @@ impl Pipeline {
             } else {
                 format!("st{i}")
             };
-            let body = emit_expr_with_bases(stage, s as i32, vec, &|kk| {
-                (format!("in{kk}"), "inrow".to_string())
-            }, &|sid| (format!("st{}", sid.0), format!("scr{}", sid.0)));
+            let body = emit_expr_with_bases(
+                stage,
+                s as i32,
+                vec,
+                &|kk| (format!("in{kk}"), "inrow".to_string()),
+                &|sid| (format!("st{}", sid.0), format!("scr{}", sid.0)),
+            );
             let hx = if is_out { 0 } else { xhalo[i] };
             emit_x_loop_range(out, &dst, &dst_base, -hx, w as i32 + hx, vec, &body, 3);
             let _ = writeln!(out, "    end");
@@ -556,6 +535,7 @@ impl Pipeline {
 }
 
 /// Emits the standard y/x loop nest writing `dst[(y+p)*s + p + x]`.
+#[allow(clippy::too_many_arguments)]
 fn emit_loop(
     out: &mut String,
     dst: &str,
@@ -577,6 +557,7 @@ fn emit_loop(
 /// Emits an x loop over `[lo, hi)` (scalar or vector) storing `body` into
 /// `dst[dst_base + x]`. Vector loops require `(hi - lo) % 8 == 0`, which the
 /// 8-aligned halos guarantee.
+#[allow(clippy::too_many_arguments)]
 fn emit_x_loop_range(
     out: &mut String,
     dst: &str,
@@ -893,8 +874,12 @@ mod tests {
 
     fn run_all_schedules(p: &Pipeline, w: usize, h: usize) {
         let input_data = checker(w, h);
-        let expect = reference(p, &[input_data.clone()], w, h);
-        for strategy in [Strategy::Materialize, Strategy::Inline, Strategy::LineBuffer] {
+        let expect = reference(p, std::slice::from_ref(&input_data), w, h);
+        for strategy in [
+            Strategy::Materialize,
+            Strategy::Inline,
+            Strategy::LineBuffer,
+        ] {
             for vectorize in [false, true] {
                 let mut t = Terra::new();
                 let sched = Schedule {
@@ -950,7 +935,11 @@ mod tests {
         let d0 = checker(w, h);
         let d1: Vec<f32> = d0.iter().map(|v| v * 2.0 + 0.25).collect();
         let expect = reference(&p, &[d0.clone(), d1.clone()], w, h);
-        for strategy in [Strategy::Materialize, Strategy::Inline, Strategy::LineBuffer] {
+        for strategy in [
+            Strategy::Materialize,
+            Strategy::Inline,
+            Strategy::LineBuffer,
+        ] {
             let mut t = Terra::new();
             let c = p
                 .compile(
@@ -997,7 +986,7 @@ mod tests {
         // h = 13 is not a multiple of the strip height 8.
         let p = area_filter();
         let input_data = checker(16, 13);
-        let expect = reference(&p, &[input_data.clone()], 16, 13);
+        let expect = reference(&p, std::slice::from_ref(&input_data), 16, 13);
         let mut t = Terra::new();
         let c = p
             .compile(
@@ -1025,7 +1014,7 @@ mod tests {
         let inlined = p.with_inlined(&[StageId(0)]);
         assert_eq!(inlined.len(), 1);
         let data = checker(24, 16);
-        let expect = reference(&p, &[data.clone()], 24, 16);
+        let expect = reference(&p, std::slice::from_ref(&data), 24, 16);
         for strategy in [Strategy::Materialize, Strategy::LineBuffer] {
             let mut t = Terra::new();
             let c = inlined
@@ -1057,7 +1046,7 @@ mod tests {
         let q = p.with_inlined(&[b]);
         assert_eq!(q.len(), 2);
         let data = checker(16, 16);
-        let expect = reference(&p, &[data.clone()], 16, 16);
+        let expect = reference(&p, std::slice::from_ref(&data), 16, 16);
         let mut t = Terra::new();
         let c = q.compile(&mut t, 16, 16, Schedule::match_c()).unwrap();
         let img = ImageBuf::alloc(&mut t, &c);

@@ -431,6 +431,10 @@ pub struct TerraQuote {
 }
 
 /// A Terra statement.
+///
+/// Statement vectors own their elements directly; the size skew from the
+/// `For` variant is acceptable for an AST that is built once per chunk.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum TerraStmt {
     /// `var a : T, b = e1, e2`

@@ -116,10 +116,11 @@ impl<'a> Lexer<'a> {
                     let start = self.pos;
                     self.bump();
                     self.bump();
-                    if self.peek() == b'[' && (self.peek2() == b'[' || self.peek2() == b'=') {
-                        if self.try_long_string(start)?.is_some() {
-                            continue;
-                        }
+                    if self.peek() == b'['
+                        && (self.peek2() == b'[' || self.peek2() == b'=')
+                        && self.try_long_string(start)?.is_some()
+                    {
+                        continue;
                     }
                     while self.pos < self.bytes.len() && self.peek() != b'\n' {
                         self.bump();
@@ -191,7 +192,10 @@ impl<'a> Lexer<'a> {
         }
         let text = &self.src[start..self.pos];
         // `f` suffix forces a float literal (e.g. `0.f`, `4f`).
-        if (self.peek() | 0x20) == b'f' && !self.peek2().is_ascii_alphanumeric() && self.peek2() != b'_' {
+        if (self.peek() | 0x20) == b'f'
+            && !self.peek2().is_ascii_alphanumeric()
+            && self.peek2() != b'_'
+        {
             self.bump();
             let v: f64 = text
                 .parse()
@@ -409,12 +413,7 @@ impl<'a> Lexer<'a> {
             }
             b'@' => Tok::At,
             b'`' => Tok::Backtick,
-            _ => {
-                return Err(self.err(
-                    format!("unexpected character '{}'", c as char),
-                    start,
-                ))
-            }
+            _ => return Err(self.err(format!("unexpected character '{}'", c as char), start)),
         })
     }
 }

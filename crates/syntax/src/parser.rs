@@ -410,9 +410,7 @@ impl Parser {
                         params.push(n);
                     }
                     other => {
-                        return Err(self.err(format!(
-                            "expected parameter name but found {other}"
-                        )))
+                        return Err(self.err(format!("expected parameter name but found {other}")))
                     }
                 }
                 if !self.check(&Tok::Comma) {
@@ -746,9 +744,7 @@ impl Parser {
                         DeclName::Ident(n, pspan)
                     }
                     other => {
-                        return Err(self.err(format!(
-                            "expected parameter name but found {other}"
-                        )))
+                        return Err(self.err(format!("expected parameter name but found {other}")))
                     }
                 };
                 let ty = if self.check(&Tok::Colon) {
@@ -1200,35 +1196,33 @@ impl Parser {
                         span,
                     };
                 }
-                Tok::Colon => {
-                    match self.peek2().clone() {
-                        Tok::Name(n) => {
-                            self.bump();
-                            self.bump();
-                            let args = self.terra_call_args()?;
-                            e = TerraExpr::MethodCall {
-                                obj: Box::new(e),
-                                name: n,
-                                args,
-                                span,
-                            };
-                        }
-                        Tok::LBracket => {
-                            self.bump();
-                            self.bump();
-                            let name = self.expr()?;
-                            self.expect(Tok::RBracket)?;
-                            let args = self.terra_call_args()?;
-                            e = TerraExpr::DynMethodCall {
-                                obj: Box::new(e),
-                                name,
-                                args,
-                                span,
-                            };
-                        }
-                        _ => break,
+                Tok::Colon => match self.peek2().clone() {
+                    Tok::Name(n) => {
+                        self.bump();
+                        self.bump();
+                        let args = self.terra_call_args()?;
+                        e = TerraExpr::MethodCall {
+                            obj: Box::new(e),
+                            name: n,
+                            args,
+                            span,
+                        };
                     }
-                }
+                    Tok::LBracket => {
+                        self.bump();
+                        self.bump();
+                        let name = self.expr()?;
+                        self.expect(Tok::RBracket)?;
+                        let args = self.terra_call_args()?;
+                        e = TerraExpr::DynMethodCall {
+                            obj: Box::new(e),
+                            name,
+                            args,
+                            span,
+                        };
+                    }
+                    _ => break,
+                },
                 Tok::LParen => {
                     self.bump();
                     let args = if self.peek() == &Tok::RParen {
@@ -1397,7 +1391,9 @@ mod tests {
     fn parses_functions_and_methods() {
         let b = parse_ok("function a.b.c:m(x, ...) return x end");
         match &b.stmts[0] {
-            LuaStmt::FunctionDecl { path, method, body, .. } => {
+            LuaStmt::FunctionDecl {
+                path, method, body, ..
+            } => {
                 assert_eq!(path.len(), 3);
                 assert_eq!(method.as_deref(), Some("m"));
                 assert!(body.is_vararg);
@@ -1413,7 +1409,9 @@ mod tests {
             "terra min(a: int, b: int) : int if a < b then return a else return b end end",
         );
         match &b.stmts[0] {
-            LuaStmt::TerraDef { path, method, def, .. } => {
+            LuaStmt::TerraDef {
+                path, method, def, ..
+            } => {
                 assert_eq!(path[0].as_ref(), "min");
                 assert!(method.is_none());
                 assert_eq!(def.params.len(), 2);
@@ -1600,7 +1598,11 @@ mod tests {
         let b = parse_ok("return 1 + 2 * 3");
         match &b.stmts[0] {
             LuaStmt::Return { exprs, .. } => match &exprs[0] {
-                LuaExpr::BinOp { op: BinOp::Add, rhs, .. } => {
+                LuaExpr::BinOp {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(**rhs, LuaExpr::BinOp { op: BinOp::Mul, .. }));
                 }
                 other => panic!("unexpected {other:?}"),
@@ -1611,8 +1613,18 @@ mod tests {
         let b = parse_ok(r#"return "a" .. "b" .. "c""#);
         match &b.stmts[0] {
             LuaStmt::Return { exprs, .. } => match &exprs[0] {
-                LuaExpr::BinOp { op: BinOp::Concat, rhs, .. } => {
-                    assert!(matches!(**rhs, LuaExpr::BinOp { op: BinOp::Concat, .. }));
+                LuaExpr::BinOp {
+                    op: BinOp::Concat,
+                    rhs,
+                    ..
+                } => {
+                    assert!(matches!(
+                        **rhs,
+                        LuaExpr::BinOp {
+                            op: BinOp::Concat,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("unexpected {other:?}"),
             },

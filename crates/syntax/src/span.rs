@@ -53,7 +53,7 @@ impl Span {
         Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),
-            line: self.line.min(other.line).max(1).min(u32::MAX),
+            line: self.line.min(other.line).max(1),
         }
     }
 

@@ -254,7 +254,12 @@ mod tests {
 
     #[test]
     fn describe_is_nonempty() {
-        for t in [Tok::Arrow, Tok::Eof, Tok::Name("x".into()), Tok::Int(3, IntSuffix::None)] {
+        for t in [
+            Tok::Arrow,
+            Tok::Eof,
+            Tok::Name("x".into()),
+            Tok::Int(3, IntSuffix::None),
+        ] {
             assert!(!t.describe().is_empty());
         }
     }

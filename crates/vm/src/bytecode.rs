@@ -5,8 +5,8 @@
 //! lanes (8×f32 or 4×f64 — the VM analogue of AVX). Jump targets are
 //! absolute instruction indices.
 
-use terra_ir::{Builtin, FuncId, FuncTy};
 use std::rc::Rc;
+use terra_ir::{Builtin, FuncId, FuncTy};
 
 /// A register index within a frame.
 pub type Reg = u16;

@@ -10,8 +10,29 @@ use crate::bytecode::{CompiledFunction, Instr, IntWidth, Reg, NO_REG};
 use crate::program::Program;
 use terra_ir::{
     BinKind, Builtin, Callee, CmpKind, ExprKind, IrExpr, IrFunction, IrStmt, LocalId, ScalarTy,
-    Ty, TypeRegistry, UnKind,
+    StmtKind, Ty, TypeRegistry, UnKind,
 };
+
+/// What the program's function table knows about callees: defined functions
+/// expose their signatures, declared-but-undefined ones (lazy linking) stay
+/// opaque, and ids past the table are invalid.
+#[cfg(debug_assertions)]
+struct ProgramEnv<'p> {
+    prog: &'p Program,
+}
+
+#[cfg(debug_assertions)]
+impl terra_ir::ModuleEnv for ProgramEnv<'_> {
+    fn function_sig(&self, id: terra_ir::FuncId) -> terra_ir::EnvEntry<terra_ir::FuncTy> {
+        if let Some(f) = self.prog.function(id) {
+            terra_ir::EnvEntry::Known(f.ty.clone())
+        } else if (id.0 as usize) < self.prog.len() {
+            terra_ir::EnvEntry::Opaque
+        } else {
+            terra_ir::EnvEntry::Invalid
+        }
+    }
+}
 
 fn is_addr_ty(ty: &Ty) -> bool {
     matches!(
@@ -29,6 +50,14 @@ pub fn compile(
     prog: &mut Program,
     globals: &[u64],
 ) -> CompiledFunction {
+    // The compiler trusts the typechecker and folder; in debug builds, make
+    // that trust explicit. The frontend reports verifier findings as proper
+    // errors long before reaching this point, so a failure here means a
+    // pipeline stage corrupted the IR.
+    #[cfg(debug_assertions)]
+    if let Err(d) = terra_ir::verify_function(func, Some(types), &ProgramEnv { prog }) {
+        panic!("refusing to compile inconsistent IR: {d}");
+    }
     let mut c = Compiler::new(func, types, prog, globals);
     c.emit_entry();
     let body = func.body.clone();
@@ -144,14 +173,14 @@ impl<'a> Compiler<'a> {
 
     fn stmt(&mut self, s: &IrStmt) {
         let mark = self.temp_top;
-        match s {
-            IrStmt::Assign { dst, value } => self.compile_assign(*dst, value),
-            IrStmt::Store { addr, value } => {
+        match &s.kind {
+            StmtKind::Assign { dst, value } => self.compile_assign(*dst, value),
+            StmtKind::Store { addr, value } => {
                 let a = self.expr(addr, None);
                 let v = self.expr(value, None);
                 self.emit_store(&value.ty, a, v);
             }
-            IrStmt::CopyMem { dst, src, size } => {
+            StmtKind::CopyMem { dst, src, size } => {
                 let d = self.expr(dst, None);
                 let s = self.expr(src, None);
                 self.code.push(Instr::CopyMem {
@@ -160,10 +189,10 @@ impl<'a> Compiler<'a> {
                     size: *size as u32,
                 });
             }
-            IrStmt::Expr(e) => {
+            StmtKind::Expr(e) => {
                 let _ = self.expr(e, None);
             }
-            IrStmt::If {
+            StmtKind::If {
                 cond,
                 then_body,
                 else_body,
@@ -186,7 +215,7 @@ impl<'a> Compiler<'a> {
                     self.patch(jmp_at, end);
                 }
             }
-            IrStmt::While { cond, body } => {
+            StmtKind::While { cond, body } => {
                 let head = self.code.len() as u32;
                 let c = self.expr(cond, None);
                 let br_at = self.code.len();
@@ -201,7 +230,7 @@ impl<'a> Compiler<'a> {
                     self.patch(site, end);
                 }
             }
-            IrStmt::For {
+            StmtKind::For {
                 var,
                 start,
                 stop,
@@ -247,12 +276,12 @@ impl<'a> Compiler<'a> {
                     self.patch(site, end);
                 }
             }
-            IrStmt::Return(Some(e)) => {
+            StmtKind::Return(Some(e)) => {
                 let r = self.expr(e, None);
                 self.code.push(Instr::Ret { s: r });
             }
-            IrStmt::Return(None) => self.code.push(Instr::Ret { s: NO_REG }),
-            IrStmt::Break => {
+            StmtKind::Return(None) => self.code.push(Instr::Ret { s: NO_REG }),
+            StmtKind::Break => {
                 let at = self.code.len();
                 self.code.push(Instr::Jmp { target: 0 });
                 if let Some(sites) = self.loop_breaks.last_mut() {
@@ -914,7 +943,7 @@ mod tests {
         };
         let a = f.add_local("a", Ty::INT, false);
         let b = f.add_local("b", Ty::INT, false);
-        f.body = vec![IrStmt::Return(Some(IrExpr::binary(
+        f.body = vec![StmtKind::Return(Some(IrExpr::binary(
             BinKind::Mul,
             IrExpr::binary(
                 BinKind::Add,
@@ -922,7 +951,8 @@ mod tests {
                 IrExpr::local(b, Ty::INT),
             ),
             IrExpr::int32(2),
-        )))];
+        )))
+        .into()];
         assert_eq!(run(f, &[Value::Int(3), Value::Int(4)]), Value::Int(14));
     }
 
@@ -942,25 +972,28 @@ mod tests {
         let acc = f.add_local("acc", Ty::INT, false);
         let i = f.add_local("i", Ty::INT, false);
         f.body = vec![
-            IrStmt::Assign {
+            StmtKind::Assign {
                 dst: acc,
                 value: IrExpr::int32(0),
-            },
-            IrStmt::For {
+            }
+            .into(),
+            StmtKind::For {
                 var: i,
                 start: IrExpr::int32(0),
                 stop: IrExpr::local(n, Ty::INT),
                 step: IrExpr::int32(1),
-                body: vec![IrStmt::Assign {
+                body: vec![StmtKind::Assign {
                     dst: acc,
                     value: IrExpr::binary(
                         BinKind::Add,
                         IrExpr::local(acc, Ty::INT),
                         IrExpr::local(i, Ty::INT),
                     ),
-                }],
-            },
-            IrStmt::Return(Some(IrExpr::local(acc, Ty::INT))),
+                }
+                .into()],
+            }
+            .into(),
+            StmtKind::Return(Some(IrExpr::local(acc, Ty::INT))).into(),
         ];
         assert_eq!(run(f, &[Value::Int(10)]), Value::Int(45));
     }
@@ -979,14 +1012,15 @@ mod tests {
         };
         let x = f.add_local("x", Ty::INT, true);
         f.body = vec![
-            IrStmt::Store {
+            StmtKind::Store {
                 addr: IrExpr {
                     ty: Ty::INT.ptr_to(),
                     kind: ExprKind::LocalAddr(x),
                 },
                 value: IrExpr::int32(5),
-            },
-            IrStmt::Return(Some(IrExpr::local(x, Ty::INT))),
+            }
+            .into(),
+            StmtKind::Return(Some(IrExpr::local(x, Ty::INT))).into(),
         ];
         assert_eq!(run(f, &[]), Value::Int(5));
     }
@@ -1005,33 +1039,33 @@ mod tests {
         };
         let i = f.add_local("i", Ty::INT, false);
         f.body = vec![
-            IrStmt::Assign {
+            StmtKind::Assign {
                 dst: i,
                 value: IrExpr::int32(0),
-            },
-            IrStmt::While {
+            }
+            .into(),
+            StmtKind::While {
                 cond: IrExpr::boolean(true),
                 body: vec![
-                    IrStmt::If {
-                        cond: IrExpr::cmp(
-                            CmpKind::Ge,
-                            IrExpr::local(i, Ty::INT),
-                            IrExpr::int32(3),
-                        ),
-                        then_body: vec![IrStmt::Break],
+                    StmtKind::If {
+                        cond: IrExpr::cmp(CmpKind::Ge, IrExpr::local(i, Ty::INT), IrExpr::int32(3)),
+                        then_body: vec![StmtKind::Break.into()],
                         else_body: vec![],
-                    },
-                    IrStmt::Assign {
+                    }
+                    .into(),
+                    StmtKind::Assign {
                         dst: i,
                         value: IrExpr::binary(
                             BinKind::Add,
                             IrExpr::local(i, Ty::INT),
                             IrExpr::int32(1),
                         ),
-                    },
+                    }
+                    .into(),
                 ],
-            },
-            IrStmt::Return(Some(IrExpr::local(i, Ty::INT))),
+            }
+            .into(),
+            StmtKind::Return(Some(IrExpr::local(i, Ty::INT))).into(),
         ];
         assert_eq!(run(f, &[]), Value::Int(3));
     }
@@ -1049,14 +1083,15 @@ mod tests {
             body: vec![],
         };
         let a = f.add_local("a", Ty::U8, false);
-        f.body = vec![IrStmt::Return(Some(IrExpr::binary(
+        f.body = vec![StmtKind::Return(Some(IrExpr::binary(
             BinKind::Add,
             IrExpr::local(a, Ty::U8),
             IrExpr {
                 ty: Ty::U8,
                 kind: ExprKind::ConstInt(1),
             },
-        )))];
+        )))
+        .into()];
         assert_eq!(run(f, &[Value::Int(255)]), Value::Int(0));
     }
 
@@ -1073,10 +1108,11 @@ mod tests {
             body: vec![],
         };
         let x = f.add_local("x", Ty::F64, false);
-        f.body = vec![IrStmt::Return(Some(IrExpr {
+        f.body = vec![StmtKind::Return(Some(IrExpr {
             ty: Ty::INT,
             kind: ExprKind::Cast(Box::new(IrExpr::local(x, Ty::F64))),
-        }))];
+        }))
+        .into()];
         assert_eq!(run(f, &[Value::Float(3.99)]), Value::Int(3));
     }
 }

@@ -26,5 +26,5 @@ pub use bytecode::{
 };
 pub use compile::compile;
 pub use machine::{decode_value, ExecResult, RegImage, Trap, Vm};
-pub use memory::{MemError, MemResult, Memory};
+pub use memory::{MemError, MemKind, MemResult, Memory};
 pub use program::{OutputSink, Program, Value};

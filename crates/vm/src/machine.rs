@@ -363,7 +363,13 @@ impl Vm {
                         };
                         seti!(d, t);
                     }
-                    Instr::Lea { d, a, b, scale, disp } => {
+                    Instr::Lea {
+                        d,
+                        a,
+                        b,
+                        scale,
+                        disp,
+                    } => {
                         let mut v = ri!(a).wrapping_add(disp);
                         if b != NO_REG {
                             v = v.wrapping_add(ri!(b).wrapping_mul(scale as i64));
@@ -448,12 +454,8 @@ impl Vm {
                     Instr::Store16 { a, s } => prog.memory.store_u16(ru!(a), ru!(s) as u16)?,
                     Instr::Store32 { a, s } => prog.memory.store_u32(ru!(a), ru!(s) as u32)?,
                     Instr::Store64 { a, s } => prog.memory.store_u64(ru!(a), ru!(s))?,
-                    Instr::StoreF32 { a, s } => {
-                        prog.memory.store_f32(ru!(a), as_f32(r!(s)))?
-                    }
-                    Instr::StoreF64 { a, s } => {
-                        prog.memory.store_f64(ru!(a), as_f64(r!(s)))?
-                    }
+                    Instr::StoreF32 { a, s } => prog.memory.store_f32(ru!(a), as_f32(r!(s)))?,
+                    Instr::StoreF64 { a, s } => prog.memory.store_f64(ru!(a), as_f64(r!(s)))?,
                     Instr::LoadV { d, a, bytes } => {
                         set!(d, prog.memory.load_vec(ru!(a), bytes as u64)?)
                     }
@@ -539,8 +541,7 @@ impl Vm {
                     }
                     Instr::CallBuiltin { d, b, args, nargs } => {
                         let start = base + args as usize;
-                        let argv: Vec<RegImage> =
-                            self.regs[start..start + nargs as usize].to_vec();
+                        let argv: Vec<RegImage> = self.regs[start..start + nargs as usize].to_vec();
                         let result = call_builtin(prog, b, &argv)?;
                         if d != NO_REG {
                             set!(d, result);
@@ -1093,7 +1094,13 @@ mod tests {
         );
         let mut vm = Vm::new();
         let err = vm.call(&mut prog, id, &[]).unwrap_err();
-        assert_eq!(err, Trap::ArityMismatch { expected: 1, got: 0 });
+        assert_eq!(
+            err,
+            Trap::ArityMismatch {
+                expected: 1,
+                got: 0
+            }
+        );
     }
 
     #[test]

@@ -16,6 +16,19 @@
 
 use std::fmt;
 
+/// What went wrong with a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemKind {
+    /// Outside every mapped region (includes the null guard page).
+    OutOfRange,
+    /// Sanitizer: access to a heap block after it was freed.
+    UseAfterFree,
+    /// Sanitizer: block passed to `free` twice.
+    DoubleFree,
+    /// `free` of an address that `malloc` never returned.
+    BadFree,
+}
+
 /// Error produced by an invalid memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemError {
@@ -23,15 +36,36 @@ pub struct MemError {
     pub addr: u64,
     /// Access width in bytes.
     pub len: u64,
+    /// Failure class (sanitizer findings carry their own kinds).
+    pub kind: MemKind,
+}
+
+impl MemError {
+    fn oob(addr: u64, len: u64) -> MemError {
+        MemError {
+            addr,
+            len,
+            kind: MemKind::OutOfRange,
+        }
+    }
 }
 
 impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "invalid memory access of {} byte(s) at address {:#x}",
-            self.len, self.addr
-        )
+        match self.kind {
+            MemKind::OutOfRange => write!(
+                f,
+                "invalid memory access of {} byte(s) at address {:#x}",
+                self.len, self.addr
+            ),
+            MemKind::UseAfterFree => write!(
+                f,
+                "use-after-free: access of {} byte(s) at address {:#x} inside a freed block",
+                self.len, self.addr
+            ),
+            MemKind::DoubleFree => write!(f, "double free of address {:#x}", self.addr),
+            MemKind::BadFree => write!(f, "free of non-heap address {:#x}", self.addr),
+        }
     }
 }
 
@@ -57,6 +91,11 @@ pub struct Memory {
     free_lists: Vec<Vec<u64>>,
     /// Bytes currently allocated through `malloc` (for leak tests).
     live_bytes: u64,
+    /// Sanitizer mode: poison fresh/freed memory and track freed blocks.
+    sanitize: bool,
+    /// Freed heap payload ranges (`start → length`), kept only while the
+    /// sanitizer is on, so stray accesses into them can be diagnosed.
+    freed: std::collections::BTreeMap<u64, u64>,
 }
 
 impl Default for Memory {
@@ -77,7 +116,25 @@ impl Memory {
             brk: NULL_GUARD + stack_size,
             free_lists: vec![Vec::new(); 48],
             live_bytes: 0,
+            sanitize: false,
+            freed: std::collections::BTreeMap::new(),
         }
+    }
+
+    /// Turns sanitizer mode on or off. While on, freshly pushed stack frames
+    /// are poisoned with `0xAA`, malloc'd payloads with `0xAB`, and freed
+    /// payloads with `0xDD`; loads and stores that touch a freed heap block
+    /// fail with a use-after-free error, and double frees are rejected.
+    pub fn set_sanitize(&mut self, on: bool) {
+        self.sanitize = on;
+        if !on {
+            self.freed.clear();
+        }
+    }
+
+    /// Whether sanitizer mode is active.
+    pub fn sanitize_enabled(&self) -> bool {
+        self.sanitize
     }
 
     /// Total bytes currently reserved.
@@ -102,18 +159,24 @@ impl Memory {
         let base = (self.sp + 15) & !15;
         let new_sp = base + size;
         if new_sp > NULL_GUARD + self.stack_size {
-            return Err(MemError {
-                addr: new_sp,
-                len: size,
-            });
+            return Err(MemError::oob(new_sp, size));
         }
         self.sp = new_sp;
+        if self.sanitize {
+            // Poison the fresh frame so reads of never-written slots return
+            // recognizable garbage instead of stale data from popped frames.
+            self.data[base as usize..new_sp as usize].fill(0xAA);
+        }
         Ok(base)
     }
 
     /// Pops a stack frame previously pushed at `base`.
     pub fn pop_frame(&mut self, base: u64) {
         debug_assert!(base <= self.sp);
+        if self.sanitize {
+            // Poison the dead frame so dangling pointers read garbage.
+            self.data[base as usize..self.sp as usize].fill(0xDD);
+        }
         self.sp = base;
     }
 
@@ -144,7 +207,13 @@ impl Memory {
         // Header: size class in the first 8 bytes.
         self.data[base as usize..base as usize + 8].copy_from_slice(&(class as u64).to_le_bytes());
         self.live_bytes += block_size;
-        base + BLOCK_HEADER
+        let payload = base + BLOCK_HEADER;
+        if self.sanitize {
+            self.freed.remove(&payload);
+            let end = base + block_size;
+            self.data[payload as usize..end as usize].fill(0xAB);
+        }
+        payload
     }
 
     /// Frees a pointer returned by [`Memory::malloc`]. Freeing null is a
@@ -158,17 +227,37 @@ impl Memory {
             return Ok(());
         }
         if ptr < BLOCK_HEADER || ptr - BLOCK_HEADER < NULL_GUARD + self.stack_size {
-            return Err(MemError { addr: ptr, len: 0 });
+            return Err(MemError {
+                addr: ptr,
+                len: 0,
+                kind: MemKind::BadFree,
+            });
+        }
+        if self.sanitize && self.freed.contains_key(&ptr) {
+            return Err(MemError {
+                addr: ptr,
+                len: 0,
+                kind: MemKind::DoubleFree,
+            });
         }
         let base = ptr - BLOCK_HEADER;
         let mut class_bytes = [0u8; 8];
         class_bytes.copy_from_slice(&self.data[base as usize..base as usize + 8]);
         let class = u64::from_le_bytes(class_bytes) as usize;
         if class >= self.free_lists.len() || class == 0 {
-            return Err(MemError { addr: ptr, len: 0 });
+            return Err(MemError {
+                addr: ptr,
+                len: 0,
+                kind: MemKind::BadFree,
+            });
         }
         self.live_bytes = self.live_bytes.saturating_sub(1 << class);
         self.free_lists[class].push(base);
+        if self.sanitize {
+            let payload_len = (1u64 << class) - BLOCK_HEADER;
+            self.data[ptr as usize..(ptr + payload_len) as usize].fill(0xDD);
+            self.freed.insert(ptr, payload_len);
+        }
         Ok(())
     }
 
@@ -198,10 +287,22 @@ impl Memory {
     #[inline]
     fn check(&self, addr: u64, len: u64) -> MemResult<()> {
         if addr < NULL_GUARD || addr.saturating_add(len) > self.data.len() as u64 {
-            Err(MemError { addr, len })
-        } else {
-            Ok(())
+            return Err(MemError::oob(addr, len));
         }
+        if self.sanitize && !self.freed.is_empty() {
+            // Reject any access overlapping a freed heap payload.
+            let end = addr.saturating_add(len.max(1));
+            if let Some((&b, &l)) = self.freed.range(..end).next_back() {
+                if addr < b + l {
+                    return Err(MemError {
+                        addr,
+                        len,
+                        kind: MemKind::UseAfterFree,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Reads a byte slice.
@@ -240,7 +341,7 @@ impl Memory {
         let len = rest
             .iter()
             .position(|&b| b == 0)
-            .ok_or(MemError { addr, len: 1 })?;
+            .ok_or_else(|| MemError::oob(addr, 1))?;
         Ok(String::from_utf8_lossy(&rest[..len]).into_owned())
     }
 
@@ -432,6 +533,53 @@ mod tests {
         let p = m.malloc(16);
         m.write_bytes(p, b"hi\0").unwrap();
         assert_eq!(m.c_string(p).unwrap(), "hi");
+    }
+
+    #[test]
+    fn sanitizer_poisons_fresh_memory() {
+        let mut m = Memory::default();
+        m.set_sanitize(true);
+        let p = m.malloc(16);
+        assert_eq!(m.load_u8(p).unwrap(), 0xAB);
+        let f = m.push_frame(32).unwrap();
+        assert_eq!(m.load_u8(f + 31).unwrap(), 0xAA);
+    }
+
+    #[test]
+    fn sanitizer_catches_use_after_free() {
+        let mut m = Memory::default();
+        m.set_sanitize(true);
+        let p = m.malloc(16);
+        m.store_u64(p, 1).unwrap();
+        m.free(p).unwrap();
+        let err = m.load_u64(p).unwrap_err();
+        assert_eq!(err.kind, MemKind::UseAfterFree);
+        assert!(m.store_u64(p, 2).is_err());
+        // Reallocating the block makes it valid again.
+        let q = m.malloc(16);
+        assert_eq!(p, q);
+        m.store_u64(q, 2).unwrap();
+        assert_eq!(m.load_u64(q).unwrap(), 2);
+    }
+
+    #[test]
+    fn sanitizer_catches_double_free() {
+        let mut m = Memory::default();
+        m.set_sanitize(true);
+        let p = m.malloc(16);
+        m.free(p).unwrap();
+        assert_eq!(m.free(p).unwrap_err().kind, MemKind::DoubleFree);
+    }
+
+    #[test]
+    fn sanitizer_off_keeps_zero_fill_behaviour() {
+        let mut m = Memory::default();
+        let p = m.malloc(16);
+        assert_eq!(m.load_u64(p).unwrap(), 0);
+        m.free(p).unwrap();
+        // Without the sanitizer, touching freed memory is (dangerously) fine,
+        // matching C semantics.
+        assert!(m.load_u64(p).is_ok());
     }
 
     #[test]

@@ -2,11 +2,11 @@
 //! peephole, narrow-integer normalization, and calling-convention corners,
 //! verified by executing compiled IR.
 
-use terra_vm::{compile, Program, Value, Vm};
 use terra_ir::{
-    BinKind, Builtin, Callee, CmpKind, ExprKind, FuncTy, IrExpr, IrFunction, IrStmt, ScalarTy,
-    Ty, TypeRegistry,
+    BinKind, Builtin, Callee, CmpKind, ExprKind, FuncTy, IrExpr, IrFunction, StmtKind, Ty,
+    TypeRegistry,
 };
+use terra_vm::{compile, Program, Value, Vm};
 
 fn run(f: IrFunction, args: &[Value]) -> Value {
     let mut prog = Program::new();
@@ -26,16 +26,20 @@ fn lea_base_plus_constant() {
     // f(x: i64) = x + 12345 — fuses to Lea with displacement.
     let mut f = IrFunction {
         name: "lea1".into(),
-        ty: FuncTy { params: vec![Ty::I64], ret: Ty::I64 },
+        ty: FuncTy {
+            params: vec![Ty::I64],
+            ret: Ty::I64,
+        },
         locals: vec![],
         body: vec![],
     };
     let x = f.add_local("x", Ty::I64, false);
-    f.body = vec![IrStmt::Return(Some(IrExpr::binary(
+    f.body = vec![StmtKind::Return(Some(IrExpr::binary(
         BinKind::Add,
         IrExpr::local(x, Ty::I64),
         i64e(12345),
-    )))];
+    )))
+    .into()];
     assert_eq!(run(f, &[Value::Int(7)]), Value::Int(12352));
 }
 
@@ -44,16 +48,20 @@ fn lea_constant_plus_base() {
     // Constant on the LEFT.
     let mut f = IrFunction {
         name: "lea2".into(),
-        ty: FuncTy { params: vec![Ty::I64], ret: Ty::I64 },
+        ty: FuncTy {
+            params: vec![Ty::I64],
+            ret: Ty::I64,
+        },
         locals: vec![],
         body: vec![],
     };
     let x = f.add_local("x", Ty::I64, false);
-    f.body = vec![IrStmt::Return(Some(IrExpr::binary(
+    f.body = vec![StmtKind::Return(Some(IrExpr::binary(
         BinKind::Add,
         i64e(-50),
         IrExpr::local(x, Ty::I64),
-    )))];
+    )))
+    .into()];
     assert_eq!(run(f, &[Value::Int(7)]), Value::Int(-43));
 }
 
@@ -63,7 +71,10 @@ fn lea_scaled_index_both_orders() {
     for const_left in [false, true] {
         let mut f = IrFunction {
             name: "lea3".into(),
-            ty: FuncTy { params: vec![Ty::I64, Ty::I64], ret: Ty::I64 },
+            ty: FuncTy {
+                params: vec![Ty::I64, Ty::I64],
+                ret: Ty::I64,
+            },
             locals: vec![],
             body: vec![],
         };
@@ -74,11 +85,12 @@ fn lea_scaled_index_both_orders() {
         } else {
             IrExpr::binary(BinKind::Mul, IrExpr::local(i, Ty::I64), i64e(8))
         };
-        f.body = vec![IrStmt::Return(Some(IrExpr::binary(
+        f.body = vec![StmtKind::Return(Some(IrExpr::binary(
             BinKind::Add,
             IrExpr::local(x, Ty::I64),
             mul,
-        )))];
+        )))
+        .into()];
         assert_eq!(run(f, &[Value::Int(100), Value::Int(-3)]), Value::Int(76));
     }
 }
@@ -88,16 +100,20 @@ fn lea_negative_index_scaling() {
     // Negative index with positive scale must subtract.
     let mut f = IrFunction {
         name: "lea4".into(),
-        ty: FuncTy { params: vec![Ty::I64], ret: Ty::I64 },
+        ty: FuncTy {
+            params: vec![Ty::I64],
+            ret: Ty::I64,
+        },
         locals: vec![],
         body: vec![],
     };
     let i = f.add_local("i", Ty::I64, false);
-    f.body = vec![IrStmt::Return(Some(IrExpr::binary(
+    f.body = vec![StmtKind::Return(Some(IrExpr::binary(
         BinKind::Add,
         i64e(1000),
         IrExpr::binary(BinKind::Mul, IrExpr::local(i, Ty::I64), i64e(4)),
-    )))];
+    )))
+    .into()];
     assert_eq!(run(f, &[Value::Int(-250)]), Value::Int(0));
 }
 
@@ -106,17 +122,24 @@ fn no_lea_on_narrow_ints_wraps_correctly() {
     // i32 add must NOT skip the truncation: i32::MAX + 1 wraps.
     let mut f = IrFunction {
         name: "wrap32".into(),
-        ty: FuncTy { params: vec![Ty::INT], ret: Ty::INT },
+        ty: FuncTy {
+            params: vec![Ty::INT],
+            ret: Ty::INT,
+        },
         locals: vec![],
         body: vec![],
     };
     let x = f.add_local("x", Ty::INT, false);
-    f.body = vec![IrStmt::Return(Some(IrExpr::binary(
+    f.body = vec![StmtKind::Return(Some(IrExpr::binary(
         BinKind::Add,
         IrExpr::local(x, Ty::INT),
         IrExpr::int32(1),
-    )))];
-    assert_eq!(run(f, &[Value::Int(i32::MAX as i64)]), Value::Int(i32::MIN as i64));
+    )))
+    .into()];
+    assert_eq!(
+        run(f, &[Value::Int(i32::MAX as i64)]),
+        Value::Int(i32::MIN as i64)
+    );
 }
 
 #[test]
@@ -125,16 +148,20 @@ fn huge_scale_falls_back_to_mul() {
     let big = (i32::MAX as i64) + 10;
     let mut f = IrFunction {
         name: "bigscale".into(),
-        ty: FuncTy { params: vec![Ty::I64], ret: Ty::I64 },
+        ty: FuncTy {
+            params: vec![Ty::I64],
+            ret: Ty::I64,
+        },
         locals: vec![],
         body: vec![],
     };
     let i = f.add_local("i", Ty::I64, false);
-    f.body = vec![IrStmt::Return(Some(IrExpr::binary(
+    f.body = vec![StmtKind::Return(Some(IrExpr::binary(
         BinKind::Add,
         i64e(1),
         IrExpr::binary(BinKind::Mul, IrExpr::local(i, Ty::I64), i64e(big)),
-    )))];
+    )))
+    .into()];
     assert_eq!(run(f, &[Value::Int(3)]), Value::Int(1 + 3 * big));
 }
 
@@ -144,19 +171,18 @@ fn select_evaluates_only_taken_side() {
     // when i == 0 because Select is compiled lazily.
     let mut f = IrFunction {
         name: "sel".into(),
-        ty: FuncTy { params: vec![Ty::I64], ret: Ty::I64 },
+        ty: FuncTy {
+            params: vec![Ty::I64],
+            ret: Ty::I64,
+        },
         locals: vec![],
         body: vec![],
     };
     let i = f.add_local("i", Ty::I64, false);
-    f.body = vec![IrStmt::Return(Some(IrExpr {
+    f.body = vec![StmtKind::Return(Some(IrExpr {
         ty: Ty::I64,
         kind: ExprKind::Select {
-            cond: Box::new(IrExpr::cmp(
-                CmpKind::Eq,
-                IrExpr::local(i, Ty::I64),
-                i64e(0),
-            )),
+            cond: Box::new(IrExpr::cmp(CmpKind::Eq, IrExpr::local(i, Ty::I64), i64e(0))),
             then_value: Box::new(i64e(1)),
             else_value: Box::new(IrExpr::binary(
                 BinKind::Div,
@@ -164,7 +190,8 @@ fn select_evaluates_only_taken_side() {
                 IrExpr::local(i, Ty::I64),
             )),
         },
-    }))];
+    }))
+    .into()];
     assert_eq!(run(f.clone(), &[Value::Int(0)]), Value::Int(1));
     assert_eq!(run(f, &[Value::Int(4)]), Value::Int(25));
 }
@@ -174,7 +201,10 @@ fn builtin_memset_and_memcpy_compose() {
     // malloc, memset to 0x7, copy to second half, read a byte back.
     let mut f = IrFunction {
         name: "mem".into(),
-        ty: FuncTy { params: vec![], ret: Ty::INT },
+        ty: FuncTy {
+            params: vec![],
+            ret: Ty::INT,
+        },
         locals: vec![],
         body: vec![],
     };
@@ -188,7 +218,7 @@ fn builtin_memset_and_memcpy_compose() {
     };
     let pread = IrExpr::local(p, Ty::U8.ptr_to());
     f.body = vec![
-        IrStmt::Assign {
+        StmtKind::Assign {
             dst: p,
             value: call(
                 Builtin::Malloc,
@@ -198,16 +228,22 @@ fn builtin_memset_and_memcpy_compose() {
                 }],
                 Ty::U8.ptr_to(),
             ),
-        },
-        IrStmt::Expr(call(
+        }
+        .into(),
+        StmtKind::Expr(call(
             Builtin::Memset,
-            vec![pread.clone(), IrExpr::int32(7), IrExpr {
-                ty: Ty::U64,
-                kind: ExprKind::ConstInt(32),
-            }],
+            vec![
+                pread.clone(),
+                IrExpr::int32(7),
+                IrExpr {
+                    ty: Ty::U64,
+                    kind: ExprKind::ConstInt(32),
+                },
+            ],
             Ty::U8.ptr_to(),
-        )),
-        IrStmt::Expr(call(
+        ))
+        .into(),
+        StmtKind::Expr(call(
             Builtin::Memcpy,
             vec![
                 IrExpr::binary(BinKind::Add, pread.clone(), i64e(32)),
@@ -218,18 +254,16 @@ fn builtin_memset_and_memcpy_compose() {
                 },
             ],
             Ty::U8.ptr_to(),
-        )),
-        IrStmt::Return(Some(IrExpr {
+        ))
+        .into(),
+        StmtKind::Return(Some(IrExpr {
             ty: Ty::INT,
             kind: ExprKind::Cast(Box::new(IrExpr {
                 ty: Ty::U8,
-                kind: ExprKind::Load(Box::new(IrExpr::binary(
-                    BinKind::Add,
-                    pread,
-                    i64e(63),
-                ))),
+                kind: ExprKind::Load(Box::new(IrExpr::binary(BinKind::Add, pread, i64e(63)))),
             })),
-        })),
+        }))
+        .into(),
     ];
     assert_eq!(run(f, &[]), Value::Int(7));
 }
@@ -254,7 +288,7 @@ fn many_arguments_calling_convention() {
     for p in &params[1..] {
         acc = IrExpr::binary(BinKind::Add, acc, IrExpr::local(*p, Ty::I64));
     }
-    callee.body = vec![IrStmt::Return(Some(acc))];
+    callee.body = vec![StmtKind::Return(Some(acc)).into()];
     let args: Vec<Value> = (1..=n as i64).map(Value::Int).collect();
     assert_eq!(run(callee, &args), Value::Int(55));
 }

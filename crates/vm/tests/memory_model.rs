@@ -17,8 +17,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (1u16..2048).prop_map(Op::Malloc),
         any::<u8>().prop_map(Op::FreeNth),
-        (any::<u8>(), any::<u8>(), any::<u64>())
-            .prop_map(|(which, offset, value)| Op::WriteNth { which, offset, value }),
+        (any::<u8>(), any::<u8>(), any::<u64>()).prop_map(|(which, offset, value)| Op::WriteNth {
+            which,
+            offset,
+            value
+        }),
         (any::<u8>(), any::<u8>()).prop_map(|(which, offset)| Op::ReadNth { which, offset }),
     ]
 }

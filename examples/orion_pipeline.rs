@@ -18,11 +18,15 @@ fn main() {
     p.stage((input(0) * 2.0 - stage_ref(blur)).clamp(0.0, 255.0));
 
     let (w, h) = (512, 512);
-    let data: Vec<f32> = (0..w * h).map(|i| ((i % 251) as f32)).collect();
+    let data: Vec<f32> = (0..w * h).map(|i| (i % 251) as f32).collect();
 
     let mut reference: Option<Vec<f32>> = None;
     for (name, strategy, vectorize) in [
-        ("materialized, scalar (matches C)", Strategy::Materialize, false),
+        (
+            "materialized, scalar (matches C)",
+            Strategy::Materialize,
+            false,
+        ),
         ("materialized, vectorized", Strategy::Materialize, true),
         ("line-buffered, vectorized", Strategy::LineBuffer, true),
         ("fully inlined, vectorized", Strategy::Inline, true),

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local CI gate: formatting, lints, release build, and both test profiles.
+# Run from the repository root: ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test (debug: exercises the IR verifier gates)"
+cargo test --workspace -q
+
+echo "==> cargo test --release"
+cargo test --workspace --release -q
+
+echo "All checks passed."

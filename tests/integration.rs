@@ -260,9 +260,7 @@ fn orion_output_consumed_by_custom_terra() {
     let f = input(0);
     let mut p = Pipeline::new(1);
     p.stage(f.at(0, 0) * 3.0);
-    let c = p
-        .compile(&mut t, 16, 16, Schedule::match_c())
-        .unwrap();
+    let c = p.compile(&mut t, 16, 16, Schedule::match_c()).unwrap();
     let img = ImageBuf::alloc(&mut t, &c);
     let out = ImageBuf::alloc(&mut t, &c);
     img.write(&mut t, &vec![1.0; 256]);
