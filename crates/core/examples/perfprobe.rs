@@ -1,5 +1,7 @@
 //! Quick throughput probe used during development (not part of the paper
-//! reproduction): measures naive matmul MFLOPS on the VM.
+//! reproduction): measures naive matmul MFLOPS on the VM, plus the
+//! deterministic cost profile — VM instructions per floating-point
+//! operation and memory-system load/store counts — for each size.
 use std::time::Instant;
 use terra_core::{Terra, Value};
 
@@ -29,20 +31,32 @@ fn main() {
         let c = t.malloc(bytes);
         t.write_f64s(a, &vec![1.0; n * n]);
         t.write_f64s(b, &vec![2.0; n * n]);
+        let args = [
+            Value::Ptr(a),
+            Value::Ptr(b),
+            Value::Ptr(c),
+            Value::Int(n as i64),
+        ];
+        // Timed run with counters off, so MFLOPS reflects raw VM throughput.
+        t.set_profile(false);
         let start = Instant::now();
-        t.invoke(
-            &f,
-            &[
-                Value::Ptr(a),
-                Value::Ptr(b),
-                Value::Ptr(c),
-                Value::Int(n as i64),
-            ],
-        )
-        .unwrap();
+        t.invoke(&f, &args).unwrap();
         let dt = start.elapsed().as_secs_f64();
+        // Counted run: profiling adds overhead but the counts themselves are
+        // deterministic and time-independent.
+        t.set_profile(true);
+        t.reset_profile();
+        t.invoke(&f, &args).unwrap();
+        let profile = t.profile();
         let flops = 2.0 * (n as f64).powi(3);
-        println!("N={n}: {:.3}s  {:.1} MFLOPS", dt, flops / dt / 1e6);
+        let instrs = profile.total_instructions();
+        println!(
+            "N={n}: {dt:.3}s  {:.1} MFLOPS  {:.2} instrs/flop  loads {}  stores {}",
+            flops / dt / 1e6,
+            instrs as f64 / flops,
+            profile.mem.total_loads(),
+            profile.mem.total_stores(),
+        );
         assert_eq!(t.read_f64s(c, 1)[0], 2.0 * n as f64);
     }
 }

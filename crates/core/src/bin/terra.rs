@@ -7,10 +7,15 @@
 //! terra                             start a tiny REPL
 //!
 //! flags:
-//!   --lint       run the IR analysis suite over every compiled function and
-//!                print the warnings (use-before-init, dead stores,
-//!                unreachable code, constant out-of-bounds accesses, …)
-//!   --sanitize   poison fresh/freed VM memory and trap on use-after-free
+//!   --lint            run the IR analysis suite over every compiled function
+//!                     and print the warnings (use-before-init, dead stores,
+//!                     unreachable code, constant out-of-bounds accesses, …)
+//!   --sanitize        poison fresh/freed VM memory and trap on use-after-free
+//!   --profile         collect staging/VM/memory counters and print a profile
+//!                     report after the program finishes
+//!   --trace-out FILE  write the run's timeline and counters as Chrome
+//!                     trace-event JSON (open in about:tracing / Perfetto);
+//!                     implies --profile
 //! ```
 
 use std::io::{BufRead, Write};
@@ -20,6 +25,8 @@ fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let mut t = Terra::new();
     let mut lint = false;
+    let mut profile = false;
+    let mut trace_out: Option<String> = None;
     while let Some(first) = argv.first().map(|s| s.as_str()) {
         match first {
             "--lint" => {
@@ -31,16 +38,43 @@ fn main() {
                 t.set_sanitize(true);
                 argv.remove(0);
             }
+            "--profile" => {
+                profile = true;
+                argv.remove(0);
+            }
+            "--trace-out" => {
+                argv.remove(0);
+                match argv.first() {
+                    Some(path) => {
+                        trace_out = Some(path.clone());
+                        profile = true;
+                        argv.remove(0);
+                    }
+                    None => {
+                        eprintln!("terra: --trace-out requires a file argument");
+                        std::process::exit(1);
+                    }
+                }
+            }
             _ => break,
         }
     }
+    if profile {
+        t.set_profile(true);
+    }
     match argv.first().map(|s| s.as_str()) {
         Some("-e") => {
-            let code = argv.get(1).cloned().unwrap_or_default();
+            let Some(code) = argv.get(1).cloned() else {
+                eprintln!("terra: -e requires a code argument");
+                std::process::exit(1);
+            };
             run(&mut t, &code, "(command line)", lint);
         }
         Some("-h") | Some("--help") => {
-            eprintln!("usage: terra [--lint] [--sanitize] [script.t [args...] | -e 'code']");
+            eprintln!(
+                "usage: terra [--lint] [--sanitize] [--profile] [--trace-out FILE] \
+                 [script.t [args...] | -e 'code']"
+            );
         }
         Some(path) => {
             let src = match std::fs::read_to_string(path) {
@@ -61,7 +95,26 @@ fn main() {
             let path = path.to_string();
             run(&mut t, &src, &path, lint);
         }
-        None => repl(&mut t),
+        None => repl(&mut t, lint),
+    }
+    if profile {
+        emit_profile(&t, trace_out.as_deref());
+    }
+}
+
+/// Prints the profile report to stderr and, if requested, writes the Chrome
+/// trace-event JSON file.
+fn emit_profile(t: &Terra, trace_out: Option<&str>) {
+    let profile = t.profile();
+    eprint!("{}", profile.render_report());
+    if let Some(path) = trace_out {
+        match std::fs::write(path, profile.to_chrome_json()) {
+            Ok(()) => eprintln!("terra: wrote Chrome trace to {path}"),
+            Err(e) => {
+                eprintln!("terra: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -92,7 +145,7 @@ fn run(t: &mut Terra, src: &str, what: &str, lint: bool) {
     }
 }
 
-fn repl(t: &mut Terra) {
+fn repl(t: &mut Terra, lint: bool) {
     eprintln!("terra-rs REPL — staged Lua-Terra; end a statement, or prefix '=' to evaluate.");
     let stdin = std::io::stdin();
     let mut line = String::new();
@@ -114,7 +167,12 @@ fn repl(t: &mut Terra) {
         } else {
             trimmed.to_string()
         };
-        match t.exec(&chunk) {
+        let result = t.exec(&chunk);
+        // Lint diagnostics surface per chunk, same as batch mode.
+        if lint {
+            report_diagnostics(t);
+        }
+        match result {
             Ok(values) => {
                 for v in values {
                     if let Ok(s) = t.interp().tostring_value(&v, terra_core::span_synthetic()) {

@@ -44,6 +44,7 @@ pub fn span_synthetic() -> terra_syntax::Span {
     terra_syntax::Span::synthetic()
 }
 pub use terra_ir::{Diagnostic, FuncId, FuncTy, ScalarTy, Severity, Ty};
+pub use terra_trace::{FuncProfile, MemStats, Profile, SpanEvent, Stage};
 pub use terra_vm::{Trap, Value};
 
 /// An embedded Lua-Terra session.
@@ -104,6 +105,28 @@ impl Terra {
     /// Takes the warnings produced by lint mode since the last call.
     pub fn take_diagnostics(&mut self) -> Vec<Diagnostic> {
         self.interp.take_diagnostics()
+    }
+
+    /// Turns profiling on or off: the staging timeline, per-opcode and
+    /// per-function instruction counters, and memory-system counters. All
+    /// counters are deterministic (instruction and byte counts, not wall
+    /// clock), so two identical runs produce identical [`Profile`] counters.
+    pub fn set_profile(&mut self, on: bool) {
+        self.interp.ctx.program.set_profile(on);
+    }
+
+    /// Clears accumulated profile data without changing the on/off gate.
+    pub fn reset_profile(&mut self) {
+        self.interp.ctx.program.reset_profile();
+    }
+
+    /// Freezes and returns the current profile: staging/execution timeline
+    /// spans, opcode counters, per-function call/instruction counters, and
+    /// memory counters. Render it with [`Profile::render_report`] /
+    /// [`Profile::render_counters`], or export Chrome trace-event JSON with
+    /// [`Profile::to_chrome_json`].
+    pub fn profile(&self) -> Profile {
+        self.interp.ctx.program.profile()
     }
 
     /// Captures `print`/`printf` output instead of writing to stdout.

@@ -1,0 +1,474 @@
+//! Integration tests for the observability subsystem: deterministic
+//! counters, the profile report, Chrome trace export, the Lua-visible
+//! `perf` table, and the CLI flags.
+
+use terra_core::Terra;
+
+const SCRIPT: &str = r#"
+    local C = terralib.includec("stdlib.h")
+    terra kernel(n : int) : double
+        var buf = [&double](C.malloc(n * 8))
+        var s : double = 0.0
+        for i = 0, n do
+            buf[i] = i
+        end
+        for i = 0, n do
+            s = s + buf[i]
+        end
+        C.free(buf)
+        return s
+    end
+    result = kernel(100)
+"#;
+
+fn profiled_run() -> (Terra, terra_core::Profile) {
+    let mut t = Terra::new();
+    t.set_profile(true);
+    t.exec(SCRIPT).unwrap();
+    let p = t.profile();
+    (t, p)
+}
+
+#[test]
+fn counters_are_nonzero_and_structured() {
+    let (_t, p) = profiled_run();
+    assert!(p.total_instructions() > 0);
+    assert!(p.op_count("load.f64") >= 100);
+    assert!(p.op_count("store.f64") >= 100);
+    let f = p.func("kernel").expect("kernel profiled");
+    assert_eq!(f.counters.calls, 1);
+    assert!(f.counters.inclusive >= f.counters.exclusive);
+    assert_eq!(p.mem.mallocs, 1);
+    assert_eq!(p.mem.frees, 1);
+    // The allocator rounds requests up to a size class, so peak live bytes
+    // is at least the requested 100 doubles.
+    assert!(p.mem.peak_live_bytes >= 800);
+    assert!(p.mem.total_loads() >= 100);
+    assert!(p.mem.total_stores() >= 100);
+}
+
+#[test]
+fn staging_timeline_covers_the_pipeline() {
+    let (_t, p) = profiled_run();
+    let stages: Vec<&str> = p.events.iter().map(|e| e.stage.label()).collect();
+    for want in [
+        "parse",
+        "specialize",
+        "typecheck",
+        "analyze",
+        "compile",
+        "execute",
+    ] {
+        assert!(stages.contains(&want), "missing stage {want} in {stages:?}");
+    }
+}
+
+#[test]
+fn counters_are_deterministic_across_runs() {
+    let (_t1, p1) = profiled_run();
+    let (_t2, p2) = profiled_run();
+    assert_eq!(p1.render_counters(), p2.render_counters());
+    assert_eq!(p1.total_instructions(), p2.total_instructions());
+}
+
+#[test]
+fn report_is_golden() {
+    let (_t, p) = profiled_run();
+    let report = p.render_counters();
+    assert!(report.contains("== function profile =="));
+    assert!(report.contains("== opcode counters =="));
+    assert!(report.contains("== memory counters =="));
+    assert!(report.contains("kernel"));
+    assert!(report.contains("mallocs 1  frees 1"));
+    // The full report adds the wall-clock timeline on top.
+    let full = p.render_report();
+    assert!(full.contains("== staging timeline =="));
+    assert!(full.ends_with(&report));
+}
+
+#[test]
+fn disabled_profile_collects_nothing() {
+    let mut t = Terra::new();
+    t.exec(SCRIPT).unwrap();
+    let p = t.profile();
+    assert_eq!(p.total_instructions(), 0);
+    assert!(p.events.is_empty());
+    assert!(p.funcs.is_empty());
+    assert_eq!(p.mem.mallocs, 0);
+    assert_eq!(p.mem.total_loads(), 0);
+}
+
+#[test]
+fn reset_clears_counters() {
+    let (mut t, p) = profiled_run();
+    assert!(p.total_instructions() > 0);
+    t.reset_profile();
+    let p2 = t.profile();
+    assert_eq!(p2.total_instructions(), 0);
+    assert_eq!(p2.mem.mallocs, 0);
+    // Still enabled: new work is counted again.
+    t.exec("result2 = kernel(10)").unwrap();
+    assert!(t.profile().total_instructions() > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------------
+
+/// A minimal JSON validator (no serde in-tree): checks the exported trace
+/// parses as a single well-formed JSON value.
+mod json {
+    pub fn validate(s: &str) -> Result<(), String> {
+        let b = s.as_bytes();
+        let mut i = 0;
+        value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing garbage at byte {i}"));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => object(b, i),
+            Some(b'[') => array(b, i),
+            Some(b'"') => string(b, i),
+            Some(b't') => literal(b, i, "true"),
+            Some(b'f') => literal(b, i, "false"),
+            Some(b'n') => literal(b, i, "null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+            other => Err(format!("unexpected {other:?} at byte {i}")),
+        }
+    }
+
+    fn literal(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+        if b[*i..].starts_with(lit.as_bytes()) {
+            *i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {i}"))
+        }
+    }
+
+    fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+        let start = *i;
+        if b.get(*i) == Some(&b'-') {
+            *i += 1;
+        }
+        while *i < b.len()
+            && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            *i += 1;
+        }
+        if *i == start {
+            return Err(format!("empty number at byte {start}"));
+        }
+        Ok(())
+    }
+
+    fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+        debug_assert_eq!(b[*i], b'"');
+        *i += 1;
+        while *i < b.len() {
+            match b[*i] {
+                b'"' => {
+                    *i += 1;
+                    return Ok(());
+                }
+                b'\\' => *i += 2,
+                c if c < 0x20 => return Err(format!("raw control char at byte {i}")),
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+        *i += 1;
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b'}') {
+            *i += 1;
+            return Ok(());
+        }
+        loop {
+            skip_ws(b, i);
+            string(b, i)?;
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b':') {
+                return Err(format!("expected ':' at byte {i}"));
+            }
+            *i += 1;
+            value(b, i)?;
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b'}') => {
+                    *i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+        *i += 1;
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b']') {
+            *i += 1;
+            return Ok(());
+        }
+        loop {
+            value(b, i)?;
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b']') => {
+                    *i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+}
+
+#[test]
+fn chrome_trace_is_well_formed() {
+    let (_t, p) = profiled_run();
+    let trace = p.to_chrome_json();
+    json::validate(&trace).expect("exported trace is valid JSON");
+    assert!(trace.starts_with(r#"{"traceEvents":["#));
+    assert!(trace.contains(r#""ph":"X""#));
+    assert!(trace.contains(r#""cat":"execute""#));
+    assert!(trace.contains(r#""total_instructions""#));
+    assert!(trace.contains("kernel"));
+}
+
+#[test]
+fn chrome_trace_escapes_names() {
+    let mut t = Terra::new();
+    t.set_profile(true);
+    // Anonymous functions get quoted names with no JSON hazards, but a
+    // struct method carries punctuation worth exercising.
+    t.exec(
+        r#"
+        struct V { x : double }
+        terra V:get() : double return self.x end
+        terra use() : double
+            var v : V
+            v.x = 3.0
+            return v:get()
+        end
+        r = use()
+    "#,
+    )
+    .unwrap();
+    let trace = t.profile().to_chrome_json();
+    json::validate(&trace).expect("method names stay valid JSON");
+}
+
+// ---------------------------------------------------------------------------
+// Lua-visible perf table
+// ---------------------------------------------------------------------------
+
+#[test]
+fn perf_counters_visible_from_lua() {
+    let mut t = Terra::new();
+    t.capture_output();
+    t.exec(
+        r#"
+        terra triple(x : int) : int return 3 * x end
+        perf.enable()
+        assert(perf.enabled())
+        triple(14)
+        local c = perf.counters()
+        assert(c.total_instructions > 0, "instructions counted")
+        assert(c.funcs.triple.calls == 1, "per-function call count")
+        assert(c.funcs.triple.inclusive > 0)
+        assert(c.ops["mul.i"] == 1, "opcode counters")
+        local r = perf.report()
+        assert(string.find(r, "opcode counters") ~= nil, "report renders")
+        perf.reset()
+        assert(perf.counters().total_instructions == 0, "reset clears")
+        perf.disable()
+        assert(not perf.enabled())
+        print("perf ok")
+    "#,
+    )
+    .unwrap();
+    assert_eq!(t.take_output(), "perf ok\n");
+}
+
+#[test]
+fn perf_counters_are_deterministic_from_lua() {
+    let run = || {
+        let mut t = Terra::new();
+        t.exec(
+            r#"
+            terra work(n : int) : int
+                var s = 0
+                for i = 0, n do s = s + i end
+                return s
+            end
+            perf.enable()
+            work(50)
+            return perf.counters().total_instructions
+        "#,
+        )
+        .unwrap()
+        .first()
+        .cloned()
+        .unwrap()
+    };
+    assert_eq!(format!("{:?}", run()), format!("{:?}", run()));
+}
+
+// ---------------------------------------------------------------------------
+// Trap context
+// ---------------------------------------------------------------------------
+
+#[test]
+fn memory_traps_name_the_function() {
+    let mut t = Terra::new();
+    t.set_sanitize(true);
+    let err = t
+        .exec(
+            r#"
+            local C = terralib.includec("stdlib.h")
+            terra oops() : double
+                var p = [&double](C.malloc(32))
+                p[0] = 1.0
+                C.free(p)
+                return p[0]
+            end
+            oops()
+        "#,
+        )
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("use-after-free"), "got: {msg}");
+    assert!(msg.contains("in terra function 'oops'"), "got: {msg}");
+}
+
+#[test]
+fn oob_traps_name_the_function() {
+    let mut t = Terra::new();
+    let err = t
+        .exec(
+            r#"
+            terra stray() : double
+                var p = [&double](0)
+                return p[123456789]
+            end
+            stray()
+        "#,
+        )
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("in terra function 'stray'"), "got: {msg}");
+}
+
+// ---------------------------------------------------------------------------
+// CLI driver
+// ---------------------------------------------------------------------------
+
+mod cli {
+    use std::process::Command;
+
+    fn terra() -> Command {
+        Command::new(env!("CARGO_BIN_EXE_terra"))
+    }
+
+    #[test]
+    fn missing_e_argument_is_an_error() {
+        let out = terra().arg("-e").output().unwrap();
+        assert!(!out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("-e requires a code argument"),
+            "got: {stderr}"
+        );
+    }
+
+    #[test]
+    fn missing_trace_out_argument_is_an_error() {
+        let out = terra().arg("--trace-out").output().unwrap();
+        assert!(!out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--trace-out requires a file"),
+            "got: {stderr}"
+        );
+    }
+
+    #[test]
+    fn profile_flag_prints_report() {
+        let out = terra()
+            .args([
+                "--profile",
+                "-e",
+                "terra f(x : int) : int return x + 1 end print(f(1))",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        assert_eq!(String::from_utf8_lossy(&out.stdout), "2\n");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("== staging timeline =="), "got: {stderr}");
+        assert!(stderr.contains("== opcode counters =="), "got: {stderr}");
+        assert!(stderr.contains("add.i"), "got: {stderr}");
+    }
+
+    #[test]
+    fn trace_out_writes_valid_json() {
+        let path = std::env::temp_dir().join(format!("terra-trace-{}.json", std::process::id()));
+        let out = terra()
+            .args([
+                "--trace-out",
+                path.to_str().unwrap(),
+                "-e",
+                "terra g() : int return 7 end print(g())",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let trace = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        super::json::validate(&trace).expect("CLI-written trace is valid JSON");
+        assert!(trace.contains("traceEvents"));
+    }
+
+    #[test]
+    fn repl_reports_lint_diagnostics_per_chunk() {
+        use std::io::Write;
+        use std::process::Stdio;
+        let mut child = terra()
+            .arg("--lint")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(b"terra lintme() : int var dead = 4 return 1 end\nlintme()\n")
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("dead") || stderr.contains("never read"),
+            "REPL should surface lint warnings, got: {stderr}"
+        );
+    }
+}

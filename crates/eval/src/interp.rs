@@ -97,7 +97,12 @@ impl Interp {
     ///
     /// Propagates syntax errors, Lua runtime errors, and staging errors.
     pub fn exec(&mut self, src: &str) -> EvalResult<Vec<LuaValue>> {
+        let t0 = self.ctx.program.trace.now_us();
         let block = terra_syntax::parse(src)?;
+        self.ctx
+            .program
+            .trace
+            .record(terra_trace::Stage::Parse, "chunk", t0);
         let env = self.globals.child();
         match self.eval_block(&block, &env)? {
             Flow::Return(vs) => Ok(vs),
@@ -468,7 +473,8 @@ impl Interp {
         name: Rc<str>,
         implicit_self: Option<Ty>,
     ) -> EvalResult<SpecFunc> {
-        if let Some(self_ty) = implicit_self {
+        let t0 = self.ctx.program.trace.now_us();
+        let spec = if let Some(self_ty) = implicit_self {
             // Prepend `self` by specializing in an env where `self` is bound
             // to a fresh symbol, and adding it to the parameter list.
             let menv = env.child();
@@ -476,10 +482,15 @@ impl Interp {
             menv.declare(Rc::from("self"), LuaValue::Symbol(sym.clone()));
             let mut spec = Specializer::new(self, menv).function(def, name)?;
             spec.params.insert(0, (sym, self_ty));
-            Ok(spec)
+            spec
         } else {
-            Specializer::new(self, env.clone()).function(def, name)
-        }
+            Specializer::new(self, env.clone()).function(def, name)?
+        };
+        self.ctx
+            .program
+            .trace
+            .record(terra_trace::Stage::Specialize, &spec.name, t0);
+        Ok(spec)
     }
 
     /// Defines an anonymous `terra` function value (used for expressions and

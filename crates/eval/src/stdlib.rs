@@ -58,6 +58,7 @@ pub fn install(interp: &mut Interp) {
     install_table_lib(interp);
     install_os_io(interp);
     install_terralib(interp);
+    install_perf(interp);
 }
 
 // ---------------------------------------------------------------------------
@@ -1164,4 +1165,114 @@ fn install_terralib(interp: &mut Interp) {
         );
     }
     interp.set_global("terralib", LuaValue::Table(t));
+}
+
+// ---------------------------------------------------------------------------
+// perf
+// ---------------------------------------------------------------------------
+
+/// Builds a Lua table view of a [`terra_vm::trace::Profile`]. Counts are
+/// exposed as Lua numbers (f64), which is exact up to 2^53 instructions.
+fn profile_to_table(profile: &terra_vm::trace::Profile) -> TableRef {
+    let n = |v: u64| LuaValue::Number(v as f64);
+    let t = new_table();
+    {
+        let mut tb = t.borrow_mut();
+        tb.set_str("total_instructions", n(profile.total_instructions()));
+
+        let ops = new_table();
+        {
+            let mut ob = ops.borrow_mut();
+            for (mnemonic, count) in &profile.ops {
+                ob.set_str(mnemonic, n(*count));
+            }
+        }
+        tb.set_str("ops", LuaValue::Table(ops));
+
+        let funcs = new_table();
+        {
+            let mut fb = funcs.borrow_mut();
+            for f in &profile.funcs {
+                let row = new_table();
+                {
+                    let mut rb = row.borrow_mut();
+                    rb.set_str("calls", n(f.counters.calls));
+                    rb.set_str("inclusive", n(f.counters.inclusive));
+                    rb.set_str("exclusive", n(f.counters.exclusive));
+                }
+                fb.set_str(&f.name, LuaValue::Table(row));
+            }
+        }
+        tb.set_str("funcs", LuaValue::Table(funcs));
+
+        let mem = new_table();
+        {
+            let m = &profile.mem;
+            let mut mb = mem.borrow_mut();
+            mb.set_str("mallocs", n(m.mallocs));
+            mb.set_str("frees", n(m.frees));
+            mb.set_str("peak_live_bytes", n(m.peak_live_bytes));
+            mb.set_str("loads", n(m.total_loads()));
+            mb.set_str("stores", n(m.total_stores()));
+            mb.set_str("vec_loads", n(m.vec_loads));
+            mb.set_str("vec_stores", n(m.vec_stores));
+            mb.set_str("prefetches", n(m.prefetches));
+        }
+        tb.set_str("mem", LuaValue::Table(mem));
+    }
+    t
+}
+
+/// The `perf` table: a Lua-visible view of the VM's deterministic
+/// instruction and memory counters, so scripts (notably autotuners) can rank
+/// kernel variants without relying on wall-clock noise.
+fn install_perf(interp: &mut Interp) {
+    let t = new_table();
+    {
+        let mut tb = t.borrow_mut();
+        tb.set_str(
+            "enable",
+            native("perf.enable", |it, _args| {
+                it.ctx.program.set_profile(true);
+                Ok(vec![])
+            }),
+        );
+        tb.set_str(
+            "disable",
+            native("perf.disable", |it, _args| {
+                it.ctx.program.set_profile(false);
+                Ok(vec![])
+            }),
+        );
+        tb.set_str(
+            "enabled",
+            native("perf.enabled", |it, _args| {
+                Ok(vec![LuaValue::Bool(it.ctx.program.trace.enabled())])
+            }),
+        );
+        tb.set_str(
+            "reset",
+            native("perf.reset", |it, _args| {
+                it.ctx.program.reset_profile();
+                Ok(vec![])
+            }),
+        );
+        tb.set_str(
+            "counters",
+            native("perf.counters", |it, _args| {
+                let profile = it.ctx.program.profile();
+                Ok(vec![LuaValue::Table(profile_to_table(&profile))])
+            }),
+        );
+        tb.set_str(
+            "report",
+            native("perf.report", |it, _args| {
+                let profile = it.ctx.program.profile();
+                Ok(vec![LuaValue::Str(Rc::from(
+                    profile.render_counters().as_str(),
+                ))])
+            }),
+        );
+    }
+    interp.set_global("perf", LuaValue::Table(t));
 }

@@ -141,6 +141,7 @@ pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResul
     // inconsistent IR, and is reported instead of miscompiled. Lint mode
     // additionally runs the dataflow and bounds analyses, accumulating
     // warnings on the interpreter.
+    let t0 = interp.ctx.program.trace.now_us();
     let mut diags = {
         let env = CtxEnv { ctx: &interp.ctx };
         if interp.lint {
@@ -152,6 +153,11 @@ pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResul
             }
         }
     };
+    interp
+        .ctx
+        .program
+        .trace
+        .record(terra_trace::Stage::Analyze, &name, t0);
     if let Some(err) = diags
         .iter()
         .find(|d| d.severity == terra_ir::Severity::Error)
@@ -163,7 +169,13 @@ pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResul
     }
     interp.diagnostics.append(&mut diags);
     let globals = interp.ctx.global_addrs();
+    let t0 = interp.ctx.program.trace.now_us();
     let compiled = terra_vm::compile(&ir, &interp.ctx.types, &mut interp.ctx.program, &globals);
+    interp
+        .ctx
+        .program
+        .trace
+        .record(terra_trace::Stage::Compile, &name, t0);
     interp.ctx.program.define(id, compiled);
     // Link the rest of the connected component before this function can run.
     for dep in deps {
@@ -174,6 +186,20 @@ pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResul
 
 /// Typechecks a function body, producing IR and its direct dependencies.
 fn check_function(interp: &mut Interp, id: FuncId) -> EvalResult<(IrFunction, Vec<FuncId>)> {
+    let t0 = interp.ctx.program.trace.now_us();
+    let result = check_function_inner(interp, id);
+    if let Ok((ir, _)) = &result {
+        let name = ir.name.clone();
+        interp
+            .ctx
+            .program
+            .trace
+            .record(terra_trace::Stage::Typecheck, &name, t0);
+    }
+    result
+}
+
+fn check_function_inner(interp: &mut Interp, id: FuncId) -> EvalResult<(IrFunction, Vec<FuncId>)> {
     let spec = interp.ctx.funcs[id.0 as usize]
         .spec
         .clone()

@@ -1,0 +1,130 @@
+//! Chrome trace-event JSON export (`chrome://tracing`, Perfetto, Speedscope).
+//!
+//! Emits the object form of the trace-event format: a `traceEvents` array of
+//! complete (`"ph":"X"`) spans — one per staging/execution span — plus an
+//! `otherData` object carrying the deterministic counter summary. No JSON
+//! library is used; the writer below produces the small subset we need.
+
+use crate::Profile;
+use std::fmt::Write;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Profile {
+    /// Serializes the profile as Chrome trace-event JSON.
+    ///
+    /// The result is a single JSON object with a `traceEvents` array (one
+    /// complete event per span, microsecond timestamps) and an `otherData`
+    /// object with opcode/function/memory counter totals.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for e in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}: {}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":1}}",
+                e.stage.label(),
+                escape(&e.name),
+                e.stage.label(),
+                e.start_us,
+                e.dur_us
+            );
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{");
+        let _ = write!(
+            out,
+            "\"total_instructions\":{},\"opcodes\":{{",
+            self.total_instructions()
+        );
+        for (i, (op, n)) in self.ops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape(op), n);
+        }
+        out.push_str("},\"functions\":{");
+        for (i, f) in self.funcs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"calls\":{},\"inclusive\":{},\"exclusive\":{}}}",
+                escape(&f.name),
+                f.counters.calls,
+                f.counters.inclusive,
+                f.counters.exclusive
+            );
+        }
+        let m = &self.mem;
+        let _ = write!(
+            out,
+            "}},\"memory\":{{\"mallocs\":{},\"frees\":{},\"peak_live_bytes\":{},\
+             \"loads\":[{},{},{},{}],\"stores\":[{},{},{},{}],\
+             \"vector_loads\":{},\"vector_stores\":{},\"prefetches\":{}}}}}}}",
+            m.mallocs,
+            m.frees,
+            m.peak_live_bytes,
+            m.loads[0],
+            m.loads[1],
+            m.loads[2],
+            m.loads[3],
+            m.stores[0],
+            m.stores[1],
+            m.stores[2],
+            m.stores[3],
+            m.vec_loads,
+            m.vec_stores,
+            m.prefetches
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{MemStats, Profile, SpanEvent, Stage};
+
+    #[test]
+    fn json_has_trace_events_and_balanced_braces() {
+        let p = Profile {
+            events: vec![SpanEvent {
+                stage: Stage::Parse,
+                name: "chu\"nk".into(),
+                start_us: 1,
+                dur_us: 2,
+            }],
+            ops: vec![("add.i".into(), 3)],
+            funcs: Vec::new(),
+            mem: MemStats::default(),
+        };
+        let j = p.to_chrome_json();
+        assert!(j.starts_with("{\"traceEvents\":["));
+        assert!(j.contains("\\\"nk"), "quote must be escaped: {j}");
+        let open = j.matches(['{', '[']).count();
+        let close = j.matches(['}', ']']).count();
+        assert_eq!(open, close, "unbalanced brackets in {j}");
+    }
+}

@@ -1,0 +1,533 @@
+//! # terra-trace
+//!
+//! The observability layer of terra-rs: everything the staging pipeline and
+//! the VM need to answer "where did the time and the instructions go?".
+//!
+//! Three kinds of signal are collected, all behind one `enabled` gate so a
+//! non-profiled run pays (at most) a predictable branch:
+//!
+//! - **Staging timeline** — [`SpanEvent`]s for parse, specialization,
+//!   typecheck/lowering, analysis/verify, bytecode compilation, and FFI
+//!   execution, each tagged with the Terra function it concerns. This makes
+//!   the paper's lazy-compilation behaviour (§4: eager specialization, lazy
+//!   typechecking) directly visible: a function's typecheck span appears at
+//!   its *first call*, not at its definition.
+//! - **VM telemetry** — per-opcode execution counts, per-function call
+//!   counts with inclusive/exclusive instruction counts ([`Tracer`]), and
+//!   memory-system counters ([`MemCounters`]: allocation traffic, loads and
+//!   stores by access width, vector transfers, prefetch hints). Counters
+//!   are **deterministic**: two runs of the same program produce identical
+//!   snapshots, so they double as a reproducible cost model next to
+//!   wall-clock timing (the autotuner ranks kernels with them).
+//! - **Exports** — a human-readable report and Chrome `traceEvents` JSON
+//!   ([`Profile::to_chrome_json`]) loadable in `chrome://tracing` / Perfetto.
+//!
+//! Timeline timestamps are wall-clock and therefore *not* part of the
+//! deterministic surface; [`Profile::render_counters`] is the
+//! reproducibility contract.
+
+#![warn(missing_docs)]
+
+mod chrome;
+mod report;
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Which pipeline stage a timeline span belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Source text → AST.
+    Parse,
+    /// Eager specialization of a `terra` definition (LTDEFN).
+    Specialize,
+    /// Lazy typechecking + lowering to typed IR (first call).
+    Typecheck,
+    /// IR verification / dataflow analysis between lowering and compile.
+    Analyze,
+    /// Typed IR → register bytecode.
+    Compile,
+    /// An FFI entry into the VM (`Vm::call`).
+    Execute,
+}
+
+impl Stage {
+    /// Short lowercase label used in reports and trace categories.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Specialize => "specialize",
+            Stage::Typecheck => "typecheck",
+            Stage::Analyze => "analyze",
+            Stage::Compile => "compile",
+            Stage::Execute => "execute",
+        }
+    }
+}
+
+/// One completed span on the staging timeline.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Pipeline stage.
+    pub stage: Stage,
+    /// What was processed (usually a Terra function name, or `"chunk"`).
+    pub name: String,
+    /// Start time in microseconds since the tracer's epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// Deterministic execution counters for one Terra function.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuncCounters {
+    /// Number of times the function was entered.
+    pub calls: u64,
+    /// Instructions executed in this function *and* its callees. Recursive
+    /// calls are counted once per activation, so a self-recursive function's
+    /// inclusive count can exceed the program total.
+    pub inclusive: u64,
+    /// Instructions executed in this function's own frames only.
+    pub exclusive: u64,
+}
+
+/// A per-function row of a finished profile.
+#[derive(Debug, Clone)]
+pub struct FuncProfile {
+    /// Function name.
+    pub name: String,
+    /// Its counters.
+    pub counters: FuncCounters,
+}
+
+/// An in-flight function activation on the profile stack.
+#[derive(Debug)]
+struct ActiveFunc {
+    name: Rc<str>,
+    exclusive: u64,
+    child_inclusive: u64,
+}
+
+/// The collector threaded through the staging pipeline and the VM.
+///
+/// Lives on the VM `Program` so both the meta-language (staging spans) and
+/// executing Terra code (opcode/function counters) reach the same sink.
+/// Everything is a no-op until [`Tracer::set_enabled`] turns it on.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    epoch: Instant,
+    events: Vec<SpanEvent>,
+    ops: BTreeMap<&'static str, u64>,
+    funcs: BTreeMap<Rc<str>, FuncCounters>,
+    stack: Vec<ActiveFunc>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// Creates a disabled tracer.
+    pub fn new() -> Self {
+        Tracer {
+            enabled: false,
+            epoch: Instant::now(),
+            events: Vec::new(),
+            ops: BTreeMap::new(),
+            funcs: BTreeMap::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Turns collection on or off. Turning it off keeps accumulated data.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether collection is active.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Discards all collected events and counters (the gate stays as-is).
+    pub fn reset(&mut self) {
+        self.events.clear();
+        self.ops.clear();
+        self.funcs.clear();
+        self.stack.clear();
+    }
+
+    // -- timeline ------------------------------------------------------------
+
+    /// Microseconds since the tracer's epoch; the `start` for [`Tracer::record`].
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Records a completed span that began at `start_us` (from
+    /// [`Tracer::now_us`]). No-op while disabled.
+    pub fn record(&mut self, stage: Stage, name: &str, start_us: u64) {
+        if !self.enabled {
+            return;
+        }
+        let end = self.now_us();
+        self.events.push(SpanEvent {
+            stage,
+            name: name.to_string(),
+            start_us,
+            dur_us: end.saturating_sub(start_us),
+        });
+    }
+
+    // -- VM counters ---------------------------------------------------------
+
+    /// Counts one executed instruction: bumps the opcode's counter and the
+    /// current function activation's exclusive count. Call only while
+    /// profiling (the VM gates this behind [`Tracer::enabled`]).
+    #[inline]
+    pub fn tick(&mut self, mnemonic: &'static str) {
+        *self.ops.entry(mnemonic).or_insert(0) += 1;
+        if let Some(top) = self.stack.last_mut() {
+            top.exclusive += 1;
+        }
+    }
+
+    /// Pushes a function activation (VM frame push).
+    pub fn func_enter(&mut self, name: Rc<str>) {
+        self.stack.push(ActiveFunc {
+            name,
+            exclusive: 0,
+            child_inclusive: 0,
+        });
+    }
+
+    /// Pops the current activation (VM frame pop), folding its counts into
+    /// the per-function table and its parent's inclusive count.
+    pub fn func_exit(&mut self) {
+        let Some(top) = self.stack.pop() else { return };
+        let inclusive = top.exclusive + top.child_inclusive;
+        let entry = self.funcs.entry(top.name).or_default();
+        entry.calls += 1;
+        entry.exclusive += top.exclusive;
+        entry.inclusive += inclusive;
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_inclusive += inclusive;
+        }
+    }
+
+    /// Activation-stack depth (for unwinding on traps).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Pops activations down to `depth`, still attributing the partial
+    /// counts each trapped frame accumulated.
+    pub fn unwind_to(&mut self, depth: usize) {
+        while self.stack.len() > depth {
+            self.func_exit();
+        }
+    }
+
+    // -- snapshots -----------------------------------------------------------
+
+    /// Freezes the collected data into a [`Profile`], combining it with the
+    /// memory counters (which live on the VM's `Memory`).
+    pub fn snapshot(&self, mem: MemStats) -> Profile {
+        let mut funcs: Vec<FuncProfile> = self
+            .funcs
+            .iter()
+            .map(|(name, c)| FuncProfile {
+                name: name.to_string(),
+                counters: *c,
+            })
+            .collect();
+        // Most expensive first; ties broken by name for determinism.
+        funcs.sort_by(|a, b| {
+            b.counters
+                .inclusive
+                .cmp(&a.counters.inclusive)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        Profile {
+            events: self.events.clone(),
+            ops: self.ops.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            funcs,
+            mem,
+        }
+    }
+}
+
+/// Live memory-system counters, embedded in the VM's `Memory`.
+///
+/// Fields are [`Cell`]s because loads go through `&Memory`; the VM gates
+/// every `note_*` call behind its own profile flag, so a disabled run never
+/// touches these.
+#[derive(Debug, Default)]
+pub struct MemCounters {
+    mallocs: Cell<u64>,
+    frees: Cell<u64>,
+    peak_live_bytes: Cell<u64>,
+    loads: [Cell<u64>; 4],
+    stores: [Cell<u64>; 4],
+    vec_loads: Cell<u64>,
+    vec_stores: Cell<u64>,
+    prefetches: Cell<u64>,
+}
+
+#[inline]
+fn width_bucket(bytes: u64) -> usize {
+    match bytes {
+        1 => 0,
+        2 => 1,
+        4 => 2,
+        _ => 3,
+    }
+}
+
+impl MemCounters {
+    /// Records a `malloc`, with the resulting live-byte figure for peak
+    /// tracking.
+    #[inline]
+    pub fn note_malloc(&self, live_bytes: u64) {
+        self.mallocs.set(self.mallocs.get() + 1);
+        if live_bytes > self.peak_live_bytes.get() {
+            self.peak_live_bytes.set(live_bytes);
+        }
+    }
+
+    /// Records a successful `free`.
+    #[inline]
+    pub fn note_free(&self) {
+        self.frees.set(self.frees.get() + 1);
+    }
+
+    /// Records a scalar load of `bytes` (1/2/4/8).
+    #[inline]
+    pub fn note_load(&self, bytes: u64) {
+        let c = &self.loads[width_bucket(bytes)];
+        c.set(c.get() + 1);
+    }
+
+    /// Records a scalar store of `bytes` (1/2/4/8).
+    #[inline]
+    pub fn note_store(&self, bytes: u64) {
+        let c = &self.stores[width_bucket(bytes)];
+        c.set(c.get() + 1);
+    }
+
+    /// Records a vector-register load.
+    #[inline]
+    pub fn note_vec_load(&self) {
+        self.vec_loads.set(self.vec_loads.get() + 1);
+    }
+
+    /// Records a vector-register store.
+    #[inline]
+    pub fn note_vec_store(&self) {
+        self.vec_stores.set(self.vec_stores.get() + 1);
+    }
+
+    /// Records a prefetch hint.
+    #[inline]
+    pub fn note_prefetch(&self) {
+        self.prefetches.set(self.prefetches.get() + 1);
+    }
+
+    /// Clears every counter.
+    pub fn reset(&self) {
+        self.mallocs.set(0);
+        self.frees.set(0);
+        self.peak_live_bytes.set(0);
+        for c in &self.loads {
+            c.set(0);
+        }
+        for c in &self.stores {
+            c.set(0);
+        }
+        self.vec_loads.set(0);
+        self.vec_stores.set(0);
+        self.prefetches.set(0);
+    }
+
+    /// A plain-value copy of the current counts.
+    pub fn snapshot(&self) -> MemStats {
+        MemStats {
+            mallocs: self.mallocs.get(),
+            frees: self.frees.get(),
+            peak_live_bytes: self.peak_live_bytes.get(),
+            loads: [
+                self.loads[0].get(),
+                self.loads[1].get(),
+                self.loads[2].get(),
+                self.loads[3].get(),
+            ],
+            stores: [
+                self.stores[0].get(),
+                self.stores[1].get(),
+                self.stores[2].get(),
+                self.stores[3].get(),
+            ],
+            vec_loads: self.vec_loads.get(),
+            vec_stores: self.vec_stores.get(),
+            prefetches: self.prefetches.get(),
+        }
+    }
+}
+
+/// A frozen copy of [`MemCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Heap allocations.
+    pub mallocs: u64,
+    /// Heap frees.
+    pub frees: u64,
+    /// Peak bytes simultaneously live on the heap.
+    pub peak_live_bytes: u64,
+    /// Scalar loads by width: `[1, 2, 4, 8]` bytes.
+    pub loads: [u64; 4],
+    /// Scalar stores by width: `[1, 2, 4, 8]` bytes.
+    pub stores: [u64; 4],
+    /// Vector-register loads.
+    pub vec_loads: u64,
+    /// Vector-register stores.
+    pub vec_stores: u64,
+    /// Prefetch hints issued.
+    pub prefetches: u64,
+}
+
+impl MemStats {
+    /// Total scalar + vector loads.
+    pub fn total_loads(&self) -> u64 {
+        self.loads.iter().sum::<u64>() + self.vec_loads
+    }
+
+    /// Total scalar + vector stores.
+    pub fn total_stores(&self) -> u64 {
+        self.stores.iter().sum::<u64>() + self.vec_stores
+    }
+}
+
+/// A complete, frozen profile: timeline + all counters.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Staging/execution timeline spans, in completion order.
+    pub events: Vec<SpanEvent>,
+    /// Per-opcode execution counts, sorted by mnemonic.
+    pub ops: Vec<(String, u64)>,
+    /// Per-function counters, sorted by inclusive count (descending).
+    pub funcs: Vec<FuncProfile>,
+    /// Memory-system counters.
+    pub mem: MemStats,
+}
+
+impl Profile {
+    /// Total VM instructions executed.
+    pub fn total_instructions(&self) -> u64 {
+        self.ops.iter().map(|(_, n)| *n).sum()
+    }
+
+    /// Executed count for one opcode mnemonic (0 if never executed).
+    pub fn op_count(&self, mnemonic: &str) -> u64 {
+        self.ops
+            .iter()
+            .find(|(m, _)| m == mnemonic)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// Counters for a function by name.
+    pub fn func(&self, name: &str) -> Option<&FuncProfile> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercised_tracer() -> Tracer {
+        let mut t = Tracer::new();
+        t.set_enabled(true);
+        let s = t.now_us();
+        t.record(Stage::Parse, "chunk", s);
+        t.func_enter(Rc::from("outer"));
+        t.tick("add.i");
+        t.tick("add.i");
+        t.func_enter(Rc::from("inner"));
+        t.tick("mul.i");
+        t.func_exit();
+        t.tick("ret");
+        t.func_exit();
+        t
+    }
+
+    #[test]
+    fn inclusive_exclusive_accounting() {
+        let t = exercised_tracer();
+        let p = t.snapshot(MemStats::default());
+        assert_eq!(p.total_instructions(), 4);
+        let outer = p.func("outer").unwrap().counters;
+        assert_eq!(outer.calls, 1);
+        assert_eq!(outer.exclusive, 3);
+        assert_eq!(outer.inclusive, 4);
+        let inner = p.func("inner").unwrap().counters;
+        assert_eq!(inner.exclusive, 1);
+        assert_eq!(inner.inclusive, 1);
+        assert_eq!(p.op_count("add.i"), 2);
+        assert_eq!(p.op_count("nope"), 0);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::new();
+        let s = t.now_us();
+        t.record(Stage::Parse, "chunk", s);
+        assert!(t.snapshot(MemStats::default()).events.is_empty());
+    }
+
+    #[test]
+    fn unwind_attributes_partial_counts() {
+        let mut t = Tracer::new();
+        t.set_enabled(true);
+        t.func_enter(Rc::from("f"));
+        t.tick("add.i");
+        t.func_enter(Rc::from("g"));
+        t.tick("div.s");
+        t.unwind_to(0);
+        let p = t.snapshot(MemStats::default());
+        assert_eq!(p.func("g").unwrap().counters.exclusive, 1);
+        assert_eq!(p.func("f").unwrap().counters.inclusive, 2);
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn mem_counters_roundtrip() {
+        let c = MemCounters::default();
+        c.note_malloc(128);
+        c.note_malloc(64); // live shrank (hypothetically); peak must hold
+        c.note_free();
+        c.note_load(8);
+        c.note_load(1);
+        c.note_store(4);
+        c.note_vec_load();
+        c.note_vec_store();
+        c.note_prefetch();
+        let s = c.snapshot();
+        assert_eq!(s.mallocs, 2);
+        assert_eq!(s.frees, 1);
+        assert_eq!(s.peak_live_bytes, 128);
+        assert_eq!(s.loads, [1, 0, 0, 1]);
+        assert_eq!(s.stores, [0, 0, 1, 0]);
+        assert_eq!(s.total_loads(), 3);
+        assert_eq!(s.total_stores(), 2);
+        c.reset();
+        assert_eq!(c.snapshot(), MemStats::default());
+    }
+}

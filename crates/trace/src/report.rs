@@ -1,0 +1,104 @@
+//! Human-readable profile rendering.
+//!
+//! [`Profile::render_report`] is what `terra --profile` prints: a timeline
+//! section (wall-clock, not deterministic) followed by the counter sections.
+//! [`Profile::render_counters`] renders only the deterministic counters and
+//! is the byte-identical reproducibility contract used by tests and golden
+//! files.
+
+use crate::Profile;
+use std::fmt::Write;
+
+impl Profile {
+    /// Renders the full report: staging timeline + deterministic counters.
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        if !self.events.is_empty() {
+            out.push_str("== staging timeline ==\n");
+            for e in &self.events {
+                let _ = writeln!(
+                    out,
+                    "  {:>10.3} ms  {:>9.3} ms  {:<10} {}",
+                    e.start_us as f64 / 1000.0,
+                    e.dur_us as f64 / 1000.0,
+                    e.stage.label(),
+                    e.name
+                );
+            }
+        }
+        out.push_str(&self.render_counters());
+        out
+    }
+
+    /// Renders only the deterministic counter sections (no timestamps).
+    ///
+    /// Two runs of the same program must produce byte-identical output here;
+    /// the determinism test in `terra-core` relies on it.
+    pub fn render_counters(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== function profile ==\n");
+        out.push_str("  calls        inclusive        exclusive  function\n");
+        for f in &self.funcs {
+            let _ = writeln!(
+                out,
+                "  {:>5} {:>16} {:>16}  {}",
+                f.counters.calls, f.counters.inclusive, f.counters.exclusive, f.name
+            );
+        }
+        let _ = writeln!(
+            out,
+            "== opcode counters == ({} instructions)",
+            self.total_instructions()
+        );
+        for (op, n) in &self.ops {
+            let _ = writeln!(out, "  {op:<14} {n:>14}");
+        }
+        let m = &self.mem;
+        out.push_str("== memory counters ==\n");
+        let _ = writeln!(
+            out,
+            "  mallocs {}  frees {}  peak_live_bytes {}",
+            m.mallocs, m.frees, m.peak_live_bytes
+        );
+        let _ = writeln!(
+            out,
+            "  loads  b1 {} b2 {} b4 {} b8 {} vector {}",
+            m.loads[0], m.loads[1], m.loads[2], m.loads[3], m.vec_loads
+        );
+        let _ = writeln!(
+            out,
+            "  stores b1 {} b2 {} b4 {} b8 {} vector {}",
+            m.stores[0], m.stores[1], m.stores[2], m.stores[3], m.vec_stores
+        );
+        let _ = writeln!(out, "  prefetch hints {}", m.prefetches);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{FuncCounters, FuncProfile, MemStats, Profile};
+
+    #[test]
+    fn counters_render_deterministically() {
+        let p = Profile {
+            events: Vec::new(),
+            ops: vec![("add.i".into(), 3), ("ret".into(), 1)],
+            funcs: vec![FuncProfile {
+                name: "f".into(),
+                counters: FuncCounters {
+                    calls: 1,
+                    inclusive: 4,
+                    exclusive: 4,
+                },
+            }],
+            mem: MemStats::default(),
+        };
+        let a = p.render_counters();
+        let b = p.render_counters();
+        assert_eq!(a, b);
+        assert!(a.contains("add.i"));
+        assert!(a.contains("(4 instructions)"));
+        assert!(a.contains("  f"), "{a}");
+    }
+}

@@ -913,6 +913,120 @@ pub enum Instr {
     Trap,
 }
 
+impl Instr {
+    /// The instruction's mnemonic, used as the key for the profiler's
+    /// per-opcode execution counters and in disassembly-style reports.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::ConstI { .. } => "const.i",
+            Instr::ConstF64 { .. } => "const.f64",
+            Instr::ConstF32 { .. } => "const.f32",
+            Instr::Mov { .. } => "mov",
+            Instr::AddI { .. } => "add.i",
+            Instr::SubI { .. } => "sub.i",
+            Instr::MulI { .. } => "mul.i",
+            Instr::DivS { .. } => "div.s",
+            Instr::DivU { .. } => "div.u",
+            Instr::RemS { .. } => "rem.s",
+            Instr::RemU { .. } => "rem.u",
+            Instr::Shl { .. } => "shl",
+            Instr::ShrS { .. } => "shr.s",
+            Instr::ShrU { .. } => "shr.u",
+            Instr::And { .. } => "and",
+            Instr::Or { .. } => "or",
+            Instr::Xor { .. } => "xor",
+            Instr::MinS { .. } => "min.s",
+            Instr::MaxS { .. } => "max.s",
+            Instr::NegI { .. } => "neg.i",
+            Instr::NotI { .. } => "not.i",
+            Instr::NotB { .. } => "not.b",
+            Instr::Trunc { .. } => "trunc",
+            Instr::Lea { .. } => "lea",
+            Instr::AddF64 { .. } => "add.f64",
+            Instr::SubF64 { .. } => "sub.f64",
+            Instr::MulF64 { .. } => "mul.f64",
+            Instr::DivF64 { .. } => "div.f64",
+            Instr::MinF64 { .. } => "min.f64",
+            Instr::MaxF64 { .. } => "max.f64",
+            Instr::NegF64 { .. } => "neg.f64",
+            Instr::AddF32 { .. } => "add.f32",
+            Instr::SubF32 { .. } => "sub.f32",
+            Instr::MulF32 { .. } => "mul.f32",
+            Instr::DivF32 { .. } => "div.f32",
+            Instr::MinF32 { .. } => "min.f32",
+            Instr::MaxF32 { .. } => "max.f32",
+            Instr::NegF32 { .. } => "neg.f32",
+            Instr::CmpEqI { .. } => "cmp.eq.i",
+            Instr::CmpNeI { .. } => "cmp.ne.i",
+            Instr::CmpLtS { .. } => "cmp.lt.s",
+            Instr::CmpLeS { .. } => "cmp.le.s",
+            Instr::CmpLtU { .. } => "cmp.lt.u",
+            Instr::CmpLeU { .. } => "cmp.le.u",
+            Instr::CmpEqF64 { .. } => "cmp.eq.f64",
+            Instr::CmpNeF64 { .. } => "cmp.ne.f64",
+            Instr::CmpLtF64 { .. } => "cmp.lt.f64",
+            Instr::CmpLeF64 { .. } => "cmp.le.f64",
+            Instr::CmpEqF32 { .. } => "cmp.eq.f32",
+            Instr::CmpNeF32 { .. } => "cmp.ne.f32",
+            Instr::CmpLtF32 { .. } => "cmp.lt.f32",
+            Instr::CmpLeF32 { .. } => "cmp.le.f32",
+            Instr::CvtSToF64 { .. } => "cvt.s.f64",
+            Instr::CvtSToF32 { .. } => "cvt.s.f32",
+            Instr::CvtUToF64 { .. } => "cvt.u.f64",
+            Instr::CvtUToF32 { .. } => "cvt.u.f32",
+            Instr::CvtF64ToS { .. } => "cvt.f64.s",
+            Instr::CvtF64ToU { .. } => "cvt.f64.u",
+            Instr::CvtF32ToS { .. } => "cvt.f32.s",
+            Instr::CvtF32ToF64 { .. } => "cvt.f32.f64",
+            Instr::CvtF64ToF32 { .. } => "cvt.f64.f32",
+            Instr::LoadI8 { .. } => "load.i8",
+            Instr::LoadU8 { .. } => "load.u8",
+            Instr::LoadI16 { .. } => "load.i16",
+            Instr::LoadU16 { .. } => "load.u16",
+            Instr::LoadI32 { .. } => "load.i32",
+            Instr::LoadU32 { .. } => "load.u32",
+            Instr::Load64 { .. } => "load.64",
+            Instr::LoadF32 { .. } => "load.f32",
+            Instr::LoadF64 { .. } => "load.f64",
+            Instr::Store8 { .. } => "store.8",
+            Instr::Store16 { .. } => "store.16",
+            Instr::Store32 { .. } => "store.32",
+            Instr::Store64 { .. } => "store.64",
+            Instr::StoreF32 { .. } => "store.f32",
+            Instr::StoreF64 { .. } => "store.f64",
+            Instr::LoadV { .. } => "load.v",
+            Instr::StoreV { .. } => "store.v",
+            Instr::FrameAddr { .. } => "frame.addr",
+            Instr::CopyMem { .. } => "copy.mem",
+            Instr::Prefetch { .. } => "prefetch",
+            Instr::VAddF32 { .. } => "vadd.f32",
+            Instr::VSubF32 { .. } => "vsub.f32",
+            Instr::VMulF32 { .. } => "vmul.f32",
+            Instr::VDivF32 { .. } => "vdiv.f32",
+            Instr::VMinF32 { .. } => "vmin.f32",
+            Instr::VMaxF32 { .. } => "vmax.f32",
+            Instr::VAddF64 { .. } => "vadd.f64",
+            Instr::VSubF64 { .. } => "vsub.f64",
+            Instr::VMulF64 { .. } => "vmul.f64",
+            Instr::VDivF64 { .. } => "vdiv.f64",
+            Instr::VMinF64 { .. } => "vmin.f64",
+            Instr::VMaxF64 { .. } => "vmax.f64",
+            Instr::VFmaF32 { .. } => "vfma.f32",
+            Instr::VFmaF64 { .. } => "vfma.f64",
+            Instr::SplatF32 { .. } => "splat.f32",
+            Instr::SplatF64 { .. } => "splat.f64",
+            Instr::Jmp { .. } => "jmp",
+            Instr::BrFalse { .. } => "br.false",
+            Instr::BrTrue { .. } => "br.true",
+            Instr::Call { .. } => "call",
+            Instr::CallIndirect { .. } => "call.indirect",
+            Instr::CallBuiltin { .. } => "call.builtin",
+            Instr::Ret { .. } => "ret",
+            Instr::Trap => "trap",
+        }
+    }
+}
+
 /// Function-pointer values are tagged with this high bit pattern so that
 /// stray integers are not callable.
 pub const FUNC_PTR_TAG: u64 = 0xF1A5_0000_0000_0000;

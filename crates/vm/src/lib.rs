@@ -28,3 +28,4 @@ pub use compile::compile;
 pub use machine::{decode_value, ExecResult, RegImage, Trap, Vm};
 pub use memory::{MemError, MemKind, MemResult, Memory};
 pub use program::{OutputSink, Program, Value};
+pub use terra_trace as trace;

@@ -14,8 +14,16 @@ use terra_ir::{Builtin, FuncId, ScalarTy, Ty};
 /// A runtime fault in Terra code.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Trap {
-    /// Out-of-bounds or null memory access.
-    Memory(MemError),
+    /// Out-of-bounds or null memory access (including sanitizer
+    /// use-after-free / double-free findings), with the Terra function that
+    /// was executing when it fired, if known.
+    Memory {
+        /// The underlying memory fault.
+        err: MemError,
+        /// Name of the Terra function executing at trap time. `None` only
+        /// for faults raised outside VM execution (host-side accesses).
+        func: Option<Rc<str>>,
+    },
     /// Integer division or remainder by zero.
     DivByZero,
     /// Terra stack exhausted (deep recursion or huge frames).
@@ -40,7 +48,13 @@ pub enum Trap {
 impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Trap::Memory(e) => write!(f, "{e}"),
+            Trap::Memory { err, func } => {
+                write!(f, "{err}")?;
+                if let Some(name) = func {
+                    write!(f, " (in terra function '{name}')")?;
+                }
+                Ok(())
+            }
             Trap::DivByZero => write!(f, "integer division by zero"),
             Trap::StackOverflow => write!(f, "terra stack overflow"),
             Trap::Undefined(name) => write!(f, "call to undefined function '{name}'"),
@@ -60,7 +74,7 @@ impl std::error::Error for Trap {}
 
 impl From<MemError> for Trap {
     fn from(e: MemError) -> Self {
-        Trap::Memory(e)
+        Trap::Memory { err: e, func: None }
     }
 }
 
@@ -182,7 +196,10 @@ impl Vm {
             .map(|(v, ty)| [encode_arg(*v, ty), 0, 0, 0])
             .collect();
         let ret_ty = func.ty.ret.clone();
+        let name = func.name.clone();
+        let start = prog.trace.now_us();
         let bits = self.call_raw(prog, func, &raw)?;
+        prog.trace.record(terra_trace::Stage::Execute, &name, start);
         Ok(decode_value(&ret_ty, bits))
     }
 
@@ -195,16 +212,28 @@ impl Vm {
     ) -> ExecResult<RegImage> {
         let saved_regs = self.regs.len();
         let saved_frames = self.frames.len();
+        let saved_trace = prog.trace.depth();
         let result = self.run(prog, func, args);
         self.regs.truncate(saved_regs);
-        if result.is_err() {
+        result.map_err(|trap| {
+            // The innermost frame still on the stack names the Terra
+            // function that was executing when the trap fired.
+            let current = self
+                .frames
+                .last()
+                .filter(|_| self.frames.len() > saved_frames)
+                .map(|fr| fr.func.name.clone());
             // Unwind any frames (and their memory) left by the trap.
             while self.frames.len() > saved_frames {
                 let fr = self.frames.pop().expect("frame count checked");
                 prog.memory.pop_frame(fr.mem_base);
             }
-        }
-        result
+            prog.trace.unwind_to(saved_trace);
+            match trap {
+                Trap::Memory { err, func: None } => Trap::Memory { err, func: current },
+                other => other,
+            }
+        })
     }
 
     fn run(
@@ -221,6 +250,12 @@ impl Vm {
             .memory
             .push_frame(func.frame_size as u64)
             .map_err(|_| Trap::StackOverflow)?;
+        // Read the profiling gate once: the hot loop pays a single
+        // predictable branch per instruction when profiling is off.
+        let profiling = prog.trace.enabled();
+        if profiling {
+            prog.trace.func_enter(Rc::clone(&func.name));
+        }
         self.frames.push(Frame {
             func,
             pc: 0,
@@ -301,6 +336,9 @@ impl Vm {
             loop {
                 let instr = &code[pc];
                 pc += 1;
+                if profiling {
+                    prog.trace.tick(instr.mnemonic());
+                }
                 match *instr {
                     Instr::ConstI { d, v } => seti!(d, v),
                     Instr::ConstF64 { d, v } => set!(d, from_f64(v)),
@@ -550,6 +588,9 @@ impl Vm {
                     Instr::Ret { s } => {
                         let val = if s == NO_REG { [0u64; 4] } else { r!(s) };
                         let done = self.frames.len() == entry_frames + 1;
+                        if profiling {
+                            prog.trace.func_exit();
+                        }
                         let fr = self.frames.pop().expect("frame exists");
                         prog.memory.pop_frame(fr.mem_base);
                         self.regs.truncate(fr.base);
@@ -590,6 +631,9 @@ impl Vm {
             .memory
             .push_frame(callee.frame_size as u64)
             .map_err(|_| Trap::StackOverflow)?;
+        if prog.trace.enabled() {
+            prog.trace.func_enter(Rc::clone(&callee.name));
+        }
         self.frames.push(Frame {
             func: callee,
             pc: 0,

@@ -96,6 +96,11 @@ pub struct Memory {
     /// Freed heap payload ranges (`start → length`), kept only while the
     /// sanitizer is on, so stray accesses into them can be diagnosed.
     freed: std::collections::BTreeMap<u64, u64>,
+    /// Profiling gate for the memory counters below.
+    profile: bool,
+    /// Allocation/load/store/prefetch counters (deterministic; only touched
+    /// while `profile` is on).
+    counters: terra_trace::MemCounters,
 }
 
 impl Default for Memory {
@@ -118,7 +123,26 @@ impl Memory {
             live_bytes: 0,
             sanitize: false,
             freed: std::collections::BTreeMap::new(),
+            profile: false,
+            counters: terra_trace::MemCounters::default(),
         }
+    }
+
+    /// Turns the memory-system counters on or off. Counts survive a toggle;
+    /// call `counters().reset()` to clear them.
+    pub fn set_profile(&mut self, on: bool) {
+        self.profile = on;
+    }
+
+    /// Whether the memory counters are being collected.
+    pub fn profile_enabled(&self) -> bool {
+        self.profile
+    }
+
+    /// The live memory counters (snapshot with
+    /// [`terra_trace::MemCounters::snapshot`]).
+    pub fn counters(&self) -> &terra_trace::MemCounters {
+        &self.counters
     }
 
     /// Turns sanitizer mode on or off. While on, freshly pushed stack frames
@@ -207,6 +231,9 @@ impl Memory {
         // Header: size class in the first 8 bytes.
         self.data[base as usize..base as usize + 8].copy_from_slice(&(class as u64).to_le_bytes());
         self.live_bytes += block_size;
+        if self.profile {
+            self.counters.note_malloc(self.live_bytes);
+        }
         let payload = base + BLOCK_HEADER;
         if self.sanitize {
             self.freed.remove(&payload);
@@ -252,6 +279,9 @@ impl Memory {
             });
         }
         self.live_bytes = self.live_bytes.saturating_sub(1 << class);
+        if self.profile {
+            self.counters.note_free();
+        }
         self.free_lists[class].push(base);
         if self.sanitize {
             let payload_len = (1u64 << class) - BLOCK_HEADER;
@@ -349,6 +379,9 @@ impl Memory {
     /// address is valid (silently ignores invalid hints, like hardware does).
     #[inline]
     pub fn prefetch(&self, addr: u64) {
+        if self.profile {
+            self.counters.note_prefetch();
+        }
         if self.check(addr, 1).is_ok() {
             #[cfg(target_arch = "x86_64")]
             unsafe {
@@ -372,6 +405,9 @@ macro_rules! scalar_access {
             #[inline]
             pub fn $load(&self, addr: u64) -> MemResult<$ty> {
                 self.check(addr, $n)?;
+                if self.profile {
+                    self.counters.note_load($n);
+                }
                 let mut b = [0u8; $n];
                 b.copy_from_slice(&self.data[addr as usize..addr as usize + $n]);
                 Ok(<$ty>::from_le_bytes(b))
@@ -381,6 +417,9 @@ macro_rules! scalar_access {
             #[inline]
             pub fn $store(&mut self, addr: u64, v: $ty) -> MemResult<()> {
                 self.check(addr, $n)?;
+                if self.profile {
+                    self.counters.note_store($n);
+                }
                 self.data[addr as usize..addr as usize + $n].copy_from_slice(&v.to_le_bytes());
                 Ok(())
             }
@@ -404,6 +443,9 @@ impl Memory {
     #[inline]
     pub fn load_vec(&self, addr: u64, len: u64) -> MemResult<[u64; 4]> {
         self.check(addr, len)?;
+        if self.profile {
+            self.counters.note_vec_load();
+        }
         let mut out = [0u64; 4];
         let src = &self.data[addr as usize..(addr + len) as usize];
         let mut buf = [0u8; 32];
@@ -418,6 +460,9 @@ impl Memory {
     #[inline]
     pub fn store_vec(&mut self, addr: u64, v: [u64; 4], len: u64) -> MemResult<()> {
         self.check(addr, len)?;
+        if self.profile {
+            self.counters.note_vec_store();
+        }
         let mut buf = [0u8; 32];
         for (i, w) in v.iter().enumerate() {
             buf[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());

@@ -88,6 +88,11 @@ pub struct Program {
     pub rng_state: u64,
     /// Start instant for `clock()`.
     pub epoch: Instant,
+    /// Observability sink: staging timeline spans and VM opcode/function
+    /// counters land here. Shared between the staging pipeline (which
+    /// records spans through it) and the VM (which ticks counters); off by
+    /// default.
+    pub trace: terra_trace::Tracer,
 }
 
 impl Default for Program {
@@ -107,7 +112,28 @@ impl Program {
             output: OutputSink::Stdout,
             rng_state: 0x9E3779B97F4A7C15,
             epoch: Instant::now(),
+            trace: terra_trace::Tracer::new(),
         }
+    }
+
+    /// Turns profiling on or off for both the tracer and the memory-system
+    /// counters. Accumulated data is kept; use [`Program::reset_profile`]
+    /// to clear it.
+    pub fn set_profile(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+        self.memory.set_profile(on);
+    }
+
+    /// Clears all collected profile data (timeline, opcode/function
+    /// counters, memory counters) without changing the on/off gate.
+    pub fn reset_profile(&mut self) {
+        self.trace.reset();
+        self.memory.counters().reset();
+    }
+
+    /// Freezes the current profile (timeline + VM + memory counters).
+    pub fn profile(&self) -> terra_trace::Profile {
+        self.trace.snapshot(self.memory.counters().snapshot())
     }
 
     /// Reserves a function id (the semantics' `tdecl`).

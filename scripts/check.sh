@@ -19,4 +19,13 @@ cargo test --workspace -q
 echo "==> cargo test --release"
 cargo test --workspace --release -q
 
+echo "==> profile smoke (terra --profile --trace-out)"
+trace_json="$(mktemp)"
+trap 'rm -f "$trace_json"' EXIT
+./target/release/terra --profile --trace-out "$trace_json" examples/saxpy.t 2>&1 \
+    | grep -q "== opcode counters ==" \
+    || { echo "profile smoke: no opcode counters in report" >&2; exit 1; }
+grep -q '"traceEvents"' "$trace_json" \
+    || { echo "profile smoke: trace file is missing traceEvents" >&2; exit 1; }
+
 echo "All checks passed."

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Profile a Lua-Terra script on the release VM: prints the per-function /
+# opcode / memory counter report and writes a Chrome trace-event JSON file
+# (open in about:tracing or https://ui.perfetto.dev).
+#
+# Usage: ./scripts/profile.sh script.t [trace.json] [script args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ $# -lt 1 ]]; then
+    echo "usage: $0 script.t [trace.json] [script args...]" >&2
+    exit 1
+fi
+
+script="$1"
+shift
+trace_out="${1:-trace.json}"
+[[ $# -gt 0 ]] && shift
+
+cargo build --release -p terra-core --bins -q
+exec ./target/release/terra --profile --trace-out "$trace_out" "$script" "$@"
