@@ -128,7 +128,19 @@ impl GemmSession {
     ///
     /// Fails only if the embedded script fails to stage.
     pub fn new() -> Result<Self, LuaError> {
+        Self::with_opt_level(terra_core::OptLevel::default())
+    }
+
+    /// Like [`GemmSession::new`], but with an explicit mid-end optimization
+    /// level — useful for measuring what the optimizer buys on the staged
+    /// kernels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates staging errors from the generator script.
+    pub fn with_opt_level(level: terra_core::OptLevel) -> Result<Self, LuaError> {
         let mut terra = Terra::new();
+        terra.set_opt_level(level);
         terra.exec(GEMM_SCRIPT)?;
         Ok(GemmSession { terra, counter: 0 })
     }

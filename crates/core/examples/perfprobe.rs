@@ -2,13 +2,15 @@
 //! reproduction): measures naive matmul MFLOPS on the VM, plus the
 //! deterministic cost profile — VM instructions per floating-point
 //! operation and memory-system load/store counts — for each size.
+//!
+//! Also writes `BENCH_opt.json` next to the working directory: per-kernel
+//! deterministic instruction counts at `-O0` vs `-O2`, so optimizer
+//! regressions show up as a diff in CI.
+use std::fmt::Write as _;
 use std::time::Instant;
-use terra_core::{Terra, Value};
+use terra_core::{OptLevel, Terra, Value};
 
-fn main() {
-    let mut t = Terra::new();
-    t.exec(
-        r#"
+const MATMUL_SRC: &str = r#"
         terra matmul(A : &double, B : &double, C : &double, N : int)
             for i = 0, N do
                 for j = 0, N do
@@ -20,9 +22,74 @@ fn main() {
                 end
             end
         end
-    "#,
+    "#;
+
+const SAXPY_SRC: &str = r#"
+        terra saxpy(a : double, X : &double, Y : &double, N : int)
+            for i = 0, N do
+                Y[i] = Y[i] + (a * 2.0 + 1.0) * X[i]
+            end
+        end
+    "#;
+
+/// One profiled matmul run at the given level; returns total instructions.
+fn matmul_instrs(level: OptLevel, n: usize) -> u64 {
+    let mut t = Terra::new();
+    t.set_opt_level(level);
+    t.exec(MATMUL_SRC).unwrap();
+    let f = t.function("matmul").unwrap();
+    let bytes = (n * n * 8) as u64;
+    let (a, b, c) = (t.malloc(bytes), t.malloc(bytes), t.malloc(bytes));
+    t.write_f64s(a, &vec![1.0; n * n]);
+    t.write_f64s(b, &vec![2.0; n * n]);
+    t.set_profile(true);
+    t.reset_profile();
+    t.invoke(
+        &f,
+        &[
+            Value::Ptr(a),
+            Value::Ptr(b),
+            Value::Ptr(c),
+            Value::Int(n as i64),
+        ],
     )
     .unwrap();
+    let instrs = t.profile().total_instructions();
+    assert_eq!(t.read_f64s(c, 1)[0], 2.0 * n as f64);
+    instrs
+}
+
+/// One profiled saxpy run at the given level; returns total instructions.
+fn saxpy_instrs(level: OptLevel, n: usize) -> u64 {
+    let mut t = Terra::new();
+    t.set_opt_level(level);
+    t.exec(SAXPY_SRC).unwrap();
+    let f = t.function("saxpy").unwrap();
+    let bytes = (n * 8) as u64;
+    let (x, y) = (t.malloc(bytes), t.malloc(bytes));
+    t.write_f64s(x, &vec![1.0; n]);
+    t.write_f64s(y, &vec![0.5; n]);
+    t.set_profile(true);
+    t.reset_profile();
+    t.invoke(
+        &f,
+        &[
+            Value::Float(2.0),
+            Value::Ptr(x),
+            Value::Ptr(y),
+            Value::Int(n as i64),
+        ],
+    )
+    .unwrap();
+    let instrs = t.profile().total_instructions();
+    // y = 0.5 + (2*2 + 1) * 1.0
+    assert_eq!(t.read_f64s(y, 1)[0], 5.5);
+    instrs
+}
+
+fn main() {
+    let mut t = Terra::new();
+    t.exec(MATMUL_SRC).unwrap();
     let f = t.function("matmul").unwrap();
     for n in [64usize, 128, 256] {
         let bytes = (n * n * 8) as u64;
@@ -59,4 +126,33 @@ fn main() {
         );
         assert_eq!(t.read_f64s(c, 1)[0], 2.0 * n as f64);
     }
+
+    // Deterministic O0-vs-O2 instruction counts per kernel.
+    let kernels: Vec<(&str, u64, u64)> = vec![
+        (
+            "matmul_64",
+            matmul_instrs(OptLevel::O0, 64),
+            matmul_instrs(OptLevel::O2, 64),
+        ),
+        (
+            "saxpy_4096",
+            saxpy_instrs(OptLevel::O0, 4096),
+            saxpy_instrs(OptLevel::O2, 4096),
+        ),
+    ];
+    let mut json = String::from("{\n  \"kernels\": [\n");
+    for (i, (name, o0, o2)) in kernels.iter().enumerate() {
+        let sep = if i + 1 == kernels.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"instructions_O0\": {o0}, \
+             \"instructions_O2\": {o2}, \"reduction\": {:.4}}}{sep}",
+            1.0 - *o2 as f64 / *o0 as f64
+        );
+        println!("{name}: O0 {o0} -> O2 {o2} instructions");
+        assert!(o2 < o0, "{name}: -O2 must retire fewer instructions");
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_opt.json", &json).unwrap();
+    println!("wrote BENCH_opt.json");
 }

@@ -7,9 +7,16 @@
 //! terra                             start a tiny REPL
 //!
 //! flags:
+//!   -O0 | -O1 | -O2   mid-end optimization level (default -O2): -O0 compiles
+//!                     the typechecker's IR directly; -O1 adds constant
+//!                     folding, algebraic simplification, copy propagation,
+//!                     and dead-code elimination; -O2 adds inlining, CSE, and
+//!                     loop-invariant code motion
 //!   --lint            run the IR analysis suite over every compiled function
 //!                     and print the warnings (use-before-init, dead stores,
 //!                     unreachable code, constant out-of-bounds accesses, …)
+//!                     (diagnostics are computed pre-optimization and are
+//!                     identical at every -O level)
 //!   --sanitize        poison fresh/freed VM memory and trap on use-after-free
 //!   --profile         collect staging/VM/memory counters and print a profile
 //!                     report after the program finishes
@@ -36,6 +43,16 @@ fn main() {
             }
             "--sanitize" => {
                 t.set_sanitize(true);
+                argv.remove(0);
+            }
+            _ if first.starts_with("-O") => {
+                match terra_core::OptLevel::parse(&first[2..]) {
+                    Some(level) => t.set_opt_level(level),
+                    None => {
+                        eprintln!("terra: unknown optimization level '{first}' (use -O0/-O1/-O2)");
+                        std::process::exit(1);
+                    }
+                }
                 argv.remove(0);
             }
             "--profile" => {
@@ -72,8 +89,8 @@ fn main() {
         }
         Some("-h") | Some("--help") => {
             eprintln!(
-                "usage: terra [--lint] [--sanitize] [--profile] [--trace-out FILE] \
-                 [script.t [args...] | -e 'code']"
+                "usage: terra [-O0|-O1|-O2] [--lint] [--sanitize] [--profile] \
+                 [--trace-out FILE] [script.t [args...] | -e 'code']"
             );
         }
         Some(path) => {

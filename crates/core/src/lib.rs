@@ -43,7 +43,7 @@ pub use terra_eval::{EvalResult, Interp, LuaError, LuaValue, Phase, SymbolRef, T
 pub fn span_synthetic() -> terra_syntax::Span {
     terra_syntax::Span::synthetic()
 }
-pub use terra_ir::{Diagnostic, FuncId, FuncTy, ScalarTy, Severity, Ty};
+pub use terra_ir::{Diagnostic, FuncId, FuncTy, OptLevel, ScalarTy, Severity, Ty};
 pub use terra_trace::{FuncProfile, MemStats, Profile, SpanEvent, Stage};
 pub use terra_vm::{Trap, Value};
 
@@ -100,6 +100,18 @@ impl Terra {
     /// of silent reuse.
     pub fn set_sanitize(&mut self, on: bool) {
         self.interp.ctx.program.memory.set_sanitize(on);
+    }
+
+    /// Sets the mid-end optimization level (`-O0`/`-O1`/`-O2`; the default
+    /// is [`OptLevel::O2`]). Affects functions compiled after the call;
+    /// already-compiled functions keep their code.
+    pub fn set_opt_level(&mut self, level: OptLevel) {
+        self.interp.opt = level;
+    }
+
+    /// The current mid-end optimization level.
+    pub fn opt_level(&self) -> OptLevel {
+        self.interp.opt
     }
 
     /// Takes the warnings produced by lint mode since the last call.

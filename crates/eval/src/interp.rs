@@ -51,6 +51,10 @@ pub struct Interp {
     pub lint: bool,
     /// Warnings collected by lint mode; drain with [`Interp::take_diagnostics`].
     pub diagnostics: Vec<terra_ir::Diagnostic>,
+    /// Mid-end optimization level applied when functions are compiled.
+    /// Changing it affects functions compiled after the change; already-
+    /// compiled functions keep their code.
+    pub opt: terra_ir::OptLevel,
 }
 
 impl Default for Interp {
@@ -70,6 +74,7 @@ impl Interp {
             module_sources: std::collections::HashMap::new(),
             lint: false,
             diagnostics: Vec::new(),
+            opt: terra_ir::OptLevel::default(),
         };
         crate::stdlib::install(&mut interp);
         interp

@@ -97,6 +97,15 @@ struct CtxEnv<'a> {
     ctx: &'a crate::context::Context,
 }
 
+impl terra_ir::InlineEnv for CtxEnv<'_> {
+    fn callee_ir(&self, id: FuncId) -> Option<IrFunction> {
+        // The cached IR is the *unoptimized* lowering (stored before the
+        // caller's pipeline runs), so inlined bodies are optimized in the
+        // caller's context.
+        self.ctx.funcs.get(id.0 as usize)?.ir.clone()
+    }
+}
+
 impl terra_ir::ModuleEnv for CtxEnv<'_> {
     fn function_sig(&self, id: FuncId) -> terra_ir::EnvEntry<FuncTy> {
         match self.ctx.funcs.get(id.0 as usize) {
@@ -128,24 +137,46 @@ pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResul
     let _ = sig;
     let meta = &mut interp.ctx.funcs[id.0 as usize];
     let name = meta.name.clone();
-    let (ir, deps) = match meta.ir.take() {
+    let (ir, deps) = match meta.ir.clone() {
         Some(ir) => (ir, meta.deps.clone()),
         None => {
-            check_function(interp, id).map_err(|e| e.traced(format!("terra function '{name}'")))?
+            let (ir, deps) = check_function(interp, id)
+                .map_err(|e| e.traced(format!("terra function '{name}'")))?;
+            // Cache the unoptimized lowering so functions compiled later can
+            // inline this one.
+            let meta = &mut interp.ctx.funcs[id.0 as usize];
+            meta.ir = Some(ir.clone());
+            meta.deps = deps.clone();
+            (ir, deps)
         }
     };
+    // Materialize dependency IR up front so the inliner can see callee
+    // bodies. Errors are deliberately ignored here: the linking loop below
+    // re-runs the check and reports them exactly as before.
+    for dep in &deps {
+        let dmeta = &interp.ctx.funcs[dep.0 as usize];
+        if *dep != id && dmeta.ir.is_none() && dmeta.spec.is_some() && !dmeta.checking {
+            if let Ok((dir, ddeps)) = check_function(interp, *dep) {
+                let dmeta = &mut interp.ctx.funcs[dep.0 as usize];
+                dmeta.ir = Some(dir);
+                dmeta.deps = ddeps;
+            }
+        }
+    }
     let mut ir = ir;
-    fold_function(&mut ir);
     // Every function passes the IR verifier between lowering and
     // compilation: a failure here means the typechecker produced
     // inconsistent IR, and is reported instead of miscompiled. Lint mode
     // additionally runs the dataflow and bounds analyses, accumulating
-    // warnings on the interpreter.
+    // warnings on the interpreter; diagnostics are computed on a fold-only
+    // copy so they are identical at every -O level.
     let t0 = interp.ctx.program.trace.now_us();
     let mut diags = {
         let env = CtxEnv { ctx: &interp.ctx };
         if interp.lint {
-            terra_ir::analyze_function(&ir, Some(&interp.ctx.types), &env)
+            let mut lint_ir = ir.clone();
+            fold_function(&mut lint_ir);
+            terra_ir::analyze_function(&lint_ir, Some(&interp.ctx.types), &env)
         } else {
             match terra_ir::verify_function(&ir, Some(&interp.ctx.types), &env) {
                 Ok(()) => Vec::new(),
@@ -168,6 +199,29 @@ pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResul
         ));
     }
     interp.diagnostics.append(&mut diags);
+    // Mid-end optimization pipeline; per-pass spans land on the staging
+    // timeline after the fact (the pass manager times each pass itself).
+    let opt_t0 = interp.ctx.program.trace.now_us();
+    let stats = {
+        let env = CtxEnv { ctx: &interp.ctx };
+        let cfg = terra_ir::PassConfig {
+            level: interp.opt,
+            types: Some(&interp.ctx.types),
+            env: &env,
+            inline: &env,
+        };
+        terra_ir::optimize(&mut ir, &cfg)
+    };
+    let mut cursor = opt_t0;
+    for run in &stats.runs {
+        interp.ctx.program.trace.record_span(
+            terra_trace::Stage::Optimize,
+            &format!("{name}:{}", run.pass),
+            cursor,
+            run.dur_us,
+        );
+        cursor += run.dur_us;
+    }
     let globals = interp.ctx.global_addrs();
     let t0 = interp.ctx.program.trace.now_us();
     let compiled = terra_vm::compile(&ir, &interp.ctx.types, &mut interp.ctx.program, &globals);

@@ -1,0 +1,218 @@
+//! Differential tests for the optimization pipeline: the same random
+//! straight-line Terra program, run at `-O0` and at `-O2`, must produce the
+//! identical return value, identical VM memory state (a heap buffer the
+//! program writes), and identical trap behavior (integer division by zero
+//! must trap at every level or at none).
+
+use proptest::prelude::*;
+use terra_eval::{Interp, LuaValue};
+use terra_ir::OptLevel;
+
+/// An operand in the generated program: a parameter, an earlier temporary,
+/// or a literal.
+#[derive(Debug, Clone)]
+enum Src {
+    Param(u8),
+    Var(u8),
+    Konst(i32),
+}
+
+/// One straight-line statement: `var xN = lhs op rhs`.
+#[derive(Debug, Clone)]
+enum OpStmt {
+    Add(Src, Src),
+    Sub(Src, Src),
+    Mul(Src, Src),
+    Div(Src, Src),
+    Rem(Src, Src),
+    /// Shift by a small constant — the form strength reduction produces.
+    Shl(Src, u8),
+}
+
+fn src_txt(s: &Src, defined: usize) -> String {
+    match s {
+        Src::Param(i) => ["a", "b", "c"][*i as usize % 3].to_string(),
+        Src::Var(i) if defined > 0 => format!("x{}", *i as usize % defined),
+        // No temporaries defined yet: fall back to a parameter.
+        Src::Var(i) => ["a", "b", "c"][*i as usize % 3].to_string(),
+        Src::Konst(v) => {
+            if *v < 0 {
+                format!("({v})")
+            } else {
+                format!("{v}")
+            }
+        }
+    }
+}
+
+fn stmt_txt(s: &OpStmt, n: usize) -> String {
+    let bin =
+        |op: &str, l: &Src, r: &Src| format!("var x{n} = {} {op} {}", src_txt(l, n), src_txt(r, n));
+    match s {
+        OpStmt::Add(l, r) => bin("+", l, r),
+        OpStmt::Sub(l, r) => bin("-", l, r),
+        OpStmt::Mul(l, r) => bin("*", l, r),
+        OpStmt::Div(l, r) => bin("/", l, r),
+        OpStmt::Rem(l, r) => bin("%", l, r),
+        OpStmt::Shl(l, k) => format!("var x{n} = {} << {}", src_txt(l, n), k % 8),
+    }
+}
+
+/// Renders the program: every temporary is also stored into a malloc'd
+/// buffer so the differential compares memory state, not just the return.
+fn program_txt(stmts: &[OpStmt]) -> String {
+    let n = stmts.len();
+    let mut body = String::new();
+    for (i, s) in stmts.iter().enumerate() {
+        body.push_str(&format!("    {}\n", stmt_txt(s, i)));
+        body.push_str(&format!("    buf[{i}] = [double](x{i})\n"));
+    }
+    format!(
+        "local std = terralib.includec(\"stdlib.h\")\n\
+         terra prog(a : int, b : int, c : int) : &double\n\
+         \u{20}   var buf = [&double](std.malloc({n} * 8))\n\
+         {body}\
+         \u{20}   return buf\n\
+         end\n\
+         return prog"
+    )
+}
+
+fn src_strategy() -> impl Strategy<Value = Src> {
+    prop_oneof![
+        any::<u8>().prop_map(Src::Param),
+        any::<u8>().prop_map(Src::Var),
+        // Small constants hit the identity/strength-reduction rewrites
+        // (0, 1, powers of two) much more often than uniform i32s would.
+        prop_oneof![(-4i32..=16).boxed(), any::<i32>().boxed()].prop_map(Src::Konst),
+    ]
+}
+
+fn stmt_strategy() -> impl Strategy<Value = OpStmt> {
+    let s = src_strategy;
+    prop_oneof![
+        (s(), s()).prop_map(|(l, r)| OpStmt::Add(l, r)),
+        (s(), s()).prop_map(|(l, r)| OpStmt::Sub(l, r)),
+        (s(), s()).prop_map(|(l, r)| OpStmt::Mul(l, r)),
+        (s(), s()).prop_map(|(l, r)| OpStmt::Div(l, r)),
+        (s(), s()).prop_map(|(l, r)| OpStmt::Rem(l, r)),
+        (s(), any::<u8>()).prop_map(|(l, k)| OpStmt::Shl(l, k)),
+    ]
+}
+
+/// Runs the program at the given level; returns the buffer contents on
+/// success or the trap message on failure.
+fn run_at(
+    level: OptLevel,
+    src: &str,
+    nslots: usize,
+    args: (i32, i32, i32),
+) -> Result<Vec<f64>, String> {
+    let mut t = Interp::new();
+    t.opt = level;
+    t.exec(src).map_err(|e| e.to_string())?;
+    let call = format!("return prog({}, {}, {})", args.0, args.1, args.2);
+    let out = t.exec(&call).map_err(|e| e.to_string())?;
+    let LuaValue::Number(addr) = out[0] else {
+        panic!("prog must return a pointer, got {out:?}");
+    };
+    let mem = &t.ctx.program.memory;
+    Ok((0..nslots)
+        .map(|i| {
+            mem.load_f64(addr as u64 + 8 * i as u64)
+                .expect("buffer read in bounds")
+        })
+        .collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// `-O0` and `-O2` agree on every temporary's value (read back from VM
+    /// heap memory) and on whether the program traps.
+    #[test]
+    fn o0_and_o2_agree(
+        stmts in proptest::collection::vec(stmt_strategy(), 1..12),
+        a in -100i32..100,
+        b in -100i32..100,
+        c in any::<i32>(),
+    ) {
+        let src = program_txt(&stmts);
+        let n = stmts.len();
+        let r0 = run_at(OptLevel::O0, &src, n, (a, b, c));
+        let r2 = run_at(OptLevel::O2, &src, n, (a, b, c));
+        match (&r0, &r2) {
+            (Ok(m0), Ok(m2)) => {
+                // Bitwise equality: integer-valued doubles, no tolerance.
+                let eq = m0.len() == m2.len()
+                    && m0.iter().zip(m2).all(|(x, y)| x.to_bits() == y.to_bits());
+                prop_assert!(eq, "memory diverged\n-O0: {m0:?}\n-O2: {m2:?}\nprogram:\n{src}");
+            }
+            (Err(e0), Err(e2)) => {
+                prop_assert_eq!(e0, e2, "different traps for:\n{}", src);
+            }
+            _ => {
+                prop_assert!(
+                    false,
+                    "trap behavior diverged\n-O0: {r0:?}\n-O2: {r2:?}\nprogram:\n{src}"
+                );
+            }
+        }
+    }
+
+    /// `-O1` sits between the two: it must agree with `-O0` as well.
+    #[test]
+    fn o1_agrees_with_o0(
+        stmts in proptest::collection::vec(stmt_strategy(), 1..8),
+        a in -50i32..50,
+        b in any::<i32>(),
+    ) {
+        let src = program_txt(&stmts);
+        let n = stmts.len();
+        let r0 = run_at(OptLevel::O0, &src, n, (a, b, 7));
+        let r1 = run_at(OptLevel::O1, &src, n, (a, b, 7));
+        match (&r0, &r1) {
+            (Ok(m0), Ok(m1)) => {
+                let eq = m0.iter().zip(m1).all(|(x, y)| x.to_bits() == y.to_bits());
+                prop_assert!(eq, "-O0 {m0:?} vs -O1 {m1:?} for:\n{src}");
+            }
+            (Err(e0), Err(e1)) => prop_assert_eq!(e0, e1),
+            _ => prop_assert!(false, "-O0 {r0:?} vs -O1 {r1:?} for:\n{src}"),
+        }
+    }
+}
+
+/// Guards the proptest against vacuous Err==Err agreement: a known-good
+/// program must actually run and produce the expected buffer at every level.
+#[test]
+fn harness_is_not_vacuous() {
+    let stmts = vec![
+        OpStmt::Add(Src::Param(0), Src::Param(1)), // x0 = a + b
+        OpStmt::Mul(Src::Var(0), Src::Konst(8)),   // x1 = x0 * 8
+        OpStmt::Div(Src::Var(1), Src::Param(2)),   // x2 = x1 / c
+        OpStmt::Shl(Src::Var(0), 2),               // x3 = x0 << 2
+    ];
+    let src = program_txt(&stmts);
+    for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+        let m = run_at(level, &src, stmts.len(), (2, 3, 5)).expect("must run");
+        assert_eq!(m, vec![5.0, 40.0, 8.0, 20.0], "at {level:?}");
+    }
+}
+
+/// Division by zero must trap identically at every level — the optimizer
+/// may not fold it away or hoist it into execution.
+#[test]
+fn div_by_zero_traps_at_every_level() {
+    let stmts = vec![
+        OpStmt::Add(Src::Param(0), Src::Param(1)),
+        OpStmt::Div(Src::Konst(7), Src::Param(2)), // x1 = 7 / c, c == 0
+    ];
+    let src = program_txt(&stmts);
+    let errs: Vec<String> = [OptLevel::O0, OptLevel::O1, OptLevel::O2]
+        .into_iter()
+        .map(|l| run_at(l, &src, stmts.len(), (1, 2, 0)).expect_err("must trap"))
+        .collect();
+    assert_eq!(errs[0], errs[1]);
+    assert_eq!(errs[0], errs[2]);
+    assert!(errs[0].contains("zero"), "{}", errs[0]);
+}

@@ -6,8 +6,10 @@
 //! staged from Lua. This crate holds the pieces of it that are independent of
 //! staging: machine types with C layout rules ([`Ty`], [`TypeRegistry`]), the
 //! typed IR that the typechecker lowers specialized Terra functions into
-//! ([`IrFunction`]), and a constant-folding pass ([`fold_function`]) that
-//! cleans up the constants spliced in from Lua during specialization.
+//! ([`IrFunction`]), and the mid-end optimization pipeline ([`passes`]) —
+//! constant folding, algebraic simplification, CSE, copy propagation, LICM,
+//! inlining, and dead-code elimination, orchestrated by a pass manager
+//! ([`optimize`]) selected by [`OptLevel`].
 //!
 //! The `terra-vm` crate compiles [`IrFunction`]s to bytecode; the
 //! `terra-eval` crate produces them from source. The [`analysis`] module
@@ -17,17 +19,20 @@
 
 pub mod analysis;
 mod display;
-mod fold;
 mod ir;
+pub mod passes;
 mod types;
 
 pub use analysis::{
     analyze_function, verify_function, Diagnostic, EnvEntry, ModuleEnv, NoEnv, Severity,
 };
 pub use display::dump_function;
-pub use fold::{fold_expr, fold_function};
 pub use ir::{
     BinKind, Builtin, Callee, CmpKind, ExprKind, FuncId, GlobalCell, GlobalId, IrExpr, IrFunction,
     IrStmt, LocalId, LocalSlot, StmtKind, UnKind,
+};
+pub use passes::fold::{fold_expr, fold_function};
+pub use passes::{
+    optimize, InlineEnv, NoInline, OptLevel, PassConfig, PassRun, PassStats, MAX_CALLEE_NODES,
 };
 pub use types::{Field, FuncTy, ScalarTy, StructId, StructLayout, Ty, TyDisplay, TypeRegistry};

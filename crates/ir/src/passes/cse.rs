@@ -1,0 +1,141 @@
+//! Common-subexpression elimination over stable values.
+//!
+//! A forward walk carries a table of *available expressions*: pairs of a
+//! previously computed expression and the register local that still holds
+//! its value. Any structurally identical subexpression seen later is
+//! replaced by a read of that local.
+//!
+//! Only [stable](super::util::expr_is_stable) expressions participate — no
+//! loads, calls, possible traps, or reads of `in_memory` locals — so an
+//! entry's value can't change behind the table's back through memory; it
+//! only dies when a local it mentions (or the holding local) is reassigned.
+//! Branch arms extend private copies of the table; after the branch,
+//! entries clobbered by either arm are dropped. Loop bodies start from a
+//! table purged of everything the body reassigns.
+
+use super::util::{collect_assigned, each_child_mut, expr_is_stable, expr_uses, LocalSet};
+use crate::ir::{ExprKind, IrExpr, IrFunction, IrStmt, LocalId, LocalSlot, StmtKind};
+
+type Avail = Vec<(IrExpr, LocalId)>;
+
+/// Eliminates recomputation of stable expressions within the function.
+pub(crate) fn run(f: &mut IrFunction) {
+    let IrFunction { locals, body, .. } = f;
+    let mut avail: Avail = Vec::new();
+    block(locals, body, &mut avail);
+}
+
+/// Whether `e` is worth tracking: a stable compound computation (never a
+/// bare constant, local, or address, which are as cheap as a register read).
+fn eligible(e: &IrExpr, locals: &[LocalSlot]) -> bool {
+    matches!(
+        e.kind,
+        ExprKind::Binary { .. }
+            | ExprKind::Unary { .. }
+            | ExprKind::Cast(_)
+            | ExprKind::Cmp { .. }
+            | ExprKind::Select { .. }
+    ) && expr_is_stable(e, locals)
+}
+
+/// Replaces available subexpressions in `e`, outermost match first.
+fn replace(e: &mut IrExpr, avail: &Avail, locals: &[LocalSlot]) {
+    if eligible(e, locals) {
+        if let Some((_, holder)) = avail.iter().find(|(known, _)| known == e) {
+            e.kind = ExprKind::Local(*holder);
+            return;
+        }
+    }
+    each_child_mut(e, &mut |c| replace(c, avail, locals));
+}
+
+/// Whether `e` mentions any local in `writes`.
+fn mentions(e: &IrExpr, writes: &LocalSet) -> bool {
+    match e.kind {
+        ExprKind::Local(l) | ExprKind::LocalAddr(l) if writes.contains(l) => return true,
+        _ => {}
+    }
+    let mut found = false;
+    super::util::each_child(e, &mut |c| found |= mentions(c, writes));
+    found
+}
+
+/// Drops entries held by or mentioning `w`.
+fn kill(avail: &mut Avail, w: LocalId) {
+    avail.retain(|(e, holder)| *holder != w && !expr_uses(e, w));
+}
+
+fn kill_set(avail: &mut Avail, writes: &LocalSet) {
+    avail.retain(|(e, holder)| !writes.contains(*holder) && !mentions(e, writes));
+}
+
+fn block(locals: &[LocalSlot], stmts: &mut [IrStmt], avail: &mut Avail) {
+    for s in stmts {
+        match &mut s.kind {
+            StmtKind::Assign { dst, value } => {
+                replace(value, avail, locals);
+                let dst = *dst;
+                kill(avail, dst);
+                if eligible(value, locals)
+                    && !locals[dst.0 as usize].in_memory
+                    && locals[dst.0 as usize].ty == value.ty
+                {
+                    avail.push((value.clone(), dst));
+                }
+            }
+            StmtKind::Store { addr, value } => {
+                // Stores don't invalidate anything: table entries never
+                // depend on memory.
+                replace(addr, avail, locals);
+                replace(value, avail, locals);
+            }
+            StmtKind::CopyMem { dst, src, .. } => {
+                replace(dst, avail, locals);
+                replace(src, avail, locals);
+            }
+            StmtKind::Expr(e) => replace(e, avail, locals),
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                replace(cond, avail, locals);
+                let mut writes = LocalSet::new(locals.len());
+                collect_assigned(then_body, &mut writes);
+                collect_assigned(else_body, &mut writes);
+                let mut tavail = avail.clone();
+                block(locals, then_body, &mut tavail);
+                let mut eavail = avail.clone();
+                block(locals, else_body, &mut eavail);
+                kill_set(avail, &writes);
+            }
+            StmtKind::While { cond, body } => {
+                let mut writes = LocalSet::new(locals.len());
+                collect_assigned(body, &mut writes);
+                kill_set(avail, &writes);
+                replace(cond, avail, locals);
+                let mut bavail = avail.clone();
+                block(locals, body, &mut bavail);
+            }
+            StmtKind::For {
+                var,
+                start,
+                stop,
+                step,
+                body,
+            } => {
+                replace(start, avail, locals);
+                replace(stop, avail, locals);
+                replace(step, avail, locals);
+                let mut writes = LocalSet::new(locals.len());
+                collect_assigned(body, &mut writes);
+                writes.insert(*var);
+                kill_set(avail, &writes);
+                let mut bavail = avail.clone();
+                block(locals, body, &mut bavail);
+            }
+            StmtKind::Return(Some(e)) => replace(e, avail, locals),
+            StmtKind::Return(None) | StmtKind::Break => {}
+        }
+    }
+}

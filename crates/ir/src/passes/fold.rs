@@ -32,6 +32,12 @@ pub fn fold_function(f: &mut IrFunction) {
     }
 }
 
+/// Pass-manager entry point: fold without the standalone verify wrapper
+/// (the pass manager verifies between passes itself).
+pub(crate) fn run(f: &mut IrFunction) {
+    fold_stmts(&mut f.body);
+}
+
 fn fold_stmts(stmts: &mut Vec<IrStmt>) {
     for s in stmts.iter_mut() {
         match &mut s.kind {

@@ -1,0 +1,293 @@
+//! Size-bounded inlining of small leaf Terra functions.
+//!
+//! Staged code composes kernels out of tiny helpers (`min`, index clamps,
+//! accessors); calling through the VM's frame machinery costs more than the
+//! callee's body. This pass replaces direct calls to *inlinable* callees
+//! with the callee's body, remapping its locals into fresh slots of the
+//! caller and assigning argument expressions to the remapped parameters in
+//! call order.
+//!
+//! A callee is inlinable when it is:
+//!  - **small** — at most [`MAX_CALLEE_NODES`] IR nodes;
+//!  - **a leaf** — no direct or indirect calls anywhere in its body
+//!    (builtins are fine); this also rules out recursion;
+//!  - **single-exit** — either no `return` at all (unit fallthrough) or
+//!    exactly one, as the final top-level statement;
+//!  - **register-calling** — no `in_memory` parameters (aggregate or
+//!    address-taken parameters keep their frame-slot calling convention).
+//!
+//! Because the callee's body is spliced verbatim (modulo local renumbering),
+//! its traps, stores, and builtin calls happen exactly as they would have in
+//! the out-of-line version. The caller's `deps` are untouched: callees are
+//! still compiled and linked, preserving lazy-linking error behavior.
+
+use super::util::count_nodes;
+use super::InlineEnv;
+use crate::ir::{Callee, ExprKind, FuncId, IrExpr, IrFunction, IrStmt, LocalId, StmtKind};
+
+/// Upper bound on the IR size of a callee worth inlining.
+pub const MAX_CALLEE_NODES: usize = 48;
+
+/// Inlines eligible direct calls in statement position.
+pub(crate) fn run(f: &mut IrFunction, env: &dyn InlineEnv) {
+    let mut body = std::mem::take(&mut f.body);
+    inline_block(f, env, &mut body);
+    f.body = body;
+}
+
+fn inline_block(f: &mut IrFunction, env: &dyn InlineEnv, stmts: &mut Vec<IrStmt>) {
+    let mut i = 0;
+    while i < stmts.len() {
+        match &mut stmts[i].kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                inline_block(f, env, then_body);
+                inline_block(f, env, else_body);
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+                inline_block(f, env, body);
+            }
+            _ => {}
+        }
+        if let Some(expansion) = try_inline(f, env, &stmts[i]) {
+            let n = expansion.len();
+            stmts.splice(i..=i, expansion);
+            // Leaf bodies contain no further calls; skip past the splice.
+            i += n;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// The three statement shapes a call can appear in.
+enum Site {
+    Assign(LocalId),
+    Discard,
+    Return,
+}
+
+fn call_of(e: &IrExpr) -> Option<(FuncId, &[IrExpr])> {
+    match &e.kind {
+        ExprKind::Call {
+            callee: Callee::Direct(id),
+            args,
+        } => Some((*id, args)),
+        _ => None,
+    }
+}
+
+fn try_inline(f: &mut IrFunction, env: &dyn InlineEnv, s: &IrStmt) -> Option<Vec<IrStmt>> {
+    let (site, id, args) = match &s.kind {
+        StmtKind::Assign { dst, value } => {
+            let (id, args) = call_of(value)?;
+            (Site::Assign(*dst), id, args)
+        }
+        StmtKind::Expr(e) => {
+            let (id, args) = call_of(e)?;
+            (Site::Discard, id, args)
+        }
+        StmtKind::Return(Some(e)) => {
+            let (id, args) = call_of(e)?;
+            (Site::Return, id, args)
+        }
+        _ => return None,
+    };
+    let callee = env.callee_ir(id)?;
+    if args.len() != callee.param_count() || !inlinable(&callee) {
+        return None;
+    }
+    // A value-producing site needs the callee to end in `return <expr>`.
+    if matches!(site, Site::Assign(_) | Site::Return)
+        && !matches!(
+            callee.body.last().map(|t| &t.kind),
+            Some(StmtKind::Return(Some(_)))
+        )
+    {
+        return None;
+    }
+
+    // Append the callee's locals to the caller, remapped by a fixed offset.
+    let base = f.locals.len() as u32;
+    for slot in &callee.locals {
+        f.add_local(
+            format!("${}.{}", callee.name, slot.name),
+            slot.ty.clone(),
+            slot.in_memory,
+        );
+    }
+
+    let mut out: Vec<IrStmt> = Vec::new();
+    // Prologue: bind arguments in call order (argument effects preserved).
+    for (j, arg) in args.iter().enumerate() {
+        out.push(IrStmt::synthesized(
+            s.span,
+            StmtKind::Assign {
+                dst: LocalId(base + j as u32),
+                value: arg.clone(),
+            },
+        ));
+    }
+
+    let mut body = callee.body.clone();
+    let tail = match body.last().map(|t| &t.kind) {
+        Some(StmtKind::Return(_)) => {
+            let Some(IrStmt {
+                kind: StmtKind::Return(v),
+                ..
+            }) = body.pop()
+            else {
+                unreachable!()
+            };
+            v
+        }
+        _ => None,
+    };
+    remap_block(&mut body, base);
+    out.extend(body);
+
+    match (site, tail) {
+        (Site::Assign(dst), Some(mut e)) => {
+            remap_expr(&mut e, base);
+            out.push(IrStmt::synthesized(
+                s.span,
+                StmtKind::Assign { dst, value: e },
+            ));
+        }
+        (Site::Discard, Some(mut e)) => {
+            remap_expr(&mut e, base);
+            if !super::util::expr_is_pure(&e) {
+                out.push(IrStmt::synthesized(s.span, StmtKind::Expr(e)));
+            }
+        }
+        (Site::Discard, None) => {}
+        (Site::Return, Some(mut e)) => {
+            remap_expr(&mut e, base);
+            out.push(IrStmt::synthesized(s.span, StmtKind::Return(Some(e))));
+        }
+        // A value-producing site needs a value-producing callee; `inlinable`
+        // plus the verifier rule this out, but bail defensively.
+        (Site::Assign(_) | Site::Return, None) => return None,
+    }
+    Some(out)
+}
+
+fn inlinable(callee: &IrFunction) -> bool {
+    if count_nodes(callee) > MAX_CALLEE_NODES {
+        return false;
+    }
+    if callee.locals[..callee.param_count()]
+        .iter()
+        .any(|p| p.in_memory)
+    {
+        return false;
+    }
+    if block_has_calls(&callee.body) {
+        return false;
+    }
+    // Single-exit: zero returns (unit fallthrough) or exactly one, as the
+    // final top-level statement.
+    let total = count_returns(&callee.body);
+    match total {
+        0 => true,
+        1 => matches!(
+            callee.body.last().map(|s| &s.kind),
+            Some(StmtKind::Return(_))
+        ),
+        _ => false,
+    }
+}
+
+fn count_returns(stmts: &[IrStmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match &s.kind {
+            StmtKind::Return(_) => 1,
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => count_returns(then_body) + count_returns(else_body),
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => count_returns(body),
+            _ => 0,
+        })
+        .sum()
+}
+
+fn expr_has_calls(e: &IrExpr) -> bool {
+    if matches!(
+        e.kind,
+        ExprKind::Call {
+            callee: Callee::Direct(_) | Callee::Indirect(_),
+            ..
+        }
+    ) {
+        return true;
+    }
+    let mut found = false;
+    super::util::each_child(e, &mut |c| found |= expr_has_calls(c));
+    found
+}
+
+fn block_has_calls(stmts: &[IrStmt]) -> bool {
+    stmts.iter().any(|s| match &s.kind {
+        StmtKind::Assign { value, .. } => expr_has_calls(value),
+        StmtKind::Store { addr, value } => expr_has_calls(addr) || expr_has_calls(value),
+        StmtKind::CopyMem { dst, src, .. } => expr_has_calls(dst) || expr_has_calls(src),
+        StmtKind::Expr(e) => expr_has_calls(e),
+        StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => expr_has_calls(cond) || block_has_calls(then_body) || block_has_calls(else_body),
+        StmtKind::While { cond, body } => expr_has_calls(cond) || block_has_calls(body),
+        StmtKind::For {
+            start,
+            stop,
+            step,
+            body,
+            ..
+        } => {
+            expr_has_calls(start)
+                || expr_has_calls(stop)
+                || expr_has_calls(step)
+                || block_has_calls(body)
+        }
+        StmtKind::Return(Some(e)) => expr_has_calls(e),
+        StmtKind::Return(None) | StmtKind::Break => false,
+    })
+}
+
+fn remap_expr(e: &mut IrExpr, base: u32) {
+    match &mut e.kind {
+        ExprKind::Local(l) | ExprKind::LocalAddr(l) => l.0 += base,
+        _ => {}
+    }
+    super::util::each_child_mut(e, &mut |c| remap_expr(c, base));
+}
+
+fn remap_block(stmts: &mut [IrStmt], base: u32) {
+    for s in stmts {
+        match &mut s.kind {
+            StmtKind::Assign { dst, .. } => dst.0 += base,
+            StmtKind::For { var, .. } => var.0 += base,
+            _ => {}
+        }
+        super::util::for_each_stmt_expr_mut(s, &mut |e| remap_expr(e, base));
+        match &mut s.kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                remap_block(then_body, base);
+                remap_block(else_body, base);
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => remap_block(body, base),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Loop-invariant code motion for address arithmetic and other pure
+//! computation.
+//!
+//! Staged kernels are dense with per-iteration address math whose inputs
+//! never change inside the loop — `i * lda * 8` style products of spliced
+//! constants and loop-invariant strides. This pass walks loops innermost
+//! first; for each loop it computes the set of register locals the body (or
+//! loop header) reassigns and then hoists every *maximal* invariant compound
+//! subexpression into a fresh temporary assigned immediately before the
+//! loop. Equal subtrees share one temporary.
+//!
+//! Hoistable expressions are [stable](super::util::expr_is_stable) — no
+//! loads, calls, possible traps, or `in_memory` reads — so executing one
+//! even when the loop would run zero times is unobservable. Hoisting out of
+//! a conditional inside the loop is safe for the same reason. Temporaries
+//! cascade: an inner loop's hoisted assignment is itself a candidate when
+//! the enclosing loop is processed, so deeply nested address math migrates
+//! all the way out in a single pass.
+
+use super::util::{collect_assigned, LocalSet};
+use crate::ir::{ExprKind, IrExpr, IrFunction, IrStmt, LocalId, StmtKind};
+use terra_syntax::Span;
+
+/// Hoists loop-invariant computation out of every loop in the function.
+pub(crate) fn run(f: &mut IrFunction) {
+    let mut body = std::mem::take(&mut f.body);
+    let mut licm = Licm { f, counter: 0 };
+    licm.block(&mut body);
+    f.body = body;
+}
+
+struct Licm<'a> {
+    f: &'a mut IrFunction,
+    counter: usize,
+}
+
+impl Licm<'_> {
+    fn block(&mut self, stmts: &mut Vec<IrStmt>) {
+        let mut i = 0;
+        while i < stmts.len() {
+            match &mut stmts[i].kind {
+                StmtKind::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    self.block(then_body);
+                    self.block(else_body);
+                }
+                StmtKind::While { body, .. } | StmtKind::For { body, .. } => self.block(body),
+                _ => {}
+            }
+            if matches!(stmts[i].kind, StmtKind::While { .. } | StmtKind::For { .. }) {
+                let hoists = self.hoist_loop(&mut stmts[i]);
+                let n = hoists.len();
+                for (k, h) in hoists.into_iter().enumerate() {
+                    stmts.insert(i + k, h);
+                }
+                i += n;
+            }
+            i += 1;
+        }
+    }
+
+    /// Hoists from one loop statement, returning the prelude assignments to
+    /// insert before it.
+    fn hoist_loop(&mut self, s: &mut IrStmt) -> Vec<IrStmt> {
+        let mut writes = LocalSet::new(self.f.locals.len());
+        match &s.kind {
+            StmtKind::While { body, .. } => collect_assigned(body, &mut writes),
+            StmtKind::For { var, body, .. } => {
+                writes.insert(*var);
+                collect_assigned(body, &mut writes);
+            }
+            _ => unreachable!("hoist_loop called on a non-loop"),
+        }
+        let mut hoisted: Vec<(IrExpr, LocalId)> = Vec::new();
+        match &mut s.kind {
+            StmtKind::While { cond, body } => {
+                // The condition re-evaluates every iteration: its invariant
+                // parts are worth hoisting too.
+                self.scan_expr(cond, &writes, &mut hoisted);
+                self.scan_block(body, &writes, &mut hoisted);
+            }
+            StmtKind::For { body, .. } => {
+                // start/stop/step evaluate once already; only the body pays
+                // per iteration.
+                self.scan_block(body, &writes, &mut hoisted);
+            }
+            _ => unreachable!(),
+        }
+        hoisted
+            .into_iter()
+            .map(|(value, dst)| {
+                IrStmt::synthesized(Span::synthetic(), StmtKind::Assign { dst, value })
+            })
+            .collect()
+    }
+
+    fn scan_block(
+        &mut self,
+        stmts: &mut [IrStmt],
+        writes: &LocalSet,
+        out: &mut Vec<(IrExpr, LocalId)>,
+    ) {
+        for s in stmts {
+            match &mut s.kind {
+                StmtKind::Assign { value, .. } => self.scan_expr(value, writes, out),
+                StmtKind::Store { addr, value } => {
+                    self.scan_expr(addr, writes, out);
+                    self.scan_expr(value, writes, out);
+                }
+                StmtKind::CopyMem { dst, src, .. } => {
+                    self.scan_expr(dst, writes, out);
+                    self.scan_expr(src, writes, out);
+                }
+                StmtKind::Expr(e) => self.scan_expr(e, writes, out),
+                StmtKind::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    self.scan_expr(cond, writes, out);
+                    self.scan_block(then_body, writes, out);
+                    self.scan_block(else_body, writes, out);
+                }
+                StmtKind::While { cond, body } => {
+                    // `writes` covers the whole outer body, including this
+                    // nested loop, so invariance is still sound here.
+                    self.scan_expr(cond, writes, out);
+                    self.scan_block(body, writes, out);
+                }
+                StmtKind::For {
+                    start,
+                    stop,
+                    step,
+                    body,
+                    ..
+                } => {
+                    self.scan_expr(start, writes, out);
+                    self.scan_expr(stop, writes, out);
+                    self.scan_expr(step, writes, out);
+                    self.scan_block(body, writes, out);
+                }
+                StmtKind::Return(Some(e)) => self.scan_expr(e, writes, out),
+                StmtKind::Return(None) | StmtKind::Break => {}
+            }
+        }
+    }
+
+    /// Replaces maximal invariant compound subtrees of `e` with temporary
+    /// reads, recording the hoisted computations in `out`.
+    fn scan_expr(&mut self, e: &mut IrExpr, writes: &LocalSet, out: &mut Vec<(IrExpr, LocalId)>) {
+        if self.hoistable(e, writes) {
+            let dst = match out.iter().find(|(known, _)| known == e) {
+                Some((_, l)) => *l,
+                None => {
+                    let name = format!("$licm{}", self.counter);
+                    self.counter += 1;
+                    let l = self.f.add_local(name, e.ty.clone(), false);
+                    out.push((e.clone(), l));
+                    l
+                }
+            };
+            e.kind = ExprKind::Local(dst);
+            return;
+        }
+        super::util::each_child_mut(e, &mut |c| self.scan_expr(c, writes, out));
+    }
+
+    /// A hoist candidate is a compound register-valued expression that is
+    /// stable and mentions no local the loop writes.
+    fn hoistable(&self, e: &IrExpr, writes: &LocalSet) -> bool {
+        let compound = matches!(
+            e.kind,
+            ExprKind::Binary { .. }
+                | ExprKind::Unary { .. }
+                | ExprKind::Cast(_)
+                | ExprKind::Cmp { .. }
+                | ExprKind::Select { .. }
+        );
+        compound && e.ty.is_register() && self.invariant(e, writes)
+    }
+
+    fn invariant(&self, e: &IrExpr, writes: &LocalSet) -> bool {
+        if !expr_is_stable_shallow(e, &self.f.locals) {
+            return false;
+        }
+        match e.kind {
+            ExprKind::Local(l) if writes.contains(l) => return false,
+            _ => {}
+        }
+        let mut ok = true;
+        super::util::each_child(e, &mut |c| ok &= self.invariant(c, writes));
+        ok
+    }
+}
+
+/// Non-recursive stability test (the recursion happens in `invariant`).
+fn expr_is_stable_shallow(e: &IrExpr, locals: &[crate::ir::LocalSlot]) -> bool {
+    // Reuse the full test on the node alone by checking its own kind; the
+    // recursive walk over children is done by `invariant`.
+    match &e.kind {
+        ExprKind::Call { .. } | ExprKind::Load(_) | ExprKind::ConstStr(_) => false,
+        ExprKind::Local(l) => !locals[l.0 as usize].in_memory,
+        ExprKind::Binary { op, rhs, .. }
+            if matches!(op, crate::ir::BinKind::Div | crate::ir::BinKind::Rem)
+                && !e.ty.is_float() =>
+        {
+            matches!(rhs.kind, ExprKind::ConstInt(v) if v != 0)
+        }
+        _ => true,
+    }
+}

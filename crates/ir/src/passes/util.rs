@@ -1,0 +1,330 @@
+//! Shared machinery for the optimization passes: local-id sets, expression
+//! walkers, purity/effect classification, write sets, and block termination.
+//!
+//! The effect tests here define what every transform pass is allowed to
+//! delete, duplicate, or reorder. They are deliberately conservative: a
+//! `Load` counts as an effect (it can trap on out-of-bounds or poisoned
+//! memory), and an integer division counts as an effect unless its divisor
+//! is a non-zero constant (it can trap on zero). Optimized code must trap
+//! exactly when unoptimized code would.
+
+use crate::ir::{BinKind, ExprKind, IrExpr, IrFunction, IrStmt, LocalId, LocalSlot, StmtKind};
+
+/// Dense bitset over [`LocalId`]s that grows on insert (passes may add
+/// locals while a set is alive).
+#[derive(Debug, Clone, Default)]
+pub struct LocalSet {
+    words: Vec<u64>,
+}
+
+impl LocalSet {
+    /// An empty set sized for `n` locals.
+    pub fn new(n: usize) -> Self {
+        LocalSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// A set containing every one of `n` locals.
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::new(n);
+        for i in 0..n {
+            s.insert(LocalId(i as u32));
+        }
+        s
+    }
+
+    /// Adds `l`, growing the backing store if needed.
+    pub fn insert(&mut self, l: LocalId) {
+        let i = l.0 as usize;
+        if i / 64 >= self.words.len() {
+            self.words.resize(i / 64 + 1, 0);
+        }
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes `l`.
+    pub fn remove(&mut self, l: LocalId) {
+        let i = l.0 as usize;
+        if i / 64 < self.words.len() {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, l: LocalId) -> bool {
+        let i = l.0 as usize;
+        i / 64 < self.words.len() && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// In-place union.
+    pub fn union(&mut self, other: &LocalSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+}
+
+impl PartialEq for LocalSet {
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.words.len().max(other.words.len());
+        (0..n).all(|i| {
+            self.words.get(i).copied().unwrap_or(0) == other.words.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+/// Calls `f` on each direct child expression of `e`.
+pub fn each_child(e: &IrExpr, f: &mut dyn FnMut(&IrExpr)) {
+    match &e.kind {
+        ExprKind::Load(a) => f(a),
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Cmp { lhs, rhs, .. } => {
+            f(lhs);
+            f(rhs);
+        }
+        ExprKind::Unary { expr, .. } | ExprKind::Cast(expr) => f(expr),
+        ExprKind::Call { callee, args } => {
+            if let crate::ir::Callee::Indirect(p) = callee {
+                f(p);
+            }
+            for a in args {
+                f(a);
+            }
+        }
+        ExprKind::Select {
+            cond,
+            then_value,
+            else_value,
+        } => {
+            f(cond);
+            f(then_value);
+            f(else_value);
+        }
+        _ => {}
+    }
+}
+
+/// Calls `f` on each direct child expression of `e`, mutably.
+pub fn each_child_mut(e: &mut IrExpr, f: &mut dyn FnMut(&mut IrExpr)) {
+    match &mut e.kind {
+        ExprKind::Load(a) => f(a),
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Cmp { lhs, rhs, .. } => {
+            f(lhs);
+            f(rhs);
+        }
+        ExprKind::Unary { expr, .. } | ExprKind::Cast(expr) => f(expr),
+        ExprKind::Call { callee, args } => {
+            if let crate::ir::Callee::Indirect(p) = callee {
+                f(p);
+            }
+            for a in args {
+                f(a);
+            }
+        }
+        ExprKind::Select {
+            cond,
+            then_value,
+            else_value,
+        } => {
+            f(cond);
+            f(then_value);
+            f(else_value);
+        }
+        _ => {}
+    }
+}
+
+/// Calls `f` on each expression a statement evaluates directly (not those
+/// inside nested statement blocks).
+pub fn for_each_stmt_expr_mut(s: &mut IrStmt, f: &mut dyn FnMut(&mut IrExpr)) {
+    match &mut s.kind {
+        StmtKind::Assign { value, .. } => f(value),
+        StmtKind::Store { addr, value } => {
+            f(addr);
+            f(value);
+        }
+        StmtKind::CopyMem { dst, src, .. } => {
+            f(dst);
+            f(src);
+        }
+        StmtKind::Expr(e) => f(e),
+        StmtKind::If { cond, .. } => f(cond),
+        StmtKind::While { cond, .. } => f(cond),
+        StmtKind::For {
+            start, stop, step, ..
+        } => {
+            f(start);
+            f(stop);
+            f(step);
+        }
+        StmtKind::Return(Some(e)) => f(e),
+        StmtKind::Return(None) | StmtKind::Break => {}
+    }
+}
+
+/// Whether an integer `Div`/`Rem` node can trap at runtime (divisor not a
+/// known non-zero constant). Float division never traps.
+fn divides_by_possible_zero(e: &IrExpr) -> bool {
+    let ExprKind::Binary { op, rhs, .. } = &e.kind else {
+        return false;
+    };
+    if !matches!(op, BinKind::Div | BinKind::Rem) || e.ty.is_float() {
+        return false;
+    }
+    !matches!(rhs.kind, ExprKind::ConstInt(v) if v != 0)
+}
+
+/// Whether evaluating `e` is free of observable effects: no calls, no memory
+/// reads (loads can trap), no possible division traps, and no string
+/// interning. Pure expressions may be deleted, duplicated, or hoisted.
+pub fn expr_is_pure(e: &IrExpr) -> bool {
+    match &e.kind {
+        ExprKind::Call { .. } | ExprKind::Load(_) | ExprKind::ConstStr(_) => return false,
+        _ => {}
+    }
+    if divides_by_possible_zero(e) {
+        return false;
+    }
+    let mut pure = true;
+    each_child(e, &mut |c| pure &= expr_is_pure(c));
+    pure
+}
+
+/// Whether `e` denotes a *stable value*: pure, and independent of mutable
+/// memory (no reads of `in_memory` locals, whose frame slots can change
+/// through stores). Stable values can be cached in a register and reused.
+pub fn expr_is_stable(e: &IrExpr, locals: &[LocalSlot]) -> bool {
+    match &e.kind {
+        ExprKind::Call { .. } | ExprKind::Load(_) | ExprKind::ConstStr(_) => return false,
+        ExprKind::Local(l) if locals[l.0 as usize].in_memory => return false,
+        _ => {}
+    }
+    if divides_by_possible_zero(e) {
+        return false;
+    }
+    let mut ok = true;
+    each_child(e, &mut |c| ok &= expr_is_stable(c, locals));
+    ok
+}
+
+/// Adds every local `e` mentions (reads and address-takes) to `out`.
+pub fn add_uses(e: &IrExpr, out: &mut LocalSet) {
+    match e.kind {
+        ExprKind::Local(l) | ExprKind::LocalAddr(l) => out.insert(l),
+        _ => {}
+    }
+    each_child(e, &mut |c| add_uses(c, out));
+}
+
+/// Whether `e` mentions local `l` (as a read or address-take).
+pub fn expr_uses(e: &IrExpr, l: LocalId) -> bool {
+    match e.kind {
+        ExprKind::Local(x) | ExprKind::LocalAddr(x) if x == l => return true,
+        _ => {}
+    }
+    let mut found = false;
+    each_child(e, &mut |c| found |= expr_uses(c, l));
+    found
+}
+
+/// Records every register local that statements in `stmts` (recursively)
+/// assign: `Assign` destinations and `for` loop variables. Writes to memory
+/// (stores, copies) don't change register locals and are not collected.
+pub fn collect_assigned(stmts: &[IrStmt], out: &mut LocalSet) {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Assign { dst, .. } => out.insert(*dst),
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_assigned(then_body, out);
+                collect_assigned(else_body, out);
+            }
+            StmtKind::While { body, .. } => collect_assigned(body, out),
+            StmtKind::For { var, body, .. } => {
+                out.insert(*var);
+                collect_assigned(body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whether `stmts` contains a `break` targeting the enclosing loop (not one
+/// inside a nested loop).
+pub fn has_toplevel_break(stmts: &[IrStmt]) -> bool {
+    stmts.iter().any(|s| match &s.kind {
+        StmtKind::Break => true,
+        StmtKind::If {
+            then_body,
+            else_body,
+            ..
+        } => has_toplevel_break(then_body) || has_toplevel_break(else_body),
+        _ => false,
+    })
+}
+
+/// Whether control cannot continue past `s`.
+pub fn stmt_terminates(s: &IrStmt) -> bool {
+    match &s.kind {
+        StmtKind::Return(_) | StmtKind::Break => true,
+        StmtKind::If {
+            then_body,
+            else_body,
+            ..
+        } => block_terminates(then_body) && block_terminates(else_body),
+        StmtKind::While { cond, body } => {
+            matches!(cond.kind, ExprKind::ConstBool(true)) && !has_toplevel_break(body)
+        }
+        _ => false,
+    }
+}
+
+/// Whether control cannot fall through the end of `stmts`.
+pub fn block_terminates(stmts: &[IrStmt]) -> bool {
+    stmts.iter().any(stmt_terminates)
+}
+
+/// IR size of a function: statements plus expression nodes. Used for the
+/// inliner's budget.
+pub fn count_nodes(f: &IrFunction) -> usize {
+    fn expr(e: &IrExpr) -> usize {
+        let mut n = 1;
+        each_child(e, &mut |c| n += expr(c));
+        n
+    }
+    fn block(stmts: &[IrStmt]) -> usize {
+        let mut n = 0;
+        for s in stmts {
+            n += 1;
+            match &s.kind {
+                StmtKind::Assign { value, .. } => n += expr(value),
+                StmtKind::Store { addr, value } => n += expr(addr) + expr(value),
+                StmtKind::CopyMem { dst, src, .. } => n += expr(dst) + expr(src),
+                StmtKind::Expr(e) => n += expr(e),
+                StmtKind::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => n += expr(cond) + block(then_body) + block(else_body),
+                StmtKind::While { cond, body } => n += expr(cond) + block(body),
+                StmtKind::For {
+                    start,
+                    stop,
+                    step,
+                    body,
+                    ..
+                } => n += expr(start) + expr(stop) + expr(step) + block(body),
+                StmtKind::Return(Some(e)) => n += expr(e),
+                StmtKind::Return(None) | StmtKind::Break => {}
+            }
+        }
+        n
+    }
+    block(&f.body)
+}

@@ -1,0 +1,250 @@
+//! Golden tests for constant-folder edge cases: wrapping integer overflow,
+//! division/modulo by zero (left unfolded for the VM to trap), and float
+//! NaN propagation.
+
+use terra_ir::{fold_expr, BinKind, CmpKind, ExprKind, IrExpr, ScalarTy, Ty, UnKind};
+
+fn int_const(ty: Ty, v: i64) -> IrExpr {
+    IrExpr {
+        ty,
+        kind: ExprKind::ConstInt(v),
+    }
+}
+
+fn folded_int(e: &IrExpr) -> Option<i64> {
+    match e.kind {
+        ExprKind::ConstInt(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn folded_float(e: &IrExpr) -> Option<f64> {
+    match e.kind {
+        ExprKind::ConstFloat(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn bin(op: BinKind, lhs: IrExpr, rhs: IrExpr) -> IrExpr {
+    IrExpr::binary(op, lhs, rhs)
+}
+
+// ---------------------------------------------------------------- wrapping
+
+#[test]
+fn i32_add_wraps_like_two_complement() {
+    let mut e = bin(BinKind::Add, IrExpr::int32(i32::MAX), IrExpr::int32(1));
+    fold_expr(&mut e);
+    assert_eq!(folded_int(&e), Some(i32::MIN as i64));
+}
+
+#[test]
+fn i32_mul_wraps() {
+    let mut e = bin(BinKind::Mul, IrExpr::int32(0x4000_0000), IrExpr::int32(4));
+    fold_expr(&mut e);
+    // 2^30 * 4 = 2^32 ≡ 0 (mod 2^32)
+    assert_eq!(folded_int(&e), Some(0));
+}
+
+#[test]
+fn i32_sub_wraps_at_min() {
+    let mut e = bin(BinKind::Sub, IrExpr::int32(i32::MIN), IrExpr::int32(1));
+    fold_expr(&mut e);
+    assert_eq!(folded_int(&e), Some(i32::MAX as i64));
+}
+
+#[test]
+fn i64_add_wraps() {
+    let mut e = bin(BinKind::Add, IrExpr::int64(i64::MAX), IrExpr::int64(1));
+    fold_expr(&mut e);
+    assert_eq!(folded_int(&e), Some(i64::MIN));
+}
+
+#[test]
+fn u8_add_wraps_to_width() {
+    let mut e = bin(BinKind::Add, int_const(Ty::U8, 250), int_const(Ty::U8, 10));
+    fold_expr(&mut e);
+    assert_eq!(folded_int(&e), Some((250 + 10) % 256));
+}
+
+#[test]
+fn u8_mul_stays_in_width() {
+    let mut e = bin(BinKind::Mul, int_const(Ty::U8, 16), int_const(Ty::U8, 16));
+    fold_expr(&mut e);
+    assert_eq!(folded_int(&e), Some(0));
+}
+
+#[test]
+fn i32_shl_wraps_into_sign_bit() {
+    let mut e = bin(BinKind::Shl, IrExpr::int32(1), IrExpr::int32(31));
+    fold_expr(&mut e);
+    assert_eq!(folded_int(&e), Some(i32::MIN as i64));
+}
+
+#[test]
+fn neg_of_int_min_wraps_to_itself() {
+    let mut e = IrExpr {
+        ty: Ty::INT,
+        kind: ExprKind::Unary {
+            op: UnKind::Neg,
+            expr: Box::new(IrExpr::int32(i32::MIN)),
+        },
+    };
+    fold_expr(&mut e);
+    assert_eq!(folded_int(&e), Some(i32::MIN as i64));
+}
+
+// ----------------------------------------------------- division by zero
+
+#[test]
+fn signed_div_by_zero_not_folded() {
+    let mut e = bin(BinKind::Div, IrExpr::int32(7), IrExpr::int32(0));
+    fold_expr(&mut e);
+    // Must survive to runtime so the VM traps, exactly like unoptimized code.
+    assert!(matches!(
+        e.kind,
+        ExprKind::Binary {
+            op: BinKind::Div,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn signed_rem_by_zero_not_folded() {
+    let mut e = bin(BinKind::Rem, IrExpr::int32(7), IrExpr::int32(0));
+    fold_expr(&mut e);
+    assert!(matches!(
+        e.kind,
+        ExprKind::Binary {
+            op: BinKind::Rem,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn unsigned_div_by_zero_not_folded() {
+    let mut e = bin(BinKind::Div, int_const(Ty::U64, 7), int_const(Ty::U64, 0));
+    fold_expr(&mut e);
+    assert!(matches!(
+        e.kind,
+        ExprKind::Binary {
+            op: BinKind::Div,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn div_overflow_int_min_by_minus_one_wraps() {
+    // i32::MIN / -1 overflows in hardware; the folder either wraps it or
+    // leaves it alone — it must not panic. Wrapping semantics give MIN back.
+    let mut e = bin(BinKind::Div, IrExpr::int32(i32::MIN), IrExpr::int32(-1));
+    fold_expr(&mut e);
+    if let Some(v) = folded_int(&e) {
+        assert_eq!(v, i32::MIN as i64);
+    }
+}
+
+#[test]
+fn float_div_by_zero_folds_to_infinity() {
+    // IEEE semantics: no trap, fold freely.
+    let mut e = bin(BinKind::Div, IrExpr::f64(1.0), IrExpr::f64(0.0));
+    fold_expr(&mut e);
+    assert_eq!(folded_float(&e), Some(f64::INFINITY));
+}
+
+#[test]
+fn float_zero_div_zero_folds_to_nan() {
+    let mut e = bin(BinKind::Div, IrExpr::f64(0.0), IrExpr::f64(0.0));
+    fold_expr(&mut e);
+    assert!(folded_float(&e).unwrap().is_nan());
+}
+
+// ------------------------------------------------------- NaN propagation
+
+#[test]
+fn nan_propagates_through_arithmetic() {
+    for op in [BinKind::Add, BinKind::Sub, BinKind::Mul, BinKind::Div] {
+        let mut e = bin(op, IrExpr::f64(f64::NAN), IrExpr::f64(2.0));
+        fold_expr(&mut e);
+        assert!(
+            folded_float(&e).unwrap().is_nan(),
+            "{op:?} must propagate NaN"
+        );
+    }
+}
+
+#[test]
+fn mul_by_one_identity_preserves_nan_operand() {
+    // x * 1.0 → x is NaN-safe (returns the NaN unchanged); the fold must
+    // produce the NaN itself when x is constant.
+    let mut e = bin(BinKind::Mul, IrExpr::f64(f64::NAN), IrExpr::f64(1.0));
+    fold_expr(&mut e);
+    assert!(folded_float(&e).unwrap().is_nan());
+}
+
+#[test]
+fn add_zero_is_not_an_identity_for_floats() {
+    use terra_ir::LocalId;
+    // -0.0 + 0.0 == +0.0, so x + 0.0 must NOT fold to x for a non-constant
+    // x. (Constant arguments fold to the correct IEEE result instead.)
+    let x = IrExpr::local(LocalId(0), Ty::F64);
+    let mut e = bin(BinKind::Add, x, IrExpr::f64(0.0));
+    fold_expr(&mut e);
+    assert!(matches!(
+        e.kind,
+        ExprKind::Binary {
+            op: BinKind::Add,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn nan_comparisons_fold_ieee_false() {
+    // All ordered comparisons with NaN are false; != is true.
+    let cases = [
+        (CmpKind::Eq, false),
+        (CmpKind::Lt, false),
+        (CmpKind::Le, false),
+        (CmpKind::Gt, false),
+        (CmpKind::Ge, false),
+        (CmpKind::Ne, true),
+    ];
+    for (op, want) in cases {
+        let mut e = IrExpr::cmp(op, IrExpr::f64(f64::NAN), IrExpr::f64(f64::NAN));
+        fold_expr(&mut e);
+        assert_eq!(
+            e.kind,
+            ExprKind::ConstBool(want),
+            "NaN {op:?} NaN must fold to {want}"
+        );
+    }
+}
+
+#[test]
+fn float_min_max_with_nan_folds_consistently() {
+    // Whatever the folder picks must match the VM's runtime IEEE-style
+    // behavior; at minimum it must produce *a* constant and not panic.
+    let mut e = bin(BinKind::Min, IrExpr::f64(f64::NAN), IrExpr::f64(2.0));
+    fold_expr(&mut e);
+    if let ExprKind::Binary { .. } = e.kind {
+        // Left unfolded is also acceptable — runtime decides.
+    }
+}
+
+#[test]
+fn unsigned_compare_uses_unsigned_ordering() {
+    // 0xFFFF_FFFF as u32 is 4294967295, not -1: it must compare greater
+    // than 1 under unsigned ordering.
+    let u32ty = Ty::Scalar(ScalarTy::U32);
+    let mut e = IrExpr::cmp(
+        CmpKind::Gt,
+        int_const(u32ty.clone(), 0xFFFF_FFFF),
+        int_const(u32ty, 1),
+    );
+    fold_expr(&mut e);
+    assert_eq!(e.kind, ExprKind::ConstBool(true));
+}

@@ -1,0 +1,493 @@
+//! Per-pass behavioral tests for the mid-end pipeline, driven through the
+//! public [`terra_ir::optimize`] entry point. These run in debug builds, so
+//! any pass that breaks the verifier invariant panics inside `optimize`.
+
+use terra_ir::{
+    optimize, BinKind, Callee, ExprKind, FuncId, FuncTy, InlineEnv, IrExpr, IrFunction, IrStmt,
+    LocalId, NoEnv, NoInline, OptLevel, PassConfig, StmtKind, Ty,
+};
+
+fn func(params: Vec<Ty>, ret: Ty) -> IrFunction {
+    let mut f = IrFunction {
+        name: "test".into(),
+        ty: FuncTy {
+            params: params.clone(),
+            ret,
+        },
+        locals: Vec::new(),
+        body: Vec::new(),
+    };
+    for (i, p) in params.into_iter().enumerate() {
+        f.add_local(format!("p{i}"), p, false);
+    }
+    f
+}
+
+fn cfg(level: OptLevel, inline: &dyn InlineEnv) -> PassConfig<'_> {
+    PassConfig {
+        level,
+        types: None,
+        env: &NoEnv,
+        inline,
+    }
+}
+
+fn run_opt(f: &mut IrFunction, level: OptLevel) {
+    let stats = optimize(f, &cfg(level, &NoInline));
+    assert!(
+        stats.runs.iter().all(|r| !r.reverted),
+        "no pass should be reverted: {stats:?}"
+    );
+}
+
+/// Counts expression nodes matching `pred` anywhere in the body.
+fn count_exprs(f: &IrFunction, pred: &dyn Fn(&ExprKind) -> bool) -> usize {
+    fn expr(e: &IrExpr, pred: &dyn Fn(&ExprKind) -> bool, n: &mut usize) {
+        if pred(&e.kind) {
+            *n += 1;
+        }
+        match &e.kind {
+            ExprKind::Load(a) | ExprKind::Cast(a) => expr(a, pred, n),
+            ExprKind::Unary { expr: a, .. } => expr(a, pred, n),
+            ExprKind::Binary { lhs, rhs, .. } | ExprKind::Cmp { lhs, rhs, .. } => {
+                expr(lhs, pred, n);
+                expr(rhs, pred, n);
+            }
+            ExprKind::Select {
+                cond,
+                then_value,
+                else_value,
+            } => {
+                expr(cond, pred, n);
+                expr(then_value, pred, n);
+                expr(else_value, pred, n);
+            }
+            ExprKind::Call { args, .. } => args.iter().for_each(|a| expr(a, pred, n)),
+            _ => {}
+        }
+    }
+    fn block(stmts: &[IrStmt], pred: &dyn Fn(&ExprKind) -> bool, n: &mut usize) {
+        for s in stmts {
+            match &s.kind {
+                StmtKind::Assign { value, .. } => expr(value, pred, n),
+                StmtKind::Store { addr, value } => {
+                    expr(addr, pred, n);
+                    expr(value, pred, n);
+                }
+                StmtKind::CopyMem { dst, src, .. } => {
+                    expr(dst, pred, n);
+                    expr(src, pred, n);
+                }
+                StmtKind::Expr(e) => expr(e, pred, n),
+                StmtKind::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    expr(cond, pred, n);
+                    block(then_body, pred, n);
+                    block(else_body, pred, n);
+                }
+                StmtKind::While { cond, body } => {
+                    expr(cond, pred, n);
+                    block(body, pred, n);
+                }
+                StmtKind::For {
+                    start,
+                    stop,
+                    step,
+                    body,
+                    ..
+                } => {
+                    expr(start, pred, n);
+                    expr(stop, pred, n);
+                    expr(step, pred, n);
+                    block(body, pred, n);
+                }
+                StmtKind::Return(Some(e)) => expr(e, pred, n),
+                StmtKind::Return(None) | StmtKind::Break => {}
+            }
+        }
+    }
+    let mut n = 0;
+    block(&f.body, pred, &mut n);
+    n
+}
+
+fn assign(dst: LocalId, value: IrExpr) -> IrStmt {
+    IrStmt::new(StmtKind::Assign { dst, value })
+}
+
+fn ret(e: IrExpr) -> IrStmt {
+    IrStmt::new(StmtKind::Return(Some(e)))
+}
+
+#[test]
+fn o0_is_identity() {
+    let mut f = func(vec![Ty::INT], Ty::INT);
+    let p = LocalId(0);
+    let t = f.add_local("t", Ty::INT, false);
+    f.body = vec![
+        assign(
+            t,
+            IrExpr::binary(BinKind::Mul, IrExpr::local(p, Ty::INT), IrExpr::int32(8)),
+        ),
+        ret(IrExpr::local(t, Ty::INT)),
+    ];
+    let before = f.clone();
+    let stats = optimize(&mut f, &cfg(OptLevel::O0, &NoInline));
+    assert_eq!(f, before);
+    assert!(stats.runs.is_empty());
+}
+
+#[test]
+fn simplify_strength_reduces_mul_by_power_of_two() {
+    let mut f = func(vec![Ty::INT], Ty::INT);
+    let p = LocalId(0);
+    f.body = vec![ret(IrExpr::binary(
+        BinKind::Mul,
+        IrExpr::local(p, Ty::INT),
+        IrExpr::int32(8),
+    ))];
+    run_opt(&mut f, OptLevel::O1);
+    assert_eq!(
+        count_exprs(&f, &|k| matches!(
+            k,
+            ExprKind::Binary {
+                op: BinKind::Mul,
+                ..
+            }
+        )),
+        0,
+        "x*8 should become a shift: {f:?}"
+    );
+    assert_eq!(
+        count_exprs(&f, &|k| matches!(
+            k,
+            ExprKind::Binary {
+                op: BinKind::Shl,
+                ..
+            }
+        )),
+        1
+    );
+}
+
+#[test]
+fn cse_shares_repeated_computation() {
+    // a = p0*p1; b = p0*p1; return a+b  — second product becomes a reuse.
+    let mut f = func(vec![Ty::INT, Ty::INT], Ty::INT);
+    let (p0, p1) = (LocalId(0), LocalId(1));
+    let a = f.add_local("a", Ty::INT, false);
+    let b = f.add_local("b", Ty::INT, false);
+    let prod = || {
+        IrExpr::binary(
+            BinKind::Mul,
+            IrExpr::local(p0, Ty::INT),
+            IrExpr::local(p1, Ty::INT),
+        )
+    };
+    f.body = vec![
+        assign(a, prod()),
+        assign(b, prod()),
+        ret(IrExpr::binary(
+            BinKind::Add,
+            IrExpr::local(a, Ty::INT),
+            IrExpr::local(b, Ty::INT),
+        )),
+    ];
+    run_opt(&mut f, OptLevel::O2);
+    assert_eq!(
+        count_exprs(&f, &|k| matches!(
+            k,
+            ExprKind::Binary {
+                op: BinKind::Mul,
+                ..
+            }
+        )),
+        1,
+        "p0*p1 must be computed once: {f:?}"
+    );
+}
+
+#[test]
+fn cse_does_not_share_across_clobber() {
+    // a = p0*p1; p0 = 7; b = p0*p1 — the second product reads the new p0.
+    let mut f = func(vec![Ty::INT, Ty::INT], Ty::INT);
+    let (p0, p1) = (LocalId(0), LocalId(1));
+    let a = f.add_local("a", Ty::INT, false);
+    let b = f.add_local("b", Ty::INT, false);
+    let prod = || {
+        IrExpr::binary(
+            BinKind::Mul,
+            IrExpr::local(p0, Ty::INT),
+            IrExpr::local(p1, Ty::INT),
+        )
+    };
+    f.body = vec![
+        assign(a, prod()),
+        assign(p0, IrExpr::int32(7)),
+        assign(b, prod()),
+        ret(IrExpr::binary(
+            BinKind::Add,
+            IrExpr::local(a, Ty::INT),
+            IrExpr::local(b, Ty::INT),
+        )),
+    ];
+    run_opt(&mut f, OptLevel::O2);
+    assert_eq!(
+        count_exprs(&f, &|k| matches!(
+            k,
+            ExprKind::Binary {
+                op: BinKind::Mul,
+                ..
+            }
+        )),
+        2,
+        "clobbered expression must be recomputed: {f:?}"
+    );
+}
+
+#[test]
+fn copyprop_forwards_through_copies() {
+    // y = x; z = y; return z  →  return x
+    let mut f = func(vec![Ty::INT], Ty::INT);
+    let x = LocalId(0);
+    let y = f.add_local("y", Ty::INT, false);
+    let z = f.add_local("z", Ty::INT, false);
+    f.body = vec![
+        assign(y, IrExpr::local(x, Ty::INT)),
+        assign(z, IrExpr::local(y, Ty::INT)),
+        ret(IrExpr::local(z, Ty::INT)),
+    ];
+    run_opt(&mut f, OptLevel::O1);
+    assert_eq!(
+        f.body.len(),
+        1,
+        "copies should be propagated and DCE'd: {f:?}"
+    );
+    assert!(matches!(
+        &f.body[0].kind,
+        StmtKind::Return(Some(e)) if e.kind == ExprKind::Local(x)
+    ));
+}
+
+#[test]
+fn dce_removes_dead_assign_keeps_observable_effects() {
+    let mut f = func(vec![Ty::INT], Ty::INT);
+    let p = LocalId(0);
+    let dead = f.add_local("dead", Ty::INT, false);
+    let risky = f.add_local("risky", Ty::INT, false);
+    f.body = vec![
+        // Dead: pure value, never read.
+        assign(
+            dead,
+            IrExpr::binary(BinKind::Add, IrExpr::local(p, Ty::INT), IrExpr::int32(1)),
+        ),
+        // Not removable even though unread: division may trap at runtime.
+        assign(
+            risky,
+            IrExpr::binary(BinKind::Div, IrExpr::int32(1), IrExpr::local(p, Ty::INT)),
+        ),
+        ret(IrExpr::local(p, Ty::INT)),
+    ];
+    run_opt(&mut f, OptLevel::O2);
+    assert_eq!(
+        count_exprs(&f, &|k| matches!(
+            k,
+            ExprKind::Binary {
+                op: BinKind::Add,
+                ..
+            }
+        )),
+        0,
+        "dead pure assign must go: {f:?}"
+    );
+    assert_eq!(
+        count_exprs(&f, &|k| matches!(
+            k,
+            ExprKind::Binary {
+                op: BinKind::Div,
+                ..
+            }
+        )),
+        1,
+        "possibly-trapping division must stay: {f:?}"
+    );
+}
+
+#[test]
+fn dce_prunes_code_after_return() {
+    let mut f = func(vec![Ty::INT], Ty::INT);
+    let p = LocalId(0);
+    let t = f.add_local("t", Ty::INT, false);
+    f.body = vec![
+        ret(IrExpr::local(p, Ty::INT)),
+        assign(t, IrExpr::int32(1)),
+        ret(IrExpr::local(t, Ty::INT)),
+    ];
+    run_opt(&mut f, OptLevel::O1);
+    assert_eq!(f.body.len(), 1, "unreachable tail must be pruned: {f:?}");
+}
+
+#[test]
+fn licm_hoists_invariant_multiply_out_of_loop() {
+    // for i = 0, n: acc = acc + a*b  — a*b moves out; i*1 stays (writes i).
+    let mut f = func(vec![Ty::INT, Ty::INT, Ty::INT], Ty::INT);
+    let (a, b, n) = (LocalId(0), LocalId(1), LocalId(2));
+    let acc = f.add_local("acc", Ty::INT, false);
+    let i = f.add_local("i", Ty::INT, false);
+    let invariant = IrExpr::binary(
+        BinKind::Mul,
+        IrExpr::local(a, Ty::INT),
+        IrExpr::local(b, Ty::INT),
+    );
+    f.body = vec![
+        assign(acc, IrExpr::int32(0)),
+        IrStmt::new(StmtKind::For {
+            var: i,
+            start: IrExpr::int32(0),
+            stop: IrExpr::local(n, Ty::INT),
+            step: IrExpr::int32(1),
+            body: vec![assign(
+                acc,
+                IrExpr::binary(BinKind::Add, IrExpr::local(acc, Ty::INT), invariant),
+            )],
+        }),
+        ret(IrExpr::local(acc, Ty::INT)),
+    ];
+    run_opt(&mut f, OptLevel::O2);
+    // The multiply must not be inside the loop body anymore.
+    let in_loop = f
+        .body
+        .iter()
+        .find_map(|s| match &s.kind {
+            StmtKind::For { body, .. } => Some(body),
+            _ => None,
+        })
+        .expect("loop survives");
+    let mut probe = func(vec![], Ty::Unit);
+    probe.body = in_loop.clone();
+    assert_eq!(
+        count_exprs(&probe, &|k| matches!(
+            k,
+            ExprKind::Binary {
+                op: BinKind::Mul,
+                ..
+            }
+        )),
+        0,
+        "invariant multiply must be hoisted: {f:?}"
+    );
+    assert_eq!(
+        count_exprs(&f, &|k| matches!(
+            k,
+            ExprKind::Binary {
+                op: BinKind::Mul,
+                ..
+            }
+        )),
+        1,
+        "hoisted multiply executes once, before the loop: {f:?}"
+    );
+}
+
+struct OneCallee(IrFunction);
+
+impl InlineEnv for OneCallee {
+    fn callee_ir(&self, id: FuncId) -> Option<IrFunction> {
+        (id == FuncId(0)).then(|| self.0.clone())
+    }
+}
+
+#[test]
+fn inline_replaces_small_leaf_call() {
+    // callee: add1(x) = x + 1
+    let mut callee = func(vec![Ty::INT], Ty::INT);
+    callee.name = "add1".into();
+    callee.body = vec![ret(IrExpr::binary(
+        BinKind::Add,
+        IrExpr::local(LocalId(0), Ty::INT),
+        IrExpr::int32(1),
+    ))];
+    // caller: r = add1(p); return r
+    let mut caller = func(vec![Ty::INT], Ty::INT);
+    let p = LocalId(0);
+    let r = caller.add_local("r", Ty::INT, false);
+    caller.body = vec![
+        assign(
+            r,
+            IrExpr {
+                ty: Ty::INT,
+                kind: ExprKind::Call {
+                    callee: Callee::Direct(FuncId(0)),
+                    args: vec![IrExpr::local(p, Ty::INT)],
+                },
+            },
+        ),
+        ret(IrExpr::local(r, Ty::INT)),
+    ];
+    let env = OneCallee(callee);
+    let stats = optimize(&mut caller, &cfg(OptLevel::O2, &env));
+    assert!(stats.runs.iter().any(|r| r.pass == "inline" && r.changed));
+    assert_eq!(
+        count_exprs(&caller, &|k| matches!(k, ExprKind::Call { .. })),
+        0,
+        "call must be inlined away: {caller:?}"
+    );
+    assert_eq!(
+        count_exprs(&caller, &|k| matches!(
+            k,
+            ExprKind::Binary {
+                op: BinKind::Add,
+                ..
+            }
+        )),
+        1
+    );
+}
+
+#[test]
+fn inline_skips_recursive_callee() {
+    // callee calls itself: f(x) = f(x) — not a leaf, never inlined.
+    let mut callee = func(vec![Ty::INT], Ty::INT);
+    callee.body = vec![ret(IrExpr {
+        ty: Ty::INT,
+        kind: ExprKind::Call {
+            callee: Callee::Direct(FuncId(0)),
+            args: vec![IrExpr::local(LocalId(0), Ty::INT)],
+        },
+    })];
+    let mut caller = func(vec![Ty::INT], Ty::INT);
+    caller.body = vec![ret(IrExpr {
+        ty: Ty::INT,
+        kind: ExprKind::Call {
+            callee: Callee::Direct(FuncId(0)),
+            args: vec![IrExpr::local(LocalId(0), Ty::INT)],
+        },
+    })];
+    let env = OneCallee(callee);
+    optimize(&mut caller, &cfg(OptLevel::O2, &env));
+    assert_eq!(
+        count_exprs(&caller, &|k| matches!(k, ExprKind::Call { .. })),
+        1,
+        "recursive callee must not be inlined: {caller:?}"
+    );
+}
+
+#[test]
+fn pipeline_reports_per_pass_timing() {
+    let mut f = func(vec![Ty::INT], Ty::INT);
+    f.body = vec![ret(IrExpr::binary(
+        BinKind::Mul,
+        IrExpr::local(LocalId(0), Ty::INT),
+        IrExpr::int32(4),
+    ))];
+    let stats = optimize(&mut f, &cfg(OptLevel::O2, &NoInline));
+    let names: Vec<_> = stats.runs.iter().map(|r| r.pass).collect();
+    assert_eq!(
+        names,
+        ["inline", "fold", "simplify", "cse", "copyprop", "licm", "copyprop", "dce"]
+    );
+    assert!(stats.runs.iter().any(|r| r.changed), "simplify should fire");
+}

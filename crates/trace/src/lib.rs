@@ -47,6 +47,8 @@ pub enum Stage {
     Typecheck,
     /// IR verification / dataflow analysis between lowering and compile.
     Analyze,
+    /// One mid-end optimization pass (span name is `func:pass`).
+    Optimize,
     /// Typed IR → register bytecode.
     Compile,
     /// An FFI entry into the VM (`Vm::call`).
@@ -61,6 +63,7 @@ impl Stage {
             Stage::Specialize => "specialize",
             Stage::Typecheck => "typecheck",
             Stage::Analyze => "analyze",
+            Stage::Optimize => "optimize",
             Stage::Compile => "compile",
             Stage::Execute => "execute",
         }
@@ -183,6 +186,21 @@ impl Tracer {
             name: name.to_string(),
             start_us,
             dur_us: end.saturating_sub(start_us),
+        });
+    }
+
+    /// Records a completed span with an explicit duration — for callers
+    /// (like the pass manager) that measured the work themselves and report
+    /// it after the fact.
+    pub fn record_span(&mut self, stage: Stage, name: &str, start_us: u64, dur_us: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(SpanEvent {
+            stage,
+            name: name.to_string(),
+            start_us,
+            dur_us,
         });
     }
 

@@ -62,8 +62,11 @@ pub fn compile(
     c.emit_entry();
     let body = func.body.clone();
     c.stmts(&body);
-    // Implicit return for unit functions that fall off the end.
-    c.code.push(Instr::Ret { s: NO_REG });
+    // Implicit return for unit functions that fall off the end — skipped
+    // when control provably cannot reach the end of the body.
+    if !terra_ir::passes::util::block_terminates(&body) {
+        c.code.push(Instr::Ret { s: NO_REG });
+    }
     debug_assert!(c.loop_breaks.is_empty());
     CompiledFunction {
         name: func.name.clone(),
@@ -205,6 +208,12 @@ impl<'a> Compiler<'a> {
                 if else_body.is_empty() {
                     let end = self.code.len() as u32;
                     self.patch(br_at, end);
+                } else if terra_ir::passes::util::block_terminates(then_body) {
+                    // The then arm cannot fall through, so the jump over the
+                    // else arm would be unreachable.
+                    let else_start = self.code.len() as u32;
+                    self.patch(br_at, else_start);
+                    self.stmts(else_body);
                 } else {
                     let jmp_at = self.code.len();
                     self.code.push(Instr::Jmp { target: 0 });
@@ -626,6 +635,31 @@ impl<'a> Compiler<'a> {
                 };
                 // The index itself may be `j * c`: fold into the scale when
                 // the product still fits.
+                let a = self.expr(base, None);
+                let b = self.expr(idx, None);
+                let d = want.unwrap_or_else(|| self.alloc_temp());
+                self.code.push(Instr::Lea {
+                    d,
+                    a,
+                    b,
+                    scale,
+                    disp: 0,
+                });
+                Some(d)
+            }
+            ExprKind::Binary {
+                op: BinKind::Shl,
+                lhs: idx,
+                rhs: sh,
+            } => {
+                // Strength reduction rewrites `idx * 2^k` as `idx << k`;
+                // recognize the shifted spelling so fusion still fires on
+                // optimized IR. The operands are 64-bit here (the caller
+                // checked `is_addr_ty`), so shift == scale exactly.
+                let scale = match sh.kind {
+                    ExprKind::ConstInt(k) if (0..=30).contains(&k) => 1i32 << k,
+                    _ => return None,
+                };
                 let a = self.expr(base, None);
                 let b = self.expr(idx, None);
                 let d = want.unwrap_or_else(|| self.alloc_temp());

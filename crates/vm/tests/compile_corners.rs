@@ -292,3 +292,115 @@ fn many_arguments_calling_convention() {
     let args: Vec<Value> = (1..=n as i64).map(Value::Int).collect();
     assert_eq!(run(callee, &args), Value::Int(55));
 }
+
+#[test]
+fn no_trailing_ret_when_all_paths_return() {
+    // f(x) = if x > 0 then return 1 else return 2 — both arms return, so
+    // the compiler must not append an unreachable `Ret` at the end.
+    let mut f = IrFunction {
+        name: "allret".into(),
+        ty: FuncTy {
+            params: vec![Ty::I64],
+            ret: Ty::I64,
+        },
+        locals: vec![],
+        body: vec![],
+    };
+    let x = f.add_local("x", Ty::I64, false);
+    f.body = vec![StmtKind::If {
+        cond: IrExpr::cmp(CmpKind::Gt, IrExpr::local(x, Ty::I64), i64e(0)),
+        then_body: vec![StmtKind::Return(Some(i64e(1))).into()],
+        else_body: vec![StmtKind::Return(Some(i64e(2))).into()],
+    }
+    .into()];
+    let mut prog = Program::new();
+    let types = TypeRegistry::new();
+    let id = prog.declare(f.name.clone());
+    let compiled = compile(&f, &types, &mut prog, &[]);
+    let rets = compiled
+        .code
+        .iter()
+        .filter(|i| matches!(i, terra_vm::Instr::Ret { .. }))
+        .count();
+    assert_eq!(rets, 2, "exactly one Ret per arm: {:?}", compiled.code);
+    // The then arm returns, so no Jmp over the else arm is needed either.
+    let jmps = compiled
+        .code
+        .iter()
+        .filter(|i| matches!(i, terra_vm::Instr::Jmp { .. }))
+        .count();
+    assert_eq!(jmps, 0, "no jump over the else arm: {:?}", compiled.code);
+    prog.define(id, compiled);
+    assert_eq!(
+        Vm::new().call(&mut prog, id, &[Value::Int(5)]).unwrap(),
+        Value::Int(1)
+    );
+    assert_eq!(
+        Vm::new().call(&mut prog, id, &[Value::Int(-5)]).unwrap(),
+        Value::Int(2)
+    );
+}
+
+#[test]
+fn trailing_ret_kept_for_fallthrough() {
+    // Unit function that falls off the end still gets its implicit return.
+    let mut f = IrFunction {
+        name: "fall".into(),
+        ty: FuncTy {
+            params: vec![Ty::I64],
+            ret: Ty::Unit,
+        },
+        locals: vec![],
+        body: vec![],
+    };
+    let x = f.add_local("x", Ty::I64, false);
+    f.body = vec![StmtKind::If {
+        cond: IrExpr::cmp(CmpKind::Gt, IrExpr::local(x, Ty::I64), i64e(0)),
+        then_body: vec![StmtKind::Return(None).into()],
+        else_body: vec![],
+    }
+    .into()];
+    assert_eq!(run(f, &[Value::Int(-1)]), Value::Unit);
+}
+
+#[test]
+fn lea_fuses_shifted_index() {
+    // f(p, i) = p + (i << 3) — the strength-reduced spelling of p + i*8
+    // must still fuse into a single Lea.
+    let mut f = IrFunction {
+        name: "leashift".into(),
+        ty: FuncTy {
+            params: vec![Ty::I64, Ty::I64],
+            ret: Ty::I64,
+        },
+        locals: vec![],
+        body: vec![],
+    };
+    let p = f.add_local("p", Ty::I64, false);
+    let i = f.add_local("i", Ty::I64, false);
+    f.body = vec![StmtKind::Return(Some(IrExpr::binary(
+        BinKind::Add,
+        IrExpr::local(p, Ty::I64),
+        IrExpr::binary(BinKind::Shl, IrExpr::local(i, Ty::I64), i64e(3)),
+    )))
+    .into()];
+    let mut prog = Program::new();
+    let types = TypeRegistry::new();
+    let id = prog.declare(f.name.clone());
+    let compiled = compile(&f, &types, &mut prog, &[]);
+    assert!(
+        compiled
+            .code
+            .iter()
+            .any(|i| matches!(i, terra_vm::Instr::Lea { scale: 8, .. })),
+        "i << 3 must fuse as scale 8: {:?}",
+        compiled.code
+    );
+    prog.define(id, compiled);
+    assert_eq!(
+        Vm::new()
+            .call(&mut prog, id, &[Value::Int(1000), Value::Int(5)])
+            .unwrap(),
+        Value::Int(1040)
+    );
+}

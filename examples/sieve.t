@@ -1,0 +1,61 @@
+-- Branchy integer workload: a sieve of Eratosthenes plus a Collatz search.
+-- Unlike saxpy.t this exercises while-loops, nested ifs, integer div/mod,
+-- and a small helper call the -O2 inliner can absorb, so it doubles as the
+-- optimizer-differential fixture in scripts/check.sh (stdout must be
+-- identical at -O0 and -O2).
+
+local C = terralib.includec("stdlib.h")
+
+terra is_marked(flags : &int, i : int) : int
+  return flags[i]
+end
+
+terra sieve(n : int) : int
+  var flags = [&int](C.malloc(n * 4))
+  for i = 0, n do
+    flags[i] = 0
+  end
+  var count = 0
+  var i = 2
+  while i < n do
+    if is_marked(flags, i) == 0 then
+      count = count + 1
+      var j = i * i
+      while j < n do
+        flags[j] = 1
+        j = j + i
+      end
+    end
+    i = i + 1
+  end
+  C.free(flags)
+  return count
+end
+
+terra collatz_steps(seed : int) : int
+  var x = seed
+  var steps = 0
+  while x ~= 1 do
+    if x % 2 == 0 then
+      x = x / 2
+    else
+      x = 3 * x + 1
+    end
+    steps = steps + 1
+  end
+  return steps
+end
+
+terra longest_collatz(limit : int) : int
+  var best = 0
+  for seed = 1, limit do
+    var s = collatz_steps(seed)
+    if s > best then
+      best = s
+    end
+  end
+  return best
+end
+
+print("primes below 10000:", sieve(10000))
+print("longest collatz under 1000:", longest_collatz(1000))

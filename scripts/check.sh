@@ -22,10 +22,31 @@ cargo test --workspace --release -q
 echo "==> profile smoke (terra --profile --trace-out)"
 trace_json="$(mktemp)"
 trap 'rm -f "$trace_json"' EXIT
-./target/release/terra --profile --trace-out "$trace_json" examples/saxpy.t 2>&1 \
-    | grep -q "== opcode counters ==" \
+# Capture instead of piping into grep -q: with pipefail, grep exiting at the
+# first match would otherwise fail the step via SIGPIPE once the report grows
+# past the pipe buffer.
+report="$(./target/release/terra --profile --trace-out "$trace_json" examples/saxpy.t 2>&1)"
+grep -q "== opcode counters ==" <<< "$report" \
     || { echo "profile smoke: no opcode counters in report" >&2; exit 1; }
 grep -q '"traceEvents"' "$trace_json" \
     || { echo "profile smoke: trace file is missing traceEvents" >&2; exit 1; }
+
+echo "==> optimizer differential (-O0 vs -O2 stdout must match)"
+# Run without --profile: the perf counters examples print are live only under
+# the profiler, so plain stdout is level-independent unless codegen is wrong.
+for script in examples/*.t; do
+    o0="$(./target/release/terra -O0 "$script")"
+    o2="$(./target/release/terra -O2 "$script")"
+    if [ "$o0" != "$o2" ]; then
+        echo "optimizer differential: $script output differs between -O0 and -O2" >&2
+        diff <(printf '%s\n' "$o0") <(printf '%s\n' "$o2") >&2 || true
+        exit 1
+    fi
+done
+
+echo "==> perfprobe (writes BENCH_opt.json with -O0/-O2 instruction counts)"
+cargo run --release --example perfprobe --quiet
+grep -q '"kernels"' BENCH_opt.json \
+    || { echo "perfprobe: BENCH_opt.json is missing kernel entries" >&2; exit 1; }
 
 echo "All checks passed."

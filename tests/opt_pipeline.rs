@@ -1,0 +1,122 @@
+//! Acceptance tests for the mid-end optimization pipeline: the autotuned
+//! GEMM kernel and the Orion area filter must retire strictly fewer VM
+//! instructions at `-O2` than at `-O0`, while producing bit-identical
+//! results. Instruction counts come from the deterministic VM profile, so
+//! these assertions are reproducible run-to-run.
+
+use terra_autotune::{GemmConfig, GemmSession, Precision};
+use terra_core::{OptLevel, Terra};
+use terra_orion::{area_filter, ImageBuf, Schedule, Strategy};
+
+/// Runs the generated 32×32 DGEMM at `level`; returns (total instructions,
+/// inner-kernel exclusive instructions, the C matrix).
+fn gemm_at(level: OptLevel) -> (u64, u64, Vec<u64>) {
+    let mut s = GemmSession::with_opt_level(level).expect("gemm session");
+    let cfg = GemmConfig {
+        nb: 16,
+        rm: 2,
+        rn: 2,
+        v: 4,
+    };
+    let f = s.generated(32, cfg, Precision::F64).expect("staging");
+    let ws = s.workspace(32, Precision::F64);
+    s.terra().set_profile(true);
+    s.terra().reset_profile();
+    s.run(&f, &ws);
+    let profile = s.terra().profile();
+    let total = profile.total_instructions();
+    // The register-blocked inner kernel is staged as an anonymous Terra
+    // function; its exclusive count isolates the hot loop.
+    let inner = profile
+        .func("anonymous")
+        .expect("inner kernel profiled")
+        .counters
+        .exclusive;
+    s.terra().set_profile(false);
+    ws.verify(&s);
+    let c = s
+        .terra()
+        .read_f64s(ws.c, 32 * 32)
+        .into_iter()
+        .map(f64::to_bits)
+        .collect();
+    (total, inner, c)
+}
+
+#[test]
+fn gemm_kernel_retires_fewer_instructions_at_o2() {
+    let (total0, inner0, c0) = gemm_at(OptLevel::O0);
+    let (total2, inner2, c2) = gemm_at(OptLevel::O2);
+    assert!(
+        total2 < total0,
+        "-O2 must retire fewer instructions: O0={total0} O2={total2}"
+    );
+    assert!(
+        inner2 < inner0,
+        "inner kernel must shrink: O0={inner0} O2={inner2}"
+    );
+    assert_eq!(c0, c2, "optimized GEMM must produce bit-identical C");
+}
+
+/// Runs the §6.2 area filter at `level`; returns (total instructions, the
+/// output image).
+fn orion_at(level: OptLevel, schedule: Schedule) -> (u64, Vec<u32>) {
+    let (w, h) = (32, 24);
+    let mut t = Terra::new();
+    t.set_opt_level(level);
+    let p = area_filter();
+    let stencil = p.compile(&mut t, w, h, schedule).expect("staging");
+    let input = ImageBuf::alloc(&mut t, &stencil);
+    let data: Vec<f32> = (0..w * h)
+        .map(|i| ((i % 11) as f32 - 5.0) * 0.125)
+        .collect();
+    input.write(&mut t, &data);
+    let out = ImageBuf::alloc(&mut t, &stencil);
+    t.set_profile(true);
+    t.reset_profile();
+    stencil.run(&mut t, &[&input], &out);
+    let total = t.profile().total_instructions();
+    t.set_profile(false);
+    let img = out.read(&t).into_iter().map(f32::to_bits).collect();
+    (total, img)
+}
+
+#[test]
+fn orion_area_filter_retires_fewer_instructions_at_o2() {
+    for (label, schedule) in [
+        (
+            "inline",
+            Schedule {
+                strategy: Strategy::Inline,
+                vectorize: false,
+            },
+        ),
+        (
+            "materialize",
+            Schedule {
+                strategy: Strategy::Materialize,
+                vectorize: false,
+            },
+        ),
+    ] {
+        let (i0, img0) = orion_at(OptLevel::O0, schedule);
+        let (i2, img2) = orion_at(OptLevel::O2, schedule);
+        assert!(
+            i2 < i0,
+            "area filter ({label}) must retire fewer instructions at -O2: O0={i0} O2={i2}"
+        );
+        assert_eq!(img0, img2, "({label}) output must be bit-identical");
+    }
+}
+
+#[test]
+fn opt_levels_are_session_scoped() {
+    // The knob affects functions compiled after it is set, per session.
+    let mut t = Terra::new();
+    assert_eq!(t.opt_level(), OptLevel::O2);
+    t.set_opt_level(OptLevel::O0);
+    assert_eq!(t.opt_level(), OptLevel::O0);
+    t.exec("terra f(x : int) : int return x * 8 + x * 8 end")
+        .unwrap();
+    assert_eq!(t.call_i64("f", &[3.0]).unwrap(), 48);
+}
