@@ -20,9 +20,14 @@
 //!   --sanitize        poison fresh/freed VM memory and trap on use-after-free
 //!   --profile         collect staging/VM/memory counters and print a profile
 //!                     report after the program finishes
-//!   --trace-out FILE  write the run's timeline and counters as Chrome
-//!                     trace-event JSON (open in about:tracing / Perfetto);
-//!                     implies --profile
+//!   --trace-out FILE  write the run's timeline and counters; the format is
+//!                     chosen by extension: `.folded` emits folded stacks for
+//!                     flamegraph tools (inferno / flamegraph.pl), anything
+//!                     else Chrome trace-event JSON (open in about:tracing /
+//!                     Perfetto); implies --profile
+//!   --cache SPEC      simulated cache geometry for the locality profile,
+//!                     e.g. `l1=32k,64,8:l2=256k,64,8` (per level: total
+//!                     size, line size, associativity); implies --profile
 //! ```
 
 use std::io::{BufRead, Write};
@@ -73,6 +78,26 @@ fn main() {
                     }
                 }
             }
+            "--cache" => {
+                argv.remove(0);
+                match argv.first() {
+                    Some(spec) => {
+                        match terra_core::CacheConfig::parse(spec) {
+                            Ok(cfg) => t.set_cache_config(cfg),
+                            Err(e) => {
+                                eprintln!("terra: bad --cache spec: {e}");
+                                std::process::exit(1);
+                            }
+                        }
+                        profile = true;
+                        argv.remove(0);
+                    }
+                    None => {
+                        eprintln!("terra: --cache requires a spec argument");
+                        std::process::exit(1);
+                    }
+                }
+            }
             _ => break,
         }
     }
@@ -90,7 +115,7 @@ fn main() {
         Some("-h") | Some("--help") => {
             eprintln!(
                 "usage: terra [-O0|-O1|-O2] [--lint] [--sanitize] [--profile] \
-                 [--trace-out FILE] [script.t [args...] | -e 'code']"
+                 [--trace-out FILE] [--cache SPEC] [script.t [args...] | -e 'code']"
             );
         }
         Some(path) => {
@@ -119,14 +144,20 @@ fn main() {
     }
 }
 
-/// Prints the profile report to stderr and, if requested, writes the Chrome
-/// trace-event JSON file.
+/// Prints the profile report to stderr and, if requested, writes the trace
+/// file — folded flamegraph stacks for a `.folded` path, Chrome trace-event
+/// JSON otherwise.
 fn emit_profile(t: &Terra, trace_out: Option<&str>) {
     let profile = t.profile();
     eprint!("{}", profile.render_report());
     if let Some(path) = trace_out {
-        match std::fs::write(path, profile.to_chrome_json()) {
-            Ok(()) => eprintln!("terra: wrote Chrome trace to {path}"),
+        let (contents, what) = if path.ends_with(".folded") {
+            (profile.to_folded(), "folded stacks")
+        } else {
+            (profile.to_chrome_json(), "Chrome trace")
+        };
+        match std::fs::write(path, contents) {
+            Ok(()) => eprintln!("terra: wrote {what} to {path}"),
             Err(e) => {
                 eprintln!("terra: cannot write {path}: {e}");
                 std::process::exit(1);

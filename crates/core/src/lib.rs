@@ -44,7 +44,10 @@ pub fn span_synthetic() -> terra_syntax::Span {
     terra_syntax::Span::synthetic()
 }
 pub use terra_ir::{Diagnostic, FuncId, FuncTy, OptLevel, ScalarTy, Severity, Ty};
-pub use terra_trace::{FuncProfile, MemStats, Profile, SpanEvent, Stage};
+pub use terra_trace::{
+    CacheConfig, CacheLevelConfig, CacheStats, FuncProfile, LineStat, MemStats, Profile, SpanEvent,
+    Stage,
+};
 pub use terra_vm::{Trap, Value};
 
 /// An embedded Lua-Terra session.
@@ -130,6 +133,18 @@ impl Terra {
     /// Clears accumulated profile data without changing the on/off gate.
     pub fn reset_profile(&mut self) {
         self.interp.ctx.program.reset_profile();
+    }
+
+    /// Replaces the simulated cache geometry used while profiling (see
+    /// [`CacheConfig::parse`] for the `--cache` spec syntax). Cold-resets
+    /// the simulator.
+    pub fn set_cache_config(&mut self, cfg: CacheConfig) {
+        self.interp.ctx.program.memory.set_cache_config(cfg);
+    }
+
+    /// The simulated cache geometry currently in effect.
+    pub fn cache_config(&self) -> CacheConfig {
+        self.interp.ctx.program.memory.cache_config()
     }
 
     /// Freezes and returns the current profile: staging/execution timeline

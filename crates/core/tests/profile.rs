@@ -357,6 +357,9 @@ fn memory_traps_name_the_function() {
     let msg = err.to_string();
     assert!(msg.contains("use-after-free"), "got: {msg}");
     assert!(msg.contains("in terra function 'oops'"), "got: {msg}");
+    // The faulting load `return p[0]` sits on line 7 of the chunk; the trap
+    // must carry it via the bytecode debug-info table.
+    assert!(msg.contains("at line 7"), "got: {msg}");
 }
 
 #[test]
@@ -445,6 +448,92 @@ mod cli {
         std::fs::remove_file(&path).ok();
         super::json::validate(&trace).expect("CLI-written trace is valid JSON");
         assert!(trace.contains("traceEvents"));
+    }
+
+    #[test]
+    fn profile_flag_prints_locality_with_per_line_attribution() {
+        let out = terra()
+            .args(["--profile", "../../examples/saxpy.t"])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("== locality =="), "got: {stderr}");
+        assert!(stderr.contains("hot lines"), "got: {stderr}");
+        // At least one hot-line row resolves to a real `func:line` site.
+        let attributed = stderr.lines().any(|l| {
+            l.trim_start().ends_with(|c: char| c.is_ascii_digit())
+                && l.rsplit(':')
+                    .next()
+                    .is_some_and(|n| !n.is_empty() && n.trim().chars().all(|c| c.is_ascii_digit()))
+        });
+        assert!(attributed, "no per-line attribution in: {stderr}");
+    }
+
+    #[test]
+    fn cache_flag_reconfigures_the_simulated_geometry() {
+        let out = terra()
+            .args([
+                "--cache",
+                "l1=16k,64,4:l2=128k,64,8",
+                "-e",
+                r#"
+                terra fill(p : &double, n : int)
+                    for i = 0, n do p[i] = i end
+                end
+                local C = terralib.includec("stdlib.h")
+                local p = C.malloc(8192)
+                fill(p, 1024)
+                C.free(p)
+                "#,
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("16384B/64B-line/4-way"), "got: {stderr}");
+        assert!(stderr.contains("131072B/64B-line/8-way"), "got: {stderr}");
+    }
+
+    #[test]
+    fn bad_cache_spec_is_an_error() {
+        let out = terra()
+            .args(["--cache", "banana", "-e", "print(1)"])
+            .output()
+            .unwrap();
+        assert!(!out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("bad --cache spec"), "got: {stderr}");
+    }
+
+    #[test]
+    fn trace_out_folded_writes_folded_stacks() {
+        let path = std::env::temp_dir().join(format!("terra-trace-{}.folded", std::process::id()));
+        let out = terra()
+            .args([
+                "--trace-out",
+                path.to_str().unwrap(),
+                "../../examples/saxpy.t",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let folded = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // Golden shape: every line is `stack-frames... <weight>` with an
+        // integer weight, and the pipeline stages show up as frame prefixes.
+        assert!(!folded.is_empty());
+        for line in folded.lines() {
+            let (stack, weight) = line.rsplit_once(' ').expect("line has a weight field");
+            assert!(!stack.is_empty(), "empty stack in: {line:?}");
+            weight
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("non-integer weight in: {line:?}"));
+        }
+        assert!(folded.contains("execute: "), "got: {folded}");
+        assert!(folded.contains("typecheck: "), "got: {folded}");
+        // Nested spans fold into semicolon-joined frames.
+        assert!(folded.lines().any(|l| l.contains(';')), "got: {folded}");
     }
 
     #[test]

@@ -1219,6 +1219,24 @@ fn profile_to_table(profile: &terra_vm::trace::Profile) -> TableRef {
             mb.set_str("prefetches", n(m.prefetches));
         }
         tb.set_str("mem", LuaValue::Table(mem));
+
+        let cache = new_table();
+        {
+            let c = &profile.cache;
+            let mut cb = cache.borrow_mut();
+            cb.set_str("l1_hits", n(c.l1.hits));
+            cb.set_str("l1_misses", n(c.l1.misses));
+            cb.set_str("l1_evictions", n(c.l1.evictions));
+            cb.set_str("l1_miss_rate", LuaValue::Number(c.l1.miss_rate()));
+            cb.set_str("l2_hits", n(c.l2.hits));
+            cb.set_str("l2_misses", n(c.l2.misses));
+            cb.set_str("l2_evictions", n(c.l2.evictions));
+            cb.set_str("l2_miss_rate", LuaValue::Number(c.l2.miss_rate()));
+            cb.set_str("prefetch_useful", n(c.prefetch_useful));
+            cb.set_str("prefetch_late", n(c.prefetch_late));
+            cb.set_str("prefetch_useless", n(c.prefetch_useless));
+        }
+        tb.set_str("cache", LuaValue::Table(cache));
     }
     t
 }

@@ -76,7 +76,11 @@ fn block(locals: &[LocalSlot], stmts: &mut [IrStmt], avail: &mut Avail) {
                 replace(value, avail, locals);
                 let dst = *dst;
                 kill(avail, dst);
+                // `value` read the *pre-assignment* dst, so a self-referential
+                // assign (`x = x + 1`) must not advertise `x + 1` as held by
+                // the post-assignment x.
                 if eligible(value, locals)
+                    && !expr_uses(value, dst)
                     && !locals[dst.0 as usize].in_memory
                     && locals[dst.0 as usize].ty == value.ty
                 {

@@ -52,6 +52,26 @@ impl Profile {
                 e.dur_us
             );
         }
+        // Counter-stream sample for the simulated cache hierarchy, placed at
+        // the end of the timeline (counts are totals, not a time series).
+        if self.cache.total_accesses() > 0 {
+            if !first {
+                out.push(',');
+            }
+            let ts = self
+                .events
+                .iter()
+                .map(|e| e.start_us + e.dur_us)
+                .max()
+                .unwrap_or(0);
+            let c = &self.cache;
+            let _ = write!(
+                out,
+                "{{\"name\":\"cache misses\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"tid\":1,\
+                 \"args\":{{\"l1_misses\":{},\"l2_misses\":{}}}}}",
+                c.l1.misses, c.l2.misses
+            );
+        }
         out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{");
         let _ = write!(
             out,
@@ -83,7 +103,7 @@ impl Profile {
             out,
             "}},\"memory\":{{\"mallocs\":{},\"frees\":{},\"peak_live_bytes\":{},\
              \"loads\":[{},{},{},{}],\"stores\":[{},{},{},{}],\
-             \"vector_loads\":{},\"vector_stores\":{},\"prefetches\":{}}}}}}}",
+             \"vector_loads\":{},\"vector_stores\":{},\"prefetches\":{}}}",
             m.mallocs,
             m.frees,
             m.peak_live_bytes,
@@ -99,13 +119,31 @@ impl Profile {
             m.vec_stores,
             m.prefetches
         );
+        let c = &self.cache;
+        let _ = write!(
+            out,
+            ",\"cache\":{{\"l1\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\
+             \"miss_rate\":{:.6}}},\"l2\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\
+             \"miss_rate\":{:.6}}},\"prefetch\":{{\"useful\":{},\"late\":{},\"useless\":{}}}}}}}}}",
+            c.l1.hits,
+            c.l1.misses,
+            c.l1.evictions,
+            c.l1.miss_rate(),
+            c.l2.hits,
+            c.l2.misses,
+            c.l2.evictions,
+            c.l2.miss_rate(),
+            c.prefetch_useful,
+            c.prefetch_late,
+            c.prefetch_useless
+        );
         out
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::{MemStats, Profile, SpanEvent, Stage};
+    use crate::{CacheLevelStats, CacheStats, MemStats, Profile, SpanEvent, Stage};
 
     #[test]
     fn json_has_trace_events_and_balanced_braces() {
@@ -119,10 +157,43 @@ mod tests {
             ops: vec![("add.i".into(), 3)],
             funcs: Vec::new(),
             mem: MemStats::default(),
+            cache: CacheStats::default(),
+            cache_lines: Vec::new(),
         };
         let j = p.to_chrome_json();
         assert!(j.starts_with("{\"traceEvents\":["));
         assert!(j.contains("\\\"nk"), "quote must be escaped: {j}");
+        assert!(j.contains("\"cache\""), "otherData must carry cache: {j}");
+        // No cache activity: no counter event in the stream.
+        assert!(!j.contains("\"ph\":\"C\""), "{j}");
+        let open = j.matches(['{', '[']).count();
+        let close = j.matches(['}', ']']).count();
+        assert_eq!(open, close, "unbalanced brackets in {j}");
+    }
+
+    #[test]
+    fn cache_activity_emits_counter_event() {
+        let mut p = Profile {
+            events: vec![SpanEvent {
+                stage: Stage::Execute,
+                name: "f".into(),
+                start_us: 0,
+                dur_us: 5,
+            }],
+            ops: Vec::new(),
+            funcs: Vec::new(),
+            mem: MemStats::default(),
+            cache: CacheStats::default(),
+            cache_lines: Vec::new(),
+        };
+        p.cache.l1 = CacheLevelStats {
+            hits: 9,
+            misses: 1,
+            evictions: 0,
+        };
+        let j = p.to_chrome_json();
+        assert!(j.contains("\"ph\":\"C\""), "{j}");
+        assert!(j.contains("\"l1_misses\":1"), "{j}");
         let open = j.matches(['{', '[']).count();
         let close = j.matches(['}', ']']).count();
         assert_eq!(open, close, "unbalanced brackets in {j}");

@@ -1,0 +1,168 @@
+//! Folded-stack flamegraph export (`terra --trace-out foo.folded`).
+//!
+//! The folded format — one `frame1;frame2;... weight` line per unique stack —
+//! is the input both `inferno-flamegraph` and Brendan Gregg's
+//! `flamegraph.pl` consume. We rebuild stacks from the span timeline: spans
+//! are intervals on one logical thread, so a span strictly contained in
+//! another is its child. Each stack's weight is the *self* time of its leaf
+//! (inclusive duration minus child durations), clamped to at least 1 µs so
+//! fast runs on coarse clocks still produce a visible, well-formed graph.
+
+use crate::Profile;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+impl Profile {
+    /// Renders the span timeline as folded stacks, sorted by stack name.
+    ///
+    /// Returns an empty string when the profile has no events (the timeline
+    /// is only recorded while tracing is enabled).
+    pub fn to_folded(&self) -> String {
+        // Sort by start ascending; ties by longer duration first so parents
+        // precede their children, then by original index for determinism.
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (ea, eb) = (&self.events[a], &self.events[b]);
+            ea.start_us
+                .cmp(&eb.start_us)
+                .then_with(|| eb.dur_us.cmp(&ea.dur_us))
+                .then_with(|| a.cmp(&b))
+        });
+
+        // Sweep the ordered spans keeping the stack of still-open intervals.
+        // frame label, end timestamp, inclusive duration, child time so far.
+        struct Open {
+            label: String,
+            end: u64,
+            dur: u64,
+            child_dur: u64,
+        }
+        let mut stack: Vec<Open> = Vec::new();
+        let mut weights: BTreeMap<String, u64> = BTreeMap::new();
+        let mut flush = |stack: &[Open], top: &Open| {
+            let mut name = String::new();
+            for f in stack {
+                name.push_str(&f.label);
+                name.push(';');
+            }
+            name.push_str(&top.label);
+            let self_us = top.dur.saturating_sub(top.child_dur).max(1);
+            *weights.entry(name).or_insert(0) += self_us;
+        };
+        for i in order {
+            let e = &self.events[i];
+            // Close every open span that ends at or before this one starts.
+            while let Some(top) = stack.last() {
+                if top.end <= e.start_us {
+                    let top = stack.pop().unwrap();
+                    flush(&stack, &top);
+                    if let Some(parent) = stack.last_mut() {
+                        parent.child_dur += top.dur;
+                    }
+                } else {
+                    break;
+                }
+            }
+            // Semicolons are the frame separator; commas read the same.
+            let label = format!("{}: {}", e.stage.label(), e.name.replace(';', ","));
+            stack.push(Open {
+                label,
+                end: e.start_us + e.dur_us,
+                dur: e.dur_us,
+                child_dur: 0,
+            });
+        }
+        while let Some(top) = stack.pop() {
+            flush(&stack, &top);
+            if let Some(parent) = stack.last_mut() {
+                parent.child_dur += top.dur;
+            }
+        }
+
+        let mut out = String::new();
+        for (name, weight) in &weights {
+            let _ = writeln!(out, "{name} {weight}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CacheStats, MemStats, Profile, SpanEvent, Stage};
+
+    fn profile_with(events: Vec<SpanEvent>) -> Profile {
+        Profile {
+            events,
+            ops: Vec::new(),
+            funcs: Vec::new(),
+            mem: MemStats::default(),
+            cache: CacheStats::default(),
+            cache_lines: Vec::new(),
+        }
+    }
+
+    fn span(stage: Stage, name: &str, start_us: u64, dur_us: u64) -> SpanEvent {
+        SpanEvent {
+            stage,
+            name: name.into(),
+            start_us,
+            dur_us,
+        }
+    }
+
+    #[test]
+    fn empty_profile_folds_to_nothing() {
+        assert_eq!(profile_with(Vec::new()).to_folded(), "");
+    }
+
+    #[test]
+    fn nested_spans_become_stacks_with_self_time() {
+        // execute:main [0,100) contains typecheck:f [10,40).
+        let p = profile_with(vec![
+            span(Stage::Execute, "main", 0, 100),
+            span(Stage::Typecheck, "f", 10, 30),
+        ]);
+        let folded = p.to_folded();
+        let mut lines: Vec<&str> = folded.lines().collect();
+        lines.sort_unstable();
+        assert_eq!(
+            lines,
+            vec!["execute: main 70", "execute: main;typecheck: f 30"]
+        );
+    }
+
+    #[test]
+    fn sibling_spans_do_not_nest() {
+        let p = profile_with(vec![
+            span(Stage::Parse, "chunk", 0, 10),
+            span(Stage::Execute, "main", 10, 20),
+        ]);
+        let folded = p.to_folded();
+        assert!(folded.contains("parse: chunk 10\n"), "{folded}");
+        assert!(folded.contains("execute: main 20\n"), "{folded}");
+        assert!(!folded.contains(';'), "siblings must not nest: {folded}");
+    }
+
+    #[test]
+    fn zero_duration_spans_get_unit_weight() {
+        let p = profile_with(vec![span(Stage::Parse, "chunk", 5, 0)]);
+        assert_eq!(p.to_folded(), "parse: chunk 1\n");
+    }
+
+    #[test]
+    fn semicolons_in_names_are_sanitized_and_lines_are_well_formed() {
+        let p = profile_with(vec![
+            span(Stage::Execute, "a;b", 0, 50),
+            span(Stage::Compile, "k", 5, 10),
+        ]);
+        let folded = p.to_folded();
+        for line in folded.lines() {
+            let (stackpart, weight) = line.rsplit_once(' ').expect("line has a weight");
+            assert!(weight.parse::<u64>().is_ok(), "bad weight in {line:?}");
+            assert!(!stackpart.is_empty());
+        }
+        assert!(folded.contains("execute: a,b"), "{folded}");
+        assert!(folded.contains("execute: a,b;compile: k 10"), "{folded}");
+    }
+}

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod chrome;
+mod folded;
 mod report;
 
 use std::cell::Cell;
@@ -278,6 +279,8 @@ impl Tracer {
             ops: self.ops.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             funcs,
             mem,
+            cache: CacheStats::default(),
+            cache_lines: Vec::new(),
         }
     }
 }
@@ -432,6 +435,188 @@ impl MemStats {
     }
 }
 
+/// Geometry of one simulated cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLevelConfig {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Line size in bytes (power of two).
+    pub line: u64,
+    /// Associativity (ways per set).
+    pub assoc: u64,
+}
+
+impl CacheLevelConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        (self.size / (self.line * self.assoc)).max(1)
+    }
+}
+
+/// Geometry of the simulated two-level data-cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// The L1 data cache.
+    pub l1: CacheLevelConfig,
+    /// The unified L2 cache.
+    pub l2: CacheLevelConfig,
+}
+
+impl Default for CacheConfig {
+    /// A conventional small core: 32 KiB / 64 B / 8-way L1d over a
+    /// 256 KiB / 64 B / 8-way L2.
+    fn default() -> Self {
+        CacheConfig {
+            l1: CacheLevelConfig {
+                size: 32 * 1024,
+                line: 64,
+                assoc: 8,
+            },
+            l2: CacheLevelConfig {
+                size: 256 * 1024,
+                line: 64,
+                assoc: 8,
+            },
+        }
+    }
+}
+
+/// Parses a size with an optional binary `k`/`m` suffix (`32k` = 32768).
+fn parse_size(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'k') | Some(b'K') => (&s[..s.len() - 1], 1024),
+        Some(b'm') | Some(b'M') => (&s[..s.len() - 1], 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<u64>()
+        .map(|v| v * mult)
+        .map_err(|_| format!("invalid size '{s}'"))
+}
+
+impl CacheConfig {
+    /// Parses a `--cache` spec of the form `l1=32k,64,8:l2=256k,64,8`
+    /// (per level: total size, line size, associativity; sizes accept
+    /// `k`/`m` suffixes). Both levels must be present.
+    pub fn parse(spec: &str) -> Result<CacheConfig, String> {
+        let mut cfg = CacheConfig::default();
+        let (mut saw_l1, mut saw_l2) = (false, false);
+        for part in spec.split(':') {
+            let (name, geom) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected lN=size,line,assoc in '{part}'"))?;
+            let fields: Vec<&str> = geom.split(',').collect();
+            if fields.len() != 3 {
+                return Err(format!("expected size,line,assoc in '{geom}'"));
+            }
+            let level = CacheLevelConfig {
+                size: parse_size(fields[0])?,
+                line: parse_size(fields[1])?,
+                assoc: parse_size(fields[2])?,
+            };
+            if !level.line.is_power_of_two() || level.line < 8 {
+                return Err(format!(
+                    "line size {} must be a power of two >= 8",
+                    level.line
+                ));
+            }
+            if level.assoc == 0 || level.size < level.line * level.assoc {
+                return Err(format!("cache '{name}' too small for {} ways", level.assoc));
+            }
+            if !level.size.is_multiple_of(level.line * level.assoc) {
+                return Err(format!(
+                    "cache '{name}' size {} is not a multiple of line*assoc",
+                    level.size
+                ));
+            }
+            match name.trim() {
+                "l1" | "l1d" => {
+                    cfg.l1 = level;
+                    saw_l1 = true;
+                }
+                "l2" => {
+                    cfg.l2 = level;
+                    saw_l2 = true;
+                }
+                other => return Err(format!("unknown cache level '{other}' (use l1/l2)")),
+            }
+        }
+        if !saw_l1 || !saw_l2 {
+            return Err("spec must configure both l1 and l2".to_string());
+        }
+        Ok(cfg)
+    }
+}
+
+/// Frozen hit/miss/eviction counts for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheLevelStats {
+    /// Demand accesses that hit.
+    pub hits: u64,
+    /// Demand accesses that missed.
+    pub misses: u64,
+    /// Valid lines displaced by fills (demand or prefetch).
+    pub evictions: u64,
+}
+
+impl CacheLevelStats {
+    /// Total demand accesses at this level.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Misses per demand access, in `[0, 1]` (0 when never accessed).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A frozen snapshot of the cache simulator, embedded in a [`Profile`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    /// The geometry the numbers were produced under.
+    pub config: CacheConfig,
+    /// L1 data cache counters.
+    pub l1: CacheLevelStats,
+    /// L2 counters (accessed only on L1 misses and prefetch fills).
+    pub l2: CacheLevelStats,
+    /// Prefetched lines that were demanded after the modeled latency.
+    pub prefetch_useful: u64,
+    /// Prefetched lines demanded *before* the modeled latency elapsed.
+    pub prefetch_late: u64,
+    /// Prefetches of already-resident lines, plus prefetched lines evicted
+    /// without ever being demanded.
+    pub prefetch_useless: u64,
+}
+
+impl CacheStats {
+    /// Total demand accesses that entered the hierarchy.
+    pub fn total_accesses(&self) -> u64 {
+        self.l1.accesses()
+    }
+}
+
+/// Cache behaviour attributed to one Terra source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineStat {
+    /// Terra function the accesses executed in.
+    pub func: String,
+    /// 1-based source line (0 when the line is unknown).
+    pub line: u32,
+    /// Demand accesses issued from this line.
+    pub accesses: u64,
+    /// L1 misses among them.
+    pub l1_misses: u64,
+    /// L2 misses among them.
+    pub l2_misses: u64,
+}
+
 /// A complete, frozen profile: timeline + all counters.
 #[derive(Debug, Clone)]
 pub struct Profile {
@@ -443,6 +628,11 @@ pub struct Profile {
     pub funcs: Vec<FuncProfile>,
     /// Memory-system counters.
     pub mem: MemStats,
+    /// Simulated cache-hierarchy counters.
+    pub cache: CacheStats,
+    /// Per-source-line cache attribution, sorted hottest (most L1 misses)
+    /// first.
+    pub cache_lines: Vec<LineStat>,
 }
 
 impl Profile {
@@ -547,5 +737,39 @@ mod tests {
         assert_eq!(s.total_stores(), 2);
         c.reset();
         assert_eq!(c.snapshot(), MemStats::default());
+    }
+
+    #[test]
+    fn cache_config_parse() {
+        let cfg = CacheConfig::parse("l1=32k,64,8:l2=256k,64,8").unwrap();
+        assert_eq!(cfg, CacheConfig::default());
+        assert_eq!(cfg.l1.sets(), 64);
+        assert_eq!(cfg.l2.sets(), 512);
+
+        let cfg = CacheConfig::parse("l1=16k,32,4:l2=1m,64,16").unwrap();
+        assert_eq!(cfg.l1.size, 16 * 1024);
+        assert_eq!(cfg.l1.line, 32);
+        assert_eq!(cfg.l1.assoc, 4);
+        assert_eq!(cfg.l2.size, 1024 * 1024);
+        assert_eq!(cfg.l2.assoc, 16);
+
+        assert!(CacheConfig::parse("l1=32k,64,8").is_err()); // missing l2
+        assert!(CacheConfig::parse("l3=32k,64,8:l2=256k,64,8").is_err());
+        assert!(CacheConfig::parse("l1=32k,63,8:l2=256k,64,8").is_err()); // line not pow2
+        assert!(CacheConfig::parse("l1=64,64,8:l2=256k,64,8").is_err()); // too small
+        assert!(CacheConfig::parse("l1=1000,64,8:l2=256k,64,8").is_err()); // not multiple
+        assert!(CacheConfig::parse("garbage").is_err());
+    }
+
+    #[test]
+    fn cache_level_stats_rates() {
+        let s = CacheLevelStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheLevelStats::default().miss_rate(), 0.0);
     }
 }

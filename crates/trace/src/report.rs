@@ -71,17 +71,82 @@ impl Profile {
             m.stores[0], m.stores[1], m.stores[2], m.stores[3], m.vec_stores
         );
         let _ = writeln!(out, "  prefetch hints {}", m.prefetches);
+        if self.cache.total_accesses() > 0 || !self.cache_lines.is_empty() {
+            out.push_str(&self.render_locality());
+        }
+        out
+    }
+
+    /// Renders the simulated cache-hierarchy section: per-level miss rates,
+    /// prefetch classification, and the top hot lines by L1 misses.
+    ///
+    /// Deterministic like [`render_counters`](Self::render_counters); the
+    /// `-O0` vs `-O2` locality-identity test compares this string directly.
+    pub fn render_locality(&self) -> String {
+        let mut out = String::new();
+        let c = &self.cache;
+        let geom =
+            |l: &crate::CacheLevelConfig| format!("{}B/{}B-line/{}-way", l.size, l.line, l.assoc);
+        let _ = writeln!(
+            out,
+            "== locality == (simulated {} L1d, {} L2)",
+            geom(&c.config.l1),
+            geom(&c.config.l2)
+        );
+        let _ = writeln!(
+            out,
+            "  L1d  accesses {:>12}  misses {:>10}  evictions {:>10}  miss rate {:>6.2}%",
+            c.l1.accesses(),
+            c.l1.misses,
+            c.l1.evictions,
+            c.l1.miss_rate() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  L2   accesses {:>12}  misses {:>10}  evictions {:>10}  miss rate {:>6.2}%",
+            c.l2.accesses(),
+            c.l2.misses,
+            c.l2.evictions,
+            c.l2.miss_rate() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  prefetch useful {}  late {}  useless {}",
+            c.prefetch_useful, c.prefetch_late, c.prefetch_useless
+        );
+        if !self.cache_lines.is_empty() {
+            out.push_str("  hot lines (by L1 misses):\n");
+            out.push_str("    accesses   L1 misses   L2 misses  miss%  location\n");
+            for l in self.cache_lines.iter().take(10) {
+                let rate = if l.accesses == 0 {
+                    0.0
+                } else {
+                    l.l1_misses as f64 / l.accesses as f64 * 100.0
+                };
+                let loc = if l.line == 0 {
+                    format!("{}:?", l.func)
+                } else {
+                    format!("{}:{}", l.func, l.line)
+                };
+                let _ = writeln!(
+                    out,
+                    "    {:>8} {:>11} {:>11} {:>5.1}%  {}",
+                    l.accesses, l.l1_misses, l.l2_misses, rate, loc
+                );
+            }
+        }
         out
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::{FuncCounters, FuncProfile, MemStats, Profile};
+    use crate::{
+        CacheLevelStats, CacheStats, FuncCounters, FuncProfile, LineStat, MemStats, Profile,
+    };
 
-    #[test]
-    fn counters_render_deterministically() {
-        let p = Profile {
+    fn base_profile() -> Profile {
+        Profile {
             events: Vec::new(),
             ops: vec![("add.i".into(), 3), ("ret".into(), 1)],
             funcs: vec![FuncProfile {
@@ -93,12 +158,49 @@ mod tests {
                 },
             }],
             mem: MemStats::default(),
-        };
+            cache: CacheStats::default(),
+            cache_lines: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn counters_render_deterministically() {
+        let p = base_profile();
         let a = p.render_counters();
         let b = p.render_counters();
         assert_eq!(a, b);
         assert!(a.contains("add.i"));
         assert!(a.contains("(4 instructions)"));
         assert!(a.contains("  f"), "{a}");
+        // No cache activity: the locality section stays out of the report.
+        assert!(!a.contains("== locality =="), "{a}");
+    }
+
+    #[test]
+    fn locality_section_renders_hot_lines() {
+        let mut p = base_profile();
+        p.cache.l1 = CacheLevelStats {
+            hits: 90,
+            misses: 10,
+            evictions: 2,
+        };
+        p.cache.l2 = CacheLevelStats {
+            hits: 8,
+            misses: 2,
+            evictions: 0,
+        };
+        p.cache.prefetch_useful = 1;
+        p.cache_lines = vec![LineStat {
+            func: "saxpy".into(),
+            line: 14,
+            accesses: 100,
+            l1_misses: 10,
+            l2_misses: 2,
+        }];
+        let r = p.render_counters();
+        assert!(r.contains("== locality =="), "{r}");
+        assert!(r.contains("miss rate  10.00%"), "{r}");
+        assert!(r.contains("saxpy:14"), "{r}");
+        assert!(r.contains("prefetch useful 1"), "{r}");
     }
 }

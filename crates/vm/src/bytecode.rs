@@ -1058,6 +1058,18 @@ pub struct CompiledFunction {
     pub frame_size: u32,
     /// The instruction stream.
     pub code: Vec<Instr>,
+    /// Debug info: 1-based source line per instruction (parallel to `code`;
+    /// 0 = unknown). May be empty for synthetic functions.
+    pub lines: Vec<u32>,
+}
+
+impl CompiledFunction {
+    /// The source line of the instruction at `pc` (0 when unknown or when
+    /// the function carries no debug info).
+    #[inline]
+    pub fn line_at(&self, pc: usize) -> u32 {
+        self.lines.get(pc).copied().unwrap_or(0)
+    }
 }
 
 #[cfg(test)]

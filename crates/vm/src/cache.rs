@@ -1,0 +1,498 @@
+//! Deterministic two-level data-cache simulator.
+//!
+//! Models an L1d over a unified L2, both set-associative with true-LRU
+//! replacement (tracked by a monotone stamp counter, so behaviour is fully
+//! deterministic) and a write-allocate policy: stores to absent lines fill
+//! them exactly like loads. Prefetch hints fill both levels without counting
+//! as demand traffic; each prefetched line is classified *useful* (demanded
+//! after the modeled fill latency), *late* (demanded before it), or
+//! *useless* (already resident when hinted, or evicted before any demand).
+//!
+//! The simulator observes the VM's guest addresses only — it never touches
+//! host memory — and is gated behind the same `profile` flag as
+//! [`MemCounters`](terra_trace::MemCounters), so `-O`-level differential
+//! semantics are untouched. Only scalar, vector, and prefetch accesses are
+//! modeled; bulk host operations (`write_f64s`, string interning, memcpy)
+//! deliberately bypass it, as does instruction fetch (the VM has no icache).
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use terra_trace::{CacheConfig, CacheLevelConfig, CacheLevelStats, CacheStats, LineStat};
+
+/// Demand ticks a prefetch needs in flight before its line counts as
+/// *useful*; a demand hit sooner than this means the hint was issued too
+/// late to fully hide the (modeled) memory latency.
+const PREFETCH_LATENCY: u64 = 24;
+
+/// One cache way: a tag plus LRU/prefetch bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    /// Full line address (`addr / line`); `u64::MAX` = invalid.
+    tag: u64,
+    /// LRU stamp: higher = more recently used.
+    stamp: u64,
+    /// Line was filled by a prefetch and not yet demanded.
+    prefetched: bool,
+    /// Demand tick at which the prefetch fill happened.
+    pf_tick: u64,
+}
+
+const INVALID: u64 = u64::MAX;
+
+impl Way {
+    fn empty() -> Way {
+        Way {
+            tag: INVALID,
+            stamp: 0,
+            prefetched: false,
+            pf_tick: 0,
+        }
+    }
+}
+
+/// One set-associative cache level.
+#[derive(Debug)]
+struct Level {
+    cfg: CacheLevelConfig,
+    sets: u64,
+    /// `sets * assoc` ways, set-major.
+    ways: Vec<Way>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Outcome of a lookup-and-fill at one level.
+struct Filled {
+    hit: bool,
+    /// The way index touched (for post-hoc prefetch classification).
+    way: usize,
+    /// A valid line was displaced whose `prefetched` flag was still set.
+    evicted_unused_prefetch: bool,
+}
+
+impl Level {
+    fn new(cfg: CacheLevelConfig) -> Level {
+        let sets = cfg.sets();
+        Level {
+            cfg,
+            sets,
+            ways: vec![Way::empty(); (sets * cfg.assoc) as usize],
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line % self.sets) as usize;
+        let assoc = self.cfg.assoc as usize;
+        set * assoc..(set + 1) * assoc
+    }
+
+    /// Looks up `line`; on miss, fills it (evicting LRU if needed). Counts a
+    /// demand hit/miss unless `prefetch_fill` (prefetch traffic is free).
+    fn access(&mut self, line: u64, stamp: u64, prefetch_fill: bool) -> Filled {
+        let range = self.set_range(line);
+        let base = range.start;
+        let ways = &mut self.ways[range];
+        if let Some((i, w)) = ways.iter_mut().enumerate().find(|(_, w)| w.tag == line) {
+            w.stamp = stamp;
+            if !prefetch_fill {
+                self.hits += 1;
+            }
+            return Filled {
+                hit: true,
+                way: base + i,
+                evicted_unused_prefetch: false,
+            };
+        }
+        if !prefetch_fill {
+            self.misses += 1;
+        }
+        // Fill: first invalid way, else the least-recently-used (lowest
+        // stamp; lowest index breaks ties for determinism).
+        let victim = match ways.iter().position(|w| w.tag == INVALID) {
+            Some(i) => i,
+            None => {
+                let (i, _) = ways
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, w)| (w.stamp, *i))
+                    .unwrap();
+                i
+            }
+        };
+        let evicted_unused_prefetch = ways[victim].tag != INVALID && ways[victim].prefetched;
+        if ways[victim].tag != INVALID {
+            self.evictions += 1;
+        }
+        ways[victim] = Way {
+            tag: line,
+            stamp,
+            prefetched: false,
+            pf_tick: 0,
+        };
+        Filled {
+            hit: false,
+            way: base + victim,
+            evicted_unused_prefetch,
+        }
+    }
+
+    fn stats(&self) -> CacheLevelStats {
+        CacheLevelStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.ways.fill(Way::empty());
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+    }
+}
+
+/// Per-source-line attribution counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct LineCounters {
+    accesses: u64,
+    l1_misses: u64,
+    l2_misses: u64,
+}
+
+/// The two-level simulator embedded in [`Memory`](crate::Memory).
+#[derive(Debug)]
+pub struct CacheSim {
+    cfg: CacheConfig,
+    l1: Level,
+    l2: Level,
+    /// Demand access counter (prefetch timing reference).
+    tick: u64,
+    /// Monotone LRU stamp source (demand + prefetch traffic).
+    stamp: u64,
+    pf_useful: u64,
+    pf_late: u64,
+    pf_useless: u64,
+    /// Current attribution site: (function name, 1-based source line).
+    site: Option<(Rc<str>, u32)>,
+    /// Attribution table keyed by site.
+    lines: BTreeMap<(Rc<str>, u32), LineCounters>,
+}
+
+impl CacheSim {
+    /// Creates a cold simulator with the given geometry.
+    pub fn new(cfg: CacheConfig) -> CacheSim {
+        CacheSim {
+            cfg,
+            l1: Level::new(cfg.l1),
+            l2: Level::new(cfg.l2),
+            tick: 0,
+            stamp: 0,
+            pf_useful: 0,
+            pf_late: 0,
+            pf_useless: 0,
+            site: None,
+            lines: BTreeMap::new(),
+        }
+    }
+
+    /// The geometry this simulator was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Replaces the geometry, cold-resetting all state.
+    pub fn reconfigure(&mut self, cfg: CacheConfig) {
+        *self = CacheSim::new(cfg);
+    }
+
+    /// Cold reset: clears counters, the attribution table, *and* the tag
+    /// arrays, so a `reset → run → snapshot` cycle is reproducible.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+        self.tick = 0;
+        self.stamp = 0;
+        self.pf_useful = 0;
+        self.pf_late = 0;
+        self.pf_useless = 0;
+        self.lines.clear();
+    }
+
+    /// Sets the attribution site for subsequent accesses.
+    pub fn set_site(&mut self, func: &Rc<str>, line: u32) {
+        match &mut self.site {
+            Some((f, l)) if Rc::ptr_eq(f, func) => *l = line,
+            site => *site = Some((Rc::clone(func), line)),
+        }
+    }
+
+    /// Clears the attribution site (host-side accesses are unattributed).
+    pub fn clear_site(&mut self) {
+        self.site = None;
+    }
+
+    /// A demand access of `len` bytes at guest address `addr` (write-allocate
+    /// means loads and stores walk the same path).
+    pub fn access(&mut self, addr: u64, len: u64) {
+        let line_size = self.cfg.l1.line;
+        let first = addr / line_size;
+        let last = addr.saturating_add(len.max(1) - 1) / line_size;
+        for line in first..=last {
+            self.tick += 1;
+            self.stamp += 1;
+            let stamp = self.stamp;
+            let r1 = self.l1.access(line, stamp, false);
+            let mut l1_miss = false;
+            let mut l2_miss = false;
+            if r1.hit {
+                // Demand hit on a line a prefetch brought in: classify it.
+                let w = &mut self.l1.ways[r1.way];
+                if w.prefetched {
+                    w.prefetched = false;
+                    if self.tick.saturating_sub(w.pf_tick) < PREFETCH_LATENCY {
+                        self.pf_late += 1;
+                    } else {
+                        self.pf_useful += 1;
+                    }
+                }
+            } else {
+                l1_miss = true;
+                if r1.evicted_unused_prefetch {
+                    self.pf_useless += 1;
+                }
+                let r2 = self.l2.access(line, stamp, false);
+                l2_miss = !r2.hit;
+            }
+            if let Some(site) = &self.site {
+                let c = self.lines.entry(site.clone()).or_default();
+                c.accesses += 1;
+                c.l1_misses += l1_miss as u64;
+                c.l2_misses += l2_miss as u64;
+            }
+        }
+    }
+
+    /// A software prefetch hint for the line containing `addr`.
+    pub fn prefetch(&mut self, addr: u64) {
+        let line = addr / self.cfg.l1.line;
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let range = self.l1.set_range(line);
+        if self.l1.ways[range].iter().any(|w| w.tag == line) {
+            // Already resident: the hint did nothing.
+            self.pf_useless += 1;
+            return;
+        }
+        let r2 = self.l2.access(line, stamp, true);
+        let _ = r2;
+        let r1 = self.l1.access(line, stamp, true);
+        if r1.evicted_unused_prefetch {
+            self.pf_useless += 1;
+        }
+        let w = &mut self.l1.ways[r1.way];
+        w.prefetched = true;
+        w.pf_tick = self.tick;
+    }
+
+    /// Freezes the hierarchy counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            config: self.cfg,
+            l1: self.l1.stats(),
+            l2: self.l2.stats(),
+            prefetch_useful: self.pf_useful,
+            prefetch_late: self.pf_late,
+            prefetch_useless: self.pf_useless,
+        }
+    }
+
+    /// Freezes the per-line attribution table, hottest (most L1 misses)
+    /// first; ties broken by L2 misses, accesses, then location, so the
+    /// ordering is deterministic.
+    pub fn line_stats(&self) -> Vec<LineStat> {
+        let mut v: Vec<LineStat> = self
+            .lines
+            .iter()
+            .map(|((func, line), c)| LineStat {
+                func: func.to_string(),
+                line: *line,
+                accesses: c.accesses,
+                l1_misses: c.l1_misses,
+                l2_misses: c.l2_misses,
+            })
+            .collect();
+        v.sort_by(|a, b| {
+            b.l1_misses
+                .cmp(&a.l1_misses)
+                .then_with(|| b.l2_misses.cmp(&a.l2_misses))
+                .then_with(|| b.accesses.cmp(&a.accesses))
+                .then_with(|| a.func.cmp(&b.func))
+                .then_with(|| a.line.cmp(&b.line))
+        });
+        v
+    }
+}
+
+impl Default for CacheSim {
+    fn default() -> Self {
+        CacheSim::new(CacheConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheSim {
+        // 2-way, 2-set, 64 B lines L1 (256 B) over a 4-set L2 (512 B).
+        CacheSim::new(CacheConfig {
+            l1: CacheLevelConfig {
+                size: 256,
+                line: 64,
+                assoc: 2,
+            },
+            l2: CacheLevelConfig {
+                size: 512,
+                line: 64,
+                assoc: 2,
+            },
+        })
+    }
+
+    #[test]
+    fn sequential_unit_stride_hits_within_a_line() {
+        let mut c = CacheSim::default();
+        for i in 0..64 {
+            c.access(4096 + i * 8, 8);
+        }
+        let s = c.stats();
+        // 64 doubles = 8 lines of 64 bytes: 8 cold misses, 56 hits.
+        assert_eq!(s.l1.misses, 8);
+        assert_eq!(s.l1.hits, 56);
+        assert_eq!(s.l2.misses, 8);
+    }
+
+    #[test]
+    fn large_stride_misses_every_access() {
+        let mut c = CacheSim::default();
+        for i in 0..64 {
+            c.access(4096 + i * 256, 8);
+        }
+        let s = c.stats();
+        assert_eq!(s.l1.misses, 64);
+        assert_eq!(s.l1.hits, 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_and_counts_evictions() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 of a 2-way L1: 0, 2, 4 (line index).
+        c.access(0, 8); // line 0 → miss, fill
+        c.access(2 * 64, 8); // line 2 → miss, fill (set full)
+        c.access(0, 8); // line 0 → hit (now MRU)
+        c.access(4 * 64, 8); // line 4 → miss, evicts line 2 (LRU)
+        c.access(0, 8); // line 0 → still resident: hit
+        c.access(2 * 64, 8); // line 2 → was evicted: miss
+        let s = c.stats();
+        assert_eq!(s.l1.hits, 2);
+        assert_eq!(s.l1.misses, 4);
+        assert!(s.l1.evictions >= 2);
+    }
+
+    #[test]
+    fn straddling_access_touches_both_lines() {
+        let mut c = CacheSim::default();
+        c.access(60, 8); // crosses the line-63/64 boundary
+        assert_eq!(c.stats().l1.misses, 2);
+    }
+
+    #[test]
+    fn write_allocate_store_then_load_hits() {
+        let mut c = CacheSim::default();
+        c.access(4096, 8); // "store": fills the line
+        c.access(4096, 8); // load of the same line
+        let s = c.stats();
+        assert_eq!(s.l1.misses, 1);
+        assert_eq!(s.l1.hits, 1);
+    }
+
+    #[test]
+    fn prefetch_classification() {
+        let mut c = CacheSim::default();
+        // Useless: prefetch a line that's already resident.
+        c.access(0, 8);
+        c.prefetch(0);
+        assert_eq!(c.stats().prefetch_useless, 1);
+
+        // Late: demand hit right after the prefetch fill.
+        c.prefetch(4096);
+        c.access(4096, 8);
+        assert_eq!(c.stats().prefetch_late, 1);
+
+        // Useful: demand hit after >= PREFETCH_LATENCY demand ticks.
+        c.prefetch(8192);
+        for i in 0..PREFETCH_LATENCY {
+            c.access(16384 + i * 64, 8); // unrelated traffic to advance time
+        }
+        c.access(8192, 8);
+        let s = c.stats();
+        assert_eq!(s.prefetch_useful, 1);
+        assert_eq!(s.prefetch_late, 1);
+        // Prefetch traffic must not count as demand accesses.
+        assert_eq!(s.l1.accesses(), 2 + PREFETCH_LATENCY + 1);
+    }
+
+    #[test]
+    fn prefetched_line_evicted_unused_is_useless() {
+        let mut c = tiny();
+        c.prefetch(0); // line 0 into set 0
+        c.access(2 * 64, 8); // line 2, set 0
+        c.access(4 * 64, 8); // line 4, set 0 → evicts one of them
+        c.access(6 * 64, 8); // line 6, set 0 → set cycled; prefetch long gone
+        let s = c.stats();
+        assert_eq!(s.prefetch_useless, 1);
+        assert_eq!(s.prefetch_useful + s.prefetch_late, 0);
+    }
+
+    #[test]
+    fn reset_restores_cold_state_deterministically() {
+        let run = |c: &mut CacheSim| {
+            for i in 0..32 {
+                c.access(4096 + i * 40, 8);
+            }
+            (c.stats(), c.line_stats())
+        };
+        let mut c = CacheSim::default();
+        let a = run(&mut c);
+        c.reset();
+        let b = run(&mut c);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn line_attribution_tracks_sites() {
+        let mut c = CacheSim::default();
+        let f: Rc<str> = Rc::from("kern");
+        c.set_site(&f, 3);
+        c.access(4096, 8); // miss
+        c.access(4096, 8); // hit
+        c.set_site(&f, 7);
+        c.access(1 << 20, 8); // miss on another line
+        c.clear_site();
+        c.access(1 << 21, 8); // unattributed
+        let lines = c.line_stats();
+        assert_eq!(lines.len(), 2);
+        // Ordered by misses desc then location: both have 1 L1 miss, so
+        // line 3 (2 accesses) precedes line 7 (1 access).
+        assert_eq!((lines[0].line, lines[0].accesses), (3, 2));
+        assert_eq!((lines[1].line, lines[1].accesses), (7, 1));
+        assert_eq!(lines[0].func, "kern");
+        assert_eq!(c.stats().l1.accesses(), 4);
+    }
+}

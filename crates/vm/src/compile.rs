@@ -68,12 +68,15 @@ pub fn compile(
         c.code.push(Instr::Ret { s: NO_REG });
     }
     debug_assert!(c.loop_breaks.is_empty());
+    c.flush_lines();
+    debug_assert_eq!(c.lines.len(), c.code.len());
     CompiledFunction {
         name: func.name.clone(),
         ty: func.ty.clone(),
         nregs: c.max_regs,
         frame_size: c.frame_size,
         code: c.code,
+        lines: c.lines,
     }
 }
 
@@ -82,6 +85,12 @@ struct Compiler<'a> {
     prog: &'a mut Program,
     globals: &'a [u64],
     code: Vec<Instr>,
+    /// Debug info built alongside `code`: source line per instruction.
+    /// Lagging entries are caught up by `flush_lines` at statement
+    /// boundaries, stamped with `cur_line`.
+    lines: Vec<u32>,
+    /// Source line owning instructions emitted since the last flush.
+    cur_line: u32,
     /// Register assigned to each register-class local (NO_REG if in memory).
     local_regs: Vec<Reg>,
     /// Frame offset of each in-memory local (u32::MAX otherwise).
@@ -128,6 +137,8 @@ impl<'a> Compiler<'a> {
             prog,
             globals,
             code: Vec::new(),
+            lines: Vec::new(),
+            cur_line: 0,
             local_regs,
             local_offsets,
             temp_base: next_reg,
@@ -166,6 +177,12 @@ impl<'a> Compiler<'a> {
         self.temp_top = watermark;
     }
 
+    /// Stamps every instruction emitted since the last flush with
+    /// `cur_line`, keeping the debug-info table parallel to `code`.
+    fn flush_lines(&mut self) {
+        self.lines.resize(self.code.len(), self.cur_line);
+    }
+
     // -- statements ----------------------------------------------------------
 
     fn stmts(&mut self, body: &[IrStmt]) {
@@ -176,6 +193,14 @@ impl<'a> Compiler<'a> {
 
     fn stmt(&mut self, s: &IrStmt) {
         let mark = self.temp_top;
+        // Debug info: instructions pending from the enclosing statement keep
+        // its line; everything this statement emits (including loop-control
+        // overhead appended after the body) gets this statement's line.
+        self.flush_lines();
+        let saved_line = self.cur_line;
+        if s.span.line != 0 {
+            self.cur_line = s.span.line;
+        }
         match &s.kind {
             StmtKind::Assign { dst, value } => self.compile_assign(*dst, value),
             StmtKind::Store { addr, value } => {
@@ -298,6 +323,8 @@ impl<'a> Compiler<'a> {
                 }
             }
         }
+        self.flush_lines();
+        self.cur_line = saved_line;
         self.release(mark);
     }
 

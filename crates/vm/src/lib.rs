@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 mod bytecode;
+mod cache;
 mod compile;
 mod machine;
 mod memory;
@@ -24,6 +25,7 @@ mod program;
 pub use bytecode::{
     decode_func_ptr, encode_func_ptr, CompiledFunction, Instr, IntWidth, Reg, NO_REG,
 };
+pub use cache::CacheSim;
 pub use compile::compile;
 pub use machine::{decode_value, ExecResult, RegImage, Trap, Vm};
 pub use memory::{MemError, MemKind, MemResult, Memory};

@@ -23,6 +23,9 @@ pub enum Trap {
         /// Name of the Terra function executing at trap time. `None` only
         /// for faults raised outside VM execution (host-side accesses).
         func: Option<Rc<str>>,
+        /// 1-based source line of the faulting instruction, from the
+        /// bytecode debug-info table (0 = unknown).
+        line: u32,
     },
     /// Integer division or remainder by zero.
     DivByZero,
@@ -48,10 +51,14 @@ pub enum Trap {
 impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Trap::Memory { err, func } => {
+            Trap::Memory { err, func, line } => {
                 write!(f, "{err}")?;
                 if let Some(name) = func {
-                    write!(f, " (in terra function '{name}')")?;
+                    if *line > 0 {
+                        write!(f, " (in terra function '{name}' at line {line})")?;
+                    } else {
+                        write!(f, " (in terra function '{name}')")?;
+                    }
                 }
                 Ok(())
             }
@@ -74,7 +81,11 @@ impl std::error::Error for Trap {}
 
 impl From<MemError> for Trap {
     fn from(e: MemError) -> Self {
-        Trap::Memory { err: e, func: None }
+        Trap::Memory {
+            err: e,
+            func: None,
+            line: 0,
+        }
     }
 }
 
@@ -214,15 +225,23 @@ impl Vm {
         let saved_frames = self.frames.len();
         let saved_trace = prog.trace.depth();
         let result = self.run(prog, func, args);
+        // Accesses made by the host from here on are not Terra code.
+        if prog.memory.profile_enabled() {
+            prog.memory.clear_access_site();
+        }
         self.regs.truncate(saved_regs);
         result.map_err(|trap| {
             // The innermost frame still on the stack names the Terra
-            // function that was executing when the trap fired.
+            // function (and, via the debug-info table, the source line)
+            // that was executing when the trap fired.
             let current = self
                 .frames
                 .last()
                 .filter(|_| self.frames.len() > saved_frames)
-                .map(|fr| fr.func.name.clone());
+                .map(|fr| {
+                    let line = fr.func.line_at(fr.pc.saturating_sub(1));
+                    (fr.func.name.clone(), line)
+                });
             // Unwind any frames (and their memory) left by the trap.
             while self.frames.len() > saved_frames {
                 let fr = self.frames.pop().expect("frame count checked");
@@ -230,7 +249,15 @@ impl Vm {
             }
             prog.trace.unwind_to(saved_trace);
             match trap {
-                Trap::Memory { err, func: None } => Trap::Memory { err, func: current },
+                Trap::Memory {
+                    err, func: None, ..
+                } => {
+                    let (func, line) = match current {
+                        Some((name, line)) => (Some(name), line),
+                        None => (None, 0),
+                    };
+                    Trap::Memory { err, func, line }
+                }
                 other => other,
             }
         })
@@ -298,6 +325,20 @@ impl Vm {
                     self.regs[base + $d as usize] = from_i64($v)
                 };
             }
+            // Fallible memory operation: on a fault, write the (already
+            // advanced) pc back to the frame so the unwinder can look up the
+            // faulting instruction's source line in the debug-info table.
+            macro_rules! mem {
+                ($e:expr) => {
+                    match $e {
+                        Ok(v) => v,
+                        Err(err) => {
+                            self.frames[frame_idx].pc = pc;
+                            return Err(err.into());
+                        }
+                    }
+                };
+            }
             macro_rules! binf64 {
                 ($d:expr, $a:expr, $b:expr, $op:tt) => {{
                     let v = as_f64(r!($a)) $op as_f64(r!($b));
@@ -338,6 +379,10 @@ impl Vm {
                 pc += 1;
                 if profiling {
                     prog.trace.tick(instr.mnemonic());
+                    // Attribute any memory traffic this instruction performs
+                    // to its (function, source line) for the cache simulator.
+                    prog.memory
+                        .set_access_site(&func.name, func.line_at(pc - 1));
                 }
                 match *instr {
                     Instr::ConstI { d, v } => seti!(d, v),
@@ -479,30 +524,34 @@ impl Vm {
                     Instr::CvtF32ToF64 { d, a } => set!(d, from_f64(as_f32(r!(a)) as f64)),
                     Instr::CvtF64ToF32 { d, a } => set!(d, from_f32(as_f64(r!(a)) as f32)),
 
-                    Instr::LoadI8 { d, a } => seti!(d, prog.memory.load_i8(ru!(a))? as i64),
-                    Instr::LoadU8 { d, a } => seti!(d, prog.memory.load_u8(ru!(a))? as i64),
-                    Instr::LoadI16 { d, a } => seti!(d, prog.memory.load_i16(ru!(a))? as i64),
-                    Instr::LoadU16 { d, a } => seti!(d, prog.memory.load_u16(ru!(a))? as i64),
-                    Instr::LoadI32 { d, a } => seti!(d, prog.memory.load_i32(ru!(a))? as i64),
-                    Instr::LoadU32 { d, a } => seti!(d, prog.memory.load_u32(ru!(a))? as i64),
-                    Instr::Load64 { d, a } => seti!(d, prog.memory.load_i64(ru!(a))?),
-                    Instr::LoadF32 { d, a } => set!(d, from_f32(prog.memory.load_f32(ru!(a))?)),
-                    Instr::LoadF64 { d, a } => set!(d, from_f64(prog.memory.load_f64(ru!(a))?)),
-                    Instr::Store8 { a, s } => prog.memory.store_u8(ru!(a), ru!(s) as u8)?,
-                    Instr::Store16 { a, s } => prog.memory.store_u16(ru!(a), ru!(s) as u16)?,
-                    Instr::Store32 { a, s } => prog.memory.store_u32(ru!(a), ru!(s) as u32)?,
-                    Instr::Store64 { a, s } => prog.memory.store_u64(ru!(a), ru!(s))?,
-                    Instr::StoreF32 { a, s } => prog.memory.store_f32(ru!(a), as_f32(r!(s)))?,
-                    Instr::StoreF64 { a, s } => prog.memory.store_f64(ru!(a), as_f64(r!(s)))?,
+                    Instr::LoadI8 { d, a } => seti!(d, mem!(prog.memory.load_i8(ru!(a))) as i64),
+                    Instr::LoadU8 { d, a } => seti!(d, mem!(prog.memory.load_u8(ru!(a))) as i64),
+                    Instr::LoadI16 { d, a } => seti!(d, mem!(prog.memory.load_i16(ru!(a))) as i64),
+                    Instr::LoadU16 { d, a } => seti!(d, mem!(prog.memory.load_u16(ru!(a))) as i64),
+                    Instr::LoadI32 { d, a } => seti!(d, mem!(prog.memory.load_i32(ru!(a))) as i64),
+                    Instr::LoadU32 { d, a } => seti!(d, mem!(prog.memory.load_u32(ru!(a))) as i64),
+                    Instr::Load64 { d, a } => seti!(d, mem!(prog.memory.load_i64(ru!(a)))),
+                    Instr::LoadF32 { d, a } => {
+                        set!(d, from_f32(mem!(prog.memory.load_f32(ru!(a)))))
+                    }
+                    Instr::LoadF64 { d, a } => {
+                        set!(d, from_f64(mem!(prog.memory.load_f64(ru!(a)))))
+                    }
+                    Instr::Store8 { a, s } => mem!(prog.memory.store_u8(ru!(a), ru!(s) as u8)),
+                    Instr::Store16 { a, s } => mem!(prog.memory.store_u16(ru!(a), ru!(s) as u16)),
+                    Instr::Store32 { a, s } => mem!(prog.memory.store_u32(ru!(a), ru!(s) as u32)),
+                    Instr::Store64 { a, s } => mem!(prog.memory.store_u64(ru!(a), ru!(s))),
+                    Instr::StoreF32 { a, s } => mem!(prog.memory.store_f32(ru!(a), as_f32(r!(s)))),
+                    Instr::StoreF64 { a, s } => mem!(prog.memory.store_f64(ru!(a), as_f64(r!(s)))),
                     Instr::LoadV { d, a, bytes } => {
-                        set!(d, prog.memory.load_vec(ru!(a), bytes as u64)?)
+                        set!(d, mem!(prog.memory.load_vec(ru!(a), bytes as u64)))
                     }
                     Instr::StoreV { a, s, bytes } => {
-                        prog.memory.store_vec(ru!(a), r!(s), bytes as u64)?
+                        mem!(prog.memory.store_vec(ru!(a), r!(s), bytes as u64))
                     }
                     Instr::FrameAddr { d, offset } => seti!(d, (mem_base + offset as u64) as i64),
                     Instr::CopyMem { dst, src, size } => {
-                        prog.memory.copy_within(ru!(src), ru!(dst), size as u64)?
+                        mem!(prog.memory.copy_within(ru!(src), ru!(dst), size as u64))
                     }
                     Instr::Prefetch { a } => prog.memory.prefetch(ru!(a)),
 
@@ -580,7 +629,7 @@ impl Vm {
                     Instr::CallBuiltin { d, b, args, nargs } => {
                         let start = base + args as usize;
                         let argv: Vec<RegImage> = self.regs[start..start + nargs as usize].to_vec();
-                        let result = call_builtin(prog, b, &argv)?;
+                        let result = mem!(call_builtin(prog, b, &argv));
                         if d != NO_REG {
                             set!(d, result);
                         }
@@ -838,6 +887,7 @@ mod tests {
             nregs,
             frame_size: 0,
             code,
+            lines: Vec::new(),
         }
     }
 

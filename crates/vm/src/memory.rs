@@ -101,6 +101,9 @@ pub struct Memory {
     /// Allocation/load/store/prefetch counters (deterministic; only touched
     /// while `profile` is on).
     counters: terra_trace::MemCounters,
+    /// Two-level cache simulator, gated behind the same `profile` flag.
+    /// `RefCell` because loads go through `&Memory`.
+    cache: std::cell::RefCell<crate::cache::CacheSim>,
 }
 
 impl Default for Memory {
@@ -125,6 +128,7 @@ impl Memory {
             freed: std::collections::BTreeMap::new(),
             profile: false,
             counters: terra_trace::MemCounters::default(),
+            cache: std::cell::RefCell::new(crate::cache::CacheSim::default()),
         }
     }
 
@@ -143,6 +147,46 @@ impl Memory {
     /// [`terra_trace::MemCounters::snapshot`]).
     pub fn counters(&self) -> &terra_trace::MemCounters {
         &self.counters
+    }
+
+    // -- cache simulator -----------------------------------------------------
+
+    /// Replaces the simulated cache geometry (cold-resets the simulator).
+    pub fn set_cache_config(&mut self, cfg: terra_trace::CacheConfig) {
+        self.cache.borrow_mut().reconfigure(cfg);
+    }
+
+    /// The simulated cache geometry currently in effect.
+    pub fn cache_config(&self) -> terra_trace::CacheConfig {
+        self.cache.borrow().config()
+    }
+
+    /// Freezes the simulated cache-hierarchy counters.
+    pub fn cache_stats(&self) -> terra_trace::CacheStats {
+        self.cache.borrow().stats()
+    }
+
+    /// Freezes the per-source-line attribution table, hottest lines first.
+    pub fn cache_line_stats(&self) -> Vec<terra_trace::LineStat> {
+        self.cache.borrow().line_stats()
+    }
+
+    /// Cold-resets the cache simulator (counters, tags, attribution).
+    pub fn reset_cache(&mut self) {
+        self.cache.borrow_mut().reset();
+    }
+
+    /// Sets the (function, source line) site subsequent accesses are
+    /// attributed to. Only meaningful while profiling is on.
+    #[inline]
+    pub fn set_access_site(&self, func: &std::rc::Rc<str>, line: u32) {
+        self.cache.borrow_mut().set_site(func, line);
+    }
+
+    /// Clears the attribution site (host-side accesses stay unattributed).
+    #[inline]
+    pub fn clear_access_site(&self) {
+        self.cache.borrow_mut().clear_site();
     }
 
     /// Turns sanitizer mode on or off. While on, freshly pushed stack frames
@@ -381,6 +425,7 @@ impl Memory {
     pub fn prefetch(&self, addr: u64) {
         if self.profile {
             self.counters.note_prefetch();
+            self.cache.borrow_mut().prefetch(addr);
         }
         if self.check(addr, 1).is_ok() {
             #[cfg(target_arch = "x86_64")]
@@ -407,6 +452,7 @@ macro_rules! scalar_access {
                 self.check(addr, $n)?;
                 if self.profile {
                     self.counters.note_load($n);
+                    self.cache.borrow_mut().access(addr, $n);
                 }
                 let mut b = [0u8; $n];
                 b.copy_from_slice(&self.data[addr as usize..addr as usize + $n]);
@@ -419,6 +465,8 @@ macro_rules! scalar_access {
                 self.check(addr, $n)?;
                 if self.profile {
                     self.counters.note_store($n);
+                    // Write-allocate: stores walk the same fill path as loads.
+                    self.cache.borrow_mut().access(addr, $n);
                 }
                 self.data[addr as usize..addr as usize + $n].copy_from_slice(&v.to_le_bytes());
                 Ok(())
@@ -445,6 +493,7 @@ impl Memory {
         self.check(addr, len)?;
         if self.profile {
             self.counters.note_vec_load();
+            self.cache.borrow_mut().access(addr, len);
         }
         let mut out = [0u64; 4];
         let src = &self.data[addr as usize..(addr + len) as usize];
@@ -462,6 +511,7 @@ impl Memory {
         self.check(addr, len)?;
         if self.profile {
             self.counters.note_vec_store();
+            self.cache.borrow_mut().access(addr, len);
         }
         let mut buf = [0u8; 32];
         for (i, w) in v.iter().enumerate() {

@@ -125,15 +125,21 @@ impl Program {
     }
 
     /// Clears all collected profile data (timeline, opcode/function
-    /// counters, memory counters) without changing the on/off gate.
+    /// counters, memory counters, cache simulator) without changing the
+    /// on/off gate.
     pub fn reset_profile(&mut self) {
         self.trace.reset();
         self.memory.counters().reset();
+        self.memory.reset_cache();
     }
 
-    /// Freezes the current profile (timeline + VM + memory counters).
+    /// Freezes the current profile (timeline + VM + memory + cache
+    /// counters).
     pub fn profile(&self) -> terra_trace::Profile {
-        self.trace.snapshot(self.memory.counters().snapshot())
+        let mut p = self.trace.snapshot(self.memory.counters().snapshot());
+        p.cache = self.memory.cache_stats();
+        p.cache_lines = self.memory.cache_line_stats();
+        p
     }
 
     /// Reserves a function id (the semantics' `tdecl`).
@@ -246,6 +252,7 @@ mod tests {
             code: vec![crate::bytecode::Instr::Ret {
                 s: crate::bytecode::NO_REG,
             }],
+            lines: vec![0],
         }
     }
 

@@ -31,6 +31,22 @@ grep -q "== opcode counters ==" <<< "$report" \
 grep -q '"traceEvents"' "$trace_json" \
     || { echo "profile smoke: trace file is missing traceEvents" >&2; exit 1; }
 
+echo "==> cache-report smoke (terra --cache, locality section, .folded export)"
+trace_folded="$(mktemp --suffix=.folded)"
+trap 'rm -f "$trace_json" "$trace_folded"' EXIT
+report="$(./target/release/terra --cache l1=16k,64,4:l2=128k,64,8 \
+    --trace-out "$trace_folded" examples/saxpy.t 2>&1)"
+grep -q "== locality ==" <<< "$report" \
+    || { echo "cache smoke: no locality section in report" >&2; exit 1; }
+grep -q "16384B/64B-line/4-way" <<< "$report" \
+    || { echo "cache smoke: --cache geometry not reflected in report" >&2; exit 1; }
+grep -qE ":[0-9]+$" <(grep -A14 "hot lines" <<< "$report") \
+    || { echo "cache smoke: no per-line attribution in hot-lines table" >&2; exit 1; }
+[ -s "$trace_folded" ] \
+    || { echo "cache smoke: .folded trace file is empty" >&2; exit 1; }
+awk 'NF < 2 || $NF !~ /^[0-9]+$/ { bad=1 } END { exit bad }' "$trace_folded" \
+    || { echo "cache smoke: malformed folded-stack line" >&2; exit 1; }
+
 echo "==> optimizer differential (-O0 vs -O2 stdout must match)"
 # Run without --profile: the perf counters examples print are live only under
 # the profiler, so plain stdout is level-independent unless codegen is wrong.
@@ -48,5 +64,32 @@ echo "==> perfprobe (writes BENCH_opt.json with -O0/-O2 instruction counts)"
 cargo run --release --example perfprobe --quiet
 grep -q '"kernels"' BENCH_opt.json \
     || { echo "perfprobe: BENCH_opt.json is missing kernel entries" >&2; exit 1; }
+
+echo "==> BENCH_cache.json schema (keys, rates in [0,1], blocked < naive, soa < aos)"
+grep -q '"config"' BENCH_cache.json \
+    || { echo "BENCH_cache: missing config key" >&2; exit 1; }
+for key in l1_accesses l1_misses l1_miss_rate l2_misses l2_miss_rate; do
+    grep -q "\"$key\"" BENCH_cache.json \
+        || { echo "BENCH_cache: missing key $key" >&2; exit 1; }
+done
+for kernel in gemm_naive_96 gemm_blocked_96 aos_sum_4096 soa_sum_4096; do
+    grep -q "\"$kernel\"" BENCH_cache.json \
+        || { echo "BENCH_cache: missing kernel $kernel" >&2; exit 1; }
+done
+# POSIX-portable rate extraction: one kernel entry per line in the file.
+l1_rate() {
+    sed -n "s/.*\"name\": \"$1\".*\"l1_miss_rate\": \([0-9.]*\).*/\1/p" BENCH_cache.json
+}
+for r in $(sed -n 's/.*"l1_miss_rate": \([0-9.]*\).*"l2_miss_rate": \([0-9.]*\).*/\1 \2/p' \
+        BENCH_cache.json); do
+    awk -v r="$r" 'BEGIN { exit !(r >= 0 && r <= 1) }' \
+        || { echo "BENCH_cache: miss rate $r outside [0,1]" >&2; exit 1; }
+done
+awk -v naive="$(l1_rate gemm_naive_96)" -v blocked="$(l1_rate gemm_blocked_96)" \
+    'BEGIN { exit !(blocked < naive) }' \
+    || { echo "BENCH_cache: blocked GEMM L1 miss rate must be strictly below naive" >&2; exit 1; }
+awk -v aos="$(l1_rate aos_sum_4096)" -v soa="$(l1_rate soa_sum_4096)" \
+    'BEGIN { exit !(soa < aos) }' \
+    || { echo "BENCH_cache: SoA L1 miss rate must be strictly below AoS" >&2; exit 1; }
 
 echo "All checks passed."

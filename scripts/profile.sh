@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Profile a Lua-Terra script on the release VM: prints the per-function /
-# opcode / memory counter report and writes a Chrome trace-event JSON file
-# (open in about:tracing or https://ui.perfetto.dev).
+# opcode / memory / locality counter report and writes a trace file —
+# Chrome trace-event JSON by default (open in about:tracing or
+# https://ui.perfetto.dev), or folded flamegraph stacks when the output
+# path ends in .folded.
 #
-# Usage: ./scripts/profile.sh script.t [trace.json] [script args...]
+# Usage: ./scripts/profile.sh script.t [trace.json|trace.folded] [script args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [[ $# -lt 1 ]]; then
-    echo "usage: $0 script.t [trace.json] [script args...]" >&2
+    echo "usage: $0 script.t [trace.json|trace.folded] [script args...]" >&2
     exit 1
 fi
 
@@ -18,4 +20,17 @@ trace_out="${1:-trace.json}"
 [[ $# -gt 0 ]] && shift
 
 cargo build --release -p terra-core --bins -q
-exec ./target/release/terra --profile --trace-out "$trace_out" "$script" "$@"
+# Capture the report (it goes to stderr) so an empty profile fails loudly
+# instead of looking like a successful run with nothing to say.
+set +e
+report="$(./target/release/terra --profile --trace-out "$trace_out" "$script" "$@" 2>&1)"
+status=$?
+set -e
+printf '%s\n' "$report"
+if [[ $status -ne 0 ]]; then
+    exit "$status"
+fi
+if ! grep -q "== opcode counters ==" <<< "$report"; then
+    echo "profile.sh: --profile produced no counter report (profiler broken?)" >&2
+    exit 1
+fi
