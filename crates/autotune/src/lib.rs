@@ -544,6 +544,60 @@ mod tests {
     }
 
     #[test]
+    fn remarks_confirm_staged_kernel_was_optimized_as_claimed() {
+        // The remark stream closes the loop for an autotuner: after staging
+        // the chosen configuration, it can check that the optimizer really
+        // did hoist the invariant address arithmetic and CSE the
+        // quote-generated accumulator addresses, instead of trusting -O2
+        // blindly.
+        let mut s = GemmSession::new().unwrap();
+        let ws = s.workspace(32, Precision::F64);
+        let cfg = GemmConfig {
+            nb: 16,
+            rm: 2,
+            rn: 2,
+            v: 4,
+        };
+        let f = s.generated(32, cfg, Precision::F64).unwrap();
+        s.run(&f, &ws);
+        ws.verify(&s);
+        let remarks = s.terra().remarks().to_vec();
+        assert!(
+            remarks
+                .iter()
+                .any(|r| r.pass == "licm" && r.kind == "applied" && r.message.contains("hoisted")),
+            "expected a loop-invariant hoist in the staged kernel: {remarks:?}"
+        );
+        // At least one applied remark must be attributed back to the staging
+        // chain — the kernel body is assembled from Lua quotes.
+        assert!(
+            remarks
+                .iter()
+                .any(|r| r.kind == "applied" && r.provenance.contains("via quote at line")),
+            "expected an applied remark with a staging chain: {remarks:?}"
+        );
+        // The same check is available from inside the Lua driver via
+        // perf.remarks(), which is how a script-level autotuner would assert
+        // its kernel got the treatment it expects.
+        let got = s
+            .terra()
+            .exec(
+                "local hoists = 0\n\
+                 for _, r in ipairs(perf.remarks('licm')) do\n\
+                   if r.kind == 'applied' then hoists = hoists + 1 end\n\
+                 end\n\
+                 return hoists",
+            )
+            .unwrap();
+        match got.first() {
+            Some(terra_core::LuaValue::Number(n)) => {
+                assert!(*n > 0.0, "perf.remarks() saw no hoists");
+            }
+            other => panic!("unexpected return from Lua: {other:?}"),
+        }
+    }
+
+    #[test]
     fn vendor_config_is_valid() {
         assert!(vendor_config(Precision::F64).valid_for(64, Precision::F64));
         assert!(vendor_config(Precision::F32).valid_for(64, Precision::F32));

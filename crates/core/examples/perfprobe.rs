@@ -5,9 +5,12 @@
 //!
 //! Also writes `BENCH_opt.json` next to the working directory: per-kernel
 //! deterministic instruction counts at `-O0` vs `-O2`, so optimizer
-//! regressions show up as a diff in CI — and `BENCH_cache.json` with the
+//! regressions show up as a diff in CI — `BENCH_cache.json` with the
 //! simulated cache miss rates behind the paper's locality claims
-//! (blocked-vs-naive GEMM, SoA-vs-AoS traversal).
+//! (blocked-vs-naive GEMM, SoA-vs-AoS traversal) — and
+//! `BENCH_remarks.json` with per-pass applied/missed optimizer-remark
+//! counts for the GEMM kernel, so a pass silently going quiet (or noisy)
+//! shows up as a diff too.
 use std::fmt::Write as _;
 use std::time::Instant;
 use terra_core::{CacheStats, OptLevel, Terra, Value};
@@ -128,6 +131,39 @@ fn saxpy_instrs(level: OptLevel, n: usize) -> u64 {
     // y = 0.5 + (2*2 + 1) * 1.0
     assert_eq!(t.read_f64s(y, 1)[0], 5.5);
     instrs
+}
+
+/// Per-pass applied/missed optimizer-remark counts for the `-O2` GEMM, as a
+/// pass-name-sorted table. Remarks are recorded at compile time, so one
+/// invocation (to force lazy compilation) is enough.
+fn matmul_remark_counts(n: usize) -> Vec<(String, u64, u64)> {
+    let mut t = Terra::new();
+    t.set_opt_level(OptLevel::O2);
+    t.exec(MATMUL_SRC).unwrap();
+    let f = t.function("matmul").unwrap();
+    let bytes = (n * n * 8) as u64;
+    let (a, b, c) = (t.malloc(bytes), t.malloc(bytes), t.malloc(bytes));
+    t.write_f64s(a, &vec![1.0; n * n]);
+    t.write_f64s(b, &vec![2.0; n * n]);
+    t.invoke(
+        &f,
+        &[
+            Value::Ptr(a),
+            Value::Ptr(b),
+            Value::Ptr(c),
+            Value::Int(n as i64),
+        ],
+    )
+    .unwrap();
+    let mut counts: std::collections::BTreeMap<String, (u64, u64)> = Default::default();
+    for r in t.remarks() {
+        let entry = counts.entry(r.pass.clone()).or_default();
+        match r.kind.as_str() {
+            "applied" => entry.0 += 1,
+            _ => entry.1 += 1,
+        }
+    }
+    counts.into_iter().map(|(p, (a, m))| (p, a, m)).collect()
 }
 
 /// One profiled GEMM run (naive or blocked source); returns the cache stats.
@@ -294,4 +330,29 @@ fn main() {
     );
     std::fs::write("BENCH_cache.json", &json).unwrap();
     println!("wrote BENCH_cache.json");
+
+    // Per-pass optimizer remark counts for the -O2 GEMM. Two independent
+    // collections must agree exactly — the remark stream is deterministic.
+    let counts = matmul_remark_counts(64);
+    assert_eq!(
+        counts,
+        matmul_remark_counts(64),
+        "remark counts must be identical across runs"
+    );
+    assert!(
+        counts.iter().any(|(_, applied, _)| *applied > 0),
+        "-O2 GEMM must produce at least one applied remark"
+    );
+    let mut json = String::from("{\n  \"kernel\": \"matmul_64_O2\",\n  \"passes\": [\n");
+    for (i, (pass, applied, missed)) in counts.iter().enumerate() {
+        let sep = if i + 1 == counts.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"pass\": \"{pass}\", \"applied\": {applied}, \"missed\": {missed}}}{sep}"
+        );
+        println!("{pass}: {applied} applied, {missed} missed");
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_remarks.json", &json).unwrap();
+    println!("wrote BENCH_remarks.json");
 }

@@ -28,6 +28,12 @@
 //!   --cache SPEC      simulated cache geometry for the locality profile,
 //!                     e.g. `l1=32k,64,8:l2=256k,64,8` (per level: total
 //!                     size, line size, associativity); implies --profile
+//!   --remarks[=pass]  print the optimizer's structured remarks (what each
+//!                     pass applied or missed, with staging provenance) to
+//!                     stderr after the program finishes, optionally
+//!                     restricted to one pass (inline, licm, cse, ...)
+//!   --remarks-out F   write the remark stream as JSON to F (deterministic:
+//!                     byte-identical across runs)
 //! ```
 
 use std::io::{BufRead, Write};
@@ -39,6 +45,8 @@ fn main() {
     let mut lint = false;
     let mut profile = false;
     let mut trace_out: Option<String> = None;
+    let mut remarks: Option<Option<String>> = None;
+    let mut remarks_out: Option<String> = None;
     while let Some(first) = argv.first().map(|s| s.as_str()) {
         match first {
             "--lint" => {
@@ -98,6 +106,27 @@ fn main() {
                     }
                 }
             }
+            "--remarks" => {
+                remarks = Some(None);
+                argv.remove(0);
+            }
+            _ if first.starts_with("--remarks=") => {
+                remarks = Some(Some(first["--remarks=".len()..].to_string()));
+                argv.remove(0);
+            }
+            "--remarks-out" => {
+                argv.remove(0);
+                match argv.first() {
+                    Some(path) => {
+                        remarks_out = Some(path.clone());
+                        argv.remove(0);
+                    }
+                    None => {
+                        eprintln!("terra: --remarks-out requires a file argument");
+                        std::process::exit(1);
+                    }
+                }
+            }
             _ => break,
         }
     }
@@ -115,7 +144,8 @@ fn main() {
         Some("-h") | Some("--help") => {
             eprintln!(
                 "usage: terra [-O0|-O1|-O2] [--lint] [--sanitize] [--profile] \
-                 [--trace-out FILE] [--cache SPEC] [script.t [args...] | -e 'code']"
+                 [--trace-out FILE] [--cache SPEC] [--remarks[=pass]] [--remarks-out FILE] \
+                 [script.t [args...] | -e 'code']"
             );
         }
         Some(path) => {
@@ -141,6 +171,18 @@ fn main() {
     }
     if profile {
         emit_profile(&t, trace_out.as_deref());
+    }
+    if let Some(pass) = &remarks {
+        eprint!("{}", t.profile().render_remarks(pass.as_deref()));
+    }
+    if let Some(path) = &remarks_out {
+        match std::fs::write(path, t.profile().remarks_json()) {
+            Ok(()) => eprintln!("terra: wrote remarks to {path}"),
+            Err(e) => {
+                eprintln!("terra: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 

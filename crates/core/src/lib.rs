@@ -45,8 +45,8 @@ pub fn span_synthetic() -> terra_syntax::Span {
 }
 pub use terra_ir::{Diagnostic, FuncId, FuncTy, OptLevel, ScalarTy, Severity, Ty};
 pub use terra_trace::{
-    CacheConfig, CacheLevelConfig, CacheStats, FuncProfile, LineStat, MemStats, Profile, SpanEvent,
-    Stage,
+    CacheConfig, CacheLevelConfig, CacheStats, FuncProfile, LineStat, MemStats, Profile, Remark,
+    SpanEvent, Stage,
 };
 pub use terra_vm::{Trap, Value};
 
@@ -154,6 +154,13 @@ impl Terra {
     /// [`Profile::to_chrome_json`].
     pub fn profile(&self) -> Profile {
         self.interp.ctx.program.profile()
+    }
+
+    /// The optimizer's structured remarks for every function compiled so
+    /// far, in compilation order. Collected unconditionally (no `--profile`
+    /// needed) and deterministic across runs.
+    pub fn remarks(&self) -> &[Remark] {
+        self.interp.ctx.program.trace.remarks()
     }
 
     /// Captures `print`/`printf` output instead of writing to stdout.

@@ -82,8 +82,10 @@ pub enum SpecExprKind {
     /// `&e`
     AddrOf(Box<SpecExpr>),
     /// A statement-carrying quote spliced in expression position:
-    /// `quote s… in e end`.
-    LetIn(Vec<SpecStmt>, Box<SpecExpr>),
+    /// `quote s… in e end`. The third field is the 1-based source line of
+    /// the splice site, when the quote arrived through an escape (it feeds
+    /// provenance chains; `None` for quotes written in place).
+    LetIn(Vec<SpecStmt>, Box<SpecExpr>, Option<u32>),
 }
 
 impl SpecExpr {
@@ -168,6 +170,18 @@ pub enum SpecStmt {
     Expr(SpecExpr),
     /// Deferred call (runs at scope exit).
     Defer(SpecExpr, Span),
+    /// Statements contributed by splicing a `quote` at an escape site.
+    /// The typechecker lowers the inner statements normally and stamps the
+    /// resulting IR with a provenance frame for the splice.
+    Spliced {
+        /// The quote's statements (trailing `in` expressions become
+        /// expression statements).
+        stmts: Vec<SpecStmt>,
+        /// 1-based source line of the splice site.
+        line: u32,
+        /// Location of the splice.
+        span: Span,
+    },
 }
 
 /// A specialized quotation: the value of `quote … end` / `` `e ``.
@@ -265,7 +279,7 @@ fn splice_quote_expr(q: &SpecQuote, span: Span) -> EvalResult<SpecExpr> {
     match (q.stmts.is_empty(), q.exprs.first()) {
         (true, Some(e)) => Ok(e.clone()),
         (false, Some(e)) => Ok(SpecExpr::new(
-            SpecExprKind::LetIn(q.stmts.clone(), Box::new(e.clone())),
+            SpecExprKind::LetIn(q.stmts.clone(), Box::new(e.clone()), Some(span.line)),
             span,
         )),
         (_, None) => Err(err(
@@ -586,10 +600,15 @@ impl<'a> Specializer<'a> {
         match v {
             LuaValue::Nil => Ok(()),
             LuaValue::Quote(q) => {
-                out.extend(q.stmts.iter().cloned());
+                let mut stmts: Vec<SpecStmt> = q.stmts.to_vec();
                 for e in &q.exprs {
-                    out.push(SpecStmt::Expr(e.clone()));
+                    stmts.push(SpecStmt::Expr(e.clone()));
                 }
+                out.push(SpecStmt::Spliced {
+                    stmts,
+                    line: span.line,
+                    span,
+                });
                 Ok(())
             }
             LuaValue::Table(t) => {

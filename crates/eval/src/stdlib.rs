@@ -1291,6 +1291,41 @@ fn install_perf(interp: &mut Interp) {
                 ))])
             }),
         );
+        tb.set_str(
+            "remarks",
+            native("perf.remarks", |it, args| {
+                // Optional filter: perf.remarks("inline"). Remarks are
+                // collected unconditionally, so this works without
+                // perf.enable().
+                let filter = match arg(&args, 0) {
+                    LuaValue::Str(s) => Some(s),
+                    _ => None,
+                };
+                let out = new_table();
+                {
+                    let mut ob = out.borrow_mut();
+                    let mut i = 1.0;
+                    for r in it.ctx.program.trace.remarks() {
+                        if filter.as_deref().is_some_and(|p| p != r.pass) {
+                            continue;
+                        }
+                        let row = new_table();
+                        {
+                            let mut rb = row.borrow_mut();
+                            rb.set_str("pass", LuaValue::str(r.pass.as_str()));
+                            rb.set_str("kind", LuaValue::str(r.kind.as_str()));
+                            rb.set_str("func", LuaValue::str(r.function.as_str()));
+                            rb.set_str("line", LuaValue::Number(r.line as f64));
+                            rb.set_str("provenance", LuaValue::str(r.provenance.as_str()));
+                            rb.set_str("message", LuaValue::str(r.message.as_str()));
+                        }
+                        ob.set(LuaValue::Number(i), LuaValue::Table(row));
+                        i += 1.0;
+                    }
+                }
+                Ok(vec![LuaValue::Table(out)])
+            }),
+        );
     }
     interp.set_global("perf", LuaValue::Table(t));
 }

@@ -22,7 +22,7 @@ use terra_ir::{
     fold_function, BinKind, Builtin, Callee, CmpKind, ExprKind, FuncId, FuncTy, IrExpr, IrFunction,
     IrStmt, LocalId, ScalarTy, StmtKind, Ty, UnKind,
 };
-use terra_syntax::{BinOp, IntSuffix, Span, UnOp};
+use terra_syntax::{BinOp, IntSuffix, ProvKind, Provenance, Span, UnOp};
 
 fn terr(msg: impl Into<String>, span: Span) -> LuaError {
     LuaError::at(msg, span).phase(Phase::Typecheck)
@@ -222,6 +222,19 @@ pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResul
         );
         cursor += run.dur_us;
     }
+    // Remarks flow to the tracer unconditionally (not gated on profiling):
+    // they are part of the deterministic surface and must be identical with
+    // and without --profile.
+    for r in &stats.remarks {
+        interp.ctx.program.trace.add_remark(terra_trace::Remark {
+            pass: r.pass.to_string(),
+            kind: r.kind.label().to_string(),
+            function: r.function.to_string(),
+            line: r.line,
+            provenance: r.prov.as_ref().map(|p| p.describe()).unwrap_or_default(),
+            message: r.message.clone(),
+        });
+    }
     let globals = interp.ctx.global_addrs();
     let t0 = interp.ctx.program.trace.now_us();
     let compiled = terra_vm::compile(&ir, &interp.ctx.types, &mut interp.ctx.program, &globals);
@@ -286,6 +299,7 @@ fn check_function_inner(interp: &mut Interp, id: FuncId) -> EvalResult<(IrFuncti
         prelude: Vec::new(),
         defers: vec![Vec::new()],
         loop_defer_depth: Vec::new(),
+        prov: Vec::new(),
     };
     let mut body = Vec::new();
     checker.stmts(&spec.body, &mut body)?;
@@ -352,6 +366,7 @@ fn collect_addrof_stmts(stmts: &[SpecStmt], out: &mut HashSet<u64>) {
                 }
             }
             SpecStmt::Block(b, _) => collect_addrof_stmts(b, out),
+            SpecStmt::Spliced { stmts, .. } => collect_addrof_stmts(stmts, out),
             SpecStmt::Expr(e) | SpecStmt::Defer(e, _) => collect_addrof_expr(e, out),
             SpecStmt::Break(_) => {}
         }
@@ -399,11 +414,33 @@ fn collect_addrof_expr(e: &SpecExpr, out: &mut HashSet<u64>) {
             collect_addrof_expr(r, out);
         }
         SpecExprKind::Un(_, x) | SpecExprKind::Deref(x) => collect_addrof_expr(x, out),
-        SpecExprKind::LetIn(stmts, x) => {
+        SpecExprKind::LetIn(stmts, x, _) => {
             collect_addrof_stmts(stmts, out);
             collect_addrof_expr(x, out);
         }
         _ => {}
+    }
+}
+
+/// Stamps every statement that doesn't already carry provenance (statements
+/// from a nested splice stamped their deeper chain first and win).
+fn stamp_prov(stmts: &mut [IrStmt], p: &Provenance) {
+    for s in stmts {
+        if s.prov.is_none() {
+            s.prov = Some(p.clone());
+        }
+        match &mut s.kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                stamp_prov(then_body, p);
+                stamp_prov(else_body, p);
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => stamp_prov(body, p),
+            _ => {}
+        }
     }
 }
 
@@ -451,6 +488,9 @@ struct Checker<'a> {
     defers: Vec<Vec<IrExpr>>,
     /// Defer-scope depth at each enclosing loop entry.
     loop_defer_depth: Vec<usize>,
+    /// Active splice provenance chains, top = the chain for statements being
+    /// lowered right now (empty when lowering code written in place).
+    prov: Vec<Provenance>,
 }
 
 impl Checker<'_> {
@@ -962,8 +1002,26 @@ impl Checker<'_> {
                     .expect("root scope always open")
                     .push(ir);
             }
+            SpecStmt::Spliced { stmts, line, .. } => {
+                let chain = self.splice_chain(*line);
+                self.prov.push(chain);
+                let start = out.len();
+                let result = self.stmts(stmts, out);
+                let chain = self.prov.pop().expect("pushed above");
+                result?;
+                stamp_prov(&mut out[start..], &chain);
+            }
         }
         Ok(())
+    }
+
+    /// The provenance chain for code spliced at `line`: a fresh quote frame,
+    /// nested inside whatever splice is already being lowered.
+    fn splice_chain(&self, line: u32) -> Provenance {
+        match self.prov.last() {
+            Some(outer) => outer.with_inner(ProvKind::Quote, line),
+            None => Provenance::quote(line),
+        }
     }
 
     fn zero_local(&mut self, lid: LocalId, span: Span, out: &mut Vec<IrStmt>) {
@@ -1281,9 +1339,20 @@ impl Checker<'_> {
                     Self::ptr_to_addr(&ty, addr),
                 ))
             }
-            SpecExprKind::LetIn(stmts, inner) => {
+            SpecExprKind::LetIn(stmts, inner, splice_line) => {
+                let chain = splice_line.map(|l| self.splice_chain(l));
+                if let Some(c) = &chain {
+                    self.prov.push(c.clone());
+                }
                 let mut hoisted = Vec::new();
-                self.stmts(stmts, &mut hoisted)?;
+                let result = self.stmts(stmts, &mut hoisted);
+                if chain.is_some() {
+                    self.prov.pop();
+                }
+                result?;
+                if let Some(c) = &chain {
+                    stamp_prov(&mut hoisted, c);
+                }
                 self.prelude.append(&mut hoisted);
                 self.expr(inner, hint)
             }

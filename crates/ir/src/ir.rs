@@ -9,7 +9,7 @@
 
 use crate::types::{FuncTy, Ty};
 use std::rc::Rc;
-use terra_syntax::Span;
+use terra_syntax::{Provenance, Span};
 
 /// Handle to a Terra function in a program's function table. This is the
 /// formal semantics' *function address* `l`: it is allocated at declaration
@@ -264,6 +264,10 @@ pub struct IrStmt {
     /// zero-initialization, defer expansion). Dataflow lints don't treat
     /// these as deliberate user writes.
     pub implicit: bool,
+    /// Staging history, when this statement was produced by a `quote`
+    /// splice, a macro, or the inliner (`None` for code written inline in
+    /// its function). Metadata like `span`: equality ignores it.
+    pub prov: Option<Provenance>,
     /// The operation itself.
     pub kind: StmtKind,
 }
@@ -274,6 +278,7 @@ impl IrStmt {
         IrStmt {
             span: Span::synthetic(),
             implicit: false,
+            prov: None,
             kind,
         }
     }
@@ -283,6 +288,7 @@ impl IrStmt {
         IrStmt {
             span,
             implicit: false,
+            prov: None,
             kind,
         }
     }
@@ -292,6 +298,7 @@ impl IrStmt {
         IrStmt {
             span,
             implicit: true,
+            prov: None,
             kind,
         }
     }

@@ -15,15 +15,25 @@
 //! later by dead-code elimination, not here.
 
 use super::util::{collect_assigned, LocalSet};
+use super::Remark;
 use crate::ir::{ExprKind, IrExpr, IrFunction, IrStmt, LocalId, LocalSlot, StmtKind};
 
 type CopyMap = Vec<Option<LocalId>>;
 
 /// Propagates register-to-register copies through the function body.
-pub(crate) fn run(f: &mut IrFunction) {
+pub(crate) fn run(f: &mut IrFunction, remarks: &mut Vec<Remark>) {
     let IrFunction { locals, body, .. } = f;
     let mut map: CopyMap = vec![None; locals.len()];
-    block(locals, body, &mut map);
+    let mut forwarded = 0usize;
+    block(locals, body, &mut map, &mut forwarded);
+    if forwarded > 0 {
+        remarks.push(Remark::applied(
+            "copyprop",
+            0,
+            None,
+            format!("forwarded {forwarded} copied value read(s)"),
+        ));
+    }
 }
 
 /// Forgets every fact involving `w`: its own mapping and any copy sourced
@@ -47,14 +57,15 @@ fn kill_set(map: &mut CopyMap, writes: &LocalSet) {
     }
 }
 
-/// Rewrites every `Local(l)` read in `e` through the map.
-fn replace_uses(e: &mut IrExpr, map: &CopyMap) {
+/// Rewrites every `Local(l)` read in `e` through the map, counting rewrites.
+fn replace_uses(e: &mut IrExpr, map: &CopyMap, forwarded: &mut usize) {
     if let ExprKind::Local(l) = e.kind {
         if let Some(src) = map[l.0 as usize] {
             e.kind = ExprKind::Local(src);
+            *forwarded += 1;
         }
     }
-    super::util::each_child_mut(e, &mut |c| replace_uses(c, map));
+    super::util::each_child_mut(e, &mut |c| replace_uses(c, map, forwarded));
 }
 
 fn intersect(a: CopyMap, b: &CopyMap) -> CopyMap {
@@ -64,11 +75,11 @@ fn intersect(a: CopyMap, b: &CopyMap) -> CopyMap {
         .collect()
 }
 
-fn block(locals: &[LocalSlot], stmts: &mut [IrStmt], map: &mut CopyMap) {
+fn block(locals: &[LocalSlot], stmts: &mut [IrStmt], map: &mut CopyMap, forwarded: &mut usize) {
     for s in stmts {
         match &mut s.kind {
             StmtKind::Assign { dst, value } => {
-                replace_uses(value, map);
+                replace_uses(value, map, forwarded);
                 let dst = *dst;
                 kill(map, dst);
                 if let ExprKind::Local(src) = value.kind {
@@ -79,23 +90,23 @@ fn block(locals: &[LocalSlot], stmts: &mut [IrStmt], map: &mut CopyMap) {
                 }
             }
             StmtKind::Store { addr, value } => {
-                replace_uses(addr, map);
-                replace_uses(value, map);
+                replace_uses(addr, map, forwarded);
+                replace_uses(value, map, forwarded);
             }
             StmtKind::CopyMem { dst, src, .. } => {
-                replace_uses(dst, map);
-                replace_uses(src, map);
+                replace_uses(dst, map, forwarded);
+                replace_uses(src, map, forwarded);
             }
-            StmtKind::Expr(e) => replace_uses(e, map),
+            StmtKind::Expr(e) => replace_uses(e, map, forwarded),
             StmtKind::If {
                 cond,
                 then_body,
                 else_body,
             } => {
-                replace_uses(cond, map);
+                replace_uses(cond, map, forwarded);
                 let mut tmap = map.clone();
-                block(locals, then_body, &mut tmap);
-                block(locals, else_body, map);
+                block(locals, then_body, &mut tmap, forwarded);
+                block(locals, else_body, map, forwarded);
                 *map = intersect(tmap, map);
             }
             StmtKind::While { cond, body } => {
@@ -104,9 +115,9 @@ fn block(locals: &[LocalSlot], stmts: &mut [IrStmt], map: &mut CopyMap) {
                 kill_set(map, &writes);
                 // The condition re-evaluates each iteration, so only facts
                 // the body preserves may flow into it.
-                replace_uses(cond, map);
+                replace_uses(cond, map, forwarded);
                 let mut bmap = map.clone();
-                block(locals, body, &mut bmap);
+                block(locals, body, &mut bmap, forwarded);
             }
             StmtKind::For {
                 var,
@@ -117,17 +128,17 @@ fn block(locals: &[LocalSlot], stmts: &mut [IrStmt], map: &mut CopyMap) {
             } => {
                 // Bounds evaluate once on entry, before the loop clobbers
                 // anything.
-                replace_uses(start, map);
-                replace_uses(stop, map);
-                replace_uses(step, map);
+                replace_uses(start, map, forwarded);
+                replace_uses(stop, map, forwarded);
+                replace_uses(step, map, forwarded);
                 let mut writes = LocalSet::new(locals.len());
                 collect_assigned(body, &mut writes);
                 writes.insert(*var);
                 kill_set(map, &writes);
                 let mut bmap = map.clone();
-                block(locals, body, &mut bmap);
+                block(locals, body, &mut bmap, forwarded);
             }
-            StmtKind::Return(Some(e)) => replace_uses(e, map),
+            StmtKind::Return(Some(e)) => replace_uses(e, map, forwarded),
             StmtKind::Return(None) | StmtKind::Break => {}
         }
     }

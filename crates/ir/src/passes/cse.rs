@@ -14,15 +14,24 @@
 //! table purged of everything the body reassigns.
 
 use super::util::{collect_assigned, each_child_mut, expr_is_stable, expr_uses, LocalSet};
+use super::Remark;
 use crate::ir::{ExprKind, IrExpr, IrFunction, IrStmt, LocalId, LocalSlot, StmtKind};
+use terra_syntax::Provenance;
 
 type Avail = Vec<(IrExpr, LocalId)>;
 
 /// Eliminates recomputation of stable expressions within the function.
-pub(crate) fn run(f: &mut IrFunction) {
+pub(crate) fn run(f: &mut IrFunction, remarks: &mut Vec<Remark>) {
     let IrFunction { locals, body, .. } = f;
     let mut avail: Avail = Vec::new();
-    block(locals, body, &mut avail);
+    block(locals, body, &mut avail, remarks);
+}
+
+/// Where replacements currently land, for remark attribution: the enclosing
+/// statement's source line and staging chain.
+struct Site<'a> {
+    line: u32,
+    prov: &'a Option<Provenance>,
 }
 
 /// Whether `e` is worth tracking: a stable compound computation (never a
@@ -39,14 +48,29 @@ fn eligible(e: &IrExpr, locals: &[LocalSlot]) -> bool {
 }
 
 /// Replaces available subexpressions in `e`, outermost match first.
-fn replace(e: &mut IrExpr, avail: &Avail, locals: &[LocalSlot]) {
+fn replace(
+    e: &mut IrExpr,
+    avail: &Avail,
+    locals: &[LocalSlot],
+    site: &Site,
+    remarks: &mut Vec<Remark>,
+) {
     if eligible(e, locals) {
         if let Some((_, holder)) = avail.iter().find(|(known, _)| known == e) {
+            remarks.push(Remark::applied(
+                "cse",
+                site.line,
+                site.prov.clone(),
+                format!(
+                    "reused previously computed value held in '{}'",
+                    locals[holder.0 as usize].name
+                ),
+            ));
             e.kind = ExprKind::Local(*holder);
             return;
         }
     }
-    each_child_mut(e, &mut |c| replace(c, avail, locals));
+    each_child_mut(e, &mut |c| replace(c, avail, locals, site, remarks));
 }
 
 /// Whether `e` mentions any local in `writes`.
@@ -69,11 +93,15 @@ fn kill_set(avail: &mut Avail, writes: &LocalSet) {
     avail.retain(|(e, holder)| !writes.contains(*holder) && !mentions(e, writes));
 }
 
-fn block(locals: &[LocalSlot], stmts: &mut [IrStmt], avail: &mut Avail) {
+fn block(locals: &[LocalSlot], stmts: &mut [IrStmt], avail: &mut Avail, remarks: &mut Vec<Remark>) {
     for s in stmts {
+        let site = Site {
+            line: s.span.line,
+            prov: &s.prov,
+        };
         match &mut s.kind {
             StmtKind::Assign { dst, value } => {
-                replace(value, avail, locals);
+                replace(value, avail, locals, &site, remarks);
                 let dst = *dst;
                 kill(avail, dst);
                 // `value` read the *pre-assignment* dst, so a self-referential
@@ -90,36 +118,36 @@ fn block(locals: &[LocalSlot], stmts: &mut [IrStmt], avail: &mut Avail) {
             StmtKind::Store { addr, value } => {
                 // Stores don't invalidate anything: table entries never
                 // depend on memory.
-                replace(addr, avail, locals);
-                replace(value, avail, locals);
+                replace(addr, avail, locals, &site, remarks);
+                replace(value, avail, locals, &site, remarks);
             }
             StmtKind::CopyMem { dst, src, .. } => {
-                replace(dst, avail, locals);
-                replace(src, avail, locals);
+                replace(dst, avail, locals, &site, remarks);
+                replace(src, avail, locals, &site, remarks);
             }
-            StmtKind::Expr(e) => replace(e, avail, locals),
+            StmtKind::Expr(e) => replace(e, avail, locals, &site, remarks),
             StmtKind::If {
                 cond,
                 then_body,
                 else_body,
             } => {
-                replace(cond, avail, locals);
+                replace(cond, avail, locals, &site, remarks);
                 let mut writes = LocalSet::new(locals.len());
                 collect_assigned(then_body, &mut writes);
                 collect_assigned(else_body, &mut writes);
                 let mut tavail = avail.clone();
-                block(locals, then_body, &mut tavail);
+                block(locals, then_body, &mut tavail, remarks);
                 let mut eavail = avail.clone();
-                block(locals, else_body, &mut eavail);
+                block(locals, else_body, &mut eavail, remarks);
                 kill_set(avail, &writes);
             }
             StmtKind::While { cond, body } => {
                 let mut writes = LocalSet::new(locals.len());
                 collect_assigned(body, &mut writes);
                 kill_set(avail, &writes);
-                replace(cond, avail, locals);
+                replace(cond, avail, locals, &site, remarks);
                 let mut bavail = avail.clone();
-                block(locals, body, &mut bavail);
+                block(locals, body, &mut bavail, remarks);
             }
             StmtKind::For {
                 var,
@@ -128,17 +156,17 @@ fn block(locals: &[LocalSlot], stmts: &mut [IrStmt], avail: &mut Avail) {
                 step,
                 body,
             } => {
-                replace(start, avail, locals);
-                replace(stop, avail, locals);
-                replace(step, avail, locals);
+                replace(start, avail, locals, &site, remarks);
+                replace(stop, avail, locals, &site, remarks);
+                replace(step, avail, locals, &site, remarks);
                 let mut writes = LocalSet::new(locals.len());
                 collect_assigned(body, &mut writes);
                 writes.insert(*var);
                 kill_set(avail, &writes);
                 let mut bavail = avail.clone();
-                block(locals, body, &mut bavail);
+                block(locals, body, &mut bavail, remarks);
             }
-            StmtKind::Return(Some(e)) => replace(e, avail, locals),
+            StmtKind::Return(Some(e)) => replace(e, avail, locals, &site, remarks),
             StmtKind::Return(None) | StmtKind::Break => {}
         }
     }

@@ -20,25 +20,47 @@
 //! never removed (their slots are readable through pointers).
 
 use super::util::{add_uses, expr_is_pure, stmt_terminates, LocalSet};
+use super::Remark;
 use crate::ir::{ExprKind, IrFunction, IrStmt, LocalSlot, StmtKind};
 
 /// Removes code that cannot execute or whose results are never observed.
-pub(crate) fn run(f: &mut IrFunction) {
+pub(crate) fn run(f: &mut IrFunction, remarks: &mut Vec<Remark>) {
     // Each round can expose more dead code (a dead store's operands die with
     // it); iterate until nothing changes.
+    let (mut unreachable, mut effect_free, mut dead_stores) = (0usize, 0usize, 0usize);
     loop {
-        let mut changed = prune_unreachable(&mut f.body);
-        changed |= drop_effect_free(&mut f.body);
-        changed |= sweep_dead_stores(f);
-        if !changed {
+        let a = prune_unreachable(&mut f.body);
+        let b = drop_effect_free(&mut f.body);
+        let c = sweep_dead_stores(f);
+        unreachable += a;
+        effect_free += b;
+        dead_stores += c;
+        if a + b + c == 0 {
             break;
+        }
+    }
+    // One aggregate remark per category keeps the stream proportional to
+    // what happened, not to function size.
+    for (count, what) in [
+        (unreachable, "unreachable"),
+        (effect_free, "effect-free"),
+        (dead_stores, "dead-store"),
+    ] {
+        if count > 0 {
+            remarks.push(Remark::applied(
+                "dce",
+                0,
+                None,
+                format!("removed {count} {what} statement(s)"),
+            ));
         }
     }
 }
 
-/// Truncates every block after its first terminating statement.
-fn prune_unreachable(stmts: &mut Vec<IrStmt>) -> bool {
-    let mut changed = false;
+/// Truncates every block after its first terminating statement, returning
+/// the number of statements removed.
+fn prune_unreachable(stmts: &mut Vec<IrStmt>) -> usize {
+    let mut removed = 0;
     for s in stmts.iter_mut() {
         match &mut s.kind {
             StmtKind::If {
@@ -46,27 +68,27 @@ fn prune_unreachable(stmts: &mut Vec<IrStmt>) -> bool {
                 else_body,
                 ..
             } => {
-                changed |= prune_unreachable(then_body);
-                changed |= prune_unreachable(else_body);
+                removed += prune_unreachable(then_body);
+                removed += prune_unreachable(else_body);
             }
             StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
-                changed |= prune_unreachable(body);
+                removed += prune_unreachable(body);
             }
             _ => {}
         }
     }
     if let Some(end) = stmts.iter().position(stmt_terminates) {
         if end + 1 < stmts.len() {
+            removed += stmts.len() - (end + 1);
             stmts.truncate(end + 1);
-            changed = true;
         }
     }
-    changed
+    removed
 }
 
-/// Removes statements that compute nothing observable.
-fn drop_effect_free(stmts: &mut Vec<IrStmt>) -> bool {
-    let mut changed = false;
+/// Removes statements that compute nothing observable, returning how many.
+fn drop_effect_free(stmts: &mut Vec<IrStmt>) -> usize {
+    let mut removed = 0;
     for s in stmts.iter_mut() {
         match &mut s.kind {
             StmtKind::If {
@@ -74,11 +96,11 @@ fn drop_effect_free(stmts: &mut Vec<IrStmt>) -> bool {
                 else_body,
                 ..
             } => {
-                changed |= drop_effect_free(then_body);
-                changed |= drop_effect_free(else_body);
+                removed += drop_effect_free(then_body);
+                removed += drop_effect_free(else_body);
             }
             StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
-                changed |= drop_effect_free(body);
+                removed += drop_effect_free(body);
             }
             _ => {}
         }
@@ -89,23 +111,23 @@ fn drop_effect_free(stmts: &mut Vec<IrStmt>) -> bool {
         StmtKind::Assign { dst, value } => value.kind != ExprKind::Local(*dst),
         _ => true,
     });
-    changed | (stmts.len() != before)
+    removed + (before - stmts.len())
 }
 
 struct Sweep<'a> {
     locals: &'a [LocalSlot],
-    changed: bool,
+    removed: usize,
 }
 
-fn sweep_dead_stores(f: &mut IrFunction) -> bool {
+fn sweep_dead_stores(f: &mut IrFunction) -> usize {
     let n = f.locals.len();
     let mut sweep = Sweep {
         locals: &f.locals,
-        changed: false,
+        removed: 0,
     };
     let exit = LocalSet::new(n);
     let _ = sweep.block(&mut f.body, exit, true);
-    sweep.changed
+    sweep.removed
 }
 
 impl Sweep<'_> {
@@ -120,7 +142,7 @@ impl Sweep<'_> {
             // Indices were collected back-to-front, so each removal leaves
             // earlier indices valid.
             stmts.remove(i);
-            self.changed = true;
+            self.removed += 1;
         }
         live
     }

@@ -7,6 +7,7 @@
 //! floating-point identities are restricted to the NaN-safe `x*1.0` and the
 //! constant-only cases.
 
+use super::Remark;
 use crate::ir::{BinKind, CmpKind, ExprKind, IrExpr, IrFunction, IrStmt, StmtKind, UnKind};
 use crate::types::{ScalarTy, Ty};
 
@@ -19,7 +20,8 @@ pub fn fold_function(f: &mut IrFunction) {
     #[cfg(debug_assertions)]
     let was_consistent = crate::analysis::verify_function(f, None, &crate::analysis::NoEnv).is_ok();
 
-    fold_stmts(&mut f.body);
+    let mut folded = 0usize;
+    fold_stmts(&mut f.body, &mut folded, &mut Vec::new());
 
     #[cfg(debug_assertions)]
     if was_consistent {
@@ -34,35 +36,44 @@ pub fn fold_function(f: &mut IrFunction) {
 
 /// Pass-manager entry point: fold without the standalone verify wrapper
 /// (the pass manager verifies between passes itself).
-pub(crate) fn run(f: &mut IrFunction) {
-    fold_stmts(&mut f.body);
+pub(crate) fn run(f: &mut IrFunction, remarks: &mut Vec<Remark>) {
+    let mut folded = 0usize;
+    fold_stmts(&mut f.body, &mut folded, remarks);
+    if folded > 0 {
+        remarks.push(Remark::applied(
+            "fold",
+            0,
+            None,
+            format!("folded {folded} constant expression(s)"),
+        ));
+    }
 }
 
-fn fold_stmts(stmts: &mut Vec<IrStmt>) {
+fn fold_stmts(stmts: &mut Vec<IrStmt>, folded: &mut usize, remarks: &mut Vec<Remark>) {
     for s in stmts.iter_mut() {
         match &mut s.kind {
-            StmtKind::Assign { value, .. } => fold_expr(value),
+            StmtKind::Assign { value, .. } => fold_expr_counted(value, folded),
             StmtKind::Store { addr, value } => {
-                fold_expr(addr);
-                fold_expr(value);
+                fold_expr_counted(addr, folded);
+                fold_expr_counted(value, folded);
             }
             StmtKind::CopyMem { dst, src, .. } => {
-                fold_expr(dst);
-                fold_expr(src);
+                fold_expr_counted(dst, folded);
+                fold_expr_counted(src, folded);
             }
-            StmtKind::Expr(e) => fold_expr(e),
+            StmtKind::Expr(e) => fold_expr_counted(e, folded),
             StmtKind::If {
                 cond,
                 then_body,
                 else_body,
             } => {
-                fold_expr(cond);
-                fold_stmts(then_body);
-                fold_stmts(else_body);
+                fold_expr_counted(cond, folded);
+                fold_stmts(then_body, folded, remarks);
+                fold_stmts(else_body, folded, remarks);
             }
             StmtKind::While { cond, body } => {
-                fold_expr(cond);
-                fold_stmts(body);
+                fold_expr_counted(cond, folded);
+                fold_stmts(body, folded, remarks);
             }
             StmtKind::For {
                 start,
@@ -71,12 +82,12 @@ fn fold_stmts(stmts: &mut Vec<IrStmt>) {
                 body,
                 ..
             } => {
-                fold_expr(start);
-                fold_expr(stop);
-                fold_expr(step);
-                fold_stmts(body);
+                fold_expr_counted(start, folded);
+                fold_expr_counted(stop, folded);
+                fold_expr_counted(step, folded);
+                fold_stmts(body, folded, remarks);
             }
-            StmtKind::Return(Some(e)) => fold_expr(e),
+            StmtKind::Return(Some(e)) => fold_expr_counted(e, folded),
             StmtKind::Return(None) | StmtKind::Break => {}
         }
     }
@@ -94,6 +105,12 @@ fn fold_stmts(stmts: &mut Vec<IrStmt>) {
             }
         );
         if const_if {
+            remarks.push(Remark::applied(
+                "fold",
+                s.span.line,
+                s.prov.clone(),
+                "collapsed statically-decided branch".to_string(),
+            ));
             let StmtKind::If {
                 cond,
                 then_body,
@@ -115,21 +132,27 @@ fn fold_stmts(stmts: &mut Vec<IrStmt>) {
 
 /// Folds one expression tree in-place.
 pub fn fold_expr(e: &mut IrExpr) {
+    let mut n = 0usize;
+    fold_expr_counted(e, &mut n);
+}
+
+/// [`fold_expr`] with a rewrite counter, for the pass manager's remarks.
+fn fold_expr_counted(e: &mut IrExpr, folded: &mut usize) {
     // Fold children first.
     match &mut e.kind {
         ExprKind::Binary { lhs, rhs, .. } | ExprKind::Cmp { lhs, rhs, .. } => {
-            fold_expr(lhs);
-            fold_expr(rhs);
+            fold_expr_counted(lhs, folded);
+            fold_expr_counted(rhs, folded);
         }
         ExprKind::Unary { expr, .. } | ExprKind::Cast(expr) | ExprKind::Load(expr) => {
-            fold_expr(expr)
+            fold_expr_counted(expr, folded)
         }
         ExprKind::Call { args, callee } => {
             if let crate::ir::Callee::Indirect(p) = callee {
-                fold_expr(p);
+                fold_expr_counted(p, folded);
             }
             for a in args {
-                fold_expr(a);
+                fold_expr_counted(a, folded);
             }
         }
         ExprKind::Select {
@@ -137,14 +160,14 @@ pub fn fold_expr(e: &mut IrExpr) {
             then_value,
             else_value,
         } => {
-            fold_expr(cond);
-            fold_expr(then_value);
-            fold_expr(else_value);
+            fold_expr_counted(cond, folded);
+            fold_expr_counted(then_value, folded);
+            fold_expr_counted(else_value, folded);
         }
         _ => {}
     }
 
-    let folded: Option<ExprKind> = match (&e.ty, &e.kind) {
+    let new_kind: Option<ExprKind> = match (&e.ty, &e.kind) {
         (Ty::Scalar(st), ExprKind::Binary { op, lhs, rhs }) if st.is_integer() => {
             fold_int_binary(*st, *op, lhs, rhs)
         }
@@ -168,8 +191,9 @@ pub fn fold_expr(e: &mut IrExpr) {
         },
         _ => None,
     };
-    if let Some(kind) = folded {
+    if let Some(kind) = new_kind {
         e.kind = kind;
+        *folded += 1;
     }
 }
 

@@ -22,20 +22,26 @@
 //! still compiled and linked, preserving lazy-linking error behavior.
 
 use super::util::count_nodes;
-use super::InlineEnv;
+use super::{InlineEnv, Remark};
 use crate::ir::{Callee, ExprKind, FuncId, IrExpr, IrFunction, IrStmt, LocalId, StmtKind};
+use terra_syntax::{ProvKind, Provenance};
 
 /// Upper bound on the IR size of a callee worth inlining.
 pub const MAX_CALLEE_NODES: usize = 48;
 
 /// Inlines eligible direct calls in statement position.
-pub(crate) fn run(f: &mut IrFunction, env: &dyn InlineEnv) {
+pub(crate) fn run(f: &mut IrFunction, env: &dyn InlineEnv, remarks: &mut Vec<Remark>) {
     let mut body = std::mem::take(&mut f.body);
-    inline_block(f, env, &mut body);
+    inline_block(f, env, &mut body, remarks);
     f.body = body;
 }
 
-fn inline_block(f: &mut IrFunction, env: &dyn InlineEnv, stmts: &mut Vec<IrStmt>) {
+fn inline_block(
+    f: &mut IrFunction,
+    env: &dyn InlineEnv,
+    stmts: &mut Vec<IrStmt>,
+    remarks: &mut Vec<Remark>,
+) {
     let mut i = 0;
     while i < stmts.len() {
         match &mut stmts[i].kind {
@@ -44,21 +50,44 @@ fn inline_block(f: &mut IrFunction, env: &dyn InlineEnv, stmts: &mut Vec<IrStmt>
                 else_body,
                 ..
             } => {
-                inline_block(f, env, then_body);
-                inline_block(f, env, else_body);
+                inline_block(f, env, then_body, remarks);
+                inline_block(f, env, else_body, remarks);
             }
             StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
-                inline_block(f, env, body);
+                inline_block(f, env, body, remarks);
             }
             _ => {}
         }
-        if let Some(expansion) = try_inline(f, env, &stmts[i]) {
+        if let Some(expansion) = try_inline(f, env, &stmts[i], remarks) {
             let n = expansion.len();
             stmts.splice(i..=i, expansion);
             // Leaf bodies contain no further calls; skip past the splice.
             i += n;
         } else {
             i += 1;
+        }
+    }
+}
+
+/// Extends the staging chain of every spliced callee statement with an
+/// "inlined at line …" frame, so provenance survives inlining.
+fn stamp_inline(stmts: &mut [IrStmt], line: u32) {
+    for s in stmts {
+        s.prov = Some(match &s.prov {
+            Some(p) => p.extended(ProvKind::Inline, line),
+            None => Provenance::new(ProvKind::Inline, line),
+        });
+        match &mut s.kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                stamp_inline(then_body, line);
+                stamp_inline(else_body, line);
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => stamp_inline(body, line),
+            _ => {}
         }
     }
 }
@@ -80,7 +109,12 @@ fn call_of(e: &IrExpr) -> Option<(FuncId, &[IrExpr])> {
     }
 }
 
-fn try_inline(f: &mut IrFunction, env: &dyn InlineEnv, s: &IrStmt) -> Option<Vec<IrStmt>> {
+fn try_inline(
+    f: &mut IrFunction,
+    env: &dyn InlineEnv,
+    s: &IrStmt,
+    remarks: &mut Vec<Remark>,
+) -> Option<Vec<IrStmt>> {
     let (site, id, args) = match &s.kind {
         StmtKind::Assign { dst, value } => {
             let (id, args) = call_of(value)?;
@@ -97,7 +131,24 @@ fn try_inline(f: &mut IrFunction, env: &dyn InlineEnv, s: &IrStmt) -> Option<Vec
         _ => return None,
     };
     let callee = env.callee_ir(id)?;
-    if args.len() != callee.param_count() || !inlinable(&callee) {
+    let mut missed = |reason: String| {
+        remarks.push(Remark::missed(
+            "inline",
+            s.span.line,
+            s.prov.clone(),
+            format!("call to '{}' not inlined: {reason}", callee.name),
+        ));
+    };
+    if args.len() != callee.param_count() {
+        missed(format!(
+            "arity mismatch ({} args vs {} params)",
+            args.len(),
+            callee.param_count()
+        ));
+        return None;
+    }
+    if let Some(reason) = not_inlinable_reason(&callee) {
+        missed(reason);
         return None;
     }
     // A value-producing site needs the callee to end in `return <expr>`.
@@ -107,6 +158,7 @@ fn try_inline(f: &mut IrFunction, env: &dyn InlineEnv, s: &IrStmt) -> Option<Vec
             Some(StmtKind::Return(Some(_)))
         )
     {
+        missed("callee does not end in a value-producing return".to_string());
         return None;
     }
 
@@ -122,14 +174,18 @@ fn try_inline(f: &mut IrFunction, env: &dyn InlineEnv, s: &IrStmt) -> Option<Vec
 
     let mut out: Vec<IrStmt> = Vec::new();
     // Prologue: bind arguments in call order (argument effects preserved).
+    // Argument expressions come from the caller, so they keep the call
+    // statement's own provenance rather than gaining an inline frame.
     for (j, arg) in args.iter().enumerate() {
-        out.push(IrStmt::synthesized(
+        let mut bind = IrStmt::synthesized(
             s.span,
             StmtKind::Assign {
                 dst: LocalId(base + j as u32),
                 value: arg.clone(),
             },
-        ));
+        );
+        bind.prov = s.prov.clone();
+        out.push(bind);
     }
 
     let mut body = callee.body.clone();
@@ -147,58 +203,80 @@ fn try_inline(f: &mut IrFunction, env: &dyn InlineEnv, s: &IrStmt) -> Option<Vec
         _ => None,
     };
     remap_block(&mut body, base);
+    stamp_inline(&mut body, s.span.line);
     out.extend(body);
 
     match (site, tail) {
         (Site::Assign(dst), Some(mut e)) => {
             remap_expr(&mut e, base);
-            out.push(IrStmt::synthesized(
-                s.span,
-                StmtKind::Assign { dst, value: e },
-            ));
+            let mut bind = IrStmt::synthesized(s.span, StmtKind::Assign { dst, value: e });
+            bind.prov = s.prov.clone();
+            out.push(bind);
         }
         (Site::Discard, Some(mut e)) => {
             remap_expr(&mut e, base);
             if !super::util::expr_is_pure(&e) {
-                out.push(IrStmt::synthesized(s.span, StmtKind::Expr(e)));
+                let mut tail = IrStmt::synthesized(s.span, StmtKind::Expr(e));
+                tail.prov = s.prov.clone();
+                out.push(tail);
             }
         }
         (Site::Discard, None) => {}
         (Site::Return, Some(mut e)) => {
             remap_expr(&mut e, base);
-            out.push(IrStmt::synthesized(s.span, StmtKind::Return(Some(e))));
+            let mut tail = IrStmt::synthesized(s.span, StmtKind::Return(Some(e)));
+            tail.prov = s.prov.clone();
+            out.push(tail);
         }
         // A value-producing site needs a value-producing callee; `inlinable`
         // plus the verifier rule this out, but bail defensively.
         (Site::Assign(_) | Site::Return, None) => return None,
     }
+    remarks.push(Remark::applied(
+        "inline",
+        s.span.line,
+        s.prov.clone(),
+        format!(
+            "inlined '{}' ({} IR nodes)",
+            callee.name,
+            count_nodes(&callee)
+        ),
+    ));
     Some(out)
 }
 
-fn inlinable(callee: &IrFunction) -> bool {
-    if count_nodes(callee) > MAX_CALLEE_NODES {
-        return false;
+/// Why `callee` cannot be inlined, or `None` when it is eligible.
+fn not_inlinable_reason(callee: &IrFunction) -> Option<String> {
+    let nodes = count_nodes(callee);
+    if nodes > MAX_CALLEE_NODES {
+        return Some(format!(
+            "callee over size budget ({nodes} > {MAX_CALLEE_NODES})"
+        ));
     }
     if callee.locals[..callee.param_count()]
         .iter()
         .any(|p| p.in_memory)
     {
-        return false;
+        return Some("callee has aggregate or address-taken parameters".to_string());
     }
     if block_has_calls(&callee.body) {
-        return false;
+        return Some("callee is not a leaf (contains calls)".to_string());
     }
     // Single-exit: zero returns (unit fallthrough) or exactly one, as the
     // final top-level statement.
     let total = count_returns(&callee.body);
-    match total {
+    let single_exit = match total {
         0 => true,
         1 => matches!(
             callee.body.last().map(|s| &s.kind),
             Some(StmtKind::Return(_))
         ),
         _ => false,
+    };
+    if !single_exit {
+        return Some(format!("callee has multiple exits ({total} returns)"));
     }
+    None
 }
 
 fn count_returns(stmts: &[IrStmt]) -> usize {

@@ -18,13 +18,18 @@
 //! all the way out in a single pass.
 
 use super::util::{collect_assigned, LocalSet};
+use super::Remark;
 use crate::ir::{ExprKind, IrExpr, IrFunction, IrStmt, LocalId, StmtKind};
 use terra_syntax::Span;
 
 /// Hoists loop-invariant computation out of every loop in the function.
-pub(crate) fn run(f: &mut IrFunction) {
+pub(crate) fn run(f: &mut IrFunction, remarks: &mut Vec<Remark>) {
     let mut body = std::mem::take(&mut f.body);
-    let mut licm = Licm { f, counter: 0 };
+    let mut licm = Licm {
+        f,
+        counter: 0,
+        remarks,
+    };
     licm.block(&mut body);
     f.body = body;
 }
@@ -32,6 +37,7 @@ pub(crate) fn run(f: &mut IrFunction) {
 struct Licm<'a> {
     f: &'a mut IrFunction,
     counter: usize,
+    remarks: &'a mut Vec<Remark>,
 }
 
 impl Licm<'_> {
@@ -92,7 +98,21 @@ impl Licm<'_> {
         hoisted
             .into_iter()
             .map(|(value, dst)| {
-                IrStmt::synthesized(Span::synthetic(), StmtKind::Assign { dst, value })
+                self.remarks.push(Remark::applied(
+                    "licm",
+                    s.span.line,
+                    s.prov.clone(),
+                    format!(
+                        "hoisted loop-invariant expression into '{}'",
+                        self.f.locals[dst.0 as usize].name
+                    ),
+                ));
+                let mut prelude =
+                    IrStmt::synthesized(Span::synthetic(), StmtKind::Assign { dst, value });
+                // The hoisted computation came out of this loop; it keeps
+                // the loop statement's staging chain.
+                prelude.prov = s.prov.clone();
+                prelude
             })
             .collect()
     }

@@ -38,7 +38,9 @@ pub mod util;
 use crate::analysis::{verify_function, ModuleEnv};
 use crate::ir::{FuncId, IrFunction};
 use crate::types::TypeRegistry;
+use std::rc::Rc;
 use std::time::Instant;
+use terra_syntax::Provenance;
 
 pub use inline::MAX_CALLEE_NODES;
 
@@ -107,6 +109,83 @@ pub struct PassConfig<'a> {
     pub inline: &'a dyn InlineEnv,
 }
 
+/// Whether a remark reports a transformation that happened or an
+/// opportunity the pass saw but declined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemarkKind {
+    /// The pass transformed the code as described.
+    Applied,
+    /// The pass recognized a candidate but could not transform it; the
+    /// message says why (size budget, effects, multiple exits, …).
+    Missed,
+}
+
+impl RemarkKind {
+    /// Lower-case label for report rendering (`"applied"` / `"missed"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RemarkKind::Applied => "applied",
+            RemarkKind::Missed => "missed",
+        }
+    }
+}
+
+/// One structured optimization remark: what a pass did (or declined to do),
+/// where, and to code of what staging origin. Remarks are emitted in pass
+/// execution order and carry no wall-clock data, so two identical runs
+/// produce byte-identical remark streams.
+#[derive(Debug, Clone)]
+pub struct Remark {
+    /// Emitting pass (`"inline"`, `"licm"`, …).
+    pub pass: &'static str,
+    /// Applied or missed.
+    pub kind: RemarkKind,
+    /// Function being optimized (filled in by [`optimize`]).
+    pub function: Rc<str>,
+    /// 1-based source line the remark anchors to (0 = whole function).
+    pub line: u32,
+    /// Staging chain of the affected code, when it was generated.
+    pub prov: Option<Provenance>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Remark {
+    /// An applied-transformation remark (function name filled in later).
+    pub(crate) fn applied(
+        pass: &'static str,
+        line: u32,
+        prov: Option<Provenance>,
+        message: String,
+    ) -> Self {
+        Remark {
+            pass,
+            kind: RemarkKind::Applied,
+            function: Rc::from(""),
+            line,
+            prov,
+            message,
+        }
+    }
+
+    /// A missed-opportunity remark (function name filled in later).
+    pub(crate) fn missed(
+        pass: &'static str,
+        line: u32,
+        prov: Option<Provenance>,
+        message: String,
+    ) -> Self {
+        Remark {
+            pass,
+            kind: RemarkKind::Missed,
+            function: Rc::from(""),
+            line,
+            prov,
+            message,
+        }
+    }
+}
+
 /// The record of one pass execution.
 #[derive(Debug, Clone)]
 pub struct PassRun {
@@ -126,6 +205,9 @@ pub struct PassRun {
 pub struct PassStats {
     /// One entry per executed pass.
     pub runs: Vec<PassRun>,
+    /// Structured optimization remarks, in emission order. Remarks from a
+    /// reverted pass are discarded along with its effect.
+    pub remarks: Vec<Remark>,
 }
 
 #[derive(Clone, Copy)]
@@ -152,15 +234,15 @@ impl Pass {
         }
     }
 
-    fn apply(self, f: &mut IrFunction, cfg: &PassConfig) {
+    fn apply(self, f: &mut IrFunction, cfg: &PassConfig, remarks: &mut Vec<Remark>) {
         match self {
-            Pass::Inline => inline::run(f, cfg.inline),
-            Pass::Fold => fold::run(f),
-            Pass::Simplify => simplify::run(f),
-            Pass::Cse => cse::run(f),
-            Pass::CopyProp => copyprop::run(f),
-            Pass::Licm => licm::run(f),
-            Pass::Dce => dce::run(f),
+            Pass::Inline => inline::run(f, cfg.inline, remarks),
+            Pass::Fold => fold::run(f, remarks),
+            Pass::Simplify => simplify::run(f, remarks),
+            Pass::Cse => cse::run(f, remarks),
+            Pass::CopyProp => copyprop::run(f, remarks),
+            Pass::Licm => licm::run(f, remarks),
+            Pass::Dce => dce::run(f, remarks),
         }
     }
 }
@@ -195,8 +277,9 @@ pub fn optimize(f: &mut IrFunction, cfg: &PassConfig) -> PassStats {
     let baseline_ok = verify_function(f, cfg.types, cfg.env).is_ok();
     for pass in passes {
         let snapshot = f.clone();
+        let remarks_before = stats.remarks.len();
         let t0 = Instant::now();
-        pass.apply(f, cfg);
+        pass.apply(f, cfg, &mut stats.remarks);
         let dur_us = t0.elapsed().as_micros() as u64;
         let changed = *f != snapshot;
         let mut reverted = false;
@@ -212,7 +295,13 @@ pub fn optimize(f: &mut IrFunction, cfg: &PassConfig) -> PassStats {
                 }
                 *f = snapshot;
                 reverted = true;
+                // A reverted pass's remarks describe changes that were
+                // undone; drop them so the stream matches the final code.
+                stats.remarks.truncate(remarks_before);
             }
+        }
+        for r in &mut stats.remarks[remarks_before..] {
+            r.function = Rc::clone(&f.name);
         }
         stats.runs.push(PassRun {
             pass: pass.name(),

@@ -15,28 +15,40 @@
 //! multiplication inside an address computation never defeats `lea` fusion.
 
 use super::util::{each_child_mut, expr_is_pure, expr_is_stable, for_each_stmt_expr_mut};
+use super::Remark;
 use crate::ir::{BinKind, CmpKind, ExprKind, IrExpr, IrFunction, IrStmt, LocalSlot, StmtKind};
 use crate::types::{ScalarTy, Ty};
 
 /// Simplifies every expression in the function, bottom-up.
-pub(crate) fn run(f: &mut IrFunction) {
+pub(crate) fn run(f: &mut IrFunction, remarks: &mut Vec<Remark>) {
     let IrFunction { locals, body, .. } = f;
-    block(locals, body);
+    let mut rewrites = 0usize;
+    block(locals, body, &mut rewrites);
+    if rewrites > 0 {
+        remarks.push(Remark::applied(
+            "simplify",
+            0,
+            None,
+            format!("rewrote {rewrites} expression(s) (algebraic / strength reduction)"),
+        ));
+    }
 }
 
-fn block(locals: &[LocalSlot], stmts: &mut [IrStmt]) {
+fn block(locals: &[LocalSlot], stmts: &mut [IrStmt], rewrites: &mut usize) {
     for s in stmts {
-        for_each_stmt_expr_mut(s, &mut |e| simplify(locals, e));
+        for_each_stmt_expr_mut(s, &mut |e| simplify(locals, e, rewrites));
         match &mut s.kind {
             StmtKind::If {
                 then_body,
                 else_body,
                 ..
             } => {
-                block(locals, then_body);
-                block(locals, else_body);
+                block(locals, then_body, rewrites);
+                block(locals, else_body, rewrites);
             }
-            StmtKind::While { body, .. } | StmtKind::For { body, .. } => block(locals, body),
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+                block(locals, body, rewrites)
+            }
             _ => {}
         }
     }
@@ -66,8 +78,8 @@ fn power_of_two(st: ScalarTy, c: i64) -> Option<u32> {
     }
 }
 
-fn simplify(locals: &[LocalSlot], e: &mut IrExpr) {
-    each_child_mut(e, &mut |c| simplify(locals, c));
+fn simplify(locals: &[LocalSlot], e: &mut IrExpr, rewrites: &mut usize) {
+    each_child_mut(e, &mut |c| simplify(locals, c, rewrites));
 
     let new_kind: Option<ExprKind> = match (&e.ty, &e.kind) {
         (Ty::Scalar(st), ExprKind::Binary { op, lhs, rhs }) if st.is_integer() => {
@@ -119,6 +131,7 @@ fn simplify(locals: &[LocalSlot], e: &mut IrExpr) {
     };
     if let Some(kind) = new_kind {
         e.kind = kind;
+        *rewrites += 1;
     }
 }
 

@@ -29,6 +29,7 @@ mod ast;
 mod error;
 mod lexer;
 mod parser;
+mod prov;
 mod span;
 mod token;
 
@@ -39,5 +40,6 @@ pub use ast::{
 pub use error::{Result, SyntaxError};
 pub use lexer::lex;
 pub use parser::parse;
+pub use prov::{ProvKind, Provenance};
 pub use span::Span;
 pub use token::{IntSuffix, Tok, Token};

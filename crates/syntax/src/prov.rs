@@ -1,0 +1,185 @@
+//! Provenance chains: where staged code came from.
+//!
+//! Terra code is *generated* — a statement in a compiled function may have
+//! been written inline, spliced from a `quote` built somewhere else entirely,
+//! or copied in by the inliner. A [`Provenance`] records that history as a
+//! linked chain of frames, innermost origin first: each frame says *how* the
+//! code arrived ([`ProvKind`]) and *at which source line* that staging step
+//! happened. Chains are immutable and shared (`Rc`), so stamping thousands of
+//! IR statements with the same splice chain costs one pointer clone each.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// How one staging step introduced a piece of code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProvKind {
+    /// Spliced from a `quote` by an escape (`[e]`) or implicit splice.
+    Quote,
+    /// Produced by a Lua macro expansion.
+    Macro,
+    /// Copied into the caller by the mid-end inliner.
+    Inline,
+}
+
+impl ProvKind {
+    /// Human-readable verb for report rendering.
+    pub fn verb(self) -> &'static str {
+        match self {
+            ProvKind::Quote => "via quote at line",
+            ProvKind::Macro => "via macro at line",
+            ProvKind::Inline => "inlined at line",
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct ProvNode {
+    kind: ProvKind,
+    /// 1-based source line where this staging step happened (the splice
+    /// site, or the call site for inlining). 0 = unknown.
+    line: u32,
+    prev: Option<Provenance>,
+}
+
+/// An immutable, shareable chain of staging steps, innermost origin first.
+///
+/// `Provenance::quote(12)` reads "this code was spliced by the escape at
+/// line 12"; extending it with [`Provenance::extended`] appends *outer*
+/// steps (a later splice of the surrounding quote, or an inline).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Provenance(Rc<ProvNode>);
+
+impl Provenance {
+    /// A single-frame chain.
+    pub fn new(kind: ProvKind, line: u32) -> Self {
+        Provenance(Rc::new(ProvNode {
+            kind,
+            line,
+            prev: None,
+        }))
+    }
+
+    /// A single quote-splice frame (the common case).
+    pub fn quote(line: u32) -> Self {
+        Self::new(ProvKind::Quote, line)
+    }
+
+    /// Returns this chain with one more (outer) staging step appended.
+    pub fn extended(&self, kind: ProvKind, line: u32) -> Self {
+        Provenance(Rc::new(ProvNode {
+            kind,
+            line,
+            prev: Some(self.clone()),
+        }))
+    }
+
+    /// Returns this chain with one more (inner) staging step prepended.
+    ///
+    /// The typechecker lowers outside-in, so it sees the *outer* splice of a
+    /// nested quote before the inner one; the inner step happened earlier in
+    /// staging order and becomes the new origin. Rebuilds the spine (chains
+    /// are short), sharing nothing with `self`.
+    pub fn with_inner(&self, kind: ProvKind, line: u32) -> Self {
+        let mut frames = Vec::new();
+        let mut cur = Some(&self.0);
+        while let Some(node) = cur {
+            frames.push((node.kind, node.line));
+            cur = node.prev.as_ref().map(|p| &p.0);
+        }
+        let mut p = Provenance::new(kind, line);
+        for (k, l) in frames.into_iter().rev() {
+            p = p.extended(k, l);
+        }
+        p
+    }
+
+    /// The latest (outermost) staging step's kind.
+    pub fn kind(&self) -> ProvKind {
+        self.0.kind
+    }
+
+    /// The latest (outermost) staging step's line.
+    pub fn line(&self) -> u32 {
+        self.0.line
+    }
+
+    /// Number of frames in the chain.
+    pub fn depth(&self) -> usize {
+        let mut n = 1;
+        let mut cur = &self.0;
+        while let Some(prev) = &cur.prev {
+            n += 1;
+            cur = &prev.0;
+        }
+        n
+    }
+
+    /// Renders the chain innermost-first, e.g.
+    /// `"via quote at line 41, inlined at line 30"`.
+    pub fn describe(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The list head is the *latest* step; rendering is innermost-first.
+        let mut frames = Vec::new();
+        let mut cur = Some(&self.0);
+        while let Some(node) = cur {
+            frames.push((node.kind, node.line));
+            cur = node.prev.as_ref().map(|p| &p.0);
+        }
+        for (i, (kind, line)) in frames.into_iter().rev().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", kind.verb(), line)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_frame_describes_itself() {
+        assert_eq!(Provenance::quote(41).describe(), "via quote at line 41");
+        assert_eq!(
+            Provenance::new(ProvKind::Macro, 7).describe(),
+            "via macro at line 7"
+        );
+    }
+
+    #[test]
+    fn chains_render_innermost_first() {
+        let p = Provenance::quote(41).extended(ProvKind::Inline, 30);
+        assert_eq!(p.describe(), "via quote at line 41, inlined at line 30");
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.kind(), ProvKind::Inline);
+        assert_eq!(p.line(), 30);
+    }
+
+    #[test]
+    fn with_inner_prepends_the_origin() {
+        let outer = Provenance::quote(12).extended(ProvKind::Inline, 30);
+        let p = outer.with_inner(ProvKind::Quote, 41);
+        assert_eq!(
+            p.describe(),
+            "via quote at line 41, via quote at line 12, inlined at line 30"
+        );
+        assert_eq!(p.depth(), 3);
+    }
+
+    #[test]
+    fn extension_shares_the_tail() {
+        let base = Provenance::quote(5);
+        let a = base.extended(ProvKind::Inline, 9);
+        let b = base.extended(ProvKind::Inline, 9);
+        assert_eq!(a, b);
+        assert_ne!(a, base.extended(ProvKind::Inline, 10));
+    }
+}

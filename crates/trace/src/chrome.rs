@@ -5,11 +5,11 @@
 //! `otherData` object carrying the deterministic counter summary. No JSON
 //! library is used; the writer below produces the small subset we need.
 
-use crate::Profile;
+use crate::{Profile, Stage};
 use std::fmt::Write;
 
 /// Escapes a string for inclusion in a JSON string literal.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -50,6 +50,34 @@ impl Profile {
                 e.stage.label(),
                 e.start_us,
                 e.dur_us
+            );
+        }
+        // Remarks become instant events pinned to the start of the optimize
+        // span of the pass that emitted them, so they line up with the work
+        // they explain in the timeline view.
+        for r in &self.remarks {
+            let span_name = format!("{}:{}", r.function, r.pass);
+            let ts = self
+                .events
+                .iter()
+                .find(|e| e.stage == Stage::Optimize && e.name == span_name)
+                .map(|e| e.start_us)
+                .unwrap_or(0);
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"remark: {} {}\",\"cat\":\"remark\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{ts},\"pid\":1,\"tid\":1,\"args\":{{\"function\":\"{}\",\"line\":{},\
+                 \"provenance\":\"{}\",\"message\":\"{}\"}}}}",
+                escape(&r.pass),
+                escape(&r.kind),
+                escape(&r.function),
+                r.line,
+                escape(&r.provenance),
+                escape(&r.message)
             );
         }
         // Counter-stream sample for the simulated cache hierarchy, placed at
@@ -139,6 +167,31 @@ impl Profile {
         );
         out
     }
+
+    /// Serializes the remark stream as a standalone JSON array (the
+    /// `--remarks-out` payload). Deterministic: no timestamps, emission
+    /// order.
+    pub fn remarks_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, r) in self.remarks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"pass\":\"{}\",\"kind\":\"{}\",\"function\":\"{}\",\"line\":{},\
+                 \"provenance\":\"{}\",\"message\":\"{}\"}}",
+                escape(&r.pass),
+                escape(&r.kind),
+                escape(&r.function),
+                r.line,
+                escape(&r.provenance),
+                escape(&r.message)
+            );
+        }
+        out.push_str("]\n");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +212,7 @@ mod tests {
             mem: MemStats::default(),
             cache: CacheStats::default(),
             cache_lines: Vec::new(),
+            remarks: Vec::new(),
         };
         let j = p.to_chrome_json();
         assert!(j.starts_with("{\"traceEvents\":["));
@@ -185,6 +239,7 @@ mod tests {
             mem: MemStats::default(),
             cache: CacheStats::default(),
             cache_lines: Vec::new(),
+            remarks: Vec::new(),
         };
         p.cache.l1 = CacheLevelStats {
             hits: 9,
@@ -197,5 +252,94 @@ mod tests {
         let open = j.matches(['{', '[']).count();
         let close = j.matches(['}', ']']).count();
         assert_eq!(open, close, "unbalanced brackets in {j}");
+    }
+
+    #[test]
+    fn names_with_backslashes_and_control_chars_escape_cleanly() {
+        let p = Profile {
+            events: vec![SpanEvent {
+                stage: Stage::Execute,
+                name: "path\\to\u{1}\n\"fn\"\tx".into(),
+                start_us: 0,
+                dur_us: 1,
+            }],
+            ops: vec![("weird\\op\"".into(), 1)],
+            funcs: vec![crate::FuncProfile {
+                name: "f\\\"g\n".into(),
+                counters: crate::FuncCounters::default(),
+            }],
+            mem: MemStats::default(),
+            cache: CacheStats::default(),
+            cache_lines: Vec::new(),
+            remarks: Vec::new(),
+        };
+        let j = p.to_chrome_json();
+        assert!(j.contains("path\\\\to\\u0001\\n\\\"fn\\\"\\tx"), "{j}");
+        assert!(j.contains("weird\\\\op\\\""), "{j}");
+        assert!(j.contains("f\\\\\\\"g\\n"), "{j}");
+        // Escaped output must not leave raw control bytes or lone quotes
+        // inside string literals: the whole thing stays balanced.
+        assert!(!j.contains('\u{1}'), "raw control byte leaked: {j:?}");
+        let open = j.matches(['{', '[']).count();
+        let close = j.matches(['}', ']']).count();
+        assert_eq!(open, close, "unbalanced brackets in {j}");
+    }
+
+    fn remark(pass: &str, msg: &str) -> crate::Remark {
+        crate::Remark {
+            pass: pass.into(),
+            kind: "applied".into(),
+            function: "gemm".into(),
+            line: 7,
+            provenance: "via quote at line 41".into(),
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn remarks_become_instant_events_on_their_optimize_span() {
+        let p = Profile {
+            events: vec![SpanEvent {
+                stage: Stage::Optimize,
+                name: "gemm:licm".into(),
+                start_us: 123,
+                dur_us: 4,
+            }],
+            ops: Vec::new(),
+            funcs: Vec::new(),
+            mem: MemStats::default(),
+            cache: CacheStats::default(),
+            cache_lines: Vec::new(),
+            remarks: vec![remark("licm", "hoisted loop-invariant expression")],
+        };
+        let j = p.to_chrome_json();
+        assert!(j.contains("\"name\":\"remark: licm applied\""), "{j}");
+        assert!(j.contains("\"ph\":\"i\""), "{j}");
+        assert!(j.contains("\"ts\":123"), "{j}");
+        assert!(j.contains("\"provenance\":\"via quote at line 41\""), "{j}");
+        let open = j.matches(['{', '[']).count();
+        let close = j.matches(['}', ']']).count();
+        assert_eq!(open, close, "unbalanced brackets in {j}");
+    }
+
+    #[test]
+    fn remarks_json_is_deterministic_and_escaped() {
+        let mut p = Profile {
+            events: Vec::new(),
+            ops: Vec::new(),
+            funcs: Vec::new(),
+            mem: MemStats::default(),
+            cache: CacheStats::default(),
+            cache_lines: Vec::new(),
+            remarks: vec![remark("inline", "inlined 'f\"g\\h'")],
+        };
+        let a = p.remarks_json();
+        assert_eq!(a, p.remarks_json());
+        assert!(a.starts_with('['));
+        assert!(a.ends_with("]\n"));
+        assert!(a.contains("\"pass\":\"inline\""), "{a}");
+        assert!(a.contains("inlined 'f\\\"g\\\\h'"), "{a}");
+        p.remarks.clear();
+        assert_eq!(p.remarks_json(), "[]\n");
     }
 }

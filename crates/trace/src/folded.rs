@@ -99,6 +99,7 @@ mod tests {
             mem: MemStats::default(),
             cache: CacheStats::default(),
             cache_lines: Vec::new(),
+            remarks: Vec::new(),
         }
     }
 
@@ -148,6 +149,40 @@ mod tests {
     fn zero_duration_spans_get_unit_weight() {
         let p = profile_with(vec![span(Stage::Parse, "chunk", 5, 0)]);
         assert_eq!(p.to_folded(), "parse: chunk 1\n");
+    }
+
+    #[test]
+    fn single_frame_stack_keeps_full_weight() {
+        let p = profile_with(vec![span(Stage::Execute, "main", 0, 42)]);
+        assert_eq!(p.to_folded(), "execute: main 42\n");
+    }
+
+    #[test]
+    fn equal_weight_stacks_order_stably_by_name() {
+        // Three sibling spans with identical durations: output must be
+        // sorted by stack name, independent of event order.
+        let forward = profile_with(vec![
+            span(Stage::Execute, "alpha", 0, 10),
+            span(Stage::Execute, "beta", 10, 10),
+            span(Stage::Execute, "gamma", 20, 10),
+        ]);
+        let backward = profile_with(vec![
+            span(Stage::Execute, "gamma", 20, 10),
+            span(Stage::Execute, "beta", 10, 10),
+            span(Stage::Execute, "alpha", 0, 10),
+        ]);
+        let expected = "execute: alpha 10\nexecute: beta 10\nexecute: gamma 10\n";
+        assert_eq!(forward.to_folded(), expected);
+        assert_eq!(backward.to_folded(), expected);
+    }
+
+    #[test]
+    fn repeated_identical_stacks_accumulate_weight() {
+        let p = profile_with(vec![
+            span(Stage::Execute, "f", 0, 5),
+            span(Stage::Execute, "f", 5, 7),
+        ]);
+        assert_eq!(p.to_folded(), "execute: f 12\n");
     }
 
     #[test]

@@ -71,6 +71,31 @@ impl Stage {
     }
 }
 
+/// One structured optimization remark from the mid-end pass manager.
+///
+/// Remarks explain what the optimizer did (or declined to do) and why:
+/// "inline applied: inlined 'is_marked'", "inline missed: callee over size
+/// budget". They are collected *unconditionally* — not gated behind
+/// [`Tracer::enabled`] — so the remark stream is byte-identical whether or
+/// not profiling is on, and belongs to the deterministic surface alongside
+/// [`Profile::render_counters`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Remark {
+    /// Pass that emitted it (`"inline"`, `"licm"`, `"cse"`, ...).
+    pub pass: String,
+    /// `"applied"` or `"missed"`.
+    pub kind: String,
+    /// Terra function the remark concerns.
+    pub function: String,
+    /// 1-based source line of the affected statement (0 = whole function).
+    pub line: u32,
+    /// Rendered staging chain (`"via quote at line 41, inlined at line 30"`),
+    /// empty when the code was written in place.
+    pub provenance: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
 /// One completed span on the staging timeline.
 #[derive(Debug, Clone)]
 pub struct SpanEvent {
@@ -127,6 +152,7 @@ pub struct Tracer {
     ops: BTreeMap<&'static str, u64>,
     funcs: BTreeMap<Rc<str>, FuncCounters>,
     stack: Vec<ActiveFunc>,
+    remarks: Vec<Remark>,
 }
 
 impl Default for Tracer {
@@ -145,6 +171,7 @@ impl Tracer {
             ops: BTreeMap::new(),
             funcs: BTreeMap::new(),
             stack: Vec::new(),
+            remarks: Vec::new(),
         }
     }
 
@@ -165,6 +192,22 @@ impl Tracer {
         self.ops.clear();
         self.funcs.clear();
         self.stack.clear();
+        self.remarks.clear();
+    }
+
+    // -- remarks -------------------------------------------------------------
+
+    /// Appends an optimization remark. Deliberately *not* gated behind
+    /// [`Tracer::enabled`]: remarks must be identical with and without
+    /// `--profile` (compilation happens either way, and the stream is part
+    /// of the deterministic surface).
+    pub fn add_remark(&mut self, r: Remark) {
+        self.remarks.push(r);
+    }
+
+    /// The remarks collected so far, in emission order.
+    pub fn remarks(&self) -> &[Remark] {
+        &self.remarks
     }
 
     // -- timeline ------------------------------------------------------------
@@ -281,6 +324,7 @@ impl Tracer {
             mem,
             cache: CacheStats::default(),
             cache_lines: Vec::new(),
+            remarks: self.remarks.clone(),
         }
     }
 }
@@ -633,6 +677,8 @@ pub struct Profile {
     /// Per-source-line cache attribution, sorted hottest (most L1 misses)
     /// first.
     pub cache_lines: Vec<LineStat>,
+    /// Optimization remarks in emission order (deterministic).
+    pub remarks: Vec<Remark>,
 }
 
 impl Profile {

@@ -74,6 +74,42 @@ impl Profile {
         if self.cache.total_accesses() > 0 || !self.cache_lines.is_empty() {
             out.push_str(&self.render_locality());
         }
+        if !self.remarks.is_empty() {
+            out.push_str(&self.render_remarks(None));
+        }
+        out
+    }
+
+    /// Renders the optimization-remark section, optionally restricted to one
+    /// pass. Deterministic: remarks carry no timestamps and are emitted in
+    /// pipeline order.
+    pub fn render_remarks(&self, pass: Option<&str>) -> String {
+        let mut out = String::new();
+        out.push_str("== remarks ==\n");
+        let mut shown = 0usize;
+        for r in &self.remarks {
+            if pass.is_some_and(|p| p != r.pass) {
+                continue;
+            }
+            shown += 1;
+            let loc = if r.line == 0 {
+                r.function.clone()
+            } else {
+                format!("{}:{}", r.function, r.line)
+            };
+            let _ = write!(
+                out,
+                "  {:<8} {:<7} {:<20} {}",
+                r.pass, r.kind, loc, r.message
+            );
+            if !r.provenance.is_empty() {
+                let _ = write!(out, " [{}]", r.provenance);
+            }
+            out.push('\n');
+        }
+        if shown == 0 {
+            out.push_str("  (none)\n");
+        }
         out
     }
 
@@ -160,6 +196,7 @@ mod tests {
             mem: MemStats::default(),
             cache: CacheStats::default(),
             cache_lines: Vec::new(),
+            remarks: Vec::new(),
         }
     }
 
@@ -174,6 +211,42 @@ mod tests {
         assert!(a.contains("  f"), "{a}");
         // No cache activity: the locality section stays out of the report.
         assert!(!a.contains("== locality =="), "{a}");
+    }
+
+    #[test]
+    fn remarks_section_renders_and_filters() {
+        let mut p = base_profile();
+        // No remarks: the section stays out of the counter report entirely.
+        assert!(!p.render_counters().contains("== remarks =="));
+        p.remarks = vec![
+            crate::Remark {
+                pass: "inline".into(),
+                kind: "applied".into(),
+                function: "sieve".into(),
+                line: 12,
+                provenance: "via quote at line 4".into(),
+                message: "inlined 'is_marked' (9 IR nodes)".into(),
+            },
+            crate::Remark {
+                pass: "dce".into(),
+                kind: "applied".into(),
+                function: "sieve".into(),
+                line: 0,
+                provenance: String::new(),
+                message: "removed 2 dead-store statement(s)".into(),
+            },
+        ];
+        let r = p.render_counters();
+        assert!(r.contains("== remarks =="), "{r}");
+        assert!(r.contains("sieve:12"), "{r}");
+        assert!(r.contains("[via quote at line 4]"), "{r}");
+        // line 0 renders as the bare function name.
+        assert!(r.contains(" sieve  "), "{r}");
+        let only_dce = p.render_remarks(Some("dce"));
+        assert!(!only_dce.contains("inline"), "{only_dce}");
+        assert!(only_dce.contains("dce"), "{only_dce}");
+        let none = p.render_remarks(Some("licm"));
+        assert!(none.contains("(none)"), "{none}");
     }
 
     #[test]

@@ -1061,6 +1061,13 @@ pub struct CompiledFunction {
     /// Debug info: 1-based source line per instruction (parallel to `code`;
     /// 0 = unknown). May be empty for synthetic functions.
     pub lines: Vec<u32>,
+    /// Debug info: provenance-table index + 1 per instruction (parallel to
+    /// `code`; 0 = written in place). May be empty for synthetic functions.
+    pub provs: Vec<u32>,
+    /// Interned staging chains referenced by `provs` (e.g. `"via quote at
+    /// line 41, inlined at line 30"`). Kept separate because many
+    /// instructions share the same chain.
+    pub prov_table: Vec<Rc<str>>,
 }
 
 impl CompiledFunction {
@@ -1069,6 +1076,18 @@ impl CompiledFunction {
     #[inline]
     pub fn line_at(&self, pc: usize) -> u32 {
         self.lines.get(pc).copied().unwrap_or(0)
+    }
+
+    /// The rendered staging chain of the instruction at `pc`, if it arrived
+    /// through a splice or the inliner.
+    #[inline]
+    pub fn prov_at(&self, pc: usize) -> Option<&str> {
+        let idx = self.provs.get(pc).copied().unwrap_or(0);
+        if idx == 0 {
+            None
+        } else {
+            self.prov_table.get(idx as usize - 1).map(|s| &**s)
+        }
     }
 }
 

@@ -70,6 +70,7 @@ pub fn compile(
     debug_assert!(c.loop_breaks.is_empty());
     c.flush_lines();
     debug_assert_eq!(c.lines.len(), c.code.len());
+    debug_assert_eq!(c.provs.len(), c.code.len());
     CompiledFunction {
         name: func.name.clone(),
         ty: func.ty.clone(),
@@ -77,6 +78,8 @@ pub fn compile(
         frame_size: c.frame_size,
         code: c.code,
         lines: c.lines,
+        provs: c.provs,
+        prov_table: c.prov_table,
     }
 }
 
@@ -91,6 +94,13 @@ struct Compiler<'a> {
     lines: Vec<u32>,
     /// Source line owning instructions emitted since the last flush.
     cur_line: u32,
+    /// Debug info built alongside `lines`: provenance-table index + 1 per
+    /// instruction (0 = written in place), flushed together with `lines`.
+    provs: Vec<u32>,
+    /// Provenance id owning instructions emitted since the last flush.
+    cur_prov: u32,
+    /// Interned rendered staging chains; `provs` holds `index + 1`.
+    prov_table: Vec<std::rc::Rc<str>>,
     /// Register assigned to each register-class local (NO_REG if in memory).
     local_regs: Vec<Reg>,
     /// Frame offset of each in-memory local (u32::MAX otherwise).
@@ -139,6 +149,9 @@ impl<'a> Compiler<'a> {
             code: Vec::new(),
             lines: Vec::new(),
             cur_line: 0,
+            provs: Vec::new(),
+            cur_prov: 0,
+            prov_table: Vec::new(),
             local_regs,
             local_offsets,
             temp_base: next_reg,
@@ -178,9 +191,23 @@ impl<'a> Compiler<'a> {
     }
 
     /// Stamps every instruction emitted since the last flush with
-    /// `cur_line`, keeping the debug-info table parallel to `code`.
+    /// `cur_line` and `cur_prov`, keeping both debug-info tables parallel
+    /// to `code`.
     fn flush_lines(&mut self) {
         self.lines.resize(self.code.len(), self.cur_line);
+        self.provs.resize(self.code.len(), self.cur_prov);
+    }
+
+    /// Interns a rendered staging chain, returning its `provs` id
+    /// (table index + 1). Chains repeat heavily — every instruction of a
+    /// splice shares one — so a linear scan over the few distinct entries
+    /// beats a map.
+    fn intern_prov(&mut self, desc: String) -> u32 {
+        if let Some(i) = self.prov_table.iter().position(|s| **s == *desc) {
+            return i as u32 + 1;
+        }
+        self.prov_table.push(desc.into());
+        self.prov_table.len() as u32
     }
 
     // -- statements ----------------------------------------------------------
@@ -201,6 +228,13 @@ impl<'a> Compiler<'a> {
         if s.span.line != 0 {
             self.cur_line = s.span.line;
         }
+        let saved_prov = self.cur_prov;
+        // Unlike lines, a missing provenance is meaningful (written in
+        // place), so it always overrides the enclosing statement's chain.
+        self.cur_prov = match &s.prov {
+            Some(p) => self.intern_prov(p.describe()),
+            None => 0,
+        };
         match &s.kind {
             StmtKind::Assign { dst, value } => self.compile_assign(*dst, value),
             StmtKind::Store { addr, value } => {
@@ -325,6 +359,7 @@ impl<'a> Compiler<'a> {
         }
         self.flush_lines();
         self.cur_line = saved_line;
+        self.cur_prov = saved_prov;
         self.release(mark);
     }
 

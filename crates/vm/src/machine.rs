@@ -26,6 +26,10 @@ pub enum Trap {
         /// 1-based source line of the faulting instruction, from the
         /// bytecode debug-info table (0 = unknown).
         line: u32,
+        /// Rendered staging chain of the faulting instruction (`"via quote
+        /// at line 41, inlined at line 30"`), when it was produced by a
+        /// splice or the inliner rather than written in place.
+        prov: Option<Rc<str>>,
     },
     /// Integer division or remainder by zero.
     DivByZero,
@@ -51,14 +55,23 @@ pub enum Trap {
 impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Trap::Memory { err, func, line } => {
+            Trap::Memory {
+                err,
+                func,
+                line,
+                prov,
+            } => {
                 write!(f, "{err}")?;
                 if let Some(name) = func {
                     if *line > 0 {
-                        write!(f, " (in terra function '{name}' at line {line})")?;
+                        write!(f, " (in terra function '{name}' at line {line}")?;
                     } else {
-                        write!(f, " (in terra function '{name}')")?;
+                        write!(f, " (in terra function '{name}'")?;
                     }
+                    if let Some(chain) = prov {
+                        write!(f, ", generated {chain}")?;
+                    }
+                    write!(f, ")")?;
                 }
                 Ok(())
             }
@@ -85,6 +98,7 @@ impl From<MemError> for Trap {
             err: e,
             func: None,
             line: 0,
+            prov: None,
         }
     }
 }
@@ -239,8 +253,10 @@ impl Vm {
                 .last()
                 .filter(|_| self.frames.len() > saved_frames)
                 .map(|fr| {
-                    let line = fr.func.line_at(fr.pc.saturating_sub(1));
-                    (fr.func.name.clone(), line)
+                    let pc = fr.pc.saturating_sub(1);
+                    let line = fr.func.line_at(pc);
+                    let prov: Option<Rc<str>> = fr.func.prov_at(pc).map(Rc::from);
+                    (fr.func.name.clone(), line, prov)
                 });
             // Unwind any frames (and their memory) left by the trap.
             while self.frames.len() > saved_frames {
@@ -252,11 +268,16 @@ impl Vm {
                 Trap::Memory {
                     err, func: None, ..
                 } => {
-                    let (func, line) = match current {
-                        Some((name, line)) => (Some(name), line),
-                        None => (None, 0),
+                    let (func, line, prov) = match current {
+                        Some((name, line, prov)) => (Some(name), line, prov),
+                        None => (None, 0, None),
                     };
-                    Trap::Memory { err, func, line }
+                    Trap::Memory {
+                        err,
+                        func,
+                        line,
+                        prov,
+                    }
                 }
                 other => other,
             }
@@ -885,6 +906,8 @@ mod tests {
             name: name.into(),
             ty,
             nregs,
+            provs: Vec::new(),
+            prov_table: Vec::new(),
             frame_size: 0,
             code,
             lines: Vec::new(),

@@ -253,6 +253,8 @@ mod tests {
                 s: crate::bytecode::NO_REG,
             }],
             lines: vec![0],
+            provs: vec![0],
+            prov_table: Vec::new(),
         }
     }
 

@@ -2,7 +2,9 @@
 -- Unlike saxpy.t this exercises while-loops, nested ifs, integer div/mod,
 -- and a small helper call the -O2 inliner can absorb, so it doubles as the
 -- optimizer-differential fixture in scripts/check.sh (stdout must be
--- identical at -O0 and -O2).
+-- identical at -O0 and -O2). The Collatz search body is generated through a
+-- Lua quote so the optimizer remarks for it carry a staging provenance
+-- chain (see `--remarks`), which check.sh's remarks smoke test relies on.
 
 local C = terralib.includec("stdlib.h")
 
@@ -46,13 +48,23 @@ terra collatz_steps(seed : int) : int
   return steps
 end
 
-terra longest_collatz(limit : int) : int
-  var best = 0
-  for seed = 1, limit do
+-- Staged helper: builds the loop body as a quote over the caller's
+-- variables, so every instruction it expands to is attributed back to this
+-- quote (and to the splice site in `longest_collatz`) by the provenance
+-- tracker.
+local function update_best(seed, best)
+  return quote
     var s = collatz_steps(seed)
     if s > best then
       best = s
     end
+  end
+end
+
+terra longest_collatz(limit : int) : int
+  var best = 0
+  for seed = 1, limit do
+    [update_best(seed, best)]
   end
   return best
 end

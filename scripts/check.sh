@@ -60,6 +60,31 @@ for script in examples/*.t; do
     fi
 done
 
+echo "==> remarks smoke (terra --remarks / --remarks-out)"
+remarks_json="$(mktemp)"
+remarks_json2="$(mktemp)"
+trap 'rm -f "$trace_json" "$trace_folded" "$remarks_json" "$remarks_json2"' EXIT
+report="$(./target/release/terra --remarks -O2 examples/sieve.t 2>&1)"
+grep -q "== remarks ==" <<< "$report" \
+    || { echo "remarks smoke: no remarks section at -O2" >&2; exit 1; }
+grep -qE "^  (inline|licm|cse) +applied" <<< "$report" \
+    || { echo "remarks smoke: no applied inline/licm/cse remark at -O2" >&2; exit 1; }
+grep -q "via quote at line" <<< "$report" \
+    || { echo "remarks smoke: no staging provenance chain in remarks" >&2; exit 1; }
+report="$(./target/release/terra --remarks -O0 examples/sieve.t 2>&1)"
+grep -qE "^  [a-z]+ +(applied|missed)" <<< "$report" \
+    && { echo "remarks smoke: -O0 must produce no remarks" >&2; exit 1; }
+./target/release/terra --remarks-out "$remarks_json" -O2 examples/sieve.t > /dev/null 2>&1
+./target/release/terra --remarks-out "$remarks_json2" -O2 examples/sieve.t > /dev/null 2>&1
+head -c1 "$remarks_json" | grep -q '\[' \
+    || { echo "remarks smoke: --remarks-out did not write a JSON array" >&2; exit 1; }
+for key in pass kind function line provenance message; do
+    grep -q "\"$key\"" "$remarks_json" \
+        || { echo "remarks smoke: --remarks-out JSON missing key $key" >&2; exit 1; }
+done
+cmp -s "$remarks_json" "$remarks_json2" \
+    || { echo "remarks smoke: --remarks-out output differs between runs" >&2; exit 1; }
+
 echo "==> perfprobe (writes BENCH_opt.json with -O0/-O2 instruction counts)"
 cargo run --release --example perfprobe --quiet
 grep -q '"kernels"' BENCH_opt.json \
@@ -91,5 +116,15 @@ awk -v naive="$(l1_rate gemm_naive_96)" -v blocked="$(l1_rate gemm_blocked_96)" 
 awk -v aos="$(l1_rate aos_sum_4096)" -v soa="$(l1_rate soa_sum_4096)" \
     'BEGIN { exit !(soa < aos) }' \
     || { echo "BENCH_cache: SoA L1 miss rate must be strictly below AoS" >&2; exit 1; }
+
+echo "==> BENCH_remarks.json schema (kernel entry, per-pass applied/missed counts)"
+grep -q '"kernel"' BENCH_remarks.json \
+    || { echo "BENCH_remarks: missing kernel key" >&2; exit 1; }
+for key in pass applied missed; do
+    grep -q "\"$key\"" BENCH_remarks.json \
+        || { echo "BENCH_remarks: missing key $key" >&2; exit 1; }
+done
+grep -qE '"applied": [1-9]' BENCH_remarks.json \
+    || { echo "BENCH_remarks: no pass reported an applied remark" >&2; exit 1; }
 
 echo "All checks passed."
