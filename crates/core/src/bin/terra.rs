@@ -18,6 +18,10 @@
 //!                     (diagnostics are computed pre-optimization and are
 //!                     identical at every -O level)
 //!   --sanitize        poison fresh/freed VM memory and trap on use-after-free
+//!   --no-checkelim    keep every memory access bounds-checked at -O2 (by
+//!                     default the abstract interpreter proves accesses
+//!                     in-bounds and the VM elides their runtime checks;
+//!                     --sanitize overrides elision at runtime regardless)
 //!   --profile         collect staging/VM/memory counters and print a profile
 //!                     report after the program finishes
 //!   --trace-out FILE  write the run's timeline and counters; the format is
@@ -56,6 +60,10 @@ fn main() {
             }
             "--sanitize" => {
                 t.set_sanitize(true);
+                argv.remove(0);
+            }
+            "--no-checkelim" => {
+                t.set_check_elim(false);
                 argv.remove(0);
             }
             _ if first.starts_with("-O") => {

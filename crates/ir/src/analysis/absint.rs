@@ -1,0 +1,1317 @@
+//! Forward abstract interpretation over the typed IR: per-local integer
+//! intervals (wrapping-aware), pointer nullness, and allocation-size facts.
+//!
+//! One walker serves three consumers:
+//!
+//! * **Lints** (`--lint`): definite out-of-bounds, definite null dereference,
+//!   definite division by zero, and guaranteed integer overflow — all
+//!   *definite-only*: a finding means the bad operation executes on every
+//!   path that reaches it, so clean programs stay clean. Findings carry the
+//!   staging provenance of the offending statement.
+//! * **Check elision** (`checkelim` pass at `-O2`): accesses whose address
+//!   is proven inside its allocation are stamped into [`IrStmt::nochk`];
+//!   the VM compiles those without runtime bounds checks.
+//! * **Summaries**: a bounded interprocedural fixpoint computes, per
+//!   function, the return-value fact and a per-pointer-parameter *demand*
+//!   (bytes the callee unconditionally accesses), consumed at call sites
+//!   for extra precision and caller-side lints.
+//!
+//! ## Soundness of elision
+//!
+//! The VM's runtime check (`memory.rs::check`) rejects accesses below the
+//! null guard or past the end of linear memory, plus — only under
+//! `--sanitize` — accesses overlapping freed blocks. Frame objects, globals,
+//! and malloc'd blocks all live inside linear memory, and linear memory
+//! never shrinks, so an access proven within `[0, size)` of such an object
+//! can never fail the non-sanitize check — even after `free`. Elision is
+//! therefore invisible without the sanitizer; *with* the sanitizer the VM
+//! ignores the elision flag entirely (the fast-path accessors fall back to
+//! the checked path), so the use-after-free oracle is untouched.
+//!
+//! Pointer parameters are never assumed valid (functions are callable from
+//! the host with arbitrary pointers), so intraprocedural proofs only ever
+//! rest on objects the function itself can see: its frame, globals, string
+//! constants, and `malloc` calls with stage-time-constant sizes.
+
+use super::{diag, Diagnostic, EnvEntry, ModuleEnv, Severity};
+use crate::analysis::range::{Interval, Nullness};
+use crate::ir::{
+    BinKind, Builtin, Callee, CmpKind, ExprKind, FuncId, GlobalId, IrExpr, IrFunction, IrStmt,
+    LocalId, LocalSlot, StmtKind, UnKind,
+};
+use crate::passes::util::{collect_assigned, LocalSet};
+use crate::passes::Remark;
+use crate::types::{ScalarTy, Ty, TypeRegistry};
+use std::collections::HashMap;
+use terra_syntax::{Provenance, Span};
+
+/// Abstract value of one register local.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum AbsVal {
+    /// Integer (or boolean, as `[0,1]`) in the given interval.
+    Int(Interval),
+    /// Pointer with base object, byte-offset interval, and nullness.
+    Ptr(PtrVal),
+    /// Anything (floats, vectors, unknown).
+    Any,
+}
+
+/// Abstract pointer: which object it points into and where.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PtrVal {
+    base: PtrBase,
+    /// Byte offset from the base object's start.
+    off: Interval,
+    null: Nullness,
+}
+
+/// The object an abstract pointer points into.
+#[derive(Debug, Clone, PartialEq)]
+enum PtrBase {
+    /// Frame slot of an `in_memory` local.
+    Local(LocalId),
+    /// A global cell.
+    Global(GlobalId),
+    /// A heap allocation of stage-time-known payload size (malloc with a
+    /// constant argument, or an interned string constant).
+    Alloc {
+        /// Payload size in bytes.
+        size: u64,
+    },
+    /// The `i`-th function parameter's pointee — caller-owned memory of
+    /// unknown size. Tracked separately so summaries can report demand.
+    Param(usize),
+    /// No idea.
+    Unknown,
+}
+
+impl PtrVal {
+    fn unknown() -> PtrVal {
+        PtrVal {
+            base: PtrBase::Unknown,
+            off: Interval::top(),
+            null: Nullness::Maybe,
+        }
+    }
+}
+
+/// Per-function interprocedural summary.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct FnSummary {
+    /// Join of all returned values (bases sanitized to caller-meaningful
+    /// ones), `None` when the function never returns a value.
+    ret: Option<AbsVal>,
+    /// Per-parameter demand: `Some(end)` means the callee unconditionally
+    /// accesses bytes up to (exclusive) `end` of that pointer argument.
+    demand: Vec<Option<u64>>,
+}
+
+/// Function summaries from the bounded interprocedural fixpoint, keyed by
+/// [`FuncId`]. Opaque to callers; built by [`summarize`] and consumed by
+/// the analyses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Summaries {
+    map: HashMap<FuncId, FnSummary>,
+}
+
+impl Summaries {
+    /// Number of summarized functions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no function has been summarized.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Computes summaries for a set of functions with a bounded fixpoint (three
+/// rounds): round one sees unknown callees (sound), later rounds refine
+/// through call chains. Order-insensitive by construction.
+pub fn summarize(
+    fns: &[(FuncId, IrFunction)],
+    types: Option<&TypeRegistry>,
+    env: &dyn ModuleEnv,
+) -> Summaries {
+    let mut sums = Summaries::default();
+    for _ in 0..3 {
+        let mut next = Summaries::default();
+        for (id, f) in fns {
+            next.map.insert(*id, summarize_one(f, types, env, &sums));
+        }
+        let done = next == sums;
+        sums = next;
+        if done {
+            break;
+        }
+    }
+    sums
+}
+
+fn summarize_one(
+    f: &IrFunction,
+    types: Option<&TypeRegistry>,
+    env: &dyn ModuleEnv,
+    sums: &Summaries,
+) -> FnSummary {
+    let mut body = f.body.clone();
+    let mut interp = Interp::new(f, types, env, Some(sums), Mode::Summary);
+    interp.block(&mut body);
+    let ret = interp.ret.take().map(sanitize_ret);
+    FnSummary {
+        ret,
+        demand: interp.demand,
+    }
+}
+
+/// Returned facts must make sense in the caller: pointers into the callee's
+/// frame or parameters are demoted to unknown-base (keeping nullness).
+fn sanitize_ret(v: AbsVal) -> AbsVal {
+    match v {
+        AbsVal::Ptr(p) => match p.base {
+            PtrBase::Local(_) | PtrBase::Param(_) => AbsVal::Ptr(PtrVal {
+                base: PtrBase::Unknown,
+                off: Interval::top(),
+                null: p.null,
+            }),
+            _ => AbsVal::Ptr(p),
+        },
+        other => other,
+    }
+}
+
+/// Runs the definite-bug lints over `f`, appending findings to `diags`.
+pub(super) fn lint(
+    f: &IrFunction,
+    types: Option<&TypeRegistry>,
+    env: &dyn ModuleEnv,
+    sums: Option<&Summaries>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut body = f.body.clone();
+    let mut interp = Interp::new(f, types, env, sums, Mode::Lint(diags));
+    interp.block(&mut body);
+}
+
+/// Stamps proven-in-bounds accesses into each statement's
+/// [`nochk`](IrStmt::nochk) list and emits `checkelim` remarks. Called by
+/// the `checkelim` pass with the function body taken out of `f`.
+pub(crate) fn annotate(
+    f: &IrFunction,
+    body: &mut [IrStmt],
+    types: Option<&TypeRegistry>,
+    env: &dyn ModuleEnv,
+    sums: Option<&Summaries>,
+    remarks: &mut Vec<Remark>,
+) {
+    let mut interp = Interp::new(f, types, env, sums, Mode::Elide(remarks));
+    interp.block(body);
+}
+
+/// State-free proof for LICM: whether an access of `size` bytes through
+/// `addr` — a constant-offset chain off an in-memory local — is within that
+/// local's object. Needs no flow facts, so it is usable from passes that
+/// don't run the full interpreter.
+pub(crate) fn proven_const_access(
+    addr: &IrExpr,
+    locals: &[LocalSlot],
+    types: &TypeRegistry,
+    size: u64,
+) -> bool {
+    fn peel(e: &IrExpr) -> Option<(LocalId, i64)> {
+        match &e.kind {
+            ExprKind::LocalAddr(l) => Some((*l, 0)),
+            ExprKind::Binary {
+                op: BinKind::Add,
+                lhs,
+                rhs,
+            } if e.ty.is_pointer() => {
+                let (base, off) = peel(lhs)?;
+                match rhs.kind {
+                    ExprKind::ConstInt(k) => Some((base, off.checked_add(k)?)),
+                    _ => None,
+                }
+            }
+            ExprKind::Cast(inner) if e.ty.is_pointer() => peel(inner),
+            _ => None,
+        }
+    }
+    let Some((l, off)) = peel(addr) else {
+        return false;
+    };
+    let Some(slot) = locals.get(l.0 as usize) else {
+        return false;
+    };
+    if !slot.in_memory {
+        return false;
+    }
+    let Some(obj) = size_of_ty(&slot.ty, Some(types)) else {
+        return false;
+    };
+    off >= 0 && (off as u64).saturating_add(size) <= obj
+}
+
+/// Size of `t` if every struct it references is finalized (mirrors the
+/// linter's cautious version of [`Ty::size`]).
+fn size_of_ty(t: &Ty, types: Option<&TypeRegistry>) -> Option<u64> {
+    let reg = types?;
+    match t {
+        Ty::Struct(id) => {
+            if (id.0 as usize) < reg.len() && reg.is_finalized(*id) {
+                Some(reg.layout(*id).size)
+            } else {
+                None
+            }
+        }
+        Ty::Array(inner, n) => size_of_ty(inner, types).map(|s| s * n),
+        other => Some(other.size(reg)),
+    }
+}
+
+/// Bit-pattern constant `v` interpreted at type `s`.
+fn const_int_value(v: i64, s: ScalarTy) -> i128 {
+    match s {
+        ScalarTy::Bool => (v != 0) as i128,
+        ScalarTy::I8 => (v as i8) as i128,
+        ScalarTy::I16 => (v as i16) as i128,
+        ScalarTy::I32 => (v as i32) as i128,
+        ScalarTy::I64 => v as i128,
+        ScalarTy::U8 => (v as u8) as i128,
+        ScalarTy::U16 => (v as u16) as i128,
+        ScalarTy::U32 => (v as u32) as i128,
+        ScalarTy::U64 => (v as u64) as i128,
+        ScalarTy::F32 | ScalarTy::F64 => v as i128,
+    }
+}
+
+fn join_absval(a: &AbsVal, b: &AbsVal) -> AbsVal {
+    match (a, b) {
+        (AbsVal::Int(x), AbsVal::Int(y)) => AbsVal::Int(x.join(*y)),
+        (AbsVal::Ptr(x), AbsVal::Ptr(y)) => {
+            if x.base == y.base {
+                AbsVal::Ptr(PtrVal {
+                    base: x.base.clone(),
+                    off: x.off.join(y.off),
+                    null: x.null.join(y.null),
+                })
+            } else {
+                AbsVal::Ptr(PtrVal {
+                    base: PtrBase::Unknown,
+                    off: Interval::top(),
+                    null: x.null.join(y.null),
+                })
+            }
+        }
+        _ => AbsVal::Any,
+    }
+}
+
+/// `break` reachable without crossing into a nested loop.
+fn contains_break(stmts: &[IrStmt]) -> bool {
+    stmts.iter().any(|s| match &s.kind {
+        StmtKind::Break => true,
+        StmtKind::If {
+            then_body,
+            else_body,
+            ..
+        } => contains_break(then_body) || contains_break(else_body),
+        _ => false,
+    })
+}
+
+enum Mode<'m> {
+    /// Emit definite-bug diagnostics.
+    Lint(&'m mut Vec<Diagnostic>),
+    /// Stamp proven accesses and emit checkelim remarks.
+    Elide(&'m mut Vec<Remark>),
+    /// Collect return/demand facts only.
+    Summary,
+}
+
+enum Flow {
+    FallThrough,
+    Terminated,
+}
+
+enum Verdict {
+    Proven,
+    DefiniteNull,
+    DefiniteOob { detail: String },
+    Unknown { reason: String },
+}
+
+struct Interp<'a> {
+    f: &'a IrFunction,
+    types: Option<&'a TypeRegistry>,
+    env: &'a dyn ModuleEnv,
+    sums: Option<&'a Summaries>,
+    mode: Mode<'a>,
+    state: Vec<AbsVal>,
+    /// Join of returned values (summary mode).
+    ret: Option<AbsVal>,
+    /// Per-parameter unconditional access demand (summary mode).
+    demand: Vec<Option<u64>>,
+    /// Branch/loop nesting depth; 0 means unconditionally reached.
+    depth: u32,
+    /// Loop nesting depth (missed-elision remarks only fire inside loops,
+    /// where a kept check actually costs per iteration).
+    loop_depth: u32,
+    /// Proven address expressions of the statement being walked.
+    pending: Vec<IrExpr>,
+    cur_span: Span,
+    cur_prov: Option<Provenance>,
+}
+
+impl<'a> Interp<'a> {
+    fn new(
+        f: &'a IrFunction,
+        types: Option<&'a TypeRegistry>,
+        env: &'a dyn ModuleEnv,
+        sums: Option<&'a Summaries>,
+        mode: Mode<'a>,
+    ) -> Self {
+        let state = f
+            .locals
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                if i < f.param_count() {
+                    match &slot.ty {
+                        Ty::Ptr(_) => AbsVal::Ptr(PtrVal {
+                            base: PtrBase::Param(i),
+                            off: Interval::singleton(0),
+                            null: Nullness::Maybe,
+                        }),
+                        Ty::Scalar(s) if s.is_integer() => AbsVal::Int(Interval::full_for(*s)),
+                        _ => AbsVal::Any,
+                    }
+                } else {
+                    // Every `var` is zero-initialized by the VM before any
+                    // explicit write.
+                    match &slot.ty {
+                        _ if slot.in_memory => AbsVal::Any,
+                        Ty::Scalar(s) if s.is_integer() => AbsVal::Int(Interval::singleton(0)),
+                        Ty::Ptr(_) => AbsVal::Ptr(PtrVal {
+                            base: PtrBase::Unknown,
+                            off: Interval::singleton(0),
+                            null: Nullness::Null,
+                        }),
+                        _ => AbsVal::Any,
+                    }
+                }
+            })
+            .collect();
+        Interp {
+            f,
+            types,
+            env,
+            sums,
+            mode,
+            state,
+            ret: None,
+            demand: vec![None; f.param_count()],
+            depth: 0,
+            loop_depth: 0,
+            pending: Vec::new(),
+            cur_span: Span::synthetic(),
+            cur_prov: None,
+        }
+    }
+
+    fn size_of(&self, t: &Ty) -> Option<u64> {
+        size_of_ty(t, self.types)
+    }
+
+    fn set(&mut self, l: LocalId, v: AbsVal) {
+        if let Some(slot) = self.state.get_mut(l.0 as usize) {
+            *slot = v;
+        }
+    }
+
+    fn get(&self, l: LocalId) -> AbsVal {
+        self.state.get(l.0 as usize).cloned().unwrap_or(AbsVal::Any)
+    }
+
+    fn widen(&mut self, writes: &LocalSet) {
+        for (i, slot) in self.f.locals.iter().enumerate() {
+            if writes.contains(LocalId(i as u32)) {
+                self.state[i] = match &slot.ty {
+                    Ty::Scalar(s) if s.is_integer() => AbsVal::Int(Interval::full_for(*s)),
+                    Ty::Ptr(_) => AbsVal::Ptr(PtrVal::unknown()),
+                    _ => AbsVal::Any,
+                };
+            }
+        }
+    }
+
+    fn warn(&mut self, code: &'static str, message: String) {
+        if let Mode::Lint(diags) = &mut self.mode {
+            let mut d = diag(self.f, Severity::Warning, code, self.cur_span, message);
+            d.prov = self.cur_prov.clone();
+            diags.push(d);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Statement walk.
+    // -----------------------------------------------------------------
+
+    fn block(&mut self, stmts: &mut [IrStmt]) -> Flow {
+        for s in stmts.iter_mut() {
+            if let Flow::Terminated = self.stmt(s) {
+                // Anything after a terminator is unreachable; the dataflow
+                // pass reports it, we just don't analyze it.
+                return Flow::Terminated;
+            }
+        }
+        Flow::FallThrough
+    }
+
+    fn stmt(&mut self, s: &mut IrStmt) -> Flow {
+        self.cur_span = s.span;
+        self.cur_prov = s.prov.clone();
+        let mut own: Vec<IrExpr> = Vec::new();
+        let flow = match &mut s.kind {
+            StmtKind::Assign { dst, value } => {
+                let dst = *dst;
+                let v = self.eval(value);
+                own = std::mem::take(&mut self.pending);
+                self.set(dst, v);
+                Flow::FallThrough
+            }
+            StmtKind::Store { addr, value } => {
+                let size = self.size_of(&value.ty);
+                self.eval(value);
+                let av = self.eval(addr);
+                self.access(addr, &av, size, "store");
+                own = std::mem::take(&mut self.pending);
+                Flow::FallThrough
+            }
+            StmtKind::CopyMem { dst, src, size } => {
+                let size = *size;
+                let dv = self.eval(dst);
+                let sv = self.eval(src);
+                // The VM's CopyMem is one instruction over two addresses;
+                // both must be proven for the check to go away, which falls
+                // out naturally: the compiler only drops the check when
+                // every address of the instruction is stamped.
+                self.access(dst, &dv, Some(size), "copy destination");
+                self.access(src, &sv, Some(size), "copy source");
+                own = std::mem::take(&mut self.pending);
+                Flow::FallThrough
+            }
+            StmtKind::Expr(e) => {
+                self.eval(e);
+                own = std::mem::take(&mut self.pending);
+                Flow::FallThrough
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.eval(cond);
+                own = std::mem::take(&mut self.pending);
+                self.walk_if(&c, cond, then_body, else_body)
+            }
+            StmtKind::While { cond, body } => {
+                // Widen everything the body can write, then evaluate the
+                // condition over the widened state (it re-runs every
+                // iteration).
+                let mut writes = LocalSet::new(self.f.locals.len());
+                collect_assigned(body, &mut writes);
+                self.widen(&writes);
+                let c = self.eval(cond);
+                own = std::mem::take(&mut self.pending);
+                if !self.definitely_false(&c) {
+                    let saved = self.state.clone();
+                    let feasible = self.refine(cond, true);
+                    if feasible {
+                        self.depth += 1;
+                        self.loop_depth += 1;
+                        let _ = self.block(body);
+                        self.depth -= 1;
+                        self.loop_depth -= 1;
+                    }
+                    self.state = saved;
+                    if !contains_break(body) {
+                        // Normal exit: the condition just failed.
+                        let _ = self.refine(cond, false);
+                    }
+                }
+                Flow::FallThrough
+            }
+            StmtKind::For {
+                var,
+                start,
+                stop,
+                step,
+                body,
+            } => {
+                let var = *var;
+                let sv = self.eval(start);
+                let ev = self.eval(stop);
+                let stv = self.eval(step);
+                own = std::mem::take(&mut self.pending);
+                self.walk_for(var, &sv, &ev, &stv, body);
+                Flow::FallThrough
+            }
+            StmtKind::Return(e) => {
+                if let Some(e) = e {
+                    let v = self.eval(e);
+                    own = std::mem::take(&mut self.pending);
+                    self.ret = Some(match self.ret.take() {
+                        Some(prev) => join_absval(&prev, &v),
+                        None => v,
+                    });
+                }
+                Flow::Terminated
+            }
+            StmtKind::Break => Flow::Terminated,
+        };
+        if !own.is_empty() {
+            s.nochk.append(&mut own);
+        }
+        flow
+    }
+
+    fn walk_if(
+        &mut self,
+        c: &AbsVal,
+        cond: &IrExpr,
+        then_body: &mut [IrStmt],
+        else_body: &mut [IrStmt],
+    ) -> Flow {
+        if self.definitely_true(c) {
+            return self.block(then_body);
+        }
+        if self.definitely_false(c) {
+            return self.block(else_body);
+        }
+        let entry = self.state.clone();
+        self.depth += 1;
+        let t_live = self.refine(cond, true);
+        let t_flow = if t_live {
+            self.block(then_body)
+        } else {
+            Flow::Terminated
+        };
+        let t_state = std::mem::replace(&mut self.state, entry);
+        let f_live = self.refine(cond, false);
+        let f_flow = if f_live {
+            self.block(else_body)
+        } else {
+            Flow::Terminated
+        };
+        self.depth -= 1;
+        let t_falls = t_live && matches!(t_flow, Flow::FallThrough);
+        let f_falls = f_live && matches!(f_flow, Flow::FallThrough);
+        match (t_falls, f_falls) {
+            (true, true) => {
+                self.state = t_state
+                    .iter()
+                    .zip(&self.state)
+                    .map(|(t, f)| join_absval(t, f))
+                    .collect();
+                Flow::FallThrough
+            }
+            (true, false) => {
+                self.state = t_state;
+                Flow::FallThrough
+            }
+            (false, true) => Flow::FallThrough,
+            (false, false) => Flow::Terminated,
+        }
+    }
+
+    fn walk_for(
+        &mut self,
+        var: LocalId,
+        start: &AbsVal,
+        stop: &AbsVal,
+        step: &AbsVal,
+        body: &mut [IrStmt],
+    ) {
+        let bounds = match (start, stop) {
+            (AbsVal::Int(s), AbsVal::Int(e)) => Some((*s, *e)),
+            _ => None,
+        };
+        // The loop definitely runs zero times when start >= stop everywhere.
+        if let Some((s, e)) = bounds {
+            if s.lo >= e.hi {
+                return;
+            }
+        }
+        let mut writes = LocalSet::new(self.f.locals.len());
+        collect_assigned(body, &mut writes);
+        let var_written_in_body = writes.contains(var);
+        writes.insert(var);
+        let saved_outside = {
+            self.widen(&writes);
+            // With a positive step the loop variable stays within
+            // [start, stop-1]; a body that writes it escapes that argument.
+            let step_pos = matches!(step, AbsVal::Int(iv) if iv.lo >= 1);
+            if let (Some((s, e)), true, false) = (bounds, step_pos, var_written_in_body) {
+                self.set(var, AbsVal::Int(Interval::new(s.lo, e.hi - 1)));
+            }
+            self.state.clone()
+        };
+        self.depth += 1;
+        self.loop_depth += 1;
+        let _ = self.block(body);
+        self.depth -= 1;
+        self.loop_depth -= 1;
+        self.state = saved_outside;
+        // After the loop the variable has run past the bound; drop its fact.
+        self.widen(&{
+            let mut only_var = LocalSet::new(self.f.locals.len());
+            only_var.insert(var);
+            only_var
+        });
+    }
+
+    // -----------------------------------------------------------------
+    // Condition handling.
+    // -----------------------------------------------------------------
+
+    fn definitely_true(&self, v: &AbsVal) -> bool {
+        matches!(v, AbsVal::Int(iv) if iv.lo >= 1)
+    }
+
+    fn definitely_false(&self, v: &AbsVal) -> bool {
+        matches!(v, AbsVal::Int(iv) if iv.hi <= 0)
+    }
+
+    /// Side-effect-free evaluation of simple condition operands.
+    fn peek(&self, e: &IrExpr) -> Option<AbsVal> {
+        match &e.kind {
+            ExprKind::Local(l) => Some(self.get(*l)),
+            ExprKind::ConstInt(v) => {
+                let s = e.ty.element_scalar()?;
+                Some(AbsVal::Int(Interval::singleton(const_int_value(*v, s))))
+            }
+            ExprKind::ConstBool(b) => Some(AbsVal::Int(Interval::singleton(*b as i128))),
+            ExprKind::ConstNull => Some(AbsVal::Ptr(PtrVal {
+                base: PtrBase::Unknown,
+                off: Interval::singleton(0),
+                null: Nullness::Null,
+            })),
+            _ => None,
+        }
+    }
+
+    /// Narrows the state assuming `cond == truth`; returns `false` when the
+    /// assumption is unsatisfiable (the guarded code is unreachable).
+    fn refine(&mut self, cond: &IrExpr, truth: bool) -> bool {
+        match &cond.kind {
+            ExprKind::ConstBool(b) => *b == truth,
+            ExprKind::Unary {
+                op: UnKind::Not,
+                expr,
+            } => self.refine(expr, !truth),
+            ExprKind::Local(l) if cond.ty == Ty::BOOL => {
+                let want = Interval::singleton(truth as i128);
+                match self.get(*l) {
+                    AbsVal::Int(iv) => match iv.meet(want) {
+                        Some(m) => {
+                            self.set(*l, AbsVal::Int(m));
+                            true
+                        }
+                        None => false,
+                    },
+                    _ => true,
+                }
+            }
+            ExprKind::Cmp { op, lhs, rhs } => {
+                let op = if truth { *op } else { negate_cmp(*op) };
+                let a = self.refine_side(op, lhs, rhs);
+                let b = self.refine_side(mirror_cmp(op), rhs, lhs);
+                a && b
+            }
+            _ => true,
+        }
+    }
+
+    /// Applies `lhs OP rhs` to narrow `lhs` when it is a local.
+    fn refine_side(&mut self, op: CmpKind, lhs: &IrExpr, rhs: &IrExpr) -> bool {
+        let ExprKind::Local(l) = lhs.kind else {
+            return true;
+        };
+        let Some(rv) = self.peek(rhs) else {
+            return true;
+        };
+        match (self.get(l), rv) {
+            (AbsVal::Int(x), AbsVal::Int(k)) => {
+                let narrowed = match op {
+                    CmpKind::Eq => x.meet(k),
+                    CmpKind::Ne => match k.as_singleton() {
+                        // Only endpoint trims are expressible in intervals.
+                        Some(v) if x.lo == v && x.lo == x.hi => None,
+                        Some(v) if x.lo == v => Some(Interval::new(x.lo + 1, x.hi)),
+                        Some(v) if x.hi == v => Some(Interval::new(x.lo, x.hi - 1)),
+                        _ => Some(x),
+                    },
+                    CmpKind::Lt => x.assume_cmp(true, true, k),
+                    CmpKind::Le => x.assume_cmp(true, false, k),
+                    CmpKind::Gt => x.assume_cmp(false, true, k),
+                    CmpKind::Ge => x.assume_cmp(false, false, k),
+                };
+                match narrowed {
+                    Some(n) => {
+                        self.set(l, AbsVal::Int(n));
+                        true
+                    }
+                    None => false,
+                }
+            }
+            (AbsVal::Ptr(p), AbsVal::Ptr(q)) if q.null == Nullness::Null => {
+                // `p == nil` / `p ~= nil` refine nullness.
+                match op {
+                    CmpKind::Eq => {
+                        if p.null == Nullness::NonNull {
+                            return false;
+                        }
+                        self.set(
+                            l,
+                            AbsVal::Ptr(PtrVal {
+                                base: PtrBase::Unknown,
+                                off: Interval::singleton(0),
+                                null: Nullness::Null,
+                            }),
+                        );
+                        true
+                    }
+                    CmpKind::Ne => {
+                        if p.null == Nullness::Null {
+                            return false;
+                        }
+                        self.set(
+                            l,
+                            AbsVal::Ptr(PtrVal {
+                                null: Nullness::NonNull,
+                                ..p
+                            }),
+                        );
+                        true
+                    }
+                    _ => true,
+                }
+            }
+            _ => true,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Expression evaluation.
+    // -----------------------------------------------------------------
+
+    fn eval(&mut self, e: &IrExpr) -> AbsVal {
+        match &e.kind {
+            ExprKind::ConstInt(v) => match e.ty.element_scalar() {
+                Some(s) if s.is_integer() || s == ScalarTy::Bool => {
+                    AbsVal::Int(Interval::singleton(const_int_value(*v, s)))
+                }
+                _ => AbsVal::Any,
+            },
+            ExprKind::ConstFloat(_) => AbsVal::Any,
+            ExprKind::ConstBool(b) => AbsVal::Int(Interval::singleton(*b as i128)),
+            ExprKind::ConstNull => AbsVal::Ptr(PtrVal {
+                base: PtrBase::Unknown,
+                off: Interval::singleton(0),
+                null: Nullness::Null,
+            }),
+            ExprKind::ConstFunc(_) => AbsVal::Any,
+            // Interned strings are NUL-terminated allocations; every byte
+            // up to and including the terminator is readable.
+            ExprKind::ConstStr(s) => AbsVal::Ptr(PtrVal {
+                base: PtrBase::Alloc {
+                    size: s.len() as u64 + 1,
+                },
+                off: Interval::singleton(0),
+                null: Nullness::NonNull,
+            }),
+            ExprKind::Local(l) => self.get(*l),
+            ExprKind::LocalAddr(l) => AbsVal::Ptr(PtrVal {
+                base: PtrBase::Local(*l),
+                off: Interval::singleton(0),
+                null: Nullness::NonNull,
+            }),
+            ExprKind::GlobalAddr(g) => AbsVal::Ptr(PtrVal {
+                base: PtrBase::Global(*g),
+                off: Interval::singleton(0),
+                null: Nullness::NonNull,
+            }),
+            ExprKind::Load(addr) => {
+                let size = self.size_of(&e.ty);
+                let av = self.eval(addr);
+                self.access(addr, &av, size, "load");
+                AbsVal::Any
+            }
+            ExprKind::Binary { op, lhs, rhs } => self.eval_binary(e, *op, lhs, rhs),
+            ExprKind::Cmp { op, lhs, rhs } => {
+                let a = self.eval(lhs);
+                let b = self.eval(rhs);
+                self.eval_cmp(*op, &a, &b)
+            }
+            ExprKind::Unary { op, expr } => {
+                let v = self.eval(expr);
+                match (op, v, e.ty.element_scalar()) {
+                    (UnKind::Neg, AbsVal::Int(iv), Some(s)) if s.is_integer() => {
+                        AbsVal::Int((-iv).wrap_to(s))
+                    }
+                    (UnKind::Not, AbsVal::Int(iv), _) if e.ty == Ty::BOOL => {
+                        AbsVal::Int(Interval::new(1 - iv.hi.clamp(0, 1), 1 - iv.lo.clamp(0, 1)))
+                    }
+                    _ => AbsVal::Any,
+                }
+            }
+            ExprKind::Cast(inner) => {
+                let v = self.eval(inner);
+                self.eval_cast(&e.ty, &inner.ty, v)
+            }
+            ExprKind::Call { callee, args } => self.eval_call(callee, args),
+            ExprKind::Select {
+                cond,
+                then_value,
+                else_value,
+            } => {
+                let c = self.eval(cond);
+                let t = self.eval(then_value);
+                let f = self.eval(else_value);
+                if self.definitely_true(&c) {
+                    t
+                } else if self.definitely_false(&c) {
+                    f
+                } else {
+                    join_absval(&t, &f)
+                }
+            }
+        }
+    }
+
+    fn eval_binary(&mut self, e: &IrExpr, op: BinKind, lhs: &IrExpr, rhs: &IrExpr) -> AbsVal {
+        let a = self.eval(lhs);
+        let b = self.eval(rhs);
+        // Pointer arithmetic: offsets are in bytes at IR level.
+        if e.ty.is_pointer() {
+            if let (AbsVal::Ptr(p), AbsVal::Int(k)) = (&a, &b) {
+                let off = match op {
+                    BinKind::Add => p.off + *k,
+                    BinKind::Sub => p.off - *k,
+                    _ => Interval::top(),
+                };
+                return AbsVal::Ptr(PtrVal {
+                    base: p.base.clone(),
+                    off,
+                    null: p.null,
+                });
+            }
+            return AbsVal::Ptr(PtrVal::unknown());
+        }
+        let Some(s) = e.ty.element_scalar() else {
+            return AbsVal::Any;
+        };
+        if e.ty == Ty::BOOL {
+            return match (op, &a, &b) {
+                (BinKind::And, AbsVal::Int(x), AbsVal::Int(y)) => {
+                    AbsVal::Int(Interval::new(x.lo.min(y.lo).clamp(0, 1), x.hi.min(y.hi)))
+                }
+                (BinKind::Or, AbsVal::Int(x), AbsVal::Int(y)) => {
+                    AbsVal::Int(Interval::new(x.lo.max(y.lo), x.hi.max(y.hi).clamp(0, 1)))
+                }
+                _ => AbsVal::Int(Interval::new(0, 1)),
+            };
+        }
+        if !s.is_integer() || !matches!(e.ty, Ty::Scalar(_)) {
+            return AbsVal::Any;
+        }
+        let (AbsVal::Int(x), AbsVal::Int(y)) = (&a, &b) else {
+            return AbsVal::Int(Interval::full_for(s));
+        };
+        let (x, y) = (*x, *y);
+        match op {
+            BinKind::Add | BinKind::Sub | BinKind::Mul => {
+                let raw = match op {
+                    BinKind::Add => x + y,
+                    BinKind::Sub => x - y,
+                    _ => x * y,
+                };
+                if s.is_signed() && raw.always_overflows(s) {
+                    let sym = match op {
+                        BinKind::Add => "+",
+                        BinKind::Sub => "-",
+                        _ => "*",
+                    };
+                    let full = Interval::full_for(s);
+                    self.warn(
+                        "guaranteed-overflow",
+                        format!(
+                            "'{sym}' on {} overflows on every execution: result in \
+                             [{}, {}] but the representable range is [{}, {}]",
+                            e.ty, raw.lo, raw.hi, full.lo, full.hi
+                        ),
+                    );
+                }
+                AbsVal::Int(raw.wrap_to(s))
+            }
+            BinKind::Div | BinKind::Rem => {
+                if y.lo == 0 && y.hi == 0 {
+                    let sym = if op == BinKind::Div { "/" } else { "%" };
+                    self.warn(
+                        "div-by-zero",
+                        format!("right operand of '{sym}' is zero on every execution"),
+                    );
+                }
+                let raw = if op == BinKind::Div { x / y } else { x % y };
+                AbsVal::Int(raw.wrap_to(s))
+            }
+            BinKind::Min => AbsVal::Int(Interval::new(x.lo.min(y.lo), x.hi.min(y.hi))),
+            BinKind::Max => AbsVal::Int(Interval::new(x.lo.max(y.lo), x.hi.max(y.hi))),
+            BinKind::And if x.lo >= 0 && y.lo >= 0 => AbsVal::Int(Interval::new(0, x.hi.min(y.hi))),
+            BinKind::Shr if x.lo >= 0 => match y.as_singleton() {
+                Some(k) if (0..64).contains(&k) => AbsVal::Int(Interval::new(x.lo >> k, x.hi >> k)),
+                _ => AbsVal::Int(Interval::new(0, x.hi)),
+            },
+            // Left shift of a non-negative value by a known amount is a
+            // multiply — simplify strength-reduces `i * 2^k` into this, so
+            // address math depends on it.
+            BinKind::Shl if x.lo >= 0 => match y.as_singleton() {
+                Some(k) if (0..64).contains(&k) => {
+                    let m = 1i128 << k;
+                    match (x.lo.checked_mul(m), x.hi.checked_mul(m)) {
+                        (Some(lo), Some(hi)) => AbsVal::Int(Interval::new(lo, hi).wrap_to(s)),
+                        _ => AbsVal::Int(Interval::full_for(s)),
+                    }
+                }
+                _ => AbsVal::Int(Interval::full_for(s)),
+            },
+            _ => AbsVal::Int(Interval::full_for(s)),
+        }
+    }
+
+    fn eval_cmp(&self, op: CmpKind, a: &AbsVal, b: &AbsVal) -> AbsVal {
+        let bool_iv = |lo: i128, hi: i128| AbsVal::Int(Interval::new(lo, hi));
+        if let (AbsVal::Int(x), AbsVal::Int(y)) = (a, b) {
+            let (t, f) = match op {
+                CmpKind::Eq => (x.as_singleton().is_some() && *x == *y, x.meet(*y).is_none()),
+                CmpKind::Ne => (x.meet(*y).is_none(), x.as_singleton().is_some() && *x == *y),
+                CmpKind::Lt => (x.hi < y.lo, x.lo >= y.hi),
+                CmpKind::Le => (x.hi <= y.lo, x.lo > y.hi),
+                CmpKind::Gt => (x.lo > y.hi, x.hi <= y.lo),
+                CmpKind::Ge => (x.lo >= y.hi, x.hi < y.lo),
+            };
+            if t {
+                return bool_iv(1, 1);
+            }
+            if f {
+                return bool_iv(0, 0);
+            }
+        }
+        // Pointer-vs-null comparisons with definite nullness.
+        if let (AbsVal::Ptr(p), AbsVal::Ptr(q)) = (a, b) {
+            let decided = match (p.null, q.null) {
+                (Nullness::Null, Nullness::Null) => Some(true),
+                (Nullness::Null, Nullness::NonNull) | (Nullness::NonNull, Nullness::Null) => {
+                    Some(false)
+                }
+                _ => None,
+            };
+            if let Some(eq) = decided {
+                let v = match op {
+                    CmpKind::Eq => eq,
+                    CmpKind::Ne => !eq,
+                    _ => return bool_iv(0, 1),
+                };
+                return bool_iv(v as i128, v as i128);
+            }
+        }
+        bool_iv(0, 1)
+    }
+
+    fn eval_cast(&self, to: &Ty, from: &Ty, v: AbsVal) -> AbsVal {
+        match (to, from, v) {
+            // Pointer-to-pointer casts preserve the object fact.
+            (Ty::Ptr(_), Ty::Ptr(_), v @ AbsVal::Ptr(_)) => v,
+            // Integer-to-pointer: 0 is null, a provably nonzero value is a
+            // non-null pointer to who-knows-what.
+            (Ty::Ptr(_), _, AbsVal::Int(iv)) => {
+                let null = if iv.lo == 0 && iv.hi == 0 {
+                    Nullness::Null
+                } else if !iv.contains(0) {
+                    Nullness::NonNull
+                } else {
+                    Nullness::Maybe
+                };
+                AbsVal::Ptr(PtrVal {
+                    base: PtrBase::Unknown,
+                    off: Interval::top(),
+                    null,
+                })
+            }
+            (Ty::Scalar(s), _, AbsVal::Int(iv)) if s.is_integer() => AbsVal::Int(iv.wrap_to(*s)),
+            (Ty::Scalar(ScalarTy::Bool), _, AbsVal::Int(iv)) => {
+                if iv.lo == 0 && iv.hi == 0 {
+                    AbsVal::Int(Interval::singleton(0))
+                } else if !iv.contains(0) {
+                    AbsVal::Int(Interval::singleton(1))
+                } else {
+                    AbsVal::Int(Interval::new(0, 1))
+                }
+            }
+            _ => AbsVal::Any,
+        }
+    }
+
+    fn eval_call(&mut self, callee: &Callee, args: &[IrExpr]) -> AbsVal {
+        let argv: Vec<AbsVal> = args.iter().map(|a| self.eval(a)).collect();
+        match callee {
+            Callee::Builtin(b) => match b {
+                Builtin::Malloc => {
+                    let size = match argv.first() {
+                        Some(AbsVal::Int(iv)) => iv.as_singleton().filter(|k| *k >= 0),
+                        _ => None,
+                    };
+                    // The VM's malloc grows linear memory as needed and
+                    // always returns a non-null payload pointer.
+                    AbsVal::Ptr(match size {
+                        Some(k) => PtrVal {
+                            base: PtrBase::Alloc { size: k as u64 },
+                            off: Interval::singleton(0),
+                            null: Nullness::NonNull,
+                        },
+                        None => PtrVal {
+                            base: PtrBase::Unknown,
+                            off: Interval::singleton(0),
+                            null: Nullness::NonNull,
+                        },
+                    })
+                }
+                Builtin::Realloc => AbsVal::Ptr(PtrVal {
+                    base: PtrBase::Unknown,
+                    off: Interval::singleton(0),
+                    null: Nullness::NonNull,
+                }),
+                Builtin::Rand => AbsVal::Int(Interval::full_for(ScalarTy::I32)),
+                _ => AbsVal::Any,
+            },
+            Callee::Direct(id) => {
+                let sum = self.sums.and_then(|s| s.map.get(id)).cloned();
+                if let Some(sum) = &sum {
+                    self.check_call_demand(sum, &argv);
+                }
+                sum.and_then(|s| s.ret).unwrap_or(AbsVal::Any)
+            }
+            Callee::Indirect(p) => {
+                self.eval(p);
+                AbsVal::Any
+            }
+        }
+    }
+
+    /// Caller-side lint: the callee unconditionally accesses bytes of a
+    /// pointer argument beyond what the passed object has, or the argument
+    /// is provably null.
+    fn check_call_demand(&mut self, sum: &FnSummary, argv: &[AbsVal]) {
+        for (i, need) in sum.demand.iter().enumerate() {
+            let Some(need) = need else { continue };
+            let Some(AbsVal::Ptr(p)) = argv.get(i) else {
+                continue;
+            };
+            if p.null == Nullness::Null {
+                self.warn(
+                    "null-deref",
+                    format!(
+                        "argument {} is null on every execution, but the callee \
+                         always dereferences it",
+                        i + 1
+                    ),
+                );
+                continue;
+            }
+            if let (Some(obj), Some(k)) = (self.base_size(&p.base), p.off.as_singleton()) {
+                if k >= 0 && (k as u64).saturating_add(*need) > obj {
+                    self.warn(
+                        "definite-oob",
+                        format!(
+                            "callee always accesses {} byte(s) of argument {}, \
+                             which only has {} byte(s)",
+                            need,
+                            i + 1,
+                            obj.saturating_sub(k as u64)
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Access classification.
+    // -----------------------------------------------------------------
+
+    fn base_size(&self, base: &PtrBase) -> Option<u64> {
+        match base {
+            PtrBase::Local(l) => {
+                let slot = self.f.locals.get(l.0 as usize)?;
+                if !slot.in_memory {
+                    return None;
+                }
+                self.size_of(&slot.ty)
+            }
+            PtrBase::Global(g) => match self.env.global_ty(*g) {
+                EnvEntry::Known(ty) => self.size_of(&ty),
+                _ => None,
+            },
+            PtrBase::Alloc { size } => Some(*size),
+            PtrBase::Param(_) | PtrBase::Unknown => None,
+        }
+    }
+
+    fn base_desc(&self, base: &PtrBase) -> String {
+        match base {
+            PtrBase::Local(l) => format!("'{}'", self.f.locals[l.0 as usize].name),
+            PtrBase::Global(g) => format!("global#{}", g.0),
+            PtrBase::Alloc { size } => format!("a {size}-byte heap allocation"),
+            PtrBase::Param(i) => format!("parameter {}", i + 1),
+            PtrBase::Unknown => "an unknown object".into(),
+        }
+    }
+
+    fn classify(&self, av: &AbsVal, size: u64) -> Verdict {
+        let AbsVal::Ptr(p) = av else {
+            return Verdict::Unknown {
+                reason: "address value unknown at stage time".into(),
+            };
+        };
+        if p.null == Nullness::Null {
+            return Verdict::DefiniteNull;
+        }
+        match self.base_size(&p.base) {
+            Some(obj) => {
+                let size = size as i128;
+                let obj_i = obj as i128;
+                if p.off.lo >= 0 && p.off.hi + size <= obj_i {
+                    Verdict::Proven
+                } else if p.off.hi < 0 || p.off.lo > obj_i - size {
+                    let off = if p.off.lo == p.off.hi {
+                        format!("{}", p.off.lo)
+                    } else {
+                        format!("{}..={}", p.off.lo, p.off.hi)
+                    };
+                    Verdict::DefiniteOob {
+                        detail: format!(
+                            "at offset {off} of {}, which is {obj} byte(s)",
+                            self.base_desc(&p.base)
+                        ),
+                    }
+                } else {
+                    Verdict::Unknown {
+                        reason: format!(
+                            "offset range [{}, {}] not provably within the {obj}-byte \
+                             object",
+                            p.off.lo, p.off.hi
+                        ),
+                    }
+                }
+            }
+            None => Verdict::Unknown {
+                reason: match p.base {
+                    PtrBase::Param(_) => "points into caller-owned memory of unknown size".into(),
+                    _ => "target allocation unknown at stage time".into(),
+                },
+            },
+        }
+    }
+
+    fn access(&mut self, addr: &IrExpr, av: &AbsVal, size: Option<u64>, what: &'static str) {
+        // Summary demand: unconditional constant-offset accesses through a
+        // pointer parameter.
+        if let (Mode::Summary, AbsVal::Ptr(p), Some(size)) = (&self.mode, av, size) {
+            if let (PtrBase::Param(i), Some(k), 0) = (&p.base, p.off.as_singleton(), self.depth) {
+                if k >= 0 {
+                    let end = (k as u64).saturating_add(size);
+                    let slot = &mut self.demand[*i];
+                    *slot = Some(slot.unwrap_or(0).max(end));
+                }
+            }
+        }
+        let Some(size) = size else { return };
+        match self.classify(av, size) {
+            Verdict::Proven => {
+                if let Mode::Elide(_) = self.mode {
+                    self.pending.push(addr.clone());
+                    let (line, prov) = (self.cur_span.line, self.cur_prov.clone());
+                    if let Mode::Elide(remarks) = &mut self.mode {
+                        let msg = match av {
+                            AbsVal::Ptr(p) => format!(
+                                "bounds check elided: {what} of {size} byte(s) proven \
+                                 within {}",
+                                match &p.base {
+                                    PtrBase::Local(l) =>
+                                        format!("'{}'", self.f.locals[l.0 as usize].name),
+                                    PtrBase::Global(g) => format!("global#{}", g.0),
+                                    PtrBase::Alloc { size } =>
+                                        format!("a {size}-byte heap allocation"),
+                                    _ => "its object".into(),
+                                }
+                            ),
+                            _ => format!("bounds check elided: {what} of {size} byte(s)"),
+                        };
+                        remarks.push(Remark::applied("checkelim", line, prov, msg));
+                    }
+                }
+            }
+            Verdict::DefiniteNull => {
+                self.warn(
+                    "null-deref",
+                    format!("{what} through a pointer that is null on every execution"),
+                );
+            }
+            Verdict::DefiniteOob { detail } => {
+                self.warn(
+                    "definite-oob",
+                    format!(
+                        "{what} of {size} byte(s) {detail} — out of bounds on every \
+                             execution that reaches it"
+                    ),
+                );
+            }
+            Verdict::Unknown { reason } => {
+                if self.loop_depth > 0 {
+                    let (line, prov) = (self.cur_span.line, self.cur_prov.clone());
+                    if let Mode::Elide(remarks) = &mut self.mode {
+                        remarks.push(Remark::missed(
+                            "checkelim",
+                            line,
+                            prov,
+                            format!("{what} kept checked: {reason}"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn negate_cmp(op: CmpKind) -> CmpKind {
+    match op {
+        CmpKind::Eq => CmpKind::Ne,
+        CmpKind::Ne => CmpKind::Eq,
+        CmpKind::Lt => CmpKind::Ge,
+        CmpKind::Le => CmpKind::Gt,
+        CmpKind::Gt => CmpKind::Le,
+        CmpKind::Ge => CmpKind::Lt,
+    }
+}
+
+fn mirror_cmp(op: CmpKind) -> CmpKind {
+    match op {
+        CmpKind::Eq => CmpKind::Eq,
+        CmpKind::Ne => CmpKind::Ne,
+        CmpKind::Lt => CmpKind::Gt,
+        CmpKind::Le => CmpKind::Ge,
+        CmpKind::Gt => CmpKind::Lt,
+        CmpKind::Ge => CmpKind::Le,
+    }
+}

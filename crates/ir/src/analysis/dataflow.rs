@@ -690,4 +690,120 @@ mod tests {
         .into()];
         assert!(!codes(&f).contains(&"missing-return"), "{:?}", codes(&f));
     }
+
+    // -- BitSet ------------------------------------------------------------
+
+    use super::BitSet;
+    use crate::ir::LocalId;
+
+    #[test]
+    fn bitset_insert_remove_round_trip_at_word_boundaries() {
+        // 63/64/65 exercise the last-bit-of-a-word, exact-multiple, and
+        // one-past-a-word-boundary layouts.
+        for n in [1usize, 63, 64, 65, 130] {
+            let mut s = BitSet::new(n);
+            for i in 0..n {
+                assert!(!s.contains(LocalId(i as u32)), "n={n} fresh bit {i} set");
+                s.insert(LocalId(i as u32));
+                assert!(s.contains(LocalId(i as u32)), "n={n} bit {i} lost");
+            }
+            for i in 0..n {
+                s.remove(LocalId(i as u32));
+                assert!(!s.contains(LocalId(i as u32)), "n={n} bit {i} survived");
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_full_holds_exactly_the_first_n_ids() {
+        for n in [0usize, 63, 64, 65] {
+            let s = BitSet::full(n);
+            for i in 0..n {
+                assert!(s.contains(LocalId(i as u32)), "n={n} missing {i}");
+            }
+            assert!(!s.contains(LocalId(n as u32)), "n={n} contains {n}");
+        }
+    }
+
+    #[test]
+    fn bitset_out_of_range_ops_are_noops() {
+        let mut s = BitSet::new(64);
+        s.insert(LocalId(64));
+        s.insert(LocalId(1000));
+        assert!(!s.contains(LocalId(64)));
+        assert!(!s.contains(LocalId(1000)));
+        s.remove(LocalId(1000)); // must not panic
+        assert_eq!(s.words.len(), 1, "out-of-range insert grew the set");
+    }
+
+    #[test]
+    fn bitset_union_is_bitwise_or() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(LocalId(3));
+        a.insert(LocalId(64));
+        b.insert(LocalId(64));
+        b.insert(LocalId(99));
+        a.union(&b);
+        for (i, want) in [(3u32, true), (64, true), (99, true), (0, false)] {
+            assert_eq!(a.contains(LocalId(i)), want, "bit {i}");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Model check against a HashSet: any interleaving of in-range
+        /// inserts and removes leaves exactly the model's members set.
+        #[test]
+        fn bitset_matches_hashset_model(
+            n in 1usize..=130,
+            ops in proptest::collection::vec((proptest::prelude::any::<bool>(), 0u32..130), 0..64),
+        ) {
+            // The guard is word-granular: ids up to the last allocated
+            // word round-trip; ids past it are dropped.
+            let cap = n.div_ceil(64) * 64;
+            let mut s = BitSet::new(n);
+            let mut model = std::collections::HashSet::new();
+            for (is_insert, id) in ops {
+                if is_insert {
+                    s.insert(LocalId(id));
+                    if (id as usize) < cap {
+                        model.insert(id);
+                    }
+                } else {
+                    s.remove(LocalId(id));
+                    model.remove(&id);
+                }
+                for probe in 0..130u32 {
+                    let want = model.contains(&probe);
+                    proptest::prop_assert_eq!(s.contains(LocalId(probe)), want);
+                }
+            }
+        }
+
+        /// Union agrees with the set-theoretic union of two models.
+        #[test]
+        fn bitset_union_matches_model(
+            n in 1usize..=130,
+            xs in proptest::collection::vec(0u32..130, 0..32),
+            ys in proptest::collection::vec(0u32..130, 0..32),
+        ) {
+            let mut a = BitSet::new(n);
+            let mut b = BitSet::new(n);
+            for &x in &xs {
+                a.insert(LocalId(x));
+            }
+            for &y in &ys {
+                b.insert(LocalId(y));
+            }
+            a.union(&b);
+            let cap = n.div_ceil(64) * 64;
+            for probe in 0..130u32 {
+                let want = (probe as usize) < cap
+                    && (xs.contains(&probe) || ys.contains(&probe));
+                proptest::prop_assert_eq!(a.contains(LocalId(probe)), want);
+            }
+        }
+    }
 }

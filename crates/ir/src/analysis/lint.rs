@@ -7,15 +7,21 @@
 //! object, and vector loads/stores whose constant offset breaks element
 //! alignment.
 
-use super::{diag, Diagnostic, Severity};
-use crate::ir::{BinKind, ExprKind, IrExpr, IrFunction, IrStmt, LocalId, StmtKind};
+use super::{diag, Diagnostic, EnvEntry, ModuleEnv, Severity};
+use crate::ir::{BinKind, ExprKind, GlobalId, IrExpr, IrFunction, IrStmt, LocalId, StmtKind};
 use crate::types::{Ty, TypeRegistry};
 use terra_syntax::Span;
 
-pub(super) fn run(f: &IrFunction, types: &TypeRegistry, diags: &mut Vec<Diagnostic>) {
+pub(super) fn run(
+    f: &IrFunction,
+    types: &TypeRegistry,
+    env: &dyn ModuleEnv,
+    diags: &mut Vec<Diagnostic>,
+) {
     let mut l = Linter {
         f,
         types,
+        env,
         diags,
         span: Span::synthetic(),
     };
@@ -25,6 +31,7 @@ pub(super) fn run(f: &IrFunction, types: &TypeRegistry, diags: &mut Vec<Diagnost
 struct Linter<'a> {
     f: &'a IrFunction,
     types: &'a TypeRegistry,
+    env: &'a dyn ModuleEnv,
     diags: &'a mut Vec<Diagnostic>,
     span: Span,
 }
@@ -32,7 +39,7 @@ struct Linter<'a> {
 /// Base object of a constant-offset address chain.
 enum Base {
     Local(LocalId),
-    Global,
+    Global(GlobalId),
 }
 
 /// Peels `base + c1 + c2 + …` (and pointer casts) down to an address base,
@@ -41,7 +48,7 @@ enum Base {
 fn peel(e: &IrExpr) -> Option<(Base, i64)> {
     match &e.kind {
         ExprKind::LocalAddr(l) => Some((Base::Local(*l), 0)),
-        ExprKind::GlobalAddr(_) => Some((Base::Global, 0)),
+        ExprKind::GlobalAddr(g) => Some((Base::Global(*g), 0)),
         ExprKind::Binary {
             op: BinKind::Add,
             lhs,
@@ -194,9 +201,12 @@ impl Linter<'_> {
                 };
                 (slot.ty.clone(), slot.name.clone())
             }
-            // Global object types aren't threaded into the linter; their
-            // accesses are checked dynamically by the sanitizer instead.
-            Base::Global => return,
+            Base::Global(g) => match self.env.global_ty(g) {
+                EnvEntry::Known(ty) => (ty, format!("global#{}", g.0).into()),
+                // Unknown global types fall back to the sanitizer's
+                // dynamic checks.
+                EnvEntry::Opaque | EnvEntry::Invalid => return,
+            },
         };
         let Some(obj_size) = self.size_of(&obj_ty) else {
             return;
@@ -215,8 +225,8 @@ impl Linter<'_> {
 
 #[cfg(test)]
 mod tests {
-    use super::super::{analyze_function, NoEnv};
-    use crate::ir::{BinKind, ExprKind, IrExpr, IrFunction, StmtKind};
+    use super::super::{analyze_function, EnvEntry, ModuleEnv, NoEnv};
+    use crate::ir::{BinKind, ExprKind, GlobalId, IrExpr, IrFunction, StmtKind};
     use crate::types::{FuncTy, ScalarTy, Ty, TypeRegistry};
     use std::rc::Rc;
 
@@ -300,6 +310,78 @@ mod tests {
             StmtKind::Return(None).into(),
         ];
         assert!(codes(&f, &reg).is_empty(), "{:?}", codes(&f, &reg));
+    }
+
+    /// Env that knows one global: id 0 is an `int[4]`.
+    struct OneGlobal;
+
+    impl ModuleEnv for OneGlobal {
+        fn global_ty(&self, id: GlobalId) -> EnvEntry<Ty> {
+            if id.0 == 0 {
+                EnvEntry::Known(Ty::Array(Rc::new(Ty::INT), 4))
+            } else {
+                EnvEntry::Invalid
+            }
+        }
+    }
+
+    fn global_load_at(elem: Ty, byte_off: i64) -> IrExpr {
+        let addr = IrExpr {
+            ty: elem.clone().ptr_to(),
+            kind: ExprKind::Binary {
+                op: BinKind::Add,
+                lhs: Box::new(IrExpr {
+                    ty: elem.clone().ptr_to(),
+                    kind: ExprKind::GlobalAddr(GlobalId(0)),
+                }),
+                rhs: Box::new(IrExpr::int64(byte_off)),
+            },
+        };
+        IrExpr {
+            ty: elem,
+            kind: ExprKind::Load(Box::new(addr)),
+        }
+    }
+
+    #[test]
+    fn flags_constant_oob_global_access() {
+        let reg = TypeRegistry::new();
+        let (mut f, _) = array_fn(Ty::INT, 4);
+        // global[5] → byte offset 20 of a 16-byte global array.
+        f.body = vec![
+            StmtKind::Expr(global_load_at(Ty::INT, 20)).into(),
+            StmtKind::Return(None).into(),
+        ];
+        let codes: Vec<_> = analyze_function(&f, Some(&reg), &OneGlobal)
+            .into_iter()
+            .map(|d| d.code)
+            .collect();
+        assert!(codes.contains(&"out-of-bounds"), "{codes:?}");
+    }
+
+    #[test]
+    fn in_bounds_global_access_is_clean() {
+        let reg = TypeRegistry::new();
+        let (mut f, _) = array_fn(Ty::INT, 4);
+        f.body = vec![
+            StmtKind::Expr(global_load_at(Ty::INT, 12)).into(),
+            StmtKind::Return(None).into(),
+        ];
+        let diags = analyze_function(&f, Some(&reg), &OneGlobal);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unknown_global_type_stays_silent() {
+        // With NoEnv the same OOB access cannot be checked statically.
+        let reg = TypeRegistry::new();
+        let (mut f, _) = array_fn(Ty::INT, 4);
+        f.body = vec![
+            StmtKind::Expr(global_load_at(Ty::INT, 20)).into(),
+            StmtKind::Return(None).into(),
+        ];
+        let diags = analyze_function(&f, Some(&reg), &NoEnv);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

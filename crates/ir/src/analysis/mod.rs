@@ -16,14 +16,18 @@
 //! run in contexts (like the constant folder's self-check) that don't have
 //! the whole program at hand.
 
+pub(crate) mod absint;
 mod dataflow;
 mod lint;
+pub mod range;
 mod verify;
 
 use crate::ir::{FuncId, GlobalId, IrFunction};
 use crate::types::{FuncTy, Ty, TypeRegistry};
 use std::rc::Rc;
-use terra_syntax::Span;
+use terra_syntax::{Provenance, Span};
+
+pub use absint::{summarize, Summaries};
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +61,10 @@ pub struct Diagnostic {
     pub span: Span,
     /// Name of the function the finding is in.
     pub function: Rc<str>,
+    /// Staging chain of the offending statement, when it was produced by a
+    /// `quote` splice or macro (`None` for code written inline). Rendering
+    /// without a chain is byte-identical to the pre-provenance format.
+    pub prov: Option<Provenance>,
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -68,6 +76,9 @@ impl std::fmt::Display for Diagnostic {
         )?;
         if self.span.line > 0 {
             write!(f, ", line {}", self.span.line)?;
+        }
+        if let Some(p) = &self.prov {
+            write!(f, ", generated {}", p.describe())?;
         }
         f.write_str(")")
     }
@@ -134,14 +145,27 @@ pub fn analyze_function(
     types: Option<&TypeRegistry>,
     env: &dyn ModuleEnv,
 ) -> Vec<Diagnostic> {
+    analyze_function_with(f, types, env, None)
+}
+
+/// [`analyze_function`] plus interprocedural context: when `sums` is
+/// available the abstract interpreter refines call returns through it and
+/// checks call sites against callee access demands.
+pub fn analyze_function_with(
+    f: &IrFunction,
+    types: Option<&TypeRegistry>,
+    env: &dyn ModuleEnv,
+    sums: Option<&Summaries>,
+) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     verify::run(f, types, env, &mut diags);
     if diags.is_empty() {
         // Dataflow and lints assume type-consistent IR.
         dataflow::run(f, &mut diags);
         if let Some(reg) = types {
-            lint::run(f, reg, &mut diags);
+            lint::run(f, reg, env, &mut diags);
         }
+        absint::lint(f, types, env, sums, &mut diags);
     }
     diags.sort_by_key(|d| match d.severity {
         Severity::Error => 0,
@@ -163,5 +187,6 @@ pub(crate) fn diag(
         message,
         span,
         function: f.name.clone(),
+        prov: None,
     }
 }

@@ -1,0 +1,342 @@
+//! The value lattices behind the abstract interpreter: integer intervals
+//! with machine-arithmetic wrapping, and a three-point nullness domain.
+//!
+//! Intervals are inclusive `[lo, hi]` pairs carried in `i128` so that every
+//! 64-bit machine value — signed or unsigned — is representable exactly and
+//! ordinary arithmetic on bounds cannot overflow for single operations
+//! (products of 64-bit values are clamped with saturating math, which only
+//! ever *widens* an interval and is therefore sound). There is no explicit
+//! bottom element: unreachable state is handled structurally by the
+//! interpreter (it stops walking dead branches), so every `Interval` is
+//! non-empty (`lo <= hi`).
+
+use crate::types::ScalarTy;
+
+/// An inclusive integer interval `[lo, hi]` with `lo <= hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest possible value.
+    pub lo: i128,
+    /// Largest possible value.
+    pub hi: i128,
+}
+
+impl Interval {
+    /// `[lo, hi]`; swaps the endpoints if given in the wrong order.
+    pub fn new(lo: i128, hi: i128) -> Interval {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// The single value `v`.
+    pub fn singleton(v: i128) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The exact representable range of integer type `ty`.
+    pub fn full_for(ty: ScalarTy) -> Interval {
+        let bits = (ty.size() * 8) as u32;
+        if ty.is_signed() {
+            Interval {
+                lo: -(1i128 << (bits - 1)),
+                hi: (1i128 << (bits - 1)) - 1,
+            }
+        } else {
+            Interval {
+                lo: 0,
+                hi: (1i128 << bits) - 1,
+            }
+        }
+    }
+
+    /// A range wide enough for any machine integer of any width: the
+    /// interpreter's "integer, value unknown" element.
+    pub fn top() -> Interval {
+        Interval {
+            lo: i64::MIN as i128,
+            hi: u64::MAX as i128,
+        }
+    }
+
+    /// Whether the interval is a single value; returns it.
+    pub fn as_singleton(self) -> Option<i128> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains(self, v: i128) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Least upper bound: the hull of both intervals.
+    pub fn join(self, o: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.max(o.hi),
+        }
+    }
+
+    /// Greatest lower bound, or `None` when the intervals are disjoint.
+    pub fn meet(self, o: Interval) -> Option<Interval> {
+        let lo = self.lo.max(o.lo);
+        let hi = self.hi.min(o.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Interval quotient. A divisor of zero traps at runtime, so only the
+    /// nonzero divisors contribute; the extrema of truncating division occur
+    /// at the divisor endpoints or at ±1 (smallest magnitude).
+    fn quotient(self, o: Interval) -> Interval {
+        let divisors: Vec<i128> = [o.lo, o.hi, -1, 1]
+            .into_iter()
+            .filter(|&b| b != 0 && o.contains(b))
+            .collect();
+        if divisors.is_empty() {
+            // Every execution traps; the result value is never observed.
+            return Interval::singleton(0);
+        }
+        let mut lo = i128::MAX;
+        let mut hi = i128::MIN;
+        for b in divisors {
+            for a in [self.lo, self.hi] {
+                let q = a.wrapping_div(b);
+                lo = lo.min(q);
+                hi = hi.max(q);
+            }
+        }
+        Interval { lo, hi }
+    }
+
+    /// Whether every value fits the representable range of `ty`.
+    pub fn fits(self, ty: ScalarTy) -> bool {
+        let r = Interval::full_for(ty);
+        self.lo >= r.lo && self.hi <= r.hi
+    }
+
+    /// Whether **no** value fits the representable range of `ty` — i.e. the
+    /// operation that produced this interval overflows on every execution.
+    pub fn always_overflows(self, ty: ScalarTy) -> bool {
+        Interval::full_for(ty).meet(self).is_none()
+    }
+
+    /// Reduces an unbounded arithmetic result to the values representable in
+    /// `ty` under two's-complement wrapping. A result already in range is
+    /// kept exact; a result whose width exceeds the type's span (or whose
+    /// wrapped endpoints cross the representable boundary) collapses to the
+    /// full type range.
+    pub fn wrap_to(self, ty: ScalarTy) -> Interval {
+        let full = Interval::full_for(ty);
+        if self.lo >= full.lo && self.hi <= full.hi {
+            return self;
+        }
+        let span = full.hi - full.lo + 1;
+        if self.hi.saturating_sub(self.lo) >= span {
+            return full;
+        }
+        let wrap = |v: i128| (v - full.lo).rem_euclid(span) + full.lo;
+        let (lo, hi) = (wrap(self.lo), wrap(self.hi));
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            full
+        }
+    }
+
+    /// Refines `self` assuming `self OP k` holds, where OP is given by
+    /// `(strict, less)`: `<`/`<=` when `less`, `>`/`>=` otherwise. Returns
+    /// `None` when the assumption is unsatisfiable.
+    pub fn assume_cmp(self, less: bool, strict: bool, k: Interval) -> Option<Interval> {
+        if less {
+            let bound = if strict { k.hi.saturating_sub(1) } else { k.hi };
+            self.meet(Interval::new(i128::MIN, bound))
+        } else {
+            let bound = if strict { k.lo.saturating_add(1) } else { k.lo };
+            self.meet(Interval::new(bound, i128::MAX))
+        }
+    }
+}
+
+/// Interval sum.
+impl std::ops::Add for Interval {
+    type Output = Interval;
+    fn add(self, o: Interval) -> Interval {
+        Interval {
+            lo: self.lo.saturating_add(o.lo),
+            hi: self.hi.saturating_add(o.hi),
+        }
+    }
+}
+
+/// Interval difference.
+impl std::ops::Sub for Interval {
+    type Output = Interval;
+    fn sub(self, o: Interval) -> Interval {
+        Interval {
+            lo: self.lo.saturating_sub(o.hi),
+            hi: self.hi.saturating_sub(o.lo),
+        }
+    }
+}
+
+/// Interval product (hull of the four corner products).
+impl std::ops::Mul for Interval {
+    type Output = Interval;
+    fn mul(self, o: Interval) -> Interval {
+        let c = [
+            self.lo.saturating_mul(o.lo),
+            self.lo.saturating_mul(o.hi),
+            self.hi.saturating_mul(o.lo),
+            self.hi.saturating_mul(o.hi),
+        ];
+        Interval {
+            lo: *c.iter().min().unwrap(),
+            hi: *c.iter().max().unwrap(),
+        }
+    }
+}
+
+/// Interval quotient — see [`Interval::quotient`] for the trap semantics.
+impl std::ops::Div for Interval {
+    type Output = Interval;
+    fn div(self, o: Interval) -> Interval {
+        self.quotient(o)
+    }
+}
+
+/// Interval remainder: bounded by the divisor's magnitude and the
+/// dividend's own range (truncating `%` never exceeds either).
+impl std::ops::Rem for Interval {
+    type Output = Interval;
+    fn rem(self, o: Interval) -> Interval {
+        let mag = o.lo.abs().max(o.hi.abs());
+        if mag == 0 {
+            return Interval::singleton(0);
+        }
+        let bound = mag - 1;
+        // Truncating `%` keeps the dividend's sign and never exceeds either
+        // operand's magnitude.
+        let lo = if self.lo < 0 {
+            (-bound).max(self.lo)
+        } else {
+            0
+        };
+        let hi = if self.hi > 0 { bound.min(self.hi) } else { 0 };
+        Interval { lo, hi }
+    }
+}
+
+/// Arithmetic negation.
+impl std::ops::Neg for Interval {
+    type Output = Interval;
+    fn neg(self) -> Interval {
+        Interval {
+            lo: self.hi.saturating_neg(),
+            hi: self.lo.saturating_neg(),
+        }
+    }
+}
+
+/// Three-point nullness lattice for pointer values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Nullness {
+    /// Definitely the null pointer.
+    Null,
+    /// Definitely not null.
+    NonNull,
+    /// Unknown.
+    Maybe,
+}
+
+impl Nullness {
+    /// Least upper bound.
+    pub fn join(self, o: Nullness) -> Nullness {
+        if self == o {
+            self
+        } else {
+            Nullness::Maybe
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_meet_basics() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 20);
+        assert_eq!(a.join(b), Interval::new(0, 20));
+        assert_eq!(a.meet(b), Some(Interval::new(5, 10)));
+        assert_eq!(a.meet(Interval::new(11, 12)), None);
+    }
+
+    #[test]
+    fn arithmetic_hulls() {
+        let a = Interval::new(-2, 3);
+        let b = Interval::new(4, 5);
+        assert_eq!(a + b, Interval::new(2, 8));
+        assert_eq!(a - b, Interval::new(-7, -1));
+        assert_eq!(a * b, Interval::new(-10, 15));
+        assert_eq!(-a, Interval::new(-3, 2));
+    }
+
+    #[test]
+    fn division_is_conservative() {
+        let a = Interval::new(10, 20);
+        let q = a / Interval::new(2, 5);
+        assert!(q.contains(2) && q.contains(10), "{q:?}");
+        // Remainder bounded by divisor magnitude.
+        let r = Interval::new(0, 100) % Interval::new(1, 7);
+        assert!(r.lo >= 0 && r.hi <= 6, "{r:?}");
+    }
+
+    #[test]
+    fn wrapping_keeps_in_range_values_exact() {
+        let v = Interval::new(0, 100);
+        assert_eq!(v.wrap_to(ScalarTy::I32), v);
+        // INT_MAX + 1 wraps to INT_MIN exactly.
+        let over = Interval::singleton(i32::MAX as i128 + 1);
+        assert_eq!(
+            over.wrap_to(ScalarTy::I32),
+            Interval::singleton(i32::MIN as i128)
+        );
+        assert!(over.always_overflows(ScalarTy::I32));
+        // A straddling interval collapses to the full range.
+        let wide = Interval::new(i32::MAX as i128 - 1, i32::MAX as i128 + 1);
+        assert_eq!(
+            wide.wrap_to(ScalarTy::I32),
+            Interval::full_for(ScalarTy::I32)
+        );
+        assert!(!wide.always_overflows(ScalarTy::I32));
+    }
+
+    #[test]
+    fn unsigned_ranges() {
+        let full = Interval::full_for(ScalarTy::U8);
+        assert_eq!((full.lo, full.hi), (0, 255));
+        assert_eq!(
+            Interval::singleton(-1).wrap_to(ScalarTy::U8),
+            Interval::singleton(255)
+        );
+    }
+
+    #[test]
+    fn comparison_refinement() {
+        let x = Interval::new(0, 100);
+        let n = Interval::singleton(10);
+        assert_eq!(x.assume_cmp(true, true, n), Some(Interval::new(0, 9)));
+        assert_eq!(x.assume_cmp(false, false, n), Some(Interval::new(10, 100)));
+        assert_eq!(Interval::new(50, 60).assume_cmp(true, true, n), None);
+    }
+
+    #[test]
+    fn nullness_join() {
+        assert_eq!(Nullness::Null.join(Nullness::Null), Nullness::Null);
+        assert_eq!(Nullness::Null.join(Nullness::NonNull), Nullness::Maybe);
+        assert_eq!(Nullness::NonNull.join(Nullness::NonNull), Nullness::NonNull);
+    }
+}

@@ -24,7 +24,8 @@ pub mod passes;
 mod types;
 
 pub use analysis::{
-    analyze_function, verify_function, Diagnostic, EnvEntry, ModuleEnv, NoEnv, Severity,
+    analyze_function, analyze_function_with, summarize, verify_function, Diagnostic, EnvEntry,
+    ModuleEnv, NoEnv, Severity, Summaries,
 };
 pub use display::dump_function;
 pub use ir::{

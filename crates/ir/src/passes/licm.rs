@@ -16,18 +16,28 @@
 //! cascade: an inner loop's hoisted assignment is itself a candidate when
 //! the enclosing loop is processed, so deeply nested address math migrates
 //! all the way out in a single pass.
+//!
+//! One exception to the no-loads rule: when the loop body performs no
+//! stores, memory copies, or calls (so memory cannot change between
+//! iterations) and the abstract interpreter proves the address in-bounds of
+//! a frame local (so the load cannot trap even when the loop runs zero
+//! times), an invariant load is hoisted like any other invariant value.
 
 use super::util::{collect_assigned, LocalSet};
-use super::Remark;
+use super::{PassConfig, Remark};
+use crate::analysis::absint::proven_const_access;
 use crate::ir::{ExprKind, IrExpr, IrFunction, IrStmt, LocalId, StmtKind};
+use crate::types::TypeRegistry;
 use terra_syntax::Span;
 
 /// Hoists loop-invariant computation out of every loop in the function.
-pub(crate) fn run(f: &mut IrFunction, remarks: &mut Vec<Remark>) {
+pub(crate) fn run(f: &mut IrFunction, cfg: &PassConfig, remarks: &mut Vec<Remark>) {
     let mut body = std::mem::take(&mut f.body);
     let mut licm = Licm {
         f,
+        types: cfg.types,
         counter: 0,
+        mem_pure: false,
         remarks,
     };
     licm.block(&mut body);
@@ -36,7 +46,11 @@ pub(crate) fn run(f: &mut IrFunction, remarks: &mut Vec<Remark>) {
 
 struct Licm<'a> {
     f: &'a mut IrFunction,
+    types: Option<&'a TypeRegistry>,
     counter: usize,
+    /// Whether the loop currently being hoisted from cannot change memory
+    /// (no stores, memory copies, or calls anywhere inside it).
+    mem_pure: bool,
     remarks: &'a mut Vec<Remark>,
 }
 
@@ -83,12 +97,14 @@ impl Licm<'_> {
         let mut hoisted: Vec<(IrExpr, LocalId)> = Vec::new();
         match &mut s.kind {
             StmtKind::While { cond, body } => {
+                self.mem_pure = block_is_memory_pure(body) && !expr_has_call(cond);
                 // The condition re-evaluates every iteration: its invariant
                 // parts are worth hoisting too.
                 self.scan_expr(cond, &writes, &mut hoisted);
                 self.scan_block(body, &writes, &mut hoisted);
             }
             StmtKind::For { body, .. } => {
+                self.mem_pure = block_is_memory_pure(body);
                 // start/stop/step evaluate once already; only the body pays
                 // per iteration.
                 self.scan_block(body, &writes, &mut hoisted);
@@ -98,14 +114,16 @@ impl Licm<'_> {
         hoisted
             .into_iter()
             .map(|(value, dst)| {
+                let what = if matches!(value.kind, ExprKind::Load(_)) {
+                    "hoisted loop-invariant load (proven in-bounds) into"
+                } else {
+                    "hoisted loop-invariant expression into"
+                };
                 self.remarks.push(Remark::applied(
                     "licm",
                     s.span.line,
                     s.prov.clone(),
-                    format!(
-                        "hoisted loop-invariant expression into '{}'",
-                        self.f.locals[dst.0 as usize].name
-                    ),
+                    format!("{} '{}'", what, self.f.locals[dst.0 as usize].name),
                 ));
                 let mut prelude =
                     IrStmt::synthesized(Span::synthetic(), StmtKind::Assign { dst, value });
@@ -189,8 +207,19 @@ impl Licm<'_> {
     }
 
     /// A hoist candidate is a compound register-valued expression that is
-    /// stable and mentions no local the loop writes.
+    /// stable and mentions no local the loop writes — or, when the loop
+    /// cannot change memory, an invariant load whose address is proven
+    /// in-bounds of a frame local (so it cannot trap on a zero-trip loop).
     fn hoistable(&self, e: &IrExpr, writes: &LocalSet) -> bool {
+        if let ExprKind::Load(addr) = &e.kind {
+            return self.mem_pure
+                && e.ty.is_register()
+                && self.invariant(addr, writes)
+                && addr_bases_unwritten(addr, writes)
+                && self.types.is_some_and(|reg| {
+                    proven_const_access(addr, &self.f.locals, reg, e.ty.size(reg))
+                });
+        }
         let compound = matches!(
             e.kind,
             ExprKind::Binary { .. }
@@ -214,6 +243,63 @@ impl Licm<'_> {
         super::util::each_child(e, &mut |c| ok &= self.invariant(c, writes));
         ok
     }
+}
+
+/// No statement in the block (or any nested block) can change memory: no
+/// stores, no memory copies, and no calls anywhere, including in expression
+/// position.
+fn block_is_memory_pure(stmts: &[IrStmt]) -> bool {
+    stmts.iter().all(|s| match &s.kind {
+        StmtKind::Store { .. } | StmtKind::CopyMem { .. } => false,
+        StmtKind::Assign { value, .. } => !expr_has_call(value),
+        StmtKind::Expr(e) => !expr_has_call(e),
+        StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            !expr_has_call(cond)
+                && block_is_memory_pure(then_body)
+                && block_is_memory_pure(else_body)
+        }
+        StmtKind::While { cond, body } => !expr_has_call(cond) && block_is_memory_pure(body),
+        StmtKind::For {
+            start,
+            stop,
+            step,
+            body,
+            ..
+        } => {
+            !expr_has_call(start)
+                && !expr_has_call(stop)
+                && !expr_has_call(step)
+                && block_is_memory_pure(body)
+        }
+        StmtKind::Return(Some(e)) => !expr_has_call(e),
+        StmtKind::Return(None) | StmtKind::Break => true,
+    })
+}
+
+fn expr_has_call(e: &IrExpr) -> bool {
+    if matches!(e.kind, ExprKind::Call { .. }) {
+        return true;
+    }
+    let mut found = false;
+    super::util::each_child(e, &mut |c| found |= expr_has_call(c));
+    found
+}
+
+/// Every frame local whose address feeds `addr` is unwritten by the loop
+/// (wholesale reassignment of the local would change what the load sees).
+fn addr_bases_unwritten(addr: &IrExpr, writes: &LocalSet) -> bool {
+    if let ExprKind::LocalAddr(l) = addr.kind {
+        if writes.contains(l) {
+            return false;
+        }
+    }
+    let mut ok = true;
+    super::util::each_child(addr, &mut |c| ok &= addr_bases_unwritten(c, writes));
+    ok
 }
 
 /// Non-recursive stability test (the recursion happens in `invariant`).

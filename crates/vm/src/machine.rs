@@ -400,6 +400,12 @@ impl Vm {
                 pc += 1;
                 if profiling {
                     prog.trace.tick(instr.mnemonic());
+                    // A checked memory access retires an extra bounds-check
+                    // micro-op; elided accesses skip it, which is what the
+                    // checked-vs-elided instruction counts measure.
+                    if instr.is_mem_access() && !func.check_free(pc - 1) {
+                        prog.trace.tick("chk");
+                    }
                     // Attribute any memory traffic this instruction performs
                     // to its (function, source line) for the cache simulator.
                     prog.memory
@@ -545,34 +551,80 @@ impl Vm {
                     Instr::CvtF32ToF64 { d, a } => set!(d, from_f64(as_f32(r!(a)) as f64)),
                     Instr::CvtF64ToF32 { d, a } => set!(d, from_f32(as_f64(r!(a)) as f32)),
 
-                    Instr::LoadI8 { d, a } => seti!(d, mem!(prog.memory.load_i8(ru!(a))) as i64),
-                    Instr::LoadU8 { d, a } => seti!(d, mem!(prog.memory.load_u8(ru!(a))) as i64),
-                    Instr::LoadI16 { d, a } => seti!(d, mem!(prog.memory.load_i16(ru!(a))) as i64),
-                    Instr::LoadU16 { d, a } => seti!(d, mem!(prog.memory.load_u16(ru!(a))) as i64),
-                    Instr::LoadI32 { d, a } => seti!(d, mem!(prog.memory.load_i32(ru!(a))) as i64),
-                    Instr::LoadU32 { d, a } => seti!(d, mem!(prog.memory.load_u32(ru!(a))) as i64),
-                    Instr::Load64 { d, a } => seti!(d, mem!(prog.memory.load_i64(ru!(a)))),
+                    Instr::LoadI8 { d, a } => {
+                        let chk = !func.check_free(pc - 1);
+                        seti!(d, mem!(prog.memory.load_i8_sel(ru!(a), chk)) as i64)
+                    }
+                    Instr::LoadU8 { d, a } => {
+                        let chk = !func.check_free(pc - 1);
+                        seti!(d, mem!(prog.memory.load_u8_sel(ru!(a), chk)) as i64)
+                    }
+                    Instr::LoadI16 { d, a } => {
+                        let chk = !func.check_free(pc - 1);
+                        seti!(d, mem!(prog.memory.load_i16_sel(ru!(a), chk)) as i64)
+                    }
+                    Instr::LoadU16 { d, a } => {
+                        let chk = !func.check_free(pc - 1);
+                        seti!(d, mem!(prog.memory.load_u16_sel(ru!(a), chk)) as i64)
+                    }
+                    Instr::LoadI32 { d, a } => {
+                        let chk = !func.check_free(pc - 1);
+                        seti!(d, mem!(prog.memory.load_i32_sel(ru!(a), chk)) as i64)
+                    }
+                    Instr::LoadU32 { d, a } => {
+                        let chk = !func.check_free(pc - 1);
+                        seti!(d, mem!(prog.memory.load_u32_sel(ru!(a), chk)) as i64)
+                    }
+                    Instr::Load64 { d, a } => {
+                        let chk = !func.check_free(pc - 1);
+                        seti!(d, mem!(prog.memory.load_i64_sel(ru!(a), chk)))
+                    }
                     Instr::LoadF32 { d, a } => {
-                        set!(d, from_f32(mem!(prog.memory.load_f32(ru!(a)))))
+                        let chk = !func.check_free(pc - 1);
+                        set!(d, from_f32(mem!(prog.memory.load_f32_sel(ru!(a), chk))))
                     }
                     Instr::LoadF64 { d, a } => {
-                        set!(d, from_f64(mem!(prog.memory.load_f64(ru!(a)))))
+                        let chk = !func.check_free(pc - 1);
+                        set!(d, from_f64(mem!(prog.memory.load_f64_sel(ru!(a), chk))))
                     }
-                    Instr::Store8 { a, s } => mem!(prog.memory.store_u8(ru!(a), ru!(s) as u8)),
-                    Instr::Store16 { a, s } => mem!(prog.memory.store_u16(ru!(a), ru!(s) as u16)),
-                    Instr::Store32 { a, s } => mem!(prog.memory.store_u32(ru!(a), ru!(s) as u32)),
-                    Instr::Store64 { a, s } => mem!(prog.memory.store_u64(ru!(a), ru!(s))),
-                    Instr::StoreF32 { a, s } => mem!(prog.memory.store_f32(ru!(a), as_f32(r!(s)))),
-                    Instr::StoreF64 { a, s } => mem!(prog.memory.store_f64(ru!(a), as_f64(r!(s)))),
+                    Instr::Store8 { a, s } => {
+                        let chk = !func.check_free(pc - 1);
+                        mem!(prog.memory.store_u8_sel(ru!(a), ru!(s) as u8, chk))
+                    }
+                    Instr::Store16 { a, s } => {
+                        let chk = !func.check_free(pc - 1);
+                        mem!(prog.memory.store_u16_sel(ru!(a), ru!(s) as u16, chk))
+                    }
+                    Instr::Store32 { a, s } => {
+                        let chk = !func.check_free(pc - 1);
+                        mem!(prog.memory.store_u32_sel(ru!(a), ru!(s) as u32, chk))
+                    }
+                    Instr::Store64 { a, s } => {
+                        let chk = !func.check_free(pc - 1);
+                        mem!(prog.memory.store_u64_sel(ru!(a), ru!(s), chk))
+                    }
+                    Instr::StoreF32 { a, s } => {
+                        let chk = !func.check_free(pc - 1);
+                        mem!(prog.memory.store_f32_sel(ru!(a), as_f32(r!(s)), chk))
+                    }
+                    Instr::StoreF64 { a, s } => {
+                        let chk = !func.check_free(pc - 1);
+                        mem!(prog.memory.store_f64_sel(ru!(a), as_f64(r!(s)), chk))
+                    }
                     Instr::LoadV { d, a, bytes } => {
-                        set!(d, mem!(prog.memory.load_vec(ru!(a), bytes as u64)))
+                        let chk = !func.check_free(pc - 1);
+                        set!(d, mem!(prog.memory.load_vec_sel(ru!(a), bytes as u64, chk)))
                     }
                     Instr::StoreV { a, s, bytes } => {
-                        mem!(prog.memory.store_vec(ru!(a), r!(s), bytes as u64))
+                        let chk = !func.check_free(pc - 1);
+                        mem!(prog.memory.store_vec_sel(ru!(a), r!(s), bytes as u64, chk))
                     }
                     Instr::FrameAddr { d, offset } => seti!(d, (mem_base + offset as u64) as i64),
                     Instr::CopyMem { dst, src, size } => {
-                        mem!(prog.memory.copy_within(ru!(src), ru!(dst), size as u64))
+                        let chk = !func.check_free(pc - 1);
+                        mem!(prog
+                            .memory
+                            .copy_within_sel(ru!(src), ru!(dst), size as u64, chk))
                     }
                     Instr::Prefetch { a } => prog.memory.prefetch(ru!(a)),
 
@@ -911,6 +963,7 @@ mod tests {
             frame_size: 0,
             code,
             lines: Vec::new(),
+            nochk: Vec::new(),
         }
     }
 

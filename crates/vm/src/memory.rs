@@ -394,8 +394,27 @@ impl Memory {
 
     /// `memmove`-style copy within the address space.
     pub fn copy_within(&mut self, src: u64, dst: u64, len: u64) -> MemResult<()> {
-        self.check(src, len)?;
-        self.check(dst, len)?;
+        self.copy_within_sel(src, dst, len, true)
+    }
+
+    /// [`Memory::copy_within`] with a selectable bounds check: `checked:
+    /// false` means the compiler proved both ranges in-bounds and only the
+    /// cheap end-of-memory backstop runs. Ignored under the sanitizer,
+    /// which always takes the full checked path.
+    pub fn copy_within_sel(
+        &mut self,
+        src: u64,
+        dst: u64,
+        len: u64,
+        checked: bool,
+    ) -> MemResult<()> {
+        if checked || self.sanitize {
+            self.check(src, len)?;
+            self.check(dst, len)?;
+        } else if src.saturating_add(len).max(dst.saturating_add(len)) > self.data.len() as u64 {
+            // Backstop: a miscompiled elision must not escape `data`.
+            return Err(MemError::oob(src.max(dst), len));
+        }
         self.data
             .copy_within(src as usize..(src + len) as usize, dst as usize);
         Ok(())
@@ -444,12 +463,29 @@ impl Memory {
 }
 
 macro_rules! scalar_access {
-    ($load:ident, $store:ident, $ty:ty, $n:expr) => {
+    ($load:ident, $load_sel:ident, $store:ident, $store_sel:ident, $ty:ty, $n:expr) => {
         impl Memory {
             #[doc = concat!("Loads a `", stringify!($ty), "`.")]
             #[inline]
             pub fn $load(&self, addr: u64) -> MemResult<$ty> {
-                self.check(addr, $n)?;
+                self.$load_sel(addr, true)
+            }
+
+            #[doc = concat!(
+                                "Loads a `", stringify!($ty), "` with a selectable bounds ",
+                                "check: `checked: false` means the compiler proved the ",
+                                "access in-bounds and only the cheap end-of-memory backstop ",
+                                "runs. Ignored under the sanitizer, which always takes the ",
+                                "full checked path."
+                            )]
+            #[inline]
+            pub fn $load_sel(&self, addr: u64, checked: bool) -> MemResult<$ty> {
+                if checked || self.sanitize {
+                    self.check(addr, $n)?;
+                } else if addr.saturating_add($n) > self.data.len() as u64 {
+                    // Backstop: a miscompiled elision must not escape `data`.
+                    return Err(MemError::oob(addr, $n));
+                }
                 if self.profile {
                     self.counters.note_load($n);
                     self.cache.borrow_mut().access(addr, $n);
@@ -462,7 +498,20 @@ macro_rules! scalar_access {
             #[doc = concat!("Stores a `", stringify!($ty), "`.")]
             #[inline]
             pub fn $store(&mut self, addr: u64, v: $ty) -> MemResult<()> {
-                self.check(addr, $n)?;
+                self.$store_sel(addr, v, true)
+            }
+
+            #[doc = concat!(
+                                "Stores a `", stringify!($ty), "` with a selectable bounds ",
+                                "check (see the `_sel` load variant)."
+                            )]
+            #[inline]
+            pub fn $store_sel(&mut self, addr: u64, v: $ty, checked: bool) -> MemResult<()> {
+                if checked || self.sanitize {
+                    self.check(addr, $n)?;
+                } else if addr.saturating_add($n) > self.data.len() as u64 {
+                    return Err(MemError::oob(addr, $n));
+                }
                 if self.profile {
                     self.counters.note_store($n);
                     // Write-allocate: stores walk the same fill path as loads.
@@ -475,22 +524,33 @@ macro_rules! scalar_access {
     };
 }
 
-scalar_access!(load_u8, store_u8, u8, 1);
-scalar_access!(load_i8, store_i8, i8, 1);
-scalar_access!(load_u16, store_u16, u16, 2);
-scalar_access!(load_i16, store_i16, i16, 2);
-scalar_access!(load_u32, store_u32, u32, 4);
-scalar_access!(load_i32, store_i32, i32, 4);
-scalar_access!(load_u64, store_u64, u64, 8);
-scalar_access!(load_i64, store_i64, i64, 8);
-scalar_access!(load_f32, store_f32, f32, 4);
-scalar_access!(load_f64, store_f64, f64, 8);
+scalar_access!(load_u8, load_u8_sel, store_u8, store_u8_sel, u8, 1);
+scalar_access!(load_i8, load_i8_sel, store_i8, store_i8_sel, i8, 1);
+scalar_access!(load_u16, load_u16_sel, store_u16, store_u16_sel, u16, 2);
+scalar_access!(load_i16, load_i16_sel, store_i16, store_i16_sel, i16, 2);
+scalar_access!(load_u32, load_u32_sel, store_u32, store_u32_sel, u32, 4);
+scalar_access!(load_i32, load_i32_sel, store_i32, store_i32_sel, i32, 4);
+scalar_access!(load_u64, load_u64_sel, store_u64, store_u64_sel, u64, 8);
+scalar_access!(load_i64, load_i64_sel, store_i64, store_i64_sel, i64, 8);
+scalar_access!(load_f32, load_f32_sel, store_f32, store_f32_sel, f32, 4);
+scalar_access!(load_f64, load_f64_sel, store_f64, store_f64_sel, f64, 8);
 
 impl Memory {
     /// Loads `len` (≤ 32) raw bytes into a vector register image.
     #[inline]
     pub fn load_vec(&self, addr: u64, len: u64) -> MemResult<[u64; 4]> {
-        self.check(addr, len)?;
+        self.load_vec_sel(addr, len, true)
+    }
+
+    /// [`Memory::load_vec`] with a selectable bounds check (see the scalar
+    /// `_sel` variants).
+    #[inline]
+    pub fn load_vec_sel(&self, addr: u64, len: u64, checked: bool) -> MemResult<[u64; 4]> {
+        if checked || self.sanitize {
+            self.check(addr, len)?;
+        } else if addr.saturating_add(len) > self.data.len() as u64 {
+            return Err(MemError::oob(addr, len));
+        }
         if self.profile {
             self.counters.note_vec_load();
             self.cache.borrow_mut().access(addr, len);
@@ -508,7 +568,24 @@ impl Memory {
     /// Stores the low `len` (≤ 32) bytes of a vector register image.
     #[inline]
     pub fn store_vec(&mut self, addr: u64, v: [u64; 4], len: u64) -> MemResult<()> {
-        self.check(addr, len)?;
+        self.store_vec_sel(addr, v, len, true)
+    }
+
+    /// [`Memory::store_vec`] with a selectable bounds check (see the scalar
+    /// `_sel` variants).
+    #[inline]
+    pub fn store_vec_sel(
+        &mut self,
+        addr: u64,
+        v: [u64; 4],
+        len: u64,
+        checked: bool,
+    ) -> MemResult<()> {
+        if checked || self.sanitize {
+            self.check(addr, len)?;
+        } else if addr.saturating_add(len) > self.data.len() as u64 {
+            return Err(MemError::oob(addr, len));
+        }
         if self.profile {
             self.counters.note_vec_store();
             self.cache.borrow_mut().access(addr, len);

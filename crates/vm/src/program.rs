@@ -255,6 +255,7 @@ mod tests {
             lines: vec![0],
             provs: vec![0],
             prov_table: Vec::new(),
+            nochk: vec![false],
         }
     }
 

@@ -127,4 +127,47 @@ done
 grep -qE '"applied": [1-9]' BENCH_remarks.json \
     || { echo "BENCH_remarks: no pass reported an applied remark" >&2; exit 1; }
 
+echo "==> lint sweep (terra --lint over examples must stay clean)"
+for script in examples/*.t; do
+    lint_err="$(./target/release/terra --lint "$script" 2>&1 >/dev/null)"
+    if grep -qE "(warning|error)\[" <<< "$lint_err"; then
+        echo "lint sweep: $script produced diagnostics:" >&2
+        printf '%s\n' "$lint_err" >&2
+        exit 1
+    fi
+done
+
+echo "==> check-elision differential (-O2 vs -O2 --no-checkelim stdout must match)"
+for script in examples/*.t; do
+    fast="$(./target/release/terra -O2 "$script")"
+    slow="$(./target/release/terra -O2 --no-checkelim "$script")"
+    if [ "$fast" != "$slow" ]; then
+        echo "check-elision differential: $script output differs with --no-checkelim" >&2
+        diff <(printf '%s\n' "$fast") <(printf '%s\n' "$slow") >&2 || true
+        exit 1
+    fi
+done
+
+echo "==> BENCH_absint.json schema (kernels, proven_pct threshold, elided < checked)"
+for key in instructions_checked instructions_elided accesses_total accesses_elided proven_pct; do
+    grep -q "\"$key\"" BENCH_absint.json \
+        || { echo "BENCH_absint: missing key $key" >&2; exit 1; }
+done
+for kernel in gemm_static_24 saxpy_static_4096 stencil_static_1024; do
+    grep -q "\"$kernel\"" BENCH_absint.json \
+        || { echo "BENCH_absint: missing kernel $kernel" >&2; exit 1; }
+done
+absint_field() {
+    sed -n "s/.*\"name\": \"$1\".*\"$2\": \([0-9.]*\).*/\1/p" BENCH_absint.json
+}
+awk -v pct="$(absint_field gemm_static_24 proven_pct)" \
+    'BEGIN { exit !(pct >= 30) }' \
+    || { echo "BENCH_absint: GEMM proven_pct must be at least 30" >&2; exit 1; }
+for kernel in gemm_static_24 saxpy_static_4096 stencil_static_1024; do
+    awk -v c="$(absint_field "$kernel" instructions_checked)" \
+        -v e="$(absint_field "$kernel" instructions_elided)" \
+        'BEGIN { exit !(e < c) }' \
+        || { echo "BENCH_absint: $kernel elided run must retire fewer instructions" >&2; exit 1; }
+done
+
 echo "All checks passed."
