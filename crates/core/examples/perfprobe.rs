@@ -10,9 +10,12 @@
 //! (blocked-vs-naive GEMM, SoA-vs-AoS traversal) — `BENCH_remarks.json`
 //! with per-pass applied/missed optimizer-remark counts for the GEMM
 //! kernel, so a pass silently going quiet (or noisy) shows up as a diff
-//! too — and `BENCH_absint.json` with checked-vs-elided retired
+//! too — `BENCH_absint.json` with checked-vs-elided retired
 //! instruction counts for staged-constant kernels, proving the abstract
-//! interpreter's bounds-check elision actually pays.
+//! interpreter's bounds-check elision actually pays — and
+//! `BENCH_heap.json` with the allocation-site heap profile of a staged
+//! kernel carrying a seeded quote-generated leak, so site attribution,
+//! staging provenance, and the leak report all stay pinned in CI.
 use std::fmt::Write as _;
 use std::time::Instant;
 use terra_core::{CacheStats, OptLevel, Terra, Value};
@@ -152,6 +155,73 @@ const STENCIL_STATIC_SRC: &str = r#"
             return r
         end
     "#;
+
+/// Heap-profiler fixture: three staged-malloc buffers, one deliberately
+/// leaked. The mallocs expand from a Lua quote, so every site in the heap
+/// profile must carry a "via quote at line N" provenance chain.
+const HEAP_LEAK_SRC: &str = r#"
+        local std = terralib.includec("stdlib.h")
+        local function staged_buffer(dst, n)
+            return quote
+                dst = [&double](std.malloc(n * 8))
+                for i = 0, n do
+                    dst[i] = 1.0
+                end
+            end
+        end
+        terra heap_probe(n : int) : double
+            var a : &double
+            var b : &double
+            var keep : &double;
+            [staged_buffer(a, n)];
+            [staged_buffer(b, n)];
+            [staged_buffer(keep, n)]
+            var s = a[0] + b[0] + keep[0]
+            std.free([&int8](a))
+            std.free([&int8](b))
+            return s
+        end
+    "#;
+
+/// One profiled run of the seeded-leak kernel; returns the allocation-site
+/// heap profile.
+fn heap_probe_stats(n: i64) -> terra_core::HeapStats {
+    let mut t = Terra::new();
+    t.exec(HEAP_LEAK_SRC).unwrap();
+    let f = t.function("heap_probe").unwrap();
+    t.set_profile(true);
+    t.reset_profile();
+    let got = t.invoke(&f, &[Value::Int(n)]).unwrap();
+    assert_eq!(got, Value::Float(3.0), "heap_probe: wrong result");
+    t.profile().heap
+}
+
+/// Renders the heap profile as the `BENCH_heap.json` document.
+fn heap_bench_json(stats: &terra_core::HeapStats) -> String {
+    let mut json = String::from("{\n  \"kernel\": \"heap_probe_512\",\n  \"sites\": [\n");
+    for (i, s) in stats.sites.iter().enumerate() {
+        let sep = if i + 1 == stats.sites.len() { "" } else { "," };
+        let prov = &s.provenance;
+        let _ = writeln!(
+            json,
+            "    {{\"func\": \"{}\", \"line\": {}, \"provenance\": \"{prov}\", \
+             \"count\": {}, \"bytes\": {}, \"peak_bytes\": {}, \"live_count\": {}, \
+             \"live_bytes\": {}}}{sep}",
+            s.func, s.line, s.count, s.bytes, s.peak_bytes, s.live_count, s.live_bytes
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"summary\": {{\"leaked_allocs\": {}, \"leaked_bytes\": {}, \
+         \"peak_live_bytes\": {}}}",
+        stats.leaked_allocs(),
+        stats.leaked_bytes(),
+        stats.peak_live_bytes
+    );
+    json.push_str("}\n");
+    json
+}
 
 /// One profiled run of a staged-constant kernel at `-O2` with elision on or
 /// off; returns (retired instructions, memory accesses, checked accesses,
@@ -503,4 +573,35 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_absint.json", &json).unwrap();
     println!("wrote BENCH_absint.json");
+
+    // Allocation-site heap profile of the seeded-leak kernel. The staged
+    // mallocs must carry their quote provenance, exactly one allocation must
+    // survive to the end of the run, and — counters being instruction-exact,
+    // not clocks — two independent runs must serialize byte-identically.
+    let heap = heap_probe_stats(512);
+    assert_eq!(heap.leaked_allocs(), 1, "exactly one seeded leak");
+    assert!(heap.leaked_bytes() > 0, "the leak has a size");
+    assert!(
+        heap.sites
+            .iter()
+            .all(|s| s.provenance.contains("via quote at line")),
+        "every staged malloc site carries a quote provenance chain"
+    );
+    let json = heap_bench_json(&heap);
+    assert_eq!(
+        json,
+        heap_bench_json(&heap_probe_stats(512)),
+        "heap profile must be byte-identical across runs"
+    );
+    for s in &heap.sites {
+        println!(
+            "{}: {} alloc(s), {} bytes, {} live",
+            s.location(),
+            s.count,
+            s.bytes,
+            s.live_bytes
+        );
+    }
+    std::fs::write("BENCH_heap.json", &json).unwrap();
+    println!("wrote BENCH_heap.json");
 }

@@ -24,11 +24,26 @@
 //!                     --sanitize overrides elision at runtime regardless)
 //!   --profile         collect staging/VM/memory counters and print a profile
 //!                     report after the program finishes
+//!   --heap-profile    attribute every heap allocation to its (function,
+//!                     line, provenance) site and print the `== heap ==`
+//!                     section — per-site traffic, the live-heap high-water
+//!                     timeline, and a leak report naming surviving
+//!                     allocations with their staging chains; with --profile
+//!                     the section joins the full report
+//!   --sample=N        deterministic sampling profiler: capture the Terra
+//!                     call stack every N retired instructions (byte-stable
+//!                     across runs) and print the `== samples ==` ranking;
+//!                     `--trace-out x.folded` then emits the sampled stacks
 //!   --trace-out FILE  write the run's timeline and counters; the format is
-//!                     chosen by extension: `.folded` emits folded stacks for
-//!                     flamegraph tools (inferno / flamegraph.pl), anything
-//!                     else Chrome trace-event JSON (open in about:tracing /
-//!                     Perfetto); implies --profile
+//!                     chosen by extension: `.json` Chrome trace-event JSON
+//!                     (open in about:tracing / Perfetto), `.folded` folded
+//!                     stacks for flamegraph tools (inferno / flamegraph.pl),
+//!                     `.jsonl` the unified JSONL event stream; implies
+//!                     --profile
+//!   --events-out F    write the unified telemetry stream — spans, counters,
+//!                     cache stats, remarks, heap sites, samples — as
+//!                     newline-delimited JSON (deterministic: byte-identical
+//!                     across runs); implies profiling
 //!   --cache SPEC      simulated cache geometry for the locality profile,
 //!                     e.g. `l1=32k,64,8:l2=256k,64,8` (per level: total
 //!                     size, line size, associativity); implies --profile
@@ -48,7 +63,10 @@ fn main() {
     let mut t = Terra::new();
     let mut lint = false;
     let mut profile = false;
+    let mut heap_profile = false;
+    let mut sample: u64 = 0;
     let mut trace_out: Option<String> = None;
+    let mut events_out: Option<String> = None;
     let mut remarks: Option<Option<String>> = None;
     let mut remarks_out: Option<String> = None;
     while let Some(first) = argv.first().map(|s| s.as_str()) {
@@ -80,16 +98,59 @@ fn main() {
                 profile = true;
                 argv.remove(0);
             }
+            "--heap-profile" => {
+                heap_profile = true;
+                argv.remove(0);
+            }
+            _ if first.starts_with("--sample=") => {
+                let spec = &first["--sample=".len()..];
+                match spec.parse::<u64>() {
+                    Ok(n) if n > 0 => sample = n,
+                    _ => {
+                        eprintln!(
+                            "terra: bad --sample interval '{spec}' (expected a positive \
+                             instruction count, e.g. --sample=1000)"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                argv.remove(0);
+            }
             "--trace-out" => {
                 argv.remove(0);
                 match argv.first() {
                     Some(path) => {
+                        if !(path.ends_with(".json")
+                            || path.ends_with(".folded")
+                            || path.ends_with(".jsonl"))
+                        {
+                            eprintln!(
+                                "terra: --trace-out {path}: unsupported trace sink (the format \
+                                 is chosen by extension: .json for Chrome trace-event JSON, \
+                                 .folded for flamegraph stacks, .jsonl for the JSONL event \
+                                 stream)"
+                            );
+                            std::process::exit(1);
+                        }
                         trace_out = Some(path.clone());
                         profile = true;
                         argv.remove(0);
                     }
                     None => {
                         eprintln!("terra: --trace-out requires a file argument");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--events-out" => {
+                argv.remove(0);
+                match argv.first() {
+                    Some(path) => {
+                        events_out = Some(path.clone());
+                        argv.remove(0);
+                    }
+                    None => {
+                        eprintln!("terra: --events-out requires a file argument");
                         std::process::exit(1);
                     }
                 }
@@ -138,8 +199,14 @@ fn main() {
             _ => break,
         }
     }
-    if profile {
+    // --heap-profile and --events-out need the collectors running even when
+    // the full text report was not requested; --sample=N only arms the
+    // deterministic sampler (exact per-instruction counting stays off).
+    if profile || heap_profile || events_out.is_some() {
         t.set_profile(true);
+    }
+    if sample > 0 {
+        t.set_sample_interval(sample);
     }
     match argv.first().map(|s| s.as_str()) {
         Some("-e") => {
@@ -152,7 +219,8 @@ fn main() {
         Some("-h") | Some("--help") => {
             eprintln!(
                 "usage: terra [-O0|-O1|-O2] [--lint] [--sanitize] [--profile] \
-                 [--trace-out FILE] [--cache SPEC] [--remarks[=pass]] [--remarks-out FILE] \
+                 [--heap-profile] [--sample=N] [--trace-out FILE] [--events-out FILE] \
+                 [--cache SPEC] [--remarks[=pass]] [--remarks-out FILE] \
                  [script.t [args...] | -e 'code']"
             );
         }
@@ -179,6 +247,24 @@ fn main() {
     }
     if profile {
         emit_profile(&t, trace_out.as_deref());
+    } else {
+        // Section-only modes: --heap-profile / --sample=N without --profile
+        // print just their own report section.
+        if heap_profile {
+            eprint!("{}", t.profile().render_heap());
+        }
+        if sample > 0 {
+            eprint!("{}", t.profile().render_samples());
+        }
+    }
+    if let Some(path) = &events_out {
+        match std::fs::write(path, t.profile().to_jsonl()) {
+            Ok(()) => eprintln!("terra: wrote event stream to {path}"),
+            Err(e) => {
+                eprintln!("terra: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     if let Some(pass) = &remarks {
         eprint!("{}", t.profile().render_remarks(pass.as_deref()));
@@ -195,14 +281,17 @@ fn main() {
 }
 
 /// Prints the profile report to stderr and, if requested, writes the trace
-/// file — folded flamegraph stacks for a `.folded` path, Chrome trace-event
-/// JSON otherwise.
+/// file. The sink format follows the extension (validated at flag-parse
+/// time): `.folded` flamegraph stacks, `.jsonl` the unified event stream,
+/// `.json` Chrome trace-event JSON.
 fn emit_profile(t: &Terra, trace_out: Option<&str>) {
     let profile = t.profile();
     eprint!("{}", profile.render_report());
     if let Some(path) = trace_out {
         let (contents, what) = if path.ends_with(".folded") {
             (profile.to_folded(), "folded stacks")
+        } else if path.ends_with(".jsonl") {
+            (profile.to_jsonl(), "event stream")
         } else {
             (profile.to_chrome_json(), "Chrome trace")
         };

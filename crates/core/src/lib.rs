@@ -45,8 +45,9 @@ pub fn span_synthetic() -> terra_syntax::Span {
 }
 pub use terra_ir::{Diagnostic, FuncId, FuncTy, OptLevel, ScalarTy, Severity, Ty};
 pub use terra_trace::{
-    CacheConfig, CacheLevelConfig, CacheStats, FuncProfile, LineStat, MemStats, Profile, Remark,
-    SpanEvent, Stage,
+    CacheConfig, CacheLevelConfig, CacheStats, FuncProfile, HeapSiteStats, HeapStats,
+    HeapTimelinePoint, LineStat, MemStats, Profile, Remark, SampleFuncRank, SampleStats, SpanEvent,
+    Stage,
 };
 pub use terra_vm::{Trap, Value};
 
@@ -142,6 +143,22 @@ impl Terra {
     /// Clears accumulated profile data without changing the on/off gate.
     pub fn reset_profile(&mut self) {
         self.interp.ctx.program.reset_profile();
+    }
+
+    /// Sets the deterministic sampling profiler's interval: the VM captures
+    /// the Terra call stack every `interval` retired instructions (0 turns
+    /// sampling off, the default). Independent of [`Terra::set_profile`] —
+    /// sampling pays only per-call stack maintenance plus one countdown
+    /// decrement per instruction, so it is cheap enough to leave on. The
+    /// collected stacks land in [`Profile::samples`] and are byte-stable
+    /// across runs.
+    pub fn set_sample_interval(&mut self, interval: u64) {
+        self.interp.ctx.program.set_sample_interval(interval);
+    }
+
+    /// The sampling profiler's current interval (0 = off).
+    pub fn sample_interval(&self) -> u64 {
+        self.interp.ctx.program.trace.sample_interval()
     }
 
     /// Replaces the simulated cache geometry used while profiling (see

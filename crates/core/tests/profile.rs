@@ -381,6 +381,270 @@ fn oob_traps_name_the_function() {
 }
 
 // ---------------------------------------------------------------------------
+// Allocation-site heap profiler
+// ---------------------------------------------------------------------------
+
+/// Three staged-malloc buffers, one deliberately never freed; the mallocs
+/// expand from a Lua quote so every site carries a provenance chain.
+const LEAK_SCRIPT: &str = r#"
+    local C = terralib.includec("stdlib.h")
+    local function staged_buffer(dst, n)
+        return quote
+            dst = [&double](C.malloc(n * 8))
+            for i = 0, n do
+                dst[i] = 1.0
+            end
+        end
+    end
+    terra lp(n : int) : double
+        var a : &double
+        var keep : &double;
+        [staged_buffer(a, n)];
+        [staged_buffer(keep, n)]
+        var s = a[0] + keep[0]
+        C.free(a)
+        return s
+    end
+    r = lp(64)
+"#;
+
+fn leak_run() -> terra_core::Profile {
+    let mut t = Terra::new();
+    t.set_profile(true);
+    t.exec(LEAK_SCRIPT).unwrap();
+    t.profile()
+}
+
+#[test]
+fn heap_sites_attribute_allocations_with_provenance() {
+    let p = leak_run();
+    assert_eq!(p.heap.sites.len(), 2, "two staged malloc sites");
+    for s in &p.heap.sites {
+        assert_eq!(s.func.as_str(), "lp");
+        assert_eq!(s.count, 1);
+        assert!(s.bytes >= 64 * 8);
+        assert!(
+            s.provenance.contains("via quote at line"),
+            "staged malloc must carry its quote chain, got: {:?}",
+            s.provenance
+        );
+    }
+    assert_eq!(p.heap.leaked_allocs(), 1, "exactly one seeded leak");
+    assert!(p.heap.leaked_bytes() >= 64 * 8);
+    assert!(p.heap.peak_live_bytes >= 2 * 64 * 8);
+    let leak = p.heap.leaks().next().unwrap();
+    assert!(
+        leak.location().contains("generated via quote at line"),
+        "leak report names the staging chain, got: {}",
+        leak.location()
+    );
+}
+
+#[test]
+fn freed_allocations_do_not_leak() {
+    let (_t, p) = profiled_run();
+    assert_eq!(p.heap.sites.len(), 1, "one malloc site in SCRIPT");
+    assert_eq!(p.heap.leaked_allocs(), 0);
+    assert_eq!(p.heap.leaked_bytes(), 0);
+    assert_eq!(p.heap.live_bytes, 0);
+    assert!(p.heap.peak_live_bytes >= 800);
+}
+
+#[test]
+fn heap_profile_is_deterministic() {
+    let (a, b) = (leak_run(), leak_run());
+    assert_eq!(a.render_heap(), b.render_heap());
+    assert_eq!(a.heap.timeline, b.heap.timeline);
+}
+
+#[test]
+fn heap_report_renders_the_leak() {
+    let report = leak_run().render_counters();
+    assert!(report.contains("== heap =="), "got: {report}");
+    assert!(report.contains("leaked allocations"), "got: {report}");
+    assert!(report.contains("via quote at line"), "got: {report}");
+    assert!(report.contains("high-water timeline"), "got: {report}");
+}
+
+#[test]
+fn perf_counters_exposes_heap_from_lua() {
+    let mut t = Terra::new();
+    t.capture_output();
+    t.set_profile(true);
+    t.exec(LEAK_SCRIPT).unwrap();
+    t.exec(
+        r#"
+        local h = perf.counters().heap
+        assert(h.sites == 2, "site count")
+        assert(h.leaked_allocs == 1, "leak count")
+        assert(h.leaked_bytes >= 512, "leak size")
+        assert(h.peak_live_bytes >= 1024, "peak")
+        print("heap ok")
+    "#,
+    )
+    .unwrap();
+    assert_eq!(t.take_output(), "heap ok\n");
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic sampling profiler
+// ---------------------------------------------------------------------------
+
+/// GEMM with a non-inlined (-O0) inner-product helper: the helper burns most
+/// of the instructions, the outer kernel contains every sample.
+const GEMM_SCRIPT: &str = r#"
+    local C = terralib.includec("stdlib.h")
+    terra dotk(A : &double, B : &double, i : int, j : int, N : int) : double
+        var s = 0.0
+        for k = 0, N do
+            s = s + A[i * N + k] * B[k * N + j]
+        end
+        return s
+    end
+    terra gemm(N : int) : double
+        var A = [&double](C.malloc(N * N * 8))
+        var B = [&double](C.malloc(N * N * 8))
+        var D = [&double](C.malloc(N * N * 8))
+        for i = 0, N * N do
+            A[i] = 1.0
+            B[i] = 2.0
+        end
+        for i = 0, N do
+            for j = 0, N do
+                D[i * N + j] = dotk(A, B, i, j, N)
+            end
+        end
+        var r = D[0]
+        C.free(A)
+        C.free(B)
+        C.free(D)
+        return r
+    end
+    g = gemm(16)
+"#;
+
+fn sampled_gemm(interval: u64) -> terra_core::Profile {
+    let mut t = Terra::new();
+    t.set_opt_level(terra_core::OptLevel::O0);
+    t.set_profile(true);
+    t.set_sample_interval(interval);
+    t.exec(GEMM_SCRIPT).unwrap();
+    t.profile()
+}
+
+#[test]
+fn sampled_ranking_agrees_with_the_exact_profiler_on_gemm() {
+    let p = sampled_gemm(100);
+    // Exact ranking: functions by inclusive retired instructions.
+    let mut exact: Vec<_> = p.funcs.iter().collect();
+    exact.sort_by_key(|f| std::cmp::Reverse(f.counters.inclusive));
+    let sampled = p.samples.top_functions();
+    assert!(p.samples.total > 0, "sampler collected nothing");
+    assert_eq!(
+        exact[0].name, sampled[0].name,
+        "sampled hot function must match the exact profiler's top function"
+    );
+    // The helper leads the leaf (exclusive) ranking in both views.
+    let exact_leaf = exact
+        .iter()
+        .max_by_key(|f| f.counters.exclusive)
+        .unwrap()
+        .name
+        .clone();
+    let sampled_leaf = sampled.iter().max_by_key(|r| r.leaf).unwrap().name.clone();
+    assert_eq!(exact_leaf, sampled_leaf);
+    assert_eq!(exact_leaf, "dotk");
+}
+
+#[test]
+fn sampling_is_deterministic_and_independent_of_exact_profiling() {
+    let (a, b) = (sampled_gemm(100), sampled_gemm(100));
+    assert_eq!(a.samples.stacks, b.samples.stacks);
+    assert_eq!(a.render_samples(), b.render_samples());
+    // Sampling alone (no exact profiling) must capture the same stacks:
+    // the countdown counts retired instructions, not profiler overhead.
+    let mut t = Terra::new();
+    t.set_opt_level(terra_core::OptLevel::O0);
+    t.set_sample_interval(100);
+    t.exec(GEMM_SCRIPT).unwrap();
+    assert_eq!(t.profile().samples.stacks, a.samples.stacks);
+}
+
+#[test]
+fn sampled_stacks_flow_into_the_folded_export() {
+    let p = sampled_gemm(100);
+    let folded = p.to_folded();
+    assert!(folded.contains("gemm;dotk"), "got: {folded}");
+    for line in folded.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("weight field");
+        assert!(!stack.is_empty());
+        assert!(weight.parse::<u64>().is_ok(), "bad weight: {line:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unified JSONL event stream
+// ---------------------------------------------------------------------------
+
+#[test]
+fn jsonl_stream_is_valid_per_line_and_byte_stable() {
+    let run = || {
+        let mut t = Terra::new();
+        t.set_profile(true);
+        t.set_sample_interval(100);
+        t.exec(LEAK_SCRIPT).unwrap();
+        t.profile().to_jsonl()
+    };
+    let stream = run();
+    assert_eq!(stream, run(), "event stream must be byte-identical");
+    for line in stream.lines() {
+        json::validate(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+    }
+    for ty in [
+        "meta",
+        "span",
+        "op",
+        "func",
+        "mem",
+        "heap_site",
+        "leak",
+        "sample",
+    ] {
+        assert!(
+            stream.contains(&format!("\"type\":\"{ty}\"")),
+            "missing record type {ty}"
+        );
+    }
+    assert!(
+        !stream.contains("\"ts\":") && !stream.contains("\"dur\":") && !stream.contains("_us\":"),
+        "JSONL stream must not leak wall-clock fields"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// perf with profiling disabled
+// ---------------------------------------------------------------------------
+
+#[test]
+fn perf_counters_without_profiling_is_a_structured_error() {
+    let mut t = Terra::new();
+    let err = t.exec("perf.counters()").unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "runtime error: perf.counters: profiling not enabled \
+         (call perf.enable() or run with --profile)"
+    );
+    let err = t.exec("perf.report()").unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "runtime error: perf.report: profiling not enabled \
+         (call perf.enable() or run with --profile)"
+    );
+    // perf.enabled() and perf.remarks() stay callable either way.
+    t.exec("assert(not perf.enabled()) perf.remarks()").unwrap();
+}
+
+// ---------------------------------------------------------------------------
 // CLI driver
 // ---------------------------------------------------------------------------
 
@@ -534,6 +798,122 @@ mod cli {
         assert!(folded.contains("typecheck: "), "got: {folded}");
         // Nested spans fold into semicolon-joined frames.
         assert!(folded.lines().any(|l| l.contains(';')), "got: {folded}");
+    }
+
+    #[test]
+    fn heap_profile_flag_prints_only_the_heap_section() {
+        let out = terra()
+            .args(["--heap-profile", "../../examples/leak.t"])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("== heap =="), "got: {stderr}");
+        assert!(stderr.contains("leaked allocations"), "got: {stderr}");
+        assert!(stderr.contains("via quote at line"), "got: {stderr}");
+        // Without --profile the rest of the report stays quiet.
+        assert!(!stderr.contains("== opcode counters =="), "got: {stderr}");
+    }
+
+    #[test]
+    fn sample_flag_prints_only_the_samples_section() {
+        let out = terra()
+            .args(["--sample=100", "../../examples/saxpy.t"])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("== samples =="), "got: {stderr}");
+        assert!(stderr.contains("every 100 instructions"), "got: {stderr}");
+        assert!(!stderr.contains("== opcode counters =="), "got: {stderr}");
+    }
+
+    #[test]
+    fn bad_sample_interval_is_an_error() {
+        for bad in ["--sample=0", "--sample=banana", "--sample="] {
+            let out = terra().args([bad, "-e", "print(1)"]).output().unwrap();
+            assert!(!out.status.success(), "{bad} must be rejected");
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(stderr.contains("bad --sample interval"), "got: {stderr}");
+        }
+    }
+
+    #[test]
+    fn events_out_writes_a_deterministic_jsonl_stream() {
+        let dir = std::env::temp_dir();
+        let p1 = dir.join(format!("terra-events-a-{}.jsonl", std::process::id()));
+        let p2 = dir.join(format!("terra-events-b-{}.jsonl", std::process::id()));
+        for p in [&p1, &p2] {
+            let out = terra()
+                .args([
+                    "--events-out",
+                    p.to_str().unwrap(),
+                    "--sample=100",
+                    "../../examples/leak.t",
+                ])
+                .output()
+                .unwrap();
+            assert!(out.status.success());
+        }
+        let (a, b) = (
+            std::fs::read_to_string(&p1).unwrap(),
+            std::fs::read_to_string(&p2).unwrap(),
+        );
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+        assert_eq!(a, b, "--events-out must be byte-stable across runs");
+        for line in a.lines() {
+            super::json::validate(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+        }
+        assert!(a.starts_with("{\"type\":\"meta\""), "got: {a}");
+        assert!(a.contains("\"type\":\"leak\""), "got: {a}");
+        assert!(a.contains("\"type\":\"sample\""), "got: {a}");
+    }
+
+    #[test]
+    fn trace_out_jsonl_writes_the_event_stream() {
+        let path = std::env::temp_dir().join(format!("terra-trace-{}.jsonl", std::process::id()));
+        let out = terra()
+            .args([
+                "--trace-out",
+                path.to_str().unwrap(),
+                "../../examples/saxpy.t",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let stream = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(stream.starts_with("{\"type\":\"meta\""), "got: {stream}");
+    }
+
+    #[test]
+    fn unknown_trace_extension_is_an_error() {
+        let out = terra()
+            .args(["--trace-out", "trace.csv", "-e", "print(1)"])
+            .output()
+            .unwrap();
+        assert!(!out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("unsupported trace sink"), "got: {stderr}");
+        for sink in [".json", ".folded", ".jsonl"] {
+            assert!(stderr.contains(sink), "error must name {sink}: {stderr}");
+        }
+        assert!(
+            !std::path::Path::new("trace.csv").exists(),
+            "rejected sink must not be created"
+        );
+    }
+
+    #[test]
+    fn perf_without_profiling_reports_the_enablement_hint() {
+        let out = terra().args(["-e", "perf.counters()"]).output().unwrap();
+        assert!(!out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("profiling not enabled") && stderr.contains("perf.enable()"),
+            "got: {stderr}"
+        );
     }
 
     #[test]

@@ -1237,6 +1237,27 @@ fn profile_to_table(profile: &terra_vm::trace::Profile) -> TableRef {
             cb.set_str("prefetch_useless", n(c.prefetch_useless));
         }
         tb.set_str("cache", LuaValue::Table(cache));
+
+        let heap = new_table();
+        {
+            let h = &profile.heap;
+            let mut hb = heap.borrow_mut();
+            hb.set_str("sites", n(h.sites.len() as u64));
+            hb.set_str("live_bytes", n(h.live_bytes));
+            hb.set_str("peak_live_bytes", n(h.peak_live_bytes));
+            hb.set_str("leaked_allocs", n(h.leaked_allocs()));
+            hb.set_str("leaked_bytes", n(h.leaked_bytes()));
+        }
+        tb.set_str("heap", LuaValue::Table(heap));
+
+        let samples = new_table();
+        {
+            let s = &profile.samples;
+            let mut sb = samples.borrow_mut();
+            sb.set_str("interval", n(s.interval));
+            sb.set_str("total", n(s.total));
+        }
+        tb.set_str("samples", LuaValue::Table(samples));
     }
     t
 }
@@ -1278,6 +1299,12 @@ fn install_perf(interp: &mut Interp) {
         tb.set_str(
             "counters",
             native("perf.counters", |it, _args| {
+                if !it.ctx.program.trace.enabled() {
+                    return Err(LuaError::msg(
+                        "perf.counters: profiling not enabled \
+                         (call perf.enable() or run with --profile)",
+                    ));
+                }
                 let profile = it.ctx.program.profile();
                 Ok(vec![LuaValue::Table(profile_to_table(&profile))])
             }),
@@ -1285,6 +1312,12 @@ fn install_perf(interp: &mut Interp) {
         tb.set_str(
             "report",
             native("perf.report", |it, _args| {
+                if !it.ctx.program.trace.enabled() {
+                    return Err(LuaError::msg(
+                        "perf.report: profiling not enabled \
+                         (call perf.enable() or run with --profile)",
+                    ));
+                }
                 let profile = it.ctx.program.profile();
                 Ok(vec![LuaValue::Str(Rc::from(
                     profile.render_counters().as_str(),

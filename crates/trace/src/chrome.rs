@@ -82,22 +82,39 @@ impl Profile {
         }
         // Counter-stream sample for the simulated cache hierarchy, placed at
         // the end of the timeline (counts are totals, not a time series).
+        let end_ts = self
+            .events
+            .iter()
+            .map(|e| e.start_us + e.dur_us)
+            .max()
+            .unwrap_or(0);
         if self.cache.total_accesses() > 0 {
             if !first {
                 out.push(',');
             }
-            let ts = self
-                .events
-                .iter()
-                .map(|e| e.start_us + e.dur_us)
-                .max()
-                .unwrap_or(0);
+            first = false;
             let c = &self.cache;
             let _ = write!(
                 out,
-                "{{\"name\":\"cache misses\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"tid\":1,\
+                "{{\"name\":\"cache misses\",\"ph\":\"C\",\"ts\":{end_ts},\"pid\":1,\"tid\":1,\
                  \"args\":{{\"l1_misses\":{},\"l2_misses\":{}}}}}",
                 c.l1.misses, c.l2.misses
+            );
+        }
+        // The heap high-water timeline becomes a counter series. Its x-axis
+        // is the (deterministic) allocation sequence number, offset past the
+        // wall-clock spans so the series renders after them.
+        for p in &self.heap.timeline {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"heap live bytes\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":1,\
+                 \"args\":{{\"live_bytes\":{}}}}}",
+                end_ts + p.seq,
+                p.live_bytes
             );
         }
         out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{");
@@ -152,7 +169,7 @@ impl Profile {
             out,
             ",\"cache\":{{\"l1\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\
              \"miss_rate\":{:.6}}},\"l2\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\
-             \"miss_rate\":{:.6}}},\"prefetch\":{{\"useful\":{},\"late\":{},\"useless\":{}}}}}}}}}",
+             \"miss_rate\":{:.6}}},\"prefetch\":{{\"useful\":{},\"late\":{},\"useless\":{}}}}}",
             c.l1.hits,
             c.l1.misses,
             c.l1.evictions,
@@ -164,6 +181,17 @@ impl Profile {
             c.prefetch_useful,
             c.prefetch_late,
             c.prefetch_useless
+        );
+        let h = &self.heap;
+        let _ = write!(
+            out,
+            ",\"heap\":{{\"sites\":{},\"live_bytes\":{},\"peak_live_bytes\":{},\
+             \"leaked_allocs\":{},\"leaked_bytes\":{}}}}}}}",
+            h.sites.len(),
+            h.live_bytes,
+            h.peak_live_bytes,
+            h.leaked_allocs(),
+            h.leaked_bytes()
         );
         out
     }
@@ -196,7 +224,7 @@ impl Profile {
 
 #[cfg(test)]
 mod tests {
-    use crate::{CacheLevelStats, CacheStats, MemStats, Profile, SpanEvent, Stage};
+    use crate::{CacheLevelStats, Profile, SpanEvent, Stage};
 
     #[test]
     fn json_has_trace_events_and_balanced_braces() {
@@ -208,11 +236,7 @@ mod tests {
                 dur_us: 2,
             }],
             ops: vec![("add.i".into(), 3)],
-            funcs: Vec::new(),
-            mem: MemStats::default(),
-            cache: CacheStats::default(),
-            cache_lines: Vec::new(),
-            remarks: Vec::new(),
+            ..Profile::default()
         };
         let j = p.to_chrome_json();
         assert!(j.starts_with("{\"traceEvents\":["));
@@ -234,12 +258,7 @@ mod tests {
                 start_us: 0,
                 dur_us: 5,
             }],
-            ops: Vec::new(),
-            funcs: Vec::new(),
-            mem: MemStats::default(),
-            cache: CacheStats::default(),
-            cache_lines: Vec::new(),
-            remarks: Vec::new(),
+            ..Profile::default()
         };
         p.cache.l1 = CacheLevelStats {
             hits: 9,
@@ -268,10 +287,7 @@ mod tests {
                 name: "f\\\"g\n".into(),
                 counters: crate::FuncCounters::default(),
             }],
-            mem: MemStats::default(),
-            cache: CacheStats::default(),
-            cache_lines: Vec::new(),
-            remarks: Vec::new(),
+            ..Profile::default()
         };
         let j = p.to_chrome_json();
         assert!(j.contains("path\\\\to\\u0001\\n\\\"fn\\\"\\tx"), "{j}");
@@ -305,12 +321,8 @@ mod tests {
                 start_us: 123,
                 dur_us: 4,
             }],
-            ops: Vec::new(),
-            funcs: Vec::new(),
-            mem: MemStats::default(),
-            cache: CacheStats::default(),
-            cache_lines: Vec::new(),
             remarks: vec![remark("licm", "hoisted loop-invariant expression")],
+            ..Profile::default()
         };
         let j = p.to_chrome_json();
         assert!(j.contains("\"name\":\"remark: licm applied\""), "{j}");
@@ -325,13 +337,8 @@ mod tests {
     #[test]
     fn remarks_json_is_deterministic_and_escaped() {
         let mut p = Profile {
-            events: Vec::new(),
-            ops: Vec::new(),
-            funcs: Vec::new(),
-            mem: MemStats::default(),
-            cache: CacheStats::default(),
-            cache_lines: Vec::new(),
             remarks: vec![remark("inline", "inlined 'f\"g\\h'")],
+            ..Profile::default()
         };
         let a = p.remarks_json();
         assert_eq!(a, p.remarks_json());

@@ -1,0 +1,267 @@
+//! Unified JSONL telemetry stream.
+//!
+//! One newline-delimited JSON object per event, so external tooling
+//! consumes a single artifact instead of four bespoke exports. The stream
+//! is **deterministic**: every record is derived from instruction/byte
+//! counts or emission order, and the wall-clock span timestamps are
+//! deliberately omitted (spans appear as order-only records). Two runs of
+//! the same program therefore produce byte-identical files.
+//!
+//! Record types, in emission order (`"type"` field):
+//!
+//! | type            | fields |
+//! |-----------------|--------|
+//! | `meta`          | `version`, `total_instructions`, `sample_interval` |
+//! | `span`          | `seq`, `stage`, `name` |
+//! | `op`            | `name`, `count` |
+//! | `func`          | `name`, `calls`, `inclusive`, `exclusive` |
+//! | `mem`           | `mallocs`, `frees`, `peak_live_bytes`, `loads`, `stores`, `vec_loads`, `vec_stores`, `prefetches` |
+//! | `cache`         | `level` (`"l1"`/`"l2"`), `hits`, `misses`, `evictions` (only when the simulator saw traffic) |
+//! | `cache_line`    | `func`, `line`, `accesses`, `l1_misses`, `l2_misses` |
+//! | `remark`        | `pass`, `kind`, `function`, `line`, `provenance`, `message` |
+//! | `heap_site`     | `func`, `line`, `provenance`, `count`, `bytes`, `peak_bytes`, `live_count`, `live_bytes` |
+//! | `heap_timeline` | `seq`, `live_bytes` |
+//! | `leak`          | `func`, `line`, `provenance`, `count`, `bytes` |
+//! | `sample`        | `stack` (`"outer;inner"`), `count` |
+
+use crate::chrome::escape;
+use crate::Profile;
+use std::fmt::Write as _;
+
+impl Profile {
+    /// Serializes the profile as one deterministic JSONL event stream.
+    /// See the module docs of `events` for the schema.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"meta\",\"version\":1,\"total_instructions\":{},\"sample_interval\":{}}}",
+            self.total_instructions(),
+            self.samples.interval
+        );
+        for (seq, ev) in self.events.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"span\",\"seq\":{},\"stage\":\"{}\",\"name\":\"{}\"}}",
+                seq,
+                ev.stage.label(),
+                escape(&ev.name)
+            );
+        }
+        for (op, n) in &self.ops {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"op\",\"name\":\"{}\",\"count\":{}}}",
+                escape(op),
+                n
+            );
+        }
+        for f in &self.funcs {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"func\",\"name\":\"{}\",\"calls\":{},\"inclusive\":{},\"exclusive\":{}}}",
+                escape(&f.name),
+                f.counters.calls,
+                f.counters.inclusive,
+                f.counters.exclusive
+            );
+        }
+        let m = &self.mem;
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"mem\",\"mallocs\":{},\"frees\":{},\"peak_live_bytes\":{},\
+             \"loads\":[{},{},{},{}],\"stores\":[{},{},{},{}],\
+             \"vec_loads\":{},\"vec_stores\":{},\"prefetches\":{}}}",
+            m.mallocs,
+            m.frees,
+            m.peak_live_bytes,
+            m.loads[0],
+            m.loads[1],
+            m.loads[2],
+            m.loads[3],
+            m.stores[0],
+            m.stores[1],
+            m.stores[2],
+            m.stores[3],
+            m.vec_loads,
+            m.vec_stores,
+            m.prefetches
+        );
+        if self.cache.total_accesses() > 0 {
+            for (level, s) in [("l1", self.cache.l1), ("l2", self.cache.l2)] {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"cache\",\"level\":\"{}\",\"hits\":{},\"misses\":{},\"evictions\":{}}}",
+                    level, s.hits, s.misses, s.evictions
+                );
+            }
+        }
+        for l in &self.cache_lines {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"cache_line\",\"func\":\"{}\",\"line\":{},\"accesses\":{},\
+                 \"l1_misses\":{},\"l2_misses\":{}}}",
+                escape(&l.func),
+                l.line,
+                l.accesses,
+                l.l1_misses,
+                l.l2_misses
+            );
+        }
+        for r in &self.remarks {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"remark\",\"pass\":\"{}\",\"kind\":\"{}\",\"function\":\"{}\",\
+                 \"line\":{},\"provenance\":\"{}\",\"message\":\"{}\"}}",
+                escape(&r.pass),
+                escape(&r.kind),
+                escape(&r.function),
+                r.line,
+                escape(&r.provenance),
+                escape(&r.message)
+            );
+        }
+        for s in &self.heap.sites {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"heap_site\",\"func\":\"{}\",\"line\":{},\"provenance\":\"{}\",\
+                 \"count\":{},\"bytes\":{},\"peak_bytes\":{},\"live_count\":{},\"live_bytes\":{}}}",
+                escape(&s.func),
+                s.line,
+                escape(&s.provenance),
+                s.count,
+                s.bytes,
+                s.peak_bytes,
+                s.live_count,
+                s.live_bytes
+            );
+        }
+        for p in &self.heap.timeline {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"heap_timeline\",\"seq\":{},\"live_bytes\":{}}}",
+                p.seq, p.live_bytes
+            );
+        }
+        for s in self.heap.leaks() {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"leak\",\"func\":\"{}\",\"line\":{},\"provenance\":\"{}\",\
+                 \"count\":{},\"bytes\":{}}}",
+                escape(&s.func),
+                s.line,
+                escape(&s.provenance),
+                s.live_count,
+                s.live_bytes
+            );
+        }
+        for (stack, n) in &self.samples.stacks {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"sample\",\"stack\":\"{}\",\"count\":{}}}",
+                escape(stack),
+                n
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        FuncCounters, FuncProfile, HeapSiteStats, HeapStats, HeapTimelinePoint, Remark,
+        SampleStats, SpanEvent, Stage,
+    };
+
+    fn sample_profile() -> Profile {
+        Profile {
+            events: vec![SpanEvent {
+                stage: Stage::Parse,
+                name: "chunk".to_string(),
+                start_us: 11,
+                dur_us: 7,
+            }],
+            ops: vec![("add.i".to_string(), 3)],
+            funcs: vec![FuncProfile {
+                name: "f".to_string(),
+                counters: FuncCounters {
+                    calls: 1,
+                    inclusive: 3,
+                    exclusive: 3,
+                },
+            }],
+            remarks: vec![Remark {
+                pass: "inline".to_string(),
+                kind: "applied".to_string(),
+                function: "f".to_string(),
+                line: 4,
+                provenance: "via quote at line 9".to_string(),
+                message: "inlined 'g'".to_string(),
+            }],
+            heap: HeapStats {
+                sites: vec![HeapSiteStats {
+                    func: "f".to_string(),
+                    line: 4,
+                    provenance: "via quote at line 9".to_string(),
+                    count: 2,
+                    bytes: 128,
+                    peak_bytes: 128,
+                    live_count: 1,
+                    live_bytes: 64,
+                }],
+                timeline: vec![HeapTimelinePoint {
+                    seq: 1,
+                    live_bytes: 64,
+                }],
+                live_bytes: 64,
+                peak_live_bytes: 128,
+            },
+            samples: SampleStats {
+                interval: 100,
+                total: 2,
+                stacks: vec![("f;g".to_string(), 2)],
+            },
+            ..Profile::default()
+        }
+    }
+
+    #[test]
+    fn every_line_is_a_json_object() {
+        let jsonl = sample_profile().to_jsonl();
+        assert!(jsonl.lines().count() >= 8);
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"type\":\""), "{line}");
+        }
+    }
+
+    #[test]
+    fn spans_carry_no_timestamps() {
+        let jsonl = sample_profile().to_jsonl();
+        let span = jsonl
+            .lines()
+            .find(|l| l.contains("\"type\":\"span\""))
+            .unwrap();
+        assert!(!span.contains("11") && !span.contains("dur"), "{span}");
+        assert!(span.contains("\"seq\":0"));
+    }
+
+    #[test]
+    fn stream_is_identical_across_renders() {
+        let p = sample_profile();
+        assert_eq!(p.to_jsonl(), p.to_jsonl());
+    }
+
+    #[test]
+    fn heap_and_samples_and_leaks_appear() {
+        let jsonl = sample_profile().to_jsonl();
+        assert!(jsonl.contains("\"type\":\"heap_site\""));
+        assert!(jsonl.contains("\"type\":\"heap_timeline\""));
+        assert!(jsonl.contains("\"type\":\"leak\""));
+        assert!(jsonl.contains("\"type\":\"sample\""));
+        assert!(jsonl.contains("\"sample_interval\":100"));
+        assert!(jsonl.contains("via quote at line 9"));
+    }
+}

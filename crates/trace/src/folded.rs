@@ -13,11 +13,25 @@ use std::collections::BTreeMap;
 use std::fmt::Write;
 
 impl Profile {
-    /// Renders the span timeline as folded stacks, sorted by stack name.
+    /// Renders the profile as folded stacks, sorted by stack name.
     ///
-    /// Returns an empty string when the profile has no events (the timeline
-    /// is only recorded while tracing is enabled).
+    /// When the sampling profiler collected stacks (`--sample=N`), those are
+    /// emitted — sample counts as weights, byte-stable across runs. Without
+    /// samples, stacks are rebuilt from the wall-clock span timeline.
+    /// Returns an empty string when neither source has data.
     pub fn to_folded(&self) -> String {
+        if !self.samples.stacks.is_empty() {
+            let mut out = String::new();
+            for (stack, n) in &self.samples.stacks {
+                let _ = writeln!(out, "{stack} {n}");
+            }
+            return out;
+        }
+        self.spans_to_folded()
+    }
+
+    /// Folded stacks from the span timeline (the pre-sampling behaviour).
+    fn spans_to_folded(&self) -> String {
         // Sort by start ascending; ties by longer duration first so parents
         // precede their children, then by original index for determinism.
         let mut order: Vec<usize> = (0..self.events.len()).collect();
@@ -89,17 +103,12 @@ impl Profile {
 
 #[cfg(test)]
 mod tests {
-    use crate::{CacheStats, MemStats, Profile, SpanEvent, Stage};
+    use crate::{Profile, SampleStats, SpanEvent, Stage};
 
     fn profile_with(events: Vec<SpanEvent>) -> Profile {
         Profile {
             events,
-            ops: Vec::new(),
-            funcs: Vec::new(),
-            mem: MemStats::default(),
-            cache: CacheStats::default(),
-            cache_lines: Vec::new(),
-            remarks: Vec::new(),
+            ..Profile::default()
         }
     }
 
@@ -183,6 +192,20 @@ mod tests {
             span(Stage::Execute, "f", 5, 7),
         ]);
         assert_eq!(p.to_folded(), "execute: f 12\n");
+    }
+
+    #[test]
+    fn sample_stacks_take_precedence_over_the_span_timeline() {
+        let mut p = profile_with(vec![span(Stage::Execute, "main", 0, 42)]);
+        p.samples = SampleStats {
+            interval: 10,
+            total: 5,
+            stacks: vec![("run".to_string(), 2), ("run;gemm".to_string(), 3)],
+        };
+        assert_eq!(p.to_folded(), "run 2\nrun;gemm 3\n");
+        // Without samples the span timeline is still used.
+        p.samples = SampleStats::default();
+        assert_eq!(p.to_folded(), "execute: main 42\n");
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! Allocation-site heap profiling.
+//!
+//! [`HeapProfiler`] is the live collector embedded in the VM's `Memory`.
+//! The VM points it at the current allocation site — the same
+//! `(function, line, provenance-chain)` triple the trap path uses — right
+//! before a `malloc`/`realloc` builtin executes, so every allocation is
+//! attributed to the staged source that asked for it. Host-side allocations
+//! (string interning, globals, embedder calls) carry no site and are folded
+//! into a synthetic `(host)` row.
+//!
+//! Everything here counts allocation events and bytes, never wall clock, so
+//! the frozen [`HeapStats`] is part of the deterministic surface: two runs
+//! of the same program produce byte-identical heap reports.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Interning key for an allocation site.
+type SiteKey = (Rc<str>, u32, Option<Rc<str>>);
+
+/// Per-site accumulators while the program runs.
+#[derive(Debug, Default, Clone)]
+struct SiteRecord {
+    count: u64,
+    bytes: u64,
+    live_count: u64,
+    live_bytes: u64,
+    peak_bytes: u64,
+}
+
+/// One live allocation, keyed by payload address in [`HeapProfiler::live`].
+#[derive(Debug, Clone, Copy)]
+struct LiveAlloc {
+    site: usize,
+    bytes: u64,
+}
+
+/// A point on the live-heap high-water timeline: allocation number `seq`
+/// pushed the live-byte figure to a new peak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapTimelinePoint {
+    /// 1-based allocation sequence number (deterministic, not wall clock).
+    pub seq: u64,
+    /// Live heap bytes immediately after that allocation.
+    pub live_bytes: u64,
+}
+
+/// Cap on stored timeline points; on overflow every other point is dropped,
+/// deterministically, so long allocation storms stay bounded.
+const TIMELINE_CAP: usize = 512;
+
+/// Live allocation-site collector. See the module docs.
+#[derive(Debug, Default)]
+pub struct HeapProfiler {
+    site_ids: BTreeMap<SiteKey, usize>,
+    keys: Vec<SiteKey>,
+    sites: Vec<SiteRecord>,
+    live: BTreeMap<u64, LiveAlloc>,
+    current: Option<usize>,
+    live_bytes: u64,
+    peak_live_bytes: u64,
+    seq: u64,
+    timeline: Vec<HeapTimelinePoint>,
+}
+
+impl HeapProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        HeapProfiler::default()
+    }
+
+    /// Sets the site the *next* allocation(s) will be attributed to. The VM
+    /// calls this when the instruction about to execute is a
+    /// `malloc`/`realloc` builtin call.
+    pub fn set_site(&mut self, func: &Rc<str>, line: u32, prov: Option<Rc<str>>) {
+        let key = (Rc::clone(func), line, prov);
+        let id = self.intern(key);
+        self.current = Some(id);
+    }
+
+    /// Clears the current site; subsequent allocations are host-side.
+    pub fn clear_site(&mut self) {
+        self.current = None;
+    }
+
+    fn intern(&mut self, key: SiteKey) -> usize {
+        if let Some(&id) = self.site_ids.get(&key) {
+            return id;
+        }
+        let id = self.sites.len();
+        self.site_ids.insert(key.clone(), id);
+        self.keys.push(key);
+        self.sites.push(SiteRecord::default());
+        id
+    }
+
+    fn host_site(&mut self) -> usize {
+        self.intern((Rc::from("(host)"), 0, None))
+    }
+
+    /// Records an allocation of `bytes` (the block size, matching the VM's
+    /// live-byte accounting) whose payload starts at `addr`.
+    pub fn note_alloc(&mut self, addr: u64, bytes: u64) {
+        let site = match self.current {
+            Some(id) => id,
+            None => self.host_site(),
+        };
+        self.seq += 1;
+        let rec = &mut self.sites[site];
+        rec.count += 1;
+        rec.bytes += bytes;
+        rec.live_count += 1;
+        rec.live_bytes += bytes;
+        if rec.live_bytes > rec.peak_bytes {
+            rec.peak_bytes = rec.live_bytes;
+        }
+        self.live.insert(addr, LiveAlloc { site, bytes });
+        self.live_bytes += bytes;
+        if self.live_bytes > self.peak_live_bytes {
+            self.peak_live_bytes = self.live_bytes;
+            self.timeline.push(HeapTimelinePoint {
+                seq: self.seq,
+                live_bytes: self.live_bytes,
+            });
+            if self.timeline.len() > TIMELINE_CAP {
+                // Keep every other point, always retaining the final peak.
+                let last = self.timeline.len() - 1;
+                let kept: Vec<_> = self
+                    .timeline
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % 2 == 1 || *i == last)
+                    .map(|(_, p)| *p)
+                    .collect();
+                self.timeline = kept;
+            }
+        }
+    }
+
+    /// Records a free of the allocation whose payload starts at `addr`.
+    /// Unknown addresses (allocated before profiling began) are ignored.
+    pub fn note_free(&mut self, addr: u64) {
+        let Some(alloc) = self.live.remove(&addr) else {
+            return;
+        };
+        let rec = &mut self.sites[alloc.site];
+        rec.live_count -= 1;
+        rec.live_bytes -= alloc.bytes;
+        self.live_bytes -= alloc.bytes;
+    }
+
+    /// Discards everything collected so far.
+    pub fn reset(&mut self) {
+        *self = HeapProfiler::default();
+    }
+
+    /// Freezes the collected data. Sites are ordered by total bytes
+    /// (descending), then function name and line, for a deterministic
+    /// report.
+    pub fn snapshot(&self) -> HeapStats {
+        let mut sites: Vec<HeapSiteStats> = self
+            .keys
+            .iter()
+            .zip(self.sites.iter())
+            .map(|((func, line, prov), rec)| HeapSiteStats {
+                func: func.to_string(),
+                line: *line,
+                provenance: prov.as_deref().unwrap_or("").to_string(),
+                count: rec.count,
+                bytes: rec.bytes,
+                peak_bytes: rec.peak_bytes,
+                live_count: rec.live_count,
+                live_bytes: rec.live_bytes,
+            })
+            .collect();
+        sites.sort_by(|a, b| {
+            b.bytes
+                .cmp(&a.bytes)
+                .then_with(|| a.func.cmp(&b.func))
+                .then_with(|| a.line.cmp(&b.line))
+        });
+        HeapStats {
+            sites,
+            timeline: self.timeline.clone(),
+            live_bytes: self.live_bytes,
+            peak_live_bytes: self.peak_live_bytes,
+        }
+    }
+}
+
+/// A frozen per-site row of the heap profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeapSiteStats {
+    /// Terra function the allocation executed in (`"(host)"` for embedder /
+    /// interning allocations with no VM context).
+    pub func: String,
+    /// 1-based source line of the allocating statement (0 = unknown).
+    pub line: u32,
+    /// Rendered staging chain (`"via quote at line 9"`), empty when the
+    /// allocation site was written in place.
+    pub provenance: String,
+    /// Allocations attributed to this site.
+    pub count: u64,
+    /// Total bytes ever allocated here.
+    pub bytes: u64,
+    /// Peak bytes simultaneously live from this site.
+    pub peak_bytes: u64,
+    /// Allocations from this site still live at snapshot time.
+    pub live_count: u64,
+    /// Bytes from this site still live at snapshot time.
+    pub live_bytes: u64,
+}
+
+impl HeapSiteStats {
+    /// Renders the site as `func:line [provenance]` — the form the leak
+    /// report and hot-site table use.
+    pub fn location(&self) -> String {
+        let mut s = if self.line == 0 {
+            self.func.clone()
+        } else {
+            format!("{}:{}", self.func, self.line)
+        };
+        if !self.provenance.is_empty() {
+            s.push_str(&format!(", generated {}", self.provenance));
+        }
+        s
+    }
+}
+
+/// A frozen snapshot of the heap profiler, embedded in a `Profile`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Per-site rows, largest total bytes first.
+    pub sites: Vec<HeapSiteStats>,
+    /// Live-heap high-water timeline (new-peak points only).
+    pub timeline: Vec<HeapTimelinePoint>,
+    /// Bytes live at snapshot time.
+    pub live_bytes: u64,
+    /// Peak bytes ever simultaneously live.
+    pub peak_live_bytes: u64,
+}
+
+impl HeapStats {
+    /// Sites with allocations still live at snapshot time — the leak
+    /// report. Ordered like [`HeapStats::sites`] (leaked bytes ties follow
+    /// total bytes).
+    pub fn leaks(&self) -> impl Iterator<Item = &HeapSiteStats> {
+        self.sites.iter().filter(|s| s.live_count > 0)
+    }
+
+    /// Total allocations still live.
+    pub fn leaked_allocs(&self) -> u64 {
+        self.leaks().map(|s| s.live_count).sum()
+    }
+
+    /// Total bytes still live.
+    pub fn leaked_bytes(&self) -> u64 {
+        self.leaks().map(|s| s.live_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(h: &mut HeapProfiler, func: &str, line: u32, prov: Option<&str>) {
+        let f: Rc<str> = Rc::from(func);
+        h.set_site(&f, line, prov.map(Rc::from));
+    }
+
+    #[test]
+    fn attribution_and_leaks() {
+        let mut h = HeapProfiler::new();
+        site(&mut h, "kernel", 7, Some("via quote at line 3"));
+        h.note_alloc(1000, 64);
+        h.note_alloc(2000, 64);
+        site(&mut h, "kernel", 9, None);
+        h.note_alloc(3000, 128);
+        h.note_free(2000);
+        let s = h.snapshot();
+        assert_eq!(s.sites.len(), 2);
+        // Largest total bytes first: line 7 allocated 128 total, line 9 too;
+        // ties break by func then line.
+        assert_eq!(s.peak_live_bytes, 256);
+        assert_eq!(s.live_bytes, 192);
+        assert_eq!(s.leaked_allocs(), 2);
+        assert_eq!(s.leaked_bytes(), 192);
+        let quoted = s.sites.iter().find(|x| x.line == 7).unwrap();
+        assert_eq!(quoted.count, 2);
+        assert_eq!(quoted.live_count, 1);
+        assert_eq!(quoted.location(), "kernel:7, generated via quote at line 3");
+    }
+
+    #[test]
+    fn host_allocations_get_a_synthetic_site() {
+        let mut h = HeapProfiler::new();
+        h.note_alloc(500, 32);
+        let s = h.snapshot();
+        assert_eq!(s.sites.len(), 1);
+        assert_eq!(s.sites[0].func, "(host)");
+        assert_eq!(s.sites[0].line, 0);
+        assert_eq!(s.sites[0].location(), "(host)");
+    }
+
+    #[test]
+    fn unknown_free_is_ignored() {
+        let mut h = HeapProfiler::new();
+        site(&mut h, "f", 1, None);
+        h.note_alloc(100, 16);
+        h.note_free(999); // never recorded
+        assert_eq!(h.snapshot().live_bytes, 16);
+    }
+
+    #[test]
+    fn timeline_records_new_peaks_only() {
+        let mut h = HeapProfiler::new();
+        site(&mut h, "f", 1, None);
+        h.note_alloc(100, 16); // peak 16
+        h.note_free(100);
+        h.note_alloc(200, 8); // live 8, no new peak
+        h.note_alloc(300, 16); // live 24, new peak
+        let s = h.snapshot();
+        assert_eq!(
+            s.timeline,
+            vec![
+                HeapTimelinePoint {
+                    seq: 1,
+                    live_bytes: 16
+                },
+                HeapTimelinePoint {
+                    seq: 3,
+                    live_bytes: 24
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn timeline_decimates_deterministically() {
+        let mut h = HeapProfiler::new();
+        site(&mut h, "f", 1, None);
+        for i in 0..2000u64 {
+            h.note_alloc(10_000 + i * 16, 16); // every alloc a new peak
+        }
+        let s = h.snapshot();
+        assert!(s.timeline.len() <= TIMELINE_CAP);
+        // The final (highest) peak always survives decimation.
+        assert_eq!(s.timeline.last().unwrap().live_bytes, 2000 * 16);
+        // A second identical run produces identical points.
+        let mut h2 = HeapProfiler::new();
+        site(&mut h2, "f", 1, None);
+        for i in 0..2000u64 {
+            h2.note_alloc(10_000 + i * 16, 16);
+        }
+        assert_eq!(s.timeline, h2.snapshot().timeline);
+    }
+
+    #[test]
+    fn reset_discards_everything() {
+        let mut h = HeapProfiler::new();
+        site(&mut h, "f", 1, None);
+        h.note_alloc(100, 16);
+        h.reset();
+        let s = h.snapshot();
+        assert!(s.sites.is_empty());
+        assert_eq!(s.peak_live_bytes, 0);
+    }
+}

@@ -29,8 +29,14 @@
 #![warn(missing_docs)]
 
 mod chrome;
+mod events;
 mod folded;
+mod heap;
 mod report;
+mod sample;
+
+pub use heap::{HeapProfiler, HeapSiteStats, HeapStats, HeapTimelinePoint};
+pub use sample::{SampleFuncRank, SampleStats, Sampler};
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -153,6 +159,7 @@ pub struct Tracer {
     funcs: BTreeMap<Rc<str>, FuncCounters>,
     stack: Vec<ActiveFunc>,
     remarks: Vec<Remark>,
+    sampler: Sampler,
 }
 
 impl Default for Tracer {
@@ -172,6 +179,7 @@ impl Tracer {
             funcs: BTreeMap::new(),
             stack: Vec::new(),
             remarks: Vec::new(),
+            sampler: Sampler::default(),
         }
     }
 
@@ -186,13 +194,61 @@ impl Tracer {
         self.enabled
     }
 
-    /// Discards all collected events and counters (the gate stays as-is).
+    /// Discards all collected events and counters (the gate stays as-is,
+    /// and so does the sampling interval).
     pub fn reset(&mut self) {
         self.events.clear();
         self.ops.clear();
         self.funcs.clear();
         self.stack.clear();
         self.remarks.clear();
+        self.sampler.reset();
+    }
+
+    // -- sampling ------------------------------------------------------------
+
+    /// Sets the sampling interval in retired instructions (0 = off).
+    pub fn set_sample_interval(&mut self, interval: u64) {
+        self.sampler.set_interval(interval);
+    }
+
+    /// The configured sampling interval (0 = sampling off).
+    pub fn sample_interval(&self) -> u64 {
+        self.sampler.interval()
+    }
+
+    /// Whether the sampling profiler is active.
+    #[inline]
+    pub fn sampling(&self) -> bool {
+        self.sampler.active()
+    }
+
+    /// Counts one retired instruction toward the next sample; when the
+    /// interval elapses, captures the current activation stack. The VM
+    /// calls this once per instruction while [`Tracer::sampling`] is on —
+    /// retired instructions only, so the sample points are independent of
+    /// whether the exact profiler (and its `chk` pseudo-ops) is also on.
+    #[inline]
+    pub fn sample_tick(&mut self) {
+        if !self.sampler.active() {
+            return;
+        }
+        if self.sampler.tick() {
+            let mut key = String::new();
+            for (i, f) in self.stack.iter().enumerate() {
+                if i > 0 {
+                    key.push(';');
+                }
+                // Frame separator is reserved; sanitize like folded output.
+                for ch in f.name.chars() {
+                    key.push(if ch == ';' { ',' } else { ch });
+                }
+            }
+            if key.is_empty() {
+                key.push_str("(host)");
+            }
+            self.sampler.record(key);
+        }
     }
 
     // -- remarks -------------------------------------------------------------
@@ -325,6 +381,8 @@ impl Tracer {
             cache: CacheStats::default(),
             cache_lines: Vec::new(),
             remarks: self.remarks.clone(),
+            heap: HeapStats::default(),
+            samples: self.sampler.snapshot(),
         }
     }
 }
@@ -662,7 +720,7 @@ pub struct LineStat {
 }
 
 /// A complete, frozen profile: timeline + all counters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Profile {
     /// Staging/execution timeline spans, in completion order.
     pub events: Vec<SpanEvent>,
@@ -679,6 +737,10 @@ pub struct Profile {
     pub cache_lines: Vec<LineStat>,
     /// Optimization remarks in emission order (deterministic).
     pub remarks: Vec<Remark>,
+    /// Allocation-site heap profile (sites, high-water timeline, leaks).
+    pub heap: HeapStats,
+    /// Statistical profile from the deterministic sampling profiler.
+    pub samples: SampleStats,
 }
 
 impl Profile {
@@ -805,6 +867,36 @@ mod tests {
         assert!(CacheConfig::parse("l1=64,64,8:l2=256k,64,8").is_err()); // too small
         assert!(CacheConfig::parse("l1=1000,64,8:l2=256k,64,8").is_err()); // not multiple
         assert!(CacheConfig::parse("garbage").is_err());
+    }
+
+    #[test]
+    fn sampling_captures_the_activation_stack() {
+        let mut t = Tracer::new();
+        t.set_sample_interval(2);
+        t.func_enter(Rc::from("outer"));
+        t.sample_tick(); // 1: no sample
+        t.func_enter(Rc::from("inner"));
+        t.sample_tick(); // 2: sample at outer;inner
+        t.sample_tick(); // 3
+        t.func_exit();
+        t.sample_tick(); // 4: sample at outer
+        t.func_exit();
+        let p = t.snapshot(MemStats::default());
+        assert_eq!(p.samples.interval, 2);
+        assert_eq!(p.samples.total, 2);
+        assert_eq!(
+            p.samples.stacks,
+            vec![("outer".to_string(), 1), ("outer;inner".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn sampling_off_records_nothing() {
+        let mut t = Tracer::new();
+        t.func_enter(Rc::from("f"));
+        t.sample_tick();
+        t.func_exit();
+        assert_eq!(t.snapshot(MemStats::default()).samples.total, 0);
     }
 
     #[test]

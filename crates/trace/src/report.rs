@@ -45,6 +45,9 @@ impl Profile {
                 f.counters.calls, f.counters.inclusive, f.counters.exclusive, f.name
             );
         }
+        if self.samples.interval > 0 {
+            out.push_str(&self.render_samples());
+        }
         let _ = writeln!(
             out,
             "== opcode counters == ({} instructions)",
@@ -71,11 +74,97 @@ impl Profile {
             m.stores[0], m.stores[1], m.stores[2], m.stores[3], m.vec_stores
         );
         let _ = writeln!(out, "  prefetch hints {}", m.prefetches);
+        if !self.heap.sites.is_empty() {
+            out.push_str(&self.render_heap());
+        }
         if self.cache.total_accesses() > 0 || !self.cache_lines.is_empty() {
             out.push_str(&self.render_locality());
         }
         if !self.remarks.is_empty() {
             out.push_str(&self.render_remarks(None));
+        }
+        out
+    }
+
+    /// Renders the allocation-site heap section: per-site traffic, the
+    /// live-heap high-water timeline, and the end-of-run leak report with
+    /// staging provenance chains.
+    ///
+    /// Deterministic: every figure is a byte or allocation count; the
+    /// timeline is keyed by allocation sequence number, not wall clock.
+    pub fn render_heap(&self) -> String {
+        let h = &self.heap;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== heap == ({} site(s), peak live {} bytes, live at exit {} bytes)",
+            h.sites.len(),
+            h.peak_live_bytes,
+            h.live_bytes
+        );
+        out.push_str("    allocs       bytes        peak        live  site\n");
+        for s in &h.sites {
+            let _ = writeln!(
+                out,
+                "  {:>8} {:>11} {:>11} {:>11}  {}",
+                s.count,
+                s.bytes,
+                s.peak_bytes,
+                s.live_bytes,
+                s.location()
+            );
+        }
+        if let Some(last) = h.timeline.last() {
+            let _ = writeln!(
+                out,
+                "  high-water timeline: {} point(s), peak {} bytes at alloc #{}",
+                h.timeline.len(),
+                last.live_bytes,
+                last.seq
+            );
+        }
+        if h.leaked_allocs() > 0 {
+            let _ = writeln!(
+                out,
+                "  leaked allocations ({} bytes in {} allocation(s)):",
+                h.leaked_bytes(),
+                h.leaked_allocs()
+            );
+            for s in h.leaks() {
+                let _ = writeln!(
+                    out,
+                    "    {} bytes in {} allocation(s): allocated at {}",
+                    s.live_bytes,
+                    s.live_count,
+                    s.location()
+                );
+            }
+        } else {
+            out.push_str("  no leaks (every tracked allocation was freed)\n");
+        }
+        out
+    }
+
+    /// Renders the sampling-profiler section: sample totals plus the
+    /// per-function ranking (containing = stack contains the function,
+    /// the statistical analogue of inclusive; leaf = it was on top).
+    ///
+    /// Deterministic: samples trigger on retired-instruction counts.
+    pub fn render_samples(&self) -> String {
+        let s = &self.samples;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== samples == (every {} instructions, {} sample(s))",
+            s.interval, s.total
+        );
+        if s.total == 0 {
+            out.push_str("  (no samples: program retired fewer instructions than the interval)\n");
+            return out;
+        }
+        out.push_str("  containing       leaf  function\n");
+        for r in s.top_functions() {
+            let _ = writeln!(out, "  {:>10} {:>10}  {}", r.containing, r.leaf, r.name);
         }
         out
     }
@@ -178,12 +267,12 @@ impl Profile {
 #[cfg(test)]
 mod tests {
     use crate::{
-        CacheLevelStats, CacheStats, FuncCounters, FuncProfile, LineStat, MemStats, Profile,
+        CacheLevelStats, FuncCounters, FuncProfile, HeapSiteStats, HeapStats, HeapTimelinePoint,
+        LineStat, Profile, SampleStats,
     };
 
     fn base_profile() -> Profile {
         Profile {
-            events: Vec::new(),
             ops: vec![("add.i".into(), 3), ("ret".into(), 1)],
             funcs: vec![FuncProfile {
                 name: "f".into(),
@@ -193,10 +282,7 @@ mod tests {
                     exclusive: 4,
                 },
             }],
-            mem: MemStats::default(),
-            cache: CacheStats::default(),
-            cache_lines: Vec::new(),
-            remarks: Vec::new(),
+            ..Profile::default()
         }
     }
 
@@ -247,6 +333,93 @@ mod tests {
         assert!(only_dce.contains("dce"), "{only_dce}");
         let none = p.render_remarks(Some("licm"));
         assert!(none.contains("(none)"), "{none}");
+    }
+
+    #[test]
+    fn heap_section_renders_sites_and_leaks() {
+        let mut p = base_profile();
+        // No heap data: the section stays out of the report.
+        assert!(!p.render_counters().contains("== heap =="));
+        p.heap = HeapStats {
+            sites: vec![
+                HeapSiteStats {
+                    func: "kernel".into(),
+                    line: 7,
+                    provenance: "via quote at line 3".into(),
+                    count: 2,
+                    bytes: 128,
+                    peak_bytes: 128,
+                    live_count: 1,
+                    live_bytes: 64,
+                },
+                HeapSiteStats {
+                    func: "kernel".into(),
+                    line: 9,
+                    provenance: String::new(),
+                    count: 1,
+                    bytes: 32,
+                    peak_bytes: 32,
+                    live_count: 0,
+                    live_bytes: 0,
+                },
+            ],
+            timeline: vec![HeapTimelinePoint {
+                seq: 3,
+                live_bytes: 160,
+            }],
+            live_bytes: 64,
+            peak_live_bytes: 160,
+        };
+        let r = p.render_counters();
+        assert!(
+            r.contains("== heap == (2 site(s), peak live 160 bytes"),
+            "{r}"
+        );
+        assert!(r.contains("kernel:7, generated via quote at line 3"), "{r}");
+        assert!(
+            r.contains("64 bytes in 1 allocation(s): allocated at kernel:7"),
+            "{r}"
+        );
+        assert!(r.contains("peak 160 bytes at alloc #3"), "{r}");
+        // The fully-freed site does not appear in the leak report.
+        assert!(!r.contains("allocated at kernel:9"), "{r}");
+    }
+
+    #[test]
+    fn heap_section_reports_no_leaks_when_clean() {
+        let mut p = base_profile();
+        p.heap.sites = vec![HeapSiteStats {
+            func: "f".into(),
+            line: 2,
+            provenance: String::new(),
+            count: 1,
+            bytes: 16,
+            peak_bytes: 16,
+            live_count: 0,
+            live_bytes: 0,
+        }];
+        let r = p.render_heap();
+        assert!(r.contains("no leaks"), "{r}");
+    }
+
+    #[test]
+    fn samples_section_renders_ranking() {
+        let mut p = base_profile();
+        assert!(!p.render_counters().contains("== samples =="));
+        p.samples = SampleStats {
+            interval: 100,
+            total: 3,
+            stacks: vec![("run;gemm".into(), 2), ("run".into(), 1)],
+        };
+        let r = p.render_counters();
+        assert!(
+            r.contains("== samples == (every 100 instructions, 3 sample(s))"),
+            "{r}"
+        );
+        let run_row = r.lines().find(|l| l.ends_with("  run")).unwrap();
+        assert!(run_row.contains('3'), "{run_row}");
+        // Determinism of the rendered section.
+        assert_eq!(p.render_samples(), p.render_samples());
     }
 
     #[test]

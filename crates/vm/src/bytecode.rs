@@ -1128,6 +1128,18 @@ impl CompiledFunction {
             self.prov_table.get(idx as usize - 1).map(|s| &**s)
         }
     }
+
+    /// Like [`CompiledFunction::prov_at`], but returns the interned handle —
+    /// for attribution sinks (the heap profiler) that outlive the frame.
+    #[inline]
+    pub fn prov_rc_at(&self, pc: usize) -> Option<Rc<str>> {
+        let idx = self.provs.get(pc).copied().unwrap_or(0);
+        if idx == 0 {
+            None
+        } else {
+            self.prov_table.get(idx as usize - 1).cloned()
+        }
+    }
 }
 
 #[cfg(test)]

@@ -242,6 +242,7 @@ impl Vm {
         // Accesses made by the host from here on are not Terra code.
         if prog.memory.profile_enabled() {
             prog.memory.clear_access_site();
+            prog.memory.clear_alloc_site();
         }
         self.regs.truncate(saved_regs);
         result.map_err(|trap| {
@@ -301,7 +302,10 @@ impl Vm {
         // Read the profiling gate once: the hot loop pays a single
         // predictable branch per instruction when profiling is off.
         let profiling = prog.trace.enabled();
-        if profiling {
+        // The sampler needs the activation stack maintained (per-call work
+        // only) plus one countdown decrement per retired instruction.
+        let sampling = prog.trace.sampling();
+        if profiling || sampling {
             prog.trace.func_enter(Rc::clone(&func.name));
         }
         self.frames.push(Frame {
@@ -410,6 +414,22 @@ impl Vm {
                     // to its (function, source line) for the cache simulator.
                     prog.memory
                         .set_access_site(&func.name, func.line_at(pc - 1));
+                    // Likewise point the heap profiler at allocating builtins
+                    // so every malloc/realloc carries its staged source site.
+                    if let Instr::CallBuiltin {
+                        b: Builtin::Malloc | Builtin::Realloc,
+                        ..
+                    } = instr
+                    {
+                        prog.memory.set_alloc_site(
+                            &func.name,
+                            func.line_at(pc - 1),
+                            func.prov_rc_at(pc - 1),
+                        );
+                    }
+                }
+                if sampling {
+                    prog.trace.sample_tick();
                 }
                 match *instr {
                     Instr::ConstI { d, v } => seti!(d, v),
@@ -710,7 +730,7 @@ impl Vm {
                     Instr::Ret { s } => {
                         let val = if s == NO_REG { [0u64; 4] } else { r!(s) };
                         let done = self.frames.len() == entry_frames + 1;
-                        if profiling {
+                        if profiling || sampling {
                             prog.trace.func_exit();
                         }
                         let fr = self.frames.pop().expect("frame exists");
@@ -753,7 +773,7 @@ impl Vm {
             .memory
             .push_frame(callee.frame_size as u64)
             .map_err(|_| Trap::StackOverflow)?;
-        if prog.trace.enabled() {
+        if prog.trace.enabled() || prog.trace.sampling() {
             prog.trace.func_enter(Rc::clone(&callee.name));
         }
         self.frames.push(Frame {

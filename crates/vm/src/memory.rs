@@ -104,6 +104,9 @@ pub struct Memory {
     /// Two-level cache simulator, gated behind the same `profile` flag.
     /// `RefCell` because loads go through `&Memory`.
     cache: std::cell::RefCell<crate::cache::CacheSim>,
+    /// Allocation-site heap profiler, gated behind the same `profile` flag.
+    /// A plain field (no cell): `malloc`/`free`/`realloc` take `&mut self`.
+    heap: terra_trace::HeapProfiler,
 }
 
 impl Default for Memory {
@@ -129,6 +132,7 @@ impl Memory {
             profile: false,
             counters: terra_trace::MemCounters::default(),
             cache: std::cell::RefCell::new(crate::cache::CacheSim::default()),
+            heap: terra_trace::HeapProfiler::default(),
         }
     }
 
@@ -187,6 +191,39 @@ impl Memory {
     #[inline]
     pub fn clear_access_site(&self) {
         self.cache.borrow_mut().clear_site();
+    }
+
+    // -- heap profiler -------------------------------------------------------
+
+    /// Sets the (function, line, provenance) site the next heap allocation
+    /// is attributed to. The VM calls this right before a `malloc`/`realloc`
+    /// builtin executes; only meaningful while profiling is on.
+    #[inline]
+    pub fn set_alloc_site(
+        &mut self,
+        func: &std::rc::Rc<str>,
+        line: u32,
+        prov: Option<std::rc::Rc<str>>,
+    ) {
+        self.heap.set_site(func, line, prov);
+    }
+
+    /// Clears the allocation site; subsequent allocations (string interning,
+    /// embedder `Terra::malloc`) are attributed to a synthetic `(host)` row.
+    #[inline]
+    pub fn clear_alloc_site(&mut self) {
+        self.heap.clear_site();
+    }
+
+    /// Freezes the allocation-site heap profile (per-site traffic, the
+    /// high-water timeline, and surviving allocations for the leak report).
+    pub fn heap_stats(&self) -> terra_trace::HeapStats {
+        self.heap.snapshot()
+    }
+
+    /// Discards everything the heap profiler collected.
+    pub fn reset_heap(&mut self) {
+        self.heap.reset();
     }
 
     /// Turns sanitizer mode on or off. While on, freshly pushed stack frames
@@ -275,10 +312,11 @@ impl Memory {
         // Header: size class in the first 8 bytes.
         self.data[base as usize..base as usize + 8].copy_from_slice(&(class as u64).to_le_bytes());
         self.live_bytes += block_size;
+        let payload = base + BLOCK_HEADER;
         if self.profile {
             self.counters.note_malloc(self.live_bytes);
+            self.heap.note_alloc(payload, block_size);
         }
-        let payload = base + BLOCK_HEADER;
         if self.sanitize {
             self.freed.remove(&payload);
             let end = base + block_size;
@@ -325,6 +363,7 @@ impl Memory {
         self.live_bytes = self.live_bytes.saturating_sub(1 << class);
         if self.profile {
             self.counters.note_free();
+            self.heap.note_free(ptr);
         }
         self.free_lists[class].push(base);
         if self.sanitize {

@@ -131,14 +131,24 @@ impl Program {
         self.trace.reset();
         self.memory.counters().reset();
         self.memory.reset_cache();
+        self.memory.reset_heap();
     }
 
-    /// Freezes the current profile (timeline + VM + memory + cache
-    /// counters).
+    /// Sets the sampling profiler's interval in retired instructions
+    /// (0 = sampling off). Independent of the exact-profiling gate: the
+    /// sampler maintains only the activation stack plus a countdown, so it
+    /// stays cheap enough to leave always-on.
+    pub fn set_sample_interval(&mut self, interval: u64) {
+        self.trace.set_sample_interval(interval);
+    }
+
+    /// Freezes the current profile (timeline + VM + memory + cache + heap
+    /// counters and collected samples).
     pub fn profile(&self) -> terra_trace::Profile {
         let mut p = self.trace.snapshot(self.memory.counters().snapshot());
         p.cache = self.memory.cache_stats();
         p.cache_lines = self.memory.cache_line_stats();
+        p.heap = self.memory.heap_stats();
         p
     }
 

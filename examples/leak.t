@@ -1,0 +1,47 @@
+-- Heap-profiler fixture: allocates three buffers through staged code and
+-- frees only two, so `terra --heap-profile examples/leak.t` reports one
+-- leaked allocation. The leaky malloc lives inside a Lua quote, which gives
+-- the leak report a staging provenance chain ("allocated at line N,
+-- generated via quote at line M") — scripts/check.sh and scripts/profile.sh
+-- grep for it. Stdout is deterministic (a checksum only), so the example
+-- also participates in the optimizer/check-elision differentials.
+
+local C = terralib.includec("stdlib.h")
+
+-- Staged allocator: expands to a malloc at the splice site, so the heap
+-- profiler attributes the allocation to this quote's provenance chain.
+local function staged_buffer(dst, n)
+  return quote
+    dst = [&double](C.malloc(n * 8))
+    for i = 0, n do
+      dst[i] = i
+    end
+  end
+end
+
+terra checksum(p : &double, n : int) : double
+  var s = 0.0
+  for i = 0, n do
+    s = s + p[i]
+  end
+  return s
+end
+
+terra run(n : int) : double
+  -- The semicolon keeps the splice bracket from parsing as an index into
+  -- the preceding type annotation.
+  var a : &double
+  var b : &double
+  var keep : &double;
+  [staged_buffer(a, n)];
+  [staged_buffer(b, n)];
+  [staged_buffer(keep, n)]
+  var s = checksum(a, n) + checksum(b, n) + checksum(keep, n)
+  C.free(a)
+  C.free(b)
+  -- `keep` is deliberately never freed: the heap profiler's leak report
+  -- should attribute it to the staged_buffer quote above.
+  return s
+end
+
+print("leak checksum:", run(256))

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Compares a freshly generated BENCH_*.json against its committed baseline,
+# metric by metric, with per-metric tolerances:
+#
+#   - keys matching rate/reduction   absolute drift <= 0.02  (rates live in [0,1])
+#   - keys matching pct              absolute drift <= 2     (percentages, 0-100)
+#   - everything else                relative drift <= 5%    (deterministic counts)
+#
+# The two files must expose the same metric sequence — a schema change (new
+# kernel, renamed key, reordered entry) fails the diff so it gets a deliberate
+# baseline refresh instead of sliding through.
+#
+# Usage: bench_diff.sh BASELINE FRESH [NAME]
+# Exits 0 when every metric is within tolerance (or the baseline is missing,
+# with a note), 1 on drift or schema change.
+set -euo pipefail
+
+baseline="$1"
+fresh="$2"
+name="${3:-$(basename "$baseline")}"
+
+if [ ! -f "$baseline" ]; then
+    echo "bench_diff: $name: no committed baseline, skipping" >&2
+    exit 0
+fi
+if [ ! -f "$fresh" ]; then
+    echo "bench_diff: $name: fresh benchmark file $fresh is missing" >&2
+    exit 1
+fi
+
+# Pull out every `"key": <number>` pair, one per line, as `key value`. The
+# BENCH writers emit one JSON object per line, so this stays order-faithful.
+extract() {
+    grep -oE '"[A-Za-z_0-9]+": *-?[0-9][0-9.]*' "$1" | sed 's/"//g; s/: */ /'
+}
+
+base_pairs="$(extract "$baseline")"
+fresh_pairs="$(extract "$fresh")"
+
+if [ "$(cut -d' ' -f1 <<< "$base_pairs")" != "$(cut -d' ' -f1 <<< "$fresh_pairs")" ]; then
+    echo "bench_diff: $name: metric schema changed between baseline and fresh run" >&2
+    diff <(cut -d' ' -f1 <<< "$base_pairs") <(cut -d' ' -f1 <<< "$fresh_pairs") >&2 || true
+    exit 1
+fi
+
+paste -d' ' <(printf '%s\n' "$base_pairs") <(printf '%s\n' "$fresh_pairs") \
+    | awk -v name="$name" '
+{
+    key = $1; old = $2 + 0; cur = $4 + 0
+    delta = cur - old; if (delta < 0) delta = -delta
+    if (key ~ /pct/) {
+        if (delta > 2) {
+            bad = 1
+            printf "bench_diff: %s: %s drifted %s -> %s (abs tol 2)\n", name, key, old, cur
+        }
+    } else if (key ~ /(rate|reduction)/) {
+        if (delta > 0.02) {
+            bad = 1
+            printf "bench_diff: %s: %s drifted %s -> %s (abs tol 0.02)\n", name, key, old, cur
+        }
+    } else {
+        denom = (old < 0) ? -old : old
+        if (denom == 0) denom = 1
+        if (delta / denom > 0.05) {
+            bad = 1
+            printf "bench_diff: %s: %s drifted %s -> %s (rel tol 5%%)\n", name, key, old, cur
+        }
+    }
+}
+END { exit bad }
+' >&2 || { echo "bench_diff: $name: drift beyond tolerance" >&2; exit 1; }
+
+echo "bench_diff: $name: within tolerance"

@@ -20,7 +20,8 @@ echo "==> cargo test --release"
 cargo test --workspace --release -q
 
 echo "==> profile smoke (terra --profile --trace-out)"
-trace_json="$(mktemp)"
+# --trace-out validates the sink extension, so the temp file needs one.
+trace_json="$(mktemp --suffix=.json)"
 trap 'rm -f "$trace_json"' EXIT
 # Capture instead of piping into grep -q: with pipefail, grep exiting at the
 # first match would otherwise fail the step via SIGPIPE once the report grows
@@ -86,9 +87,29 @@ cmp -s "$remarks_json" "$remarks_json2" \
     || { echo "remarks smoke: --remarks-out output differs between runs" >&2; exit 1; }
 
 echo "==> perfprobe (writes BENCH_opt.json with -O0/-O2 instruction counts)"
+# Snapshot the committed baselines first: perfprobe overwrites them in place,
+# and the bench-diff step below compares fresh numbers against the snapshot.
+bench_snap="$(mktemp -d)"
+trap 'rm -f "$trace_json" "$trace_folded" "$remarks_json" "$remarks_json2"; rm -rf "$bench_snap"' EXIT
+cp BENCH_*.json "$bench_snap"/
 cargo run --release --example perfprobe --quiet
 grep -q '"kernels"' BENCH_opt.json \
     || { echo "perfprobe: BENCH_opt.json is missing kernel entries" >&2; exit 1; }
+
+echo "==> bench diff (fresh BENCH_*.json vs committed baselines, per-metric tolerances)"
+for fresh in BENCH_*.json; do
+    ./scripts/bench_diff.sh "$bench_snap/$fresh" "$fresh" "$fresh"
+done
+
+echo "==> BENCH byte-stability (a second perfprobe run must reproduce every file)"
+bench_rerun="$(mktemp -d)"
+trap 'rm -f "$trace_json" "$trace_folded" "$remarks_json" "$remarks_json2"; \
+     rm -rf "$bench_snap" "$bench_rerun"' EXIT
+(cd "$bench_rerun" && "$OLDPWD/target/release/examples/perfprobe" > /dev/null)
+for fresh in BENCH_*.json; do
+    cmp -s "$fresh" "$bench_rerun/$fresh" \
+        || { echo "bench stability: $fresh differs between two runs" >&2; exit 1; }
+done
 
 echo "==> BENCH_cache.json schema (keys, rates in [0,1], blocked < naive, soa < aos)"
 grep -q '"config"' BENCH_cache.json \
@@ -169,5 +190,56 @@ for kernel in gemm_static_24 saxpy_static_4096 stencil_static_1024; do
         'BEGIN { exit !(e < c) }' \
         || { echo "BENCH_absint: $kernel elided run must retire fewer instructions" >&2; exit 1; }
 done
+
+echo "==> BENCH_heap.json schema (sites, quote provenance, seeded leak)"
+for key in func line provenance count bytes peak_bytes live_count live_bytes \
+           leaked_allocs leaked_bytes peak_live_bytes; do
+    grep -q "\"$key\"" BENCH_heap.json \
+        || { echo "BENCH_heap: missing key $key" >&2; exit 1; }
+done
+grep -q "via quote at line" BENCH_heap.json \
+    || { echo "BENCH_heap: no staged-malloc provenance chain" >&2; exit 1; }
+grep -q '"leaked_allocs": 1' BENCH_heap.json \
+    || { echo "BENCH_heap: seeded leak not reported" >&2; exit 1; }
+
+echo "==> heap-profile smoke (terra --heap-profile, leak report with provenance)"
+report="$(./target/release/terra --heap-profile examples/leak.t 2>&1)"
+grep -q "== heap ==" <<< "$report" \
+    || { echo "heap smoke: no heap section in report" >&2; exit 1; }
+grep -q "leaked allocations" <<< "$report" \
+    || { echo "heap smoke: seeded leak not reported" >&2; exit 1; }
+grep -q "via quote at line" <<< "$report" \
+    || { echo "heap smoke: leak site lost its staging provenance" >&2; exit 1; }
+
+echo "==> sampling smoke (terra --sample, deterministic across runs)"
+s1="$(./target/release/terra --sample=100 examples/leak.t 2>&1)"
+s2="$(./target/release/terra --sample=100 examples/leak.t 2>&1)"
+grep -q "== samples ==" <<< "$s1" \
+    || { echo "sampling smoke: no samples section in report" >&2; exit 1; }
+[ "$s1" = "$s2" ] \
+    || { echo "sampling smoke: sample profile differs between two runs" >&2; exit 1; }
+
+echo "==> event-stream smoke (terra --events-out, valid JSONL, byte-stable)"
+events_a="$(mktemp --suffix=.jsonl)"
+events_b="$(mktemp --suffix=.jsonl)"
+trap 'rm -f "$trace_json" "$trace_folded" "$remarks_json" "$remarks_json2" \
+     "$events_a" "$events_b"; rm -rf "$bench_snap" "$bench_rerun"' EXIT
+./target/release/terra --events-out "$events_a" --sample=100 examples/leak.t > /dev/null 2>&1
+./target/release/terra --events-out "$events_b" --sample=100 examples/leak.t > /dev/null 2>&1
+head -c1 "$events_a" | grep -q '{' \
+    || { echo "events smoke: stream does not start with a JSON object" >&2; exit 1; }
+awk '!/^\{.*\}$/ { bad=1 } END { exit bad }' "$events_a" \
+    || { echo "events smoke: non-object line in JSONL stream" >&2; exit 1; }
+for type in meta span func mem heap_site leak sample; do
+    grep -q "\"type\":\"$type\"" "$events_a" \
+        || { echo "events smoke: missing record type $type" >&2; exit 1; }
+done
+cmp -s "$events_a" "$events_b" \
+    || { echo "events smoke: event stream differs between two runs" >&2; exit 1; }
+
+echo "==> trace-sink validation (unknown --trace-out extension must be rejected)"
+if ./target/release/terra --trace-out /tmp/trace.csv examples/saxpy.t > /dev/null 2>&1; then
+    echo "trace-sink: unsupported extension was silently accepted" >&2; exit 1
+fi
 
 echo "All checks passed."

@@ -34,3 +34,29 @@ if ! grep -q "== opcode counters ==" <<< "$report"; then
     echo "profile.sh: --profile produced no counter report (profiler broken?)" >&2
     exit 1
 fi
+
+# -- telemetry smoke tests ---------------------------------------------------
+# These run on fixed fixtures regardless of the profiled script, so a broken
+# heap profiler or sampler fails here even when the script above is trivial.
+
+echo "==> heap-profile smoke (examples/leak.t must report its seeded leak)"
+heap_report="$(./target/release/terra --heap-profile examples/leak.t 2>&1)"
+grep -q "== heap ==" <<< "$heap_report" \
+    || { echo "profile.sh: --heap-profile produced no heap section" >&2; exit 1; }
+grep -q "leaked allocations" <<< "$heap_report" \
+    || { echo "profile.sh: seeded leak in examples/leak.t not reported" >&2; exit 1; }
+grep -q "via quote at line" <<< "$heap_report" \
+    || { echo "profile.sh: leak report lost its staging provenance chain" >&2; exit 1; }
+
+echo "==> sampling smoke (sampled top-1 must agree with the exact profiler)"
+agree="$(./target/release/terra --profile --sample=97 examples/saxpy.t 2>&1)"
+exact_top="$(awk '/^== function profile ==/{f=1; next} f && $1 ~ /^[0-9]+$/ {print $4; exit}' \
+    <<< "$agree")"
+sample_top="$(awk '/^== samples ==/{f=1; next} f && $1 ~ /^[0-9]+$/ {print $3; exit}' \
+    <<< "$agree")"
+if [[ -z "$exact_top" || "$exact_top" != "$sample_top" ]]; then
+    echo "profile.sh: sampled hot function '${sample_top:-?}' disagrees with exact" \
+         "profile '${exact_top:-?}'" >&2
+    exit 1
+fi
+echo "profile.sh: sampled and exact profilers agree on '$exact_top'"
