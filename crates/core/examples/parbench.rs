@@ -1,0 +1,185 @@
+//! Parallel scaling probe: runs the `parallelfor` GEMM and an Orion-style
+//! 3x3 stencil at 1/2/4/8 worker threads and writes `BENCH_parallel.json`
+//! with the wall-clock curve, the speedup over the sequential fallback, and
+//! a determinism bit (result buffers must be bit-identical at every thread
+//! count — the chunk schedule is a function of the iteration count alone).
+//!
+//! Unlike the other BENCH files this one records *wall-clock* numbers, so it
+//! is machine-dependent and not byte-reproducible; `scripts/check.sh`
+//! validates its schema and (on hosts with >= 4 cores) the GEMM speedup
+//! gate, while `scripts/bench_diff.sh` skips `ms`/`speedup` keys when
+//! diffing against the committed baseline.
+use std::fmt::Write as _;
+use std::time::Instant;
+use terra_core::{Terra, Value};
+
+/// Row-parallel GEMM: each `parallelfor` iteration owns one output row of C,
+/// so writes are disjoint by construction.
+const PGEMM_SRC: &str = r#"
+        terra pgemm(A : &double, B : &double, C : &double, N : int)
+            parallelfor i = 0, N do
+                for j = 0, N do
+                    var sum = 0.0
+                    for k = 0, N do
+                        sum = sum + A[i * N + k] * B[k * N + j]
+                    end
+                    C[i * N + j] = sum
+                end
+            end
+        end
+    "#;
+
+/// Orion-style 3x3 box blur (the `orion` crate's blur pipeline lowered by
+/// hand): each iteration owns one interior output row.
+const PSTENCIL_SRC: &str = r#"
+        terra pblur(src : &double, dst : &double, W : int, H : int)
+            parallelfor y = 1, H - 1 do
+                for x = 1, W - 1 do
+                    var s = 0.0
+                    for dy = -1, 2 do
+                        for dx = -1, 2 do
+                            s = s + src[(y + dy) * W + (x + dx)]
+                        end
+                    end
+                    dst[y * W + x] = s / 9.0
+                end
+            end
+        end
+    "#;
+
+/// Best-of-`reps` wall-clock milliseconds plus the result buffer bits.
+fn time_best(mut run: impl FnMut() -> Vec<u64>, reps: usize) -> (f64, Vec<u64>) {
+    let mut best = f64::INFINITY;
+    let mut bits = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        bits = run();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, bits)
+}
+
+fn gemm_run(threads: usize, n: usize, reps: usize) -> (f64, Vec<u64>) {
+    let mut t = Terra::new();
+    t.set_threads(threads);
+    t.exec(PGEMM_SRC).unwrap();
+    let f = t.function("pgemm").unwrap();
+    let bytes = (n * n * 8) as u64;
+    let (a, b, c) = (t.malloc(bytes), t.malloc(bytes), t.malloc(bytes));
+    t.write_f64s(a, &(0..n * n).map(|i| (i % 7) as f64).collect::<Vec<_>>());
+    t.write_f64s(
+        b,
+        &(0..n * n).map(|i| (i % 5) as f64 * 0.5).collect::<Vec<_>>(),
+    );
+    time_best(
+        || {
+            t.invoke(
+                &f,
+                &[
+                    Value::Ptr(a),
+                    Value::Ptr(b),
+                    Value::Ptr(c),
+                    Value::Int(n as i64),
+                ],
+            )
+            .unwrap();
+            t.read_f64s(c, n * n).iter().map(|v| v.to_bits()).collect()
+        },
+        reps,
+    )
+}
+
+fn stencil_run(threads: usize, w: usize, h: usize, reps: usize) -> (f64, Vec<u64>) {
+    let mut t = Terra::new();
+    t.set_threads(threads);
+    t.exec(PSTENCIL_SRC).unwrap();
+    let f = t.function("pblur").unwrap();
+    let bytes = (w * h * 8) as u64;
+    let (src, dst) = (t.malloc(bytes), t.malloc(bytes));
+    t.write_f64s(
+        src,
+        &(0..w * h).map(|i| (i % 11) as f64).collect::<Vec<_>>(),
+    );
+    t.write_f64s(dst, &vec![0.0; w * h]);
+    time_best(
+        || {
+            t.invoke(
+                &f,
+                &[
+                    Value::Ptr(src),
+                    Value::Ptr(dst),
+                    Value::Int(w as i64),
+                    Value::Int(h as i64),
+                ],
+            )
+            .unwrap();
+            t.read_f64s(dst, w * h)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        },
+        reps,
+    )
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let reps = 3;
+    let thread_counts = [1usize, 2, 4, 8];
+
+    let mut json = String::new();
+    let _ = writeln!(
+        json,
+        "{{\n  \"host_cores\": {host_cores},\n  \"kernels\": ["
+    );
+
+    type Kernel<'a> = (&'a str, Box<dyn Fn(usize) -> (f64, Vec<u64>)>);
+    let kernels: Vec<Kernel> = vec![
+        (
+            "gemm_parallel_96",
+            Box::new(move |threads| gemm_run(threads, 96, reps)),
+        ),
+        (
+            "stencil_parallel_256",
+            Box::new(move |threads| stencil_run(threads, 256, 256, reps)),
+        ),
+    ];
+    for (ki, (name, run)) in kernels.iter().enumerate() {
+        let mut curve: Vec<(usize, f64)> = Vec::new();
+        let mut reference: Option<Vec<u64>> = None;
+        let mut deterministic = true;
+        for &threads in &thread_counts {
+            let (ms, bits) = run(threads);
+            match &reference {
+                None => reference = Some(bits),
+                Some(r) => deterministic &= *r == bits,
+            }
+            curve.push((threads, ms));
+        }
+        assert!(deterministic, "{name}: results differ across thread counts");
+        let base = curve[0].1;
+        let runs = curve
+            .iter()
+            .map(|(threads, ms)| {
+                format!(
+                    "{{\"threads\": {threads}, \"ms\": {ms:.3}, \"speedup\": {:.3}}}",
+                    base / ms
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let sep = if ki + 1 == kernels.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"deterministic\": 1, \"runs\": [{runs}]}}{sep}"
+        );
+        for (threads, ms) in &curve {
+            println!("{name}: {threads} thread(s) {ms:.3} ms ({:.2}x)", base / ms);
+        }
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_parallel.json", &json).unwrap();
+    println!("wrote BENCH_parallel.json (host_cores = {host_cores})");
+}

@@ -18,6 +18,10 @@
 //!                     (diagnostics are computed pre-optimization and are
 //!                     identical at every -O level)
 //!   --sanitize        poison fresh/freed VM memory and trap on use-after-free
+//!   --threads=N       worker threads for `parallelfor` loops (default 1,
+//!                     the sequential fallback; the chunk schedule depends
+//!                     only on the iteration count, so results, traps, and
+//!                     profiles are identical at every N)
 //!   --no-checkelim    keep every memory access bounds-checked at -O2 (by
 //!                     default the abstract interpreter proves accesses
 //!                     in-bounds and the VM elides their runtime checks;
@@ -100,6 +104,20 @@ fn main() {
             }
             "--heap-profile" => {
                 heap_profile = true;
+                argv.remove(0);
+            }
+            _ if first.starts_with("--threads=") => {
+                let spec = &first["--threads=".len()..];
+                match spec.parse::<usize>() {
+                    Ok(n) if n > 0 => t.set_threads(n),
+                    _ => {
+                        eprintln!(
+                            "terra: bad --threads count '{spec}' (expected a positive \
+                             integer, e.g. --threads=4)"
+                        );
+                        std::process::exit(1);
+                    }
+                }
                 argv.remove(0);
             }
             _ if first.starts_with("--sample=") => {

@@ -103,7 +103,7 @@ impl Terra {
     /// are poisoned, and use-after-free / double-free become traps instead
     /// of silent reuse.
     pub fn set_sanitize(&mut self, on: bool) {
-        self.interp.ctx.program.memory.set_sanitize(on);
+        self.interp.ctx.exec.memory.set_sanitize(on);
     }
 
     /// Sets the mid-end optimization level (`-O0`/`-O1`/`-O2`; the default
@@ -127,6 +127,19 @@ impl Terra {
         self.interp.opt
     }
 
+    /// Sets the worker-thread count for `parallelfor` loops (clamped to at
+    /// least 1; the default is 1, the sequential fallback). The chunk
+    /// schedule depends only on the iteration count, so results, traps, and
+    /// profiles are identical at every setting.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.interp.ctx.exec.set_threads(threads);
+    }
+
+    /// The configured `parallelfor` worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.interp.ctx.exec.threads()
+    }
+
     /// Takes the warnings produced by lint mode since the last call.
     pub fn take_diagnostics(&mut self) -> Vec<Diagnostic> {
         self.interp.take_diagnostics()
@@ -137,12 +150,12 @@ impl Terra {
     /// counters are deterministic (instruction and byte counts, not wall
     /// clock), so two identical runs produce identical [`Profile`] counters.
     pub fn set_profile(&mut self, on: bool) {
-        self.interp.ctx.program.set_profile(on);
+        self.interp.ctx.exec.set_profile(on);
     }
 
     /// Clears accumulated profile data without changing the on/off gate.
     pub fn reset_profile(&mut self) {
-        self.interp.ctx.program.reset_profile();
+        self.interp.ctx.exec.reset_profile();
     }
 
     /// Sets the deterministic sampling profiler's interval: the VM captures
@@ -153,24 +166,24 @@ impl Terra {
     /// collected stacks land in [`Profile::samples`] and are byte-stable
     /// across runs.
     pub fn set_sample_interval(&mut self, interval: u64) {
-        self.interp.ctx.program.set_sample_interval(interval);
+        self.interp.ctx.exec.set_sample_interval(interval);
     }
 
     /// The sampling profiler's current interval (0 = off).
     pub fn sample_interval(&self) -> u64 {
-        self.interp.ctx.program.trace.sample_interval()
+        self.interp.ctx.exec.trace.sample_interval()
     }
 
     /// Replaces the simulated cache geometry used while profiling (see
     /// [`CacheConfig::parse`] for the `--cache` spec syntax). Cold-resets
     /// the simulator.
     pub fn set_cache_config(&mut self, cfg: CacheConfig) {
-        self.interp.ctx.program.memory.set_cache_config(cfg);
+        self.interp.ctx.exec.memory.set_cache_config(cfg);
     }
 
     /// The simulated cache geometry currently in effect.
     pub fn cache_config(&self) -> CacheConfig {
-        self.interp.ctx.program.memory.cache_config()
+        self.interp.ctx.exec.memory.cache_config()
     }
 
     /// Freezes and returns the current profile: staging/execution timeline
@@ -179,14 +192,14 @@ impl Terra {
     /// [`Profile::render_counters`], or export Chrome trace-event JSON with
     /// [`Profile::to_chrome_json`].
     pub fn profile(&self) -> Profile {
-        self.interp.ctx.program.profile()
+        self.interp.ctx.exec.profile()
     }
 
     /// The optimizer's structured remarks for every function compiled so
     /// far, in compilation order. Collected unconditionally (no `--profile`
     /// needed) and deterministic across runs.
     pub fn remarks(&self) -> &[Remark] {
-        self.interp.ctx.program.trace.remarks()
+        self.interp.ctx.exec.trace.remarks()
     }
 
     /// Captures `print`/`printf` output instead of writing to stdout.
@@ -258,7 +271,7 @@ impl Terra {
             terra_syntax::Span::synthetic(),
         )?;
         let sig = self
-            .program()
+            .context()
             .function(id)
             .expect("just compiled")
             .ty
@@ -277,13 +290,13 @@ impl Terra {
     /// Propagates VM traps (out-of-bounds, division by zero, …).
     pub fn invoke(&mut self, f: &TerraFn, args: &[Value]) -> Result<Value, Trap> {
         let ctx = &mut self.interp.ctx;
-        ctx.vm.call(&mut ctx.program, f.id, args)
+        ctx.exec.call(f.id, args)
     }
 
     /// Allocates `bytes` of Terra memory (like C `malloc`), returning the
     /// address.
     pub fn malloc(&mut self, bytes: u64) -> u64 {
-        self.interp.ctx.program.memory.malloc(bytes)
+        self.interp.ctx.exec.memory.malloc(bytes)
     }
 
     /// Frees Terra memory.
@@ -292,7 +305,7 @@ impl Terra {
     ///
     /// Fails on addresses not returned by [`Terra::malloc`].
     pub fn free(&mut self, addr: u64) -> Result<(), Trap> {
-        self.interp.ctx.program.memory.free(addr)?;
+        self.interp.ctx.exec.memory.free(addr)?;
         Ok(())
     }
 
@@ -302,7 +315,7 @@ impl Terra {
     ///
     /// Panics if the range is out of bounds (allocate first).
     pub fn write_f64s(&mut self, addr: u64, data: &[f64]) {
-        let mem = &mut self.interp.ctx.program.memory;
+        let mem = &mut self.interp.ctx.exec.memory;
         for (i, v) in data.iter().enumerate() {
             mem.store_f64(addr + 8 * i as u64, *v)
                 .expect("write_f64s out of bounds");
@@ -315,12 +328,16 @@ impl Terra {
     ///
     /// Panics if the range is out of bounds.
     pub fn read_f64s(&self, addr: u64, n: usize) -> Vec<f64> {
-        let mem = &self.interp.ctx.program.memory;
-        (0..n)
-            .map(|i| {
-                mem.load_f64(addr + 8 * i as u64)
-                    .expect("read_f64s out of bounds")
-            })
+        // Host-side readback: bulk bytes, not guest loads, so it neither
+        // perturbs profiling counters nor needs a mutable context.
+        self.interp
+            .ctx
+            .exec
+            .memory
+            .read_bytes(addr, 8 * n as u64)
+            .expect("read_f64s out of bounds")
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
             .collect()
     }
 
@@ -330,7 +347,7 @@ impl Terra {
     ///
     /// Panics if the range is out of bounds.
     pub fn write_f32s(&mut self, addr: u64, data: &[f32]) {
-        let mem = &mut self.interp.ctx.program.memory;
+        let mem = &mut self.interp.ctx.exec.memory;
         for (i, v) in data.iter().enumerate() {
             mem.store_f32(addr + 4 * i as u64, *v)
                 .expect("write_f32s out of bounds");
@@ -343,12 +360,14 @@ impl Terra {
     ///
     /// Panics if the range is out of bounds.
     pub fn read_f32s(&self, addr: u64, n: usize) -> Vec<f32> {
-        let mem = &self.interp.ctx.program.memory;
-        (0..n)
-            .map(|i| {
-                mem.load_f32(addr + 4 * i as u64)
-                    .expect("read_f32s out of bounds")
-            })
+        self.interp
+            .ctx
+            .exec
+            .memory
+            .read_bytes(addr, 4 * n as u64)
+            .expect("read_f32s out of bounds")
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
             .collect()
     }
 
@@ -357,9 +376,10 @@ impl Terra {
         &mut self.interp
     }
 
-    /// The compiled program (function table + memory).
-    pub fn program(&self) -> &terra_vm::Program {
-        &self.interp.ctx.program
+    /// The execution context: the shared compiled [`terra_vm::Program`]
+    /// plus this session's linear memory and run state.
+    pub fn context(&self) -> &terra_vm::ExecutionContext {
+        &self.interp.ctx.exec
     }
 }
 

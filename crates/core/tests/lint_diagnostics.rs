@@ -229,7 +229,7 @@ fn type_corrupted_ir_is_rejected() {
         ret: terra_core::Ty::INT,
     });
     meta.ir = Some(terra_ir::IrFunction {
-        name: meta.name.clone(),
+        name: meta.name.as_ref().into(),
         ty: terra_core::FuncTy {
             params: vec![],
             ret: terra_core::Ty::INT,

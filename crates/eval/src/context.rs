@@ -12,7 +12,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use terra_ir::{FuncId, FuncTy, GlobalId, StructId, Ty, TypeRegistry};
 use terra_syntax::Name;
-use terra_vm::{Program, Vm};
+use terra_vm::ExecutionContext;
 
 /// Staging metadata for one Terra function.
 #[derive(Debug)]
@@ -62,10 +62,10 @@ pub struct StructMeta {
 pub struct Context {
     /// Struct layouts.
     pub types: TypeRegistry,
-    /// Compiled code + linear memory.
-    pub program: Program,
-    /// The executor.
-    pub vm: Vm,
+    /// The execution context: compiled code (shared, immutable
+    /// [`terra_vm::Program`]) plus all mutable run state — linear memory,
+    /// registers, call stack, and profile counters.
+    pub exec: ExecutionContext,
     /// Per-function staging metadata, indexed by [`FuncId`].
     pub funcs: Vec<FuncMeta>,
     /// Globals, indexed by [`GlobalId`].
@@ -86,8 +86,7 @@ impl Context {
     pub fn new() -> Self {
         Context {
             types: TypeRegistry::new(),
-            program: Program::new(),
-            vm: Vm::new(),
+            exec: ExecutionContext::new(),
             funcs: Vec::new(),
             globals: Vec::new(),
             structs: Vec::new(),
@@ -108,7 +107,7 @@ impl Context {
     /// Declares a Terra function (`tdecl`): allocates its id.
     pub fn declare_func(&mut self, name: impl Into<Rc<str>>) -> FuncId {
         let name = name.into();
-        let id = self.program.declare(name.clone());
+        let id = self.exec.declare(&*name);
         self.funcs.push(FuncMeta {
             name,
             spec: None,
@@ -134,7 +133,7 @@ impl Context {
 
     /// Declares a new struct type with empty reflection tables.
     pub fn new_struct(&mut self, name: impl Into<Rc<str>>) -> StructId {
-        let id = self.types.declare_struct(name);
+        let id = self.types.declare_struct(&*name.into());
         self.structs.push(StructMeta {
             entries: Rc::new(RefCell::new(Table::new())),
             methods: Rc::new(RefCell::new(Table::new())),
@@ -151,7 +150,7 @@ impl Context {
         init: Option<&[u8]>,
     ) -> GlobalId {
         let size = ty.size(&self.types);
-        let addr = self.program.alloc_global(size, init);
+        let addr = self.exec.alloc_global(size, init);
         let id = GlobalId(self.globals.len() as u32);
         self.globals.push(GlobalMeta {
             ty,
@@ -214,7 +213,7 @@ mod tests {
         let mut ctx = Context::new();
         let g = ctx.new_global("gv", Ty::F64, Some(&2.5f64.to_le_bytes()));
         let addr = ctx.globals[g.0 as usize].addr;
-        assert_eq!(ctx.program.memory.load_f64(addr).unwrap(), 2.5);
+        assert_eq!(ctx.exec.memory.load_f64(addr).unwrap(), 2.5);
         assert_eq!(ctx.global_addrs(), vec![addr]);
     }
 }

@@ -92,12 +92,12 @@ impl Interp {
 
     /// Captures Terra/Lua `print`/`printf` output instead of writing stdout.
     pub fn capture_output(&mut self) {
-        self.ctx.program.output = OutputSink::Capture(String::new());
+        self.ctx.exec.output = OutputSink::Capture(String::new());
     }
 
     /// Takes captured output.
     pub fn take_output(&mut self) -> String {
-        self.ctx.program.take_output()
+        self.ctx.exec.take_output()
     }
 
     /// Parses and evaluates a combined Lua-Terra chunk. Returns the chunk's
@@ -107,10 +107,10 @@ impl Interp {
     ///
     /// Propagates syntax errors, Lua runtime errors, and staging errors.
     pub fn exec(&mut self, src: &str) -> EvalResult<Vec<LuaValue>> {
-        let t0 = self.ctx.program.trace.now_us();
+        let t0 = self.ctx.exec.trace.now_us();
         let block = terra_syntax::parse(src)?;
         self.ctx
-            .program
+            .exec
             .trace
             .record(terra_trace::Stage::Parse, "chunk", t0);
         let env = self.globals.child();
@@ -483,7 +483,7 @@ impl Interp {
         name: Rc<str>,
         implicit_self: Option<Ty>,
     ) -> EvalResult<SpecFunc> {
-        let t0 = self.ctx.program.trace.now_us();
+        let t0 = self.ctx.exec.trace.now_us();
         let spec = if let Some(self_ty) = implicit_self {
             // Prepend `self` by specializing in an env where `self` is bound
             // to a fresh symbol, and adding it to the parameter list.
@@ -497,7 +497,7 @@ impl Interp {
             Specializer::new(self, env.clone()).function(def, name)?
         };
         self.ctx
-            .program
+            .exec
             .trace
             .record(terra_trace::Stage::Specialize, &spec.name, t0);
         Ok(spec)
@@ -601,7 +601,7 @@ impl Interp {
                     self.finalize_struct(inner, span)?;
                 }
             }
-            self.ctx.types.add_field(sid, fname, ty);
+            self.ctx.types.add_field(sid, &*fname, ty);
         }
         self.ctx.types.finalize(sid);
         Ok(())
@@ -800,10 +800,9 @@ impl Interp {
                         ))
                     }
                 };
-                Ok(vec![LuaValue::Type(Ty::Func(Rc::new(FuncTy {
-                    params: ptys,
-                    ret,
-                })))])
+                Ok(vec![LuaValue::Type(Ty::Func(std::sync::Arc::new(
+                    FuncTy { params: ptys, ret },
+                )))])
             }
         }
     }
@@ -1263,8 +1262,8 @@ impl Interp {
         }
         let result = self
             .ctx
-            .vm
-            .call(&mut self.ctx.program, id, &ffi_args)
+            .exec
+            .call(id, &ffi_args)
             .map_err(|t| LuaError::at(t.to_string(), span).phase(Phase::Execution))?;
         Ok(vec![self.ffi_to_lua(result)])
     }
@@ -1278,7 +1277,7 @@ impl Interp {
             (LuaValue::Number(n), Ty::Scalar(ScalarTy::Bool)) => Value::Bool(*n != 0.0),
             (LuaValue::Bool(b), Ty::Scalar(ScalarTy::Bool)) => Value::Bool(*b),
             (LuaValue::Bool(b), Ty::Scalar(s)) if s.is_integer() => Value::Int(*b as i64),
-            (LuaValue::Str(s), Ty::Ptr(_)) => Value::Ptr(self.ctx.program.intern_string(s)),
+            (LuaValue::Str(s), Ty::Ptr(_)) => Value::Ptr(self.ctx.exec.intern_string(s)),
             (LuaValue::Number(n), Ty::Ptr(_)) => Value::Ptr(*n as u64),
             (LuaValue::Nil, Ty::Ptr(_)) => Value::Ptr(0),
             (LuaValue::TerraFunc(f), Ty::Func(_)) => {
@@ -1379,7 +1378,7 @@ impl Interp {
 
     /// Writes text to the configured output sink (used by `print`).
     pub fn write_output(&mut self, text: &str) {
-        match &mut self.ctx.program.output {
+        match &mut self.ctx.exec.output {
             OutputSink::Stdout => print!("{text}"),
             OutputSink::Capture(buf) => buf.push_str(text),
         }

@@ -25,7 +25,10 @@ pub fn index_terra_value(
     // `T[n]` — array type construction (types are Lua values).
     if let (LuaValue::Type(t), LuaValue::Number(n)) = (obj, key) {
         if n.fract() == 0.0 && *n >= 0.0 {
-            return Ok(LuaValue::Type(Ty::Array(Rc::new(t.clone()), *n as u64)));
+            return Ok(LuaValue::Type(Ty::Array(
+                std::sync::Arc::new(t.clone()),
+                *n as u64,
+            )));
         }
     }
     let LuaValue::Str(k) = key else {
@@ -141,7 +144,7 @@ pub fn method_call_terra_value(
         (LuaValue::Type(t), m) => type_method(interp, t, m, args, span),
         (LuaValue::TerraFunc(id), "gettype") => {
             let sig = crate::typecheck::ensure_signature(interp, *id, span)?;
-            Ok(LuaValue::Type(Ty::Func(Rc::new(sig))))
+            Ok(LuaValue::Type(Ty::Func(std::sync::Arc::new(sig))))
         }
         (LuaValue::TerraFunc(id), "compile") => {
             crate::typecheck::ensure_compiled(interp, *id, span)?;
@@ -154,7 +157,7 @@ pub fn method_call_terra_value(
             crate::typecheck::ensure_compiled(interp, *id, span)?;
             let f = interp
                 .ctx
-                .program
+                .exec
                 .function(*id)
                 .expect("just compiled")
                 .clone();
@@ -232,7 +235,7 @@ fn type_method(
 }
 
 fn read_global(interp: &mut Interp, meta: &crate::context::GlobalMeta) -> EvalResult<Value> {
-    let mem = &interp.ctx.program.memory;
+    let mem = &mut interp.ctx.exec.memory;
     let v = match &meta.ty {
         Ty::Scalar(ScalarTy::F32) => {
             Value::Float(mem.load_f32(meta.addr).map_err(to_lua_err)? as f64)
@@ -261,7 +264,7 @@ fn write_global(
     span: Span,
 ) -> EvalResult<()> {
     let ffi = interp.lua_to_ffi(v, &meta.ty, span)?;
-    let mem = &mut interp.ctx.program.memory;
+    let mem = &mut interp.ctx.exec.memory;
     match (&meta.ty, ffi) {
         (Ty::Scalar(ScalarTy::F32), Value::Float(f)) => {
             mem.store_f32(meta.addr, f as f32).map_err(to_lua_err)?

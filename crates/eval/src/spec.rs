@@ -160,6 +160,23 @@ pub enum SpecStmt {
         /// Location.
         span: Span,
     },
+    /// Data-parallel numeric for (half-open, step 1): iterations may run
+    /// concurrently, so the typechecker extracts the body into a kernel
+    /// function.
+    ParallelFor {
+        /// Loop symbol.
+        sym: SymbolRef,
+        /// Optional annotated type.
+        ty: Option<Ty>,
+        /// Start.
+        start: SpecExpr,
+        /// Exclusive stop.
+        stop: SpecExpr,
+        /// Body.
+        body: Vec<SpecStmt>,
+        /// Location.
+        span: Span,
+    },
     /// Return.
     Return(Vec<SpecExpr>, Span),
     /// Break.
@@ -560,6 +577,34 @@ impl<'a> Specializer<'a> {
                     span: *span,
                 });
             }
+            TerraStmt::ParallelFor {
+                var,
+                ty,
+                start,
+                stop,
+                body,
+                span,
+            } => {
+                let start = self.expr_terra(start)?;
+                let stop = self.expr_terra(stop)?;
+                let ty = match ty {
+                    Some(t) => Some(self.eval_type(t)?),
+                    None => None,
+                };
+                let saved = self.enter_child();
+                let sym = self.decl_symbol(var, ty.clone())?;
+                self.bind_symbol(var, &sym);
+                let body = self.block_no_scope(body)?;
+                self.leave(saved);
+                out.push(SpecStmt::ParallelFor {
+                    sym,
+                    ty,
+                    start,
+                    stop,
+                    body,
+                    span: *span,
+                });
+            }
             TerraStmt::Return { exprs, span } => {
                 let exprs = exprs
                     .iter()
@@ -750,7 +795,10 @@ impl<'a> Specializer<'a> {
                         let n = self.expr_terra(index)?;
                         let len = const_int(&n)
                             .ok_or_else(|| err("array length must be a constant integer", *span))?;
-                        SpecVal::Lua(LuaValue::Type(Ty::Array(Rc::new(t), len as u64)), *span)
+                        SpecVal::Lua(
+                            LuaValue::Type(Ty::Array(std::sync::Arc::new(t), len as u64)),
+                            *span,
+                        )
                     }
                     SpecVal::Lua(v, _) => {
                         return Err(err(

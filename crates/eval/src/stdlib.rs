@@ -452,7 +452,7 @@ fn install_math(interp: &mut Interp) {
             "random",
             native("random", |it, args| {
                 // xorshift over the program's deterministic RNG state.
-                let s = &mut it.ctx.program.rng_state;
+                let s = &mut it.ctx.exec.rng_state;
                 *s ^= *s << 13;
                 *s ^= *s >> 7;
                 *s ^= *s << 17;
@@ -472,7 +472,7 @@ fn install_math(interp: &mut Interp) {
         mb.set_str(
             "randomseed",
             native("randomseed", |it, args| {
-                it.ctx.program.rng_state = (num_arg(&args, 0, "randomseed")? as u64) | 0x9E37_79B9;
+                it.ctx.exec.rng_state = (num_arg(&args, 0, "randomseed")? as u64) | 0x9E37_79B9;
                 Ok(vec![])
             }),
         );
@@ -768,7 +768,7 @@ fn install_os_io(interp: &mut Interp) {
         "clock",
         native("clock", |it, _| {
             Ok(vec![LuaValue::Number(
-                it.ctx.program.epoch.elapsed().as_secs_f64(),
+                it.ctx.exec.epoch.elapsed().as_secs_f64(),
             )])
         }),
     );
@@ -900,12 +900,12 @@ pub fn call_intrinsic_from_lua(
         Intrinsic::C(b) => match b {
             Builtin::Malloc => {
                 let n = num(0)? as u64;
-                one(interp.ctx.program.memory.malloc(n) as f64)
+                one(interp.ctx.exec.memory.malloc(n) as f64)
             }
             Builtin::Free => {
                 interp
                     .ctx
-                    .program
+                    .exec
                     .memory
                     .free(num(0)? as u64)
                     .map_err(|e| LuaError::at(e.to_string(), span))?;
@@ -921,7 +921,7 @@ pub fn call_intrinsic_from_lua(
             Builtin::Floor => one(num(0)?.floor()),
             Builtin::Ceil => one(num(0)?.ceil()),
             Builtin::Fmod => one(num(0)? % num(1)?),
-            Builtin::Clock => one(interp.ctx.program.epoch.elapsed().as_secs_f64()),
+            Builtin::Clock => one(interp.ctx.exec.epoch.elapsed().as_secs_f64()),
             other => Err(LuaError::at(
                 format!(
                     "C function '{}' can only be called from Terra code",
@@ -1022,10 +1022,9 @@ fn install_terralib(interp: &mut Interp) {
                     LuaValue::Nil => Ty::Unit,
                     v => it.value_to_type(v, Span::synthetic())?,
                 };
-                Ok(vec![LuaValue::Type(Ty::Func(Rc::new(terra_ir::FuncTy {
-                    params: ptys,
-                    ret,
-                })))])
+                Ok(vec![LuaValue::Type(Ty::Func(std::sync::Arc::new(
+                    terra_ir::FuncTy { params: ptys, ret },
+                )))])
             }),
         );
         tb.set_str("select", LuaValue::Intrinsic(Intrinsic::Select));
@@ -1062,7 +1061,7 @@ fn install_terralib(interp: &mut Interp) {
             native("typeof", |it, args| match arg(&args, 0) {
                 LuaValue::TerraFunc(id) => {
                     let sig = crate::typecheck::ensure_signature(it, id, Span::synthetic())?;
-                    Ok(vec![LuaValue::Type(Ty::Func(Rc::new(sig)))])
+                    Ok(vec![LuaValue::Type(Ty::Func(std::sync::Arc::new(sig)))])
                 }
                 LuaValue::Global(g) => Ok(vec![LuaValue::Type(
                     it.ctx.globals[g.0 as usize].ty.clone(),
@@ -1124,7 +1123,7 @@ fn install_terralib(interp: &mut Interp) {
             "currenttimeinseconds",
             native("currenttimeinseconds", |it, _| {
                 Ok(vec![LuaValue::Number(
-                    it.ctx.program.epoch.elapsed().as_secs_f64(),
+                    it.ctx.exec.epoch.elapsed().as_secs_f64(),
                 )])
             }),
         );
@@ -1151,10 +1150,10 @@ fn install_terralib(interp: &mut Interp) {
                     };
                     crate::typecheck::ensure_compiled(it, *id, Span::synthetic())
                         .map_err(|e| e.phase(Phase::Link))?;
-                    let f = it.ctx.program.function(*id).expect("just compiled").clone();
+                    let f = it.ctx.exec.function(*id).expect("just compiled").clone();
                     out.push_str(&format!(
                         "symbol {name} : {} ({} instructions, {} registers)\n",
-                        Ty::Func(Rc::new(f.ty.clone())),
+                        Ty::Func(std::sync::Arc::new(f.ty.clone())),
                         f.code.len(),
                         f.nregs
                     ));
@@ -1272,53 +1271,53 @@ fn install_perf(interp: &mut Interp) {
         tb.set_str(
             "enable",
             native("perf.enable", |it, _args| {
-                it.ctx.program.set_profile(true);
+                it.ctx.exec.set_profile(true);
                 Ok(vec![])
             }),
         );
         tb.set_str(
             "disable",
             native("perf.disable", |it, _args| {
-                it.ctx.program.set_profile(false);
+                it.ctx.exec.set_profile(false);
                 Ok(vec![])
             }),
         );
         tb.set_str(
             "enabled",
             native("perf.enabled", |it, _args| {
-                Ok(vec![LuaValue::Bool(it.ctx.program.trace.enabled())])
+                Ok(vec![LuaValue::Bool(it.ctx.exec.trace.enabled())])
             }),
         );
         tb.set_str(
             "reset",
             native("perf.reset", |it, _args| {
-                it.ctx.program.reset_profile();
+                it.ctx.exec.reset_profile();
                 Ok(vec![])
             }),
         );
         tb.set_str(
             "counters",
             native("perf.counters", |it, _args| {
-                if !it.ctx.program.trace.enabled() {
+                if !it.ctx.exec.trace.enabled() {
                     return Err(LuaError::msg(
                         "perf.counters: profiling not enabled \
                          (call perf.enable() or run with --profile)",
                     ));
                 }
-                let profile = it.ctx.program.profile();
+                let profile = it.ctx.exec.profile();
                 Ok(vec![LuaValue::Table(profile_to_table(&profile))])
             }),
         );
         tb.set_str(
             "report",
             native("perf.report", |it, _args| {
-                if !it.ctx.program.trace.enabled() {
+                if !it.ctx.exec.trace.enabled() {
                     return Err(LuaError::msg(
                         "perf.report: profiling not enabled \
                          (call perf.enable() or run with --profile)",
                     ));
                 }
-                let profile = it.ctx.program.profile();
+                let profile = it.ctx.exec.profile();
                 Ok(vec![LuaValue::Str(Rc::from(
                     profile.render_counters().as_str(),
                 ))])
@@ -1338,7 +1337,7 @@ fn install_perf(interp: &mut Interp) {
                 {
                     let mut ob = out.borrow_mut();
                     let mut i = 1.0;
-                    for r in it.ctx.program.trace.remarks() {
+                    for r in it.ctx.exec.trace.remarks() {
                         if filter.as_deref().is_some_and(|p| p != r.pass) {
                             continue;
                         }

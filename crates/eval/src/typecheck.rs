@@ -16,8 +16,9 @@ use crate::error::{EvalResult, LuaError, Phase};
 use crate::interp::Interp;
 use crate::spec::{SpecExpr, SpecExprKind, SpecStmt};
 use crate::value::{Intrinsic, LuaValue};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::Arc;
 use terra_ir::{
     fold_function, BinKind, Builtin, Callee, CmpKind, ExprKind, FuncId, FuncTy, IrExpr, IrFunction,
     IrStmt, LocalId, ScalarTy, StmtKind, Ty, UnKind,
@@ -130,7 +131,7 @@ impl terra_ir::ModuleEnv for CtxEnv<'_> {
 /// Typechecks, compiles, and links `id` and its whole connected component of
 /// referenced functions (paper Fig. 4). Idempotent.
 pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResult<()> {
-    if interp.ctx.program.is_defined(id) {
+    if interp.ctx.exec.is_defined(id) {
         return Ok(());
     }
     let sig = ensure_signature(interp, id, span)?;
@@ -186,7 +187,7 @@ pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResul
     // additionally runs the dataflow and bounds analyses, accumulating
     // warnings on the interpreter; diagnostics are computed on a fold-only
     // copy so they are identical at every -O level.
-    let t0 = interp.ctx.program.trace.now_us();
+    let t0 = interp.ctx.exec.trace.now_us();
     let mut diags = {
         let env = CtxEnv { ctx: &interp.ctx };
         if interp.lint {
@@ -202,7 +203,7 @@ pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResul
     };
     interp
         .ctx
-        .program
+        .exec
         .trace
         .record(terra_trace::Stage::Analyze, &name, t0);
     if let Some(err) = diags
@@ -217,7 +218,7 @@ pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResul
     interp.diagnostics.append(&mut diags);
     // Mid-end optimization pipeline; per-pass spans land on the staging
     // timeline after the fact (the pass manager times each pass itself).
-    let opt_t0 = interp.ctx.program.trace.now_us();
+    let opt_t0 = interp.ctx.exec.trace.now_us();
     let stats = {
         let env = CtxEnv { ctx: &interp.ctx };
         let cfg = terra_ir::PassConfig {
@@ -232,7 +233,7 @@ pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResul
     };
     let mut cursor = opt_t0;
     for run in &stats.runs {
-        interp.ctx.program.trace.record_span(
+        interp.ctx.exec.trace.record_span(
             terra_trace::Stage::Optimize,
             &format!("{name}:{}", run.pass),
             cursor,
@@ -244,7 +245,7 @@ pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResul
     // they are part of the deterministic surface and must be identical with
     // and without --profile.
     for r in &stats.remarks {
-        interp.ctx.program.trace.add_remark(terra_trace::Remark {
+        interp.ctx.exec.trace.add_remark(terra_trace::Remark {
             pass: r.pass.to_string(),
             kind: r.kind.label().to_string(),
             function: r.function.to_string(),
@@ -254,14 +255,14 @@ pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResul
         });
     }
     let globals = interp.ctx.global_addrs();
-    let t0 = interp.ctx.program.trace.now_us();
-    let compiled = terra_vm::compile(&ir, &interp.ctx.types, &mut interp.ctx.program, &globals);
+    let t0 = interp.ctx.exec.trace.now_us();
+    let compiled = terra_vm::compile(&ir, &interp.ctx.types, &mut interp.ctx.exec, &globals);
     interp
         .ctx
-        .program
+        .exec
         .trace
         .record(terra_trace::Stage::Compile, &name, t0);
-    interp.ctx.program.define(id, compiled);
+    interp.ctx.exec.define(id, compiled);
     // Link the rest of the connected component before this function can run.
     for dep in deps {
         ensure_compiled(interp, dep, span)?;
@@ -271,13 +272,13 @@ pub fn ensure_compiled(interp: &mut Interp, id: FuncId, span: Span) -> EvalResul
 
 /// Typechecks a function body, producing IR and its direct dependencies.
 fn check_function(interp: &mut Interp, id: FuncId) -> EvalResult<(IrFunction, Vec<FuncId>)> {
-    let t0 = interp.ctx.program.trace.now_us();
+    let t0 = interp.ctx.exec.trace.now_us();
     let result = check_function_inner(interp, id);
     if let Ok((ir, _)) = &result {
         let name = ir.name.clone();
         interp
             .ctx
-            .program
+            .exec
             .trace
             .record(terra_trace::Stage::Typecheck, &name, t0);
     }
@@ -293,7 +294,7 @@ fn check_function_inner(interp: &mut Interp, id: FuncId) -> EvalResult<(IrFuncti
     collect_addrof_stmts(&spec.body, &mut addrof);
 
     let mut func = IrFunction {
-        name: spec.name.clone(),
+        name: spec.name.as_ref().into(),
         ty: FuncTy {
             params: spec.params.iter().map(|(_, t)| t.clone()).collect(),
             ret: spec.ret.clone().unwrap_or(Ty::Unit),
@@ -304,7 +305,7 @@ fn check_function_inner(interp: &mut Interp, id: FuncId) -> EvalResult<(IrFuncti
     let mut syms = HashMap::new();
     for (sym, ty) in &spec.params {
         let in_memory = is_aggregate(ty) || addrof.contains(&sym.id);
-        let lid = func.add_local(sym.name.clone(), ty.clone(), in_memory);
+        let lid = func.add_local(&*sym.name, ty.clone(), in_memory);
         syms.insert(sym.id, lid);
     }
     let mut checker = Checker {
@@ -383,6 +384,13 @@ fn collect_addrof_stmts(stmts: &[SpecStmt], out: &mut HashSet<u64>) {
                     collect_addrof_expr(e, out);
                 }
             }
+            SpecStmt::ParallelFor {
+                start, stop, body, ..
+            } => {
+                collect_addrof_expr(start, out);
+                collect_addrof_expr(stop, out);
+                collect_addrof_stmts(body, out);
+            }
             SpecStmt::Block(b, _) => collect_addrof_stmts(b, out),
             SpecStmt::Spliced { stmts, .. } => collect_addrof_stmts(stmts, out),
             SpecStmt::Expr(e) | SpecStmt::Defer(e, _) => collect_addrof_expr(e, out),
@@ -457,6 +465,171 @@ fn stamp_prov(stmts: &mut [IrStmt], p: &Provenance) {
                 stamp_prov(else_body, p);
             }
             StmtKind::While { body, .. } | StmtKind::For { body, .. } => stamp_prov(body, p),
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parallelfor kernel extraction
+// ---------------------------------------------------------------------------
+
+/// Whether any statement (recursively) is a `return` — forbidden inside a
+/// `parallelfor` body, which outlines into a unit-returning kernel.
+fn contains_return(stmts: &[IrStmt]) -> bool {
+    stmts.iter().any(|s| match &s.kind {
+        StmtKind::Return(_) => true,
+        StmtKind::If {
+            then_body,
+            else_body,
+            ..
+        } => contains_return(then_body) || contains_return(else_body),
+        StmtKind::While { body, .. } | StmtKind::For { body, .. } => contains_return(body),
+        _ => false,
+    })
+}
+
+/// Records locals below `base` that `e` mentions (captures) and every direct
+/// callee (the kernel's link-time dependencies).
+fn scan_kernel_expr(e: &IrExpr, base: u32, used: &mut BTreeSet<u32>, calls: &mut BTreeSet<FuncId>) {
+    match &e.kind {
+        ExprKind::Local(l) | ExprKind::LocalAddr(l) if l.0 < base => {
+            used.insert(l.0);
+        }
+        ExprKind::Call {
+            callee: Callee::Direct(id),
+            ..
+        } => {
+            calls.insert(*id);
+        }
+        _ => {}
+    }
+    terra_ir::passes::util::each_child(e, &mut |c| scan_kernel_expr(c, base, used, calls));
+}
+
+fn scan_kernel_block(
+    stmts: &[IrStmt],
+    base: u32,
+    used: &mut BTreeSet<u32>,
+    assigned: &mut BTreeSet<u32>,
+    calls: &mut BTreeSet<FuncId>,
+) {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Assign { dst, value } => {
+                if dst.0 < base {
+                    assigned.insert(dst.0);
+                }
+                scan_kernel_expr(value, base, used, calls);
+            }
+            StmtKind::Store { addr, value } => {
+                scan_kernel_expr(addr, base, used, calls);
+                scan_kernel_expr(value, base, used, calls);
+            }
+            StmtKind::CopyMem { dst, src, .. } => {
+                scan_kernel_expr(dst, base, used, calls);
+                scan_kernel_expr(src, base, used, calls);
+            }
+            StmtKind::Expr(e) | StmtKind::Return(Some(e)) => scan_kernel_expr(e, base, used, calls),
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                scan_kernel_expr(cond, base, used, calls);
+                scan_kernel_block(then_body, base, used, assigned, calls);
+                scan_kernel_block(else_body, base, used, assigned, calls);
+            }
+            StmtKind::While { cond, body } => {
+                scan_kernel_expr(cond, base, used, calls);
+                scan_kernel_block(body, base, used, assigned, calls);
+            }
+            StmtKind::For {
+                start,
+                stop,
+                step,
+                body,
+                ..
+            } => {
+                scan_kernel_expr(start, base, used, calls);
+                scan_kernel_expr(stop, base, used, calls);
+                scan_kernel_expr(step, base, used, calls);
+                scan_kernel_block(body, base, used, assigned, calls);
+            }
+            StmtKind::ParallelFor {
+                kernel,
+                start,
+                stop,
+                args,
+            } => {
+                calls.insert(*kernel);
+                scan_kernel_expr(start, base, used, calls);
+                scan_kernel_expr(stop, base, used, calls);
+                for a in args {
+                    scan_kernel_expr(a, base, used, calls);
+                }
+            }
+            StmtKind::Return(None) | StmtKind::Break => {}
+        }
+    }
+}
+
+/// Renumbers locals of an outlined kernel body: captures (`< base`) become
+/// reads of capture parameters, the loop variable (`== base`) becomes param
+/// 0, and body-internal locals shift down past the capture params.
+fn remap_kernel_expr(e: &mut IrExpr, base: u32, cap: &BTreeMap<u32, u32>, ncap: u32) {
+    let replacement = match &e.kind {
+        // An in-memory capture's `LocalAddr` becomes the pointer param
+        // itself (the node's type is already the pointer type).
+        ExprKind::Local(l) | ExprKind::LocalAddr(l) if l.0 < base => {
+            Some(ExprKind::Local(LocalId(cap[&l.0])))
+        }
+        _ => None,
+    };
+    if let Some(k) = replacement {
+        e.kind = k;
+    } else if let ExprKind::Local(l) | ExprKind::LocalAddr(l) = &mut e.kind {
+        if l.0 == base {
+            l.0 = 0;
+        } else {
+            l.0 = l.0 - base + ncap;
+        }
+    }
+    terra_ir::passes::util::each_child_mut(e, &mut |c| remap_kernel_expr(c, base, cap, ncap));
+}
+
+fn remap_kernel_block(stmts: &mut [IrStmt], base: u32, cap: &BTreeMap<u32, u32>, ncap: u32) {
+    for s in stmts {
+        {
+            let remap_id = |l: &mut LocalId| {
+                debug_assert!(l.0 >= base, "assignments to captures were rejected");
+                if l.0 == base {
+                    l.0 = 0;
+                } else {
+                    l.0 = l.0 - base + ncap;
+                }
+            };
+            match &mut s.kind {
+                StmtKind::Assign { dst, .. } => remap_id(dst),
+                StmtKind::For { var, .. } => remap_id(var),
+                _ => {}
+            }
+        }
+        terra_ir::passes::util::for_each_stmt_expr_mut(s, &mut |e| {
+            remap_kernel_expr(e, base, cap, ncap)
+        });
+        match &mut s.kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                remap_kernel_block(then_body, base, cap, ncap);
+                remap_kernel_block(else_body, base, cap, ncap);
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+                remap_kernel_block(body, base, cap, ncap)
+            }
             _ => {}
         }
     }
@@ -684,7 +857,7 @@ impl Checker<'_> {
                         }
                     };
                     let in_memory = is_aggregate(&ty) || self.addrof.contains(&sym.id);
-                    let lid = self.func.add_local(sym.name.clone(), ty.clone(), in_memory);
+                    let lid = self.func.add_local(&*sym.name, ty.clone(), in_memory);
                     self.syms.insert(sym.id, lid);
                     *sym.ty.borrow_mut() = Some(ty.clone());
                     match init {
@@ -898,7 +1071,7 @@ impl Checker<'_> {
                     },
                 };
                 self.flush_prelude(out);
-                let lid = self.func.add_local(sym.name.clone(), var_ty.clone(), false);
+                let lid = self.func.add_local(&*sym.name, var_ty.clone(), false);
                 self.syms.insert(sym.id, lid);
                 *sym.ty.borrow_mut() = Some(var_ty);
                 self.loop_defer_depth.push(self.defers.len());
@@ -913,6 +1086,134 @@ impl Checker<'_> {
                         stop: stop_e,
                         step: step_e,
                         body: body_ir,
+                    },
+                ));
+            }
+            SpecStmt::ParallelFor {
+                sym,
+                ty,
+                start,
+                stop,
+                body,
+                span,
+            } => {
+                let var_ty = match ty {
+                    Some(t) => t.clone(),
+                    None => {
+                        let probe = self.expr(start, None)?;
+                        if probe.ty.is_integer() {
+                            probe.ty
+                        } else {
+                            Ty::INT
+                        }
+                    }
+                };
+                if !var_ty.is_integer() {
+                    return Err(terr("parallelfor variable must have integer type", *span));
+                }
+                let start_t = self.expr(start, Some(&var_ty))?;
+                let start_e = {
+                    let t = self.convert(start_t, &var_ty, start.span, Some(start))?;
+                    self.read(t, start.span)?
+                };
+                let stop_t = self.expr(stop, Some(&var_ty))?;
+                let stop_e = {
+                    let t = self.convert(stop_t, &var_ty, stop.span, Some(stop))?;
+                    self.read(t, stop.span)?
+                };
+                self.flush_prelude(out);
+                // The loop body is outlined into a *kernel function* whose
+                // param 0 is the index; everything below `base` stays in the
+                // enclosing frame and is captured explicitly.
+                let base = self.func.locals.len() as u32;
+                let lid = self.func.add_local(&*sym.name, var_ty.clone(), false);
+                self.syms.insert(sym.id, lid);
+                *sym.ty.borrow_mut() = Some(var_ty.clone());
+                let mut body_ir = Vec::new();
+                self.scoped(body, &mut body_ir)?;
+                if contains_return(&body_ir) {
+                    return Err(terr("return is not allowed inside parallelfor", *span));
+                }
+                if terra_ir::passes::util::has_toplevel_break(&body_ir) {
+                    return Err(terr(
+                        "break is not allowed inside parallelfor (iterations are independent)",
+                        *span,
+                    ));
+                }
+                let mut used = BTreeSet::new();
+                let mut assigned = BTreeSet::new();
+                let mut calls = BTreeSet::new();
+                scan_kernel_block(&body_ir, base, &mut used, &mut assigned, &mut calls);
+                if let Some(&l) = assigned.iter().next() {
+                    return Err(terr(
+                        format!(
+                            "cannot assign to '{}' inside parallelfor: register captures \
+                             are read-only (store through a memory location instead)",
+                            self.func.locals[l as usize].name
+                        ),
+                        *span,
+                    ));
+                }
+                // In-memory captures travel by frame address (workers share
+                // guest memory), register captures by value.
+                let mut cap_map = BTreeMap::new();
+                let mut cap_params: Vec<(Arc<str>, Ty)> = Vec::new();
+                let mut args: Vec<IrExpr> = Vec::new();
+                for (i, &l) in used.iter().enumerate() {
+                    let slot = &self.func.locals[l as usize];
+                    cap_map.insert(l, (i + 1) as u32);
+                    if slot.in_memory {
+                        let pty = slot.ty.clone().ptr_to();
+                        cap_params.push((format!("&{}", slot.name).into(), pty.clone()));
+                        args.push(IrExpr {
+                            ty: pty,
+                            kind: ExprKind::LocalAddr(LocalId(l)),
+                        });
+                    } else {
+                        cap_params.push((slot.name.clone(), slot.ty.clone()));
+                        args.push(IrExpr {
+                            ty: slot.ty.clone(),
+                            kind: ExprKind::Local(LocalId(l)),
+                        });
+                    }
+                }
+                let ncap = used.len() as u32;
+                remap_kernel_block(&mut body_ir, base, &cap_map, ncap);
+                let kname: Arc<str> =
+                    format!("{}$par{}", self.func.name, self.interp.ctx.funcs.len()).into();
+                let mut kernel = IrFunction {
+                    name: kname.clone(),
+                    ty: FuncTy {
+                        params: std::iter::once(var_ty.clone())
+                            .chain(cap_params.iter().map(|(_, t)| t.clone()))
+                            .collect(),
+                        ret: Ty::Unit,
+                    },
+                    locals: Vec::new(),
+                    body: Vec::new(),
+                };
+                kernel.add_local(&*sym.name, var_ty, false);
+                for (n, t) in &cap_params {
+                    kernel.add_local(n.clone(), t.clone(), false);
+                }
+                for slot in &self.func.locals[(base + 1) as usize..] {
+                    kernel.add_local(slot.name.clone(), slot.ty.clone(), slot.in_memory);
+                }
+                kernel.body = body_ir;
+                self.func.locals.truncate(base as usize);
+                let kid = self.interp.ctx.declare_func(&*kname);
+                let meta = &mut self.interp.ctx.funcs[kid.0 as usize];
+                meta.sig = Some(kernel.ty.clone());
+                meta.ir = Some(kernel);
+                meta.deps = calls.into_iter().collect();
+                self.deps.insert(kid);
+                out.push(IrStmt::at(
+                    *span,
+                    StmtKind::ParallelFor {
+                        kernel: kid,
+                        start: start_e,
+                        stop: stop_e,
+                        args,
                     },
                 ));
             }
@@ -1259,7 +1560,7 @@ impl Checker<'_> {
                 Ty::rawstring(),
                 IrExpr {
                     ty: Ty::rawstring(),
-                    kind: ExprKind::ConstStr(s.clone()),
+                    kind: ExprKind::ConstStr(s.as_ref().into()),
                 },
             )),
             SpecExprKind::Sym(sym) => {
@@ -1292,7 +1593,7 @@ impl Checker<'_> {
             SpecExprKind::Func(id) => {
                 let sig = ensure_signature(self.interp, *id, span)?;
                 self.deps.insert(*id);
-                let ty = Ty::Func(Rc::new(sig));
+                let ty = Ty::Func(std::sync::Arc::new(sig));
                 Ok(TExp::rvalue(
                     ty.clone(),
                     IrExpr {
@@ -1840,7 +2141,7 @@ impl Checker<'_> {
             return Err(terr("struct literal requires a struct type", span));
         };
         self.interp.finalize_struct(*sid, span)?;
-        let fields: Vec<(Rc<str>, u64, Ty)> = {
+        let fields: Vec<(std::sync::Arc<str>, u64, Ty)> = {
             let layout = self.interp.ctx.types.layout(*sid);
             layout
                 .fields

@@ -91,7 +91,7 @@ fn run_at(level: OptLevel, elide: bool, src: &str, n: i32) -> Result<u64, String
     // The read itself is part of the differential: a kernel that stomps the
     // frame slot holding `buf` may return a bad pointer, and both runs must
     // then fail the same way.
-    match t.ctx.program.memory.load_f64(addr as u64) {
+    match t.ctx.exec.memory.load_f64(addr as u64) {
         Ok(v) => Ok(v.to_bits()),
         Err(e) => Err(e.to_string()),
     }
@@ -171,7 +171,7 @@ return uaf()
     let mut t = Interp::new();
     t.opt = OptLevel::O2;
     t.elide_checks = true;
-    t.ctx.program.memory.set_sanitize(true);
+    t.ctx.exec.memory.set_sanitize(true);
     let err = t.exec(src).expect_err("use-after-free must trap");
     assert!(err.to_string().contains("use-after-free"), "{err}");
 }
@@ -193,7 +193,7 @@ return oob(1000000000)
     let mut t = Interp::new();
     t.opt = OptLevel::O2;
     t.elide_checks = true;
-    t.ctx.program.memory.set_sanitize(true);
+    t.ctx.exec.memory.set_sanitize(true);
     let err = t.exec(src).expect_err("OOB must trap");
     assert!(err.to_string().contains("invalid memory access"), "{err}");
 }

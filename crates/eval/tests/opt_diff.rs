@@ -116,7 +116,7 @@ fn run_at(
     let LuaValue::Number(addr) = out[0] else {
         panic!("prog must return a pointer, got {out:?}");
     };
-    let mem = &t.ctx.program.memory;
+    let mem = &mut t.ctx.exec.memory;
     Ok((0..nslots)
         .map(|i| {
             mem.load_f64(addr as u64 + 8 * i as u64)

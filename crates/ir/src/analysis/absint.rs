@@ -557,6 +557,19 @@ impl<'a> Interp<'a> {
                 self.walk_for(var, &sv, &ev, &stv, body);
                 Flow::FallThrough
             }
+            StmtKind::ParallelFor {
+                start, stop, args, ..
+            } => {
+                // Opaque call boundary: the kernel body is analyzed when its
+                // own function is; only the operand expressions run here.
+                self.eval(start);
+                self.eval(stop);
+                for a in args.iter_mut() {
+                    self.eval(a);
+                }
+                own = std::mem::take(&mut self.pending);
+                Flow::FallThrough
+            }
             StmtKind::Return(e) => {
                 if let Some(e) = e {
                     let v = self.eval(e);

@@ -213,6 +213,18 @@ impl InitWalk<'_> {
                 self.init.union(&writes);
                 self.block(body);
             }
+            StmtKind::ParallelFor {
+                start, stop, args, ..
+            } => {
+                // The kernel body is a separate function; only the operands
+                // are evaluated in this frame. Captured addresses escape via
+                // `value`'s LocalAddr rule.
+                self.value(start);
+                self.value(stop);
+                for a in args {
+                    self.value(a);
+                }
+            }
             StmtKind::Return(v) => {
                 if let Some(e) = v {
                     self.value(e);
@@ -349,6 +361,15 @@ fn collect_writes(stmts: &[IrStmt], out: &mut BitSet) {
                 expr(stop, out);
                 expr(step, out);
                 collect_writes(body, out);
+            }
+            StmtKind::ParallelFor {
+                start, stop, args, ..
+            } => {
+                expr(start, out);
+                expr(stop, out);
+                for a in args {
+                    expr(a, out);
+                }
             }
             StmtKind::Return(Some(e)) => expr(e, out),
             StmtKind::Return(None) | StmtKind::Break => {}
@@ -520,6 +541,16 @@ impl Liveness<'_> {
                 add_uses(stop, &mut live_in);
                 add_uses(step, &mut live_in);
                 live_in
+            }
+            StmtKind::ParallelFor {
+                start, stop, args, ..
+            } => {
+                add_uses(start, &mut live);
+                add_uses(stop, &mut live);
+                for a in args {
+                    add_uses(a, &mut live);
+                }
+                live
             }
             StmtKind::Return(v) => {
                 let mut live = BitSet::new(self.f.locals.len());

@@ -128,6 +128,15 @@ impl Linter<'_> {
                     self.expr(step);
                     self.stmts(body);
                 }
+                StmtKind::ParallelFor {
+                    start, stop, args, ..
+                } => {
+                    self.expr(start);
+                    self.expr(stop);
+                    for a in args {
+                        self.expr(a);
+                    }
+                }
                 StmtKind::Return(Some(e)) => self.expr(e),
                 StmtKind::Return(None) | StmtKind::Break => {}
             }
@@ -228,7 +237,7 @@ mod tests {
     use super::super::{analyze_function, EnvEntry, ModuleEnv, NoEnv};
     use crate::ir::{BinKind, ExprKind, GlobalId, IrExpr, IrFunction, StmtKind};
     use crate::types::{FuncTy, ScalarTy, Ty, TypeRegistry};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn array_fn(elem: Ty, n: u64) -> (IrFunction, crate::ir::LocalId) {
         let mut f = IrFunction {
@@ -240,7 +249,7 @@ mod tests {
             locals: vec![],
             body: vec![],
         };
-        let a = f.add_local("a", Ty::Array(Rc::new(elem), n), true);
+        let a = f.add_local("a", Ty::Array(Arc::new(elem), n), true);
         (f, a)
     }
 
@@ -318,7 +327,7 @@ mod tests {
     impl ModuleEnv for OneGlobal {
         fn global_ty(&self, id: GlobalId) -> EnvEntry<Ty> {
             if id.0 == 0 {
-                EnvEntry::Known(Ty::Array(Rc::new(Ty::INT), 4))
+                EnvEntry::Known(Ty::Array(Arc::new(Ty::INT), 4))
             } else {
                 EnvEntry::Invalid
             }

@@ -24,7 +24,7 @@ mod verify;
 
 use crate::ir::{FuncId, GlobalId, IrFunction};
 use crate::types::{FuncTy, Ty, TypeRegistry};
-use std::rc::Rc;
+use std::sync::Arc;
 use terra_syntax::{Provenance, Span};
 
 pub use absint::{summarize, Summaries};
@@ -60,7 +60,7 @@ pub struct Diagnostic {
     /// statement was compiler-generated).
     pub span: Span,
     /// Name of the function the finding is in.
-    pub function: Rc<str>,
+    pub function: Arc<str>,
     /// Staging chain of the offending statement, when it was produced by a
     /// `quote` splice or macro (`None` for code written inline). Rendering
     /// without a chain is byte-identical to the pre-provenance format.

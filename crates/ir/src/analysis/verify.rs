@@ -270,6 +270,66 @@ impl Verifier<'_> {
                 self.stmts(body);
                 self.loop_depth -= 1;
             }
+            StmtKind::ParallelFor {
+                kernel,
+                start,
+                stop,
+                args,
+            } => {
+                self.expr(start);
+                self.expr(stop);
+                for a in args {
+                    self.expr(a);
+                }
+                for (what, e) in [("start", start), ("stop", stop)] {
+                    if !e.ty.is_integer() {
+                        self.error(
+                            "type-mismatch",
+                            format!("parallelfor {} has non-integer type {}", what, e.ty),
+                        );
+                    }
+                }
+                match self.env.function_sig(*kernel) {
+                    EnvEntry::Known(sig) => {
+                        if sig.ret != Ty::Unit {
+                            self.error(
+                                "type-mismatch",
+                                format!("parallelfor kernel fn{} returns {}", kernel.0, sig.ret),
+                            );
+                        }
+                        if sig.params.len() != args.len() + 1 {
+                            self.error(
+                                "bad-arity",
+                                format!(
+                                    "parallelfor kernel fn{} takes {} parameters but loop \
+                                     passes {} (index + captures)",
+                                    kernel.0,
+                                    sig.params.len(),
+                                    args.len() + 1
+                                ),
+                            );
+                        } else {
+                            for (i, (a, p)) in args.iter().zip(&sig.params[1..]).enumerate() {
+                                if !compat(&a.ty, p) {
+                                    self.error(
+                                        "type-mismatch",
+                                        format!(
+                                            "parallelfor capture {} has type {} (kernel \
+                                             expects {})",
+                                            i, a.ty, p
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    EnvEntry::Opaque => {}
+                    EnvEntry::Invalid => self.error(
+                        "bad-func-ref",
+                        format!("parallelfor kernel fn{} does not exist", kernel.0),
+                    ),
+                }
+            }
             StmtKind::Return(v) => {
                 if let Some(e) = v {
                     self.expr(e);
@@ -925,7 +985,7 @@ mod tests {
         // let p: &int in-memory array base + 4 (an int element offset, as
         // produced by index lowering).
         let mut f = unit_fn("ptr_math");
-        let arr = f.add_local("a", Ty::Array(std::rc::Rc::new(Ty::INT), 8), true);
+        let arr = f.add_local("a", Ty::Array(std::sync::Arc::new(Ty::INT), 8), true);
         let base = IrExpr {
             ty: Ty::INT.ptr_to(),
             kind: ExprKind::LocalAddr(arr),

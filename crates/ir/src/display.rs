@@ -104,6 +104,22 @@ fn dump_stmts(stmts: &[IrStmt], depth: usize, out: &mut String) {
                 indent(depth, out);
                 out.push_str("end\n");
             }
+            StmtKind::ParallelFor {
+                kernel,
+                start,
+                stop,
+                args,
+            } => {
+                let args = args.iter().map(expr).collect::<Vec<_>>().join(", ");
+                let _ = writeln!(
+                    out,
+                    "parallelfor fn{}({}, {}) captures [{}]",
+                    kernel.0,
+                    expr(start),
+                    expr(stop),
+                    args
+                );
+            }
             StmtKind::Return(Some(e)) => {
                 let _ = writeln!(out, "return {}", expr(e));
             }

@@ -8,7 +8,7 @@
 //! `Store` by the time IR exists.
 
 use crate::types::{FuncTy, Ty};
-use std::rc::Rc;
+use std::sync::Arc;
 use terra_syntax::{Provenance, Span};
 
 /// Handle to a Terra function in a program's function table. This is the
@@ -195,7 +195,7 @@ pub enum ExprKind {
     /// Function pointer constant.
     ConstFunc(FuncId),
     /// String constant (interned into VM memory; type `rawstring`).
-    ConstStr(Rc<str>),
+    ConstStr(Arc<str>),
     /// Read a register local.
     Local(LocalId),
     /// Address of an in-memory local.
@@ -382,6 +382,22 @@ pub enum StmtKind {
         /// Body.
         body: Vec<IrStmt>,
     },
+    /// Data-parallel loop `parallelfor i = start, stop`: invokes `kernel(i,
+    /// args...)` for every `i` in the half-open range, potentially across
+    /// worker threads. The body lives in the (separately compiled) kernel
+    /// function; `args` are the captured values from the enclosing frame.
+    /// Optimization passes treat this as an opaque call — the kernel is
+    /// optimized on its own when it is compiled.
+    ParallelFor {
+        /// The kernel function (first parameter is the loop index).
+        kernel: FuncId,
+        /// Initial index.
+        start: IrExpr,
+        /// Exclusive bound.
+        stop: IrExpr,
+        /// Captured arguments (kernel parameters after the index).
+        args: Vec<IrExpr>,
+    },
     /// Return, with an optional value.
     Return(Option<IrExpr>),
     /// Break out of the innermost loop.
@@ -396,14 +412,14 @@ pub struct LocalSlot {
     /// `true` if the local needs memory (aggregate or address-taken).
     pub in_memory: bool,
     /// Debug name.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
 }
 
 /// A function in typed IR form, ready for bytecode compilation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IrFunction {
     /// Name for diagnostics and disassembly.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Signature.
     pub ty: FuncTy,
     /// All locals; the first `ty.params.len()` slots are the parameters.
@@ -419,7 +435,7 @@ impl IrFunction {
     }
 
     /// Adds a local slot, returning its id.
-    pub fn add_local(&mut self, name: impl Into<Rc<str>>, ty: Ty, in_memory: bool) -> LocalId {
+    pub fn add_local(&mut self, name: impl Into<Arc<str>>, ty: Ty, in_memory: bool) -> LocalId {
         let id = LocalId(self.locals.len() as u32);
         self.locals.push(LocalSlot {
             ty,
@@ -439,7 +455,7 @@ pub struct GlobalCell {
     /// Initial bytes (zero-filled when `None`).
     pub init: Option<Vec<u8>>,
     /// Debug name.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
 }
 
 // Convenience constructors used by the lowering code and tests.

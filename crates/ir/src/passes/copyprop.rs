@@ -138,6 +138,15 @@ fn block(locals: &[LocalSlot], stmts: &mut [IrStmt], map: &mut CopyMap, forwarde
                 let mut bmap = map.clone();
                 block(locals, body, &mut bmap, forwarded);
             }
+            StmtKind::ParallelFor {
+                start, stop, args, ..
+            } => {
+                replace_uses(start, map, forwarded);
+                replace_uses(stop, map, forwarded);
+                for a in args {
+                    replace_uses(a, map, forwarded);
+                }
+            }
             StmtKind::Return(Some(e)) => replace_uses(e, map, forwarded),
             StmtKind::Return(None) | StmtKind::Break => {}
         }

@@ -166,6 +166,15 @@ fn block(locals: &[LocalSlot], stmts: &mut [IrStmt], avail: &mut Avail, remarks:
                 let mut bavail = avail.clone();
                 block(locals, body, &mut bavail, remarks);
             }
+            StmtKind::ParallelFor {
+                start, stop, args, ..
+            } => {
+                replace(start, avail, locals, &site, remarks);
+                replace(stop, avail, locals, &site, remarks);
+                for a in args {
+                    replace(a, avail, locals, &site, remarks);
+                }
+            }
             StmtKind::Return(Some(e)) => replace(e, avail, locals, &site, remarks),
             StmtKind::Return(None) | StmtKind::Break => {}
         }

@@ -246,6 +246,16 @@ impl Sweep<'_> {
                 add_uses(step, &mut live_in);
                 live_in
             }
+            StmtKind::ParallelFor {
+                start, stop, args, ..
+            } => {
+                add_uses(start, &mut live);
+                add_uses(stop, &mut live);
+                for a in args.iter() {
+                    add_uses(a, &mut live);
+                }
+                live
+            }
             StmtKind::Return(v) => {
                 let mut live = LocalSet::new(self.locals.len());
                 if let Some(e) = v {

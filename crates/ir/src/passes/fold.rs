@@ -87,6 +87,15 @@ fn fold_stmts(stmts: &mut Vec<IrStmt>, folded: &mut usize, remarks: &mut Vec<Rem
                 fold_expr_counted(step, folded);
                 fold_stmts(body, folded, remarks);
             }
+            StmtKind::ParallelFor {
+                start, stop, args, ..
+            } => {
+                fold_expr_counted(start, folded);
+                fold_expr_counted(stop, folded);
+                for a in args {
+                    fold_expr_counted(a, folded);
+                }
+            }
             StmtKind::Return(Some(e)) => fold_expr_counted(e, folded),
             StmtKind::Return(None) | StmtKind::Break => {}
         }

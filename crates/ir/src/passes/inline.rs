@@ -334,6 +334,8 @@ fn block_has_calls(stmts: &[IrStmt]) -> bool {
                 || expr_has_calls(step)
                 || block_has_calls(body)
         }
+        // A parallel loop is a call to its kernel.
+        StmtKind::ParallelFor { .. } => true,
         StmtKind::Return(Some(e)) => expr_has_calls(e),
         StmtKind::Return(None) | StmtKind::Break => false,
     })

@@ -180,6 +180,15 @@ impl Licm<'_> {
                     self.scan_expr(step, writes, out);
                     self.scan_block(body, writes, out);
                 }
+                StmtKind::ParallelFor {
+                    start, stop, args, ..
+                } => {
+                    self.scan_expr(start, writes, out);
+                    self.scan_expr(stop, writes, out);
+                    for a in args {
+                        self.scan_expr(a, writes, out);
+                    }
+                }
                 StmtKind::Return(Some(e)) => self.scan_expr(e, writes, out),
                 StmtKind::Return(None) | StmtKind::Break => {}
             }
@@ -275,6 +284,8 @@ fn block_is_memory_pure(stmts: &[IrStmt]) -> bool {
                 && !expr_has_call(step)
                 && block_is_memory_pure(body)
         }
+        // The kernel may write memory through captured pointers.
+        StmtKind::ParallelFor { .. } => false,
         StmtKind::Return(Some(e)) => !expr_has_call(e),
         StmtKind::Return(None) | StmtKind::Break => true,
     })

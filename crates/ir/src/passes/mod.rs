@@ -39,7 +39,7 @@ pub mod util;
 use crate::analysis::{verify_function, ModuleEnv, Summaries};
 use crate::ir::{FuncId, IrFunction};
 use crate::types::TypeRegistry;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 use terra_syntax::Provenance;
 
@@ -148,7 +148,7 @@ pub struct Remark {
     /// Applied or missed.
     pub kind: RemarkKind,
     /// Function being optimized (filled in by [`optimize`]).
-    pub function: Rc<str>,
+    pub function: Arc<str>,
     /// 1-based source line the remark anchors to (0 = whole function).
     pub line: u32,
     /// Staging chain of the affected code, when it was generated.
@@ -168,7 +168,7 @@ impl Remark {
         Remark {
             pass,
             kind: RemarkKind::Applied,
-            function: Rc::from(""),
+            function: Arc::from(""),
             line,
             prov,
             message,
@@ -185,7 +185,7 @@ impl Remark {
         Remark {
             pass,
             kind: RemarkKind::Missed,
-            function: Rc::from(""),
+            function: Arc::from(""),
             line,
             prov,
             message,
@@ -318,7 +318,7 @@ pub fn optimize(f: &mut IrFunction, cfg: &PassConfig) -> PassStats {
             }
         }
         for r in &mut stats.remarks[remarks_before..] {
-            r.function = Rc::clone(&f.name);
+            r.function = Arc::clone(&f.name);
         }
         stats.runs.push(PassRun {
             pass: pass.name(),

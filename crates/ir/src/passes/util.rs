@@ -160,6 +160,15 @@ pub fn for_each_stmt_expr_mut(s: &mut IrStmt, f: &mut dyn FnMut(&mut IrExpr)) {
             f(stop);
             f(step);
         }
+        StmtKind::ParallelFor {
+            start, stop, args, ..
+        } => {
+            f(start);
+            f(stop);
+            for a in args {
+                f(a);
+            }
+        }
         StmtKind::Return(Some(e)) => f(e),
         StmtKind::Return(None) | StmtKind::Break => {}
     }
@@ -320,6 +329,14 @@ pub fn count_nodes(f: &IrFunction) -> usize {
                     body,
                     ..
                 } => n += expr(start) + expr(stop) + expr(step) + block(body),
+                StmtKind::ParallelFor {
+                    start, stop, args, ..
+                } => {
+                    n += expr(start) + expr(stop);
+                    for a in args {
+                        n += expr(a);
+                    }
+                }
                 StmtKind::Return(Some(e)) => n += expr(e),
                 StmtKind::Return(None) | StmtKind::Break => {}
             }

@@ -8,7 +8,7 @@
 //! extended from the meta-language while Terra code is being staged.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Scalar machine types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -127,15 +127,15 @@ pub enum Ty {
     /// A scalar machine type.
     Scalar(ScalarTy),
     /// `&T`
-    Ptr(Rc<Ty>),
+    Ptr(Arc<Ty>),
     /// `T[n]`
-    Array(Rc<Ty>, u64),
+    Array(Arc<Ty>, u64),
     /// `vector(T, n)` — a fixed-width SIMD value of scalar elements.
     Vector(ScalarTy, u8),
     /// A nominal struct; layout lives in the [`TypeRegistry`].
     Struct(StructId),
     /// A function pointer type `{A,…} -> {R}`.
-    Func(Rc<FuncTy>),
+    Func(Arc<FuncTy>),
 }
 
 impl Ty {
@@ -156,7 +156,7 @@ impl Ty {
 
     /// A pointer to `self` (consumes `self` — types are cheap to clone).
     pub fn ptr_to(self) -> Ty {
-        Ty::Ptr(Rc::new(self))
+        Ty::Ptr(Arc::new(self))
     }
 
     /// `rawstring` — `&int8`, the type of C string constants.
@@ -290,7 +290,7 @@ impl fmt::Display for TyDisplay<'_> {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Field {
     /// Field name.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Field type.
     pub ty: Ty,
     /// Byte offset within the struct (set when the layout is finalized).
@@ -301,7 +301,7 @@ pub struct Field {
 #[derive(Debug, Clone, PartialEq)]
 pub struct StructLayout {
     /// Struct name (for diagnostics; not used for identity).
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Fields in declaration order with computed offsets.
     pub fields: Vec<Field>,
     /// Total size in bytes (with trailing padding).
@@ -329,7 +329,7 @@ impl TypeRegistry {
     }
 
     /// Declares a new struct with no entries; returns its handle.
-    pub fn declare_struct(&mut self, name: impl Into<Rc<str>>) -> StructId {
+    pub fn declare_struct(&mut self, name: impl Into<Arc<str>>) -> StructId {
         let id = StructId(self.structs.len() as u32);
         self.structs.push(StructLayout {
             name: name.into(),
@@ -348,7 +348,7 @@ impl TypeRegistry {
     /// Panics if the struct is already finalized (Terra keeps typechecking
     /// monotonic by only allowing types to *grow*, and freezes them on first
     /// use).
-    pub fn add_field(&mut self, id: StructId, name: impl Into<Rc<str>>, ty: Ty) {
+    pub fn add_field(&mut self, id: StructId, name: impl Into<Arc<str>>, ty: Ty) {
         let s = &mut self.structs[id.0 as usize];
         assert!(
             !s.finalized,
@@ -511,8 +511,8 @@ mod tests {
         assert_eq!(Ty::Vector(ScalarTy::F32, 8).size(&reg), 32);
         assert_eq!(Ty::Vector(ScalarTy::F64, 4).size(&reg), 32);
         assert_eq!(Ty::Vector(ScalarTy::F64, 4).align(&reg), 32);
-        assert_eq!(Ty::Array(Rc::new(Ty::INT), 10).size(&reg), 40);
-        assert_eq!(Ty::Array(Rc::new(Ty::INT), 10).align(&reg), 4);
+        assert_eq!(Ty::Array(Arc::new(Ty::INT), 10).size(&reg), 40);
+        assert_eq!(Ty::Array(Arc::new(Ty::INT), 10).align(&reg), 4);
     }
 
     #[test]
@@ -521,7 +521,7 @@ mod tests {
         assert_eq!(Ty::F32.ptr_to().to_string(), "&float");
         assert_eq!(Ty::rawstring().to_string(), "&int8");
         assert_eq!(Ty::Vector(ScalarTy::F64, 4).to_string(), "vector(double,4)");
-        let ft = Ty::Func(Rc::new(FuncTy {
+        let ft = Ty::Func(Arc::new(FuncTy {
             params: vec![Ty::INT, Ty::F64],
             ret: Ty::BOOL,
         }));

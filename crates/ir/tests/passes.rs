@@ -106,6 +106,13 @@ fn count_exprs(f: &IrFunction, pred: &dyn Fn(&ExprKind) -> bool) -> usize {
                     expr(step, pred, n);
                     block(body, pred, n);
                 }
+                StmtKind::ParallelFor {
+                    start, stop, args, ..
+                } => {
+                    expr(start, pred, n);
+                    expr(stop, pred, n);
+                    args.iter().for_each(|a| expr(a, pred, n));
+                }
                 StmtKind::Return(Some(e)) => expr(e, pred, n),
                 StmtKind::Return(None) | StmtKind::Break => {}
             }

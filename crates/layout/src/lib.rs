@@ -193,7 +193,7 @@ impl MeshKit {
         // Index + IO buffers.
         let tris = terra.malloc((mesh.indices.len() * 4) as u64);
         {
-            let mem = &mut terra.interp().ctx.program.memory;
+            let mem = &mut terra.interp().ctx.exec.memory;
             for (i, ix) in mesh.indices.iter().enumerate() {
                 mem.store_i32(tris + 4 * i as u64, *ix)
                     .expect("index buffer allocated");

@@ -284,7 +284,7 @@ fn copy_field(t: &mut Terra, src: &ImageBuf, dst: &ImageBuf) {
     let total = (s * (src.h + 2 * src.padding) * 4) as u64;
     t.interp()
         .ctx
-        .program
+        .exec
         .memory
         .copy_within(src.addr, dst.addr, total)
         .expect("field buffers are allocated");

@@ -499,6 +499,23 @@ pub enum TerraStmt {
         /// Location.
         span: Span,
     },
+    /// `parallelfor v = start, stop do body end` — a data-parallel numeric
+    /// loop: iterations may execute concurrently across worker threads (no
+    /// step; the body is extracted into a kernel function at typechecking).
+    ParallelFor {
+        /// Loop variable.
+        var: DeclName,
+        /// Optional loop-variable type annotation.
+        ty: Option<LuaExpr>,
+        /// Start expression.
+        start: TerraExpr,
+        /// Exclusive stop expression.
+        stop: TerraExpr,
+        /// Body.
+        body: Vec<TerraStmt>,
+        /// Location.
+        span: Span,
+    },
     /// `return e1, e2`
     Return {
         /// Returned expressions.
@@ -529,6 +546,7 @@ impl TerraStmt {
             | TerraStmt::While { span, .. }
             | TerraStmt::Repeat { span, .. }
             | TerraStmt::ForNum { span, .. }
+            | TerraStmt::ParallelFor { span, .. }
             | TerraStmt::Return { span, .. }
             | TerraStmt::Block(_, span)
             | TerraStmt::Escape(_, span)

@@ -1010,6 +1010,30 @@ impl Parser {
                     span,
                 })
             }
+            Tok::Parallelfor => {
+                self.bump();
+                let var = self.decl_name()?;
+                let ty = if self.check(&Tok::Colon) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::Assign)?;
+                let start = self.terra_expr()?;
+                self.expect(Tok::Comma)?;
+                let stop = self.terra_expr()?;
+                self.expect(Tok::Do)?;
+                let body = self.terra_block()?;
+                self.expect(Tok::End)?;
+                Ok(TerraStmt::ParallelFor {
+                    var,
+                    ty,
+                    start,
+                    stop,
+                    body,
+                    span,
+                })
+            }
             Tok::Do => {
                 self.bump();
                 let body = self.terra_block()?;

@@ -67,6 +67,7 @@ pub enum Tok {
     Defer,
     Emit,
     Escape,
+    Parallelfor,
 
     // Symbols
     Plus,
@@ -138,6 +139,7 @@ impl Tok {
             "var" => Tok::Var,
             "struct" => Tok::Struct,
             "defer" => Tok::Defer,
+            "parallelfor" => Tok::Parallelfor,
             "emit" => Tok::Emit,
             "escape" => Tok::Escape,
             _ => return None,
@@ -185,6 +187,7 @@ impl Tok {
             Tok::Var => "var",
             Tok::Struct => "struct",
             Tok::Defer => "defer",
+            Tok::Parallelfor => "parallelfor",
             Tok::Emit => "emit",
             Tok::Escape => "escape",
             Tok::Plus => "+",

@@ -13,10 +13,10 @@
 //! of the same program produce byte-identical heap reports.
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Interning key for an allocation site.
-type SiteKey = (Rc<str>, u32, Option<Rc<str>>);
+type SiteKey = (Arc<str>, u32, Option<Arc<str>>);
 
 /// Per-site accumulators while the program runs.
 #[derive(Debug, Default, Clone)]
@@ -72,8 +72,8 @@ impl HeapProfiler {
     /// Sets the site the *next* allocation(s) will be attributed to. The VM
     /// calls this when the instruction about to execute is a
     /// `malloc`/`realloc` builtin call.
-    pub fn set_site(&mut self, func: &Rc<str>, line: u32, prov: Option<Rc<str>>) {
-        let key = (Rc::clone(func), line, prov);
+    pub fn set_site(&mut self, func: &Arc<str>, line: u32, prov: Option<Arc<str>>) {
+        let key = (Arc::clone(func), line, prov);
         let id = self.intern(key);
         self.current = Some(id);
     }
@@ -95,7 +95,7 @@ impl HeapProfiler {
     }
 
     fn host_site(&mut self) -> usize {
-        self.intern((Rc::from("(host)"), 0, None))
+        self.intern((Arc::from("(host)"), 0, None))
     }
 
     /// Records an allocation of `bytes` (the block size, matching the VM's
@@ -264,8 +264,8 @@ mod tests {
     use super::*;
 
     fn site(h: &mut HeapProfiler, func: &str, line: u32, prov: Option<&str>) {
-        let f: Rc<str> = Rc::from(func);
-        h.set_site(&f, line, prov.map(Rc::from));
+        let f: Arc<str> = Arc::from(func);
+        h.set_site(&f, line, prov.map(Arc::from));
     }
 
     #[test]

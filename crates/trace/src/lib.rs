@@ -40,7 +40,7 @@ pub use sample::{SampleFuncRank, SampleStats, Sampler};
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which pipeline stage a timeline span belongs to.
@@ -129,7 +129,7 @@ pub struct FuncCounters {
 }
 
 /// A per-function row of a finished profile.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuncProfile {
     /// Function name.
     pub name: String,
@@ -140,7 +140,7 @@ pub struct FuncProfile {
 /// An in-flight function activation on the profile stack.
 #[derive(Debug)]
 struct ActiveFunc {
-    name: Rc<str>,
+    name: Arc<str>,
     exclusive: u64,
     child_inclusive: u64,
 }
@@ -156,7 +156,7 @@ pub struct Tracer {
     epoch: Instant,
     events: Vec<SpanEvent>,
     ops: BTreeMap<&'static str, u64>,
-    funcs: BTreeMap<Rc<str>, FuncCounters>,
+    funcs: BTreeMap<Arc<str>, FuncCounters>,
     stack: Vec<ActiveFunc>,
     remarks: Vec<Remark>,
     sampler: Sampler,
@@ -318,7 +318,7 @@ impl Tracer {
     }
 
     /// Pushes a function activation (VM frame push).
-    pub fn func_enter(&mut self, name: Rc<str>) {
+    pub fn func_enter(&mut self, name: Arc<str>) {
         self.stack.push(ActiveFunc {
             name,
             exclusive: 0,
@@ -351,6 +351,46 @@ impl Tracer {
         while self.stack.len() > depth {
             self.func_exit();
         }
+    }
+
+    // -- shard merging -------------------------------------------------------
+
+    /// Folds another tracer's counters into this one. Used by the parallel
+    /// harness: each worker context collects into its own tracer shard, and
+    /// the shards are merged back in chunk order after the join. Every merge
+    /// is a commutative sum over keyed counters (opcode map, per-function
+    /// counters, sampler stacks), so the merged totals are independent of
+    /// worker interleaving *and* of the order shards are absorbed in; span
+    /// events and remarks are appended in absorb order.
+    ///
+    /// The shard's in-flight activation stack is ignored — callers must
+    /// absorb only quiesced tracers (depth 0), which the harness guarantees
+    /// by unwinding each worker before the join.
+    pub fn absorb(&mut self, other: &Tracer) {
+        for (k, v) in &other.ops {
+            *self.ops.entry(k).or_insert(0) += v;
+        }
+        for (name, c) in &other.funcs {
+            let e = self.funcs.entry(Arc::clone(name)).or_default();
+            e.calls += c.calls;
+            e.inclusive += c.inclusive;
+            e.exclusive += c.exclusive;
+        }
+        self.events.extend(other.events.iter().cloned());
+        self.remarks.extend(other.remarks.iter().cloned());
+        self.sampler.absorb(&other.sampler);
+    }
+
+    /// Creates a fresh shard for a worker execution context: same gates
+    /// (enabled flag, sampling interval), empty counters. The shard starts
+    /// with an empty activation stack, so kernel calls inside a worker do
+    /// not roll up into any host-side caller's inclusive counts — the same
+    /// accounting at every thread count.
+    pub fn worker_shard(&self) -> Tracer {
+        let mut t = Tracer::new();
+        t.set_enabled(self.enabled);
+        t.set_sample_interval(self.sampler.interval());
+        t
     }
 
     // -- snapshots -----------------------------------------------------------
@@ -477,6 +517,27 @@ impl MemCounters {
         self.vec_loads.set(0);
         self.vec_stores.set(0);
         self.prefetches.set(0);
+    }
+
+    /// Folds a frozen worker-shard snapshot into these counters: traffic
+    /// counts add, the peak takes the max (each worker's peak is measured
+    /// against the same shared heap's live-byte figure, so the max over
+    /// shards equals the sequential peak).
+    pub fn absorb(&self, s: &MemStats) {
+        self.mallocs.set(self.mallocs.get() + s.mallocs);
+        self.frees.set(self.frees.get() + s.frees);
+        if s.peak_live_bytes > self.peak_live_bytes.get() {
+            self.peak_live_bytes.set(s.peak_live_bytes);
+        }
+        for (c, v) in self.loads.iter().zip(s.loads) {
+            c.set(c.get() + v);
+        }
+        for (c, v) in self.stores.iter().zip(s.stores) {
+            c.set(c.get() + v);
+        }
+        self.vec_loads.set(self.vec_loads.get() + s.vec_loads);
+        self.vec_stores.set(self.vec_stores.get() + s.vec_stores);
+        self.prefetches.set(self.prefetches.get() + s.prefetches);
     }
 
     /// A plain-value copy of the current counts.
@@ -773,10 +834,10 @@ mod tests {
         t.set_enabled(true);
         let s = t.now_us();
         t.record(Stage::Parse, "chunk", s);
-        t.func_enter(Rc::from("outer"));
+        t.func_enter(Arc::from("outer"));
         t.tick("add.i");
         t.tick("add.i");
-        t.func_enter(Rc::from("inner"));
+        t.func_enter(Arc::from("inner"));
         t.tick("mul.i");
         t.func_exit();
         t.tick("ret");
@@ -812,9 +873,9 @@ mod tests {
     fn unwind_attributes_partial_counts() {
         let mut t = Tracer::new();
         t.set_enabled(true);
-        t.func_enter(Rc::from("f"));
+        t.func_enter(Arc::from("f"));
         t.tick("add.i");
-        t.func_enter(Rc::from("g"));
+        t.func_enter(Arc::from("g"));
         t.tick("div.s");
         t.unwind_to(0);
         let p = t.snapshot(MemStats::default());
@@ -873,9 +934,9 @@ mod tests {
     fn sampling_captures_the_activation_stack() {
         let mut t = Tracer::new();
         t.set_sample_interval(2);
-        t.func_enter(Rc::from("outer"));
+        t.func_enter(Arc::from("outer"));
         t.sample_tick(); // 1: no sample
-        t.func_enter(Rc::from("inner"));
+        t.func_enter(Arc::from("inner"));
         t.sample_tick(); // 2: sample at outer;inner
         t.sample_tick(); // 3
         t.func_exit();
@@ -893,7 +954,7 @@ mod tests {
     #[test]
     fn sampling_off_records_nothing() {
         let mut t = Tracer::new();
-        t.func_enter(Rc::from("f"));
+        t.func_enter(Arc::from("f"));
         t.sample_tick();
         t.func_exit();
         assert_eq!(t.snapshot(MemStats::default()).samples.total, 0);

@@ -60,6 +60,15 @@ impl Sampler {
         *self.stacks.entry(stack).or_insert(0) += 1;
     }
 
+    /// Folds another sampler's collected stacks into this one (commutative
+    /// sums keyed by folded stack, so merge order does not matter).
+    pub fn absorb(&mut self, other: &Sampler) {
+        self.total += other.total;
+        for (k, v) in &other.stacks {
+            *self.stacks.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
     /// Discards collected samples; the interval (and countdown) restart.
     pub fn reset(&mut self) {
         self.total = 0;

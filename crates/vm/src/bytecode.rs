@@ -5,7 +5,7 @@
 //! lanes (8×f32 or 4×f64 — the VM analogue of AVX). Jump targets are
 //! absolute instruction indices.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use terra_ir::{Builtin, FuncId, FuncTy};
 
 /// A register index within a frame.
@@ -893,6 +893,22 @@ pub enum Instr {
         /// Argument count.
         nargs: u16,
     },
+    /// Data-parallel loop: runs `f(i, extra...)` for every `i` in
+    /// `[lo, hi)`, partitioned into deterministic chunks that may execute on
+    /// worker threads (see `crate::parallel`). `nargs` captured extras start
+    /// at `args`.
+    ParFor {
+        /// Kernel function (param 0 is the index).
+        f: FuncId,
+        /// Register holding the inclusive lower bound.
+        lo: Reg,
+        /// Register holding the exclusive upper bound.
+        hi: Reg,
+        /// First captured-argument register.
+        args: Reg,
+        /// Captured-argument count.
+        nargs: u16,
+    },
     /// Call a runtime builtin.
     CallBuiltin {
         /// Destination register or [`NO_REG`].
@@ -1046,6 +1062,7 @@ impl Instr {
             Instr::BrFalse { .. } => "br.false",
             Instr::BrTrue { .. } => "br.true",
             Instr::Call { .. } => "call",
+            Instr::ParFor { .. } => "par.for",
             Instr::CallIndirect { .. } => "call.indirect",
             Instr::CallBuiltin { .. } => "call.builtin",
             Instr::Ret { .. } => "ret",
@@ -1076,7 +1093,7 @@ pub fn decode_func_ptr(bits: u64) -> Option<FuncId> {
 #[derive(Debug, Clone)]
 pub struct CompiledFunction {
     /// Name for diagnostics.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Signature.
     pub ty: FuncTy,
     /// Number of registers the frame needs (params occupy `0..nparams`).
@@ -1094,7 +1111,7 @@ pub struct CompiledFunction {
     /// Interned staging chains referenced by `provs` (e.g. `"via quote at
     /// line 41, inlined at line 30"`). Kept separate because many
     /// instructions share the same chain.
-    pub prov_table: Vec<Rc<str>>,
+    pub prov_table: Vec<Arc<str>>,
     /// Per-instruction check-elision flags (parallel to `code`; may be
     /// empty = all checked). `true` means the mid-end proved the memory
     /// access at that pc in-bounds and the VM may skip its bounds check.
@@ -1132,7 +1149,7 @@ impl CompiledFunction {
     /// Like [`CompiledFunction::prov_at`], but returns the interned handle —
     /// for attribution sinks (the heap profiler) that outlive the frame.
     #[inline]
-    pub fn prov_rc_at(&self, pc: usize) -> Option<Rc<str>> {
+    pub fn prov_rc_at(&self, pc: usize) -> Option<Arc<str>> {
         let idx = self.provs.get(pc).copied().unwrap_or(0);
         if idx == 0 {
             None

@@ -16,7 +16,7 @@
 //! deliberately bypass it, as does instruction fetch (the VM has no icache).
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use terra_trace::{CacheConfig, CacheLevelConfig, CacheLevelStats, CacheStats, LineStat};
 
 /// Demand ticks a prefetch needs in flight before its line counts as
@@ -178,9 +178,9 @@ pub struct CacheSim {
     pf_late: u64,
     pf_useless: u64,
     /// Current attribution site: (function name, 1-based source line).
-    site: Option<(Rc<str>, u32)>,
+    site: Option<(Arc<str>, u32)>,
     /// Attribution table keyed by site.
-    lines: BTreeMap<(Rc<str>, u32), LineCounters>,
+    lines: BTreeMap<(Arc<str>, u32), LineCounters>,
 }
 
 impl CacheSim {
@@ -224,10 +224,10 @@ impl CacheSim {
     }
 
     /// Sets the attribution site for subsequent accesses.
-    pub fn set_site(&mut self, func: &Rc<str>, line: u32) {
+    pub fn set_site(&mut self, func: &Arc<str>, line: u32) {
         match &mut self.site {
-            Some((f, l)) if Rc::ptr_eq(f, func) => *l = line,
-            site => *site = Some((Rc::clone(func), line)),
+            Some((f, l)) if Arc::ptr_eq(f, func) => *l = line,
+            site => *site = Some((Arc::clone(func), line)),
         }
     }
 
@@ -297,6 +297,31 @@ impl CacheSim {
         let w = &mut self.l1.ways[r1.way];
         w.prefetched = true;
         w.pf_tick = self.tick;
+    }
+
+    /// Folds another simulator's *counters* into this one: hit/miss/eviction
+    /// totals, prefetch classification, and the per-line attribution table
+    /// all add; the tag arrays are left alone. Used by the parallel harness
+    /// to merge per-chunk cache shards — each worker context simulates its
+    /// own cold hierarchy (see the `Memory` docs for why that is the defined
+    /// semantics under `parallelfor`), and the sums are commutative so the
+    /// merged stats are independent of worker interleaving.
+    pub fn absorb(&mut self, other: &CacheSim) {
+        self.l1.hits += other.l1.hits;
+        self.l1.misses += other.l1.misses;
+        self.l1.evictions += other.l1.evictions;
+        self.l2.hits += other.l2.hits;
+        self.l2.misses += other.l2.misses;
+        self.l2.evictions += other.l2.evictions;
+        self.pf_useful += other.pf_useful;
+        self.pf_late += other.pf_late;
+        self.pf_useless += other.pf_useless;
+        for (site, c) in &other.lines {
+            let e = self.lines.entry(site.clone()).or_default();
+            e.accesses += c.accesses;
+            e.l1_misses += c.l1_misses;
+            e.l2_misses += c.l2_misses;
+        }
     }
 
     /// Freezes the hierarchy counters.
@@ -478,7 +503,7 @@ mod tests {
     #[test]
     fn line_attribution_tracks_sites() {
         let mut c = CacheSim::default();
-        let f: Rc<str> = Rc::from("kern");
+        let f: Arc<str> = Arc::from("kern");
         c.set_site(&f, 3);
         c.access(4096, 8); // miss
         c.access(4096, 8); // hit

@@ -7,6 +7,8 @@
 //! the function's frame in linear memory.
 
 use crate::bytecode::{CompiledFunction, Instr, IntWidth, Reg, NO_REG};
+use crate::exec::ExecutionContext;
+#[cfg(debug_assertions)]
 use crate::program::Program;
 use terra_ir::{
     BinKind, Builtin, Callee, CmpKind, ExprKind, IrExpr, IrFunction, IrStmt, LocalId, ScalarTy,
@@ -42,12 +44,12 @@ fn is_addr_ty(ty: &Ty) -> bool {
 }
 
 /// Compiles one IR function against the given struct registry. String
-/// constants are interned into `prog`'s memory; `globals` maps
+/// constants are interned into `ctx`'s memory; `globals` maps
 /// [`GlobalId`](terra_ir::GlobalId) indices to absolute addresses.
 pub fn compile(
     func: &IrFunction,
     types: &TypeRegistry,
-    prog: &mut Program,
+    ctx: &mut ExecutionContext,
     globals: &[u64],
 ) -> CompiledFunction {
     // The compiler trusts the typechecker and folder; in debug builds, make
@@ -55,10 +57,16 @@ pub fn compile(
     // errors long before reaching this point, so a failure here means a
     // pipeline stage corrupted the IR.
     #[cfg(debug_assertions)]
-    if let Err(d) = terra_ir::verify_function(func, Some(types), &ProgramEnv { prog }) {
+    if let Err(d) = terra_ir::verify_function(
+        func,
+        Some(types),
+        &ProgramEnv {
+            prog: ctx.program(),
+        },
+    ) {
         panic!("refusing to compile inconsistent IR: {d}");
     }
-    let mut c = Compiler::new(func, types, prog, globals);
+    let mut c = Compiler::new(func, types, ctx, globals);
     c.emit_entry();
     let body = func.body.clone();
     c.stmts(&body);
@@ -87,7 +95,7 @@ pub fn compile(
 
 struct Compiler<'a> {
     func: &'a IrFunction,
-    prog: &'a mut Program,
+    ctx: &'a mut ExecutionContext,
     globals: &'a [u64],
     code: Vec<Instr>,
     /// Debug info built alongside `code`: source line per instruction.
@@ -102,7 +110,7 @@ struct Compiler<'a> {
     /// Provenance id owning instructions emitted since the last flush.
     cur_prov: u32,
     /// Interned rendered staging chains; `provs` holds `index + 1`.
-    prov_table: Vec<std::rc::Rc<str>>,
+    prov_table: Vec<std::sync::Arc<str>>,
     /// Check-elision flags built alongside `code` (parallel; default
     /// false = checked). Set for memory instructions whose address
     /// expression the mid-end proved in-bounds.
@@ -126,7 +134,7 @@ impl<'a> Compiler<'a> {
     fn new(
         func: &'a IrFunction,
         types: &'a TypeRegistry,
-        prog: &'a mut Program,
+        ctx: &'a mut ExecutionContext,
         globals: &'a [u64],
     ) -> Self {
         let nparams = func.param_count();
@@ -154,7 +162,7 @@ impl<'a> Compiler<'a> {
         }
         Compiler {
             func,
-            prog,
+            ctx,
             globals,
             code: Vec::new(),
             lines: Vec::new(),
@@ -379,6 +387,42 @@ impl<'a> Compiler<'a> {
                     self.patch(site, end);
                 }
             }
+            StmtKind::ParallelFor {
+                kernel,
+                start,
+                stop,
+                args,
+            } => {
+                let lo = {
+                    let r = self.expr(start, None);
+                    self.pin(r)
+                };
+                let hi = {
+                    let r = self.expr(stop, None);
+                    self.pin(r)
+                };
+                // Captured extras must land in a contiguous temp block, same
+                // calling convention as `Call`.
+                let argbase = self.temp_top;
+                for _ in 0..args.len() {
+                    self.alloc_temp();
+                }
+                for (i, a) in args.iter().enumerate() {
+                    let r = self.expr(a, None);
+                    let slot = argbase + i as Reg;
+                    if r != slot {
+                        self.code.push(Instr::Mov { d: slot, a: r });
+                    }
+                    self.release(argbase + i as Reg + 1);
+                }
+                self.code.push(Instr::ParFor {
+                    f: *kernel,
+                    lo,
+                    hi,
+                    args: argbase,
+                    nargs: args.len() as u16,
+                });
+            }
             StmtKind::Return(Some(e)) => {
                 let r = self.expr(e, None);
                 self.code.push(Instr::Ret { s: r });
@@ -509,7 +553,7 @@ impl<'a> Compiler<'a> {
                 d
             }
             ExprKind::ConstStr(s) => {
-                let addr = self.prog.intern_string(s);
+                let addr = self.ctx.intern_string(s);
                 let d = dst(self);
                 self.code.push(Instr::ConstI { d, v: addr as i64 });
                 d
@@ -1052,18 +1096,16 @@ impl<'a> Compiler<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::machine::Vm;
     use crate::program::Value;
     use terra_ir::{FuncTy, IrFunction};
 
     fn run(f: IrFunction, args: &[Value]) -> Value {
-        let mut prog = Program::new();
+        let mut ctx = ExecutionContext::new();
         let types = TypeRegistry::new();
-        let id = prog.declare(f.name.clone());
-        let compiled = compile(&f, &types, &mut prog, &[]);
-        prog.define(id, compiled);
-        let mut vm = Vm::new();
-        vm.call(&mut prog, id, args).unwrap()
+        let id = ctx.declare(f.name.clone());
+        let compiled = compile(&f, &types, &mut ctx, &[]);
+        ctx.define(id, compiled);
+        ctx.call(id, args).unwrap()
     }
 
     #[test]

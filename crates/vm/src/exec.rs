@@ -1,0 +1,328 @@
+//! Execution contexts: the mutable half of the VM.
+//!
+//! An [`ExecutionContext`] owns everything that changes while Terra code
+//! runs — the register file and call stack, the linear [`Memory`], printf
+//! output, the deterministic RNG, and the profiling [`Tracer`] — while the
+//! compiled code itself lives in a shared, immutable
+//! [`Arc<Program>`](crate::Program). The split is what makes parallelism
+//! sound by construction: `ExecutionContext` is `Send` (asserted by a
+//! compile-time test), so `parallelfor` can hand each worker thread its own
+//! context over the same program with no locks and no `Rc`/`RefCell` on the
+//! execution path.
+//!
+//! Staging still looks single-threaded to the embedder: `declare`/`define`
+//! go through [`Arc::make_mut`], which mutates in place while the context
+//! is the program's only owner (the common case between parallel regions)
+//! and copy-on-writes otherwise.
+
+use crate::bytecode::CompiledFunction;
+use crate::machine::Vm;
+use crate::memory::Memory;
+use crate::program::{OutputSink, Program};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use terra_ir::FuncId;
+
+/// All mutable state needed to run Terra code against a shared
+/// [`Program`]. One per thread of execution; cheap to construct.
+#[derive(Debug)]
+pub struct ExecutionContext {
+    /// The immutable compiled program this context executes.
+    pub(crate) program: Arc<Program>,
+    /// The Terra address space (worker contexts hold shared views).
+    pub memory: Memory,
+    /// Interned string constants (address cache over `memory`).
+    strings: HashMap<Arc<str>, u64>,
+    /// printf destination.
+    pub output: OutputSink,
+    /// State of the deterministic `rand()` generator (public so hosts can
+    /// seed reproducible workloads).
+    pub rng_state: u64,
+    /// Start instant for `clock()`.
+    pub epoch: Instant,
+    /// Observability sink: staging timeline spans and VM opcode/function
+    /// counters land here. Shared between the staging pipeline (which
+    /// records spans through it) and the VM (which ticks counters); off by
+    /// default.
+    pub trace: terra_trace::Tracer,
+    /// Worker threads for `parallelfor` (1 = sequential fallback).
+    threads: usize,
+    /// Register file and call stack.
+    pub(crate) vm: Vm,
+}
+
+impl Default for ExecutionContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecutionContext {
+    /// Creates a context over a fresh, empty program.
+    pub fn new() -> Self {
+        Self::with_program(Arc::new(Program::new()))
+    }
+
+    /// Creates a context executing an existing shared program.
+    pub fn with_program(program: Arc<Program>) -> Self {
+        ExecutionContext {
+            program,
+            memory: Memory::default(),
+            strings: HashMap::new(),
+            output: OutputSink::Stdout,
+            rng_state: 0x9E3779B97F4A7C15,
+            epoch: Instant::now(),
+            trace: terra_trace::Tracer::new(),
+            threads: 1,
+            vm: Vm::new(),
+        }
+    }
+
+    /// The shared immutable program. Clone the `Arc` to hand the program to
+    /// another context (e.g. on another thread).
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    // -- staging façade ------------------------------------------------------
+    //
+    // Declaration and definition mutate the program through
+    // `Arc::make_mut`. Between parallel regions this context is the sole
+    // owner, so these are in-place writes; if the embedder stages while
+    // holding other handles, the program copy-on-writes (shallowly — bodies
+    // are behind `Arc`s) instead of racing them.
+
+    /// Reserves a function id (the semantics' `tdecl`).
+    pub fn declare(&mut self, name: impl Into<Arc<str>>) -> FuncId {
+        Arc::make_mut(&mut self.program).declare(name)
+    }
+
+    /// Fills in a declared function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already defined (definitions are write-once).
+    pub fn define(&mut self, id: FuncId, f: CompiledFunction) {
+        Arc::make_mut(&mut self.program).define(id, f);
+    }
+
+    /// Looks up a defined function.
+    pub fn function(&self, id: FuncId) -> Option<&Arc<CompiledFunction>> {
+        self.program.function(id)
+    }
+
+    /// Whether the id has been defined (not just declared).
+    pub fn is_defined(&self, id: FuncId) -> bool {
+        self.program.is_defined(id)
+    }
+
+    /// The declared name of a function id.
+    pub fn name(&self, id: FuncId) -> &str {
+        self.program.name(id)
+    }
+
+    /// Number of declared functions.
+    pub fn len(&self) -> usize {
+        self.program.len()
+    }
+
+    /// Whether no functions have been declared.
+    pub fn is_empty(&self) -> bool {
+        self.program.is_empty()
+    }
+
+    // -- run state -----------------------------------------------------------
+
+    /// Sets the worker-thread count for `parallelfor` regions (minimum 1;
+    /// 1 = run parallel loops sequentially, the correctness oracle).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured `parallelfor` worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Turns profiling on or off for both the tracer and the memory-system
+    /// counters. Accumulated data is kept; use
+    /// [`ExecutionContext::reset_profile`] to clear it.
+    pub fn set_profile(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+        self.memory.set_profile(on);
+    }
+
+    /// Clears all collected profile data (timeline, opcode/function
+    /// counters, memory counters, cache simulator) without changing the
+    /// on/off gate.
+    pub fn reset_profile(&mut self) {
+        self.trace.reset();
+        self.memory.counters().reset();
+        self.memory.reset_cache();
+        self.memory.reset_heap();
+    }
+
+    /// Sets the sampling profiler's interval in retired instructions
+    /// (0 = sampling off). Independent of the exact-profiling gate: the
+    /// sampler maintains only the activation stack plus a countdown, so it
+    /// stays cheap enough to leave always-on.
+    pub fn set_sample_interval(&mut self, interval: u64) {
+        self.trace.set_sample_interval(interval);
+    }
+
+    /// Freezes the current profile (timeline + VM + memory + cache + heap
+    /// counters and collected samples).
+    pub fn profile(&self) -> terra_trace::Profile {
+        let mut p = self.trace.snapshot(self.memory.counters().snapshot());
+        p.cache = self.memory.cache_stats();
+        p.cache_lines = self.memory.cache_line_stats();
+        p.heap = self.memory.heap_stats();
+        p
+    }
+
+    /// Interns a string constant into program memory, returning its address
+    /// (NUL-terminated; repeated interning returns the same address).
+    pub fn intern_string(&mut self, s: &str) -> u64 {
+        if let Some(&addr) = self.strings.get(s) {
+            return addr;
+        }
+        let addr = self.memory.malloc(s.len() as u64 + 1);
+        self.memory
+            .write_bytes(addr, s.as_bytes())
+            .expect("fresh allocation is writable");
+        self.memory
+            .store_u8(addr + s.len() as u64, 0)
+            .expect("fresh allocation is writable");
+        self.strings.insert(Arc::from(s), addr);
+        addr
+    }
+
+    /// Allocates a zero-initialized global cell of `size` bytes, returning
+    /// its address.
+    pub fn alloc_global(&mut self, size: u64, init: Option<&[u8]>) -> u64 {
+        let addr = self.memory.malloc(size.max(1));
+        self.memory
+            .fill(addr, 0, size.max(1))
+            .expect("fresh allocation is writable");
+        if let Some(bytes) = init {
+            self.memory
+                .write_bytes(addr, bytes)
+                .expect("fresh allocation is writable");
+        }
+        addr
+    }
+
+    /// Takes captured printf output, if capturing.
+    pub fn take_output(&mut self) -> String {
+        match &mut self.output {
+            OutputSink::Capture(buf) => std::mem::take(buf),
+            OutputSink::Stdout => String::new(),
+        }
+    }
+
+    // -- parallel workers ----------------------------------------------------
+
+    /// Builds the context for one `parallelfor` worker chunk: a clone of
+    /// the program `Arc`, a shared view of this context's memory with the
+    /// given private stack window, fresh profile shards, a captured output
+    /// sink, and a fresh register file. The worker inherits the RNG state
+    /// read-only in effect: kernels are statically barred from `rand`, so
+    /// the field is just a copy for struct completeness.
+    pub(crate) fn worker(&mut self, stack_base: u64, stack_limit: u64) -> ExecutionContext {
+        ExecutionContext {
+            program: Arc::clone(&self.program),
+            memory: self.memory.worker_view(stack_base, stack_limit),
+            strings: HashMap::new(),
+            output: OutputSink::Capture(String::new()),
+            rng_state: self.rng_state,
+            epoch: self.epoch,
+            trace: self.trace.worker_shard(),
+            threads: 1,
+            vm: Vm::new(),
+        }
+    }
+
+    /// Folds a quiesced worker's shards back into this context: trace
+    /// counters and samples (commutative sums), memory/cache counters, and
+    /// captured printf output (appended — the harness absorbs workers in
+    /// chunk order, so output order is deterministic).
+    pub(crate) fn absorb_worker(&mut self, worker: &mut ExecutionContext) {
+        self.trace.absorb(&worker.trace);
+        self.memory.absorb_worker(&worker.memory);
+        let text = worker.take_output();
+        if !text.is_empty() {
+            match &mut self.output {
+                OutputSink::Stdout => print!("{text}"),
+                OutputSink::Capture(buf) => buf.push_str(&text),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The tentpole guarantee: a context can be moved to another thread.
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn execution_context_is_send() {
+        assert_send::<ExecutionContext>();
+    }
+
+    #[test]
+    fn string_interning_dedupes() {
+        let mut ctx = ExecutionContext::new();
+        let a = ctx.intern_string("hello");
+        let b = ctx.intern_string("hello");
+        let c = ctx.intern_string("world");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(ctx.memory.c_string(a).unwrap(), "hello");
+    }
+
+    #[test]
+    fn staging_through_shared_program_copy_on_writes() {
+        let mut ctx = ExecutionContext::new();
+        let id = ctx.declare("f");
+        // Another handle (e.g. a parked parallel region) forces a COW.
+        let held = Arc::clone(ctx.program());
+        let id2 = ctx.declare("g");
+        assert_eq!(held.len(), 1);
+        assert_eq!(ctx.len(), 2);
+        assert_eq!(ctx.name(id), "f");
+        assert_eq!(ctx.name(id2), "g");
+    }
+
+    #[test]
+    fn threads_clamp_to_one() {
+        let mut ctx = ExecutionContext::new();
+        assert_eq!(ctx.threads(), 1);
+        ctx.set_threads(0);
+        assert_eq!(ctx.threads(), 1);
+        ctx.set_threads(8);
+        assert_eq!(ctx.threads(), 8);
+    }
+
+    #[test]
+    fn worker_output_merges_in_order() {
+        let mut ctx = ExecutionContext::new();
+        ctx.output = OutputSink::Capture(String::new());
+        let (lo, hi) = ctx.memory.parallel_stack_span();
+        let mid = lo + (((hi - lo) / 2) & !15);
+        let mut w0 = ctx.worker(lo, mid);
+        let mut w1 = ctx.worker(mid, hi);
+        if let OutputSink::Capture(b) = &mut w0.output {
+            b.push_str("chunk0;");
+        }
+        if let OutputSink::Capture(b) = &mut w1.output {
+            b.push_str("chunk1;");
+        }
+        ctx.absorb_worker(&mut w0);
+        ctx.absorb_worker(&mut w1);
+        drop((w0, w1));
+        assert_eq!(ctx.take_output(), "chunk0;chunk1;");
+    }
+}

@@ -12,14 +12,23 @@
 //! recursive functions), vector instructions perform multiple lanes of work
 //! per dispatch (so vectorization pays off like SIMD does), and `prefetch`
 //! issues real cache hints against the VM's memory.
+//!
+//! The crate is split down the middle between **immutable compiled
+//! artifacts** — [`Program`], shared via `Arc` — and **mutable run state** —
+//! [`ExecutionContext`], which is `Send` and owns the registers, call
+//! stack, [`Memory`], and profile counters. `parallelfor` (the
+//! [`parallel`] module) exploits the split by giving each worker thread its
+//! own context over the shared program.
 
 #![warn(missing_docs)]
 
 mod bytecode;
 mod cache;
 mod compile;
+mod exec;
 mod machine;
 mod memory;
+pub mod parallel;
 mod program;
 
 pub use bytecode::{
@@ -27,6 +36,7 @@ pub use bytecode::{
 };
 pub use cache::CacheSim;
 pub use compile::compile;
+pub use exec::ExecutionContext;
 pub use machine::{decode_value, ExecResult, RegImage, Trap, Vm};
 pub use memory::{MemError, MemKind, MemResult, Memory};
 pub use program::{OutputSink, Program, Value};

@@ -2,13 +2,23 @@
 //!
 //! A register machine over 256-bit registers. Execution is completely
 //! independent of the meta-language (the paper's *separate evaluation*):
-//! the only shared state is the [`Program`]'s function table and memory.
+//! the only shared state is the [`Program`](crate::Program)'s function
+//! table, reached read-only through the executing
+//! [`ExecutionContext`](crate::ExecutionContext).
+//!
+//! The dispatch loop itself owns **no state**: [`Vm`] is a plain data
+//! holder (register file + call stack) living inside the context, and
+//! every step of the loop borrows the context's fields (`vm`, `memory`,
+//! `trace`, …) for exactly as long as it needs them. That is what lets
+//! `parallelfor` run one loop per worker thread with nothing shared but
+//! the `Arc<Program>`.
 
 use crate::bytecode::{decode_func_ptr, CompiledFunction, Instr, IntWidth, Reg, NO_REG};
-use crate::memory::MemError;
-use crate::program::{OutputSink, Program, Value};
+use crate::exec::ExecutionContext;
+use crate::memory::{MemError, Memory};
+use crate::program::{OutputSink, Value};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use terra_ir::{Builtin, FuncId, ScalarTy, Ty};
 
 /// A runtime fault in Terra code.
@@ -22,14 +32,14 @@ pub enum Trap {
         err: MemError,
         /// Name of the Terra function executing at trap time. `None` only
         /// for faults raised outside VM execution (host-side accesses).
-        func: Option<Rc<str>>,
+        func: Option<Arc<str>>,
         /// 1-based source line of the faulting instruction, from the
         /// bytecode debug-info table (0 = unknown).
         line: u32,
         /// Rendered staging chain of the faulting instruction (`"via quote
         /// at line 41, inlined at line 30"`), when it was produced by a
         /// splice or the inliner rather than written in place.
-        prov: Option<Rc<str>>,
+        prov: Option<Arc<str>>,
     },
     /// Integer division or remainder by zero.
     DivByZero,
@@ -50,6 +60,10 @@ pub enum Trap {
         /// What was supplied.
         got: usize,
     },
+    /// A `parallelfor` kernel violated the parallel-region rules (e.g.
+    /// reached an allocating builtin or an indirect call). Raised by the
+    /// static kernel check before any iteration runs.
+    Parallel(String),
 }
 
 impl fmt::Display for Trap {
@@ -86,6 +100,7 @@ impl fmt::Display for Trap {
             Trap::ArityMismatch { expected, got } => {
                 write!(f, "expected {expected} argument(s) but got {got}")
             }
+            Trap::Parallel(m) => write!(f, "parallelfor: {m}"),
         }
     }
 }
@@ -113,18 +128,27 @@ pub type RegImage = [u64; 4];
 
 #[derive(Debug)]
 struct Frame {
-    func: Rc<CompiledFunction>,
+    func: Arc<CompiledFunction>,
     pc: usize,
     base: usize,
     mem_base: u64,
     ret_dst: Reg,
 }
 
-/// The virtual machine. Reusable across calls; holds only the register file.
+/// The register file and call stack of one execution context. Pure data:
+/// the dispatch loop lives on [`ExecutionContext`] and borrows this
+/// alongside the context's memory and tracer.
 #[derive(Debug, Default)]
 pub struct Vm {
     regs: Vec<RegImage>,
     frames: Vec<Frame>,
+}
+
+impl Vm {
+    /// Creates an empty register file.
+    pub fn new() -> Self {
+        Vm::default()
+    }
 }
 
 #[inline]
@@ -191,12 +215,7 @@ fn to_vf32(x: [f32; 8]) -> RegImage {
     out
 }
 
-impl Vm {
-    /// Creates a VM with an empty register file.
-    pub fn new() -> Self {
-        Vm::default()
-    }
-
+impl ExecutionContext {
     /// Calls function `f` with FFI values, converting the result according
     /// to the function's signature.
     ///
@@ -204,11 +223,12 @@ impl Vm {
     ///
     /// Returns a [`Trap`] on any runtime fault, including calling an
     /// undefined function or passing the wrong number of arguments.
-    pub fn call(&mut self, prog: &mut Program, f: FuncId, args: &[Value]) -> ExecResult<Value> {
-        let func = prog
+    pub fn call(&mut self, f: FuncId, args: &[Value]) -> ExecResult<Value> {
+        let func = self
+            .program
             .function(f)
             .cloned()
-            .ok_or_else(|| Trap::Undefined(prog.name(f).to_string()))?;
+            .ok_or_else(|| Trap::Undefined(self.program.name(f).to_string()))?;
         if args.len() != func.ty.params.len() {
             return Err(Trap::ArityMismatch {
                 expected: func.ty.params.len(),
@@ -222,49 +242,49 @@ impl Vm {
             .collect();
         let ret_ty = func.ty.ret.clone();
         let name = func.name.clone();
-        let start = prog.trace.now_us();
-        let bits = self.call_raw(prog, func, &raw)?;
-        prog.trace.record(terra_trace::Stage::Execute, &name, start);
+        let start = self.trace.now_us();
+        let bits = self.call_raw(func, &raw)?;
+        self.trace.record(terra_trace::Stage::Execute, &name, start);
         Ok(decode_value(&ret_ty, bits))
     }
 
     /// Calls a compiled function with raw register images.
     pub fn call_raw(
         &mut self,
-        prog: &mut Program,
-        func: Rc<CompiledFunction>,
+        func: Arc<CompiledFunction>,
         args: &[RegImage],
     ) -> ExecResult<RegImage> {
-        let saved_regs = self.regs.len();
-        let saved_frames = self.frames.len();
-        let saved_trace = prog.trace.depth();
-        let result = self.run(prog, func, args);
+        let saved_regs = self.vm.regs.len();
+        let saved_frames = self.vm.frames.len();
+        let saved_trace = self.trace.depth();
+        let result = self.run(func, args);
         // Accesses made by the host from here on are not Terra code.
-        if prog.memory.profile_enabled() {
-            prog.memory.clear_access_site();
-            prog.memory.clear_alloc_site();
+        if self.memory.profile_enabled() {
+            self.memory.clear_access_site();
+            self.memory.clear_alloc_site();
         }
-        self.regs.truncate(saved_regs);
+        self.vm.regs.truncate(saved_regs);
         result.map_err(|trap| {
             // The innermost frame still on the stack names the Terra
             // function (and, via the debug-info table, the source line)
             // that was executing when the trap fired.
             let current = self
+                .vm
                 .frames
                 .last()
-                .filter(|_| self.frames.len() > saved_frames)
+                .filter(|_| self.vm.frames.len() > saved_frames)
                 .map(|fr| {
                     let pc = fr.pc.saturating_sub(1);
                     let line = fr.func.line_at(pc);
-                    let prov: Option<Rc<str>> = fr.func.prov_at(pc).map(Rc::from);
+                    let prov: Option<Arc<str>> = fr.func.prov_at(pc).map(Arc::from);
                     (fr.func.name.clone(), line, prov)
                 });
             // Unwind any frames (and their memory) left by the trap.
-            while self.frames.len() > saved_frames {
-                let fr = self.frames.pop().expect("frame count checked");
-                prog.memory.pop_frame(fr.mem_base);
+            while self.vm.frames.len() > saved_frames {
+                let fr = self.vm.frames.pop().expect("frame count checked");
+                self.memory.pop_frame(fr.mem_base);
             }
-            prog.trace.unwind_to(saved_trace);
+            self.trace.unwind_to(saved_trace);
             match trap {
                 Trap::Memory {
                     err, func: None, ..
@@ -285,30 +305,25 @@ impl Vm {
         })
     }
 
-    fn run(
-        &mut self,
-        prog: &mut Program,
-        func: Rc<CompiledFunction>,
-        args: &[RegImage],
-    ) -> ExecResult<RegImage> {
-        let entry_frames = self.frames.len();
-        let base = self.regs.len();
-        self.regs.resize(base + func.nregs as usize, [0; 4]);
-        self.regs[base..base + args.len()].copy_from_slice(args);
-        let mem_base = prog
+    fn run(&mut self, func: Arc<CompiledFunction>, args: &[RegImage]) -> ExecResult<RegImage> {
+        let entry_frames = self.vm.frames.len();
+        let base = self.vm.regs.len();
+        self.vm.regs.resize(base + func.nregs as usize, [0; 4]);
+        self.vm.regs[base..base + args.len()].copy_from_slice(args);
+        let mem_base = self
             .memory
             .push_frame(func.frame_size as u64)
             .map_err(|_| Trap::StackOverflow)?;
         // Read the profiling gate once: the hot loop pays a single
         // predictable branch per instruction when profiling is off.
-        let profiling = prog.trace.enabled();
+        let profiling = self.trace.enabled();
         // The sampler needs the activation stack maintained (per-call work
         // only) plus one countdown decrement per retired instruction.
-        let sampling = prog.trace.sampling();
+        let sampling = self.trace.sampling();
         if profiling || sampling {
-            prog.trace.func_enter(Rc::clone(&func.name));
+            self.trace.func_enter(Arc::clone(&func.name));
         }
-        self.frames.push(Frame {
+        self.vm.frames.push(Frame {
             func,
             pc: 0,
             base,
@@ -318,36 +333,36 @@ impl Vm {
 
         'frames: loop {
             // Pull the current frame's hot state into locals.
-            let frame_idx = self.frames.len() - 1;
-            let func = Rc::clone(&self.frames[frame_idx].func);
-            let mut pc = self.frames[frame_idx].pc;
-            let base = self.frames[frame_idx].base;
-            let mem_base = self.frames[frame_idx].mem_base;
+            let frame_idx = self.vm.frames.len() - 1;
+            let func = Arc::clone(&self.vm.frames[frame_idx].func);
+            let mut pc = self.vm.frames[frame_idx].pc;
+            let base = self.vm.frames[frame_idx].base;
+            let mem_base = self.vm.frames[frame_idx].mem_base;
             let code = &func.code[..];
 
             macro_rules! r {
                 ($i:expr) => {
-                    self.regs[base + $i as usize]
+                    self.vm.regs[base + $i as usize]
                 };
             }
             macro_rules! ri {
                 ($i:expr) => {
-                    self.regs[base + $i as usize][0] as i64
+                    self.vm.regs[base + $i as usize][0] as i64
                 };
             }
             macro_rules! ru {
                 ($i:expr) => {
-                    self.regs[base + $i as usize][0]
+                    self.vm.regs[base + $i as usize][0]
                 };
             }
             macro_rules! set {
                 ($d:expr, $v:expr) => {
-                    self.regs[base + $d as usize] = $v
+                    self.vm.regs[base + $d as usize] = $v
                 };
             }
             macro_rules! seti {
                 ($d:expr, $v:expr) => {
-                    self.regs[base + $d as usize] = from_i64($v)
+                    self.vm.regs[base + $d as usize] = from_i64($v)
                 };
             }
             // Fallible memory operation: on a fault, write the (already
@@ -358,7 +373,7 @@ impl Vm {
                     match $e {
                         Ok(v) => v,
                         Err(err) => {
-                            self.frames[frame_idx].pc = pc;
+                            self.vm.frames[frame_idx].pc = pc;
                             return Err(err.into());
                         }
                     }
@@ -403,16 +418,16 @@ impl Vm {
                 let instr = &code[pc];
                 pc += 1;
                 if profiling {
-                    prog.trace.tick(instr.mnemonic());
+                    self.trace.tick(instr.mnemonic());
                     // A checked memory access retires an extra bounds-check
                     // micro-op; elided accesses skip it, which is what the
                     // checked-vs-elided instruction counts measure.
                     if instr.is_mem_access() && !func.check_free(pc - 1) {
-                        prog.trace.tick("chk");
+                        self.trace.tick("chk");
                     }
                     // Attribute any memory traffic this instruction performs
                     // to its (function, source line) for the cache simulator.
-                    prog.memory
+                    self.memory
                         .set_access_site(&func.name, func.line_at(pc - 1));
                     // Likewise point the heap profiler at allocating builtins
                     // so every malloc/realloc carries its staged source site.
@@ -421,7 +436,7 @@ impl Vm {
                         ..
                     } = instr
                     {
-                        prog.memory.set_alloc_site(
+                        self.memory.set_alloc_site(
                             &func.name,
                             func.line_at(pc - 1),
                             func.prov_rc_at(pc - 1),
@@ -429,7 +444,7 @@ impl Vm {
                     }
                 }
                 if sampling {
-                    prog.trace.sample_tick();
+                    self.trace.sample_tick();
                 }
                 match *instr {
                     Instr::ConstI { d, v } => seti!(d, v),
@@ -573,80 +588,80 @@ impl Vm {
 
                     Instr::LoadI8 { d, a } => {
                         let chk = !func.check_free(pc - 1);
-                        seti!(d, mem!(prog.memory.load_i8_sel(ru!(a), chk)) as i64)
+                        seti!(d, mem!(self.memory.load_i8_sel(ru!(a), chk)) as i64)
                     }
                     Instr::LoadU8 { d, a } => {
                         let chk = !func.check_free(pc - 1);
-                        seti!(d, mem!(prog.memory.load_u8_sel(ru!(a), chk)) as i64)
+                        seti!(d, mem!(self.memory.load_u8_sel(ru!(a), chk)) as i64)
                     }
                     Instr::LoadI16 { d, a } => {
                         let chk = !func.check_free(pc - 1);
-                        seti!(d, mem!(prog.memory.load_i16_sel(ru!(a), chk)) as i64)
+                        seti!(d, mem!(self.memory.load_i16_sel(ru!(a), chk)) as i64)
                     }
                     Instr::LoadU16 { d, a } => {
                         let chk = !func.check_free(pc - 1);
-                        seti!(d, mem!(prog.memory.load_u16_sel(ru!(a), chk)) as i64)
+                        seti!(d, mem!(self.memory.load_u16_sel(ru!(a), chk)) as i64)
                     }
                     Instr::LoadI32 { d, a } => {
                         let chk = !func.check_free(pc - 1);
-                        seti!(d, mem!(prog.memory.load_i32_sel(ru!(a), chk)) as i64)
+                        seti!(d, mem!(self.memory.load_i32_sel(ru!(a), chk)) as i64)
                     }
                     Instr::LoadU32 { d, a } => {
                         let chk = !func.check_free(pc - 1);
-                        seti!(d, mem!(prog.memory.load_u32_sel(ru!(a), chk)) as i64)
+                        seti!(d, mem!(self.memory.load_u32_sel(ru!(a), chk)) as i64)
                     }
                     Instr::Load64 { d, a } => {
                         let chk = !func.check_free(pc - 1);
-                        seti!(d, mem!(prog.memory.load_i64_sel(ru!(a), chk)))
+                        seti!(d, mem!(self.memory.load_i64_sel(ru!(a), chk)))
                     }
                     Instr::LoadF32 { d, a } => {
                         let chk = !func.check_free(pc - 1);
-                        set!(d, from_f32(mem!(prog.memory.load_f32_sel(ru!(a), chk))))
+                        set!(d, from_f32(mem!(self.memory.load_f32_sel(ru!(a), chk))))
                     }
                     Instr::LoadF64 { d, a } => {
                         let chk = !func.check_free(pc - 1);
-                        set!(d, from_f64(mem!(prog.memory.load_f64_sel(ru!(a), chk))))
+                        set!(d, from_f64(mem!(self.memory.load_f64_sel(ru!(a), chk))))
                     }
                     Instr::Store8 { a, s } => {
                         let chk = !func.check_free(pc - 1);
-                        mem!(prog.memory.store_u8_sel(ru!(a), ru!(s) as u8, chk))
+                        mem!(self.memory.store_u8_sel(ru!(a), ru!(s) as u8, chk))
                     }
                     Instr::Store16 { a, s } => {
                         let chk = !func.check_free(pc - 1);
-                        mem!(prog.memory.store_u16_sel(ru!(a), ru!(s) as u16, chk))
+                        mem!(self.memory.store_u16_sel(ru!(a), ru!(s) as u16, chk))
                     }
                     Instr::Store32 { a, s } => {
                         let chk = !func.check_free(pc - 1);
-                        mem!(prog.memory.store_u32_sel(ru!(a), ru!(s) as u32, chk))
+                        mem!(self.memory.store_u32_sel(ru!(a), ru!(s) as u32, chk))
                     }
                     Instr::Store64 { a, s } => {
                         let chk = !func.check_free(pc - 1);
-                        mem!(prog.memory.store_u64_sel(ru!(a), ru!(s), chk))
+                        mem!(self.memory.store_u64_sel(ru!(a), ru!(s), chk))
                     }
                     Instr::StoreF32 { a, s } => {
                         let chk = !func.check_free(pc - 1);
-                        mem!(prog.memory.store_f32_sel(ru!(a), as_f32(r!(s)), chk))
+                        mem!(self.memory.store_f32_sel(ru!(a), as_f32(r!(s)), chk))
                     }
                     Instr::StoreF64 { a, s } => {
                         let chk = !func.check_free(pc - 1);
-                        mem!(prog.memory.store_f64_sel(ru!(a), as_f64(r!(s)), chk))
+                        mem!(self.memory.store_f64_sel(ru!(a), as_f64(r!(s)), chk))
                     }
                     Instr::LoadV { d, a, bytes } => {
                         let chk = !func.check_free(pc - 1);
-                        set!(d, mem!(prog.memory.load_vec_sel(ru!(a), bytes as u64, chk)))
+                        set!(d, mem!(self.memory.load_vec_sel(ru!(a), bytes as u64, chk)))
                     }
                     Instr::StoreV { a, s, bytes } => {
                         let chk = !func.check_free(pc - 1);
-                        mem!(prog.memory.store_vec_sel(ru!(a), r!(s), bytes as u64, chk))
+                        mem!(self.memory.store_vec_sel(ru!(a), r!(s), bytes as u64, chk))
                     }
                     Instr::FrameAddr { d, offset } => seti!(d, (mem_base + offset as u64) as i64),
                     Instr::CopyMem { dst, src, size } => {
                         let chk = !func.check_free(pc - 1);
-                        mem!(prog
+                        mem!(self
                             .memory
                             .copy_within_sel(ru!(src), ru!(dst), size as u64, chk))
                     }
-                    Instr::Prefetch { a } => prog.memory.prefetch(ru!(a)),
+                    Instr::Prefetch { a } => self.memory.prefetch(ru!(a)),
 
                     Instr::VAddF32 { d, a, b } => vbin32!(d, a, b, |x: f32, y: f32| x + y),
                     Instr::VSubF32 { d, a, b } => vbin32!(d, a, b, |x: f32, y: f32| x - y),
@@ -700,48 +715,65 @@ impl Vm {
                     }
 
                     Instr::Call { d, f, args, nargs } => {
-                        let callee = prog
+                        let callee = self
+                            .program
                             .function(f)
                             .cloned()
-                            .ok_or_else(|| Trap::Undefined(prog.name(f).to_string()))?;
-                        self.frames[frame_idx].pc = pc;
-                        self.push_call(prog, callee, d, base, args, nargs)?;
+                            .ok_or_else(|| Trap::Undefined(self.program.name(f).to_string()))?;
+                        self.vm.frames[frame_idx].pc = pc;
+                        self.push_call(callee, d, base, args, nargs)?;
                         continue 'frames;
                     }
                     Instr::CallIndirect { d, f, args, nargs } => {
                         let bits = ru!(f);
                         let id = decode_func_ptr(bits).ok_or(Trap::NotAFunction(bits))?;
-                        let callee = prog
-                            .function(id)
-                            .cloned()
-                            .ok_or_else(|| Trap::Undefined(prog.name(id).to_string()))?;
-                        self.frames[frame_idx].pc = pc;
-                        self.push_call(prog, callee, d, base, args, nargs)?;
+                        let callee =
+                            self.program.function(id).cloned().ok_or_else(|| {
+                                Trap::Undefined(self.program.name(id).to_string())
+                            })?;
+                        self.vm.frames[frame_idx].pc = pc;
+                        self.push_call(callee, d, base, args, nargs)?;
                         continue 'frames;
+                    }
+                    Instr::ParFor {
+                        f,
+                        lo,
+                        hi,
+                        args,
+                        nargs,
+                    } => {
+                        let lo_v = r!(lo)[0] as i64;
+                        let hi_v = r!(hi)[0] as i64;
+                        let start = base + args as usize;
+                        let argv: Vec<RegImage> =
+                            self.vm.regs[start..start + nargs as usize].to_vec();
+                        self.vm.frames[frame_idx].pc = pc;
+                        crate::parallel::run_parallelfor(self, f, lo_v, hi_v, &argv)?;
                     }
                     Instr::CallBuiltin { d, b, args, nargs } => {
                         let start = base + args as usize;
-                        let argv: Vec<RegImage> = self.regs[start..start + nargs as usize].to_vec();
-                        let result = mem!(call_builtin(prog, b, &argv));
+                        let argv: Vec<RegImage> =
+                            self.vm.regs[start..start + nargs as usize].to_vec();
+                        let result = mem!(call_builtin(self, b, &argv));
                         if d != NO_REG {
                             set!(d, result);
                         }
                     }
                     Instr::Ret { s } => {
                         let val = if s == NO_REG { [0u64; 4] } else { r!(s) };
-                        let done = self.frames.len() == entry_frames + 1;
+                        let done = self.vm.frames.len() == entry_frames + 1;
                         if profiling || sampling {
-                            prog.trace.func_exit();
+                            self.trace.func_exit();
                         }
-                        let fr = self.frames.pop().expect("frame exists");
-                        prog.memory.pop_frame(fr.mem_base);
-                        self.regs.truncate(fr.base);
+                        let fr = self.vm.frames.pop().expect("frame exists");
+                        self.memory.pop_frame(fr.mem_base);
+                        self.vm.regs.truncate(fr.base);
                         if done {
                             return Ok(val);
                         }
-                        let parent = self.frames.last().expect("caller frame exists");
+                        let parent = self.vm.frames.last().expect("caller frame exists");
                         if fr.ret_dst != NO_REG {
-                            self.regs[parent.base + fr.ret_dst as usize] = val;
+                            self.vm.regs[parent.base + fr.ret_dst as usize] = val;
                         }
                         continue 'frames;
                     }
@@ -753,30 +785,31 @@ impl Vm {
 
     fn push_call(
         &mut self,
-        prog: &mut Program,
-        callee: Rc<CompiledFunction>,
+        callee: Arc<CompiledFunction>,
         ret_dst: Reg,
         caller_base: usize,
         args: Reg,
         nargs: u16,
     ) -> ExecResult<()> {
-        if self.frames.len() >= MAX_FRAMES {
+        if self.vm.frames.len() >= MAX_FRAMES {
             return Err(Trap::StackOverflow);
         }
-        let new_base = self.regs.len();
-        self.regs.resize(new_base + callee.nregs as usize, [0; 4]);
+        let new_base = self.vm.regs.len();
+        self.vm
+            .regs
+            .resize(new_base + callee.nregs as usize, [0; 4]);
         let src = caller_base + args as usize;
         for i in 0..nargs as usize {
-            self.regs[new_base + i] = self.regs[src + i];
+            self.vm.regs[new_base + i] = self.vm.regs[src + i];
         }
-        let mem_base = prog
+        let mem_base = self
             .memory
             .push_frame(callee.frame_size as u64)
             .map_err(|_| Trap::StackOverflow)?;
-        if prog.trace.enabled() || prog.trace.sampling() {
-            prog.trace.func_enter(Rc::clone(&callee.name));
+        if self.trace.enabled() || self.trace.sampling() {
+            self.trace.func_enter(Arc::clone(&callee.name));
         }
-        self.frames.push(Frame {
+        self.vm.frames.push(Frame {
             func: callee,
             pc: 0,
             base: new_base,
@@ -816,22 +849,22 @@ pub fn decode_value(ty: &Ty, bits: RegImage) -> Value {
     }
 }
 
-fn call_builtin(prog: &mut Program, b: Builtin, args: &[RegImage]) -> ExecResult<RegImage> {
+fn call_builtin(ctx: &mut ExecutionContext, b: Builtin, args: &[RegImage]) -> ExecResult<RegImage> {
     let a = |i: usize| -> u64 { args.get(i).map(|v| v[0]).unwrap_or(0) };
     let f = |i: usize| -> f64 { f64::from_bits(a(i)) };
     Ok(match b {
-        Builtin::Malloc => from_i64(prog.memory.malloc(a(0)) as i64),
+        Builtin::Malloc => from_i64(ctx.memory.malloc(a(0)) as i64),
         Builtin::Free => {
-            prog.memory.free(a(0))?;
+            ctx.memory.free(a(0))?;
             [0; 4]
         }
-        Builtin::Realloc => from_i64(prog.memory.realloc(a(0), a(1))? as i64),
+        Builtin::Realloc => from_i64(ctx.memory.realloc(a(0), a(1))? as i64),
         Builtin::Memcpy => {
-            prog.memory.copy_within(a(1), a(0), a(2))?;
+            ctx.memory.copy_within(a(1), a(0), a(2))?;
             from_i64(a(0) as i64)
         }
         Builtin::Memset => {
-            prog.memory.fill(a(0), a(1) as u8, a(2))?;
+            ctx.memory.fill(a(0), a(1) as u8, a(2))?;
             from_i64(a(0) as i64)
         }
         Builtin::Sqrt => from_f64(f(0).sqrt()),
@@ -844,29 +877,29 @@ fn call_builtin(prog: &mut Program, b: Builtin, args: &[RegImage]) -> ExecResult
         Builtin::Floor => from_f64(f(0).floor()),
         Builtin::Ceil => from_f64(f(0).ceil()),
         Builtin::Fmod => from_f64(f(0) % f(1)),
-        Builtin::Clock => from_f64(prog.epoch.elapsed().as_secs_f64()),
+        Builtin::Clock => from_f64(ctx.epoch.elapsed().as_secs_f64()),
         Builtin::Printf => {
-            let out = format_printf(prog, args)?;
+            let out = format_printf(&ctx.memory, args)?;
             let n = out.len() as i64;
-            match &mut prog.output {
+            match &mut ctx.output {
                 OutputSink::Stdout => print!("{out}"),
                 OutputSink::Capture(buf) => buf.push_str(&out),
             }
             from_i64(n)
         }
         Builtin::Prefetch => {
-            prog.memory.prefetch(a(0));
+            ctx.memory.prefetch(a(0));
             [0; 4]
         }
         Builtin::Rand => {
-            prog.rng_state = prog
+            ctx.rng_state = ctx
                 .rng_state
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            from_i64(((prog.rng_state >> 33) & 0x7FFF_FFFF) as i64)
+            from_i64(((ctx.rng_state >> 33) & 0x7FFF_FFFF) as i64)
         }
         Builtin::Srand => {
-            prog.rng_state = a(0) ^ 0x9E3779B97F4A7C15;
+            ctx.rng_state = a(0) ^ 0x9E3779B97F4A7C15;
             [0; 4]
         }
         Builtin::Abort => return Err(Trap::Abort),
@@ -875,11 +908,11 @@ fn call_builtin(prog: &mut Program, b: Builtin, args: &[RegImage]) -> ExecResult
 
 /// Renders a `printf` call. Supports `%d %i %u %x %f %g %e %s %c %p %%`,
 /// optional width/precision, and the `l`/`ll` length modifiers.
-fn format_printf(prog: &Program, args: &[RegImage]) -> ExecResult<String> {
+fn format_printf(memory: &Memory, args: &[RegImage]) -> ExecResult<String> {
     let fmt_addr = args
         .first()
         .ok_or_else(|| Trap::BadFormat("missing format string".into()))?[0];
-    let fmt = prog.memory.c_string(fmt_addr)?;
+    let fmt = memory.c_string(fmt_addr)?;
     let mut out = String::new();
     let mut next = 1usize;
     let take = |next: &mut usize| -> ExecResult<u64> {
@@ -937,7 +970,7 @@ fn format_printf(prog: &Program, args: &[RegImage]) -> ExecResult<String> {
                 pad_num(&mut out, &s, w);
             }
             b's' => {
-                let s = prog.memory.c_string(take(&mut next)?)?;
+                let s = memory.c_string(take(&mut next)?)?;
                 pad_num(&mut out, &s, w);
             }
             other => {
@@ -989,9 +1022,9 @@ mod tests {
 
     #[test]
     fn add_function_executes() {
-        let mut prog = Program::new();
-        let id = prog.declare("add");
-        prog.define(
+        let mut ctx = ExecutionContext::new();
+        let id = ctx.declare("add");
+        ctx.define(
             id,
             compiled(
                 "add",
@@ -1003,19 +1036,16 @@ mod tests {
                 vec![I::AddI { d: 2, a: 0, b: 1 }, I::Ret { s: 2 }],
             ),
         );
-        let mut vm = Vm::new();
-        let r = vm
-            .call(&mut prog, id, &[Value::Int(2), Value::Int(40)])
-            .unwrap();
+        let r = ctx.call(id, &[Value::Int(2), Value::Int(40)]).unwrap();
         assert_eq!(r, Value::Int(42));
     }
 
     #[test]
     fn recursion_via_direct_call() {
         // fact(n) = n <= 1 ? 1 : n * fact(n-1)
-        let mut prog = Program::new();
-        let id = prog.declare("fact");
-        prog.define(
+        let mut ctx = ExecutionContext::new();
+        let id = ctx.declare("fact");
+        ctx.define(
             id,
             compiled(
                 "fact",
@@ -1041,25 +1071,23 @@ mod tests {
                 ],
             ),
         );
-        let mut vm = Vm::new();
-        let r = vm.call(&mut prog, id, &[Value::Int(10)]).unwrap();
+        let r = ctx.call(id, &[Value::Int(10)]).unwrap();
         assert_eq!(r, Value::Int(3628800));
     }
 
     #[test]
     fn undefined_function_traps() {
-        let mut prog = Program::new();
-        let id = prog.declare("ghost");
-        let mut vm = Vm::new();
-        let err = vm.call(&mut prog, id, &[]).unwrap_err();
+        let mut ctx = ExecutionContext::new();
+        let id = ctx.declare("ghost");
+        let err = ctx.call(id, &[]).unwrap_err();
         assert!(matches!(err, Trap::Undefined(_)));
     }
 
     #[test]
     fn division_by_zero_traps() {
-        let mut prog = Program::new();
-        let id = prog.declare("div");
-        prog.define(
+        let mut ctx = ExecutionContext::new();
+        let id = ctx.declare("div");
+        ctx.define(
             id,
             compiled(
                 "div",
@@ -1071,24 +1099,23 @@ mod tests {
                 vec![I::DivS { d: 2, a: 0, b: 1 }, I::Ret { s: 2 }],
             ),
         );
-        let mut vm = Vm::new();
         assert_eq!(
-            vm.call(&mut prog, id, &[Value::Int(1), Value::Int(0)]),
+            ctx.call(id, &[Value::Int(1), Value::Int(0)]),
             Err(Trap::DivByZero)
         );
-        // VM remains usable after a trap.
+        // The context remains usable after a trap.
         assert_eq!(
-            vm.call(&mut prog, id, &[Value::Int(10), Value::Int(5)]),
+            ctx.call(id, &[Value::Int(10), Value::Int(5)]),
             Ok(Value::Int(2))
         );
     }
 
     #[test]
     fn memory_instructions_roundtrip() {
-        let mut prog = Program::new();
-        let addr = prog.memory.malloc(64);
-        let id = prog.declare("poke");
-        prog.define(
+        let mut ctx = ExecutionContext::new();
+        let addr = ctx.memory.malloc(64);
+        let id = ctx.declare("poke");
+        ctx.define(
             id,
             compiled(
                 "poke",
@@ -1105,22 +1132,21 @@ mod tests {
                 ],
             ),
         );
-        let mut vm = Vm::new();
-        let r = vm.call(&mut prog, id, &[Value::Ptr(addr)]).unwrap();
+        let r = ctx.call(id, &[Value::Ptr(addr)]).unwrap();
         assert_eq!(r, Value::Float(6.25));
-        assert_eq!(prog.memory.load_f64(addr).unwrap(), 6.25);
+        assert_eq!(ctx.memory.load_f64(addr).unwrap(), 6.25);
     }
 
     #[test]
     fn vector_ops_operate_lanewise() {
-        let mut prog = Program::new();
-        let src = prog.memory.malloc(64);
+        let mut ctx = ExecutionContext::new();
+        let src = ctx.memory.malloc(64);
         for i in 0..4 {
-            prog.memory.store_f64(src + i * 8, (i + 1) as f64).unwrap();
+            ctx.memory.store_f64(src + i * 8, (i + 1) as f64).unwrap();
         }
-        let dst = prog.memory.malloc(64);
-        let id = prog.declare("vdouble");
-        prog.define(
+        let dst = ctx.memory.malloc(64);
+        let id = ctx.declare("vdouble");
+        ctx.define(
             id,
             compiled(
                 "vdouble",
@@ -1145,12 +1171,10 @@ mod tests {
                 ],
             ),
         );
-        let mut vm = Vm::new();
-        vm.call(&mut prog, id, &[Value::Ptr(src), Value::Ptr(dst)])
-            .unwrap();
+        ctx.call(id, &[Value::Ptr(src), Value::Ptr(dst)]).unwrap();
         for i in 0..4 {
             assert_eq!(
-                prog.memory.load_f64(dst + i * 8).unwrap(),
+                ctx.memory.load_f64(dst + i * 8).unwrap(),
                 2.0 * (i + 1) as f64
             );
         }
@@ -1158,9 +1182,9 @@ mod tests {
 
     #[test]
     fn indirect_call_through_function_pointer() {
-        let mut prog = Program::new();
-        let target = prog.declare("inc");
-        prog.define(
+        let mut ctx = ExecutionContext::new();
+        let target = ctx.declare("inc");
+        ctx.define(
             target,
             compiled(
                 "inc",
@@ -1176,14 +1200,14 @@ mod tests {
                 ],
             ),
         );
-        let caller = prog.declare("caller");
-        prog.define(
+        let caller = ctx.declare("caller");
+        ctx.define(
             caller,
             compiled(
                 "caller",
                 FuncTy {
                     params: vec![
-                        Ty::Func(std::rc::Rc::new(FuncTy {
+                        Ty::Func(std::sync::Arc::new(FuncTy {
                             params: vec![Ty::I64],
                             ret: Ty::I64,
                         })),
@@ -1204,26 +1228,25 @@ mod tests {
                 ],
             ),
         );
-        let mut vm = Vm::new();
-        let r = vm
-            .call(&mut prog, caller, &[Value::Func(target), Value::Int(9)])
+        let r = ctx
+            .call(caller, &[Value::Func(target), Value::Int(9)])
             .unwrap();
         assert_eq!(r, Value::Int(10));
         // Calling through junk traps.
-        let err = vm
-            .call(&mut prog, caller, &[Value::Ptr(1234), Value::Int(9)])
+        let err = ctx
+            .call(caller, &[Value::Ptr(1234), Value::Int(9)])
             .unwrap_err();
         assert!(matches!(err, Trap::NotAFunction(_)));
     }
 
     #[test]
     fn builtins_sqrt_and_printf() {
-        let mut prog = Program::new();
-        prog.output = OutputSink::Capture(String::new());
-        let fmt = prog.intern_string("x=%d y=%.2f s=%s\n");
-        let msg = prog.intern_string("ok");
-        let id = prog.declare("show");
-        prog.define(
+        let mut ctx = ExecutionContext::new();
+        ctx.output = OutputSink::Capture(String::new());
+        let fmt = ctx.intern_string("x=%d y=%.2f s=%s\n");
+        let msg = ctx.intern_string("ok");
+        let id = ctx.declare("show");
+        ctx.define(
             id,
             compiled(
                 "show",
@@ -1260,17 +1283,16 @@ mod tests {
                 ],
             ),
         );
-        let mut vm = Vm::new();
-        let r = vm.call(&mut prog, id, &[]).unwrap();
+        let r = ctx.call(id, &[]).unwrap();
         assert_eq!(r, Value::Float(4.0));
-        assert_eq!(prog.take_output(), "x=7 y=2.50 s=ok\n");
+        assert_eq!(ctx.take_output(), "x=7 y=2.50 s=ok\n");
     }
 
     #[test]
     fn arity_mismatch_is_reported() {
-        let mut prog = Program::new();
-        let id = prog.declare("f");
-        prog.define(
+        let mut ctx = ExecutionContext::new();
+        let id = ctx.declare("f");
+        ctx.define(
             id,
             compiled(
                 "f",
@@ -1282,8 +1304,7 @@ mod tests {
                 vec![I::Ret { s: NO_REG }],
             ),
         );
-        let mut vm = Vm::new();
-        let err = vm.call(&mut prog, id, &[]).unwrap_err();
+        let err = ctx.call(id, &[]).unwrap_err();
         assert_eq!(
             err,
             Trap::ArityMismatch {
@@ -1295,9 +1316,9 @@ mod tests {
 
     #[test]
     fn deep_recursion_overflows_gracefully() {
-        let mut prog = Program::new();
-        let id = prog.declare("loop");
-        prog.define(
+        let mut ctx = ExecutionContext::new();
+        let id = ctx.declare("loop");
+        ctx.define(
             id,
             compiled(
                 "loop",
@@ -1317,7 +1338,6 @@ mod tests {
                 ],
             ),
         );
-        let mut vm = Vm::new();
-        assert_eq!(vm.call(&mut prog, id, &[]), Err(Trap::StackOverflow));
+        assert_eq!(ctx.call(id, &[]), Err(Trap::StackOverflow));
     }
 }

@@ -13,6 +13,30 @@
 //! All accesses are bounds-checked; an out-of-range access produces a
 //! [`Trap`](crate::Trap)-able error rather than UB, while still being a real
 //! load/store against host memory so cache behaviour is genuine.
+//!
+//! # Ownership and parallelism
+//!
+//! A `Memory` either *owns* its buffer ([`Backing::Owned`]) or *borrows* one
+//! owned by another context ([`Backing::Shared`]). Shared views exist only
+//! inside a `parallelfor` region: each worker chunk gets a view over the
+//! parent's buffer plus a private stack window carved out of the parent's
+//! unused stack space, so kernel frame addresses are a function of the chunk
+//! index alone — identical at every thread count. Kernels are statically
+//! barred from `malloc`/`free`/`realloc` (see the parallel harness), so a
+//! shared view never grows or reshapes the heap; disjoint writes from
+//! concurrent workers go through raw-pointer copies rather than `&mut [u8]`
+//! slices, which keeps overlapping *reads* of shared data well-defined.
+//! Racing writes to the same location are a data race in the Terra program,
+//! undefined just as in C.
+//!
+//! Every profile-gated collector embedded here is **per-context**: a worker
+//! view starts with fresh counters and a *cold* cache simulator, and the
+//! harness merges the shards back in chunk order (commutative sums, so the
+//! totals are byte-identical at any thread count — but note a parallel
+//! loop's cache stats model per-worker cold caches, not one shared cache).
+//! This replaces the old `RefCell` interior mutability, which silently
+//! assumed single-threaded access: loads now take `&mut self` and the cache
+//! simulator is a plain field.
 
 use std::fmt;
 
@@ -78,12 +102,63 @@ const NULL_GUARD: u64 = 64;
 /// Size-class header stored before each heap block.
 const BLOCK_HEADER: u64 = 16;
 
+/// Who owns the bytes behind a [`Memory`].
+#[derive(Debug)]
+enum Backing {
+    /// This context owns the buffer (the normal, single-context case).
+    Owned(Vec<u8>),
+    /// A borrowed view over another context's buffer, used by `parallelfor`
+    /// worker contexts. The parent context is parked for the lifetime of
+    /// every view (the harness joins all workers before returning), so the
+    /// pointer cannot dangle and the buffer cannot be reallocated under us —
+    /// shared views cannot `malloc`, and the parent does not run.
+    Shared { ptr: *mut u8, len: usize },
+}
+
+// SAFETY: `Shared` is only constructed by `Memory::worker_view`, whose
+// caller (the parallel harness) keeps the owning context alive and parked
+// until every view is dropped, and Terra kernels address disjoint data.
+// Racing writes are the guest program's data race, not the host's: all
+// access goes through raw-pointer copies, never `&mut [u8]` aliasing.
+unsafe impl Send for Backing {}
+
+impl Backing {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Backing::Owned(v) => v.len(),
+            Backing::Shared { len, .. } => *len,
+        }
+    }
+
+    #[inline]
+    fn ptr(&self) -> *const u8 {
+        match self {
+            Backing::Owned(v) => v.as_ptr(),
+            Backing::Shared { ptr, .. } => *ptr,
+        }
+    }
+
+    #[inline]
+    fn ptr_mut(&mut self) -> *mut u8 {
+        match self {
+            Backing::Owned(v) => v.as_mut_ptr(),
+            Backing::Shared { ptr, .. } => *ptr,
+        }
+    }
+}
+
 /// The flat memory of a Terra program: stack region + malloc heap.
 #[derive(Debug)]
 pub struct Memory {
-    data: Vec<u8>,
+    backing: Backing,
     stack_size: u64,
-    /// Current stack pointer (grows upward from `NULL_GUARD`).
+    /// Base of this context's stack window (`NULL_GUARD` for the owner;
+    /// a carved-out chunk window for `parallelfor` workers).
+    stack_base: u64,
+    /// Exclusive end of this context's stack window.
+    stack_limit: u64,
+    /// Current stack pointer (grows upward from `stack_base`).
     sp: u64,
     /// Bump pointer for the heap.
     brk: u64,
@@ -99,13 +174,14 @@ pub struct Memory {
     /// Profiling gate for the memory counters below.
     profile: bool,
     /// Allocation/load/store/prefetch counters (deterministic; only touched
-    /// while `profile` is on).
+    /// while `profile` is on). Per-context: worker views get fresh counters
+    /// which the harness merges back in chunk order.
     counters: terra_trace::MemCounters,
     /// Two-level cache simulator, gated behind the same `profile` flag.
-    /// `RefCell` because loads go through `&Memory`.
-    cache: std::cell::RefCell<crate::cache::CacheSim>,
+    /// A plain field: loads take `&mut self`, so no interior mutability —
+    /// and therefore no hidden single-thread assumption — is needed.
+    cache: crate::cache::CacheSim,
     /// Allocation-site heap profiler, gated behind the same `profile` flag.
-    /// A plain field (no cell): `malloc`/`free`/`realloc` take `&mut self`.
     heap: terra_trace::HeapProfiler,
 }
 
@@ -121,8 +197,10 @@ impl Memory {
         let stack_size = stack_size.max(4096);
         let total = NULL_GUARD + stack_size + 4096;
         Memory {
-            data: vec![0; total as usize],
+            backing: Backing::Owned(vec![0; total as usize]),
             stack_size,
+            stack_base: NULL_GUARD,
+            stack_limit: NULL_GUARD + stack_size,
             sp: NULL_GUARD,
             brk: NULL_GUARD + stack_size,
             free_lists: vec![Vec::new(); 48],
@@ -131,9 +209,15 @@ impl Memory {
             freed: std::collections::BTreeMap::new(),
             profile: false,
             counters: terra_trace::MemCounters::default(),
-            cache: std::cell::RefCell::new(crate::cache::CacheSim::default()),
+            cache: crate::cache::CacheSim::default(),
             heap: terra_trace::HeapProfiler::default(),
         }
+    }
+
+    /// Whether this memory owns its buffer (`false` for `parallelfor`
+    /// worker views).
+    pub fn is_owned(&self) -> bool {
+        matches!(self.backing, Backing::Owned(_))
     }
 
     /// Turns the memory-system counters on or off. Counts survive a toggle;
@@ -157,40 +241,40 @@ impl Memory {
 
     /// Replaces the simulated cache geometry (cold-resets the simulator).
     pub fn set_cache_config(&mut self, cfg: terra_trace::CacheConfig) {
-        self.cache.borrow_mut().reconfigure(cfg);
+        self.cache.reconfigure(cfg);
     }
 
     /// The simulated cache geometry currently in effect.
     pub fn cache_config(&self) -> terra_trace::CacheConfig {
-        self.cache.borrow().config()
+        self.cache.config()
     }
 
     /// Freezes the simulated cache-hierarchy counters.
     pub fn cache_stats(&self) -> terra_trace::CacheStats {
-        self.cache.borrow().stats()
+        self.cache.stats()
     }
 
     /// Freezes the per-source-line attribution table, hottest lines first.
     pub fn cache_line_stats(&self) -> Vec<terra_trace::LineStat> {
-        self.cache.borrow().line_stats()
+        self.cache.line_stats()
     }
 
     /// Cold-resets the cache simulator (counters, tags, attribution).
     pub fn reset_cache(&mut self) {
-        self.cache.borrow_mut().reset();
+        self.cache.reset();
     }
 
     /// Sets the (function, source line) site subsequent accesses are
     /// attributed to. Only meaningful while profiling is on.
     #[inline]
-    pub fn set_access_site(&self, func: &std::rc::Rc<str>, line: u32) {
-        self.cache.borrow_mut().set_site(func, line);
+    pub fn set_access_site(&mut self, func: &std::sync::Arc<str>, line: u32) {
+        self.cache.set_site(func, line);
     }
 
     /// Clears the attribution site (host-side accesses stay unattributed).
     #[inline]
-    pub fn clear_access_site(&self) {
-        self.cache.borrow_mut().clear_site();
+    pub fn clear_access_site(&mut self) {
+        self.cache.clear_site();
     }
 
     // -- heap profiler -------------------------------------------------------
@@ -201,9 +285,9 @@ impl Memory {
     #[inline]
     pub fn set_alloc_site(
         &mut self,
-        func: &std::rc::Rc<str>,
+        func: &std::sync::Arc<str>,
         line: u32,
-        prov: Option<std::rc::Rc<str>>,
+        prov: Option<std::sync::Arc<str>>,
     ) {
         self.heap.set_site(func, line, prov);
     }
@@ -244,12 +328,74 @@ impl Memory {
 
     /// Total bytes currently reserved.
     pub fn size(&self) -> u64 {
-        self.data.len() as u64
+        self.backing.len() as u64
     }
 
     /// Bytes currently allocated via [`Memory::malloc`] and not yet freed.
     pub fn live_bytes(&self) -> u64 {
         self.live_bytes
+    }
+
+    // -- raw byte plumbing ---------------------------------------------------
+    //
+    // All guest data flows through these helpers so that shared views work
+    // on raw pointers (no `&mut [u8]` aliasing between workers). Every
+    // caller bounds-checks first; the `debug_assert`s re-state that
+    // contract.
+
+    #[inline]
+    fn raw_read(&self, addr: u64, dst: &mut [u8]) {
+        debug_assert!(addr as usize + dst.len() <= self.backing.len());
+        // SAFETY: range checked by the caller against `backing.len()`.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.backing.ptr().add(addr as usize),
+                dst.as_mut_ptr(),
+                dst.len(),
+            );
+        }
+    }
+
+    #[inline]
+    fn raw_write(&mut self, addr: u64, src: &[u8]) {
+        debug_assert!(addr as usize + src.len() <= self.backing.len());
+        // SAFETY: range checked by the caller against `backing.len()`.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.as_ptr(),
+                self.backing.ptr_mut().add(addr as usize),
+                src.len(),
+            );
+        }
+    }
+
+    #[inline]
+    fn raw_fill(&mut self, addr: u64, byte: u8, len: u64) {
+        debug_assert!((addr + len) as usize <= self.backing.len());
+        // SAFETY: range checked by the caller against `backing.len()`.
+        unsafe {
+            std::ptr::write_bytes(
+                self.backing.ptr_mut().add(addr as usize),
+                byte,
+                len as usize,
+            );
+        }
+    }
+
+    #[inline]
+    fn raw_copy(&mut self, src: u64, dst: u64, len: u64) {
+        debug_assert!((src + len) as usize <= self.backing.len());
+        debug_assert!((dst + len) as usize <= self.backing.len());
+        // SAFETY: both ranges checked by the caller; `ptr::copy` handles
+        // overlap (memmove semantics).
+        unsafe {
+            let base = self.backing.ptr_mut();
+            std::ptr::copy(
+                base.add(src as usize) as *const u8,
+                base.add(dst as usize),
+                len as usize,
+            );
+        }
     }
 
     // -- stack ---------------------------------------------------------------
@@ -259,30 +405,83 @@ impl Memory {
     ///
     /// # Errors
     ///
-    /// Fails when the Terra stack region is exhausted.
+    /// Fails when this context's stack window is exhausted.
     pub fn push_frame(&mut self, size: u64) -> MemResult<u64> {
         let base = (self.sp + 15) & !15;
         let new_sp = base + size;
-        if new_sp > NULL_GUARD + self.stack_size {
+        if new_sp > self.stack_limit {
             return Err(MemError::oob(new_sp, size));
         }
         self.sp = new_sp;
         if self.sanitize {
             // Poison the fresh frame so reads of never-written slots return
             // recognizable garbage instead of stale data from popped frames.
-            self.data[base as usize..new_sp as usize].fill(0xAA);
+            self.raw_fill(base, 0xAA, new_sp - base);
         }
         Ok(base)
     }
 
     /// Pops a stack frame previously pushed at `base`.
     pub fn pop_frame(&mut self, base: u64) {
-        debug_assert!(base <= self.sp);
+        debug_assert!(self.stack_base <= base && base <= self.sp);
         if self.sanitize {
             // Poison the dead frame so dangling pointers read garbage.
-            self.data[base as usize..self.sp as usize].fill(0xDD);
+            self.raw_fill(base, 0xDD, self.sp - base);
         }
         self.sp = base;
+    }
+
+    // -- parallel worker views -----------------------------------------------
+
+    /// The address range available for carving worker stack windows: the
+    /// 16-byte-aligned span between the current stack pointer and the end of
+    /// the owner's stack region. Chunk windows are carved from this span as
+    /// a function of the *chunk count only*, so kernel frame addresses are
+    /// identical at every thread count.
+    pub fn parallel_stack_span(&self) -> (u64, u64) {
+        (((self.sp + 15) & !15), self.stack_limit)
+    }
+
+    /// Creates a worker view over this memory for one `parallelfor` chunk:
+    /// shared bytes, a private stack window `[stack_base, stack_limit)`,
+    /// fresh profile shards (counters, cold cache simulator of the same
+    /// geometry, empty heap profiler), and a copy of the sanitizer state.
+    ///
+    /// The view cannot allocate: `malloc` on a shared backing returns null,
+    /// and the harness statically rejects kernels that reach allocating
+    /// builtins, so the buffer never grows (and the raw pointer never
+    /// dangles) while views exist.
+    pub fn worker_view(&mut self, stack_base: u64, stack_limit: u64) -> Memory {
+        debug_assert!(stack_base >= self.sp && stack_limit <= self.stack_limit);
+        debug_assert!(self.is_owned(), "worker views must not be re-split");
+        Memory {
+            backing: Backing::Shared {
+                ptr: self.backing.ptr_mut(),
+                len: self.backing.len(),
+            },
+            stack_size: self.stack_size,
+            stack_base,
+            stack_limit,
+            sp: stack_base,
+            brk: self.brk,
+            free_lists: Vec::new(),
+            live_bytes: self.live_bytes,
+            sanitize: self.sanitize,
+            freed: self.freed.clone(),
+            profile: self.profile,
+            counters: terra_trace::MemCounters::default(),
+            cache: crate::cache::CacheSim::new(self.cache.config()),
+            heap: terra_trace::HeapProfiler::default(),
+        }
+    }
+
+    /// Folds a worker view's profile shards (memory counters + cache
+    /// simulator counters) back into this memory. Commutative sums, so the
+    /// merged totals do not depend on worker interleaving; the harness still
+    /// merges in chunk order for a deterministic remark/event order.
+    pub fn absorb_worker(&mut self, worker: &Memory) {
+        self.counters.absorb(&worker.counters.snapshot());
+        self.cache.absorb(&worker.cache);
     }
 
     // -- heap ----------------------------------------------------------------
@@ -293,24 +492,31 @@ impl Memory {
     }
 
     /// Allocates `size` bytes, returning a non-null, 16-byte-aligned address.
-    /// `malloc(0)` returns a valid unique pointer.
+    /// `malloc(0)` returns a valid unique pointer. On a shared worker view
+    /// allocation is impossible (the buffer must not grow while other
+    /// workers hold the same pointer) and `malloc` returns null; the
+    /// parallel harness statically rejects kernels that allocate, so this
+    /// is a defensive backstop, not a reachable path.
     pub fn malloc(&mut self, size: u64) -> u64 {
         let class = Self::size_class(size);
         let block_size = 1u64 << class;
-        let base = if let Some(addr) = self.free_lists[class].pop() {
+        let base = if let Some(addr) = self.free_lists.get_mut(class).and_then(|list| list.pop()) {
             addr
         } else {
+            let Backing::Owned(data) = &mut self.backing else {
+                return 0;
+            };
             let base = self.brk;
             let needed = base + block_size;
-            if needed > self.data.len() as u64 {
-                let new_len = needed.next_power_of_two().max(self.data.len() as u64 * 2);
-                self.data.resize(new_len as usize, 0);
+            if needed > data.len() as u64 {
+                let new_len = needed.next_power_of_two().max(data.len() as u64 * 2);
+                data.resize(new_len as usize, 0);
             }
             self.brk += block_size;
             base
         };
         // Header: size class in the first 8 bytes.
-        self.data[base as usize..base as usize + 8].copy_from_slice(&(class as u64).to_le_bytes());
+        self.raw_write(base, &(class as u64).to_le_bytes());
         self.live_bytes += block_size;
         let payload = base + BLOCK_HEADER;
         if self.profile {
@@ -320,7 +526,7 @@ impl Memory {
         if self.sanitize {
             self.freed.remove(&payload);
             let end = base + block_size;
-            self.data[payload as usize..end as usize].fill(0xAB);
+            self.raw_fill(payload, 0xAB, end - payload);
         }
         payload
     }
@@ -350,10 +556,11 @@ impl Memory {
             });
         }
         let base = ptr - BLOCK_HEADER;
+        self.check(base, 8)?;
         let mut class_bytes = [0u8; 8];
-        class_bytes.copy_from_slice(&self.data[base as usize..base as usize + 8]);
+        self.raw_read(base, &mut class_bytes);
         let class = u64::from_le_bytes(class_bytes) as usize;
-        if class >= self.free_lists.len() || class == 0 {
+        if class >= 48 || class == 0 {
             return Err(MemError {
                 addr: ptr,
                 len: 0,
@@ -365,10 +572,12 @@ impl Memory {
             self.counters.note_free();
             self.heap.note_free(ptr);
         }
-        self.free_lists[class].push(base);
+        if let Some(list) = self.free_lists.get_mut(class) {
+            list.push(base);
+        }
         if self.sanitize {
             let payload_len = (1u64 << class) - BLOCK_HEADER;
-            self.data[ptr as usize..(ptr + payload_len) as usize].fill(0xDD);
+            self.raw_fill(ptr, 0xDD, payload_len);
             self.freed.insert(ptr, payload_len);
         }
         Ok(())
@@ -380,9 +589,9 @@ impl Memory {
             return Ok(self.malloc(size));
         }
         let base = ptr - BLOCK_HEADER;
-        let mut class_bytes = [0u8; 8];
         self.check(base, 8)?;
-        class_bytes.copy_from_slice(&self.data[base as usize..base as usize + 8]);
+        let mut class_bytes = [0u8; 8];
+        self.raw_read(base, &mut class_bytes);
         let old_class = u64::from_le_bytes(class_bytes) as usize;
         let old_payload = (1u64 << old_class) - BLOCK_HEADER;
         if size + BLOCK_HEADER <= (1u64 << old_class) {
@@ -399,7 +608,7 @@ impl Memory {
 
     #[inline]
     fn check(&self, addr: u64, len: u64) -> MemResult<()> {
-        if addr < NULL_GUARD || addr.saturating_add(len) > self.data.len() as u64 {
+        if addr < NULL_GUARD || addr.saturating_add(len) > self.backing.len() as u64 {
             return Err(MemError::oob(addr, len));
         }
         if self.sanitize && !self.freed.is_empty() {
@@ -418,16 +627,30 @@ impl Memory {
         Ok(())
     }
 
-    /// Reads a byte slice.
+    /// Reads a byte slice into a fresh buffer.
+    pub fn read_bytes(&self, addr: u64, len: u64) -> MemResult<Vec<u8>> {
+        self.check(addr, len)?;
+        let mut out = vec![0u8; len as usize];
+        self.raw_read(addr, &mut out);
+        Ok(out)
+    }
+
+    /// Borrows a byte slice of guest memory. Host-side only: on a shared
+    /// worker view a returned `&[u8]` could alias another worker's writes,
+    /// so this is restricted to owned memory (worker views return an
+    /// out-of-range error; kernels have no path here).
     pub fn bytes(&self, addr: u64, len: u64) -> MemResult<&[u8]> {
         self.check(addr, len)?;
-        Ok(&self.data[addr as usize..(addr + len) as usize])
+        let Backing::Owned(data) = &self.backing else {
+            return Err(MemError::oob(addr, len));
+        };
+        Ok(&data[addr as usize..(addr + len) as usize])
     }
 
     /// Writes a byte slice.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> MemResult<()> {
         self.check(addr, bytes.len() as u64)?;
-        self.data[addr as usize..addr as usize + bytes.len()].copy_from_slice(bytes);
+        self.raw_write(addr, bytes);
         Ok(())
     }
 
@@ -450,52 +673,63 @@ impl Memory {
         if checked || self.sanitize {
             self.check(src, len)?;
             self.check(dst, len)?;
-        } else if src.saturating_add(len).max(dst.saturating_add(len)) > self.data.len() as u64 {
-            // Backstop: a miscompiled elision must not escape `data`.
+        } else if src.saturating_add(len).max(dst.saturating_add(len)) > self.backing.len() as u64 {
+            // Backstop: a miscompiled elision must not escape the buffer.
             return Err(MemError::oob(src.max(dst), len));
         }
-        self.data
-            .copy_within(src as usize..(src + len) as usize, dst as usize);
+        self.raw_copy(src, dst, len);
         Ok(())
     }
 
     /// `memset`.
     pub fn fill(&mut self, addr: u64, byte: u8, len: u64) -> MemResult<()> {
         self.check(addr, len)?;
-        self.data[addr as usize..(addr + len) as usize].fill(byte);
+        self.raw_fill(addr, byte, len);
         Ok(())
     }
 
     /// Reads a NUL-terminated C string.
     pub fn c_string(&self, addr: u64) -> MemResult<String> {
         self.check(addr, 1)?;
-        let rest = &self.data[addr as usize..];
-        let len = rest
-            .iter()
-            .position(|&b| b == 0)
-            .ok_or_else(|| MemError::oob(addr, 1))?;
-        Ok(String::from_utf8_lossy(&rest[..len]).into_owned())
+        let end = self.backing.len() as u64;
+        let mut bytes = Vec::new();
+        let mut p = addr;
+        loop {
+            if p >= end {
+                return Err(MemError::oob(addr, 1));
+            }
+            let mut b = [0u8; 1];
+            self.raw_read(p, &mut b);
+            if b[0] == 0 {
+                break;
+            }
+            bytes.push(b[0]);
+            p += 1;
+        }
+        Ok(String::from_utf8_lossy(&bytes).into_owned())
     }
 
     /// Issues a CPU prefetch hint for the cache line holding `addr`, if the
     /// address is valid (silently ignores invalid hints, like hardware does).
     #[inline]
-    pub fn prefetch(&self, addr: u64) {
+    pub fn prefetch(&mut self, addr: u64) {
         if self.profile {
             self.counters.note_prefetch();
-            self.cache.borrow_mut().prefetch(addr);
+            self.cache.prefetch(addr);
         }
         if self.check(addr, 1).is_ok() {
             #[cfg(target_arch = "x86_64")]
             unsafe {
                 core::arch::x86_64::_mm_prefetch(
-                    self.data.as_ptr().add(addr as usize) as *const i8,
+                    self.backing.ptr().add(addr as usize) as *const i8,
                     core::arch::x86_64::_MM_HINT_T0,
                 );
             }
             #[cfg(not(target_arch = "x86_64"))]
             {
-                let _ = self.data[addr as usize];
+                let mut b = [0u8; 1];
+                self.raw_read(addr, &mut b);
+                let _ = b;
             }
         }
     }
@@ -506,7 +740,7 @@ macro_rules! scalar_access {
         impl Memory {
             #[doc = concat!("Loads a `", stringify!($ty), "`.")]
             #[inline]
-            pub fn $load(&self, addr: u64) -> MemResult<$ty> {
+            pub fn $load(&mut self, addr: u64) -> MemResult<$ty> {
                 self.$load_sel(addr, true)
             }
 
@@ -518,19 +752,19 @@ macro_rules! scalar_access {
                                 "full checked path."
                             )]
             #[inline]
-            pub fn $load_sel(&self, addr: u64, checked: bool) -> MemResult<$ty> {
+            pub fn $load_sel(&mut self, addr: u64, checked: bool) -> MemResult<$ty> {
                 if checked || self.sanitize {
                     self.check(addr, $n)?;
-                } else if addr.saturating_add($n) > self.data.len() as u64 {
-                    // Backstop: a miscompiled elision must not escape `data`.
+                } else if addr.saturating_add($n) > self.backing.len() as u64 {
+                    // Backstop: a miscompiled elision must not escape the buffer.
                     return Err(MemError::oob(addr, $n));
                 }
                 if self.profile {
                     self.counters.note_load($n);
-                    self.cache.borrow_mut().access(addr, $n);
+                    self.cache.access(addr, $n);
                 }
                 let mut b = [0u8; $n];
-                b.copy_from_slice(&self.data[addr as usize..addr as usize + $n]);
+                self.raw_read(addr, &mut b);
                 Ok(<$ty>::from_le_bytes(b))
             }
 
@@ -548,15 +782,15 @@ macro_rules! scalar_access {
             pub fn $store_sel(&mut self, addr: u64, v: $ty, checked: bool) -> MemResult<()> {
                 if checked || self.sanitize {
                     self.check(addr, $n)?;
-                } else if addr.saturating_add($n) > self.data.len() as u64 {
+                } else if addr.saturating_add($n) > self.backing.len() as u64 {
                     return Err(MemError::oob(addr, $n));
                 }
                 if self.profile {
                     self.counters.note_store($n);
                     // Write-allocate: stores walk the same fill path as loads.
-                    self.cache.borrow_mut().access(addr, $n);
+                    self.cache.access(addr, $n);
                 }
-                self.data[addr as usize..addr as usize + $n].copy_from_slice(&v.to_le_bytes());
+                self.raw_write(addr, &v.to_le_bytes());
                 Ok(())
             }
         }
@@ -577,27 +811,26 @@ scalar_access!(load_f64, load_f64_sel, store_f64, store_f64_sel, f64, 8);
 impl Memory {
     /// Loads `len` (≤ 32) raw bytes into a vector register image.
     #[inline]
-    pub fn load_vec(&self, addr: u64, len: u64) -> MemResult<[u64; 4]> {
+    pub fn load_vec(&mut self, addr: u64, len: u64) -> MemResult<[u64; 4]> {
         self.load_vec_sel(addr, len, true)
     }
 
     /// [`Memory::load_vec`] with a selectable bounds check (see the scalar
     /// `_sel` variants).
     #[inline]
-    pub fn load_vec_sel(&self, addr: u64, len: u64, checked: bool) -> MemResult<[u64; 4]> {
+    pub fn load_vec_sel(&mut self, addr: u64, len: u64, checked: bool) -> MemResult<[u64; 4]> {
         if checked || self.sanitize {
             self.check(addr, len)?;
-        } else if addr.saturating_add(len) > self.data.len() as u64 {
+        } else if addr.saturating_add(len) > self.backing.len() as u64 {
             return Err(MemError::oob(addr, len));
         }
         if self.profile {
             self.counters.note_vec_load();
-            self.cache.borrow_mut().access(addr, len);
+            self.cache.access(addr, len);
         }
         let mut out = [0u64; 4];
-        let src = &self.data[addr as usize..(addr + len) as usize];
         let mut buf = [0u8; 32];
-        buf[..len as usize].copy_from_slice(src);
+        self.raw_read(addr, &mut buf[..len as usize]);
         for (i, chunk) in buf.chunks_exact(8).enumerate() {
             out[i] = u64::from_le_bytes(chunk.try_into().unwrap());
         }
@@ -622,18 +855,18 @@ impl Memory {
     ) -> MemResult<()> {
         if checked || self.sanitize {
             self.check(addr, len)?;
-        } else if addr.saturating_add(len) > self.data.len() as u64 {
+        } else if addr.saturating_add(len) > self.backing.len() as u64 {
             return Err(MemError::oob(addr, len));
         }
         if self.profile {
             self.counters.note_vec_store();
-            self.cache.borrow_mut().access(addr, len);
+            self.cache.access(addr, len);
         }
         let mut buf = [0u8; 32];
         for (i, w) in v.iter().enumerate() {
             buf[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
         }
-        self.data[addr as usize..(addr + len) as usize].copy_from_slice(&buf[..len as usize]);
+        self.raw_write(addr, &buf[..len as usize]);
         Ok(())
     }
 }
@@ -644,7 +877,7 @@ mod tests {
 
     #[test]
     fn null_access_is_rejected() {
-        let m = Memory::default();
+        let mut m = Memory::default();
         assert!(m.load_u8(0).is_err());
         assert!(m.load_f64(8).is_err());
     }
@@ -800,5 +1033,66 @@ mod tests {
         m.fill(p, 0xAB, 16).unwrap();
         m.copy_within(p, p + 16, 16).unwrap();
         assert_eq!(m.load_u8(p + 31).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn worker_view_shares_heap_and_isolates_stack() {
+        let mut m = Memory::new(1 << 20);
+        let p = m.malloc(64);
+        m.store_f64(p, 1.25).unwrap();
+        let (lo, hi) = m.parallel_stack_span();
+        let mid = lo + (((hi - lo) / 2) & !15);
+        let mut w0 = m.worker_view(lo, mid);
+        let mut w1 = m.worker_view(mid, hi);
+        // Heap data is visible through both views.
+        assert_eq!(w0.load_f64(p).unwrap(), 1.25);
+        assert_eq!(w1.load_f64(p).unwrap(), 1.25);
+        // Writes land in the shared buffer.
+        w0.store_f64(p + 8, 2.5).unwrap();
+        drop(w0);
+        drop(w1);
+        assert_eq!(m.load_f64(p + 8).unwrap(), 2.5);
+        // Stack windows are disjoint and deterministic.
+        let mut a = m.worker_view(lo, mid);
+        let mut b = m.worker_view(mid, hi);
+        let fa = a.push_frame(64).unwrap();
+        let fb = b.push_frame(64).unwrap();
+        assert_eq!(fa, lo);
+        assert_eq!(fb, mid);
+        assert!(fa + 64 <= fb);
+    }
+
+    #[test]
+    fn worker_view_cannot_malloc() {
+        let mut m = Memory::default();
+        let (lo, hi) = m.parallel_stack_span();
+        let mut w = m.worker_view(lo, hi);
+        assert_eq!(w.malloc(64), 0);
+        assert!(!w.is_owned());
+    }
+
+    #[test]
+    fn worker_profile_shards_merge_into_parent() {
+        let mut m = Memory::default();
+        m.set_profile(true);
+        let p = m.malloc(256);
+        let before = m.counters().snapshot();
+        let (lo, hi) = m.parallel_stack_span();
+        let mut w = m.worker_view(lo, hi);
+        w.store_f64(p, 1.0).unwrap();
+        w.load_f64(p).unwrap();
+        let shard = w.counters().snapshot();
+        assert_eq!(shard.loads[3], 1);
+        assert_eq!(shard.stores[3], 1);
+        let wstats = w.cache_stats();
+        m.absorb_worker(&w);
+        drop(w);
+        let after = m.counters().snapshot();
+        assert_eq!(after.loads[3], before.loads[3] + 1);
+        assert_eq!(after.stores[3], before.stores[3] + 1);
+        assert_eq!(
+            m.cache_stats().l1.misses,
+            wstats.l1.misses // parent cache was cold before the absorb
+        );
     }
 }

@@ -1,0 +1,617 @@
+//! The `parallelfor` harness: rayon-backed data-parallel loop execution.
+//!
+//! A `parallelfor i = lo, hi do ... end` loop is compiled into a *kernel*
+//! function `kernel(i, captures...)` plus a call into [`run_parallelfor`],
+//! which partitions the iteration space and runs each partition in its own
+//! [`ExecutionContext`] over the shared `Arc<Program>` — the payoff of the
+//! program/context split.
+//!
+//! # Determinism contract
+//!
+//! Everything observable is a function of the *loop*, never of the thread
+//! count or scheduling:
+//!
+//! - **Static chunking.** The iteration space is split into
+//!   [`chunk_count`]`(n)` contiguous chunks — a function of the iteration
+//!   count alone. `--threads=1` runs the *same* chunks sequentially in
+//!   order; more threads only changes which OS thread executes a chunk.
+//! - **Deterministic addresses.** Each chunk's kernel frames live in a
+//!   private stack window carved at a position determined by the chunk
+//!   index (see [`Memory::parallel_stack_span`]), so `FrameAddr` values —
+//!   and therefore any pointer a kernel takes to a local — are identical at
+//!   every thread count.
+//! - **Order-independent profiles.** Each chunk collects into fresh shards
+//!   (tracer, memory counters, cold cache simulator) merged back in chunk
+//!   order with commutative sums, so `--profile` output is byte-identical
+//!   at any `--threads`.
+//! - **Run-to-completion traps.** A trap stops only its own chunk; every
+//!   other chunk still runs to completion (or its own first trap). The
+//!   lowest-chunk-index trap is reported. No cancellation means no
+//!   timing-dependent heap states.
+//! - **Chunk-ordered output.** Worker `printf` output is captured per chunk
+//!   and re-emitted in chunk order after the loop.
+//!
+//! # Kernel restrictions
+//!
+//! Before any iteration runs, [`check_kernel`] walks the kernel's bytecode
+//! (transitively through direct calls) and rejects operations that cannot
+//! be made deterministic or safe across workers: heap allocation
+//! (`malloc`/`free`/`realloc` — worker views share the parent's buffer,
+//! which must not grow or reshape while borrowed), the global RNG
+//! (`rand`/`srand` mutate run-order-dependent state), wall-clock `clock`,
+//! and indirect calls (their targets cannot be checked statically).
+//! Violations raise [`Trap::Parallel`] before any work starts.
+
+use crate::bytecode::{CompiledFunction, Instr};
+use crate::exec::ExecutionContext;
+use crate::machine::{ExecResult, RegImage, Trap};
+use crate::program::Program;
+use std::collections::HashSet;
+use std::sync::Arc;
+use terra_ir::{Builtin, FuncId};
+
+/// Number of chunks a loop of `n` iterations is split into. A function of
+/// `n` **only** — never of the thread count — so chunk boundaries, worker
+/// stack addresses, and profile shards are identical however many threads
+/// execute them. 32 chunks keeps 8 threads busy (4 chunks each) while
+/// leaving each chunk a useful slice of the worker stack span.
+pub fn chunk_count(n: u64) -> u64 {
+    n.min(32)
+}
+
+/// Iteration range of chunk `c` of `count` over `[lo, hi)`: the standard
+/// balanced split, earlier chunks taking the remainder.
+fn chunk_range(lo: i64, n: u64, count: u64, c: u64) -> (i64, i64) {
+    let start = lo + (n * c / count) as i64;
+    let end = lo + (n * (c + 1) / count) as i64;
+    (start, end)
+}
+
+/// Statically verifies that `root` is a legal `parallelfor` kernel,
+/// walking direct calls transitively.
+///
+/// # Errors
+///
+/// [`Trap::Parallel`] naming the offending function and operation, or
+/// [`Trap::Undefined`] if the kernel reaches an undefined function.
+pub fn check_kernel(program: &Program, root: FuncId) -> ExecResult<()> {
+    let mut visited: HashSet<u32> = HashSet::new();
+    let mut worklist = vec![root];
+    while let Some(id) = worklist.pop() {
+        if !visited.insert(id.0) {
+            continue;
+        }
+        let func = program
+            .function(id)
+            .ok_or_else(|| Trap::Undefined(program.name(id).to_string()))?;
+        for instr in &func.code {
+            match instr {
+                Instr::CallBuiltin { b, .. } => {
+                    let forbidden = match b {
+                        Builtin::Malloc => Some("malloc"),
+                        Builtin::Free => Some("free"),
+                        Builtin::Realloc => Some("realloc"),
+                        Builtin::Rand => Some("rand"),
+                        Builtin::Srand => Some("srand"),
+                        Builtin::Clock => Some("clock"),
+                        _ => None,
+                    };
+                    if let Some(name) = forbidden {
+                        return Err(Trap::Parallel(format!(
+                            "kernel function '{}' calls '{name}', which is not \
+                             allowed inside a parallel loop",
+                            func.name
+                        )));
+                    }
+                }
+                Instr::CallIndirect { .. } => {
+                    return Err(Trap::Parallel(format!(
+                        "kernel function '{}' makes an indirect call, which \
+                         cannot be checked for a parallel loop",
+                        func.name
+                    )));
+                }
+                Instr::ParFor { .. } => {
+                    return Err(Trap::Parallel(format!(
+                        "kernel function '{}' contains a nested parallelfor, \
+                         which is not supported",
+                        func.name
+                    )));
+                }
+                Instr::Call { f, .. } => worklist.push(*f),
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs one chunk: kernel invocations for `start..end`, stopping at the
+/// chunk's first trap.
+fn run_chunk(
+    worker: &mut ExecutionContext,
+    kernel: &Arc<CompiledFunction>,
+    start: i64,
+    end: i64,
+    extra: &[RegImage],
+) -> Option<Trap> {
+    let mut args: Vec<RegImage> = Vec::with_capacity(1 + extra.len());
+    args.push([0; 4]);
+    args.extend_from_slice(extra);
+    for i in start..end {
+        args[0] = [i as u64, 0, 0, 0];
+        if let Err(trap) = worker.call_raw(Arc::clone(kernel), &args) {
+            return Some(trap);
+        }
+    }
+    None
+}
+
+/// Executes `kernel(i, extra...)` for every `i` in `[lo, hi)` across the
+/// context's configured worker threads. See the module docs for the
+/// determinism contract; `extra` holds the loop body's captured values
+/// (already encoded as register images).
+///
+/// # Errors
+///
+/// [`Trap::Parallel`] from the static kernel check, or the
+/// lowest-chunk-index trap raised by the kernel itself.
+pub fn run_parallelfor(
+    ctx: &mut ExecutionContext,
+    kernel_id: FuncId,
+    lo: i64,
+    hi: i64,
+    extra: &[RegImage],
+) -> ExecResult<()> {
+    check_kernel(ctx.program(), kernel_id)?;
+    let kernel = ctx
+        .program()
+        .function(kernel_id)
+        .cloned()
+        .ok_or_else(|| Trap::Undefined(ctx.program().name(kernel_id).to_string()))?;
+    if kernel.ty.params.len() != 1 + extra.len() {
+        return Err(Trap::ArityMismatch {
+            expected: kernel.ty.params.len(),
+            got: 1 + extra.len(),
+        });
+    }
+    if hi <= lo {
+        return Ok(());
+    }
+    let n = (hi - lo) as u64;
+    let chunks = chunk_count(n);
+
+    // Carve one private stack window per CHUNK (not per thread) from the
+    // unused remainder of this context's stack, so kernel frame addresses
+    // depend only on the chunk index.
+    let (span_lo, span_hi) = ctx.memory.parallel_stack_span();
+    let per = ((span_hi - span_lo) / chunks) & !15;
+    if per < 1024 {
+        return Err(Trap::Parallel(
+            "insufficient stack space for a parallel region".into(),
+        ));
+    }
+
+    // The sanitizer's freed-block tracking is snapshotted per worker and
+    // kernels cannot free, so running chunks on one thread keeps its
+    // reports stable and readable.
+    let threads = if ctx.memory.sanitize_enabled() {
+        1
+    } else {
+        ctx.threads().min(chunks as usize).max(1)
+    };
+
+    let mut workers: Vec<ExecutionContext> = (0..chunks)
+        .map(|c| ctx.worker(span_lo + c * per, span_lo + (c + 1) * per))
+        .collect();
+    let mut traps: Vec<Option<Trap>> = (0..chunks).map(|_| None).collect();
+
+    if threads == 1 {
+        // Sequential fallback: same chunk structure, same windows, same
+        // shard merge — only the executing thread differs.
+        for (c, worker) in workers.iter_mut().enumerate() {
+            let (start, end) = chunk_range(lo, n, chunks, c as u64);
+            traps[c] = run_chunk(worker, &kernel, start, end, extra);
+        }
+    } else {
+        // One spawned task per thread, each owning a contiguous block of
+        // chunks. Block assignment affects only wall-clock, not results.
+        let per_thread = chunks.div_ceil(threads as u64) as usize;
+        let kernel_ref = &kernel;
+        rayon::scope(|s| {
+            for (t, (wblock, tblock)) in workers
+                .chunks_mut(per_thread)
+                .zip(traps.chunks_mut(per_thread))
+                .enumerate()
+            {
+                s.spawn(move |_| {
+                    for (j, (worker, slot)) in wblock.iter_mut().zip(tblock.iter_mut()).enumerate()
+                    {
+                        let c = (t * per_thread + j) as u64;
+                        let (start, end) = chunk_range(lo, n, chunks, c);
+                        *slot = run_chunk(worker, kernel_ref, start, end, extra);
+                    }
+                });
+            }
+        });
+    }
+
+    // Merge shards and captured output back in chunk order.
+    for worker in &mut workers {
+        ctx.absorb_worker(worker);
+    }
+    drop(workers);
+
+    // Report the lowest-chunk-index trap (every chunk has already run to
+    // its own completion, so the heap state is thread-count-independent).
+    match traps.into_iter().flatten().next() {
+        Some(trap) => Err(trap),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{Instr as I, NO_REG};
+    use crate::program::Value;
+    use terra_ir::{FuncTy, Ty};
+
+    fn compiled(name: &str, ty: FuncTy, nregs: u16, code: Vec<I>) -> CompiledFunction {
+        CompiledFunction {
+            name: name.into(),
+            ty,
+            nregs,
+            provs: Vec::new(),
+            prov_table: Vec::new(),
+            frame_size: 0,
+            code,
+            lines: Vec::new(),
+            nochk: Vec::new(),
+        }
+    }
+
+    /// kernel(i, base): stores i*i into base[i] (f64).
+    fn square_kernel(ctx: &mut ExecutionContext) -> FuncId {
+        let id = ctx.declare("square");
+        ctx.define(
+            id,
+            compiled(
+                "square",
+                FuncTy {
+                    params: vec![Ty::I64, Ty::F64.ptr_to()],
+                    ret: Ty::Unit,
+                },
+                6,
+                vec![
+                    I::MulI { d: 2, a: 0, b: 0 },
+                    I::CvtSToF64 { d: 3, a: 2 },
+                    I::Lea {
+                        d: 4,
+                        a: 1,
+                        b: 0,
+                        scale: 8,
+                        disp: 0,
+                    },
+                    I::StoreF64 { a: 4, s: 3 },
+                    I::Ret { s: NO_REG },
+                ],
+            ),
+        );
+        id
+    }
+
+    fn run_squares(threads: usize, n: i64) -> (Vec<f64>, ExecResult<()>) {
+        let mut ctx = ExecutionContext::new();
+        ctx.set_threads(threads);
+        let id = square_kernel(&mut ctx);
+        let base = ctx.memory.malloc(8 * n as u64);
+        let r = run_parallelfor(&mut ctx, id, 0, n, &[[base, 0, 0, 0]]);
+        let out = (0..n)
+            .map(|i| ctx.memory.load_f64(base + 8 * i as u64).unwrap())
+            .collect();
+        (out, r)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (seq, r1) = run_squares(1, 1000);
+        assert!(r1.is_ok());
+        for threads in [2, 4, 8] {
+            let (par, r) = run_squares(threads, 1000);
+            assert!(r.is_ok());
+            assert_eq!(seq, par, "results differ at {threads} threads");
+        }
+        assert_eq!(seq[31], 31.0 * 31.0);
+    }
+
+    #[test]
+    fn empty_and_tiny_ranges() {
+        let (_, r) = run_squares(4, 0);
+        assert!(r.is_ok());
+        let (out, r) = run_squares(4, 3);
+        assert!(r.is_ok());
+        assert_eq!(out, vec![0.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn kernel_check_rejects_malloc() {
+        let mut ctx = ExecutionContext::new();
+        let id = ctx.declare("alloc_in_kernel");
+        ctx.define(
+            id,
+            compiled(
+                "alloc_in_kernel",
+                FuncTy {
+                    params: vec![Ty::I64],
+                    ret: Ty::Unit,
+                },
+                2,
+                vec![
+                    I::CallBuiltin {
+                        d: 1,
+                        b: Builtin::Malloc,
+                        args: 0,
+                        nargs: 1,
+                    },
+                    I::Ret { s: NO_REG },
+                ],
+            ),
+        );
+        let err = run_parallelfor(&mut ctx, id, 0, 4, &[]).unwrap_err();
+        assert!(matches!(err, Trap::Parallel(ref m) if m.contains("malloc")));
+    }
+
+    #[test]
+    fn kernel_check_rejects_transitive_rand() {
+        let mut ctx = ExecutionContext::new();
+        let inner = ctx.declare("roll");
+        ctx.define(
+            inner,
+            compiled(
+                "roll",
+                FuncTy {
+                    params: vec![],
+                    ret: Ty::I64,
+                },
+                1,
+                vec![
+                    I::CallBuiltin {
+                        d: 0,
+                        b: Builtin::Rand,
+                        args: 0,
+                        nargs: 0,
+                    },
+                    I::Ret { s: 0 },
+                ],
+            ),
+        );
+        let outer = ctx.declare("kern");
+        ctx.define(
+            outer,
+            compiled(
+                "kern",
+                FuncTy {
+                    params: vec![Ty::I64],
+                    ret: Ty::Unit,
+                },
+                2,
+                vec![
+                    I::Call {
+                        d: 1,
+                        f: inner,
+                        args: 1,
+                        nargs: 0,
+                    },
+                    I::Ret { s: NO_REG },
+                ],
+            ),
+        );
+        let err = run_parallelfor(&mut ctx, outer, 0, 4, &[]).unwrap_err();
+        assert!(matches!(err, Trap::Parallel(ref m) if m.contains("rand")));
+    }
+
+    #[test]
+    fn trap_reports_lowest_chunk_and_all_chunks_complete() {
+        // kernel(i, base): traps (div by zero) when i == 17 or i == 900;
+        // otherwise writes 1.0 to base[i].
+        let build = |threads: usize| {
+            let mut ctx = ExecutionContext::new();
+            ctx.set_threads(threads);
+            let id = ctx.declare("trapper");
+            ctx.define(
+                id,
+                compiled(
+                    "trapper",
+                    FuncTy {
+                        params: vec![Ty::I64, Ty::F64.ptr_to()],
+                        ret: Ty::Unit,
+                    },
+                    10,
+                    vec![
+                        // r2 = (i == 17), r3 = (i == 900)
+                        I::ConstI { d: 4, v: 17 },
+                        I::CmpEqI { d: 2, a: 0, b: 4 },
+                        I::ConstI { d: 4, v: 900 },
+                        I::CmpEqI { d: 3, a: 0, b: 4 },
+                        I::Or { d: 2, a: 2, b: 3 },
+                        I::BrFalse { c: 2, target: 8 },
+                        I::ConstI { d: 5, v: 0 },
+                        I::DivS { d: 5, a: 0, b: 5 }, // trap
+                        // base[i] = 1.0
+                        I::ConstF64 { d: 6, v: 1.0 },
+                        I::Lea {
+                            d: 7,
+                            a: 1,
+                            b: 0,
+                            scale: 8,
+                            disp: 0,
+                        },
+                        I::StoreF64 { a: 7, s: 6 },
+                        I::Ret { s: NO_REG },
+                    ],
+                ),
+            );
+            let base = ctx.memory.malloc(8 * 1000);
+            ctx.memory.fill(base, 0, 8 * 1000).unwrap();
+            let r = run_parallelfor(&mut ctx, id, 0, 1000, &[[base, 0, 0, 0]]);
+            let heap: Vec<u64> = (0..1000)
+                .map(|i| ctx.memory.load_u64(base + 8 * i).unwrap())
+                .collect();
+            (r, heap)
+        };
+        let (r1, h1) = build(1);
+        let (r4, h4) = build(4);
+        assert_eq!(r1, r4, "trap must be thread-count independent");
+        assert!(matches!(r1, Err(Trap::DivByZero)));
+        assert_eq!(h1, h4, "heap state must be thread-count independent");
+        // Iterations after the trapping one in the same chunk did not run;
+        // all other chunks completed.
+        assert_eq!(h1[16], 1.0f64.to_bits());
+        assert_eq!(h1[17], 0);
+        assert_eq!(h1[999], 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn profile_is_byte_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut ctx = ExecutionContext::new();
+            ctx.set_threads(threads);
+            ctx.set_profile(true);
+            ctx.set_sample_interval(7);
+            let id = square_kernel(&mut ctx);
+            let base = ctx.memory.malloc(8 * 500);
+            run_parallelfor(&mut ctx, id, 0, 500, &[[base, 0, 0, 0]]).unwrap();
+            ctx.profile()
+        };
+        let p1 = run(1);
+        for threads in [2, 4, 8] {
+            let p = run(threads);
+            assert_eq!(p1.ops, p.ops, "opcode counters at {threads} threads");
+            assert_eq!(p1.funcs, p.funcs, "function counters at {threads} threads");
+            assert_eq!(p1.mem, p.mem, "memory counters at {threads} threads");
+            assert_eq!(p1.cache, p.cache, "cache stats at {threads} threads");
+            assert_eq!(
+                p1.cache_lines, p.cache_lines,
+                "cache line table at {threads} threads"
+            );
+            assert_eq!(p1.samples, p.samples, "samples at {threads} threads");
+        }
+        // Sanity: the loop actually counted something.
+        assert_eq!(p1.func("square").map(|f| f.counters.calls), Some(500));
+        assert!(p1.mem.stores[3] >= 500);
+    }
+
+    #[test]
+    fn shard_merge_is_independent_of_worker_interleaving() {
+        // Two workers execute their chunks in opposite temporal orders; the
+        // merge happens in chunk order either way, so every profile section
+        // must come out byte-identical.
+        let run_interleaved = |reverse: bool| {
+            let mut ctx = ExecutionContext::new();
+            ctx.set_profile(true);
+            let id = square_kernel(&mut ctx);
+            let base = ctx.memory.malloc(8 * 64);
+            let kernel = ctx.program().function(id).cloned().unwrap();
+            let (lo, hi) = ctx.memory.parallel_stack_span();
+            let per = ((hi - lo) / 2) & !15;
+            let mut w0 = ctx.worker(lo, lo + per);
+            let mut w1 = ctx.worker(lo + per, lo + 2 * per);
+            let extra = [[base, 0, 0, 0]];
+            if reverse {
+                assert!(run_chunk(&mut w1, &kernel, 32, 64, &extra).is_none());
+                assert!(run_chunk(&mut w0, &kernel, 0, 32, &extra).is_none());
+            } else {
+                assert!(run_chunk(&mut w0, &kernel, 0, 32, &extra).is_none());
+                assert!(run_chunk(&mut w1, &kernel, 32, 64, &extra).is_none());
+            }
+            ctx.absorb_worker(&mut w0);
+            ctx.absorb_worker(&mut w1);
+            ctx.profile()
+        };
+        let fwd = run_interleaved(false);
+        let rev = run_interleaved(true);
+        assert_eq!(fwd.ops, rev.ops, "opcode counters");
+        assert_eq!(fwd.funcs, rev.funcs, "function counters");
+        assert_eq!(fwd.mem, rev.mem, "memory counters");
+        assert_eq!(fwd.cache, rev.cache, "cache stats");
+        assert_eq!(fwd.cache_lines, rev.cache_lines, "cache line table");
+        // Merged totals equal a plain sequential run of the same 64
+        // iterations (cache stats aside: this hand-carved 2-chunk split
+        // places worker stack windows differently from the standard
+        // schedule, so simulated addresses differ).
+        let mut seq = ExecutionContext::new();
+        seq.set_profile(true);
+        let id = square_kernel(&mut seq);
+        let base = seq.memory.malloc(8 * 64);
+        run_parallelfor(&mut seq, id, 0, 64, &[[base, 0, 0, 0]]).unwrap();
+        let sp = seq.profile();
+        assert_eq!(fwd.ops, sp.ops, "opcode totals vs sequential");
+        assert_eq!(fwd.funcs, sp.funcs, "function totals vs sequential");
+        assert_eq!(fwd.mem, sp.mem, "memory totals vs sequential");
+    }
+
+    #[test]
+    fn frame_addresses_are_thread_count_independent() {
+        // kernel(i, base): base[i] = FrameAddr(0) — leaks the worker stack
+        // address of a frame slot, the most scheduling-sensitive value.
+        let run = |threads: usize| {
+            let mut ctx = ExecutionContext::new();
+            ctx.set_threads(threads);
+            let id = ctx.declare("leak");
+            ctx.define(
+                id,
+                CompiledFunction {
+                    name: "leak".into(),
+                    ty: FuncTy {
+                        params: vec![Ty::I64, Ty::I64.ptr_to()],
+                        ret: Ty::Unit,
+                    },
+                    nregs: 4,
+                    frame_size: 32,
+                    code: vec![
+                        I::FrameAddr { d: 2, offset: 0 },
+                        I::Lea {
+                            d: 3,
+                            a: 1,
+                            b: 0,
+                            scale: 8,
+                            disp: 0,
+                        },
+                        I::Store64 { a: 3, s: 2 },
+                        I::Ret { s: NO_REG },
+                    ],
+                    lines: Vec::new(),
+                    provs: Vec::new(),
+                    prov_table: Vec::new(),
+                    nochk: Vec::new(),
+                },
+            );
+            let base = ctx.memory.malloc(8 * 64);
+            run_parallelfor(&mut ctx, id, 0, 64, &[[base, 0, 0, 0]]).unwrap();
+            (0..64)
+                .map(|i| ctx.memory.load_u64(base + 8 * i).unwrap())
+                .collect::<Vec<_>>()
+        };
+        let a1 = run(1);
+        let a4 = run(4);
+        let a8 = run(8);
+        assert_eq!(a1, a4);
+        assert_eq!(a1, a8);
+    }
+
+    #[test]
+    fn sequential_context_still_works_after_parallel_region() {
+        let mut ctx = ExecutionContext::new();
+        ctx.set_threads(4);
+        let id = square_kernel(&mut ctx);
+        let base = ctx.memory.malloc(8 * 100);
+        run_parallelfor(&mut ctx, id, 0, 100, &[[base, 0, 0, 0]]).unwrap();
+        // The parent can still malloc, call, and push frames.
+        let p = ctx.memory.malloc(64);
+        assert_ne!(p, 0);
+        let r = ctx.call(id, &[Value::Int(5), Value::Ptr(base)]).unwrap();
+        assert_eq!(r, Value::Unit);
+        assert_eq!(ctx.memory.load_f64(base + 40).unwrap(), 25.0);
+    }
+}

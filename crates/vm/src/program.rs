@@ -1,15 +1,23 @@
-//! A linked Terra program: function table, globals, and linear memory.
+//! The immutable compiled program: a function table shared by contexts.
 //!
 //! The function table realizes the formal semantics' Terra function store
 //! `F`: ids are allocated at *declaration* time (so mutually recursive
 //! functions can reference each other) and filled in by *definition*.
 //! Definition is write-once — the paper's monotonicity guarantee.
+//!
+//! A `Program` holds **no run state**: no memory, no output, no counters.
+//! It is the read-only half of the VM's split — one `Arc<Program>` can be
+//! shared by any number of [`ExecutionContext`](crate::ExecutionContext)s,
+//! including `parallelfor` workers on other threads. Everything mutable
+//! (registers, call stack, heap, profile counters, trap state) lives in the
+//! context. Staging mutates the program through `Arc::make_mut`, which is
+//! cheap while the meta-program is the sole owner and impossible to race:
+//! parallel regions hold their own clones of the `Arc` for their whole
+//! lifetime, so a concurrent definition would copy-on-write rather than
+//! mutate shared storage.
 
 use crate::bytecode::{encode_func_ptr, CompiledFunction};
-use crate::memory::Memory;
-use std::collections::HashMap;
-use std::rc::Rc;
-use std::time::Instant;
+use std::sync::Arc;
 use terra_ir::FuncId;
 
 /// A scalar value crossing the Lua↔Terra FFI boundary.
@@ -69,91 +77,29 @@ pub enum OutputSink {
     /// Forward to the process stdout.
     #[default]
     Stdout,
-    /// Capture into a buffer (used by tests and the REPL).
+    /// Capture into a buffer (used by tests, the REPL, and `parallelfor`
+    /// workers, whose captures are re-emitted in chunk order).
     Capture(String),
 }
 
-/// A linked Terra program, owning compiled functions, globals, and memory.
-#[derive(Debug)]
+/// The immutable half of the VM: declared names and compiled bodies.
+///
+/// Cloning is shallow — function bodies are behind `Arc`s — which is what
+/// makes `Arc::make_mut` staging updates cheap.
+#[derive(Debug, Clone, Default)]
 pub struct Program {
-    funcs: Vec<Option<Rc<CompiledFunction>>>,
-    names: Vec<Rc<str>>,
-    /// The Terra address space.
-    pub memory: Memory,
-    strings: HashMap<Rc<str>, u64>,
-    /// printf destination.
-    pub output: OutputSink,
-    /// State of the deterministic `rand()` generator (public so hosts can
-    /// seed reproducible workloads).
-    pub rng_state: u64,
-    /// Start instant for `clock()`.
-    pub epoch: Instant,
-    /// Observability sink: staging timeline spans and VM opcode/function
-    /// counters land here. Shared between the staging pipeline (which
-    /// records spans through it) and the VM (which ticks counters); off by
-    /// default.
-    pub trace: terra_trace::Tracer,
-}
-
-impl Default for Program {
-    fn default() -> Self {
-        Self::new()
-    }
+    funcs: Vec<Option<Arc<CompiledFunction>>>,
+    names: Vec<Arc<str>>,
 }
 
 impl Program {
-    /// Creates an empty program with default-sized memory.
+    /// Creates an empty program.
     pub fn new() -> Self {
-        Program {
-            funcs: Vec::new(),
-            names: Vec::new(),
-            memory: Memory::default(),
-            strings: HashMap::new(),
-            output: OutputSink::Stdout,
-            rng_state: 0x9E3779B97F4A7C15,
-            epoch: Instant::now(),
-            trace: terra_trace::Tracer::new(),
-        }
-    }
-
-    /// Turns profiling on or off for both the tracer and the memory-system
-    /// counters. Accumulated data is kept; use [`Program::reset_profile`]
-    /// to clear it.
-    pub fn set_profile(&mut self, on: bool) {
-        self.trace.set_enabled(on);
-        self.memory.set_profile(on);
-    }
-
-    /// Clears all collected profile data (timeline, opcode/function
-    /// counters, memory counters, cache simulator) without changing the
-    /// on/off gate.
-    pub fn reset_profile(&mut self) {
-        self.trace.reset();
-        self.memory.counters().reset();
-        self.memory.reset_cache();
-        self.memory.reset_heap();
-    }
-
-    /// Sets the sampling profiler's interval in retired instructions
-    /// (0 = sampling off). Independent of the exact-profiling gate: the
-    /// sampler maintains only the activation stack plus a countdown, so it
-    /// stays cheap enough to leave always-on.
-    pub fn set_sample_interval(&mut self, interval: u64) {
-        self.trace.set_sample_interval(interval);
-    }
-
-    /// Freezes the current profile (timeline + VM + memory + cache + heap
-    /// counters and collected samples).
-    pub fn profile(&self) -> terra_trace::Profile {
-        let mut p = self.trace.snapshot(self.memory.counters().snapshot());
-        p.cache = self.memory.cache_stats();
-        p.cache_lines = self.memory.cache_line_stats();
-        p.heap = self.memory.heap_stats();
-        p
+        Program::default()
     }
 
     /// Reserves a function id (the semantics' `tdecl`).
-    pub fn declare(&mut self, name: impl Into<Rc<str>>) -> FuncId {
+    pub fn declare(&mut self, name: impl Into<Arc<str>>) -> FuncId {
         let id = FuncId(self.funcs.len() as u32);
         self.funcs.push(None);
         self.names.push(name.into());
@@ -173,11 +119,11 @@ impl Program {
             "function '{}' is already defined",
             self.names[id.0 as usize]
         );
-        *slot = Some(Rc::new(f));
+        *slot = Some(Arc::new(f));
     }
 
     /// Looks up a defined function.
-    pub fn function(&self, id: FuncId) -> Option<&Rc<CompiledFunction>> {
+    pub fn function(&self, id: FuncId) -> Option<&Arc<CompiledFunction>> {
         self.funcs.get(id.0 as usize).and_then(|f| f.as_ref())
     }
 
@@ -202,46 +148,6 @@ impl Program {
     /// Whether no functions have been declared.
     pub fn is_empty(&self) -> bool {
         self.funcs.is_empty()
-    }
-
-    /// Interns a string constant into program memory, returning its address
-    /// (NUL-terminated; repeated interning returns the same address).
-    pub fn intern_string(&mut self, s: &str) -> u64 {
-        if let Some(&addr) = self.strings.get(s) {
-            return addr;
-        }
-        let addr = self.memory.malloc(s.len() as u64 + 1);
-        self.memory
-            .write_bytes(addr, s.as_bytes())
-            .expect("fresh allocation is writable");
-        self.memory
-            .store_u8(addr + s.len() as u64, 0)
-            .expect("fresh allocation is writable");
-        self.strings.insert(Rc::from(s), addr);
-        addr
-    }
-
-    /// Allocates a zero-initialized global cell of `size` bytes, returning
-    /// its address.
-    pub fn alloc_global(&mut self, size: u64, init: Option<&[u8]>) -> u64 {
-        let addr = self.memory.malloc(size.max(1));
-        self.memory
-            .fill(addr, 0, size.max(1))
-            .expect("fresh allocation is writable");
-        if let Some(bytes) = init {
-            self.memory
-                .write_bytes(addr, bytes)
-                .expect("fresh allocation is writable");
-        }
-        addr
-    }
-
-    /// Takes captured printf output, if capturing.
-    pub fn take_output(&mut self) -> String {
-        match &mut self.output {
-            OutputSink::Capture(buf) => std::mem::take(buf),
-            OutputSink::Stdout => String::new(),
-        }
     }
 }
 
@@ -289,14 +195,15 @@ mod tests {
     }
 
     #[test]
-    fn string_interning_dedupes() {
+    fn clone_is_shallow() {
         let mut p = Program::new();
-        let a = p.intern_string("hello");
-        let b = p.intern_string("hello");
-        let c = p.intern_string("world");
-        assert_eq!(a, b);
-        assert_ne!(a, c);
-        assert_eq!(p.memory.c_string(a).unwrap(), "hello");
+        let id = p.declare("f");
+        p.define(id, dummy("f"));
+        let q = p.clone();
+        assert!(Arc::ptr_eq(
+            p.function(id).unwrap(),
+            q.function(id).unwrap()
+        ));
     }
 
     #[test]

@@ -6,15 +6,15 @@ use terra_ir::{
     BinKind, Builtin, Callee, CmpKind, ExprKind, FuncTy, IrExpr, IrFunction, StmtKind, Ty,
     TypeRegistry,
 };
-use terra_vm::{compile, Program, Value, Vm};
+use terra_vm::{compile, ExecutionContext, Value};
 
 fn run(f: IrFunction, args: &[Value]) -> Value {
-    let mut prog = Program::new();
+    let mut ctx = ExecutionContext::new();
     let types = TypeRegistry::new();
-    let id = prog.declare(f.name.clone());
-    let compiled = compile(&f, &types, &mut prog, &[]);
-    prog.define(id, compiled);
-    Vm::new().call(&mut prog, id, args).unwrap()
+    let id = ctx.declare(f.name.clone());
+    let compiled = compile(&f, &types, &mut ctx, &[]);
+    ctx.define(id, compiled);
+    ctx.call(id, args).unwrap()
 }
 
 fn i64e(v: i64) -> IrExpr {
@@ -313,10 +313,10 @@ fn no_trailing_ret_when_all_paths_return() {
         else_body: vec![StmtKind::Return(Some(i64e(2))).into()],
     }
     .into()];
-    let mut prog = Program::new();
+    let mut ctx = ExecutionContext::new();
     let types = TypeRegistry::new();
-    let id = prog.declare(f.name.clone());
-    let compiled = compile(&f, &types, &mut prog, &[]);
+    let id = ctx.declare(f.name.clone());
+    let compiled = compile(&f, &types, &mut ctx, &[]);
     let rets = compiled
         .code
         .iter()
@@ -330,15 +330,9 @@ fn no_trailing_ret_when_all_paths_return() {
         .filter(|i| matches!(i, terra_vm::Instr::Jmp { .. }))
         .count();
     assert_eq!(jmps, 0, "no jump over the else arm: {:?}", compiled.code);
-    prog.define(id, compiled);
-    assert_eq!(
-        Vm::new().call(&mut prog, id, &[Value::Int(5)]).unwrap(),
-        Value::Int(1)
-    );
-    assert_eq!(
-        Vm::new().call(&mut prog, id, &[Value::Int(-5)]).unwrap(),
-        Value::Int(2)
-    );
+    ctx.define(id, compiled);
+    assert_eq!(ctx.call(id, &[Value::Int(5)]).unwrap(), Value::Int(1));
+    assert_eq!(ctx.call(id, &[Value::Int(-5)]).unwrap(), Value::Int(2));
 }
 
 #[test]
@@ -384,10 +378,10 @@ fn lea_fuses_shifted_index() {
         IrExpr::binary(BinKind::Shl, IrExpr::local(i, Ty::I64), i64e(3)),
     )))
     .into()];
-    let mut prog = Program::new();
+    let mut ctx = ExecutionContext::new();
     let types = TypeRegistry::new();
-    let id = prog.declare(f.name.clone());
-    let compiled = compile(&f, &types, &mut prog, &[]);
+    let id = ctx.declare(f.name.clone());
+    let compiled = compile(&f, &types, &mut ctx, &[]);
     assert!(
         compiled
             .code
@@ -396,11 +390,9 @@ fn lea_fuses_shifted_index() {
         "i << 3 must fuse as scale 8: {:?}",
         compiled.code
     );
-    prog.define(id, compiled);
+    ctx.define(id, compiled);
     assert_eq!(
-        Vm::new()
-            .call(&mut prog, id, &[Value::Int(1000), Value::Int(5)])
-            .unwrap(),
+        ctx.call(id, &[Value::Int(1000), Value::Int(5)]).unwrap(),
         Value::Int(1040)
     );
 }

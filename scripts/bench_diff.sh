@@ -4,6 +4,9 @@
 #
 #   - keys matching rate/reduction   absolute drift <= 0.02  (rates live in [0,1])
 #   - keys matching pct              absolute drift <= 2     (percentages, 0-100)
+#   - ms / speedup / host_cores      skipped (wall-clock and machine-dependent;
+#                                    BENCH_parallel.json has its own schema and
+#                                    scaling gates in check.sh)
 #   - everything else                relative drift <= 5%    (deterministic counts)
 #
 # The two files must expose the same metric sequence — a schema change (new
@@ -47,6 +50,7 @@ paste -d' ' <(printf '%s\n' "$base_pairs") <(printf '%s\n' "$fresh_pairs") \
     | awk -v name="$name" '
 {
     key = $1; old = $2 + 0; cur = $4 + 0
+    if (key == "ms" || key == "speedup" || key == "host_cores") next
     delta = cur - old; if (delta < 0) delta = -delta
     if (key ~ /pct/) {
         if (delta > 2) {

@@ -61,6 +61,31 @@ for script in examples/*.t; do
     fi
 done
 
+echo "==> thread differential (--threads=1 vs --threads=4 stdout must match)"
+# The parallelfor chunk schedule is a function of the iteration count alone,
+# so program output must be independent of the worker-thread count.
+for script in examples/*.t; do
+    seq_out="$(./target/release/terra --threads=1 "$script")"
+    par_out="$(./target/release/terra --threads=4 "$script")"
+    if [ "$seq_out" != "$par_out" ]; then
+        echo "thread differential: $script output differs between --threads=1 and --threads=4" >&2
+        diff <(printf '%s\n' "$seq_out") <(printf '%s\n' "$par_out") >&2 || true
+        exit 1
+    fi
+done
+# The deterministic profile sections (opcode/function/memory/cache counters,
+# samples) must also be thread-count invariant; only the wall-clock staging
+# timeline above the opcode table may differ.
+prof_sections() {
+    ./target/release/terra --profile --threads="$1" examples/parfill.t 2>&1 \
+        | sed -n '/== opcode counters ==/,$p'
+}
+if [ "$(prof_sections 1)" != "$(prof_sections 4)" ]; then
+    echo "thread differential: deterministic profile sections differ with --threads=4" >&2
+    diff <(prof_sections 1) <(prof_sections 4) >&2 || true
+    exit 1
+fi
+
 echo "==> remarks smoke (terra --remarks / --remarks-out)"
 remarks_json="$(mktemp)"
 remarks_json2="$(mktemp)"
@@ -96,6 +121,9 @@ cargo run --release --example perfprobe --quiet
 grep -q '"kernels"' BENCH_opt.json \
     || { echo "perfprobe: BENCH_opt.json is missing kernel entries" >&2; exit 1; }
 
+echo "==> parbench (writes BENCH_parallel.json with 1/2/4/8-thread scaling curves)"
+cargo run --release --example parbench --quiet > /dev/null
+
 echo "==> bench diff (fresh BENCH_*.json vs committed baselines, per-metric tolerances)"
 for fresh in BENCH_*.json; do
     ./scripts/bench_diff.sh "$bench_snap/$fresh" "$fresh" "$fresh"
@@ -107,6 +135,9 @@ trap 'rm -f "$trace_json" "$trace_folded" "$remarks_json" "$remarks_json2"; \
      rm -rf "$bench_snap" "$bench_rerun"' EXIT
 (cd "$bench_rerun" && "$OLDPWD/target/release/examples/perfprobe" > /dev/null)
 for fresh in BENCH_*.json; do
+    # BENCH_parallel.json records wall-clock scaling curves: machine-dependent
+    # by design, validated by schema + speedup gates below instead.
+    [ "$fresh" = "BENCH_parallel.json" ] && continue
     cmp -s "$fresh" "$bench_rerun/$fresh" \
         || { echo "bench stability: $fresh differs between two runs" >&2; exit 1; }
 done
@@ -147,6 +178,30 @@ for key in pass applied missed; do
 done
 grep -qE '"applied": [1-9]' BENCH_remarks.json \
     || { echo "BENCH_remarks: no pass reported an applied remark" >&2; exit 1; }
+
+echo "==> BENCH_parallel.json schema (kernels, thread curve, determinism, speedup gate)"
+grep -q '"host_cores"' BENCH_parallel.json \
+    || { echo "BENCH_parallel: missing host_cores key" >&2; exit 1; }
+for kernel in gemm_parallel_96 stencil_parallel_256; do
+    grep -q "\"name\": \"$kernel\"" BENCH_parallel.json \
+        || { echo "BENCH_parallel: missing kernel $kernel" >&2; exit 1; }
+done
+for threads in 1 2 4 8; do
+    grep -q "\"threads\": $threads" BENCH_parallel.json \
+        || { echo "BENCH_parallel: missing run at $threads thread(s)" >&2; exit 1; }
+done
+grep -q '"deterministic": 0' BENCH_parallel.json \
+    && { echo "BENCH_parallel: a kernel reported thread-dependent results" >&2; exit 1; }
+# Scaling gate: on hosts with >= 4 cores the 4-thread GEMM must be at least
+# 2x the sequential fallback. Single-core CI boxes can only validate
+# correctness, not speedup, so the gate is conditional.
+cores="$(sed -n 's/.*"host_cores": \([0-9]*\).*/\1/p' BENCH_parallel.json)"
+if [ "${cores:-1}" -ge 4 ]; then
+    gemm4="$(sed -n 's/.*"name": "gemm_parallel_96".*"threads": 4, "ms": [0-9.]*, "speedup": \([0-9.]*\).*/\1/p' \
+        BENCH_parallel.json)"
+    awk -v s="${gemm4:-0}" 'BEGIN { exit !(s >= 2.0) }' \
+        || { echo "BENCH_parallel: 4-thread GEMM speedup ${gemm4:-?} below 2x on a ${cores}-core host" >&2; exit 1; }
+fi
 
 echo "==> lint sweep (terra --lint over examples must stay clean)"
 for script in examples/*.t; do

@@ -1,0 +1,134 @@
+//! Offline stand-in for the `rayon` crate (this container has no crates.io
+//! access). Implements the subset of rayon's fork-join API that terra-rs
+//! uses — [`scope`] / [`Scope::spawn`] and [`join`] — directly over
+//! [`std::thread::scope`], so call sites read exactly like real rayon and
+//! can switch to it by swapping the dependency.
+//!
+//! Differences from real rayon, acceptable for this use:
+//! - No global thread pool: every `scope` spawns fresh OS threads. Callers
+//!   here spawn one task per worker thread (coarse-grained chunks), so pool
+//!   reuse would save microseconds per parallel region, not more.
+//! - No work stealing: tasks are not rebalanced between threads. Work
+//!   partitioning is the caller's job (terra-rs uses deterministic static
+//!   chunking anyway, precisely so profiles don't depend on scheduling).
+
+use std::thread;
+
+/// A fork-join scope handed to the [`scope`] closure. Tasks spawned on it
+/// may borrow from the enclosing stack frame and are all joined before
+/// `scope` returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task into the scope. The task runs on its own thread and
+    /// is joined when the scope ends. Panics in tasks propagate out of
+    /// [`scope`], matching rayon.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || {
+            let nested = Scope { inner };
+            f(&nested);
+        });
+    }
+}
+
+/// Creates a fork-join scope: `op` may spawn borrowing tasks on the given
+/// [`Scope`]; all of them complete before `scope` returns.
+pub fn scope<'env, F, R>(op: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        op(&wrapper)
+    })
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("joined task panicked");
+        (ra, rb)
+    })
+}
+
+/// The number of threads the current machine can usefully run — rayon's
+/// `current_num_threads` analogue (here: available parallelism, since there
+/// is no configured pool).
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn scope_tasks_borrow_disjoint_slices() {
+        let mut data = vec![0u64; 64];
+        scope(|s| {
+            for (i, block) in data.chunks_mut(16).enumerate() {
+                s.spawn(move |_| {
+                    for x in block.iter_mut() {
+                        *x = i as u64 + 1;
+                    }
+                });
+            }
+        });
+        assert!(data[..16].iter().all(|&x| x == 1));
+        assert!(data[48..].iter().all(|&x| x == 4));
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
