@@ -1,14 +1,21 @@
 //! Parallel scaling probe: runs the `parallelfor` GEMM and an Orion-style
 //! 3x3 stencil at 1/2/4/8 worker threads and writes `BENCH_parallel.json`
-//! with the wall-clock curve, the speedup over the sequential fallback, and
-//! a determinism bit (result buffers must be bit-identical at every thread
-//! count — the chunk schedule is a function of the iteration count alone).
+//! with the wall-clock curve, the speedup over the sequential fallback, a
+//! determinism bit (result buffers must be bit-identical at every thread
+//! count — the chunk schedule is a function of the iteration count alone),
+//! and the parallel-telemetry verdict per thread count: the load-imbalance
+//! factor (max/mean chunk instructions) and the static-schedule efficiency
+//! (total instructions over threads x max per-worker instructions), taken
+//! from a separate profiled invocation so the timed runs stay unprofiled.
+//! Those two fields explain *why* a scaling curve flattens, not just that
+//! it does.
 //!
 //! Unlike the other BENCH files this one records *wall-clock* numbers, so it
 //! is machine-dependent and not byte-reproducible; `scripts/check.sh`
-//! validates its schema and (on hosts with >= 4 cores) the GEMM speedup
-//! gate, while `scripts/bench_diff.sh` skips `ms`/`speedup` keys when
-//! diffing against the committed baseline.
+//! validates its schema (including `imbalance`/`efficiency`) and (on hosts
+//! with >= 4 cores) the GEMM speedup gate, while `scripts/bench_diff.sh`
+//! skips `ms`/`speedup` keys and allows a small absolute drift on
+//! `imbalance`/`efficiency` when diffing against the committed baseline.
 use std::fmt::Write as _;
 use std::time::Instant;
 use terra_core::{Terra, Value};
@@ -122,6 +129,75 @@ fn stencil_run(threads: usize, w: usize, h: usize, reps: usize) -> (f64, Vec<u64
     )
 }
 
+/// Runs one profiled invocation of `src`'s function `fname` at `threads`
+/// workers and returns the first parallel site's `(imbalance, efficiency)`.
+/// Both figures are instruction-count ratios, so they are deterministic at a
+/// fixed thread count (efficiency depends on the worker block assignment and
+/// therefore on `threads` — which is the point).
+fn par_metrics(
+    src: &str,
+    fname: &str,
+    threads: usize,
+    run: impl FnOnce(&mut Terra, &terra_core::TerraFn),
+) -> (f64, f64) {
+    let mut t = Terra::new();
+    t.set_threads(threads);
+    t.set_profile(true);
+    t.exec(src).unwrap();
+    let f = t.function(fname).unwrap();
+    run(&mut t, &f);
+    let stats = t.parallel_stats();
+    let site = stats
+        .sites
+        .first()
+        .expect("profiled parallel run records a site");
+    (site.imbalance(), site.efficiency())
+}
+
+fn gemm_metrics(threads: usize, n: usize) -> (f64, f64) {
+    par_metrics(PGEMM_SRC, "pgemm", threads, |t, f| {
+        let bytes = (n * n * 8) as u64;
+        let (a, b, c) = (t.malloc(bytes), t.malloc(bytes), t.malloc(bytes));
+        t.write_f64s(a, &(0..n * n).map(|i| (i % 7) as f64).collect::<Vec<_>>());
+        t.write_f64s(
+            b,
+            &(0..n * n).map(|i| (i % 5) as f64 * 0.5).collect::<Vec<_>>(),
+        );
+        t.invoke(
+            f,
+            &[
+                Value::Ptr(a),
+                Value::Ptr(b),
+                Value::Ptr(c),
+                Value::Int(n as i64),
+            ],
+        )
+        .unwrap();
+    })
+}
+
+fn stencil_metrics(threads: usize, w: usize, h: usize) -> (f64, f64) {
+    par_metrics(PSTENCIL_SRC, "pblur", threads, |t, f| {
+        let bytes = (w * h * 8) as u64;
+        let (src, dst) = (t.malloc(bytes), t.malloc(bytes));
+        t.write_f64s(
+            src,
+            &(0..w * h).map(|i| (i % 11) as f64).collect::<Vec<_>>(),
+        );
+        t.write_f64s(dst, &vec![0.0; w * h]);
+        t.invoke(
+            f,
+            &[
+                Value::Ptr(src),
+                Value::Ptr(dst),
+                Value::Int(w as i64),
+                Value::Int(h as i64),
+            ],
+        )
+        .unwrap();
+    })
+}
+
 fn main() {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -135,19 +211,25 @@ fn main() {
         "{{\n  \"host_cores\": {host_cores},\n  \"kernels\": ["
     );
 
-    type Kernel<'a> = (&'a str, Box<dyn Fn(usize) -> (f64, Vec<u64>)>);
+    type Kernel<'a> = (
+        &'a str,
+        Box<dyn Fn(usize) -> (f64, Vec<u64>)>,
+        Box<dyn Fn(usize) -> (f64, f64)>,
+    );
     let kernels: Vec<Kernel> = vec![
         (
             "gemm_parallel_96",
             Box::new(move |threads| gemm_run(threads, 96, reps)),
+            Box::new(|threads| gemm_metrics(threads, 96)),
         ),
         (
             "stencil_parallel_256",
             Box::new(move |threads| stencil_run(threads, 256, 256, reps)),
+            Box::new(|threads| stencil_metrics(threads, 256, 256)),
         ),
     ];
-    for (ki, (name, run)) in kernels.iter().enumerate() {
-        let mut curve: Vec<(usize, f64)> = Vec::new();
+    for (ki, (name, run, metrics)) in kernels.iter().enumerate() {
+        let mut curve: Vec<(usize, f64, f64, f64)> = Vec::new();
         let mut reference: Option<Vec<u64>> = None;
         let mut deterministic = true;
         for &threads in &thread_counts {
@@ -156,15 +238,17 @@ fn main() {
                 None => reference = Some(bits),
                 Some(r) => deterministic &= *r == bits,
             }
-            curve.push((threads, ms));
+            let (imbalance, efficiency) = metrics(threads);
+            curve.push((threads, ms, imbalance, efficiency));
         }
         assert!(deterministic, "{name}: results differ across thread counts");
         let base = curve[0].1;
         let runs = curve
             .iter()
-            .map(|(threads, ms)| {
+            .map(|(threads, ms, imbalance, efficiency)| {
                 format!(
-                    "{{\"threads\": {threads}, \"ms\": {ms:.3}, \"speedup\": {:.3}}}",
+                    "{{\"threads\": {threads}, \"ms\": {ms:.3}, \"speedup\": {:.3}, \
+                     \"imbalance\": {imbalance:.3}, \"efficiency\": {efficiency:.3}}}",
                     base / ms
                 )
             })
@@ -175,8 +259,12 @@ fn main() {
             json,
             "    {{\"name\": \"{name}\", \"deterministic\": 1, \"runs\": [{runs}]}}{sep}"
         );
-        for (threads, ms) in &curve {
-            println!("{name}: {threads} thread(s) {ms:.3} ms ({:.2}x)", base / ms);
+        for (threads, ms, imbalance, efficiency) in &curve {
+            println!(
+                "{name}: {threads} thread(s) {ms:.3} ms ({:.2}x)  \
+                 imbalance {imbalance:.3}  efficiency {efficiency:.3}",
+                base / ms
+            );
         }
     }
     json.push_str("  ]\n}\n");

@@ -19,9 +19,10 @@
 //!                     identical at every -O level)
 //!   --sanitize        poison fresh/freed VM memory and trap on use-after-free
 //!   --threads=N       worker threads for `parallelfor` loops (default 1,
-//!                     the sequential fallback; the chunk schedule depends
-//!                     only on the iteration count, so results, traps, and
-//!                     profiles are identical at every N)
+//!                     the sequential fallback; 0 = use the host's available
+//!                     core count; the chunk schedule depends only on the
+//!                     iteration count, so results, traps, and profiles are
+//!                     identical at every N)
 //!   --no-checkelim    keep every memory access bounds-checked at -O2 (by
 //!                     default the abstract interpreter proves accesses
 //!                     in-bounds and the VM elides their runtime checks;
@@ -109,11 +110,11 @@ fn main() {
             _ if first.starts_with("--threads=") => {
                 let spec = &first["--threads=".len()..];
                 match spec.parse::<usize>() {
-                    Ok(n) if n > 0 => t.set_threads(n),
+                    Ok(n) => t.set_threads(n),
                     _ => {
                         eprintln!(
-                            "terra: bad --threads count '{spec}' (expected a positive \
-                             integer, e.g. --threads=4)"
+                            "terra: bad --threads count '{spec}' (expected a non-negative \
+                             integer, e.g. --threads=4; 0 = host core count)"
                         );
                         std::process::exit(1);
                     }
@@ -237,7 +238,8 @@ fn main() {
         Some("-h") | Some("--help") => {
             eprintln!(
                 "usage: terra [-O0|-O1|-O2] [--lint] [--sanitize] [--profile] \
-                 [--heap-profile] [--sample=N] [--trace-out FILE] [--events-out FILE] \
+                 [--heap-profile] [--sample=N] [--threads=N (0 = host cores)] \
+                 [--trace-out FILE] [--events-out FILE] \
                  [--cache SPEC] [--remarks[=pass]] [--remarks-out FILE] \
                  [script.t [args...] | -e 'code']"
             );

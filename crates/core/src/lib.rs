@@ -46,8 +46,8 @@ pub fn span_synthetic() -> terra_syntax::Span {
 pub use terra_ir::{Diagnostic, FuncId, FuncTy, OptLevel, ScalarTy, Severity, Ty};
 pub use terra_trace::{
     CacheConfig, CacheLevelConfig, CacheStats, FuncProfile, HeapSiteStats, HeapStats,
-    HeapTimelinePoint, LineStat, MemStats, Profile, Remark, SampleFuncRank, SampleStats, SpanEvent,
-    Stage,
+    HeapTimelinePoint, LineStat, MemStats, ParChunkStats, ParSiteStats, ParWorkerLoad,
+    ParallelStats, Profile, Remark, SampleFuncRank, SampleStats, SpanEvent, Stage,
 };
 pub use terra_vm::{Trap, Value};
 
@@ -127,8 +127,9 @@ impl Terra {
         self.interp.opt
     }
 
-    /// Sets the worker-thread count for `parallelfor` loops (clamped to at
-    /// least 1; the default is 1, the sequential fallback). The chunk
+    /// Sets the worker-thread count for `parallelfor` loops. The default is
+    /// 1 (the sequential fallback); 0 resolves to the host's available core
+    /// count — the same meaning as `--threads=0` on the CLI. The chunk
     /// schedule depends only on the iteration count, so results, traps, and
     /// profiles are identical at every setting.
     pub fn set_threads(&mut self, threads: usize) {
@@ -200,6 +201,17 @@ impl Terra {
     /// needed) and deterministic across runs.
     pub fn remarks(&self) -> &[Remark] {
         self.interp.ctx.exec.trace.remarks()
+    }
+
+    /// Per-chunk `parallelfor` telemetry collected so far (requires
+    /// profiling, see [`Terra::set_profile`]): one [`ParSiteStats`] per
+    /// `par.for` site with the per-chunk shard counters preserved before
+    /// the thread-invariant merge. Autotuners can rank chunkings by
+    /// [`ParSiteStats::imbalance`] / [`ParSiteStats::efficiency`] instead
+    /// of total cost alone. Everything except the chunks' wall-clock pair
+    /// is bit-identical across runs at a fixed thread count.
+    pub fn parallel_stats(&self) -> &ParallelStats {
+        self.interp.ctx.exec.trace.parallel()
     }
 
     /// Captures `print`/`printf` output instead of writing to stdout.

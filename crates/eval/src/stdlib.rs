@@ -1324,6 +1324,57 @@ fn install_perf(interp: &mut Interp) {
             }),
         );
         tb.set_str(
+            "parallel",
+            native("perf.parallel", |it, _args| {
+                if !it.ctx.exec.trace.enabled() {
+                    return Err(LuaError::msg(
+                        "perf.parallel: profiling not enabled \
+                         (call perf.enable() or run with --profile)",
+                    ));
+                }
+                // One row per par.for site, array-indexed in first-execution
+                // order, carrying the derived imbalance/efficiency metrics so
+                // autotuners can rank chunkings without re-deriving them.
+                let n = |v: u64| LuaValue::Number(v as f64);
+                let program_total = it.ctx.exec.profile().total_instructions();
+                let out = new_table();
+                {
+                    let mut ob = out.borrow_mut();
+                    for (i, s) in it.ctx.exec.trace.parallel().sites.iter().enumerate() {
+                        let row = new_table();
+                        {
+                            let mut rb = row.borrow_mut();
+                            rb.set_str("func", LuaValue::str(s.function.as_str()));
+                            rb.set_str("line", n(s.line as u64));
+                            rb.set_str("provenance", LuaValue::str(s.provenance.as_str()));
+                            rb.set_str("kernel", LuaValue::str(s.kernel.as_str()));
+                            rb.set_str("threads", n(s.threads));
+                            rb.set_str("invocations", n(s.invocations));
+                            rb.set_str("chunks", n(s.chunks.len() as u64));
+                            rb.set_str("iterations", n(s.iterations));
+                            rb.set_str("instructions", n(s.total_instructions()));
+                            let (min, median, max) = s.chunk_instruction_spread();
+                            rb.set_str("min_chunk_instructions", n(min));
+                            rb.set_str("median_chunk_instructions", n(median));
+                            rb.set_str("max_chunk_instructions", n(max));
+                            rb.set_str("imbalance", LuaValue::Number(s.imbalance()));
+                            rb.set_str("efficiency", LuaValue::Number(s.efficiency()));
+                            rb.set_str(
+                                "critical_chunk",
+                                n(s.critical_chunk().map(|c| c.chunk).unwrap_or(0)),
+                            );
+                            rb.set_str(
+                                "serial_fraction",
+                                LuaValue::Number(s.serial_fraction(program_total)),
+                            );
+                        }
+                        ob.set(LuaValue::Number((i + 1) as f64), LuaValue::Table(row));
+                    }
+                }
+                Ok(vec![LuaValue::Table(out)])
+            }),
+        );
+        tb.set_str(
             "remarks",
             native("perf.remarks", |it, args| {
                 // Optional filter: perf.remarks("inline"). Remarks are

@@ -117,6 +117,72 @@ impl Profile {
                 p.live_bytes
             );
         }
+        // Parallel regions render under a second process: one track per
+        // worker (tid = worker index) with a duty slice per chunk, a
+        // thread-name metadata event per worker, and a "parallel
+        // efficiency" counter per site. Chunk slices carry wall-clock, so
+        // this part of the export (like the span timeline) is not
+        // byte-reproducible — the deterministic view is `to_jsonl()`.
+        let mut named_workers: Vec<u64> = Vec::new();
+        for s in &self.parallel.sites {
+            for c in &s.chunks {
+                if !named_workers.contains(&c.worker) {
+                    named_workers.push(c.worker);
+                }
+            }
+        }
+        named_workers.sort_unstable();
+        for w in &named_workers {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":{w},\
+                 \"args\":{{\"name\":\"worker {w}\"}}}}"
+            );
+        }
+        for s in &self.parallel.sites {
+            for c in &s.chunks {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{} chunk {} iters {}..{}\",\"cat\":\"parallel\",\"ph\":\"X\",\
+                     \"ts\":{},\"dur\":{},\"pid\":2,\"tid\":{},\
+                     \"args\":{{\"instructions\":{},\"loads\":{},\"stores\":{},\
+                     \"l1_misses\":{}}}}}",
+                    escape(&s.kernel),
+                    c.chunk,
+                    c.start,
+                    c.end,
+                    c.start_us,
+                    c.dur_us.max(1),
+                    c.worker,
+                    c.instructions,
+                    c.loads,
+                    c.stores,
+                    c.l1_misses
+                );
+            }
+            if !s.chunks.is_empty() {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let site_ts = s.chunks.iter().map(|c| c.start_us).min().unwrap_or(0);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"parallel efficiency\",\"ph\":\"C\",\"ts\":{site_ts},\
+                     \"pid\":2,\"tid\":0,\"args\":{{\"{}\":{:.4}}}}}",
+                    escape(&s.kernel),
+                    s.efficiency()
+                );
+            }
+        }
         out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{");
         let _ = write!(
             out,
@@ -296,6 +362,76 @@ mod tests {
         // Escaped output must not leave raw control bytes or lone quotes
         // inside string literals: the whole thing stays balanced.
         assert!(!j.contains('\u{1}'), "raw control byte leaked: {j:?}");
+        let open = j.matches(['{', '[']).count();
+        let close = j.matches(['}', ']']).count();
+        assert_eq!(open, close, "unbalanced brackets in {j}");
+    }
+
+    #[test]
+    fn parallel_sites_emit_worker_tracks_and_efficiency_counter() {
+        let mut p = Profile {
+            events: vec![SpanEvent {
+                stage: Stage::Execute,
+                name: "run".into(),
+                start_us: 0,
+                dur_us: 50,
+            }],
+            ..Profile::default()
+        };
+        let mut stats = crate::ParallelStats::default();
+        stats.record(
+            "run",
+            4,
+            "",
+            "run$par0",
+            2,
+            8,
+            vec![
+                crate::ParChunkStats {
+                    chunk: 0,
+                    start: 0,
+                    end: 4,
+                    worker: 0,
+                    instructions: 30,
+                    loads: 10,
+                    stores: 5,
+                    l1_misses: 2,
+                    l2_misses: 1,
+                    start_us: 3,
+                    dur_us: 9,
+                },
+                crate::ParChunkStats {
+                    chunk: 1,
+                    start: 4,
+                    end: 8,
+                    worker: 1,
+                    instructions: 10,
+                    loads: 4,
+                    stores: 2,
+                    l1_misses: 1,
+                    l2_misses: 0,
+                    start_us: 4,
+                    dur_us: 0,
+                },
+            ],
+        );
+        p.parallel = stats;
+        let j = p.to_chrome_json();
+        // One named track per worker under the parallel pseudo-process.
+        assert!(j.contains("\"ph\":\"M\""), "{j}");
+        assert!(j.contains("\"name\":\"worker 0\""), "{j}");
+        assert!(j.contains("\"name\":\"worker 1\""), "{j}");
+        // Duty slices land on their worker's track with the chunk range.
+        assert!(
+            j.contains("\"name\":\"run$par0 chunk 0 iters 0..4\""),
+            "{j}"
+        );
+        assert!(j.contains("\"pid\":2,\"tid\":1"), "{j}");
+        // Zero-duration chunks are widened to 1 µs so they stay visible.
+        assert!(j.contains("\"dur\":1"), "{j}");
+        // The efficiency counter track carries the per-site figure.
+        assert!(j.contains("\"name\":\"parallel efficiency\""), "{j}");
+        assert!(j.contains("\"run$par0\":0.6667"), "{j}");
         let open = j.matches(['{', '[']).count();
         let close = j.matches(['}', ']']).count();
         assert_eq!(open, close, "unbalanced brackets in {j}");

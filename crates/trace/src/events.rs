@@ -23,6 +23,15 @@
 //! | `heap_timeline` | `seq`, `live_bytes` |
 //! | `leak`          | `func`, `line`, `provenance`, `count`, `bytes` |
 //! | `sample`        | `stack` (`"outer;inner"`), `count` |
+//! | `par_site`      | `site`, `function`, `line`, `provenance`, `kernel`, `threads`, `invocations`, `chunks`, `iterations`, `instructions`, `min`, `median`, `max`, `imbalance`, `efficiency`, `critical_chunk` |
+//! | `par_chunk`     | `site`, `chunk`, `start`, `end`, `worker`, `instructions`, `loads`, `stores`, `l1_misses`, `l2_misses` |
+//! | `par_worker`    | `site`, `worker`, `chunks`, `instructions` |
+//!
+//! The `par_*` records preserve the per-chunk `parallelfor` shards (see
+//! `ParallelStats`): `site` is the index of the owning `par_site` record,
+//! floats (`imbalance`, `efficiency`) are formatted with four fixed
+//! decimals, and — like every other record — no wall-clock field appears,
+//! so the stream stays byte-stable across runs at a fixed thread count.
 
 use crate::chrome::escape;
 use crate::Profile;
@@ -163,6 +172,58 @@ impl Profile {
                 n
             );
         }
+        for (si, s) in self.parallel.sites.iter().enumerate() {
+            let (min, median, max) = s.chunk_instruction_spread();
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"par_site\",\"site\":{},\"function\":\"{}\",\"line\":{},\
+                 \"provenance\":\"{}\",\"kernel\":\"{}\",\"threads\":{},\"invocations\":{},\
+                 \"chunks\":{},\"iterations\":{},\"instructions\":{},\"min\":{},\"median\":{},\
+                 \"max\":{},\"imbalance\":{:.4},\"efficiency\":{:.4},\"critical_chunk\":{}}}",
+                si,
+                escape(&s.function),
+                s.line,
+                escape(&s.provenance),
+                escape(&s.kernel),
+                s.threads,
+                s.invocations,
+                s.chunks.len(),
+                s.iterations,
+                s.total_instructions(),
+                min,
+                median,
+                max,
+                s.imbalance(),
+                s.efficiency(),
+                s.critical_chunk().map(|c| c.chunk).unwrap_or(0)
+            );
+            for c in &s.chunks {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"par_chunk\",\"site\":{},\"chunk\":{},\"start\":{},\"end\":{},\
+                     \"worker\":{},\"instructions\":{},\"loads\":{},\"stores\":{},\
+                     \"l1_misses\":{},\"l2_misses\":{}}}",
+                    si,
+                    c.chunk,
+                    c.start,
+                    c.end,
+                    c.worker,
+                    c.instructions,
+                    c.loads,
+                    c.stores,
+                    c.l1_misses,
+                    c.l2_misses
+                );
+            }
+            for w in s.worker_loads() {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"par_worker\",\"site\":{},\"worker\":{},\"chunks\":{},\
+                     \"instructions\":{}}}",
+                    si, w.worker, w.chunks, w.instructions
+                );
+            }
+        }
         out
     }
 }
@@ -223,6 +284,46 @@ mod tests {
                 total: 2,
                 stacks: vec![("f;g".to_string(), 2)],
             },
+            parallel: {
+                let mut stats = crate::ParallelStats::default();
+                stats.record(
+                    "f",
+                    4,
+                    "via quote at line 9",
+                    "f$par0",
+                    2,
+                    8,
+                    vec![
+                        crate::ParChunkStats {
+                            chunk: 0,
+                            start: 0,
+                            end: 4,
+                            worker: 0,
+                            instructions: 30,
+                            loads: 10,
+                            stores: 5,
+                            l1_misses: 2,
+                            l2_misses: 1,
+                            start_us: 19,
+                            dur_us: 13,
+                        },
+                        crate::ParChunkStats {
+                            chunk: 1,
+                            start: 4,
+                            end: 8,
+                            worker: 1,
+                            instructions: 10,
+                            loads: 4,
+                            stores: 2,
+                            l1_misses: 1,
+                            l2_misses: 0,
+                            start_us: 23,
+                            dur_us: 17,
+                        },
+                    ],
+                );
+                stats
+            },
             ..Profile::default()
         }
     }
@@ -263,5 +364,42 @@ mod tests {
         assert!(jsonl.contains("\"type\":\"sample\""));
         assert!(jsonl.contains("\"sample_interval\":100"));
         assert!(jsonl.contains("via quote at line 9"));
+    }
+
+    #[test]
+    fn par_records_carry_shards_but_no_wall_clock() {
+        let jsonl = sample_profile().to_jsonl();
+        let site = jsonl
+            .lines()
+            .find(|l| l.contains("\"type\":\"par_site\""))
+            .unwrap();
+        assert!(site.contains("\"kernel\":\"f$par0\""), "{site}");
+        assert!(site.contains("\"chunks\":2"), "{site}");
+        assert!(site.contains("\"instructions\":40"), "{site}");
+        // mean 20, max 30 -> imbalance 1.5; worker loads 30/10 at 2 threads
+        // -> efficiency 40 / (2*30).
+        assert!(site.contains("\"imbalance\":1.5000"), "{site}");
+        assert!(site.contains("\"efficiency\":0.6667"), "{site}");
+        assert!(site.contains("\"critical_chunk\":0"), "{site}");
+        assert_eq!(
+            jsonl.matches("\"type\":\"par_chunk\"").count(),
+            2,
+            "{jsonl}"
+        );
+        assert_eq!(
+            jsonl.matches("\"type\":\"par_worker\"").count(),
+            2,
+            "{jsonl}"
+        );
+        let chunk = jsonl
+            .lines()
+            .find(|l| l.contains("\"type\":\"par_chunk\""))
+            .unwrap();
+        assert!(chunk.contains("\"worker\":0"), "{chunk}");
+        // The wall-clock chunk times (19/13/23/17 µs) stay out of the
+        // deterministic stream.
+        for l in jsonl.lines().filter(|l| l.contains("\"type\":\"par_")) {
+            assert!(!l.contains("_us\"") && !l.contains("\"ts\""), "{l}");
+        }
     }
 }

@@ -32,10 +32,12 @@ mod chrome;
 mod events;
 mod folded;
 mod heap;
+mod parallel;
 mod report;
 mod sample;
 
 pub use heap::{HeapProfiler, HeapSiteStats, HeapStats, HeapTimelinePoint};
+pub use parallel::{ParChunkStats, ParSiteStats, ParWorkerLoad, ParallelStats};
 pub use sample::{SampleFuncRank, SampleStats, Sampler};
 
 use std::cell::Cell;
@@ -160,6 +162,7 @@ pub struct Tracer {
     stack: Vec<ActiveFunc>,
     remarks: Vec<Remark>,
     sampler: Sampler,
+    par: ParallelStats,
 }
 
 impl Default for Tracer {
@@ -180,6 +183,7 @@ impl Tracer {
             stack: Vec::new(),
             remarks: Vec::new(),
             sampler: Sampler::default(),
+            par: ParallelStats::default(),
         }
     }
 
@@ -203,6 +207,7 @@ impl Tracer {
         self.stack.clear();
         self.remarks.clear();
         self.sampler.reset();
+        self.par.clear();
     }
 
     // -- sampling ------------------------------------------------------------
@@ -340,9 +345,43 @@ impl Tracer {
         }
     }
 
+    /// Total instructions ticked so far (sum over the opcode map). Worker
+    /// shards use this as "instructions retired by this chunk".
+    pub fn total_ops(&self) -> u64 {
+        self.ops.values().sum()
+    }
+
     /// Activation-stack depth (for unwinding on traps).
     pub fn depth(&self) -> usize {
         self.stack.len()
+    }
+
+    // -- parallel telemetry --------------------------------------------------
+
+    /// Records one executed `parallelfor` region: per-chunk shard counters
+    /// captured *before* the shards are merged away. `provenance` is the
+    /// rendered staging chain ("via quote at line 9"), empty for in-place
+    /// code. Call only while profiling (the VM gates this behind
+    /// [`Tracer::enabled`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_parallel(
+        &mut self,
+        function: &str,
+        line: u32,
+        provenance: &str,
+        kernel: &str,
+        threads: u64,
+        iterations: u64,
+        chunks: Vec<ParChunkStats>,
+    ) {
+        self.par.record(
+            function, line, provenance, kernel, threads, iterations, chunks,
+        );
+    }
+
+    /// The parallel-execution telemetry collected so far.
+    pub fn parallel(&self) -> &ParallelStats {
+        &self.par
     }
 
     /// Pops activations down to `depth`, still attributing the partial
@@ -379,6 +418,7 @@ impl Tracer {
         self.events.extend(other.events.iter().cloned());
         self.remarks.extend(other.remarks.iter().cloned());
         self.sampler.absorb(&other.sampler);
+        self.par.absorb(&other.par);
     }
 
     /// Creates a fresh shard for a worker execution context: same gates
@@ -423,6 +463,7 @@ impl Tracer {
             remarks: self.remarks.clone(),
             heap: HeapStats::default(),
             samples: self.sampler.snapshot(),
+            parallel: self.par.clone(),
         }
     }
 }
@@ -802,6 +843,9 @@ pub struct Profile {
     pub heap: HeapStats,
     /// Statistical profile from the deterministic sampling profiler.
     pub samples: SampleStats,
+    /// Per-chunk `parallelfor` telemetry (shard counters preserved before
+    /// the thread-invariant merge).
+    pub parallel: ParallelStats,
 }
 
 impl Profile {

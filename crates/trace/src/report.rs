@@ -48,6 +48,9 @@ impl Profile {
         if self.samples.interval > 0 {
             out.push_str(&self.render_samples());
         }
+        if !self.parallel.sites.is_empty() {
+            out.push_str(&self.render_parallel());
+        }
         let _ = writeln!(
             out,
             "== opcode counters == ({} instructions)",
@@ -165,6 +168,66 @@ impl Profile {
         out.push_str("  containing       leaf  function\n");
         for r in s.top_functions() {
             let _ = writeln!(out, "  {:>10} {:>10}  {}", r.containing, r.leaf, r.name);
+        }
+        out
+    }
+
+    /// Renders the parallel-execution section: one block per `par.for`
+    /// site showing the chunk structure, the per-chunk instruction spread,
+    /// the load-imbalance factor (max/mean), the critical-path chunk, and
+    /// an Amdahl-style serial-fraction estimate against the whole run.
+    ///
+    /// Deterministic *and thread-invariant*: every figure here is a
+    /// function of the chunk index (chunking depends only on the iteration
+    /// count), so the section is byte-identical at every `--threads` —
+    /// worker assignment, efficiency, and wall-clock live only in the
+    /// Chrome/JSONL exports.
+    pub fn render_parallel(&self) -> String {
+        let mut out = String::new();
+        let total = self.total_instructions();
+        let _ = writeln!(
+            out,
+            "== parallel == ({} site(s))",
+            self.parallel.sites.len()
+        );
+        for s in &self.parallel.sites {
+            let _ = writeln!(out, "  {} -> kernel {}", s.location(), s.kernel);
+            let _ = writeln!(
+                out,
+                "    chunks {}  iterations {}  instructions {}  invocations {}",
+                s.chunks.len(),
+                s.iterations,
+                s.total_instructions(),
+                s.invocations
+            );
+            let (min, median, max) = s.chunk_instruction_spread();
+            let _ = writeln!(
+                out,
+                "    chunk instructions  min {min}  median {median}  max {max}  imbalance {:.2}",
+                s.imbalance()
+            );
+            if let Some(c) = s.critical_chunk() {
+                let _ = writeln!(
+                    out,
+                    "    critical chunk {} [{}, {})  serial fraction {:.2}%",
+                    c.chunk,
+                    c.start,
+                    c.end,
+                    s.serial_fraction(total) * 100.0
+                );
+            }
+            let (loads, stores, l1, l2) = s.chunks.iter().fold((0u64, 0u64, 0u64, 0u64), |a, c| {
+                (
+                    a.0 + c.loads,
+                    a.1 + c.stores,
+                    a.2 + c.l1_misses,
+                    a.3 + c.l2_misses,
+                )
+            });
+            let _ = writeln!(
+                out,
+                "    loads {loads}  stores {stores}  l1 misses {l1}  l2 misses {l2}"
+            );
         }
         out
     }
@@ -420,6 +483,73 @@ mod tests {
         assert!(run_row.contains('3'), "{run_row}");
         // Determinism of the rendered section.
         assert_eq!(p.render_samples(), p.render_samples());
+    }
+
+    #[test]
+    fn parallel_section_renders_spread_and_imbalance() {
+        let mut p = base_profile();
+        // No parallel regions: the section stays out of the report.
+        assert!(!p.render_counters().contains("== parallel =="));
+        let mut stats = crate::ParallelStats::default();
+        stats.record(
+            "run",
+            4,
+            "via quote at line 9",
+            "run$par0",
+            2,
+            40,
+            vec![
+                crate::ParChunkStats {
+                    chunk: 0,
+                    start: 0,
+                    end: 20,
+                    worker: 0,
+                    instructions: 30,
+                    loads: 10,
+                    stores: 5,
+                    l1_misses: 2,
+                    l2_misses: 1,
+                    start_us: 7,
+                    dur_us: 3,
+                },
+                crate::ParChunkStats {
+                    chunk: 1,
+                    start: 20,
+                    end: 40,
+                    worker: 1,
+                    instructions: 10,
+                    loads: 4,
+                    stores: 2,
+                    l1_misses: 1,
+                    l2_misses: 0,
+                    start_us: 8,
+                    dur_us: 1,
+                },
+            ],
+        );
+        p.parallel = stats;
+        let r = p.render_counters();
+        assert!(r.contains("== parallel == (1 site(s))"), "{r}");
+        assert!(
+            r.contains("run:4, generated via quote at line 9 -> kernel run$par0"),
+            "{r}"
+        );
+        assert!(
+            r.contains("chunks 2  iterations 40  instructions 40"),
+            "{r}"
+        );
+        assert!(
+            r.contains("min 10  median 20  max 30  imbalance 1.50"),
+            "{r}"
+        );
+        assert!(r.contains("critical chunk 0 [0, 20)"), "{r}");
+        assert!(
+            r.contains("loads 14  stores 7  l1 misses 3  l2 misses 1"),
+            "{r}"
+        );
+        // Wall-clock chunk times must not appear anywhere in the section.
+        assert!(!p.render_parallel().contains("us"), "{r}");
+        assert_eq!(p.render_parallel(), p.render_parallel());
     }
 
     #[test]

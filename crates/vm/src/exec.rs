@@ -134,10 +134,18 @@ impl ExecutionContext {
 
     // -- run state -----------------------------------------------------------
 
-    /// Sets the worker-thread count for `parallelfor` regions (minimum 1;
-    /// 1 = run parallel loops sequentially, the correctness oracle).
+    /// Sets the worker-thread count for `parallelfor` regions.
+    /// 1 = run parallel loops sequentially (the correctness oracle);
+    /// 0 = resolve to the host's available core count, so embedders and the
+    /// CLI agree on what "use the machine" means.
     pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads.max(1);
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
     }
 
     /// The configured `parallelfor` worker-thread count.
@@ -297,11 +305,15 @@ mod tests {
     }
 
     #[test]
-    fn threads_clamp_to_one() {
+    fn threads_zero_resolves_to_host_cores() {
         let mut ctx = ExecutionContext::new();
         assert_eq!(ctx.threads(), 1);
         ctx.set_threads(0);
-        assert_eq!(ctx.threads(), 1);
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(ctx.threads(), host);
+        assert!(ctx.threads() >= 1);
         ctx.set_threads(8);
         assert_eq!(ctx.threads(), 8);
     }

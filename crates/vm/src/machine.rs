@@ -747,8 +747,23 @@ impl ExecutionContext {
                         let start = base + args as usize;
                         let argv: Vec<RegImage> =
                             self.vm.regs[start..start + nargs as usize].to_vec();
+                        // Site identity for the parallel telemetry layer:
+                        // enclosing function + source line + staging chain,
+                        // the same keying traps and heap sites use.
+                        let site = crate::parallel::ParSite {
+                            function: Arc::clone(&func.name),
+                            line: func.line_at(pc - 1),
+                            provenance: func.prov_rc_at(pc - 1),
+                        };
                         self.vm.frames[frame_idx].pc = pc;
-                        crate::parallel::run_parallelfor(self, f, lo_v, hi_v, &argv)?;
+                        crate::parallel::run_parallelfor_at(
+                            self,
+                            f,
+                            lo_v,
+                            hi_v,
+                            &argv,
+                            Some(&site),
+                        )?;
                     }
                     Instr::CallBuiltin { d, b, args, nargs } => {
                         let start = base + args as usize;

@@ -48,7 +48,25 @@ use crate::machine::{ExecResult, RegImage, Trap};
 use crate::program::Program;
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::Instant;
 use terra_ir::{Builtin, FuncId};
+use terra_trace::ParChunkStats;
+
+/// Source identity of a `par.for` site, used to key the parallel telemetry:
+/// the enclosing Terra function, the statement's 1-based source line, and
+/// its rendered staging chain (so staged kernels report "generated via
+/// quote at line N"). The dispatcher builds this from the instruction's
+/// debug tables; host-driven invocations (tests, embedding APIs) may pass
+/// `None` and are recorded under `(host)`.
+#[derive(Debug, Clone)]
+pub struct ParSite {
+    /// Terra function containing the `parallelfor` statement.
+    pub function: Arc<str>,
+    /// 1-based source line (0 = unknown).
+    pub line: u32,
+    /// Rendered staging chain, `None` for in-place code.
+    pub provenance: Option<Arc<str>>,
+}
 
 /// Number of chunks a loop of `n` iterations is split into. A function of
 /// `n` **only** — never of the thread count — so chunk boundaries, worker
@@ -163,6 +181,27 @@ pub fn run_parallelfor(
     hi: i64,
     extra: &[RegImage],
 ) -> ExecResult<()> {
+    run_parallelfor_at(ctx, kernel_id, lo, hi, extra, None)
+}
+
+/// [`run_parallelfor`] with a source-site identity for the parallel
+/// telemetry layer. While profiling, each chunk's shard counters (retired
+/// instructions, loads/stores, cache misses) are captured *before* the
+/// thread-invariant merge and recorded under `site` — see
+/// `terra_trace::ParallelStats` for what is preserved and why it stays
+/// deterministic.
+///
+/// # Errors
+///
+/// Same as [`run_parallelfor`].
+pub fn run_parallelfor_at(
+    ctx: &mut ExecutionContext,
+    kernel_id: FuncId,
+    lo: i64,
+    hi: i64,
+    extra: &[RegImage],
+    site: Option<&ParSite>,
+) -> ExecResult<()> {
     check_kernel(ctx.program(), kernel_id)?;
     let kernel = ctx
         .program()
@@ -205,13 +244,26 @@ pub fn run_parallelfor(
         .map(|c| ctx.worker(span_lo + c * per, span_lo + (c + 1) * per))
         .collect();
     let mut traps: Vec<Option<Trap>> = (0..chunks).map(|_| None).collect();
+    // Per-chunk wall-clock (start, dur) in µs, for the Chrome worker
+    // timelines. Measured against the tracer epoch so chunk slices line up
+    // with the staging/execution spans; never part of the deterministic
+    // profile surface.
+    let mut times: Vec<(u64, u64)> = vec![(0, 0); chunks as usize];
+    let profiling = ctx.trace.enabled();
+    let region_us = ctx.trace.now_us();
+    let region_t0 = Instant::now();
 
     if threads == 1 {
         // Sequential fallback: same chunk structure, same windows, same
         // shard merge — only the executing thread differs.
         for (c, worker) in workers.iter_mut().enumerate() {
             let (start, end) = chunk_range(lo, n, chunks, c as u64);
+            let t0 = region_t0.elapsed().as_micros() as u64;
             traps[c] = run_chunk(worker, &kernel, start, end, extra);
+            times[c] = (
+                region_us + t0,
+                (region_t0.elapsed().as_micros() as u64).saturating_sub(t0),
+            );
         }
     } else {
         // One spawned task per thread, each owning a contiguous block of
@@ -219,21 +271,79 @@ pub fn run_parallelfor(
         let per_thread = chunks.div_ceil(threads as u64) as usize;
         let kernel_ref = &kernel;
         rayon::scope(|s| {
-            for (t, (wblock, tblock)) in workers
+            for (t, ((wblock, tblock), mblock)) in workers
                 .chunks_mut(per_thread)
                 .zip(traps.chunks_mut(per_thread))
+                .zip(times.chunks_mut(per_thread))
                 .enumerate()
             {
                 s.spawn(move |_| {
-                    for (j, (worker, slot)) in wblock.iter_mut().zip(tblock.iter_mut()).enumerate()
+                    for (j, ((worker, slot), tslot)) in wblock
+                        .iter_mut()
+                        .zip(tblock.iter_mut())
+                        .zip(mblock.iter_mut())
+                        .enumerate()
                     {
                         let c = (t * per_thread + j) as u64;
                         let (start, end) = chunk_range(lo, n, chunks, c);
+                        let t0 = region_t0.elapsed().as_micros() as u64;
                         *slot = run_chunk(worker, kernel_ref, start, end, extra);
+                        *tslot = (
+                            region_us + t0,
+                            (region_t0.elapsed().as_micros() as u64).saturating_sub(t0),
+                        );
                     }
                 });
             }
         });
+    }
+
+    // Preserve per-chunk shard counters for the telemetry layer *before*
+    // the merge collapses them into thread-invariant totals. Every field
+    // except the wall-clock pair is a deterministic function of the chunk,
+    // and the worker assignment is `chunk / ceil(chunks/threads)` — the
+    // exact block split used above.
+    if profiling {
+        let per_thread = chunks.div_ceil(threads as u64);
+        let stats: Vec<ParChunkStats> = workers
+            .iter()
+            .enumerate()
+            .map(|(c, worker)| {
+                let (start, end) = chunk_range(lo, n, chunks, c as u64);
+                let mem = worker.memory.counters().snapshot();
+                let cache = worker.memory.cache_stats();
+                ParChunkStats {
+                    chunk: c as u64,
+                    start,
+                    end,
+                    worker: c as u64 / per_thread,
+                    instructions: worker.trace.total_ops(),
+                    loads: mem.total_loads(),
+                    stores: mem.total_stores(),
+                    l1_misses: cache.l1.misses,
+                    l2_misses: cache.l2.misses,
+                    start_us: times[c].0,
+                    dur_us: times[c].1,
+                }
+            })
+            .collect();
+        let (function, line, provenance) = match site {
+            Some(s) => (
+                s.function.as_ref(),
+                s.line,
+                s.provenance.as_deref().unwrap_or(""),
+            ),
+            None => ("(host)", 0, ""),
+        };
+        ctx.trace.record_parallel(
+            function,
+            line,
+            provenance,
+            &kernel.name,
+            threads as u64,
+            n,
+            stats,
+        );
     }
 
     // Merge shards and captured output back in chunk order.
@@ -598,6 +708,149 @@ mod tests {
         let a8 = run(8);
         assert_eq!(a1, a4);
         assert_eq!(a1, a8);
+    }
+
+    #[test]
+    fn chunk_count_edges() {
+        assert_eq!(chunk_count(0), 0);
+        assert_eq!(chunk_count(1), 1);
+        assert_eq!(chunk_count(31), 31);
+        assert_eq!(chunk_count(32), 32);
+        assert_eq!(chunk_count(33), 32);
+        assert_eq!(chunk_count(u64::MAX), 32);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+
+        /// Chunk windows exactly tile `[lo, hi)`: contiguous, in order, no
+        /// overlap, no gap — including for negative lower bounds.
+        #[test]
+        fn chunks_tile_the_iteration_space(lo in -10_000i64..10_000, n in 0u64..100_000) {
+            let hi = lo + n as i64;
+            let count = chunk_count(n);
+            let mut cursor = lo;
+            for c in 0..count {
+                let (start, end) = chunk_range(lo, n, count, c);
+                proptest::prop_assert_eq!(start, cursor, "chunk {} must start where {} ended", c, c.wrapping_sub(1));
+                proptest::prop_assert!(end >= start, "chunk {} is non-empty-or-forward", c);
+                cursor = end;
+            }
+            proptest::prop_assert_eq!(cursor, hi, "chunks must cover [lo, hi) exactly");
+        }
+    }
+
+    #[test]
+    fn telemetry_preserves_per_chunk_shards() {
+        let run = |threads: usize| {
+            let mut ctx = ExecutionContext::new();
+            ctx.set_threads(threads);
+            ctx.set_profile(true);
+            let id = square_kernel(&mut ctx);
+            let base = ctx.memory.malloc(8 * 500);
+            run_parallelfor(&mut ctx, id, 0, 500, &[[base, 0, 0, 0]]).unwrap();
+            ctx.profile()
+        };
+        let p = run(4);
+        assert_eq!(p.parallel.sites.len(), 1);
+        let s = &p.parallel.sites[0];
+        // Host-driven invocation (no ParFor instruction): recorded under
+        // the fallback identity.
+        assert_eq!(s.function, "(host)");
+        assert_eq!(s.kernel, "square");
+        assert_eq!(s.invocations, 1);
+        assert_eq!(s.iterations, 500);
+        assert_eq!(s.chunks.len(), 32);
+        assert_eq!(s.threads, 4);
+        // Chunk windows carry the real iteration ranges.
+        assert_eq!(s.chunks[0].start, 0);
+        assert_eq!(s.chunks[31].end, 500);
+        // Per-chunk instruction totals sum exactly to the kernel's merged
+        // inclusive counter — every worker tick happens inside a kernel
+        // activation, so nothing is lost or double-counted.
+        let kernel_inclusive = p.func("square").unwrap().counters.inclusive;
+        assert_eq!(s.total_instructions(), kernel_inclusive);
+        // Same identity for loads/stores against the merged memory counters
+        // (the parent context issued none outside the loop).
+        assert_eq!(
+            s.chunks.iter().map(|c| c.stores).sum::<u64>(),
+            p.mem.total_stores()
+        );
+        // Worker assignment is the static block split: 32 chunks over 4
+        // threads = 8 per worker.
+        assert!(s.chunks.iter().all(|c| c.worker == c.chunk / 8));
+        assert!(
+            (s.efficiency() - 1.0).abs() < 1e-9,
+            "uniform kernel is balanced"
+        );
+        assert!(
+            (s.imbalance() - 1.0).abs() < 0.1,
+            "uniform chunks (up to remainder)"
+        );
+
+        // Everything except worker assignment and wall clock is
+        // thread-count invariant.
+        let q = run(2);
+        let t = &q.parallel.sites[0];
+        assert_eq!(t.threads, 2);
+        assert_eq!(s.chunks.len(), t.chunks.len());
+        for (a, b) in s.chunks.iter().zip(&t.chunks) {
+            assert_eq!(
+                (a.chunk, a.start, a.end, a.instructions, a.loads, a.stores),
+                (b.chunk, b.start, b.end, b.instructions, b.loads, b.stores)
+            );
+            assert_eq!((a.l1_misses, a.l2_misses), (b.l1_misses, b.l2_misses));
+            assert_eq!(b.worker, b.chunk / 16, "2 threads -> 16 chunks per worker");
+        }
+        // And a second run at the same thread count is bit-identical on the
+        // full deterministic surface (wall-clock fields excluded).
+        let r = run(4);
+        let u = &r.parallel.sites[0];
+        for (a, b) in s.chunks.iter().zip(&u.chunks) {
+            let strip = |c: &ParChunkStats| ParChunkStats {
+                start_us: 0,
+                dur_us: 0,
+                ..c.clone()
+            };
+            assert_eq!(strip(a), strip(b));
+        }
+    }
+
+    #[test]
+    fn telemetry_is_not_collected_without_profiling() {
+        let mut ctx = ExecutionContext::new();
+        ctx.set_threads(4);
+        let id = square_kernel(&mut ctx);
+        let base = ctx.memory.malloc(8 * 100);
+        run_parallelfor(&mut ctx, id, 0, 100, &[[base, 0, 0, 0]]).unwrap();
+        assert!(ctx.trace.parallel().is_empty());
+    }
+
+    /// Pins the sampling profiler's parallel behavior: the sample interval
+    /// propagates into worker shards (keyed by each shard's retired-
+    /// instruction count), so kernel stacks show up in `== samples ==` and
+    /// the sample set is identical at every thread count.
+    #[test]
+    fn sampler_propagates_into_workers() {
+        let run = |threads: usize| {
+            let mut ctx = ExecutionContext::new();
+            ctx.set_threads(threads);
+            ctx.set_sample_interval(5);
+            let id = square_kernel(&mut ctx);
+            let base = ctx.memory.malloc(8 * 400);
+            run_parallelfor(&mut ctx, id, 0, 400, &[[base, 0, 0, 0]]).unwrap();
+            ctx.profile().samples
+        };
+        let s1 = run(1);
+        assert!(s1.total > 0, "workers must capture samples");
+        assert!(
+            s1.stacks.iter().any(|(stack, _)| stack.contains("square")),
+            "kernel frames must appear in sampled stacks: {:?}",
+            s1.stacks
+        );
+        for threads in [2, 4, 8] {
+            assert_eq!(s1, run(threads), "samples at {threads} threads");
+        }
     }
 
     #[test]

@@ -4,6 +4,11 @@
 #
 #   - keys matching rate/reduction   absolute drift <= 0.02  (rates live in [0,1])
 #   - keys matching pct              absolute drift <= 2     (percentages, 0-100)
+#   - imbalance / efficiency         absolute drift <= 0.05  (instruction-count
+#                                    ratios near 1.0; deterministic at a fixed
+#                                    thread count but allowed a little room so a
+#                                    kernel tweak does not demand a baseline
+#                                    refresh for a harmless third decimal)
 #   - ms / speedup / host_cores      skipped (wall-clock and machine-dependent;
 #                                    BENCH_parallel.json has its own schema and
 #                                    scaling gates in check.sh)
@@ -61,6 +66,11 @@ paste -d' ' <(printf '%s\n' "$base_pairs") <(printf '%s\n' "$fresh_pairs") \
         if (delta > 0.02) {
             bad = 1
             printf "bench_diff: %s: %s drifted %s -> %s (abs tol 0.02)\n", name, key, old, cur
+        }
+    } else if (key ~ /(imbalance|efficiency)/) {
+        if (delta > 0.05) {
+            bad = 1
+            printf "bench_diff: %s: %s drifted %s -> %s (abs tol 0.05)\n", name, key, old, cur
         }
     } else {
         denom = (old < 0) ? -old : old

@@ -73,12 +73,13 @@ for script in examples/*.t; do
         exit 1
     fi
 done
-# The deterministic profile sections (opcode/function/memory/cache counters,
-# samples) must also be thread-count invariant; only the wall-clock staging
-# timeline above the opcode table may differ.
+# The deterministic profile sections (function/opcode/memory/cache counters,
+# samples, and the new == parallel == section, whose per-chunk shard metrics
+# are chunk-indexed and schedule-independent) must also be thread-count
+# invariant; only the wall-clock staging timeline above them may differ.
 prof_sections() {
     ./target/release/terra --profile --threads="$1" examples/parfill.t 2>&1 \
-        | sed -n '/== opcode counters ==/,$p'
+        | sed -n '/== function profile ==/,$p'
 }
 if [ "$(prof_sections 1)" != "$(prof_sections 4)" ]; then
     echo "thread differential: deterministic profile sections differ with --threads=4" >&2
@@ -190,6 +191,20 @@ for threads in 1 2 4 8; do
     grep -q "\"threads\": $threads" BENCH_parallel.json \
         || { echo "BENCH_parallel: missing run at $threads thread(s)" >&2; exit 1; }
 done
+# Every run carries the telemetry verdict: imbalance >= 1 (max/mean chunk
+# instructions) and efficiency in (0, 1] (ideal over static-schedule span).
+for key in imbalance efficiency; do
+    grep -q "\"$key\"" BENCH_parallel.json \
+        || { echo "BENCH_parallel: missing key $key" >&2; exit 1; }
+done
+for v in $(grep -oE '"imbalance": [0-9.]+' BENCH_parallel.json | grep -oE '[0-9.]+$'); do
+    awk -v v="$v" 'BEGIN { exit !(v >= 1.0) }' \
+        || { echo "BENCH_parallel: imbalance $v below 1.0" >&2; exit 1; }
+done
+for v in $(grep -oE '"efficiency": [0-9.]+' BENCH_parallel.json | grep -oE '[0-9.]+$'); do
+    awk -v v="$v" 'BEGIN { exit !(v > 0 && v <= 1.0) }' \
+        || { echo "BENCH_parallel: efficiency $v outside (0, 1]" >&2; exit 1; }
+done
 grep -q '"deterministic": 0' BENCH_parallel.json \
     && { echo "BENCH_parallel: a kernel reported thread-dependent results" >&2; exit 1; }
 # Scaling gate: on hosts with >= 4 cores the 4-thread GEMM must be at least
@@ -291,6 +306,43 @@ for type in meta span func mem heap_site leak sample; do
 done
 cmp -s "$events_a" "$events_b" \
     || { echo "events smoke: event stream differs between two runs" >&2; exit 1; }
+
+echo "==> parallel telemetry smoke (== parallel == section, par_* JSONL records)"
+# The report's == parallel == section must be byte-stable across runs at a
+# fixed thread count (the shard metrics are deterministic instruction counts,
+# not wall-clock), and — by construction — identical across thread counts.
+par_report() {
+    ./target/release/terra --profile --threads="$1" examples/parfill.t 2>&1 \
+        | sed -n '/== parallel ==/,/== opcode counters ==/p'
+}
+par_a="$(par_report 4)"
+grep -q "== parallel ==" <<< "$par_a" \
+    || { echo "parallel smoke: no == parallel == section in report" >&2; exit 1; }
+grep -q "imbalance" <<< "$par_a" \
+    || { echo "parallel smoke: no imbalance figure in report" >&2; exit 1; }
+grep -q "serial fraction" <<< "$par_a" \
+    || { echo "parallel smoke: no serial-fraction estimate in report" >&2; exit 1; }
+[ "$par_a" = "$(par_report 4)" ] \
+    || { echo "parallel smoke: == parallel == differs between two 4-thread runs" >&2; exit 1; }
+[ "$par_a" = "$(par_report 1)" ] \
+    || { echo "parallel smoke: == parallel == depends on the thread count" >&2; exit 1; }
+# The JSONL stream gains par_site/par_chunk/par_worker records under a
+# parallel workload, and stays byte-stable like every other record type.
+par_events_a="$(mktemp --suffix=.jsonl)"
+par_events_b="$(mktemp --suffix=.jsonl)"
+trap 'rm -f "$trace_json" "$trace_folded" "$remarks_json" "$remarks_json2" \
+     "$events_a" "$events_b" "$par_events_a" "$par_events_b"; \
+     rm -rf "$bench_snap" "$bench_rerun"' EXIT
+./target/release/terra --profile --threads=4 --events-out "$par_events_a" \
+    examples/parfill.t > /dev/null 2>&1
+./target/release/terra --profile --threads=4 --events-out "$par_events_b" \
+    examples/parfill.t > /dev/null 2>&1
+for type in par_site par_chunk par_worker; do
+    grep -q "\"type\":\"$type\"" "$par_events_a" \
+        || { echo "parallel smoke: missing JSONL record type $type" >&2; exit 1; }
+done
+cmp -s "$par_events_a" "$par_events_b" \
+    || { echo "parallel smoke: par_* event stream differs between two runs" >&2; exit 1; }
 
 echo "==> trace-sink validation (unknown --trace-out extension must be rejected)"
 if ./target/release/terra --trace-out /tmp/trace.csv examples/saxpy.t > /dev/null 2>&1; then
