@@ -15,7 +15,10 @@
 //! interpreter's bounds-check elision actually pays — and
 //! `BENCH_heap.json` with the allocation-site heap profile of a staged
 //! kernel carrying a seeded quote-generated leak, so site attribution,
-//! staging provenance, and the leak report all stay pinned in CI.
+//! staging provenance, and the leak report all stay pinned in CI — and
+//! `BENCH_replay.json` with the flight recorder's footprint on a
+//! million-instruction GEMM (checkpoints, effects, coarse recording bytes),
+//! so the recording stays tiny and byte-stable in CI.
 use std::fmt::Write as _;
 use std::time::Instant;
 use terra_core::{CacheStats, OptLevel, Terra, Value};
@@ -238,6 +241,39 @@ fn absint_counts(src: &str, fname: &str, elide: bool) -> (u64, u64, u64, Value) 
     let p = t.profile();
     let accesses = p.mem.total_loads() + p.mem.total_stores();
     (p.total_instructions(), accesses, p.op_count("chk"), got)
+}
+
+/// One flight-recorded matmul run at `-O0` (the million-instruction
+/// workload); returns the finished coarse recording.
+fn matmul_recording(n: usize) -> terra_core::Recording {
+    let mut t = Terra::new();
+    t.set_opt_level(OptLevel::O0);
+    t.exec(MATMUL_SRC).unwrap();
+    let f = t.function("matmul").unwrap();
+    let bytes = (n * n * 8) as u64;
+    let (a, b, c) = (t.malloc(bytes), t.malloc(bytes), t.malloc(bytes));
+    t.write_f64s(a, &vec![1.0; n * n]);
+    t.write_f64s(b, &vec![2.0; n * n]);
+    t.set_record(terra_core::RecMeta {
+        script: format!("matmul_{n}"),
+        opt: 0,
+        checkelim: true,
+        sanitize: false,
+        cadence: terra_core::DEFAULT_CADENCE,
+        window: None,
+    });
+    t.invoke(
+        &f,
+        &[
+            Value::Ptr(a),
+            Value::Ptr(b),
+            Value::Ptr(c),
+            Value::Int(n as i64),
+        ],
+    )
+    .unwrap();
+    assert_eq!(t.read_f64s(c, 1)[0], 2.0 * n as f64);
+    t.take_recording().expect("recorder was running")
 }
 
 /// One profiled matmul run at the given level; returns total instructions.
@@ -604,4 +640,54 @@ fn main() {
     }
     std::fs::write("BENCH_heap.json", &json).unwrap();
     println!("wrote BENCH_heap.json");
+
+    // Flight-recorder footprint on the million-instruction -O0 GEMM. The
+    // coarse recording must stay tiny (the whole point of checkpoint
+    // sampling), verify clean against an independent re-record, and — like
+    // every other deterministic artifact here — serialize byte-identically.
+    let rec = matmul_recording(64);
+    let text = rec.to_text();
+    let again = matmul_recording(64);
+    assert!(
+        rec.total_retired >= 1_000_000,
+        "matmul_64 at -O0 must retire at least a million instructions \
+         (got {})",
+        rec.total_retired
+    );
+    assert!(
+        text.len() <= 256 * 1024,
+        "coarse recording of a million-instruction run must stay under \
+         256 KiB (got {} bytes)",
+        text.len()
+    );
+    assert_eq!(
+        text,
+        again.to_text(),
+        "recording must be byte-identical across runs"
+    );
+    terra_core::replay::verify(&rec, &again).expect("re-record must verify clean");
+    let parsed = terra_core::Recording::parse(&text).expect("recording round-trips");
+    assert_eq!(parsed.to_text(), text, "parse/serialize must round-trip");
+    let json = format!(
+        "{{\n  \"kernel\": \"matmul_64_O0\",\n  \"format_version\": {},\n  \
+         \"retired_instructions\": {},\n  \"effects\": {},\n  \
+         \"checkpoints\": {},\n  \"cadence\": {},\n  \"coarse_bytes\": {},\n  \
+         \"bytes_per_minstr\": {:.2}\n}}\n",
+        terra_core::REC_FORMAT_VERSION,
+        rec.total_retired,
+        rec.total_effects,
+        rec.checkpoints.len(),
+        rec.meta.cadence,
+        text.len(),
+        text.len() as f64 * 1e6 / rec.total_retired as f64
+    );
+    println!(
+        "flight recorder: {} instructions -> {} bytes coarse ({} checkpoints, {} effects)",
+        rec.total_retired,
+        text.len(),
+        rec.checkpoints.len(),
+        rec.total_effects
+    );
+    std::fs::write("BENCH_replay.json", &json).unwrap();
+    println!("wrote BENCH_replay.json");
 }

@@ -4,6 +4,9 @@
 //! ```text
 //! terra [flags] script.t [args...]  run a script (args in the global `arg` table)
 //! terra [flags] -e 'code'           run a one-liner
+//! terra replay-diff A.rec B.rec     align two recordings and pinpoint their
+//!                                   first divergent effect (exit 0 = agree,
+//!                                   1 = divergence found, 2 = cannot compare)
 //! terra                             start a tiny REPL
 //!
 //! flags:
@@ -58,6 +61,13 @@
 //!                     restricted to one pass (inline, licm, cse, ...)
 //!   --remarks-out F   write the remark stream as JSON to F (deterministic:
 //!                     byte-identical across runs)
+//!   --record=F.rec    execution flight recorder: stream the run's heap
+//!                     effects and periodic state checksums into F.rec
+//!                     (deterministic: byte-identical across runs and
+//!                     --threads settings; requires a script file)
+//!   --replay=F.rec    re-execute the script recorded in F.rec under the
+//!                     recorded configuration and verify every checkpoint
+//!                     (exit 0 = verified, 1 = diverged)
 //! ```
 
 use std::io::{BufRead, Write};
@@ -74,6 +84,13 @@ fn main() {
     let mut events_out: Option<String> = None;
     let mut remarks: Option<Option<String>> = None;
     let mut remarks_out: Option<String> = None;
+    let mut record_out: Option<String> = None;
+    let mut replay_in: Option<String> = None;
+    // Mirror of the configuration applied to `t`, captured into recording
+    // metadata so `--replay` can reconstruct the run.
+    let mut opt_num: u8 = 2;
+    let mut checkelim = true;
+    let mut sanitize = false;
     while let Some(first) = argv.first().map(|s| s.as_str()) {
         match first {
             "--lint" => {
@@ -82,21 +99,50 @@ fn main() {
                 argv.remove(0);
             }
             "--sanitize" => {
+                sanitize = true;
                 t.set_sanitize(true);
                 argv.remove(0);
             }
             "--no-checkelim" => {
+                checkelim = false;
                 t.set_check_elim(false);
                 argv.remove(0);
             }
             _ if first.starts_with("-O") => {
                 match terra_core::OptLevel::parse(&first[2..]) {
-                    Some(level) => t.set_opt_level(level),
+                    Some(level) => {
+                        opt_num = first[2..].parse().unwrap_or(2);
+                        t.set_opt_level(level)
+                    }
                     None => {
                         eprintln!("terra: unknown optimization level '{first}' (use -O0/-O1/-O2)");
                         std::process::exit(1);
                     }
                 }
+                argv.remove(0);
+            }
+            _ if first.starts_with("--record=") => {
+                let path = first["--record=".len()..].to_string();
+                if !path.ends_with(".rec") {
+                    eprintln!(
+                        "terra: --record={path}: unsupported recording sink (recordings use \
+                         the .rec extension, e.g. --record=run.rec)"
+                    );
+                    std::process::exit(1);
+                }
+                record_out = Some(path);
+                argv.remove(0);
+            }
+            _ if first.starts_with("--replay=") => {
+                let path = first["--replay=".len()..].to_string();
+                if !path.ends_with(".rec") {
+                    eprintln!(
+                        "terra: --replay={path}: unsupported recording sink (recordings use \
+                         the .rec extension, e.g. --replay=run.rec)"
+                    );
+                    std::process::exit(1);
+                }
+                replay_in = Some(path);
                 argv.remove(0);
             }
             "--profile" => {
@@ -218,6 +264,42 @@ fn main() {
             _ => break,
         }
     }
+    if let (Some(r), Some(p)) = (&record_out, &replay_in) {
+        if r == p {
+            eprintln!(
+                "terra: --record and --replay name the same file '{r}' (the replay would \
+                 verify against the recording it is overwriting); use distinct paths"
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(rec_path) = &replay_in {
+        // --replay re-runs the script named inside the recording; a script
+        // argument on the command line is a contradiction.
+        if let Some(extra) = argv.first() {
+            eprintln!(
+                "terra: --replay={rec_path} re-runs the script recorded in the file; drop \
+                 the extra argument '{extra}'"
+            );
+            std::process::exit(1);
+        }
+        do_replay(rec_path);
+    }
+    if record_out.is_some() && argv.first().map(|s| s.as_str()) != Some("replay-diff") {
+        // Recording needs a script *file*: --replay re-runs the script by
+        // its recorded path, so -e one-liners and the REPL cannot be
+        // replayed and are rejected up front.
+        match argv.first().map(|s| s.as_str()) {
+            Some("-e") | None => {
+                eprintln!(
+                    "terra: --record requires a script file argument (recordings replay the \
+                     script by path, so -e one-liners and the REPL cannot be recorded)"
+                );
+                std::process::exit(1);
+            }
+            _ => {}
+        }
+    }
     // --heap-profile and --events-out need the collectors running even when
     // the full text report was not requested; --sample=N only arms the
     // deterministic sampler (exact per-instruction counting stays off).
@@ -228,6 +310,13 @@ fn main() {
         t.set_sample_interval(sample);
     }
     match argv.first().map(|s| s.as_str()) {
+        Some("replay-diff") => {
+            let (Some(a), Some(b)) = (argv.get(1), argv.get(2)) else {
+                eprintln!("terra: replay-diff requires two .rec file arguments");
+                std::process::exit(2);
+            };
+            do_replay_diff(a, b);
+        }
         Some("-e") => {
             let Some(code) = argv.get(1).cloned() else {
                 eprintln!("terra: -e requires a code argument");
@@ -241,7 +330,8 @@ fn main() {
                  [--heap-profile] [--sample=N] [--threads=N (0 = host cores)] \
                  [--trace-out FILE] [--events-out FILE] \
                  [--cache SPEC] [--remarks[=pass]] [--remarks-out FILE] \
-                 [script.t [args...] | -e 'code']"
+                 [--record=F.rec] [--replay=F.rec] \
+                 [script.t [args...] | -e 'code' | replay-diff A.rec B.rec]"
             );
         }
         Some(path) => {
@@ -261,7 +351,35 @@ fn main() {
             }
             t.set_global("arg", LuaValue::Table(tref));
             let path = path.to_string();
-            run(&mut t, &src, &path, lint);
+            if let Some(out) = &record_out {
+                t.set_record(terra_core::RecMeta {
+                    script: path.clone(),
+                    opt: opt_num,
+                    checkelim,
+                    sanitize,
+                    cadence: terra_core::DEFAULT_CADENCE,
+                    window: None,
+                });
+                // `run` exits the process on a script error, so the write
+                // below only happens for a completed run.
+                run(&mut t, &src, &path, lint);
+                let rec = t.take_recording().expect("recorder was started above");
+                match std::fs::write(out, rec.to_text()) {
+                    Ok(()) => eprintln!(
+                        "terra: wrote recording to {out} ({} checkpoints, {} effects, {} \
+                         instructions)",
+                        rec.checkpoints.len(),
+                        rec.total_effects,
+                        rec.total_retired
+                    ),
+                    Err(e) => {
+                        eprintln!("terra: cannot write {out}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                run(&mut t, &src, &path, lint);
+            }
         }
         None => repl(&mut t, lint),
     }
@@ -321,6 +439,88 @@ fn emit_profile(t: &Terra, trace_out: Option<&str>) {
                 eprintln!("terra: cannot write {path}: {e}");
                 std::process::exit(1);
             }
+        }
+    }
+}
+
+/// Re-executes the script named in `meta` under the recorded configuration
+/// with the flight recorder on, returning the finished recording. Output is
+/// captured: these runs exist for verification, not for their stdout.
+fn record_run(meta: &terra_core::RecMeta) -> Result<terra_core::Recording, String> {
+    let mut t = Terra::new();
+    match terra_core::OptLevel::parse(&meta.opt.to_string()) {
+        Some(level) => t.set_opt_level(level),
+        None => return Err(format!("recording names unknown opt level {}", meta.opt)),
+    }
+    t.set_check_elim(meta.checkelim);
+    t.set_sanitize(meta.sanitize);
+    t.capture_output();
+    t.set_record(meta.clone());
+    let src = std::fs::read_to_string(&meta.script)
+        .map_err(|e| format!("cannot open recorded script {}: {e}", meta.script))?;
+    t.exec(&src).map_err(|e| format!("{}: {e}", meta.script))?;
+    t.take_recording()
+        .ok_or_else(|| "recorder was not running after the script".to_string())
+}
+
+fn load_recording(path: &str) -> Result<terra_core::Recording, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    terra_core::Recording::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `--replay=FILE.rec`: re-execute and verify. Exit 0 = verified, 1 =
+/// diverged or could not run.
+fn do_replay(rec_path: &str) -> ! {
+    let recorded = match load_recording(rec_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("terra: {e}");
+            std::process::exit(1);
+        }
+    };
+    let live = match record_run(&recorded.meta) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("terra: --replay: {e}");
+            std::process::exit(1);
+        }
+    };
+    match terra_core::replay::verify(&recorded, &live) {
+        Ok(s) => {
+            eprintln!(
+                "terra: replay of {rec_path} verified: {} checkpoints, {} effects, {} \
+                 instructions",
+                s.checkpoints, s.effects, s.retired
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("terra: replay of {rec_path} DIVERGED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `terra replay-diff A.rec B.rec`: align two recordings, binary-search the
+/// checkpoint stream to the first divergent effect window, re-record that
+/// window at full fidelity, and report the first divergent effect. Exit 0 =
+/// recordings agree, 1 = divergence found, 2 = could not compare.
+fn do_replay_diff(a_path: &str, b_path: &str) -> ! {
+    let (a, b) = match (load_recording(a_path), load_recording(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("terra: replay-diff: {e}");
+            std::process::exit(2);
+        }
+    };
+    match terra_core::replay::diff(&a, &b, |meta, _window| record_run(meta)) {
+        Ok(report) => {
+            println!("{}", report.render());
+            std::process::exit(if report.is_clean() { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("terra: replay-diff: {e}");
+            std::process::exit(2);
         }
     }
 }

@@ -45,9 +45,10 @@ pub fn span_synthetic() -> terra_syntax::Span {
 }
 pub use terra_ir::{Diagnostic, FuncId, FuncTy, OptLevel, ScalarTy, Severity, Ty};
 pub use terra_trace::{
-    CacheConfig, CacheLevelConfig, CacheStats, FuncProfile, HeapSiteStats, HeapStats,
-    HeapTimelinePoint, LineStat, MemStats, ParChunkStats, ParSiteStats, ParWorkerLoad,
-    ParallelStats, Profile, Remark, SampleFuncRank, SampleStats, SpanEvent, Stage,
+    replay, CacheConfig, CacheLevelConfig, CacheStats, DiffReport, FuncProfile, HeapSiteStats,
+    HeapStats, HeapTimelinePoint, LineStat, MemStats, ParChunkStats, ParSiteStats, ParWorkerLoad,
+    ParallelStats, Profile, RecMeta, Recorder, Recording, Remark, ReplaySummary, SampleFuncRank,
+    SampleStats, SpanEvent, Stage, DEFAULT_CADENCE, REC_FORMAT_VERSION,
 };
 pub use terra_vm::{Trap, Value};
 
@@ -212,6 +213,27 @@ impl Terra {
     /// is bit-identical across runs at a fixed thread count.
     pub fn parallel_stats(&self) -> &ParallelStats {
         self.interp.ctx.exec.trace.parallel()
+    }
+
+    /// Starts the execution flight recorder (`--record`): from here on the
+    /// VM streams heap effects and periodic state checksums into an
+    /// in-memory [`Recording`], finished by [`Terra::take_recording`]. The
+    /// recording is deterministic — byte-identical across runs and across
+    /// `--threads` settings (worker effects are absorbed in chunk order).
+    pub fn set_record(&mut self, meta: RecMeta) {
+        self.interp.ctx.exec.set_record(meta);
+    }
+
+    /// Whether the flight recorder is currently active.
+    pub fn recording(&self) -> bool {
+        self.interp.ctx.exec.recording()
+    }
+
+    /// Stops the flight recorder and returns the finished [`Recording`]
+    /// (with a final checkpoint of the terminal state), or `None` if
+    /// recording was never started.
+    pub fn take_recording(&mut self) -> Option<Recording> {
+        self.interp.ctx.exec.take_recording()
     }
 
     /// Captures `print`/`printf` output instead of writing to stdout.

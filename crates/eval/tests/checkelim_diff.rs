@@ -8,6 +8,9 @@ use proptest::prelude::*;
 use terra_eval::{Interp, LuaValue};
 use terra_ir::OptLevel;
 
+mod common;
+use common::RecConfig;
+
 /// One access into the 8-slot stack array `a` (indices ≥ 8 trap).
 #[derive(Debug, Clone)]
 enum Access {
@@ -109,18 +112,35 @@ proptest! {
         n in 0i32..8,
     ) {
         let src = program_txt(&accs);
+        let call = format!("return prog({n})");
         for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
             let on = run_at(level, true, &src, n);
             let off = run_at(level, false, &src, n);
+            // On failure, the flight recorder bisects to the first
+            // divergent heap effect rather than just "checksums differ".
+            let bisect = if on == off {
+                String::new()
+            } else {
+                let mut unchecked = RecConfig::at(level);
+                unchecked.elide_checks = false;
+                common::divergence_report(&src, &call, RecConfig::at(level), unchecked)
+            };
             prop_assert_eq!(
                 &on, &off,
-                "elision changed behavior at {:?}\nprogram:\n{}", level, src
+                "elision changed behavior at {:?}\nprogram:\n{}\n{}", level, src, bisect
             );
         }
         // And the elided -O2 run agrees with the fully-checked -O0 run.
         let fast = run_at(OptLevel::O2, true, &src, n);
         let slow = run_at(OptLevel::O0, false, &src, n);
-        prop_assert_eq!(&fast, &slow, "pipeline diverged for:\n{}", src);
+        let bisect = if fast == slow {
+            String::new()
+        } else {
+            let mut checked0 = RecConfig::at(OptLevel::O0);
+            checked0.elide_checks = false;
+            common::divergence_report(&src, &call, RecConfig::at(OptLevel::O2), checked0)
+        };
+        prop_assert_eq!(&fast, &slow, "pipeline diverged for:\n{}\n{}", src, bisect);
     }
 }
 

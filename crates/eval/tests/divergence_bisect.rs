@@ -1,0 +1,82 @@
+//! End-to-end bisection of a seeded miscompile. `TERRA_TEST_MISCOMPILE`
+//! flips a deliberate bug into the constant folder (`a * b` folds to
+//! `a * b + 1` at `-O1`+), and the flight recorder must walk the `-O0` vs
+//! `-O2` differential down to the first wrong store — naming the function,
+//! the source line, and the staging provenance of the quote that generated
+//! the store.
+//!
+//! This lives in its own test binary: the miscompile knob is latched once
+//! per process (`OnceLock`), so it must not share a process with tests that
+//! need a correct optimizer.
+
+use terra_ir::OptLevel;
+
+mod common;
+use common::RecConfig;
+
+/// The store is staged by a Lua `quote` and spliced into the loop, so the
+/// divergence report must carry the "via quote at line N" provenance chain
+/// in addition to the splice site's own line.
+const SETUP: &str = r#"local std = terralib.includec("stdlib.h")
+
+local function fill(buf, i)
+  return quote
+    buf[i] = 6 * 7
+  end
+end
+
+terra prog(n : int) : double
+  var buf = [&int32](std.malloc(n * 4))
+  for i = 0, n do
+    [fill(buf, i)]
+  end
+  var s = 0
+  for i = 0, n do
+    s = s + buf[i]
+  end
+  std.free(buf)
+  return [double](s)
+end
+"#;
+
+#[test]
+fn seeded_miscompile_bisects_to_the_generated_store() {
+    // Latch the miscompile before any optimizer runs in this process.
+    std::env::set_var("TERRA_TEST_MISCOMPILE", "1");
+
+    let report = common::divergence_report(
+        SETUP,
+        "return prog(10)",
+        RecConfig::at(OptLevel::O0),
+        RecConfig::at(OptLevel::O2),
+    );
+
+    // The miscompile only fires at -O1+, so the sides must diverge…
+    assert!(
+        report.contains("first divergent effect"),
+        "expected a divergence, got:\n{report}"
+    );
+    // …on a store, attributed to the function and its source line…
+    assert!(report.contains("store"), "no store in:\n{report}");
+    assert!(
+        report.contains("in prog at line"),
+        "no line info in:\n{report}"
+    );
+    // …with the staging provenance of the quote that generated it.
+    assert!(
+        report.contains("via quote at line"),
+        "no provenance in:\n{report}"
+    );
+    // Both sides are labeled by their optimization level.
+    assert!(report.contains("-O0:"), "missing -O0 label in:\n{report}");
+    assert!(report.contains("-O2:"), "missing -O2 label in:\n{report}");
+    // The folded constant is 42 on the honest side, 43 on the seeded one.
+    assert!(
+        report.contains("0x2a"),
+        "expected honest value 0x2a in:\n{report}"
+    );
+    assert!(
+        report.contains("0x2b"),
+        "expected seeded value 0x2b in:\n{report}"
+    );
+}

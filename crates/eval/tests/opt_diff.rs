@@ -8,6 +8,9 @@ use proptest::prelude::*;
 use terra_eval::{Interp, LuaValue};
 use terra_ir::OptLevel;
 
+mod common;
+use common::RecConfig;
+
 /// An operand in the generated program: a parameter, an earlier temporary,
 /// or a literal.
 #[derive(Debug, Clone)]
@@ -146,7 +149,23 @@ proptest! {
                 // Bitwise equality: integer-valued doubles, no tolerance.
                 let eq = m0.len() == m2.len()
                     && m0.iter().zip(m2).all(|(x, y)| x.to_bits() == y.to_bits());
-                prop_assert!(eq, "memory diverged\n-O0: {m0:?}\n-O2: {m2:?}\nprogram:\n{src}");
+                // On failure, the flight recorder pinpoints the first
+                // divergent effect instead of just "memory diverged".
+                let bisect = if eq {
+                    String::new()
+                } else {
+                    let call = format!("return prog({a}, {b}, {c})");
+                    common::divergence_report(
+                        &src,
+                        &call,
+                        RecConfig::at(OptLevel::O0),
+                        RecConfig::at(OptLevel::O2),
+                    )
+                };
+                prop_assert!(
+                    eq,
+                    "memory diverged\n-O0: {m0:?}\n-O2: {m2:?}\nprogram:\n{src}\n{bisect}"
+                );
             }
             (Err(e0), Err(e2)) => {
                 prop_assert_eq!(e0, e2, "different traps for:\n{}", src);
@@ -174,7 +193,18 @@ proptest! {
         match (&r0, &r1) {
             (Ok(m0), Ok(m1)) => {
                 let eq = m0.iter().zip(m1).all(|(x, y)| x.to_bits() == y.to_bits());
-                prop_assert!(eq, "-O0 {m0:?} vs -O1 {m1:?} for:\n{src}");
+                let bisect = if eq {
+                    String::new()
+                } else {
+                    let call = format!("return prog({a}, {b}, 7)");
+                    common::divergence_report(
+                        &src,
+                        &call,
+                        RecConfig::at(OptLevel::O0),
+                        RecConfig::at(OptLevel::O1),
+                    )
+                };
+                prop_assert!(eq, "-O0 {m0:?} vs -O1 {m1:?} for:\n{src}\n{bisect}");
             }
             (Err(e0), Err(e1)) => prop_assert_eq!(e0, e1),
             _ => prop_assert!(false, "-O0 {r0:?} vs -O1 {r1:?} for:\n{src}"),

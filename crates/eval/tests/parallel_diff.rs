@@ -9,6 +9,9 @@ use proptest::prelude::*;
 use terra_eval::{Interp, LuaValue};
 use terra_ir::OptLevel;
 
+mod common;
+use common::RecConfig;
+
 /// A random integer expression over the loop index `i` and a captured
 /// scalar `k`. `Div` can trap (division by zero at specific indices), which
 /// exercises the first-trap-by-chunk-index reporting path.
@@ -82,7 +85,7 @@ proptest! {
         k in -4i32..5,
     ) {
         let body = e.src();
-        let src = format!(
+        let setup = format!(
             r#"
             local std = terralib.includec("stdlib.h")
             terra f(n : int, k : int) : double
@@ -95,19 +98,43 @@ proptest! {
                 std.free(buf)
                 return [double](total)
             end
-            return f({n}, {k})
             "#,
         );
+        let call = format!("return f({n}, {k})");
+        let src = format!("{setup}\n{call}");
         for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
             let seq = run_at(&src, 1, level);
             let par = run_at(&src, 4, level);
-            prop_assert_eq!(&seq, &par, "threads=1 vs threads=4 diverged at {:?}", level);
+            // On failure, the flight recorder bisects the two thread
+            // schedules to their first divergent heap effect. Recordings
+            // are keyed by chunk order, so a clean report here means the
+            // divergence arrived through a channel outside the heap.
+            let bisect = if seq == par {
+                String::new()
+            } else {
+                let mut par_cfg = RecConfig::at(level);
+                par_cfg.threads = 4;
+                common::divergence_report(&setup, &call, RecConfig::at(level), par_cfg)
+            };
+            prop_assert_eq!(
+                &seq, &par,
+                "threads=1 vs threads=4 diverged at {:?}\n{}", level, bisect
+            );
         }
         // And across levels: the parallel schedule must not perturb the
         // optimization-level invariance the repo already guarantees.
         let o0 = run_at(&src, 4, OptLevel::O0);
         let o2 = run_at(&src, 4, OptLevel::O2);
-        prop_assert_eq!(&o0, &o2, "-O0 vs -O2 diverged under threads=4");
+        let bisect = if o0 == o2 {
+            String::new()
+        } else {
+            let mut a = RecConfig::at(OptLevel::O0);
+            a.threads = 4;
+            let mut b = RecConfig::at(OptLevel::O2);
+            b.threads = 4;
+            common::divergence_report(&setup, &call, a, b)
+        };
+        prop_assert_eq!(&o0, &o2, "-O0 vs -O2 diverged under threads=4\n{}", bisect);
     }
 
     /// Writes through an in-memory capture land in the parent frame

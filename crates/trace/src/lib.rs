@@ -33,11 +33,18 @@ mod events;
 mod folded;
 mod heap;
 mod parallel;
+pub mod record;
+pub mod replay;
 mod report;
 mod sample;
 
 pub use heap::{HeapProfiler, HeapSiteStats, HeapStats, HeapTimelinePoint};
 pub use parallel::{ParChunkStats, ParSiteStats, ParWorkerLoad, ParallelStats};
+pub use record::{
+    fnv64, Checkpoint, Effect, EffectKind, EffectSite, Fnv64, RecMeta, Recorder, Recording,
+    DEFAULT_CADENCE, REC_FORMAT_VERSION,
+};
+pub use replay::{DiffReport, DivergentSide, ReplaySummary};
 pub use sample::{SampleFuncRank, SampleStats, Sampler};
 
 use std::cell::Cell;

@@ -48,6 +48,9 @@ pub struct ExecutionContext {
     pub trace: terra_trace::Tracer,
     /// Worker threads for `parallelfor` (1 = sequential fallback).
     threads: usize,
+    /// Execution flight recorder (`--record`), when active. Boxed so the
+    /// common no-recording case costs one pointer.
+    pub(crate) recorder: Option<Box<terra_trace::Recorder>>,
     /// Register file and call stack.
     pub(crate) vm: Vm,
 }
@@ -75,6 +78,7 @@ impl ExecutionContext {
             epoch: Instant::now(),
             trace: terra_trace::Tracer::new(),
             threads: 1,
+            recorder: None,
             vm: Vm::new(),
         }
     }
@@ -221,6 +225,28 @@ impl ExecutionContext {
         addr
     }
 
+    /// Starts the execution flight recorder with the given configuration.
+    /// Effects and checkpoints accumulate until
+    /// [`ExecutionContext::take_recording`].
+    pub fn set_record(&mut self, meta: terra_trace::RecMeta) {
+        self.recorder = Some(Box::new(terra_trace::Recorder::new(meta)));
+    }
+
+    /// Whether the flight recorder is active.
+    pub fn recording(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Stops the flight recorder and returns the finished recording
+    /// (with a final checkpoint of the terminal state), or `None` if
+    /// recording was never started.
+    pub fn take_recording(&mut self) -> Option<terra_trace::Recording> {
+        let rec = self.recorder.take()?;
+        let regs = self.vm.state_hash();
+        let heap = self.memory.heap_hash();
+        Some(rec.finish(regs, heap))
+    }
+
     /// Takes captured printf output, if capturing.
     pub fn take_output(&mut self) -> String {
         match &mut self.output {
@@ -247,6 +273,7 @@ impl ExecutionContext {
             epoch: self.epoch,
             trace: self.trace.worker_shard(),
             threads: 1,
+            recorder: self.recorder.as_deref().map(|r| Box::new(r.worker_shard())),
             vm: Vm::new(),
         }
     }
@@ -259,6 +286,11 @@ impl ExecutionContext {
         self.trace.absorb(&worker.trace);
         self.memory.absorb_worker(&worker.memory);
         let text = worker.take_output();
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            if let Some(shard) = worker.recorder.take() {
+                rec.absorb_worker(*shard, &text);
+            }
+        }
         if !text.is_empty() {
             match &mut self.output {
                 OutputSink::Stdout => print!("{text}"),

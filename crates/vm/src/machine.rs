@@ -149,6 +149,21 @@ impl Vm {
     pub fn new() -> Self {
         Vm::default()
     }
+
+    /// FNV-1a-64 digest of the live register file, hashing each 64-bit
+    /// lane as its little-endian byte image (endianness-independent).
+    /// Used by the flight recorder's checkpoints; meaningful only when
+    /// comparing identical configurations — register allocation differs
+    /// across optimization levels.
+    pub(crate) fn state_hash(&self) -> u64 {
+        let mut h = terra_trace::Fnv64::new();
+        for r in &self.regs {
+            for &lane in r {
+                h.write_u64(lane);
+            }
+        }
+        h.finish()
+    }
 }
 
 #[inline]
@@ -320,6 +335,9 @@ impl ExecutionContext {
         // The sampler needs the activation stack maintained (per-call work
         // only) plus one countdown decrement per retired instruction.
         let sampling = self.trace.sampling();
+        // The flight recorder likewise costs one predictable branch per
+        // instruction when off.
+        let recording = self.recorder.is_some();
         if profiling || sampling {
             self.trace.func_enter(Arc::clone(&func.name));
         }
@@ -445,6 +463,9 @@ impl ExecutionContext {
                 }
                 if sampling {
                     self.trace.sample_tick();
+                }
+                if recording {
+                    self.record_tick();
                 }
                 match *instr {
                     Instr::ConstI { d, v } => seti!(d, v),
@@ -624,27 +645,72 @@ impl ExecutionContext {
                     }
                     Instr::Store8 { a, s } => {
                         let chk = !func.check_free(pc - 1);
-                        mem!(self.memory.store_u8_sel(ru!(a), ru!(s) as u8, chk))
+                        let (addr, v) = (ru!(a), ru!(s));
+                        mem!(self.memory.store_u8_sel(addr, v as u8, chk));
+                        if recording {
+                            self.record_store(&func, pc - 1, instr.mnemonic(), addr, v & 0xff, 1);
+                        }
                     }
                     Instr::Store16 { a, s } => {
                         let chk = !func.check_free(pc - 1);
-                        mem!(self.memory.store_u16_sel(ru!(a), ru!(s) as u16, chk))
+                        let (addr, v) = (ru!(a), ru!(s));
+                        mem!(self.memory.store_u16_sel(addr, v as u16, chk));
+                        if recording {
+                            self.record_store(&func, pc - 1, instr.mnemonic(), addr, v & 0xffff, 2);
+                        }
                     }
                     Instr::Store32 { a, s } => {
                         let chk = !func.check_free(pc - 1);
-                        mem!(self.memory.store_u32_sel(ru!(a), ru!(s) as u32, chk))
+                        let (addr, v) = (ru!(a), ru!(s));
+                        mem!(self.memory.store_u32_sel(addr, v as u32, chk));
+                        if recording {
+                            self.record_store(
+                                &func,
+                                pc - 1,
+                                instr.mnemonic(),
+                                addr,
+                                v & 0xffff_ffff,
+                                4,
+                            );
+                        }
                     }
                     Instr::Store64 { a, s } => {
                         let chk = !func.check_free(pc - 1);
-                        mem!(self.memory.store_u64_sel(ru!(a), ru!(s), chk))
+                        let (addr, v) = (ru!(a), ru!(s));
+                        mem!(self.memory.store_u64_sel(addr, v, chk));
+                        if recording {
+                            self.record_store(&func, pc - 1, instr.mnemonic(), addr, v, 8);
+                        }
                     }
                     Instr::StoreF32 { a, s } => {
                         let chk = !func.check_free(pc - 1);
-                        mem!(self.memory.store_f32_sel(ru!(a), as_f32(r!(s)), chk))
+                        let (addr, v) = (ru!(a), as_f32(r!(s)));
+                        mem!(self.memory.store_f32_sel(addr, v, chk));
+                        if recording {
+                            self.record_store(
+                                &func,
+                                pc - 1,
+                                instr.mnemonic(),
+                                addr,
+                                v.to_bits() as u64,
+                                4,
+                            );
+                        }
                     }
                     Instr::StoreF64 { a, s } => {
                         let chk = !func.check_free(pc - 1);
-                        mem!(self.memory.store_f64_sel(ru!(a), as_f64(r!(s)), chk))
+                        let (addr, v) = (ru!(a), as_f64(r!(s)));
+                        mem!(self.memory.store_f64_sel(addr, v, chk));
+                        if recording {
+                            self.record_store(
+                                &func,
+                                pc - 1,
+                                instr.mnemonic(),
+                                addr,
+                                v.to_bits(),
+                                8,
+                            );
+                        }
                     }
                     Instr::LoadV { d, a, bytes } => {
                         let chk = !func.check_free(pc - 1);
@@ -652,14 +718,43 @@ impl ExecutionContext {
                     }
                     Instr::StoreV { a, s, bytes } => {
                         let chk = !func.check_free(pc - 1);
-                        mem!(self.memory.store_vec_sel(ru!(a), r!(s), bytes as u64, chk))
+                        let (addr, v) = (ru!(a), r!(s));
+                        mem!(self.memory.store_vec_sel(addr, v, bytes as u64, chk));
+                        if recording {
+                            // Vector stores don't fit 64 value bits; record
+                            // the FNV digest of the stored LE byte image.
+                            let mut img = [0u8; 32];
+                            for (i, lane) in v.iter().enumerate() {
+                                img[i * 8..i * 8 + 8].copy_from_slice(&lane.to_le_bytes());
+                            }
+                            let bits = terra_trace::fnv64(&img[..(bytes as usize).min(32)]);
+                            self.record_store(
+                                &func,
+                                pc - 1,
+                                instr.mnemonic(),
+                                addr,
+                                bits,
+                                bytes as u32,
+                            );
+                        }
                     }
                     Instr::FrameAddr { d, offset } => seti!(d, (mem_base + offset as u64) as i64),
                     Instr::CopyMem { dst, src, size } => {
                         let chk = !func.check_free(pc - 1);
-                        mem!(self
-                            .memory
-                            .copy_within_sel(ru!(src), ru!(dst), size as u64, chk))
+                        let (d, s) = (ru!(dst), ru!(src));
+                        mem!(self.memory.copy_within_sel(s, d, size as u64, chk));
+                        if recording && d >= self.memory.heap_base() {
+                            self.record_effect_at(
+                                &func,
+                                pc - 1,
+                                instr.mnemonic(),
+                                terra_trace::EffectKind::Copy {
+                                    dst: d,
+                                    src: s,
+                                    len: size as u64,
+                                },
+                            );
+                        }
                     }
                     Instr::Prefetch { a } => self.memory.prefetch(ru!(a)),
 
@@ -769,6 +864,22 @@ impl ExecutionContext {
                         let start = base + args as usize;
                         let argv: Vec<RegImage> =
                             self.vm.regs[start..start + nargs as usize].to_vec();
+                        if recording
+                            && matches!(
+                                b,
+                                Builtin::Malloc
+                                    | Builtin::Free
+                                    | Builtin::Realloc
+                                    | Builtin::Memcpy
+                                    | Builtin::Memset
+                                    | Builtin::Printf
+                            )
+                        {
+                            // The effect itself is emitted inside
+                            // `call_builtin`; stage its source site here
+                            // where the function and pc are at hand.
+                            self.record_stage_site(&func, pc - 1, instr.mnemonic());
+                        }
                         let result = mem!(call_builtin(self, b, &argv));
                         if d != NO_REG {
                             set!(d, result);
@@ -796,6 +907,84 @@ impl ExecutionContext {
                 }
             }
         }
+    }
+
+    // -- flight-recorder hooks ----------------------------------------------
+
+    /// Per-retired-instruction recorder work: count the instruction and,
+    /// when a checkpoint came due (owner contexts only), hash the register
+    /// file and heap. Split so the state hashes are computed outside the
+    /// recorder borrow.
+    fn record_tick(&mut self) {
+        let due = match self.recorder.as_deref_mut() {
+            Some(rec) => {
+                rec.tick();
+                rec.checkpoint_due()
+            }
+            None => return,
+        };
+        if due {
+            let regs = self.vm.state_hash();
+            let heap = self.memory.heap_hash();
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                rec.checkpoint(regs, heap);
+            }
+        }
+    }
+
+    /// Stages the (function, pc) source site for the next recorded effect
+    /// when the recorder is in full-fidelity mode.
+    fn record_stage_site(&mut self, func: &CompiledFunction, pc: usize, op: &str) {
+        let Some(rec) = self.recorder.as_deref_mut() else {
+            return;
+        };
+        if rec.wants_detail() {
+            rec.stage_site(terra_trace::EffectSite {
+                func: func.name.to_string(),
+                pc: pc as u32,
+                op: op.to_string(),
+                line: func.line_at(pc),
+                prov: func.prov_at(pc).map(|s| s.to_string()),
+            });
+        }
+    }
+
+    /// Records one effect with its source site.
+    fn record_effect_at(
+        &mut self,
+        func: &CompiledFunction,
+        pc: usize,
+        op: &str,
+        kind: terra_trace::EffectKind,
+    ) {
+        self.record_stage_site(func, pc, op);
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.effect(kind);
+        }
+    }
+
+    /// Records a store effect if it landed in the heap region. Stack
+    /// stores are skipped: frame layouts differ legitimately across
+    /// optimization levels, so they are not part of the observable surface
+    /// the recorder aligns on.
+    fn record_store(
+        &mut self,
+        func: &CompiledFunction,
+        pc: usize,
+        op: &str,
+        addr: u64,
+        bits: u64,
+        width: u32,
+    ) {
+        if addr < self.memory.heap_base() {
+            return;
+        }
+        self.record_effect_at(
+            func,
+            pc,
+            op,
+            terra_trace::EffectKind::Store { addr, width, bits },
+        );
     }
 
     fn push_call(
@@ -867,19 +1056,57 @@ pub fn decode_value(ty: &Ty, bits: RegImage) -> Value {
 fn call_builtin(ctx: &mut ExecutionContext, b: Builtin, args: &[RegImage]) -> ExecResult<RegImage> {
     let a = |i: usize| -> u64 { args.get(i).map(|v| v[0]).unwrap_or(0) };
     let f = |i: usize| -> f64 { f64::from_bits(a(i)) };
+    // Allocator and output builtins are observable effects; when the flight
+    // recorder is on, they land in the effect stream (the source site was
+    // staged by the dispatch loop).
+    macro_rules! record {
+        ($kind:expr) => {
+            if let Some(rec) = ctx.recorder.as_deref_mut() {
+                rec.effect($kind);
+            }
+        };
+    }
     Ok(match b {
-        Builtin::Malloc => from_i64(ctx.memory.malloc(a(0)) as i64),
+        Builtin::Malloc => {
+            let size = a(0);
+            let addr = ctx.memory.malloc(size);
+            record!(terra_trace::EffectKind::Alloc { size, addr });
+            from_i64(addr as i64)
+        }
         Builtin::Free => {
             ctx.memory.free(a(0))?;
+            record!(terra_trace::EffectKind::Free { addr: a(0) });
             [0; 4]
         }
-        Builtin::Realloc => from_i64(ctx.memory.realloc(a(0), a(1))? as i64),
+        Builtin::Realloc => {
+            let addr = ctx.memory.realloc(a(0), a(1))?;
+            record!(terra_trace::EffectKind::Realloc {
+                old: a(0),
+                size: a(1),
+                addr,
+            });
+            from_i64(addr as i64)
+        }
         Builtin::Memcpy => {
             ctx.memory.copy_within(a(1), a(0), a(2))?;
+            if a(0) >= ctx.memory.heap_base() {
+                record!(terra_trace::EffectKind::Copy {
+                    dst: a(0),
+                    src: a(1),
+                    len: a(2),
+                });
+            }
             from_i64(a(0) as i64)
         }
         Builtin::Memset => {
             ctx.memory.fill(a(0), a(1) as u8, a(2))?;
+            if a(0) >= ctx.memory.heap_base() {
+                record!(terra_trace::EffectKind::Set {
+                    addr: a(0),
+                    byte: a(1) as u8,
+                    len: a(2),
+                });
+            }
             from_i64(a(0) as i64)
         }
         Builtin::Sqrt => from_f64(f(0).sqrt()),
@@ -896,6 +1123,9 @@ fn call_builtin(ctx: &mut ExecutionContext, b: Builtin, args: &[RegImage]) -> Ex
         Builtin::Printf => {
             let out = format_printf(&ctx.memory, args)?;
             let n = out.len() as i64;
+            if let Some(rec) = ctx.recorder.as_deref_mut() {
+                rec.effect_output(&out);
+            }
             match &mut ctx.output {
                 OutputSink::Stdout => print!("{out}"),
                 OutputSink::Capture(buf) => buf.push_str(&out),

@@ -336,6 +336,33 @@ impl Memory {
         self.live_bytes
     }
 
+    /// First heap address: the end of the stack region. The flight
+    /// recorder uses this to classify stores — only stores at or above
+    /// `heap_base()` are observable effects (stack frame layouts differ
+    /// legitimately across optimization levels).
+    pub fn heap_base(&self) -> u64 {
+        NULL_GUARD + self.stack_size
+    }
+
+    /// FNV-1a-64 digest of the heap region `[heap_base, brk)`.
+    ///
+    /// Guest memory is little-endian by construction (every scalar and
+    /// vector access goes through `to_le_bytes`/`from_le_bytes`), so
+    /// hashing the raw bytes is endianness-independent.
+    pub fn heap_hash(&self) -> u64 {
+        let mut h = terra_trace::Fnv64::new();
+        let mut addr = self.heap_base();
+        let end = self.brk.min(self.backing.len() as u64);
+        let mut buf = [0u8; 4096];
+        while addr < end {
+            let n = ((end - addr) as usize).min(buf.len());
+            self.raw_read(addr, &mut buf[..n]);
+            h.write(&buf[..n]);
+            addr += n as u64;
+        }
+        h.finish()
+    }
+
     // -- raw byte plumbing ---------------------------------------------------
     //
     // All guest data flows through these helpers so that shared views work

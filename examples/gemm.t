@@ -1,0 +1,52 @@
+-- GEMM benchmark for the flight recorder: C = A * B over square matrices
+-- in heap buffers, with the row loop parallelized. The kernel writes each
+-- C row exactly once, so iterations are independent and the result -- and
+-- any recording taken with --record -- is bit-identical at every thread
+-- count and optimization level.
+--
+--   terra --record=gemm.rec examples/gemm.t
+--   terra --replay=gemm.rec
+--   terra replay-diff gemm-O0.rec gemm-O2.rec
+
+local C = terralib.includec("stdlib.h")
+local io = terralib.includec("stdio.h")
+
+terra gemm(n : int, a : &double, b : &double, c : &double)
+  parallelfor i = 0, n do
+    for j = 0, n do
+      var acc : double = 0.0
+      for k = 0, n do
+        acc = acc + a[i * n + k] * b[k * n + j]
+      end
+      c[i * n + j] = acc
+    end
+  end
+end
+
+terra run(n : int) : int
+  var a = [&double](C.malloc(n * n * 8))
+  var b = [&double](C.malloc(n * n * 8))
+  var c = [&double](C.malloc(n * n * 8))
+  -- Deterministic integer-valued inputs: every product and sum below is
+  -- exact in a double, so the checksum is reproducible bit-for-bit.
+  for i = 0, n * n do
+    a[i] = (i % 7) - 3
+    b[i] = (i % 5) - 2
+  end
+  gemm(n, a, b, c)
+  var trace : double = 0.0
+  var sum : double = 0.0
+  for i = 0, n do
+    trace = trace + c[i * n + i]
+  end
+  for i = 0, n * n do
+    sum = sum + c[i]
+  end
+  io.printf("gemm n=%d trace=%.1f sum=%.1f\n", n, trace, sum)
+  C.free(a)
+  C.free(b)
+  C.free(c)
+  return 0
+end
+
+run(32)

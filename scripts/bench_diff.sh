@@ -2,6 +2,10 @@
 # Compares a freshly generated BENCH_*.json against its committed baseline,
 # metric by metric, with per-metric tolerances:
 #
+#   - keys matching version          exact match required    (schema/format
+#                                    versions never drift; an unknown version
+#                                    fails loudly and needs a deliberate
+#                                    baseline + gate refresh)
 #   - keys matching rate/reduction   absolute drift <= 0.02  (rates live in [0,1])
 #   - keys matching pct              absolute drift <= 2     (percentages, 0-100)
 #   - imbalance / efficiency         absolute drift <= 0.05  (instruction-count
@@ -55,6 +59,13 @@ paste -d' ' <(printf '%s\n' "$base_pairs") <(printf '%s\n' "$fresh_pairs") \
     | awk -v name="$name" '
 {
     key = $1; old = $2 + 0; cur = $4 + 0
+    if (key ~ /version/) {
+        if (cur != old) {
+            bad = 1
+            printf "bench_diff: %s: %s changed %s -> %s (versions must match exactly; an unknown format version needs a deliberate baseline refresh)\n", name, key, old, cur
+        }
+        next
+    }
     if (key == "ms" || key == "speedup" || key == "host_cores") next
     delta = cur - old; if (delta < 0) delta = -delta
     if (key ~ /pct/) {

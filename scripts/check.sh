@@ -272,6 +272,19 @@ grep -q "via quote at line" BENCH_heap.json \
 grep -q '"leaked_allocs": 1' BENCH_heap.json \
     || { echo "BENCH_heap: seeded leak not reported" >&2; exit 1; }
 
+echo "==> BENCH_replay.json schema (format version, million-instruction footprint)"
+for key in format_version retired_instructions effects checkpoints cadence coarse_bytes; do
+    grep -q "\"$key\"" BENCH_replay.json \
+        || { echo "BENCH_replay: missing key $key" >&2; exit 1; }
+done
+grep -q '"format_version": 1' BENCH_replay.json \
+    || { echo "BENCH_replay: unknown recording format version (gates understand v1 only; a format bump needs a deliberate refresh here)" >&2; exit 1; }
+replay_field() { sed -n "s/.*\"$1\": \([0-9.]*\).*/\1/p" BENCH_replay.json; }
+awk -v r="$(replay_field retired_instructions)" 'BEGIN { exit !(r >= 1000000) }' \
+    || { echo "BENCH_replay: workload must retire at least a million instructions" >&2; exit 1; }
+awk -v b="$(replay_field coarse_bytes)" 'BEGIN { exit !(b > 0 && b <= 262144) }' \
+    || { echo "BENCH_replay: coarse recording must stay within (0, 256 KiB]" >&2; exit 1; }
+
 echo "==> heap-profile smoke (terra --heap-profile, leak report with provenance)"
 report="$(./target/release/terra --heap-profile examples/leak.t 2>&1)"
 grep -q "== heap ==" <<< "$report" \
@@ -304,6 +317,10 @@ for type in meta span func mem heap_site leak sample; do
     grep -q "\"type\":\"$type\"" "$events_a" \
         || { echo "events smoke: missing record type $type" >&2; exit 1; }
 done
+# The meta record versions the JSONL schema; an unknown version means the
+# consumer-facing format changed without a deliberate gate update.
+grep -q '"type":"meta","version":1' "$events_a" \
+    || { echo "events smoke: meta record does not carry schema version 1" >&2; exit 1; }
 cmp -s "$events_a" "$events_b" \
     || { echo "events smoke: event stream differs between two runs" >&2; exit 1; }
 
@@ -347,6 +364,42 @@ cmp -s "$par_events_a" "$par_events_b" \
 echo "==> trace-sink validation (unknown --trace-out extension must be rejected)"
 if ./target/release/terra --trace-out /tmp/trace.csv examples/saxpy.t > /dev/null 2>&1; then
     echo "trace-sink: unsupported extension was silently accepted" >&2; exit 1
+fi
+
+echo "==> record/replay smoke (flight recorder over examples/gemm.t)"
+rec_o0="$(mktemp --suffix=.rec)"
+rec_o2="$(mktemp --suffix=.rec)"
+rec_again="$(mktemp --suffix=.rec)"
+trap 'rm -f "$trace_json" "$trace_folded" "$remarks_json" "$remarks_json2" \
+     "$events_a" "$events_b" "$par_events_a" "$par_events_b" \
+     "$rec_o0" "$rec_o2" "$rec_again"; \
+     rm -rf "$bench_snap" "$bench_rerun"' EXIT
+./target/release/terra --record="$rec_o0" -O0 examples/gemm.t > /dev/null 2>&1
+./target/release/terra --record="$rec_o2" -O2 examples/gemm.t > /dev/null 2>&1
+# Every recording opens with the exact format-version header; consumers key
+# their parsers off it, so an unknown header must fail here, not downstream.
+head -1 "$rec_o0" | grep -qx '#terra-rec v1' \
+    || { echo "record smoke: recording does not open with '#terra-rec v1'" >&2; exit 1; }
+# Cross-level alignment: the -O0 and -O2 effect streams must agree at every
+# checkpoint (exit 0 and an explicit zero-divergence verdict).
+diff_out="$(./target/release/terra replay-diff "$rec_o0" "$rec_o2")" \
+    || { echo "record smoke: replay-diff found a -O0 vs -O2 divergence: $diff_out" >&2; exit 1; }
+grep -q "0 divergences" <<< "$diff_out" \
+    || { echo "record smoke: replay-diff verdict missing zero-divergence count" >&2; exit 1; }
+# Recordings are deterministic artifacts: a re-record at the same level is
+# byte-identical, and the thread count must not leak into the bytes at all.
+./target/release/terra --record="$rec_again" -O2 examples/gemm.t > /dev/null 2>&1
+cmp -s "$rec_o2" "$rec_again" \
+    || { echo "record smoke: recording differs between two identical runs" >&2; exit 1; }
+./target/release/terra --record="$rec_again" --threads=4 examples/gemm.t > /dev/null 2>&1
+cmp -s "$rec_o2" "$rec_again" \
+    || { echo "record smoke: recording depends on --threads" >&2; exit 1; }
+# Replay re-executes the recorded script and verifies every checkpoint.
+./target/release/terra --replay="$rec_o2" > /dev/null 2>&1 \
+    || { echo "record smoke: --replay failed to verify its own recording" >&2; exit 1; }
+# Strict sink validation, same contract as --trace-out.
+if ./target/release/terra --record=/tmp/run.json examples/gemm.t > /dev/null 2>&1; then
+    echo "record smoke: unsupported .rec sink extension was silently accepted" >&2; exit 1
 fi
 
 echo "All checks passed."
